@@ -1,0 +1,313 @@
+//! Empirical axiom checkers for t-norms, co-norms, and aggregations.
+//!
+//! Section 3 defines the t-norm axioms (∧-conservation, monotonicity,
+//! commutativity, associativity), the co-norm duals, and the two properties
+//! the paper's theorems hinge on (monotonicity and strictness of the m-ary
+//! aggregation). These checkers evaluate the candidate on a dense grid over
+//! `[0,1]²`/`[0,1]³` and report the first violation found, and are used by
+//! the test-suite to validate every declared property in this crate.
+
+use crate::grade::{grade_grid, Grade};
+use crate::traits::{Aggregation, TCoNorm, TNorm};
+
+/// A reported axiom violation, carrying the axiom name and a witness point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxiomViolation {
+    /// Which axiom failed, e.g. `"commutativity"`.
+    pub axiom: &'static str,
+    /// Human-readable witness, e.g. `"t(0.25, 0.5) = 0.1 != t(0.5, 0.25) = 0.2"`.
+    pub witness: String,
+}
+
+impl std::fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} violated: {}", self.axiom, self.witness)
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Checks all four t-norm axioms on a grid with `steps + 1` points per axis.
+pub fn check_tnorm_axioms(t: &dyn TNorm, steps: usize) -> Result<(), AxiomViolation> {
+    let grid = grade_grid(steps);
+
+    // ∧-conservation: t(0,0) = 0; t(x,1) = t(1,x) = x.
+    if t.t(Grade::ZERO, Grade::ZERO) != Grade::ZERO {
+        return Err(AxiomViolation {
+            axiom: "and-conservation",
+            witness: format!("t(0,0) = {}", t.t(Grade::ZERO, Grade::ZERO)),
+        });
+    }
+    for &x in &grid {
+        if !t.t(x, Grade::ONE).approx_eq(x, EPS) || !t.t(Grade::ONE, x).approx_eq(x, EPS) {
+            return Err(AxiomViolation {
+                axiom: "and-conservation",
+                witness: format!("t({x},1) = {}, t(1,{x}) = {}", t.t(x, Grade::ONE), t.t(Grade::ONE, x)),
+            });
+        }
+    }
+
+    // Monotonicity in both arguments.
+    for &x1 in &grid {
+        for &x2 in &grid {
+            for &y1 in &grid {
+                for &y2 in &grid {
+                    if x1 <= y1 && x2 <= y2 && t.t(x1, x2) > t.t(y1, y2) {
+                        return Err(AxiomViolation {
+                            axiom: "monotonicity",
+                            witness: format!(
+                                "t({x1},{x2}) = {} > t({y1},{y2}) = {}",
+                                t.t(x1, x2),
+                                t.t(y1, y2)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Commutativity.
+    for &x in &grid {
+        for &y in &grid {
+            if !t.t(x, y).approx_eq(t.t(y, x), EPS) {
+                return Err(AxiomViolation {
+                    axiom: "commutativity",
+                    witness: format!("t({x},{y}) = {} != t({y},{x}) = {}", t.t(x, y), t.t(y, x)),
+                });
+            }
+        }
+    }
+
+    // Associativity.
+    for &x in &grid {
+        for &y in &grid {
+            for &z in &grid {
+                let lhs = t.t(t.t(x, y), z);
+                let rhs = t.t(x, t.t(y, z));
+                if !lhs.approx_eq(rhs, EPS) {
+                    return Err(AxiomViolation {
+                        axiom: "associativity",
+                        witness: format!("t(t({x},{y}),{z}) = {lhs} != t({x},t({y},{z})) = {rhs}"),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Checks all four t-conorm axioms on a grid with `steps + 1` points per axis.
+pub fn check_tconorm_axioms(s: &dyn TCoNorm, steps: usize) -> Result<(), AxiomViolation> {
+    let grid = grade_grid(steps);
+
+    // ∨-conservation: s(1,1) = 1; s(x,0) = s(0,x) = x.
+    if s.s(Grade::ONE, Grade::ONE) != Grade::ONE {
+        return Err(AxiomViolation {
+            axiom: "or-conservation",
+            witness: format!("s(1,1) = {}", s.s(Grade::ONE, Grade::ONE)),
+        });
+    }
+    for &x in &grid {
+        if !s.s(x, Grade::ZERO).approx_eq(x, EPS) || !s.s(Grade::ZERO, x).approx_eq(x, EPS) {
+            return Err(AxiomViolation {
+                axiom: "or-conservation",
+                witness: format!("s({x},0) = {}, s(0,{x}) = {}", s.s(x, Grade::ZERO), s.s(Grade::ZERO, x)),
+            });
+        }
+    }
+
+    for &x1 in &grid {
+        for &x2 in &grid {
+            for &y1 in &grid {
+                for &y2 in &grid {
+                    if x1 <= y1 && x2 <= y2 && s.s(x1, x2) > s.s(y1, y2) {
+                        return Err(AxiomViolation {
+                            axiom: "monotonicity",
+                            witness: format!(
+                                "s({x1},{x2}) = {} > s({y1},{y2}) = {}",
+                                s.s(x1, x2),
+                                s.s(y1, y2)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for &x in &grid {
+        for &y in &grid {
+            if !s.s(x, y).approx_eq(s.s(y, x), EPS) {
+                return Err(AxiomViolation {
+                    axiom: "commutativity",
+                    witness: format!("s({x},{y}) != s({y},{x})"),
+                });
+            }
+        }
+    }
+
+    for &x in &grid {
+        for &y in &grid {
+            for &z in &grid {
+                let lhs = s.s(s.s(x, y), z);
+                let rhs = s.s(x, s.s(y, z));
+                if !lhs.approx_eq(rhs, EPS) {
+                    return Err(AxiomViolation {
+                        axiom: "associativity",
+                        witness: format!("s(s({x},{y}),{z}) = {lhs} != s({x},s({y},{z})) = {rhs}"),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Checks monotonicity of an m-ary aggregation at the given arity, on a grid:
+/// raising one coordinate at a time must never lower the output.
+pub fn check_monotone(agg: &dyn Aggregation, arity: usize, steps: usize) -> Result<(), AxiomViolation> {
+    let grid = grade_grid(steps);
+    let mut point = vec![Grade::ZERO; arity];
+    check_monotone_rec(agg, &grid, &mut point, 0)
+}
+
+fn check_monotone_rec(
+    agg: &dyn Aggregation,
+    grid: &[Grade],
+    point: &mut Vec<Grade>,
+    depth: usize,
+) -> Result<(), AxiomViolation> {
+    if depth == point.len() {
+        let base = agg.combine(point);
+        // Raise each coordinate to every larger grid value.
+        for i in 0..point.len() {
+            let original = point[i];
+            for &higher in grid.iter().filter(|&&g| g > original) {
+                point[i] = higher;
+                let raised = agg.combine(point);
+                point[i] = original;
+                if raised < base {
+                    return Err(AxiomViolation {
+                        axiom: "monotonicity",
+                        witness: format!(
+                            "raising coordinate {i} of {point:?} to {higher} lowered {} to {}",
+                            base, raised
+                        ),
+                    });
+                }
+            }
+        }
+        return Ok(());
+    }
+    for &g in grid {
+        point[depth] = g;
+        check_monotone_rec(agg, grid, point, depth + 1)?;
+    }
+    Ok(())
+}
+
+/// Checks strictness of an m-ary aggregation at the given arity, on a grid:
+/// output 1 exactly at the all-ones point.
+pub fn check_strict(agg: &dyn Aggregation, arity: usize, steps: usize) -> Result<(), AxiomViolation> {
+    let grid = grade_grid(steps);
+    let mut point = vec![Grade::ZERO; arity];
+    check_strict_rec(agg, &grid, &mut point, 0)
+}
+
+fn check_strict_rec(
+    agg: &dyn Aggregation,
+    grid: &[Grade],
+    point: &mut Vec<Grade>,
+    depth: usize,
+) -> Result<(), AxiomViolation> {
+    if depth == point.len() {
+        let v = agg.combine(point);
+        let all_ones = point.iter().all(|&g| g == Grade::ONE);
+        if (v == Grade::ONE) != all_ones {
+            return Err(AxiomViolation {
+                axiom: "strictness",
+                witness: format!("agg({point:?}) = {v}, all_ones = {all_ones}"),
+            });
+        }
+        return Ok(());
+    }
+    for &g in grid {
+        point[depth] = g;
+        check_strict_rec(agg, grid, point, depth + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterated::{max_agg, IteratedTNorm};
+    use crate::means::{ArithmeticMean, MedianAgg};
+    use crate::tconorms::all_tconorms;
+    use crate::tnorms::{all_tnorms, Minimum};
+
+    #[test]
+    fn every_paper_tnorm_passes_axioms() {
+        for t in all_tnorms() {
+            check_tnorm_axioms(t.as_ref(), 8).unwrap_or_else(|e| panic!("{}: {e}", t.name()));
+        }
+    }
+
+    #[test]
+    fn every_paper_tconorm_passes_axioms() {
+        for s in all_tconorms() {
+            check_tconorm_axioms(s.as_ref(), 8).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn mean_fails_conservation_but_is_monotone_and_strict() {
+        // ArithmeticMean as a "binary t-norm candidate": conservation fails.
+        struct MeanAsNorm;
+        impl TNorm for MeanAsNorm {
+            fn t(&self, x: Grade, y: Grade) -> Grade {
+                ArithmeticMean.combine(&[x, y])
+            }
+            fn name(&self) -> String {
+                "mean-as-norm".into()
+            }
+        }
+        let err = check_tnorm_axioms(&MeanAsNorm, 4).unwrap_err();
+        assert_eq!(err.axiom, "and-conservation");
+
+        // But as an aggregation it is monotone and strict — the paper's point
+        // about \[TZZ79\]-style means.
+        check_monotone(&ArithmeticMean, 3, 4).unwrap();
+        check_strict(&ArithmeticMean, 3, 4).unwrap();
+    }
+
+    #[test]
+    fn median_fails_strictness() {
+        let err = check_strict(&MedianAgg, 3, 2).unwrap_err();
+        assert_eq!(err.axiom, "strictness");
+        check_monotone(&MedianAgg, 3, 3).unwrap();
+    }
+
+    #[test]
+    fn max_fails_strictness() {
+        let err = check_strict(&max_agg(), 2, 2).unwrap_err();
+        assert_eq!(err.axiom, "strictness");
+    }
+
+    #[test]
+    fn iterated_min_is_monotone_and_strict() {
+        let agg = IteratedTNorm(Minimum);
+        check_monotone(&agg, 3, 4).unwrap();
+        check_strict(&agg, 3, 4).unwrap();
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let err = check_strict(&max_agg(), 2, 2).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("strictness"));
+    }
+}

@@ -1,0 +1,149 @@
+//! De Morgan duality between t-norms and t-conorms.
+//!
+//! If `t` is a triangular norm then `s(x, y) = n(t(n(x), n(y)))` is a
+//! triangular co-norm (and vice versa) for suitable negations `n` [Al85,
+//! BD86]; Section 3 of the paper lists the norm/co-norm pairs produced this
+//! way under the standard negation. These adapters build the dual
+//! *generically*, so the test-suite can verify that each named co-norm in
+//! [`crate::tconorms`] equals the generic dual of its named t-norm.
+
+use crate::grade::Grade;
+use crate::negation::StandardNegation;
+use crate::traits::{Negation, TCoNorm, TNorm};
+
+/// The co-norm `s(x,y) = n(t(n x, n y))` induced by a t-norm and a negation.
+#[derive(Debug, Clone, Copy)]
+pub struct DualCoNorm<T, N = StandardNegation> {
+    tnorm: T,
+    negation: N,
+}
+
+impl<T: TNorm> DualCoNorm<T, StandardNegation> {
+    /// Dual under the standard negation `1 - x`.
+    pub fn standard(tnorm: T) -> Self {
+        DualCoNorm {
+            tnorm,
+            negation: StandardNegation,
+        }
+    }
+}
+
+impl<T: TNorm, N: Negation> DualCoNorm<T, N> {
+    /// Dual under an arbitrary negation.
+    pub fn new(tnorm: T, negation: N) -> Self {
+        DualCoNorm { tnorm, negation }
+    }
+}
+
+impl<T: TNorm, N: Negation> TCoNorm for DualCoNorm<T, N> {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        self.negation.negate(
+            self.tnorm
+                .t(self.negation.negate(x), self.negation.negate(y)),
+        )
+    }
+    fn name(&self) -> String {
+        format!("dual({}, {})", self.tnorm.name(), self.negation.name())
+    }
+}
+
+/// The t-norm `t(x,y) = n(s(n x, n y))` induced by a co-norm and a negation.
+#[derive(Debug, Clone, Copy)]
+pub struct DualTNorm<S, N = StandardNegation> {
+    conorm: S,
+    negation: N,
+}
+
+impl<S: TCoNorm> DualTNorm<S, StandardNegation> {
+    /// Dual under the standard negation `1 - x`.
+    pub fn standard(conorm: S) -> Self {
+        DualTNorm {
+            conorm,
+            negation: StandardNegation,
+        }
+    }
+}
+
+impl<S: TCoNorm, N: Negation> DualTNorm<S, N> {
+    /// Dual under an arbitrary negation.
+    pub fn new(conorm: S, negation: N) -> Self {
+        DualTNorm { conorm, negation }
+    }
+}
+
+impl<S: TCoNorm, N: Negation> TNorm for DualTNorm<S, N> {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        self.negation.negate(
+            self.conorm
+                .s(self.negation.negate(x), self.negation.negate(y)),
+        )
+    }
+    fn name(&self) -> String {
+        format!("dual({}, {})", self.conorm.name(), self.negation.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::grade_grid;
+    use crate::tconorms::*;
+    use crate::tnorms::*;
+
+    /// Checks `s == dual(t)` pointwise on a grid.
+    fn assert_dual_pair(t: &dyn TNorm, s: &dyn TCoNorm) {
+        let dual = DualCoNorm::standard(t);
+        for x in grade_grid(16) {
+            for y in grade_grid(16) {
+                assert!(
+                    s.s(x, y).approx_eq(dual.s(x, y), 1e-9),
+                    "{} is not the standard dual of {} at ({x}, {y}): {} vs {}",
+                    s.name(),
+                    t.name(),
+                    s.s(x, y),
+                    dual.s(x, y),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_pairs_are_duals() {
+        // The exact pairing from the Section 3 list.
+        assert_dual_pair(&Minimum, &Maximum);
+        assert_dual_pair(&DrasticProduct, &DrasticSum);
+        assert_dual_pair(&BoundedDifference, &BoundedSum);
+        assert_dual_pair(&EinsteinProduct, &EinsteinSum);
+        assert_dual_pair(&AlgebraicProduct, &AlgebraicSum);
+        assert_dual_pair(&HamacherProduct, &HamacherSum);
+    }
+
+    #[test]
+    fn double_dual_is_identity() {
+        // dual(dual(t)) == t under an involutive negation.
+        let t = AlgebraicProduct;
+        let round_trip = DualTNorm::standard(DualCoNorm::standard(t));
+        for x in grade_grid(16) {
+            for y in grade_grid(16) {
+                assert!(round_trip.t(x, y).approx_eq(t.t(x, y), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_laws_hold() {
+        // s(x,y) = n(t(n x, n y)) and t(x,y) = n(s(n x, n y)) \[BD86\].
+        let n = StandardNegation;
+        for x in grade_grid(12) {
+            for y in grade_grid(12) {
+                let lhs = AlgebraicSum.s(x, y);
+                let rhs = n.negate(AlgebraicProduct.t(n.negate(x), n.negate(y)));
+                assert!(lhs.approx_eq(rhs, 1e-9));
+
+                let lhs = AlgebraicProduct.t(x, y);
+                let rhs = n.negate(AlgebraicSum.s(n.negate(x), n.negate(y)));
+                assert!(lhs.approx_eq(rhs, 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Parametric t-norm/t-conorm families.
+//!
+//! The Section 3 catalogue lists individual norms; the fuzzy-logic
+//! literature the paper draws on (\[DP80\], \[Mi89\], Zimmermann \[Zi96\])
+//! organises them into *families* sweeping a parameter between the drastic
+//! product and min. Three classics are implemented here — every member is a
+//! genuine t-norm, so Theorems 5.3/6.4 cover all of them (the point of
+//! experiment E10's robustness claim):
+//!
+//! * **Yager**: `t_p(x,y) = max(0, 1 − ((1−x)^p + (1−y)^p)^(1/p))`;
+//!   `p = 1` is bounded difference, `p → ∞` tends to min.
+//! * **Hamacher**: `t_γ(x,y) = xy / (γ + (1−γ)(x + y − xy))`;
+//!   `γ = 1` is the algebraic product, `γ = 0` the Hamacher product.
+//! * **Frank**: `t_s(x,y) = log_s(1 + (s^x − 1)(s^y − 1)/(s − 1))`;
+//!   `s → 1` tends to the algebraic product.
+
+use crate::grade::Grade;
+use crate::traits::{TCoNorm, TNorm};
+
+/// The Yager t-norm with parameter `p > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YagerTNorm {
+    p: f64,
+}
+
+impl YagerTNorm {
+    /// Creates the norm; `p` must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p.is_finite(), "Yager family needs p > 0");
+        YagerTNorm { p }
+    }
+
+    /// The parameter.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl TNorm for YagerTNorm {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        let (a, b) = (1.0 - x.value(), 1.0 - y.value());
+        Grade::clamped(1.0 - (a.powf(self.p) + b.powf(self.p)).powf(1.0 / self.p))
+    }
+    fn name(&self) -> String {
+        format!("yager-tnorm(p={})", self.p)
+    }
+}
+
+/// The Yager t-conorm with parameter `p > 0` (the standard dual).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YagerTCoNorm {
+    p: f64,
+}
+
+impl YagerTCoNorm {
+    /// Creates the co-norm; `p` must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p.is_finite(), "Yager family needs p > 0");
+        YagerTCoNorm { p }
+    }
+}
+
+impl TCoNorm for YagerTCoNorm {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        Grade::clamped((x.value().powf(self.p) + y.value().powf(self.p)).powf(1.0 / self.p))
+    }
+    fn name(&self) -> String {
+        format!("yager-tconorm(p={})", self.p)
+    }
+}
+
+/// The Hamacher family with parameter `γ >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HamacherFamily {
+    gamma: f64,
+}
+
+impl HamacherFamily {
+    /// Creates the norm; `γ` must be non-negative and finite.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma >= 0.0 && gamma.is_finite(),
+            "Hamacher family needs gamma >= 0"
+        );
+        HamacherFamily { gamma }
+    }
+}
+
+impl TNorm for HamacherFamily {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        let denom = self.gamma + (1.0 - self.gamma) * (x + y - x * y);
+        if denom == 0.0 {
+            Grade::ZERO
+        } else {
+            Grade::clamped(x * y / denom)
+        }
+    }
+    fn name(&self) -> String {
+        format!("hamacher-family(γ={})", self.gamma)
+    }
+}
+
+/// The Frank t-norm with parameter `s > 0`, `s ≠ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrankTNorm {
+    s: f64,
+}
+
+impl FrankTNorm {
+    /// Creates the norm; `s` must be positive, finite, and not 1.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    pub fn new(s: f64) -> Self {
+        assert!(
+            s > 0.0 && s.is_finite() && (s - 1.0).abs() > 1e-12,
+            "Frank family needs s > 0, s != 1"
+        );
+        FrankTNorm { s }
+    }
+}
+
+impl TNorm for FrankTNorm {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        let s = self.s;
+        let num = (s.powf(x.value()) - 1.0) * (s.powf(y.value()) - 1.0);
+        Grade::clamped((1.0 + num / (s - 1.0)).ln() / s.ln())
+    }
+    fn name(&self) -> String {
+        format!("frank-tnorm(s={})", self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::{check_tconorm_axioms, check_tnorm_axioms};
+    use crate::duality::DualCoNorm;
+    use crate::grade::grade_grid;
+    use crate::tnorms::{AlgebraicProduct, BoundedDifference, HamacherProduct, Minimum};
+
+    #[test]
+    fn yager_members_satisfy_tnorm_axioms() {
+        for p in [0.5, 1.0, 2.0, 5.0] {
+            check_tnorm_axioms(&YagerTNorm::new(p), 6)
+                .unwrap_or_else(|e| panic!("p = {p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn yager_conorm_members_satisfy_axioms() {
+        for p in [0.5, 1.0, 2.0, 5.0] {
+            check_tconorm_axioms(&YagerTCoNorm::new(p), 6)
+                .unwrap_or_else(|e| panic!("p = {p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hamacher_members_satisfy_tnorm_axioms() {
+        for gamma in [0.0, 0.5, 1.0, 2.0, 10.0] {
+            check_tnorm_axioms(&HamacherFamily::new(gamma), 6)
+                .unwrap_or_else(|e| panic!("gamma = {gamma}: {e}"));
+        }
+    }
+
+    #[test]
+    fn frank_members_satisfy_tnorm_axioms() {
+        for s in [0.1, 0.5, 2.0, 10.0] {
+            check_tnorm_axioms(&FrankTNorm::new(s), 6)
+                .unwrap_or_else(|e| panic!("s = {s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn yager_p1_is_bounded_difference() {
+        let y = YagerTNorm::new(1.0);
+        for a in grade_grid(10) {
+            for b in grade_grid(10) {
+                assert!(y.t(a, b).approx_eq(BoundedDifference.t(a, b), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn yager_large_p_approaches_min() {
+        let y = YagerTNorm::new(64.0);
+        for a in grade_grid(8) {
+            for b in grade_grid(8) {
+                assert!(
+                    y.t(a, b).approx_eq(Minimum.t(a, b), 0.05),
+                    "p=64 at ({a},{b}): {} vs {}",
+                    y.t(a, b),
+                    Minimum.t(a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamacher_gamma_endpoints() {
+        let h0 = HamacherFamily::new(0.0);
+        let h1 = HamacherFamily::new(1.0);
+        for a in grade_grid(10) {
+            for b in grade_grid(10) {
+                assert!(h0.t(a, b).approx_eq(HamacherProduct.t(a, b), 1e-9));
+                assert!(h1.t(a, b).approx_eq(AlgebraicProduct.t(a, b), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn frank_near_one_approaches_product() {
+        let f = FrankTNorm::new(1.0001);
+        for a in grade_grid(8) {
+            for b in grade_grid(8) {
+                assert!(
+                    f.t(a, b).approx_eq(AlgebraicProduct.t(a, b), 1e-3),
+                    "at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn yager_conorm_is_standard_dual_of_yager_tnorm() {
+        use crate::traits::TCoNorm as _;
+        for p in [0.5, 2.0, 4.0] {
+            let dual = DualCoNorm::standard(YagerTNorm::new(p));
+            let direct = YagerTCoNorm::new(p);
+            for a in grade_grid(8) {
+                for b in grade_grid(8) {
+                    assert!(direct.s(a, b).approx_eq(dual.s(a, b), 1e-9), "p = {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn yager_rejects_nonpositive_p() {
+        YagerTNorm::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn frank_rejects_s_equal_one() {
+        FrankTNorm::new(1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Building m-ary aggregations from 2-ary norms by iteration.
+//!
+//! Section 3: "in practice an m-ary conjunction is almost always evaluated by
+//! using an associative 2-ary function that is iterated", and *every* m-ary
+//! aggregation obtained by iterating a triangular norm is monotone and strict
+//! (the two properties the paper's theorems need).
+
+use crate::grade::Grade;
+use crate::traits::{Aggregation, TCoNorm, TNorm};
+
+/// The m-ary aggregation obtained by folding a triangular norm:
+/// `t(t(...t(x1, x2)..., x_{m-1}), x_m)`.
+///
+/// Its identity on the empty argument list is `1` (the t-norm unit), so an
+/// empty conjunction is vacuously true, matching propositional logic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IteratedTNorm<T>(pub T);
+
+impl<T: TNorm> Aggregation for IteratedTNorm<T> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn combine(&self, grades: &[Grade]) -> Grade {
+        grades
+            .iter()
+            .copied()
+            .fold(Grade::ONE, |acc, g| self.0.t(acc, g))
+    }
+
+    fn is_strict(&self, _arity: usize) -> bool {
+        // Every iterated t-norm is strict: t is sandwiched between the
+        // drastic product and min \[DP80\], both of which hit 1 only at
+        // (1, ..., 1).
+        true
+    }
+
+    fn zero_annihilates(&self, _arity: usize) -> bool {
+        // t(x, 0) <= min(x, 0) = 0 by the \[DP80\] sandwich.
+        true
+    }
+}
+
+/// The m-ary aggregation obtained by folding a triangular co-norm:
+/// `s(s(...s(x1, x2)...), x_m)`. Identity on the empty list is `0`
+/// (an empty disjunction is false).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IteratedTCoNorm<S>(pub S);
+
+impl<S: TCoNorm> Aggregation for IteratedTCoNorm<S> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn combine(&self, grades: &[Grade]) -> Grade {
+        grades
+            .iter()
+            .copied()
+            .fold(Grade::ZERO, |acc, g| self.0.s(acc, g))
+    }
+
+    fn is_strict(&self, arity: usize) -> bool {
+        // s(x1..xm) = 1 whenever any x_i = 1, so a co-norm is strict only in
+        // the degenerate unary case. (This is why the Section 6 lower bound
+        // does not apply to disjunctions — see algorithm B0.)
+        arity <= 1
+    }
+}
+
+/// The standard fuzzy conjunction `min(x1, ..., xm)` as an m-ary aggregation.
+pub fn min_agg() -> IteratedTNorm<crate::tnorms::Minimum> {
+    IteratedTNorm(crate::tnorms::Minimum)
+}
+
+/// The standard fuzzy disjunction `max(x1, ..., xm)` as an m-ary aggregation.
+pub fn max_agg() -> IteratedTCoNorm<crate::tconorms::Maximum> {
+    IteratedTCoNorm(crate::tconorms::Maximum)
+}
+
+/// The algebraic product `x1 * ... * xm` as an m-ary aggregation.
+pub fn product_agg() -> IteratedTNorm<crate::tnorms::AlgebraicProduct> {
+    IteratedTNorm(crate::tnorms::AlgebraicProduct)
+}
+
+/// Every iterated t-norm from the paper's Section 3 list, boxed, for
+/// sweep-style tests and the robustness experiment (E10).
+pub fn all_iterated_tnorms() -> Vec<Box<dyn Aggregation>> {
+    use crate::tnorms::*;
+    vec![
+        Box::new(IteratedTNorm(Minimum)),
+        Box::new(IteratedTNorm(DrasticProduct)),
+        Box::new(IteratedTNorm(BoundedDifference)),
+        Box::new(IteratedTNorm(EinsteinProduct)),
+        Box::new(IteratedTNorm(AlgebraicProduct)),
+        Box::new(IteratedTNorm(HamacherProduct)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::grade_grid;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    #[test]
+    fn min_agg_matches_slice_min() {
+        let a = min_agg();
+        assert_eq!(a.combine(&[g(0.4), g(0.9), g(0.2)]), g(0.2));
+        assert_eq!(a.combine(&[]), Grade::ONE);
+        assert_eq!(a.combine(&[g(0.4)]), g(0.4));
+    }
+
+    #[test]
+    fn max_agg_matches_slice_max() {
+        let a = max_agg();
+        assert_eq!(a.combine(&[g(0.4), g(0.9), g(0.2)]), g(0.9));
+        assert_eq!(a.combine(&[]), Grade::ZERO);
+    }
+
+    #[test]
+    fn product_agg_multiplies() {
+        let a = product_agg();
+        assert!(a.combine(&[g(0.5), g(0.5), g(0.5)]).approx_eq(g(0.125), 1e-12));
+    }
+
+    #[test]
+    fn iterated_tnorms_are_strict_empirically() {
+        // t(x1..x3) = 1 iff all arguments are 1, verified on a grid.
+        let grid = grade_grid(4);
+        for agg in all_iterated_tnorms() {
+            for &x in &grid {
+                for &y in &grid {
+                    for &z in &grid {
+                        let v = agg.combine(&[x, y, z]);
+                        let all_one = x == Grade::ONE && y == Grade::ONE && z == Grade::ONE;
+                        assert_eq!(
+                            v == Grade::ONE,
+                            all_one,
+                            "{} strictness fails at ({x},{y},{z})",
+                            agg.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iterated_conorm_not_strict() {
+        let a = max_agg();
+        assert!(!a.is_strict(2));
+        assert!(a.is_strict(1));
+        // Witness: max(1, 0) = 1 without all arguments being 1.
+        assert_eq!(a.combine(&[Grade::ONE, Grade::ZERO]), Grade::ONE);
+    }
+
+    #[test]
+    fn iterated_monotone_on_grid() {
+        // Raising any single argument never lowers the output.
+        let grid = grade_grid(5);
+        for agg in all_iterated_tnorms() {
+            for &x in &grid {
+                for &y in &grid {
+                    for &x2 in &grid {
+                        if x2 >= x {
+                            assert!(
+                                agg.combine(&[x2, y]) >= agg.combine(&[x, y]),
+                                "{} monotonicity fails",
+                                agg.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The triangular co-norms catalogued in Section 3 of the paper, each the
+//! De Morgan dual (under the standard negation) of the t-norm of the same
+//! family name: `s(x, y) = 1 - t(1-x, 1-y)` \[Al85\].
+
+use crate::grade::Grade;
+use crate::traits::TCoNorm;
+
+/// `max(x, y)` — the standard fuzzy disjunction \[Za65\]; dual of min.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Maximum;
+
+impl TCoNorm for Maximum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        x.max(y)
+    }
+    fn name(&self) -> String {
+        "max".to_owned()
+    }
+}
+
+/// Drastic sum: `max(x,y)` if `min(x,y) = 0`, else `1`. Dual of the drastic
+/// product; the pointwise *largest* co-norm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrasticSum;
+
+impl TCoNorm for DrasticSum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        if x == Grade::ZERO || y == Grade::ZERO {
+            x.max(y)
+        } else {
+            Grade::ONE
+        }
+    }
+    fn name(&self) -> String {
+        "drastic-sum".to_owned()
+    }
+}
+
+/// Bounded sum: `min(1, x + y)`. Dual of bounded difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundedSum;
+
+impl TCoNorm for BoundedSum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        Grade::clamped(x.value() + y.value())
+    }
+    fn name(&self) -> String {
+        "bounded-sum".to_owned()
+    }
+}
+
+/// Einstein sum: `(x + y) / (1 + xy)`. Dual of the Einstein product.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EinsteinSum;
+
+impl TCoNorm for EinsteinSum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        Grade::clamped((x + y) / (1.0 + x * y))
+    }
+    fn name(&self) -> String {
+        "einstein-sum".to_owned()
+    }
+}
+
+/// Algebraic sum: `x + y - xy` (probabilistic disjunction). Dual of the
+/// algebraic product.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgebraicSum;
+
+impl TCoNorm for AlgebraicSum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        Grade::clamped(x + y - x * y)
+    }
+    fn name(&self) -> String {
+        "algebraic-sum".to_owned()
+    }
+}
+
+/// Hamacher sum: `(x + y - 2xy) / (1 - xy)`, with `s(1,1) = 1` by continuity
+/// convention (the formula is 0/0 there). Dual of the Hamacher product.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HamacherSum;
+
+impl TCoNorm for HamacherSum {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        let denom = 1.0 - x * y;
+        if denom == 0.0 {
+            Grade::ONE
+        } else {
+            Grade::clamped((x + y - 2.0 * x * y) / denom)
+        }
+    }
+    fn name(&self) -> String {
+        "hamacher-sum".to_owned()
+    }
+}
+
+/// All co-norms from the paper's Section 3 list, boxed for table-driven tests.
+pub fn all_tconorms() -> Vec<Box<dyn TCoNorm>> {
+    vec![
+        Box::new(Maximum),
+        Box::new(DrasticSum),
+        Box::new(BoundedSum),
+        Box::new(EinsteinSum),
+        Box::new(AlgebraicSum),
+        Box::new(HamacherSum),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::grade_grid;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    #[test]
+    fn max_basic() {
+        assert_eq!(Maximum.s(g(0.3), g(0.8)), g(0.8));
+    }
+
+    #[test]
+    fn drastic_sum_is_one_off_boundary() {
+        assert_eq!(DrasticSum.s(g(0.1), g(0.1)), Grade::ONE);
+        assert_eq!(DrasticSum.s(Grade::ZERO, g(0.1)), g(0.1));
+    }
+
+    #[test]
+    fn bounded_sum_saturates() {
+        assert_eq!(BoundedSum.s(g(0.7), g(0.7)), Grade::ONE);
+        assert!(BoundedSum.s(g(0.2), g(0.3)).approx_eq(g(0.5), 1e-12));
+    }
+
+    #[test]
+    fn einstein_sum_midpoint() {
+        // 1.0 / 1.25 = 0.8
+        assert!(EinsteinSum.s(Grade::HALF, Grade::HALF).approx_eq(g(0.8), 1e-12));
+    }
+
+    #[test]
+    fn algebraic_sum_midpoint() {
+        assert!(AlgebraicSum
+            .s(Grade::HALF, Grade::HALF)
+            .approx_eq(g(0.75), 1e-12));
+    }
+
+    #[test]
+    fn hamacher_sum_corner_case() {
+        assert_eq!(HamacherSum.s(Grade::ONE, Grade::ONE), Grade::ONE);
+        // (1 - 0.5) / (1 - 0.25) = 2/3
+        assert!(HamacherSum
+            .s(Grade::HALF, Grade::HALF)
+            .approx_eq(g(2.0 / 3.0), 1e-12));
+    }
+
+    #[test]
+    fn conservation_on_all() {
+        for sn in all_tconorms() {
+            assert_eq!(sn.s(Grade::ONE, Grade::ONE), Grade::ONE, "{}", sn.name());
+            for v in grade_grid(10) {
+                assert!(
+                    sn.s(v, Grade::ZERO).approx_eq(v, 1e-12),
+                    "{} fails s(x,0)=x",
+                    sn.name()
+                );
+                assert!(
+                    sn.s(Grade::ZERO, v).approx_eq(v, 1e-12),
+                    "{} fails s(0,x)=x",
+                    sn.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_are_sandwiched_between_max_and_drastic() {
+        let grid = grade_grid(10);
+        for sn in all_tconorms() {
+            for &x in &grid {
+                for &y in &grid {
+                    // Tolerance for floating-point rounding in the rational
+                    // co-norms (Einstein, Hamacher, algebraic).
+                    let v = sn.s(x, y).value();
+                    assert!(
+                        Maximum.s(x, y).value() - 1e-9 <= v
+                            && v <= DrasticSum.s(x, y).value() + 1e-9,
+                        "{} violates max <= s <= drastic at ({x}, {y})",
+                        sn.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The triangular norms catalogued in Section 3 of the paper.
+//!
+//! Every type here satisfies the four t-norm axioms (∧-conservation,
+//! monotonicity, commutativity, associativity) and is therefore sandwiched
+//! between [`DrasticProduct`] and [`Minimum`] (\[DP80\]); iterating any of them
+//! yields a *monotone and strict* m-ary aggregation, which is exactly the
+//! class covered by both the upper bound (Theorem 5.3) and the lower bound
+//! (Theorem 6.4).
+
+use crate::grade::Grade;
+use crate::traits::TNorm;
+
+/// `min(x, y)` — the standard fuzzy conjunction \[Za65\]; the unique t-norm
+/// that preserves logical equivalence of ∧/∨ queries (Theorem 3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Minimum;
+
+impl TNorm for Minimum {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        x.min(y)
+    }
+    fn name(&self) -> String {
+        "min".to_owned()
+    }
+}
+
+/// The drastic product: `min(x,y)` if `max(x,y) = 1`, else `0`.
+/// The pointwise *smallest* t-norm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrasticProduct;
+
+impl TNorm for DrasticProduct {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        if x == Grade::ONE || y == Grade::ONE {
+            x.min(y)
+        } else {
+            Grade::ZERO
+        }
+    }
+    fn name(&self) -> String {
+        "drastic-product".to_owned()
+    }
+}
+
+/// Bounded difference (Łukasiewicz t-norm): `max(0, x + y - 1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundedDifference;
+
+impl TNorm for BoundedDifference {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        Grade::clamped(x.value() + y.value() - 1.0)
+    }
+    fn name(&self) -> String {
+        "bounded-difference".to_owned()
+    }
+}
+
+/// Einstein product: `xy / (2 - (x + y - xy))`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EinsteinProduct;
+
+impl TNorm for EinsteinProduct {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        Grade::clamped(x * y / (2.0 - (x + y - x * y)))
+    }
+    fn name(&self) -> String {
+        "einstein-product".to_owned()
+    }
+}
+
+/// Algebraic product: `x * y` (probabilistic conjunction of independent
+/// events; found empirically competitive by Thole–Zimmermann–Zysno \[TZZ79\]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgebraicProduct;
+
+impl TNorm for AlgebraicProduct {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        Grade::clamped(x.value() * y.value())
+    }
+    fn name(&self) -> String {
+        "algebraic-product".to_owned()
+    }
+}
+
+/// Hamacher product: `xy / (x + y - xy)`, with `t(0,0) = 0` by continuity
+/// convention (the formula is 0/0 there).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HamacherProduct;
+
+impl TNorm for HamacherProduct {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        let (x, y) = (x.value(), y.value());
+        let denom = x + y - x * y;
+        if denom == 0.0 {
+            Grade::ZERO
+        } else {
+            Grade::clamped(x * y / denom)
+        }
+    }
+    fn name(&self) -> String {
+        "hamacher-product".to_owned()
+    }
+}
+
+/// All t-norms from the paper's Section 3 list, boxed for table-driven tests
+/// and experiment sweeps.
+pub fn all_tnorms() -> Vec<Box<dyn TNorm>> {
+    vec![
+        Box::new(Minimum),
+        Box::new(DrasticProduct),
+        Box::new(BoundedDifference),
+        Box::new(EinsteinProduct),
+        Box::new(AlgebraicProduct),
+        Box::new(HamacherProduct),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::grade_grid;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    #[test]
+    fn min_basic_values() {
+        assert_eq!(Minimum.t(g(0.3), g(0.8)), g(0.3));
+        assert_eq!(Minimum.t(Grade::ONE, g(0.8)), g(0.8));
+    }
+
+    #[test]
+    fn drastic_is_zero_off_boundary() {
+        assert_eq!(DrasticProduct.t(g(0.9), g(0.9)), Grade::ZERO);
+        assert_eq!(DrasticProduct.t(Grade::ONE, g(0.9)), g(0.9));
+        assert_eq!(DrasticProduct.t(g(0.9), Grade::ONE), g(0.9));
+    }
+
+    #[test]
+    fn bounded_difference_values() {
+        assert_eq!(BoundedDifference.t(g(0.7), g(0.7)), g(0.7 + 0.7 - 1.0));
+        assert_eq!(BoundedDifference.t(g(0.3), g(0.3)), Grade::ZERO);
+    }
+
+    #[test]
+    fn einstein_product_midpoint() {
+        // 0.25 / (2 - 0.75) = 0.2
+        assert!(EinsteinProduct
+            .t(Grade::HALF, Grade::HALF)
+            .approx_eq(g(0.2), 1e-12));
+    }
+
+    #[test]
+    fn algebraic_product_values() {
+        assert!(AlgebraicProduct
+            .t(Grade::HALF, Grade::HALF)
+            .approx_eq(g(0.25), 1e-12));
+    }
+
+    #[test]
+    fn hamacher_product_values() {
+        // 0.25 / 0.75 = 1/3
+        assert!(HamacherProduct
+            .t(Grade::HALF, Grade::HALF)
+            .approx_eq(g(1.0 / 3.0), 1e-12));
+        assert_eq!(HamacherProduct.t(Grade::ZERO, Grade::ZERO), Grade::ZERO);
+    }
+
+    #[test]
+    fn all_are_sandwiched_between_drastic_and_min() {
+        // Strictness follows from this sandwich (Section 3, \[DP80\]).
+        let grid = grade_grid(10);
+        for tn in all_tnorms() {
+            for &x in &grid {
+                for &y in &grid {
+                    // Tolerance for floating-point rounding in the rational
+                    // norms (Einstein, Hamacher, algebraic).
+                    let v = tn.t(x, y).value();
+                    assert!(
+                        DrasticProduct.t(x, y).value() - 1e-9 <= v
+                            && v <= Minimum.t(x, y).value() + 1e-9,
+                        "{} violates drastic <= t <= min at ({x}, {y})",
+                        tn.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conservation_on_all() {
+        for tn in all_tnorms() {
+            assert_eq!(tn.t(Grade::ZERO, Grade::ZERO), Grade::ZERO, "{}", tn.name());
+            for v in grade_grid(10) {
+                assert!(
+                    tn.t(v, Grade::ONE).approx_eq(v, 1e-12),
+                    "{} fails t(x,1)=x",
+                    tn.name()
+                );
+                assert!(
+                    tn.t(Grade::ONE, v).approx_eq(v, 1e-12),
+                    "{} fails t(1,x)=x",
+                    tn.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Core aggregation traits.
+//!
+//! Section 3 of the paper defines an *m-ary aggregation function* as a map
+//! `[0,1]^m -> [0,1]` and singles out two properties that drive all of the
+//! paper's theorems:
+//!
+//! * **Monotonicity** — needed for the *upper* bound (Theorem 5.3): algorithm
+//!   A0 is correct exactly for monotone queries (Theorem 4.2).
+//! * **Strictness** (`t(x_1..x_m) = 1` iff every `x_i = 1`) — needed for the
+//!   *lower* bound (Theorem 6.4).
+//!
+//! [`Aggregation`] is the m-ary interface consumed by the algorithms in
+//! `garlic-core`; [`TNorm`]/[`TCoNorm`] are the classical 2-ary families from
+//! which m-ary aggregations are usually built by iteration (see
+//! [`crate::iterated`]).
+
+use crate::grade::Grade;
+
+/// An m-ary aggregation function `t : [0,1]^m -> [0,1]` (Section 3).
+///
+/// Implementations must be deterministic and, unless documented otherwise,
+/// monotone in every argument. The two property methods report *declared*
+/// properties; [`crate::axioms`] provides empirical grid checkers used by the
+/// test-suite to validate the declarations.
+pub trait Aggregation {
+    /// Human-readable name used in plans, tables, and benches.
+    fn name(&self) -> String;
+
+    /// Combines the argument grades into a single grade.
+    ///
+    /// # Panics
+    /// Implementations may panic if `grades.len()` is incompatible with the
+    /// function (e.g. a weighted aggregation with a fixed number of weights).
+    fn combine(&self, grades: &[Grade]) -> Grade;
+
+    /// Whether the function is monotone: `x_i <= x'_i` for all `i` implies
+    /// `t(x) <= t(x')`. All aggregations intended for conjunctions are.
+    fn is_monotone(&self) -> bool {
+        true
+    }
+
+    /// Whether the function is strict at the given arity:
+    /// `t(x_1..x_m) = 1` iff `x_i = 1` for every `i`.
+    ///
+    /// Strictness can depend on arity (the j-th-largest order statistic is
+    /// strict only when `j = m`), hence the parameter.
+    fn is_strict(&self, arity: usize) -> bool;
+
+    /// Whether a single zero argument forces the output to zero:
+    /// `t(..., 0, ...) = 0`. True for every t-norm (it follows from
+    /// ∧-conservation plus monotonicity); false for means. This is the
+    /// property the Section 4 filtered ("Beatles") strategy relies on:
+    /// objects failing the crisp conjunct need never be retrieved because
+    /// their overall grade is already known to be zero.
+    fn zero_annihilates(&self, arity: usize) -> bool {
+        let _ = arity;
+        false
+    }
+}
+
+/// Blanket impl so boxed (including trait-object) aggregations compose.
+impl<A: Aggregation + ?Sized> Aggregation for Box<A> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn combine(&self, grades: &[Grade]) -> Grade {
+        (**self).combine(grades)
+    }
+    fn is_monotone(&self) -> bool {
+        (**self).is_monotone()
+    }
+    fn is_strict(&self, arity: usize) -> bool {
+        (**self).is_strict(arity)
+    }
+    fn zero_annihilates(&self, arity: usize) -> bool {
+        (**self).zero_annihilates(arity)
+    }
+}
+
+/// Blanket impl so `&A` can be passed where an `Aggregation` is expected.
+impl<A: Aggregation + ?Sized> Aggregation for &A {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn combine(&self, grades: &[Grade]) -> Grade {
+        (**self).combine(grades)
+    }
+    fn is_monotone(&self) -> bool {
+        (**self).is_monotone()
+    }
+    fn is_strict(&self, arity: usize) -> bool {
+        (**self).is_strict(arity)
+    }
+    fn zero_annihilates(&self, arity: usize) -> bool {
+        (**self).zero_annihilates(arity)
+    }
+}
+
+/// A triangular norm [SS63, DP80]: a 2-ary aggregation function satisfying
+/// ∧-conservation (`t(0,0)=0`, `t(x,1)=t(1,x)=x`), monotonicity,
+/// commutativity, and associativity. The natural semantics for fuzzy
+/// conjunction; every t-norm is bounded between the drastic product and min.
+pub trait TNorm {
+    /// Applies the norm.
+    fn t(&self, x: Grade, y: Grade) -> Grade;
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+}
+
+/// A triangular co-norm \[DP85\]: the dual notion for disjunction, satisfying
+/// ∨-conservation (`s(1,1)=1`, `s(x,0)=s(0,x)=x`), monotonicity,
+/// commutativity, and associativity.
+pub trait TCoNorm {
+    /// Applies the co-norm.
+    fn s(&self, x: Grade, y: Grade) -> Grade;
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+}
+
+/// A fuzzy negation: antitone with `n(0)=1`, `n(1)=0`.
+pub trait Negation {
+    /// Applies the negation.
+    fn negate(&self, x: Grade) -> Grade;
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+}
+
+impl<T: TNorm + ?Sized> TNorm for &T {
+    fn t(&self, x: Grade, y: Grade) -> Grade {
+        (**self).t(x, y)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<S: TCoNorm + ?Sized> TCoNorm for &S {
+    fn s(&self, x: Grade, y: Grade) -> Grade {
+        (**self).s(x, y)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<N: Negation + ?Sized> Negation for &N {
+    fn negate(&self, x: Grade) -> Grade {
+        (**self).negate(x)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}

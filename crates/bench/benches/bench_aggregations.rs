@@ -1,0 +1,49 @@
+//! Micro-costs of the Section 3 aggregation zoo: combining a 4-grade vector
+//! through each t-norm, mean, order statistic, and the Fagin–Wimmers
+//! weighted rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use garlic_agg::iterated::{all_iterated_tnorms, min_agg};
+use garlic_agg::means::{ArithmeticMean, GeometricMean, MedianAgg};
+use garlic_agg::order_stat::KthLargest;
+use garlic_agg::weighted::FaginWimmers;
+use garlic_agg::{Aggregation, Grade};
+use std::hint::black_box;
+
+fn bench_combine(c: &mut Criterion) {
+    let grades: Vec<Grade> = (0..4)
+        .map(|i| Grade::clamped(0.15 + 0.2 * i as f64))
+        .collect();
+
+    let mut group = c.benchmark_group("aggregation_combine_m4");
+    for agg in all_iterated_tnorms() {
+        group.bench_function(agg.name(), |b| {
+            b.iter(|| black_box(agg.combine(black_box(&grades))))
+        });
+    }
+    group.bench_function("arithmetic-mean", |b| {
+        b.iter(|| black_box(ArithmeticMean.combine(black_box(&grades))))
+    });
+    group.bench_function("geometric-mean", |b| {
+        b.iter(|| black_box(GeometricMean.combine(black_box(&grades))))
+    });
+    group.bench_function("median", |b| {
+        b.iter(|| black_box(MedianAgg.combine(black_box(&grades))))
+    });
+    group.bench_function("2nd-largest", |b| {
+        let agg = KthLargest::new(2);
+        b.iter(|| black_box(agg.combine(black_box(&grades))))
+    });
+    group.bench_function("fagin-wimmers(min)", |b| {
+        let agg = FaginWimmers::new(min_agg(), &[4.0, 3.0, 2.0, 1.0]);
+        b.iter(|| black_box(agg.combine(black_box(&grades))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_combine
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B₀ vs the naive scan for disjunctions: B₀'s wall time should be flat in
+//! N (it touches mk entries), the naive scan linear (Theorem 4.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garlic_agg::iterated::max_agg;
+use garlic_core::access::MemorySource;
+use garlic_core::algorithms::b0_max::b0_max_topk;
+use garlic_core::algorithms::naive::naive_topk;
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+use std::hint::black_box;
+
+fn workload(m: usize, n: usize, seed: u64) -> Vec<MemorySource> {
+    let mut rng = garlic_workload::seeded_rng(seed);
+    let skeleton = Skeleton::random(m, n, &mut rng);
+    ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng).to_sources()
+}
+
+fn bench_disjunction(c: &mut Criterion) {
+    let k = 10;
+    let mut group = c.benchmark_group("disjunction_topk");
+    for n in [1_000usize, 8_000, 64_000] {
+        let sources = workload(3, n, 3);
+        group.bench_with_input(BenchmarkId::new("b0", n), &n, |b, _| {
+            b.iter(|| black_box(b0_max_topk(&sources, k).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive_topk(&sources, &max_agg(), k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_disjunction
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Wall-clock microbenchmarks for the conjunction evaluators: A₀, the
+//! shrink refinement, A₀′, Ullman's algorithm, and the naive baseline, over
+//! growing database sizes (complements experiment E01, which measures
+//! *access counts* — here we confirm the wall-clock shape matches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use garlic_agg::iterated::min_agg;
+use garlic_core::access::MemorySource;
+use garlic_core::algorithms::fa::{fagin_run, fagin_topk, FaOptions};
+use garlic_core::algorithms::fa_min::fagin_min_topk;
+use garlic_core::algorithms::naive::naive_topk;
+use garlic_core::algorithms::ullman::ullman_topk;
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+use std::hint::black_box;
+
+fn workload(m: usize, n: usize, seed: u64) -> Vec<MemorySource> {
+    let mut rng = garlic_workload::seeded_rng(seed);
+    let skeleton = Skeleton::random(m, n, &mut rng);
+    ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng).to_sources()
+}
+
+fn bench_conjunction(c: &mut Criterion) {
+    let k = 10;
+    let mut group = c.benchmark_group("conjunction_topk_m2");
+    for n in [1_000usize, 4_000, 16_000] {
+        let sources = workload(2, n, 1);
+        group.bench_with_input(BenchmarkId::new("fa_a0", n), &n, |b, _| {
+            b.iter(|| black_box(fagin_topk(&sources, &min_agg(), k).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("fa_a0_shrink", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fagin_run(
+                        &sources,
+                        &min_agg(),
+                        k,
+                        FaOptions {
+                            shrink_depths: true,
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fa_min_a0p", n), &n, |b, _| {
+            b.iter(|| black_box(fagin_min_topk(&sources, k).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("ullman", n), &n, |b, _| {
+            b.iter(|| black_box(ullman_topk(&sources, k).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(naive_topk(&sources, &min_agg(), k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_three_lists(c: &mut Criterion) {
+    let k = 10;
+    let n = 8_000;
+    let sources = workload(3, n, 2);
+    let mut group = c.benchmark_group("conjunction_topk_m3");
+    group.bench_function("fa_a0", |b| {
+        b.iter(|| black_box(fagin_topk(&sources, &min_agg(), k).unwrap()))
+    });
+    group.bench_function("fa_min_a0p", |b| {
+        b.iter(|| black_box(fagin_min_topk(&sources, k).unwrap()))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(naive_topk(&sources, &min_agg(), k).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conjunction, bench_three_lists
+}
+criterion_main!(benches);

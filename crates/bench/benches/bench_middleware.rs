@@ -1,0 +1,74 @@
+//! End-to-end middleware benchmarks: plan + execute through the full Garlic
+//! stack, per planner strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use garlic_middleware::{Catalog, Garlic, GarlicQuery};
+use garlic_subsys::{QbicStore, RelationalStore, Target, Value};
+use std::hint::black_box;
+
+fn stores(n: usize) -> (RelationalStore, QbicStore) {
+    let mut rng = garlic_workload::seeded_rng(21);
+    let qbic = QbicStore::synthetic("qbic", n, &mut rng);
+    let mut rel = RelationalStore::new("rel", &["Artist"]);
+    let artists = ["Beatles", "Kinks", "Who", "Zombies", "Byrds"];
+    for i in 0..n as u64 {
+        // 1-in-50 rows are Beatles: a selective crisp predicate.
+        let artist = if i % 50 == 0 { "Beatles" } else { artists[1 + (i % 4) as usize] };
+        rel.insert(vec![Value::text(artist)]);
+    }
+    (rel, qbic)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let n = 5_000;
+    let (rel, qbic) = stores(n);
+    let mut catalog = Catalog::new();
+    catalog.register(&rel).unwrap();
+    catalog.register(&qbic).unwrap();
+    let garlic = Garlic::new(catalog);
+
+    let filtered = GarlicQuery::and(
+        GarlicQuery::atom("Artist", Target::text("Beatles")),
+        GarlicQuery::atom("Color", Target::text("red")),
+    );
+    let conjunction = GarlicQuery::and(
+        GarlicQuery::atom("Color", Target::text("red")),
+        GarlicQuery::atom("Shape", Target::text("round")),
+    );
+    let disjunction = GarlicQuery::or(
+        GarlicQuery::atom("Color", Target::text("red")),
+        GarlicQuery::atom("Color", Target::text("blue")),
+    );
+    let nested = GarlicQuery::and(
+        GarlicQuery::atom("Color", Target::text("red")),
+        GarlicQuery::or(
+            GarlicQuery::atom("Shape", Target::text("round")),
+            GarlicQuery::atom("Color", Target::text("pink")),
+        ),
+    );
+
+    let mut group = c.benchmark_group("middleware_topk_5k");
+    group.bench_function("filtered_beatles", |b| {
+        b.iter(|| black_box(garlic.top_k(black_box(&filtered), 10).unwrap()))
+    });
+    group.bench_function("fa_min_conjunction", |b| {
+        b.iter(|| black_box(garlic.top_k(black_box(&conjunction), 10).unwrap()))
+    });
+    group.bench_function("b0_disjunction", |b| {
+        b.iter(|| black_box(garlic.top_k(black_box(&disjunction), 10).unwrap()))
+    });
+    group.bench_function("fa_generic_nested", |b| {
+        b.iter(|| black_box(garlic.top_k(black_box(&nested), 10).unwrap()))
+    });
+    group.bench_function("explain_only", |b| {
+        b.iter(|| black_box(garlic.explain(black_box(&conjunction), 10).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies
+}
+criterion_main!(benches);

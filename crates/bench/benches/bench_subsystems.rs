@@ -1,0 +1,56 @@
+//! Subsystem-side costs: how long the simulated QBIC / text / relational
+//! servers take to answer an atomic query (the "inside the black box" cost
+//! Section 5's middleware measure deliberately excludes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use garlic_subsys::{AtomicQuery, QbicStore, RelationalStore, Subsystem, Target, TextStore, Value};
+use std::hint::black_box;
+
+fn bench_qbic(c: &mut Criterion) {
+    let mut rng = garlic_workload::seeded_rng(11);
+    let store = QbicStore::synthetic("qbic", 5_000, &mut rng);
+    let color = AtomicQuery::new("Color", Target::text("red"));
+    let shape = AtomicQuery::new("Shape", Target::text("round"));
+
+    let mut group = c.benchmark_group("subsystem_evaluate");
+    group.bench_function("qbic_color_5k", |b| {
+        b.iter(|| black_box(store.evaluate(black_box(&color)).unwrap()))
+    });
+    group.bench_function("qbic_shape_5k", |b| {
+        b.iter(|| black_box(store.evaluate(black_box(&shape)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_text(c: &mut Criterion) {
+    let mut rng = garlic_workload::seeded_rng(12);
+    let store = TextStore::synthetic("text", "Body", 2_000, 500, 60, &mut rng);
+    let query = AtomicQuery::new("Body", Target::terms(&["w3", "w17", "w211"]));
+
+    c.bench_function("subsystem_evaluate/text_tfidf_2k", |b| {
+        b.iter(|| black_box(store.evaluate(black_box(&query)).unwrap()))
+    });
+}
+
+fn bench_relational(c: &mut Criterion) {
+    let mut store = RelationalStore::new("rel", &["Artist", "Year"]);
+    let artists = ["Beatles", "Kinks", "Who", "Zombies", "Byrds"];
+    for i in 0..10_000u64 {
+        store.insert(vec![
+            Value::text(artists[(i % 5) as usize]),
+            Value::Number(1960.0 + (i % 10) as f64),
+        ]);
+    }
+    let query = AtomicQuery::new("Artist", Target::text("Beatles"));
+
+    c.bench_function("subsystem_evaluate/relational_eq_10k", |b| {
+        b.iter(|| black_box(store.evaluate(black_box(&query)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qbic, bench_text, bench_relational
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E01 — Theorem 5.3 / 5.4: with m = 2 independent lists, algorithm A₀'s
+//! middleware cost grows as Θ(√(N·k)); in particular Θ(√N) for constant k.
+//!
+//! Measures mean unweighted cost over an N sweep for several k, prints the
+//! ratio to √(Nk) (should be roughly constant down the column), and fits
+//! the log-log exponent (should approach 0.5).
+
+use garlic_agg::iterated::min_agg;
+use garlic_bench::{emit, fa_mean_cost, ExpArgs};
+use garlic_stats::table::fmt_f64;
+use garlic_stats::{log_log_fit, Table};
+
+fn main() {
+    let args = ExpArgs::parse(20);
+    let ns: Vec<usize> = (0..8).map(|i| 1000 << i).collect(); // 1k .. 128k
+    let ks = [1usize, 10, 100];
+    let m = 2;
+
+    let mut table = Table::new(&["k", "N", "mean cost", "cost/sqrt(Nk)"]);
+    let mut fits = Vec::new();
+    for &k in &ks {
+        let mut costs = Vec::new();
+        for &n in &ns {
+            let mean = fa_mean_cost(m, n, k, &min_agg(), args.trials, 1996);
+            costs.push(mean);
+            let scale = ((n * k) as f64).sqrt();
+            table.add_row(vec![
+                k.to_string(),
+                n.to_string(),
+                fmt_f64(mean, 1),
+                fmt_f64(mean / scale, 3),
+            ]);
+        }
+        let fit = log_log_fit(
+            &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+            &costs,
+        );
+        fits.push(format!(
+            "k = {k}: measured exponent {} (paper predicts (m-1)/m = 0.5), R^2 = {}",
+            fmt_f64(fit.slope, 3),
+            fmt_f64(fit.r_squared, 4)
+        ));
+    }
+
+    let notes: Vec<&str> = fits.iter().map(String::as_str).collect();
+    emit(
+        "E01: A0 cost vs N (m = 2)",
+        "Theorem 5.3: middleware cost O(N^((m-1)/m) k^(1/m)) whp; m = 2 gives Θ(√(Nk))",
+        &args,
+        &table,
+        &notes,
+    );
+}

@@ -1,0 +1,45 @@
+//! E02 — Theorem 5.3's exponent in the number of lists: the cost grows as
+//! `N^((m−1)/m)`, so the measured log-log slope should track
+//! 1/2, 2/3, 3/4, 4/5 for m = 2, 3, 4, 5.
+
+use garlic_agg::iterated::min_agg;
+use garlic_bench::{emit, fa_mean_cost, ExpArgs};
+use garlic_stats::table::fmt_f64;
+use garlic_stats::{log_log_fit, Table};
+
+fn main() {
+    let args = ExpArgs::parse(15);
+    let ns: Vec<usize> = (0..5).map(|i| 4000 << i).collect(); // 4k .. 64k
+    let k = 10;
+
+    let mut table = Table::new(&["m", "N", "mean cost"]);
+    let mut notes_owned = Vec::new();
+    for m in 2..=5 {
+        let mut costs = Vec::new();
+        for &n in &ns {
+            let mean = fa_mean_cost(m, n, k, &min_agg(), args.trials, 2024);
+            costs.push(mean);
+            table.add_row(vec![m.to_string(), n.to_string(), fmt_f64(mean, 1)]);
+        }
+        let fit = log_log_fit(
+            &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+            &costs,
+        );
+        let predicted = (m as f64 - 1.0) / m as f64;
+        notes_owned.push(format!(
+            "m = {m}: measured exponent {} vs predicted (m-1)/m = {} (R^2 = {})",
+            fmt_f64(fit.slope, 3),
+            fmt_f64(predicted, 3),
+            fmt_f64(fit.r_squared, 4)
+        ));
+    }
+
+    let notes: Vec<&str> = notes_owned.iter().map(String::as_str).collect();
+    emit(
+        "E02: A0 cost exponent vs m",
+        "Theorem 5.3: cost Θ(N^((m-1)/m) k^(1/m)) whp for m independent lists",
+        &args,
+        &table,
+        &notes,
+    );
+}

@@ -1,0 +1,49 @@
+//! E03 — Theorem 5.3's dependence on the answer count: at fixed N the cost
+//! grows as `k^(1/m)` — square root of k for two lists, cube root for three.
+
+use garlic_agg::iterated::min_agg;
+use garlic_bench::{emit, fa_mean_cost, ExpArgs};
+use garlic_stats::table::fmt_f64;
+use garlic_stats::{log_log_fit, Table};
+
+fn main() {
+    let args = ExpArgs::parse(15);
+    let n = 65_536;
+    let ks: Vec<usize> = (0..7).map(|i| 1 << (2 * i)).collect(); // 1,4,...,4096
+
+    let mut table = Table::new(&["m", "k", "mean cost", "cost/(N^((m-1)/m) k^(1/m))"]);
+    let mut notes_owned = Vec::new();
+    for m in [2usize, 3] {
+        let mut costs = Vec::new();
+        for &k in &ks {
+            let mean = fa_mean_cost(m, n, k, &min_agg(), args.trials, 777);
+            costs.push(mean);
+            let scale = garlic_stats::bounds::cost_scale(n as f64, m, k as f64);
+            table.add_row(vec![
+                m.to_string(),
+                k.to_string(),
+                fmt_f64(mean, 1),
+                fmt_f64(mean / scale, 3),
+            ]);
+        }
+        let fit = log_log_fit(
+            &ks.iter().map(|&k| k as f64).collect::<Vec<_>>(),
+            &costs,
+        );
+        notes_owned.push(format!(
+            "m = {m}: measured k-exponent {} vs predicted 1/m = {} (R^2 = {})",
+            fmt_f64(fit.slope, 3),
+            fmt_f64(1.0 / m as f64, 3),
+            fmt_f64(fit.r_squared, 4)
+        ));
+    }
+
+    let notes: Vec<&str> = notes_owned.iter().map(String::as_str).collect();
+    emit(
+        "E03: A0 cost vs k (N = 65536)",
+        "Theorem 5.3: the k-dependence of the cost is k^(1/m)",
+        &args,
+        &table,
+        &notes,
+    );
+}

@@ -1,0 +1,100 @@
+//! E09 — Ullman's algorithm under the two Section 9 grade regimes:
+//!
+//! * list 1 bounded by 0.9, list 2 uniform: "the expected time to stop is
+//!   after at most 10 objects have been seen, independent of the number N"
+//!   → constant cost;
+//! * both lists uniform: Ariel Landau's analysis gives Θ(√N) — "no better
+//!   than our algorithm A₀".
+
+use garlic_agg::iterated::min_agg;
+use garlic_bench::{emit, ExpArgs};
+use garlic_core::access::{counted, total_stats};
+use garlic_core::algorithms::{fa::fagin_topk, ullman::ullman_run};
+use garlic_stats::table::fmt_f64;
+use garlic_stats::{log_log_fit, Table};
+use garlic_workload::distributions::{BoundedGrades, GradeDistribution, UniformGrades};
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+fn mean_probes(
+    n: usize,
+    dists: [&dyn GradeDistribution; 2],
+    trials: usize,
+    seed0: u64,
+) -> (f64, f64) {
+    let mut probes = 0usize;
+    let mut cost = 0u64;
+    for t in 0..trials {
+        let mut rng = garlic_workload::seeded_rng(seed0 + t as u64);
+        let skeleton = Skeleton::random(2, n, &mut rng);
+        let db = ScoringDatabase::from_skeleton_per_list(&skeleton, &dists, &mut rng);
+        let sources = counted(db.to_sources());
+        let run = ullman_run(&sources, 1).unwrap();
+        probes += run.probes;
+        cost += total_stats(&sources).unweighted();
+    }
+    (
+        probes as f64 / trials as f64,
+        cost as f64 / trials as f64,
+    )
+}
+
+fn main() {
+    let args = ExpArgs::parse(50);
+    let ns: Vec<usize> = (0..6).map(|i| 1000 << i).collect(); // 1k .. 32k
+    let bounded = BoundedGrades::new(0.9);
+    let uniform = UniformGrades;
+
+    let mut table = Table::new(&[
+        "N",
+        "bounded: probes",
+        "uniform: probes",
+        "uniform probes/sqrt(N)",
+        "A0 cost (uniform)",
+    ]);
+    let mut uniform_probes = Vec::new();
+    for &n in &ns {
+        let (pb, _) = mean_probes(n, [&bounded, &uniform], args.trials, 90_000);
+        let (pu, _) = mean_probes(n, [&uniform, &uniform], args.trials, 91_000);
+        uniform_probes.push(pu);
+
+        // A0 baseline on the same uniform workload.
+        let mut a0 = 0u64;
+        for t in 0..args.trials {
+            let mut rng = garlic_workload::seeded_rng(91_000 + t as u64);
+            let skeleton = Skeleton::random(2, n, &mut rng);
+            let db = ScoringDatabase::from_skeleton_per_list(
+                &skeleton,
+                &[&uniform, &uniform],
+                &mut rng,
+            );
+            let sources = counted(db.to_sources());
+            fagin_topk(&sources, &min_agg(), 1).unwrap();
+            a0 += total_stats(&sources).unweighted();
+        }
+        table.add_row(vec![
+            n.to_string(),
+            fmt_f64(pb, 1),
+            fmt_f64(pu, 1),
+            fmt_f64(pu / (n as f64).sqrt(), 3),
+            fmt_f64(a0 as f64 / args.trials as f64, 0),
+        ]);
+    }
+
+    let fit = log_log_fit(
+        &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+        &uniform_probes,
+    );
+    let note1 = "bounded regime: probes should hover near 10 at every N (constant cost)";
+    let note2 = format!(
+        "uniform regime: probe exponent {} (Landau predicts 0.5 — no better than A0)",
+        fmt_f64(fit.slope, 3)
+    );
+    emit(
+        "E09: Ullman's algorithm, Section 9 regimes (k = 1)",
+        "bounded-by-0.9 list 1 + uniform list 2 => ~10 probes regardless of N; both uniform => Θ(sqrt(N))",
+        &args,
+        &table,
+        &[note1, &note2],
+    );
+}

@@ -1,0 +1,60 @@
+//! E16 — the proof machinery of Lemma 5.1, measured.
+//!
+//! The lemma's proof chains four coin-flipping processes:
+//! `Pr[|B| ≤ M/2] = Pr[P1 ≤ a] = Pr[P2 ≤ a] ≤ Pr[P3 ≤ a] ≤ Pr[P4 ≤ a]
+//! < e^{−M/10}` (statements A–E). We sample all four processes plus the
+//! direct intersection and print the whole chain — every column should be
+//! (weakly) larger than the one to its left, and the last strictly below
+//! the bound.
+
+use garlic_bench::{emit, ExpArgs};
+use garlic_stats::table::fmt_prob;
+use garlic_stats::Table;
+use garlic_workload::lemma51::{
+    process1_heads, process2_heads, process3_heads, process4_heads, sample_intersection,
+    tail_at_most, Lemma51Params,
+};
+
+fn main() {
+    let args = ExpArgs::parse(20_000);
+    // Configurations satisfying the lemma's l1 <= N/10 hypothesis, plus one
+    // deliberate violation to show where statement D needs it.
+    let configs = [
+        Lemma51Params::new(1000, 100, 100), // M = 10, boundary l1 = N/10
+        Lemma51Params::new(4000, 400, 200), // M = 20
+        Lemma51Params::new(4000, 200, 100), // M = 5
+        Lemma51Params::new(400, 80, 80),    // M = 16 — VIOLATES l1 <= N/10
+    ];
+
+    let mut table = Table::new(&[
+        "N", "l1", "l2", "M", "hyp ok", "direct", "P1", "P2", "P3", "P4", "e^(-M/10)",
+    ]);
+    for (i, &p) in configs.iter().enumerate() {
+        let seed = 160_000 + 10 * i as u64;
+        table.add_row(vec![
+            p.n.to_string(),
+            p.l1.to_string(),
+            p.l2.to_string(),
+            format!("{}", p.expected_intersection()),
+            p.satisfies_hypothesis().to_string(),
+            fmt_prob(tail_at_most(sample_intersection, p, args.trials, seed)),
+            fmt_prob(tail_at_most(process1_heads, p, args.trials, seed + 1)),
+            fmt_prob(tail_at_most(process2_heads, p, args.trials, seed + 2)),
+            fmt_prob(tail_at_most(process3_heads, p, args.trials, seed + 3)),
+            fmt_prob(tail_at_most(process4_heads, p, args.trials, seed + 4)),
+            fmt_prob(p.bound()),
+        ]);
+    }
+
+    emit(
+        "E16: Lemma 5.1's domination chain",
+        "Pr[|B| <= M/2] = P1 = P2 <= P3 <= P4 < e^(-M/10) (statements A-E of the proof)",
+        &args,
+        &table,
+        &[
+            "where the l1 <= N/10 hypothesis holds, each probability column weakly dominates the one to its left",
+            "the final bound column must strictly dominate everything in hypothesis-satisfying rows",
+            "the last row violates the hypothesis: statement D's P3 <= P4 ordering can flip there (the lemma needs its hypothesis!)",
+        ],
+    );
+}

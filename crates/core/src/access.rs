@@ -1,0 +1,306 @@
+//! The subsystem access model of Section 4.
+//!
+//! Garlic can interact with a subsystem in exactly two ways:
+//!
+//! * **Sorted access** — "the subsystem will output the graded set
+//!   consisting of all objects, one by one, along with their grades under
+//!   the subquery, in sorted order based on grade";
+//! * **Random access** — "Garlic could ask the subsystem the grade (with
+//!   respect to a query) of any given object".
+//!
+//! [`GradedSource`] captures that contract. [`CountingSource`] wraps any
+//! source and meters both access kinds, producing the [`AccessStats`] the
+//! Section 5 cost model is defined over. [`SetAccess`] is the extra
+//! capability crisp relational subsystems have — enumerating the exact-match
+//! set — which enables the "Beatles" filtered strategy of Section 4.
+
+use std::cell::Cell;
+
+use garlic_agg::Grade;
+
+use crate::cost::AccessStats;
+use crate::graded_set::{GradedEntry, GradedSet};
+use crate::object::ObjectId;
+
+/// A subsystem's view of one atomic query: a graded set reachable through
+/// sorted access and random access.
+///
+/// Sorted access is *positional* (`rank` is 0-based); this models "ask for
+/// the top 10, then the next 10" as well as one-by-one streaming, and makes
+/// instrumentation and resumption trivial. Every object in the database is
+/// graded (possibly with grade 0), so `len()` is the database size `N`.
+pub trait GradedSource {
+    /// The number of graded objects (the database size `N`).
+    fn len(&self) -> usize;
+
+    /// Whether the source grades no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted access: the `rank`-th entry (0-based) in descending-grade
+    /// order, or `None` past the end. Tie order is fixed by the source (the
+    /// paper's *skeleton*).
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry>;
+
+    /// Random access: the grade of `object`, or `None` for an unknown object.
+    fn random_access(&self, object: ObjectId) -> Option<Grade>;
+}
+
+/// Extra capability of crisp sources: enumerate every object whose grade is
+/// exactly 1 (the classical relation "result set"). Powers the filtered
+/// conjunction strategy of Section 4.
+pub trait SetAccess: GradedSource {
+    /// All objects with grade 1, in unspecified order.
+    fn matching_set(&self) -> Vec<ObjectId>;
+}
+
+/// An in-memory [`GradedSource`] over a [`GradedSet`], with a hash index for
+/// O(1) random access. The workhorse source for workloads and tests.
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    set: GradedSet,
+    index: std::collections::HashMap<ObjectId, Grade>,
+}
+
+impl MemorySource {
+    /// Builds the source (and its random-access index) from a graded set.
+    pub fn new(set: GradedSet) -> Self {
+        let index = set.to_map();
+        MemorySource { set, index }
+    }
+
+    /// Builds from `(object, grade)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ObjectId, Grade)>) -> Self {
+        MemorySource::new(GradedSet::from_pairs(pairs))
+    }
+
+    /// Builds from a dense grade vector (object `i` gets `grades[i]`).
+    pub fn from_grades(grades: &[Grade]) -> Self {
+        MemorySource::new(GradedSet::from_grades(grades))
+    }
+
+    /// The underlying graded set.
+    pub fn graded_set(&self) -> &GradedSet {
+        &self.set
+    }
+}
+
+impl GradedSource for MemorySource {
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        self.set.at_rank(rank)
+    }
+
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        self.index.get(&object).copied()
+    }
+}
+
+impl SetAccess for MemorySource {
+    fn matching_set(&self) -> Vec<ObjectId> {
+        self.set
+            .iter()
+            .take_while(|e| e.grade == Grade::ONE)
+            .map(|e| e.object)
+            .collect()
+    }
+}
+
+/// Wraps a source and counts accesses, implementing the Section 5 cost
+/// bookkeeping. Uses interior mutability so the counted source still
+/// implements [`GradedSource`] by shared reference.
+#[derive(Debug)]
+pub struct CountingSource<S> {
+    inner: S,
+    sorted: Cell<u64>,
+    random: Cell<u64>,
+}
+
+impl<S: GradedSource> CountingSource<S> {
+    /// Wraps a source with zeroed counters.
+    pub fn new(inner: S) -> Self {
+        CountingSource {
+            inner,
+            sorted: Cell::new(0),
+            random: Cell::new(0),
+        }
+    }
+
+    /// The access counts so far.
+    pub fn stats(&self) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted.get(),
+            random: self.random.get(),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.sorted.set(0);
+        self.random.set(0);
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the counters.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: GradedSource> GradedSource for CountingSource<S> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        let entry = self.inner.sorted_access(rank);
+        if entry.is_some() {
+            // Only successful retrievals count as "objects obtained".
+            self.sorted.set(self.sorted.get() + 1);
+        }
+        entry
+    }
+
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        let grade = self.inner.random_access(object);
+        if grade.is_some() {
+            self.random.set(self.random.get() + 1);
+        }
+        grade
+    }
+}
+
+impl<S: SetAccess> SetAccess for CountingSource<S> {
+    fn matching_set(&self) -> Vec<ObjectId> {
+        let set = self.inner.matching_set();
+        // Enumerating the match set retrieves |set| objects from the
+        // subsystem; bill it as sorted access (it is a prefix of the sorted
+        // order: exactly the grade-1 block).
+        self.sorted.set(self.sorted.get() + set.len() as u64);
+        set
+    }
+}
+
+/// Wraps each source of a workload in a [`CountingSource`].
+pub fn counted<S: GradedSource>(sources: Vec<S>) -> Vec<CountingSource<S>> {
+    sources.into_iter().map(CountingSource::new).collect()
+}
+
+/// Sums the stats of a slice of counted sources.
+pub fn total_stats<S: GradedSource>(sources: &[CountingSource<S>]) -> AccessStats {
+    sources.iter().map(|s| s.stats()).sum()
+}
+
+impl<S: GradedSource + ?Sized> GradedSource for &S {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        (**self).sorted_access(rank)
+    }
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        (**self).random_access(object)
+    }
+}
+
+impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        (**self).sorted_access(rank)
+    }
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        (**self).random_access(object)
+    }
+}
+
+impl<S: SetAccess + ?Sized> SetAccess for &S {
+    fn matching_set(&self) -> Vec<ObjectId> {
+        (**self).matching_set()
+    }
+}
+
+impl<S: SetAccess + ?Sized> SetAccess for Box<S> {
+    fn matching_set(&self) -> Vec<ObjectId> {
+        (**self).matching_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn source() -> MemorySource {
+        MemorySource::from_grades(&[g(0.2), g(0.9), g(0.5), g(1.0)])
+    }
+
+    #[test]
+    fn sorted_access_descends() {
+        let s = source();
+        assert_eq!(s.sorted_access(0).unwrap().object, ObjectId(3));
+        assert_eq!(s.sorted_access(1).unwrap().object, ObjectId(1));
+        assert_eq!(s.sorted_access(4), None);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn random_access_looks_up() {
+        let s = source();
+        assert_eq!(s.random_access(ObjectId(2)), Some(g(0.5)));
+        assert_eq!(s.random_access(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn matching_set_is_grade_one_block() {
+        let s = source();
+        assert_eq!(s.matching_set(), vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn counting_meters_both_kinds() {
+        let c = CountingSource::new(source());
+        c.sorted_access(0);
+        c.sorted_access(1);
+        c.random_access(ObjectId(0));
+        assert_eq!(c.stats(), AccessStats::new(2, 1));
+        c.reset();
+        assert_eq!(c.stats(), AccessStats::ZERO);
+    }
+
+    #[test]
+    fn failed_accesses_do_not_count() {
+        let c = CountingSource::new(source());
+        c.sorted_access(100);
+        c.random_access(ObjectId(100));
+        assert_eq!(c.stats(), AccessStats::ZERO);
+    }
+
+    #[test]
+    fn set_access_billed_as_sorted() {
+        let c = CountingSource::new(source());
+        let set = c.matching_set();
+        assert_eq!(set.len(), 1);
+        assert_eq!(c.stats(), AccessStats::new(1, 0));
+    }
+
+    #[test]
+    fn total_stats_sums() {
+        let sources = counted(vec![source(), source()]);
+        sources[0].sorted_access(0);
+        sources[1].random_access(ObjectId(1));
+        assert_eq!(total_stats(&sources), AccessStats::new(1, 1));
+    }
+}

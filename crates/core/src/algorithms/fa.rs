@@ -1,0 +1,279 @@
+//! Algorithm A₀ — **Fagin's Algorithm** (Section 4, Theorem 4.2).
+//!
+//! Returns the top-k answers for any *monotone* query `F_t(A_1, ..., A_m)`
+//! in three phases:
+//!
+//! 1. **Sorted access** — stream every list in parallel (round-robin, so all
+//!    lists sit at a common depth `T`) until at least `k` objects have been
+//!    seen in *every* list (the matched set `L`).
+//! 2. **Random access** — for every object seen anywhere, fetch its missing
+//!    grades from the other lists.
+//! 3. **Computation** — aggregate, and output the `k` best with their
+//!    grades.
+//!
+//! Correctness rests on Proposition 4.1: the prefixes `X^i_T` are upwards
+//! closed, so any object beating a member of `∩ᵢ X^i_T` lies in `∪ᵢ X^i_T`
+//! and was therefore graded in phase 2. Under independence the middleware
+//! cost is `O(N^((m-1)/m) · k^(1/m))` with arbitrarily high probability
+//! (Theorem 5.3) — the headline result this repository reproduces
+//! empirically in experiments E01–E03.
+//!
+//! The paper also sketches a refinement: "instead of using a uniform value
+//! of T, we might find Tᵢ ≤ T for each i such that `∩ᵢ X^i_{Tᵢ}` contains k
+//! members ... which could lead to fewer random accesses." Enable it with
+//! [`FaOptions::shrink_depths`].
+
+use garlic_agg::Aggregation;
+
+use crate::access::GradedSource;
+use crate::object::ObjectId;
+use crate::topk::{validate_inputs, TopK, TopKError};
+
+use super::SortedPhase;
+
+/// Tuning knobs for algorithm A₀.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaOptions {
+    /// After the sorted phase, shrink each list's prefix from the uniform
+    /// `T` to a per-list `Tᵢ ≤ T` that still witnesses `k` matches, and
+    /// restrict the random-access phase to `∪ᵢ X^i_{Tᵢ}`. Saves random
+    /// accesses at no extra sorted cost (the Section 4 refinement).
+    pub shrink_depths: bool,
+}
+
+/// Diagnostics from one run of A₀, for the experiment harness.
+#[derive(Debug, Clone)]
+pub struct FaRun {
+    /// The top-k answers.
+    pub topk: TopK,
+    /// The uniform sorted depth `T` at which the phase stopped.
+    pub stop_depth: usize,
+    /// Per-list depths `Tᵢ` actually used for the random-access phase
+    /// (all equal to `stop_depth` unless shrinking was enabled).
+    pub per_list_depths: Vec<usize>,
+    /// Size of the matched set `L` when the sorted phase stopped.
+    pub matched: usize,
+    /// Number of distinct objects whose grade vectors were completed (the
+    /// size of the random-access candidate set).
+    pub candidates: usize,
+}
+
+/// Runs algorithm A₀ and returns only the answers.
+///
+/// The aggregation must be monotone (Theorem 4.2's hypothesis); this is
+/// debug-asserted from the declared property.
+pub fn fagin_topk<S, A>(sources: &[S], agg: &A, k: usize) -> Result<TopK, TopKError>
+where
+    S: GradedSource,
+    A: Aggregation,
+{
+    fagin_run(sources, agg, k, FaOptions::default()).map(|run| run.topk)
+}
+
+/// Runs algorithm A₀ with options, returning diagnostics alongside the
+/// answers.
+pub fn fagin_run<S, A>(
+    sources: &[S],
+    agg: &A,
+    k: usize,
+    options: FaOptions,
+) -> Result<FaRun, TopKError>
+where
+    S: GradedSource,
+    A: Aggregation,
+{
+    let n = validate_inputs(sources, k)?;
+    let m = sources.len();
+    debug_assert!(
+        agg.is_monotone(),
+        "A0 is only guaranteed correct for monotone aggregations (Theorem 4.2)"
+    );
+
+    // Phase 1: sorted access until k matches.
+    let mut phase = SortedPhase::new(m, n);
+    phase.advance_until_matched(sources, k);
+    let stop_depth = phase.depth;
+    let matched = phase.matched.len();
+    debug_assert!(matched >= k);
+
+    // Optional refinement: per-list depths Tᵢ ≤ T still witnessing k matches.
+    let per_list_depths = if options.shrink_depths {
+        shrink_depths(&phase, k)
+    } else {
+        vec![stop_depth; m]
+    };
+
+    // Phase 2: random access for every object inside some (possibly shrunk)
+    // prefix.
+    let candidates: Vec<ObjectId> = phase
+        .partial
+        .iter()
+        .filter(|(_, p)| {
+            p.ranks
+                .iter()
+                .zip(&per_list_depths)
+                .any(|(rank, &t_i)| rank.is_some_and(|r| r < t_i))
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    let candidate_count = candidates.len();
+    phase.complete_grades(sources, candidates.iter().copied());
+
+    // Phase 3: computation.
+    let topk = TopK::select(
+        candidates.into_iter().map(|id| {
+            let grade = phase
+                .overall(id, agg)
+                .expect("candidate grades were completed");
+            (id, grade)
+        }),
+        k,
+    );
+
+    Ok(FaRun {
+        topk,
+        stop_depth,
+        per_list_depths,
+        matched,
+        candidates: candidate_count,
+    })
+}
+
+/// Chooses per-list depths `Tᵢ ≤ T` such that `∩ᵢ X^i_{Tᵢ}` still contains
+/// `k` objects: pick the `k` matched objects with the earliest worst rank,
+/// then clamp each list at the deepest rank any chosen object needs there.
+fn shrink_depths(phase: &SortedPhase, k: usize) -> Vec<usize> {
+    let mut by_worst_rank: Vec<(usize, &ObjectId)> = phase
+        .matched
+        .iter()
+        .map(|id| {
+            let p = &phase.partial[id];
+            let worst = p
+                .ranks
+                .iter()
+                .map(|r| r.expect("matched objects have a rank in every list"))
+                .max()
+                .expect("m >= 1");
+            (worst, id)
+        })
+        .collect();
+    by_worst_rank.sort_by_key(|&(worst, id)| (worst, *id));
+
+    let mut depths = vec![0usize; phase.m];
+    for &(_, id) in by_worst_rank.iter().take(k) {
+        let p = &phase.partial[id];
+        for (i, rank) in p.ranks.iter().enumerate() {
+            let r = rank.expect("matched");
+            depths[i] = depths[i].max(r + 1);
+        }
+    }
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{counted, total_stats, MemorySource};
+    use crate::algorithms::naive::naive_topk;
+    use garlic_agg::iterated::{min_agg, product_agg};
+    use garlic_agg::means::ArithmeticMean;
+    use garlic_agg::Grade;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn sources() -> Vec<MemorySource> {
+        vec![
+            MemorySource::from_grades(&[g(1.0), g(0.8), g(0.6), g(0.4)]),
+            MemorySource::from_grades(&[g(0.3), g(0.5), g(0.7), g(0.9)]),
+        ]
+    }
+
+    #[test]
+    fn agrees_with_naive_on_hand_example() {
+        for k in 1..=4 {
+            let fa = fagin_topk(&sources(), &min_agg(), k).unwrap();
+            let naive = naive_topk(&sources(), &min_agg(), k).unwrap();
+            assert!(fa.same_grades(&naive, 0.0), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn works_for_product_and_mean() {
+        let fa = fagin_topk(&sources(), &product_agg(), 2).unwrap();
+        let naive = naive_topk(&sources(), &product_agg(), 2).unwrap();
+        assert!(fa.same_grades(&naive, 1e-12));
+
+        let fa = fagin_topk(&sources(), &ArithmeticMean, 2).unwrap();
+        let naive = naive_topk(&sources(), &ArithmeticMean, 2).unwrap();
+        assert!(fa.same_grades(&naive, 1e-12));
+    }
+
+    #[test]
+    fn reports_stop_depth() {
+        let run = fagin_run(&sources(), &min_agg(), 1, FaOptions::default()).unwrap();
+        // From the SortedPhase test: first match appears at depth 3.
+        assert_eq!(run.stop_depth, 3);
+        assert_eq!(run.matched, 2);
+        assert_eq!(run.per_list_depths, vec![3, 3]);
+    }
+
+    #[test]
+    fn shrink_never_increases_candidates() {
+        let plain = fagin_run(&sources(), &min_agg(), 1, FaOptions::default()).unwrap();
+        let shrunk = fagin_run(
+            &sources(),
+            &min_agg(),
+            1,
+            FaOptions {
+                shrink_depths: true,
+            },
+        )
+        .unwrap();
+        assert!(shrunk.candidates <= plain.candidates);
+        assert!(shrunk
+            .per_list_depths
+            .iter()
+            .all(|&t| t <= plain.stop_depth));
+        assert!(shrunk.topk.same_grades(&plain.topk, 0.0));
+    }
+
+    #[test]
+    fn no_random_access_for_sorted_seen_grades() {
+        // Objects seen in both lists by sorted access need zero random
+        // accesses; here depth reaches 4 of 4 for k = 4, so all grades come
+        // from sorted access.
+        let cs = counted(sources());
+        fagin_topk(&cs, &min_agg(), 4).unwrap();
+        assert_eq!(total_stats(&cs).random, 0);
+    }
+
+    #[test]
+    fn k_equals_n_grades_whole_database() {
+        // Remark 5.2: with k = N the cost is necessarily linear.
+        let cs = counted(sources());
+        let top = fagin_topk(&cs, &min_agg(), 4).unwrap();
+        assert_eq!(top.len(), 4);
+        assert_eq!(total_stats(&cs).sorted, 8);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(
+            fagin_topk(&sources(), &min_agg(), 0),
+            Err(TopKError::ZeroK)
+        ));
+        assert!(matches!(
+            fagin_topk(&sources(), &min_agg(), 9),
+            Err(TopKError::KTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn single_list_degenerates_to_prefix() {
+        let s = vec![MemorySource::from_grades(&[g(0.1), g(0.9), g(0.5)])];
+        let top = fagin_topk(&s, &min_agg(), 2).unwrap();
+        assert_eq!(top.objects(), vec![ObjectId(1), ObjectId(2)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The filtered ("Beatles") strategy from the opening of Section 4.
+//!
+//! For `(Artist = "Beatles") ∧ (AlbumColor = "red")` — one crisp, selective
+//! conjunct and one fuzzy conjunct — "a good way to evaluate this query
+//! would be first to determine all objects that satisfy the first conjunct
+//! (call this set of objects S), and then to obtain grades ... (using random
+//! access) for the second conjunct for all objects in S."
+//!
+//! This is correct whenever a grade of 0 in any conjunct forces the overall
+//! grade to 0 (`Aggregation::zero_annihilates`) — true for every t-norm,
+//! false for means. The middleware cost is `|S| + (m-1)·|S|`, independent of
+//! how the other lists rank the rest of the database; experiment E13 finds
+//! the selectivity crossover against A₀.
+
+use garlic_agg::{Aggregation, Grade};
+
+use crate::access::{GradedSource, SetAccess};
+use crate::object::ObjectId;
+use crate::topk::{TopK, TopKError};
+
+/// Evaluates a conjunction with one crisp conjunct via the filtered
+/// strategy.
+///
+/// * `crisp` — the subsystem answering the crisp conjunct (grades all 0/1),
+///   with set access;
+/// * `graded` — the remaining `m - 1` conjuncts' sources;
+/// * `crisp_position` — where the crisp conjunct sits in the aggregation's
+///   argument order (matters for non-commutative aggregations such as
+///   weighted ones);
+/// * `agg` — the m-ary aggregation; must be zero-annihilating.
+///
+/// If fewer than `k` objects match the crisp conjunct, the answer is padded
+/// with non-matching objects at grade 0 (their overall grade is known to be
+/// 0 *without any access* — that is the whole point of the strategy).
+pub fn filtered_topk<C, S, A>(
+    crisp: &C,
+    graded: &[S],
+    crisp_position: usize,
+    agg: &A,
+    k: usize,
+) -> Result<TopK, TopKError>
+where
+    C: SetAccess,
+    S: GradedSource,
+    A: Aggregation,
+{
+    let m = graded.len() + 1;
+    if crisp_position >= m {
+        return Err(TopKError::UnsupportedAggregation {
+            reason: "crisp_position out of range",
+        });
+    }
+    if !agg.zero_annihilates(m) {
+        return Err(TopKError::UnsupportedAggregation {
+            reason: "the filtered strategy requires a zero-annihilating aggregation \
+                     (e.g. any t-norm); with a mean, non-matching objects can still \
+                     have positive overall grades",
+        });
+    }
+    let n = crisp.len();
+    if k == 0 {
+        return Err(TopKError::ZeroK);
+    }
+    if k > n {
+        return Err(TopKError::KTooLarge { k, n });
+    }
+    if graded.iter().any(|s| s.len() != n) {
+        return Err(TopKError::MismatchedSources {
+            sizes: std::iter::once(n).chain(graded.iter().map(|s| s.len())).collect(),
+        });
+    }
+
+    // Step 1: the match set S of the crisp conjunct.
+    let matches = crisp.matching_set();
+
+    // Step 2: random access for every other conjunct, matches only.
+    let mut scored: Vec<(ObjectId, Grade)> = Vec::with_capacity(matches.len());
+    for &id in &matches {
+        let mut grades = Vec::with_capacity(m);
+        for (i, source) in graded.iter().enumerate() {
+            if i == crisp_position {
+                grades.push(Grade::ONE);
+            }
+            grades.push(
+                source
+                    .random_access(id)
+                    .expect("every source grades every object"),
+            );
+        }
+        if crisp_position == m - 1 {
+            grades.push(Grade::ONE);
+        }
+        debug_assert_eq!(grades.len(), m);
+        scored.push((id, agg.combine(&grades)));
+    }
+
+    // Pad with non-matching objects at grade 0 if S is smaller than k.
+    if scored.len() < k {
+        let in_set: std::collections::HashSet<ObjectId> = matches.iter().copied().collect();
+        let mut candidates = (0..n as u64).map(ObjectId);
+        while scored.len() < k {
+            let id = candidates
+                .next()
+                .expect("k <= N guarantees enough objects");
+            if !in_set.contains(&id) {
+                scored.push((id, Grade::ZERO));
+            }
+        }
+    }
+
+    Ok(TopK::select(scored, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{counted, CountingSource, MemorySource};
+    use crate::algorithms::naive::naive_topk;
+    use garlic_agg::iterated::min_agg;
+    use garlic_agg::means::ArithmeticMean;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    /// 6 albums; artist matches objects 1, 3, 4; colour grades vary.
+    fn crisp() -> MemorySource {
+        MemorySource::from_grades(&[
+            g(0.0),
+            g(1.0),
+            g(0.0),
+            g(1.0),
+            g(1.0),
+            g(0.0),
+        ])
+    }
+
+    fn colour() -> MemorySource {
+        MemorySource::from_grades(&[g(0.9), g(0.3), g(0.8), g(0.7), g(0.1), g(0.5)])
+    }
+
+    #[test]
+    fn agrees_with_naive_min_conjunction() {
+        let crisp_src = crisp();
+        let colour_src = colour();
+        let both = vec![crisp_src.clone(), colour_src.clone()];
+        for k in 1..=6 {
+            let fast = filtered_topk(&crisp_src, &[&colour_src], 0, &min_agg(), k).unwrap();
+            let slow = naive_topk(&both, &min_agg(), k).unwrap();
+            assert!(fast.same_grades(&slow, 0.0), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn beatles_semantics() {
+        // Top answers are Beatles albums ranked by colour; best is object 3
+        // (match, colour .7), then 1 (.3), then 4 (.1).
+        let top = filtered_topk(&crisp(), &[&colour()], 0, &min_agg(), 3).unwrap();
+        assert_eq!(
+            top.objects(),
+            vec![ObjectId(3), ObjectId(1), ObjectId(4)]
+        );
+        assert_eq!(top.grades(), vec![g(0.7), g(0.3), g(0.1)]);
+    }
+
+    #[test]
+    fn cost_proportional_to_selectivity_not_n() {
+        let crisp_src = CountingSource::new(crisp());
+        let colours = counted(vec![colour()]);
+        filtered_topk(&crisp_src, &colours, 0, &min_agg(), 2).unwrap();
+        // |S| = 3 set-access retrievals + 3 random accesses.
+        assert_eq!(crisp_src.stats().sorted, 3);
+        assert_eq!(colours[0].stats().random, 3);
+        assert_eq!(colours[0].stats().sorted, 0);
+    }
+
+    #[test]
+    fn pads_with_zero_grades_when_selective() {
+        let top = filtered_topk(&crisp(), &[&colour()], 0, &min_agg(), 5).unwrap();
+        assert_eq!(top.len(), 5);
+        assert_eq!(top.grades()[3], Grade::ZERO);
+        assert_eq!(top.grades()[4], Grade::ZERO);
+    }
+
+    #[test]
+    fn rejects_non_annihilating_aggregation() {
+        let err = filtered_topk(&crisp(), &[&colour()], 0, &ArithmeticMean, 1).unwrap_err();
+        assert!(matches!(err, TopKError::UnsupportedAggregation { .. }));
+    }
+
+    #[test]
+    fn crisp_position_is_respected() {
+        // With min the position cannot matter; check both positions agree.
+        let a = filtered_topk(&crisp(), &[&colour()], 0, &min_agg(), 2).unwrap();
+        let b = filtered_topk(&crisp(), &[&colour()], 1, &min_agg(), 2).unwrap();
+        assert!(a.same_grades(&b, 0.0));
+        assert!(filtered_topk(&crisp(), &[&colour()], 2, &min_agg(), 2).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! The middleware cost model of Section 5.
+//!
+//! The paper measures an algorithm by what it costs the *middleware* (Garlic)
+//! to pull information out of the subsystems:
+//!
+//! * the **sorted access cost** `S` — the total number of objects obtained
+//!   under sorted access, summed over all lists;
+//! * the **random access cost** `R` — likewise for random access;
+//! * the **middleware cost** `c1·S + c2·R` for positive constants `c1, c2`;
+//! * the **unweighted middleware cost** `S + R` (the special case
+//!   `c1 = c2 = 1`, called the "database access cost" in the earlier version
+//!   of the paper).
+//!
+//! Equation (1)/(2) of the paper — the two costs are within constant factors
+//! of each other — is what lets every Θ-bound stated for one carry over to
+//! the other; `CostModel::bracket` exposes exactly that inequality.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Counts of sorted and random accesses performed against the subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Total objects obtained under sorted access (the paper's `S`).
+    pub sorted: u64,
+    /// Total objects obtained under random access (the paper's `R`).
+    pub random: u64,
+}
+
+impl AccessStats {
+    /// No accesses.
+    pub const ZERO: AccessStats = AccessStats { sorted: 0, random: 0 };
+
+    /// Creates stats from explicit counts.
+    pub fn new(sorted: u64, random: u64) -> Self {
+        AccessStats { sorted, random }
+    }
+
+    /// The unweighted middleware cost `S + R`: the total number of elements
+    /// retrieved by the middleware.
+    #[inline]
+    pub fn unweighted(&self) -> u64 {
+        self.sorted + self.random
+    }
+}
+
+impl Add for AccessStats {
+    type Output = AccessStats;
+    fn add(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted + rhs.sorted,
+            random: self.random + rhs.random,
+        }
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        self.sorted += rhs.sorted;
+        self.random += rhs.random;
+    }
+}
+
+impl Sum for AccessStats {
+    fn sum<I: Iterator<Item = AccessStats>>(iter: I) -> Self {
+        iter.fold(AccessStats::ZERO, Add::add)
+    }
+}
+
+impl std::fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S={} R={}", self.sorted, self.random)
+    }
+}
+
+/// The weighting `(c1, c2)` of sorted vs. random accesses. Both constants
+/// must be strictly positive (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost per sorted access.
+    pub c1: f64,
+    /// Cost per random access.
+    pub c2: f64,
+}
+
+impl CostModel {
+    /// The unweighted model `c1 = c2 = 1`.
+    pub const UNWEIGHTED: CostModel = CostModel { c1: 1.0, c2: 1.0 };
+
+    /// Creates a cost model; both weights must be positive and finite.
+    ///
+    /// # Panics
+    /// Panics if either weight is not a positive finite number.
+    pub fn new(c1: f64, c2: f64) -> Self {
+        assert!(
+            c1 > 0.0 && c1.is_finite() && c2 > 0.0 && c2.is_finite(),
+            "cost weights must be positive and finite"
+        );
+        CostModel { c1, c2 }
+    }
+
+    /// The middleware cost `c1·S + c2·R`.
+    pub fn middleware_cost(&self, stats: AccessStats) -> f64 {
+        self.c1 * stats.sorted as f64 + self.c2 * stats.random as f64
+    }
+
+    /// The bracketing inequality (1) of Section 5:
+    /// `min(c1,c2)·(S+R) <= c1·S + c2·R <= max(c1,c2)·(S+R)`,
+    /// returned as `(lower, upper)`.
+    pub fn bracket(&self, stats: AccessStats) -> (f64, f64) {
+        let sum = stats.unweighted() as f64;
+        (self.c1.min(self.c2) * sum, self.c1.max(self.c2) * sum)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::UNWEIGHTED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_is_sum() {
+        let s = AccessStats::new(100, 20);
+        assert_eq!(s.unweighted(), 120);
+        assert_eq!(CostModel::UNWEIGHTED.middleware_cost(s), 120.0);
+    }
+
+    #[test]
+    fn weighted_cost() {
+        let s = AccessStats::new(10, 5);
+        let m = CostModel::new(2.0, 3.0);
+        assert_eq!(m.middleware_cost(s), 35.0);
+    }
+
+    #[test]
+    fn bracket_contains_cost() {
+        // Inequality (1): the middleware cost sits inside the bracket.
+        let s = AccessStats::new(7, 13);
+        for (c1, c2) in [(1.0, 1.0), (0.5, 4.0), (10.0, 0.1)] {
+            let m = CostModel::new(c1, c2);
+            let (lo, hi) = m.bracket(s);
+            let cost = m.middleware_cost(s);
+            assert!(lo <= cost + 1e-12 && cost <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_add_and_sum() {
+        let a = AccessStats::new(1, 2);
+        let b = AccessStats::new(3, 4);
+        assert_eq!(a + b, AccessStats::new(4, 6));
+        let total: AccessStats = [a, b, AccessStats::ZERO].into_iter().sum();
+        assert_eq!(total, AccessStats::new(4, 6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_weights() {
+        CostModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", AccessStats::new(3, 4)), "S=3 R=4");
+    }
+}

@@ -1,0 +1,302 @@
+//! Graded sets — the central semantic object of the paper (Section 2).
+//!
+//! "A graded set is a set of pairs `(x, g)` where `x` is an object ... and
+//! `g` (the grade) is a real number in the interval `[0, 1]`. It is sometimes
+//! convenient to think of a graded set as corresponding to a sorted list,
+//! where the objects are sorted by their grades. Thus, a graded set is a
+//! generalization of both a set and a sorted list."
+
+use garlic_agg::Grade;
+use std::collections::HashMap;
+
+use crate::object::ObjectId;
+
+/// One `(object, grade)` pair of a graded set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradedEntry {
+    /// The object.
+    pub object: ObjectId,
+    /// Its grade under the query this set answers.
+    pub grade: Grade,
+}
+
+impl GradedEntry {
+    /// Creates an entry.
+    pub fn new(object: impl Into<ObjectId>, grade: Grade) -> Self {
+        GradedEntry {
+            object: object.into(),
+            grade,
+        }
+    }
+}
+
+/// A graded (fuzzy) set: objects with grades in `[0, 1]`, stored sorted by
+/// descending grade (ties broken by ascending object id so iteration order is
+/// deterministic — one fixed *skeleton* in the paper's terminology).
+///
+/// Every object appears at most once.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradedSet {
+    entries: Vec<GradedEntry>,
+}
+
+impl GradedSet {
+    /// Creates an empty graded set.
+    pub fn new() -> Self {
+        GradedSet::default()
+    }
+
+    /// Builds a graded set from arbitrary-order pairs, sorting by descending
+    /// grade (ties by ascending object id).
+    ///
+    /// # Panics
+    /// Panics if an object appears more than once.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ObjectId, Grade)>) -> Self {
+        let mut entries: Vec<GradedEntry> = pairs
+            .into_iter()
+            .map(|(object, grade)| GradedEntry { object, grade })
+            .collect();
+        entries.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+        for w in entries.windows(2) {
+            assert_ne!(
+                w[0].object, w[1].object,
+                "object {} graded twice",
+                w[0].object
+            );
+        }
+        GradedSet { entries }
+    }
+
+    /// Builds a graded set where object `i`'s grade is `grades[i]`.
+    pub fn from_grades(grades: &[Grade]) -> Self {
+        GradedSet::from_pairs(
+            grades
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (ObjectId::from(i), g)),
+        )
+    }
+
+    /// Number of graded objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `rank` in descending-grade order (0-based), if any —
+    /// i.e. one *sorted access* (Section 4).
+    pub fn at_rank(&self, rank: usize) -> Option<GradedEntry> {
+        self.entries.get(rank).copied()
+    }
+
+    /// Iterates entries in descending-grade order.
+    pub fn iter(&self) -> impl Iterator<Item = GradedEntry> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Linear-scan lookup of an object's grade. For repeated random access
+    /// build an index with [`GradedSet::to_map`] (or use a
+    /// [`crate::access::MemorySource`]).
+    pub fn grade_of(&self, object: ObjectId) -> Option<Grade> {
+        self.entries
+            .iter()
+            .find(|e| e.object == object)
+            .map(|e| e.grade)
+    }
+
+    /// The top-`k` prefix — the paper's `X^i_k` projection, with grades.
+    pub fn prefix(&self, k: usize) -> &[GradedEntry] {
+        &self.entries[..k.min(self.entries.len())]
+    }
+
+    /// Hash index from object to grade (for random access).
+    pub fn to_map(&self) -> HashMap<ObjectId, Grade> {
+        self.entries
+            .iter()
+            .map(|e| (e.object, e.grade))
+            .collect()
+    }
+
+    /// The grades in descending order (useful for tie-tolerant comparisons
+    /// between algorithms: two correct top-k answers always agree on the
+    /// grade multiset even when ties let them disagree on objects).
+    pub fn grade_vec(&self) -> Vec<Grade> {
+        self.entries.iter().map(|e| e.grade).collect()
+    }
+
+    /// Checks the descending-grade invariant (used by debug assertions).
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].grade >= w[1].grade)
+    }
+
+    /// Fuzzy intersection with another graded set over the same universe,
+    /// under a t-norm (Zadeh's `μ_{A∧B} = t(μ_A, μ_B)`, Section 3).
+    ///
+    /// # Panics
+    /// Panics if the sets grade different universes.
+    pub fn intersect(&self, other: &GradedSet, tnorm: &dyn garlic_agg::TNorm) -> GradedSet {
+        self.zip_with(other, |a, b| tnorm.t(a, b))
+    }
+
+    /// Fuzzy union with another graded set over the same universe, under a
+    /// t-conorm (`μ_{A∨B} = s(μ_A, μ_B)`).
+    ///
+    /// # Panics
+    /// Panics if the sets grade different universes.
+    pub fn union(&self, other: &GradedSet, conorm: &dyn garlic_agg::TCoNorm) -> GradedSet {
+        self.zip_with(other, |a, b| conorm.s(a, b))
+    }
+
+    /// Fuzzy complement under a negation (`μ_{¬A} = n(μ_A)`).
+    pub fn complement_with(&self, negation: &dyn garlic_agg::Negation) -> GradedSet {
+        GradedSet::from_pairs(
+            self.entries
+                .iter()
+                .map(|e| (e.object, negation.negate(e.grade))),
+        )
+    }
+
+    fn zip_with(&self, other: &GradedSet, f: impl Fn(Grade, Grade) -> Grade) -> GradedSet {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "graded sets must share a universe"
+        );
+        let theirs = other.to_map();
+        GradedSet::from_pairs(self.entries.iter().map(|e| {
+            let b = *theirs
+                .get(&e.object)
+                .expect("graded sets must share a universe");
+            (e.object, f(e.grade, b))
+        }))
+    }
+}
+
+impl FromIterator<(ObjectId, Grade)> for GradedSet {
+    fn from_iter<I: IntoIterator<Item = (ObjectId, Grade)>>(iter: I) -> Self {
+        GradedSet::from_pairs(iter)
+    }
+}
+
+impl IntoIterator for GradedSet {
+    type Item = GradedEntry;
+    type IntoIter = std::vec::IntoIter<GradedEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn sample() -> GradedSet {
+        GradedSet::from_pairs([
+            (ObjectId(0), g(0.2)),
+            (ObjectId(1), g(0.9)),
+            (ObjectId(2), g(0.5)),
+        ])
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let s = sample();
+        assert!(s.is_sorted());
+        assert_eq!(s.at_rank(0).unwrap().object, ObjectId(1));
+        assert_eq!(s.at_rank(2).unwrap().object, ObjectId(0));
+        assert_eq!(s.at_rank(3), None);
+    }
+
+    #[test]
+    fn ties_break_by_object_id() {
+        let s = GradedSet::from_pairs([
+            (ObjectId(5), g(0.5)),
+            (ObjectId(3), g(0.5)),
+            (ObjectId(4), g(0.5)),
+        ]);
+        let ids: Vec<_> = s.iter().map(|e| e.object).collect();
+        assert_eq!(ids, vec![ObjectId(3), ObjectId(4), ObjectId(5)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_objects_rejected() {
+        GradedSet::from_pairs([(ObjectId(1), g(0.4)), (ObjectId(1), g(0.6))]);
+    }
+
+    #[test]
+    fn grade_lookup() {
+        let s = sample();
+        assert_eq!(s.grade_of(ObjectId(2)), Some(g(0.5)));
+        assert_eq!(s.grade_of(ObjectId(9)), None);
+        assert_eq!(s.to_map()[&ObjectId(1)], g(0.9));
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let s = sample();
+        assert_eq!(s.prefix(2).len(), 2);
+        assert_eq!(s.prefix(10).len(), 3);
+        assert_eq!(s.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn from_grades_indexes_objects() {
+        let s = GradedSet::from_grades(&[g(0.1), g(0.8)]);
+        assert_eq!(s.at_rank(0).unwrap().object, ObjectId(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grade_vec_descending() {
+        assert_eq!(sample().grade_vec(), vec![g(0.9), g(0.5), g(0.2)]);
+    }
+
+    #[test]
+    fn zadeh_set_operations() {
+        use garlic_agg::negation::StandardNegation;
+        use garlic_agg::tconorms::Maximum;
+        use garlic_agg::tnorms::Minimum;
+        let a = sample(); // 0:.2, 1:.9, 2:.5
+        let b = GradedSet::from_pairs([
+            (ObjectId(0), g(0.7)),
+            (ObjectId(1), g(0.4)),
+            (ObjectId(2), g(0.5)),
+        ]);
+        let both = a.intersect(&b, &Minimum);
+        assert_eq!(both.grade_of(ObjectId(0)), Some(g(0.2)));
+        assert_eq!(both.grade_of(ObjectId(1)), Some(g(0.4)));
+
+        let either = a.union(&b, &Maximum);
+        assert_eq!(either.grade_of(ObjectId(0)), Some(g(0.7)));
+        assert_eq!(either.grade_of(ObjectId(1)), Some(g(0.9)));
+
+        let not_a = a.complement_with(&StandardNegation);
+        assert!(not_a.grade_of(ObjectId(1)).unwrap().approx_eq(g(0.1), 1e-12));
+        // De Morgan on graded sets: ¬(A ∧ B) = ¬A ∨ ¬B.
+        let lhs = a.intersect(&b, &Minimum).complement_with(&StandardNegation);
+        let rhs = not_a.union(&b.complement_with(&StandardNegation), &Maximum);
+        for x in 0..3u64 {
+            assert!(lhs
+                .grade_of(ObjectId(x))
+                .unwrap()
+                .approx_eq(rhs.grade_of(ObjectId(x)).unwrap(), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_operations_require_shared_universe() {
+        let a = sample();
+        let b = GradedSet::from_pairs([(ObjectId(0), g(0.1))]);
+        a.intersect(&b, &garlic_agg::tnorms::Minimum);
+    }
+}

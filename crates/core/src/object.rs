@@ -1,0 +1,54 @@
+//! Object identity. The paper's formal framework (Section 5) calls the
+//! database objects `1, ..., N`; we use dense zero-based 64-bit identifiers.
+
+use std::fmt;
+
+/// Identifies one object of the fixed object type that all subsystems grade
+/// (Section 2: "all of the data ... deal\[s\] with the attributes of a specific
+/// set of objects of some fixed type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The identifier as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(v: usize) -> Self {
+        ObjectId(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id: ObjectId = 42usize.into();
+        assert_eq!(id, ObjectId(42));
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "#42");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ObjectId(2) < ObjectId(10));
+    }
+}

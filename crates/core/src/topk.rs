@@ -1,0 +1,254 @@
+//! Top-k answers.
+//!
+//! Section 4 defines "the top k answers": k objects with the highest grades,
+//! together with those grades; when there are ties, *any* k objects such that
+//! every omitted object's grade is no larger than every included one. The
+//! tie-tolerant comparison helpers here implement exactly that acceptance
+//! criterion, which the test-suite uses to compare every algorithm against
+//! the naive baseline.
+
+use garlic_agg::Grade;
+
+use crate::graded_set::{GradedEntry, GradedSet};
+use crate::object::ObjectId;
+
+/// A top-k answer: at most `k` `(object, grade)` pairs in descending grade
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    entries: Vec<GradedEntry>,
+}
+
+impl TopK {
+    /// Wraps entries that are already the chosen answer, sorting them by
+    /// descending grade (ties by object id, for deterministic output).
+    pub fn from_entries(mut entries: Vec<GradedEntry>) -> Self {
+        entries.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+        TopK { entries }
+    }
+
+    /// Selects the `k` best from candidate `(object, grade)` pairs
+    /// (ties broken arbitrarily — here, by ascending object id).
+    pub fn select(candidates: impl IntoIterator<Item = (ObjectId, Grade)>, k: usize) -> Self {
+        let mut entries: Vec<GradedEntry> = candidates
+            .into_iter()
+            .map(|(object, grade)| GradedEntry { object, grade })
+            .collect();
+        entries.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+        entries.truncate(k);
+        TopK { entries }
+    }
+
+    /// Number of answers (== k unless the database was smaller than k).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The answers, best first.
+    pub fn entries(&self) -> &[GradedEntry] {
+        &self.entries
+    }
+
+    /// The single best answer, if any.
+    pub fn best(&self) -> Option<GradedEntry> {
+        self.entries.first().copied()
+    }
+
+    /// The objects, best first.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.entries.iter().map(|e| e.object).collect()
+    }
+
+    /// The grades, best first.
+    pub fn grades(&self) -> Vec<Grade> {
+        self.entries.iter().map(|e| e.grade).collect()
+    }
+
+    /// Converts into a [`GradedSet`] (the paper's output type).
+    pub fn into_graded_set(self) -> GradedSet {
+        GradedSet::from_pairs(self.entries.into_iter().map(|e| (e.object, e.grade)))
+    }
+
+    /// Tie-tolerant equivalence: two answers are interchangeable iff their
+    /// grade sequences agree (Section 4's definition makes the grade
+    /// multiset of any valid top-k answer unique even when the object sets
+    /// differ).
+    pub fn same_grades(&self, other: &TopK, eps: f64) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.grade.approx_eq(b.grade, eps))
+    }
+}
+
+impl std::fmt::Display for TopK {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            writeln!(f, "{:>3}. {}  grade {}", i + 1, e.object, e.grade)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors reported by the query-evaluation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopKError {
+    /// `k` was zero.
+    ZeroK,
+    /// `k` exceeded the database size (the paper assumes `k <= N`).
+    KTooLarge {
+        /// Requested k.
+        k: usize,
+        /// Database size.
+        n: usize,
+    },
+    /// No sources were supplied.
+    NoSources,
+    /// The sources disagree on the database size.
+    MismatchedSources {
+        /// The sizes observed.
+        sizes: Vec<usize>,
+    },
+    /// The algorithm requires a specific arity (e.g. Ullman's needs m = 2).
+    WrongArity {
+        /// What the algorithm needs.
+        expected: usize,
+        /// What it was given.
+        actual: usize,
+    },
+    /// The aggregation function lacks a property the algorithm relies on
+    /// (e.g. the filtered strategy needs a zero annihilator).
+    UnsupportedAggregation {
+        /// Why the aggregation was rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for TopKError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopKError::ZeroK => write!(f, "k must be at least 1"),
+            TopKError::KTooLarge { k, n } => {
+                write!(f, "k = {k} exceeds the database size N = {n}")
+            }
+            TopKError::NoSources => write!(f, "at least one source is required"),
+            TopKError::MismatchedSources { sizes } => {
+                write!(f, "sources grade different object sets: sizes {sizes:?}")
+            }
+            TopKError::WrongArity { expected, actual } => {
+                write!(f, "algorithm requires m = {expected} sources, got {actual}")
+            }
+            TopKError::UnsupportedAggregation { reason } => {
+                write!(f, "unsupported aggregation function: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopKError {}
+
+/// Validates the common preconditions shared by all algorithms and returns
+/// the database size `N`.
+pub(crate) fn validate_inputs<S: crate::access::GradedSource>(
+    sources: &[S],
+    k: usize,
+) -> Result<usize, TopKError> {
+    if sources.is_empty() {
+        return Err(TopKError::NoSources);
+    }
+    let n = sources[0].len();
+    if sources.iter().any(|s| s.len() != n) {
+        return Err(TopKError::MismatchedSources {
+            sizes: sources.iter().map(|s| s.len()).collect(),
+        });
+    }
+    if k == 0 {
+        return Err(TopKError::ZeroK);
+    }
+    if k > n {
+        return Err(TopKError::KTooLarge { k, n });
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MemorySource;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    #[test]
+    fn select_takes_best() {
+        let t = TopK::select(
+            [
+                (ObjectId(0), g(0.1)),
+                (ObjectId(1), g(0.9)),
+                (ObjectId(2), g(0.5)),
+            ],
+            2,
+        );
+        assert_eq!(t.objects(), vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(t.best().unwrap().grade, g(0.9));
+    }
+
+    #[test]
+    fn same_grades_tolerates_object_swaps() {
+        let a = TopK::select([(ObjectId(0), g(0.5)), (ObjectId(1), g(0.5))], 1);
+        let b = TopK::select([(ObjectId(1), g(0.5)), (ObjectId(2), g(0.5))], 1);
+        assert!(a.same_grades(&b, 0.0));
+    }
+
+    #[test]
+    fn same_grades_detects_mismatch() {
+        let a = TopK::select([(ObjectId(0), g(0.5))], 1);
+        let b = TopK::select([(ObjectId(0), g(0.6))], 1);
+        assert!(!a.same_grades(&b, 1e-9));
+        assert!(a.same_grades(&b, 0.2));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let s = vec![MemorySource::from_grades(&[g(0.1), g(0.2)])];
+        assert_eq!(validate_inputs(&s, 0), Err(TopKError::ZeroK));
+        assert_eq!(
+            validate_inputs(&s, 3),
+            Err(TopKError::KTooLarge { k: 3, n: 2 })
+        );
+        assert_eq!(validate_inputs(&s, 2), Ok(2));
+        let empty: Vec<MemorySource> = vec![];
+        assert_eq!(validate_inputs(&empty, 1), Err(TopKError::NoSources));
+
+        let mismatched = vec![
+            MemorySource::from_grades(&[g(0.1), g(0.2)]),
+            MemorySource::from_grades(&[g(0.1)]),
+        ];
+        assert!(matches!(
+            validate_inputs(&mismatched, 1),
+            Err(TopKError::MismatchedSources { .. })
+        ));
+    }
+
+    #[test]
+    fn into_graded_set_round_trips() {
+        let t = TopK::select([(ObjectId(0), g(0.1)), (ObjectId(1), g(0.9))], 2);
+        let set = t.into_graded_set();
+        assert_eq!(set.at_rank(0).unwrap().object, ObjectId(1));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = format!("{}", TopKError::KTooLarge { k: 5, n: 3 });
+        assert!(msg.contains("k = 5"));
+        assert!(msg.contains("N = 3"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Source-contract validation.
+//!
+//! The algorithms assume every [`GradedSource`] honours the Section 4
+//! interface: sorted access descends, every object appears exactly once,
+//! and random access agrees with sorted access. A buggy subsystem breaking
+//! any of these silently corrupts top-k answers, so middleware deployments
+//! can run this (linear-cost) audit against a new subsystem before
+//! registering it.
+
+use std::collections::HashSet;
+
+use crate::access::GradedSource;
+use crate::object::ObjectId;
+
+/// A violation of the graded-source contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceViolation {
+    /// Sorted access produced a grade larger than its predecessor's.
+    NotDescending {
+        /// The rank at which the order broke.
+        rank: usize,
+    },
+    /// An object appeared twice under sorted access.
+    DuplicateObject {
+        /// The object.
+        object: ObjectId,
+        /// The second rank it appeared at.
+        rank: usize,
+    },
+    /// Sorted access ended before `len()` entries.
+    TruncatedList {
+        /// The rank where the stream ended.
+        rank: usize,
+        /// The advertised length.
+        len: usize,
+    },
+    /// Random access disagrees with the grade shown under sorted access.
+    InconsistentGrade {
+        /// The object.
+        object: ObjectId,
+    },
+    /// Random access failed for an object the list contains.
+    MissingRandomAccess {
+        /// The object.
+        object: ObjectId,
+    },
+}
+
+impl std::fmt::Display for SourceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceViolation::NotDescending { rank } => {
+                write!(f, "sorted access not descending at rank {rank}")
+            }
+            SourceViolation::DuplicateObject { object, rank } => {
+                write!(f, "object {object} shown twice (second time at rank {rank})")
+            }
+            SourceViolation::TruncatedList { rank, len } => {
+                write!(f, "sorted stream ended at rank {rank} of advertised {len}")
+            }
+            SourceViolation::InconsistentGrade { object } => {
+                write!(f, "random access disagrees with sorted grade for {object}")
+            }
+            SourceViolation::MissingRandomAccess { object } => {
+                write!(f, "random access failed for listed object {object}")
+            }
+        }
+    }
+}
+
+/// Audits a source against the full contract. Costs `len()` sorted plus
+/// `len()` random accesses.
+pub fn validate_source<S: GradedSource>(source: &S) -> Result<(), SourceViolation> {
+    let n = source.len();
+    let mut seen: HashSet<ObjectId> = HashSet::with_capacity(n);
+    let mut prev = None;
+    for rank in 0..n {
+        let Some(entry) = source.sorted_access(rank) else {
+            return Err(SourceViolation::TruncatedList { rank, len: n });
+        };
+        if let Some(p) = prev {
+            if entry.grade > p {
+                return Err(SourceViolation::NotDescending { rank });
+            }
+        }
+        prev = Some(entry.grade);
+        if !seen.insert(entry.object) {
+            return Err(SourceViolation::DuplicateObject {
+                object: entry.object,
+                rank,
+            });
+        }
+        match source.random_access(entry.object) {
+            None => {
+                return Err(SourceViolation::MissingRandomAccess {
+                    object: entry.object,
+                })
+            }
+            Some(g) if g != entry.grade => {
+                return Err(SourceViolation::InconsistentGrade {
+                    object: entry.object,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MemorySource;
+    use crate::complement::ComplementSource;
+    use crate::graded_set::GradedEntry;
+    use garlic_agg::Grade;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    #[test]
+    fn memory_source_is_valid() {
+        let s = MemorySource::from_grades(&[g(0.4), g(0.9), g(0.1)]);
+        validate_source(&s).unwrap();
+    }
+
+    #[test]
+    fn complement_source_is_valid() {
+        let s = ComplementSource::new(MemorySource::from_grades(&[g(0.4), g(0.9), g(0.1)]));
+        validate_source(&s).unwrap();
+    }
+
+    /// A deliberately broken source for failure injection.
+    struct Broken {
+        kind: u8,
+    }
+
+    impl GradedSource for Broken {
+        fn len(&self) -> usize {
+            3
+        }
+        fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+            match (self.kind, rank) {
+                // kind 0: ascending grades.
+                (0, r) if r < 3 => Some(GradedEntry::new(r, Grade::clamped(r as f64 / 3.0))),
+                // kind 1: duplicate object.
+                (1, r) if r < 3 => Some(GradedEntry::new(0usize, g(0.5))),
+                // kind 2: truncated stream.
+                (2, 0) => Some(GradedEntry::new(0usize, g(0.5))),
+                (2, _) => None,
+                // kind 3: random access disagrees.
+                (3, r) if r < 3 => Some(GradedEntry::new(r, g(0.5))),
+                // kind 4: random access missing.
+                (4, r) if r < 3 => Some(GradedEntry::new(r, g(0.5))),
+                _ => None,
+            }
+        }
+        fn random_access(&self, object: ObjectId) -> Option<Grade> {
+            match self.kind {
+                3 => Some(g(0.1)),
+                4 => None,
+                0 => Some(Grade::clamped(object.0 as f64 / 3.0)),
+                _ => Some(g(0.5)),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_violation_kind() {
+        assert!(matches!(
+            validate_source(&Broken { kind: 0 }),
+            Err(SourceViolation::NotDescending { .. })
+        ));
+        assert!(matches!(
+            validate_source(&Broken { kind: 1 }),
+            Err(SourceViolation::DuplicateObject { .. })
+        ));
+        assert!(matches!(
+            validate_source(&Broken { kind: 2 }),
+            Err(SourceViolation::TruncatedList { .. })
+        ));
+        assert!(matches!(
+            validate_source(&Broken { kind: 3 }),
+            Err(SourceViolation::InconsistentGrade { .. })
+        ));
+        assert!(matches!(
+            validate_source(&Broken { kind: 4 }),
+            Err(SourceViolation::MissingRandomAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_messages_name_the_problem() {
+        let err = validate_source(&Broken { kind: 0 }).unwrap_err();
+        assert!(format!("{err}").contains("descending"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the access layer: metering, complement sources, and
+//! the source-contract validator, on arbitrary grade assignments.
+
+use garlic_agg::Grade;
+use garlic_core::access::{CountingSource, GradedSource, MemorySource};
+use garlic_core::complement::ComplementSource;
+use garlic_core::validate::validate_source;
+use garlic_core::{AccessStats, ObjectId};
+use proptest::prelude::*;
+
+fn grades() -> impl Strategy<Value = Vec<Grade>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..=3).prop_map(|q| Grade::clamped(q as f64 / 3.0)),
+            (0.0f64..=1.0).prop_map(Grade::clamped),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn memory_sources_always_validate(gs in grades()) {
+        let source = MemorySource::from_grades(&gs);
+        prop_assert!(validate_source(&source).is_ok());
+    }
+
+    #[test]
+    fn complement_sources_always_validate(gs in grades()) {
+        let source = ComplementSource::new(MemorySource::from_grades(&gs));
+        prop_assert!(validate_source(&source).is_ok());
+    }
+
+    #[test]
+    fn sorted_access_enumerates_every_object_once(gs in grades()) {
+        let source = MemorySource::from_grades(&gs);
+        let mut seen: Vec<ObjectId> =
+            (0..gs.len()).map(|r| source.sorted_access(r).unwrap().object).collect();
+        seen.sort();
+        let expected: Vec<ObjectId> = (0..gs.len() as u64).map(ObjectId).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert!(source.sorted_access(gs.len()).is_none());
+    }
+
+    #[test]
+    fn random_access_agrees_with_construction(gs in grades()) {
+        let source = MemorySource::from_grades(&gs);
+        for (i, g) in gs.iter().enumerate() {
+            prop_assert_eq!(source.random_access(ObjectId(i as u64)), Some(*g));
+        }
+    }
+
+    #[test]
+    fn counting_is_exact(gs in grades(), sorted_n in 0usize..50, random_n in 0usize..50) {
+        let source = CountingSource::new(MemorySource::from_grades(&gs));
+        let mut expect_sorted = 0;
+        for r in 0..sorted_n {
+            if source.sorted_access(r % gs.len().max(1)).is_some() {
+                expect_sorted += 1;
+            }
+        }
+        let mut expect_random = 0;
+        for r in 0..random_n {
+            if source.random_access(ObjectId((r % gs.len().max(1)) as u64)).is_some() {
+                expect_random += 1;
+            }
+        }
+        prop_assert_eq!(source.stats(), AccessStats::new(expect_sorted, expect_random));
+    }
+
+    #[test]
+    fn complement_random_access_is_involutive(gs in grades()) {
+        let base = MemorySource::from_grades(&gs);
+        let twice = ComplementSource::new(ComplementSource::new(base.clone()));
+        for i in 0..gs.len() as u64 {
+            let id = ObjectId(i);
+            prop_assert!(twice
+                .random_access(id)
+                .unwrap()
+                .approx_eq(base.random_access(id).unwrap(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn complement_reverses_the_ranking(gs in grades()) {
+        let base = MemorySource::from_grades(&gs);
+        let comp = ComplementSource::new(base.clone());
+        let n = gs.len();
+        for r in 0..n {
+            let fwd = base.sorted_access(r).unwrap();
+            let bwd = comp.sorted_access(n - 1 - r).unwrap();
+            prop_assert_eq!(fwd.object, bwd.object);
+            prop_assert!(bwd.grade.approx_eq(fwd.grade.complement(), 1e-12));
+        }
+    }
+}
+
+/// The metering wrapper is transparent: answers through it are identical.
+#[test]
+fn counting_wrapper_is_transparent() {
+    let g = |v: f64| Grade::new(v).unwrap();
+    let gs = [g(0.4), g(0.9), g(0.1), g(0.6)];
+    let plain = MemorySource::from_grades(&gs);
+    let counted = CountingSource::new(MemorySource::from_grades(&gs));
+    for r in 0..4 {
+        assert_eq!(plain.sorted_access(r), counted.sorted_access(r));
+    }
+    for i in 0..4u64 {
+        assert_eq!(
+            plain.random_access(ObjectId(i)),
+            counted.random_access(ObjectId(i))
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! The attribute catalog: which subsystem answers which atomic query.
+//!
+//! "A single Garlic query can access data in a number of different
+//! subsystems" (Section 1); the catalog is the routing table that makes
+//! that possible. All registered subsystems must grade the *same* object
+//! universe (Section 2's "attributes of a specific set of objects of some
+//! fixed type").
+
+use garlic_subsys::{AtomicQuery, Subsystem, SubsystemError};
+
+use crate::error::MiddlewareError;
+
+/// A registry of subsystems keyed by the attributes they serve.
+pub struct Catalog<'a> {
+    subsystems: Vec<&'a dyn Subsystem>,
+    universe: usize,
+}
+
+impl<'a> Catalog<'a> {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            subsystems: Vec::new(),
+            universe: 0,
+        }
+    }
+
+    /// Registers a subsystem.
+    ///
+    /// Returns an error if its universe size disagrees with the already
+    /// registered subsystems.
+    pub fn register(&mut self, subsystem: &'a dyn Subsystem) -> Result<(), MiddlewareError> {
+        if self.subsystems.is_empty() {
+            self.universe = subsystem.universe_size();
+        } else if subsystem.universe_size() != self.universe {
+            return Err(MiddlewareError::UniverseMismatch {
+                subsystem: subsystem.name().to_owned(),
+                expected: self.universe,
+                actual: subsystem.universe_size(),
+            });
+        }
+        self.subsystems.push(subsystem);
+        Ok(())
+    }
+
+    /// The shared universe size `N`.
+    pub fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// The registered subsystems.
+    pub fn subsystems(&self) -> &[&'a dyn Subsystem] {
+        &self.subsystems
+    }
+
+    /// Finds the subsystem serving an attribute (first registered wins).
+    pub fn resolve(&self, attribute: &str) -> Result<&'a dyn Subsystem, MiddlewareError> {
+        self.subsystems
+            .iter()
+            .find(|s| s.attributes().iter().any(|a| a == attribute))
+            .copied()
+            .ok_or_else(|| MiddlewareError::UnboundAttribute {
+                attribute: attribute.to_owned(),
+            })
+    }
+
+    /// Evaluates an atomic query through its resolved subsystem.
+    pub fn evaluate(
+        &self,
+        query: &AtomicQuery,
+    ) -> Result<Box<dyn garlic_core::GradedSource + 'a>, MiddlewareError> {
+        let sub = self.resolve(&query.attribute)?;
+        sub.evaluate(query).map_err(MiddlewareError::Subsystem)
+    }
+
+    /// Whether the attribute grades crisply (planner input).
+    pub fn is_crisp(&self, attribute: &str) -> bool {
+        self.resolve(attribute)
+            .map(|s| s.is_crisp(attribute))
+            .unwrap_or(false)
+    }
+}
+
+impl Default for Catalog<'_> {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+/// Convenience: lift a subsystem error into a middleware error.
+impl From<SubsystemError> for MiddlewareError {
+    fn from(e: SubsystemError) -> Self {
+        MiddlewareError::Subsystem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garlic_subsys::cd_store::demo_subsystems;
+    use garlic_subsys::Target;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resolves_attributes_to_subsystems() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, qbic, text) = demo_subsystems(&mut rng);
+        let mut cat = Catalog::new();
+        cat.register(&rel).unwrap();
+        cat.register(&qbic).unwrap();
+        cat.register(&text).unwrap();
+
+        assert_eq!(cat.resolve("Artist").unwrap().name(), "cd_relational");
+        assert_eq!(cat.resolve("AlbumColor").unwrap().name(), "cd_qbic");
+        assert_eq!(cat.resolve("Review").unwrap().name(), "cd_reviews");
+        assert!(matches!(
+            cat.resolve("Tempo"),
+            Err(MiddlewareError::UnboundAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn crisp_detection() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, qbic, _) = demo_subsystems(&mut rng);
+        let mut cat = Catalog::new();
+        cat.register(&rel).unwrap();
+        cat.register(&qbic).unwrap();
+        assert!(cat.is_crisp("Artist"));
+        assert!(!cat.is_crisp("AlbumColor"));
+        assert!(!cat.is_crisp("Nonexistent"));
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, _, _) = demo_subsystems(&mut rng);
+        let small = garlic_subsys::QbicStore::synthetic("tiny", 3, &mut rng);
+        let mut cat = Catalog::new();
+        cat.register(&rel).unwrap();
+        assert!(matches!(
+            cat.register(&small),
+            Err(MiddlewareError::UniverseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_routes_through_subsystem() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, _, _) = demo_subsystems(&mut rng);
+        let mut cat = Catalog::new();
+        cat.register(&rel).unwrap();
+        let src = cat
+            .evaluate(&AtomicQuery::new("Artist", Target::text("Beatles")))
+            .unwrap();
+        assert_eq!(src.len(), 12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Middleware errors.
+
+use garlic_core::TopKError;
+use garlic_subsys::SubsystemError;
+use std::fmt;
+
+/// Errors surfaced by the Garlic middleware layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiddlewareError {
+    /// No registered subsystem serves the attribute.
+    UnboundAttribute {
+        /// The attribute requested.
+        attribute: String,
+    },
+    /// A subsystem grades a different universe than the catalog.
+    UniverseMismatch {
+        /// The offending subsystem.
+        subsystem: String,
+        /// The catalog's universe size.
+        expected: usize,
+        /// The subsystem's universe size.
+        actual: usize,
+    },
+    /// A subsystem refused or failed a query.
+    Subsystem(SubsystemError),
+    /// The evaluation algorithm rejected its inputs.
+    TopK(TopKError),
+    /// The query shape is unsupported by the requested execution mode.
+    Unsupported {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiddlewareError::UnboundAttribute { attribute } => {
+                write!(f, "no subsystem serves attribute {attribute:?}")
+            }
+            MiddlewareError::UniverseMismatch {
+                subsystem,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "subsystem {subsystem} grades {actual} objects but the catalog has {expected}"
+            ),
+            MiddlewareError::Subsystem(e) => write!(f, "subsystem error: {e}"),
+            MiddlewareError::TopK(e) => write!(f, "evaluation error: {e}"),
+            MiddlewareError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+impl From<TopKError> for MiddlewareError {
+    fn from(e: TopKError) -> Self {
+        MiddlewareError::TopK(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MiddlewareError::UnboundAttribute {
+            attribute: "Tempo".into(),
+        };
+        assert!(format!("{e}").contains("Tempo"));
+        let e = MiddlewareError::UniverseMismatch {
+            subsystem: "qbic".into(),
+            expected: 10,
+            actual: 3,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("10") && msg.contains('3'));
+    }
+}

@@ -1,0 +1,606 @@
+//! The executor: runs a [`Plan`] against the catalog's subsystems, through
+//! counting sources so every answer comes back with its Section 5
+//! middleware cost.
+
+use garlic_agg::iterated::min_agg;
+use garlic_core::access::CountingSource;
+use garlic_core::algorithms::{
+    b0_max::b0_max_topk, fa::fagin_run, fa::FaOptions, fa_min::fagin_min_topk,
+    filtered::filtered_topk, naive::naive_topk,
+};
+use garlic_core::{AccessStats, GradedSource, TopK};
+use garlic_subsys::AtomicQuery;
+
+use garlic_core::complement::ComplementSource;
+
+use crate::catalog::Catalog;
+use crate::error::MiddlewareError;
+use crate::plan::{plan, Plan, PlannerOptions, Strategy};
+use crate::query::{GarlicQuery, NnfAggregation, QueryAggregation};
+
+/// A query answer with its plan and measured middleware cost.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The top-k answers (objects with their overall grades).
+    pub answers: TopK,
+    /// Measured access counts across all subsystems.
+    pub stats: AccessStats,
+    /// The plan that produced the answer.
+    pub plan: Plan,
+}
+
+/// The Garlic middleware: a catalog plus planner options.
+pub struct Garlic<'a> {
+    catalog: Catalog<'a>,
+    options: PlannerOptions,
+}
+
+impl<'a> Garlic<'a> {
+    /// Wraps a catalog with default options.
+    pub fn new(catalog: Catalog<'a>) -> Self {
+        Garlic {
+            catalog,
+            options: PlannerOptions::default(),
+        }
+    }
+
+    /// Wraps a catalog with explicit options.
+    pub fn with_options(catalog: Catalog<'a>, options: PlannerOptions) -> Self {
+        Garlic { catalog, options }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog<'a> {
+        &self.catalog
+    }
+
+    /// Plans without executing (EXPLAIN).
+    pub fn explain(&self, query: &GarlicQuery, k: usize) -> Result<Plan, MiddlewareError> {
+        plan(&self.catalog, query, k, self.options)
+    }
+
+    /// Plans and executes a top-k query.
+    pub fn top_k(&self, query: &GarlicQuery, k: usize) -> Result<QueryResult, MiddlewareError> {
+        let plan = self.explain(query, k)?;
+        let (answers, stats) = self.execute(query, &plan, k)?;
+        Ok(QueryResult {
+            answers,
+            stats,
+            plan,
+        })
+    }
+
+    /// Pages through a query's ranked result set: returns one [`TopK`] per
+    /// requested batch size, never repeating an object, plus the *total*
+    /// middleware cost — which, thanks to A₀'s "continue where we left
+    /// off" property (Section 4), matches a single evaluation at the
+    /// cumulative k rather than paying per batch.
+    ///
+    /// Supported for queries that plan to a single-algorithm strategy over
+    /// the atom lists (A₀′ / generic A₀ / NNF); other strategies fall back
+    /// to one evaluation at the cumulative k and slicing.
+    pub fn top_batches(
+        &self,
+        query: &GarlicQuery,
+        batches: &[usize],
+    ) -> Result<(Vec<TopK>, AccessStats), MiddlewareError> {
+        if batches.contains(&0) {
+            return Err(MiddlewareError::TopK(garlic_core::TopKError::ZeroK));
+        }
+        let total: usize = batches.iter().sum();
+        let n = self.catalog.universe_size();
+        let total = total.min(n);
+
+        let plan = self.explain(query, total.max(1))?;
+        match plan.strategy {
+            Strategy::FaMin | Strategy::FaGeneric => {
+                let sources = self.evaluate_counted(&plan.atoms)?;
+                let agg = QueryAggregation::new(query, &plan.atoms);
+                let mut session = garlic_core::algorithms::resume::ResumableFa::new(
+                    &sources, &agg,
+                )?;
+                let mut out = Vec::with_capacity(batches.len());
+                let mut remaining = total;
+                for &b in batches {
+                    let take = b.min(remaining);
+                    if take == 0 {
+                        out.push(TopK::from_entries(Vec::new()));
+                        continue;
+                    }
+                    out.push(session.next_batch(take)?);
+                    remaining -= take;
+                }
+                Ok((out, garlic_core::access::total_stats(&sources)))
+            }
+            _ => {
+                // One evaluation at the cumulative k, then slice.
+                let result = self.top_k(query, total.max(1))?;
+                let entries = result.answers.entries();
+                let mut out = Vec::with_capacity(batches.len());
+                let mut cursor = 0usize;
+                for &b in batches {
+                    let end = (cursor + b).min(entries.len());
+                    out.push(TopK::from_entries(entries[cursor..end].to_vec()));
+                    cursor = end;
+                }
+                Ok((out, result.stats))
+            }
+        }
+    }
+
+    /// A *weighted* conjunction of atomic queries (Section 4's pointer to
+    /// \[FW97\]: "the user decides that color is twice as important to him
+    /// as shape"). Weights are non-negative with a positive sum; the
+    /// aggregation is the Fagin–Wimmers weighting of min, which is
+    /// monotone, so algorithm A₀ applies unchanged.
+    pub fn top_k_weighted(
+        &self,
+        weighted_atoms: &[(AtomicQuery, f64)],
+        k: usize,
+    ) -> Result<QueryResult, MiddlewareError> {
+        if weighted_atoms.is_empty() {
+            return Err(MiddlewareError::Unsupported {
+                reason: "weighted conjunction needs at least one conjunct".into(),
+            });
+        }
+        let atoms: Vec<AtomicQuery> = weighted_atoms.iter().map(|(a, _)| a.clone()).collect();
+        let weights: Vec<f64> = weighted_atoms.iter().map(|(_, w)| *w).collect();
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) || weights.iter().sum::<f64>() <= 0.0
+        {
+            return Err(MiddlewareError::Unsupported {
+                reason: "weights must be non-negative, finite, with a positive sum".into(),
+            });
+        }
+        let sources = self.evaluate_counted(&atoms)?;
+        let agg = garlic_agg::weighted::FaginWimmers::new(min_agg(), &weights);
+        let run = fagin_run(
+            &sources,
+            &agg,
+            k,
+            FaOptions {
+                shrink_depths: self.options.shrink_depths,
+            },
+        )?;
+        let m = atoms.len();
+        let n = self.catalog.universe_size();
+        let plan = Plan {
+            strategy: Strategy::FaGeneric,
+            description: format!(
+                "weighted conjunction of {m} atoms with weights {weights:?} \
+                 under the Fagin-Wimmers rule (FW97); monotone, evaluated by A0"
+            ),
+            estimated_cost: 2.0
+                * m as f64
+                * (n as f64).powf((m as f64 - 1.0) / m as f64)
+                * (k as f64).powf(1.0 / m as f64),
+            atoms,
+        };
+        Ok(QueryResult {
+            answers: run.topk,
+            stats: garlic_core::access::total_stats(&sources),
+            plan,
+        })
+    }
+
+    fn evaluate_counted(
+        &self,
+        atoms: &[AtomicQuery],
+    ) -> Result<Vec<CountingSource<Box<dyn GradedSource + 'a>>>, MiddlewareError> {
+        atoms
+            .iter()
+            .map(|a| Ok(CountingSource::new(self.catalog.evaluate(a)?)))
+            .collect()
+    }
+
+    fn execute(
+        &self,
+        query: &GarlicQuery,
+        plan: &Plan,
+        k: usize,
+    ) -> Result<(TopK, AccessStats), MiddlewareError> {
+        match &plan.strategy {
+            Strategy::B0Max => {
+                let sources = self.evaluate_counted(&plan.atoms)?;
+                let answers = b0_max_topk(&sources, k)?;
+                Ok((answers, garlic_core::access::total_stats(&sources)))
+            }
+            Strategy::FaMin => {
+                let sources = self.evaluate_counted(&plan.atoms)?;
+                let answers = fagin_min_topk(&sources, k)?;
+                Ok((answers, garlic_core::access::total_stats(&sources)))
+            }
+            Strategy::Filtered { crisp_index } => {
+                let crisp_atom = &plan.atoms[*crisp_index];
+                let sub = self.catalog.resolve(&crisp_atom.attribute)?;
+                let crisp = CountingSource::new(
+                    sub.evaluate_set(crisp_atom)
+                        .map_err(MiddlewareError::Subsystem)?,
+                );
+                let graded_atoms: Vec<AtomicQuery> = plan
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i != crisp_index)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let graded = self.evaluate_counted(&graded_atoms)?;
+                let answers =
+                    filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), k)?;
+                let stats = crisp.stats() + garlic_core::access::total_stats(&graded);
+                Ok((answers, stats))
+            }
+            Strategy::FaGeneric => {
+                let sources = self.evaluate_counted(&plan.atoms)?;
+                let agg = QueryAggregation::new(query, &plan.atoms);
+                let run = fagin_run(
+                    &sources,
+                    &agg,
+                    k,
+                    FaOptions {
+                        shrink_depths: self.options.shrink_depths,
+                    },
+                )?;
+                Ok((run.topk, garlic_core::access::total_stats(&sources)))
+            }
+            Strategy::NaiveCalculus => {
+                let sources = self.evaluate_counted(&plan.atoms)?;
+                let agg = QueryAggregation::new(query, &plan.atoms);
+                let answers = naive_topk(&sources, &agg, k)?;
+                Ok((answers, garlic_core::access::total_stats(&sources)))
+            }
+            Strategy::InternalPushdown { .. } => {
+                let sub = self.catalog.resolve(&plan.atoms[0].attribute)?;
+                let fused = CountingSource::new(
+                    sub.evaluate_internal_conjunction(&plan.atoms)
+                        .map_err(MiddlewareError::Subsystem)?,
+                );
+                // Top k of the single fused list.
+                let sources = vec![fused];
+                let answers = b0_max_topk(&sources, k)?;
+                Ok((answers, garlic_core::access::total_stats(&sources)))
+            }
+            Strategy::FaNnf => {
+                let nnf = query.to_nnf();
+                // One source per *literal*: negated literals read the
+                // atom's list reversed with complemented grades.
+                let sources: Vec<CountingSource<Box<dyn GradedSource + 'a>>> = nnf
+                    .literals
+                    .iter()
+                    .map(|lit| {
+                        let base = self.catalog.evaluate(&lit.atom)?;
+                        let source: Box<dyn GradedSource + 'a> = if lit.negated {
+                            Box::new(ComplementSource::new(base))
+                        } else {
+                            base
+                        };
+                        Ok(CountingSource::new(source))
+                    })
+                    .collect::<Result<_, MiddlewareError>>()?;
+                let agg = NnfAggregation::new(nnf);
+                let run = fagin_run(
+                    &sources,
+                    &agg,
+                    k,
+                    FaOptions {
+                        shrink_depths: self.options.shrink_depths,
+                    },
+                )?;
+                Ok((run.topk, garlic_core::access::total_stats(&sources)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garlic_agg::Grade;
+    use garlic_subsys::cd_store::demo_subsystems;
+    use garlic_subsys::{Subsystem, Target};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        rel: garlic_subsys::RelationalStore,
+        qbic: garlic_subsys::QbicStore,
+        text: garlic_subsys::TextStore,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (rel, qbic, text) = demo_subsystems(&mut rng);
+            Fixture { rel, qbic, text }
+        }
+
+        fn garlic(&self) -> Garlic<'_> {
+            let mut cat = Catalog::new();
+            cat.register(&self.rel).unwrap();
+            cat.register(&self.qbic).unwrap();
+            cat.register(&self.text).unwrap();
+            Garlic::new(cat)
+        }
+    }
+
+    #[test]
+    fn beatles_red_returns_only_beatles_with_colour_ranking() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("Artist", Target::text("Beatles")),
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+        );
+        let result = garlic.top_k(&q, 2).unwrap();
+        // Albums 0 ("Crimson Meadows", red .9) and 3 ("Scarlet Parade",
+        // red .6) are the two red-est Beatles albums.
+        let ids: Vec<u64> = result.answers.objects().iter().map(|o| o.0).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&3));
+        assert!(result.answers.grades()[0] > Grade::ZERO);
+        assert!(matches!(result.plan.strategy, Strategy::Filtered { .. }));
+        // Cost must be far below a full scan (12 objects × 2 lists = 24).
+        assert!(result.stats.unweighted() < 24);
+    }
+
+    #[test]
+    fn color_shape_conjunction_matches_reference_semantics() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        let fast = garlic.top_k(&q, 3).unwrap();
+
+        // Reference: naive evaluation of the same semantics.
+        let color = f.qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red"))).unwrap();
+        let shape = f.qbic.evaluate(&AtomicQuery::new("Shape", Target::text("round"))).unwrap();
+        let slow = naive_topk(&[color, shape], &min_agg(), 3).unwrap();
+        assert!(fast.answers.same_grades(&slow, 1e-12));
+    }
+
+    #[test]
+    fn disjunction_executes_b0_with_mk_cost() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::or(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        let result = garlic.top_k(&q, 3).unwrap();
+        assert_eq!(result.stats.sorted, 6);
+        assert_eq!(result.stats.random, 0);
+    }
+
+    #[test]
+    fn negated_query_executes_naive_and_matches_semantics() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let a = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let q = GarlicQuery::and(a.clone(), GarlicQuery::not(a));
+        let result = garlic.top_k(&q, 1).unwrap();
+        // The winner's grade is min(g, 1-g) <= 1/2 (Section 7).
+        assert!(result.answers.best().unwrap().grade <= Grade::HALF);
+        assert!(matches!(result.plan.strategy, Strategy::NaiveCalculus));
+    }
+
+    #[test]
+    fn nested_positive_query_via_fa_generic_matches_naive() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::or(
+                GarlicQuery::atom("Shape", Target::text("round")),
+                GarlicQuery::atom("Review", Target::terms(&["rock"])),
+            ),
+        );
+        let fast = garlic.top_k(&q, 3).unwrap();
+        assert!(matches!(fast.plan.strategy, Strategy::FaGeneric));
+
+        // Reference: naive with the same compound aggregation.
+        let atoms = q.atoms();
+        let sources: Vec<_> = atoms.iter().map(|a| garlic.catalog().evaluate(a).unwrap()).collect();
+        let agg = QueryAggregation::new(&q, &atoms);
+        let slow = naive_topk(&sources, &agg, 3).unwrap();
+        assert!(fast.answers.same_grades(&slow, 1e-12));
+    }
+
+    #[test]
+    fn internal_pushdown_differs_from_garlic_semantics() {
+        let f = Fixture::new();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+
+        let external = f.garlic().top_k(&q, 12).unwrap();
+
+        let mut cat = Catalog::new();
+        cat.register(&f.qbic).unwrap();
+        let internal_garlic = Garlic::with_options(
+            cat,
+            PlannerOptions {
+                prefer_internal: true,
+                ..Default::default()
+            },
+        );
+        let internal = internal_garlic.top_k(&q, 12).unwrap();
+        assert!(matches!(
+            internal.plan.strategy,
+            Strategy::InternalPushdown { .. }
+        ));
+
+        // Same objects, but the grades differ: product vs min (Section 8).
+        let min_grades = external.answers.grades();
+        let prod_grades = internal.answers.grades();
+        assert_ne!(min_grades, prod_grades);
+    }
+
+    #[test]
+    fn paged_batches_equal_one_shot() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+
+        let (batches, _) = garlic.top_batches(&q, &[3, 3, 3]).unwrap();
+        assert_eq!(batches.len(), 3);
+        let oneshot = garlic.top_k(&q, 9).unwrap();
+        let mut paged: Vec<Grade> = Vec::new();
+        for b in &batches {
+            paged.extend(b.grades());
+        }
+        assert_eq!(paged.len(), 9);
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+    }
+
+    #[test]
+    fn paged_batches_work_for_filtered_strategy_too() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("Artist", Target::text("Beatles")),
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+        );
+        let (batches, _) = garlic.top_batches(&q, &[2, 2]).unwrap();
+        let oneshot = garlic.top_k(&q, 4).unwrap();
+        let mut paged: Vec<Grade> = Vec::new();
+        for b in &batches {
+            paged.extend(b.grades());
+        }
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+    }
+
+    #[test]
+    fn paged_batches_clamp_at_universe() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let (batches, _) = garlic.top_batches(&q, &[10, 10]).unwrap();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 12); // N = 12
+        assert!(garlic.top_batches(&q, &[0]).is_err());
+    }
+
+    #[test]
+    fn weighted_conjunction_reweights_the_ranking() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let color = AtomicQuery::new("AlbumColor", Target::text("red"));
+        let shape = AtomicQuery::new("Shape", Target::text("round"));
+
+        // Equal weights recover the unweighted min conjunction.
+        let equal = garlic
+            .top_k_weighted(&[(color.clone(), 1.0), (shape.clone(), 1.0)], 12)
+            .unwrap();
+        let unweighted = garlic
+            .top_k(
+                &GarlicQuery::and(
+                    GarlicQuery::Atom(color.clone()),
+                    GarlicQuery::Atom(shape.clone()),
+                ),
+                12,
+            )
+            .unwrap();
+        assert!(equal.answers.same_grades(&unweighted.answers, 1e-9));
+
+        // "Color twice as important as shape": grades must differ from the
+        // unweighted ones, and match the naive FW reference.
+        let weighted = garlic
+            .top_k_weighted(&[(color.clone(), 2.0), (shape.clone(), 1.0)], 12)
+            .unwrap();
+        assert_ne!(weighted.answers.grades(), unweighted.answers.grades());
+
+        let sources = vec![
+            garlic.catalog().evaluate(&color).unwrap(),
+            garlic.catalog().evaluate(&shape).unwrap(),
+        ];
+        let agg = garlic_agg::weighted::FaginWimmers::new(min_agg(), &[2.0, 1.0]);
+        let reference = naive_topk(&sources, &agg, 12).unwrap();
+        assert!(weighted.answers.same_grades(&reference, 1e-9));
+    }
+
+    #[test]
+    fn weighted_conjunction_rejects_bad_weights() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let color = AtomicQuery::new("AlbumColor", Target::text("red"));
+        assert!(garlic.top_k_weighted(&[], 1).is_err());
+        assert!(garlic
+            .top_k_weighted(&[(color.clone(), -1.0)], 1)
+            .is_err());
+        assert!(garlic.top_k_weighted(&[(color, 0.0)], 1).is_err());
+    }
+
+    #[test]
+    fn negation_pushdown_matches_naive_calculus() {
+        let f = Fixture::new();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::not(GarlicQuery::atom("Shape", Target::text("round"))),
+        );
+
+        let naive = f.garlic().top_k(&q, 5).unwrap();
+        assert!(matches!(naive.plan.strategy, Strategy::NaiveCalculus));
+
+        let mut cat = Catalog::new();
+        cat.register(&f.rel).unwrap();
+        cat.register(&f.qbic).unwrap();
+        cat.register(&f.text).unwrap();
+        let pushdown = Garlic::with_options(
+            cat,
+            PlannerOptions {
+                negation_pushdown: true,
+                ..Default::default()
+            },
+        )
+        .top_k(&q, 5)
+        .unwrap();
+        assert!(matches!(pushdown.plan.strategy, Strategy::FaNnf));
+        assert!(pushdown.answers.same_grades(&naive.answers, 1e-12));
+    }
+
+    #[test]
+    fn hard_query_via_pushdown_still_correct() {
+        let f = Fixture::new();
+        let red = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let hard = GarlicQuery::and(red.clone(), GarlicQuery::not(red));
+
+        let naive = f.garlic().top_k(&hard, 2).unwrap();
+
+        let mut cat = Catalog::new();
+        cat.register(&f.rel).unwrap();
+        cat.register(&f.qbic).unwrap();
+        cat.register(&f.text).unwrap();
+        let pushdown = Garlic::with_options(
+            cat,
+            PlannerOptions {
+                negation_pushdown: true,
+                ..Default::default()
+            },
+        )
+        .top_k(&hard, 2)
+        .unwrap();
+        assert!(pushdown.answers.same_grades(&naive.answers, 1e-12));
+        assert!(pushdown.answers.best().unwrap().grade <= Grade::HALF);
+    }
+
+    #[test]
+    fn explain_without_execution() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::atom("Artist", Target::text("Kinks"));
+        let plan = garlic.explain(&q, 2).unwrap();
+        let text = format!("{plan}");
+        assert!(text.contains("strategy"));
+        assert!(text.contains("Kinks"));
+    }
+}

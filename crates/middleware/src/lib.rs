@@ -1,0 +1,49 @@
+//! # garlic-middleware — the Garlic analogue
+//!
+//! The middleware of the paper: it holds a [`catalog::Catalog`] of
+//! subsystems, plans Boolean queries over their attributes
+//! ([`plan::plan`]), and executes the plan with full cost accounting
+//! ([`exec::Garlic::top_k`]).
+//!
+//! The planner implements the full Section 4/8 strategy catalogue: the
+//! filtered "Beatles" strategy, A₀′ for conjunctions, B₀ for disjunctions,
+//! A₀-with-compound-aggregation for arbitrary positive queries, the naive
+//! scan for negations, and Section 8 internal-conjunction pushdown.
+//!
+//! ```
+//! use garlic_middleware::{Catalog, Garlic, GarlicQuery};
+//! use garlic_subsys::{cd_store::demo_subsystems, Target};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (rel, qbic, text) = demo_subsystems(&mut rng);
+//! let mut catalog = Catalog::new();
+//! catalog.register(&rel).unwrap();
+//! catalog.register(&qbic).unwrap();
+//! catalog.register(&text).unwrap();
+//!
+//! let garlic = Garlic::new(catalog);
+//! let query = GarlicQuery::and(
+//!     GarlicQuery::atom("Artist", Target::text("Beatles")),
+//!     GarlicQuery::atom("AlbumColor", Target::text("red")),
+//! );
+//! let result = garlic.top_k(&query, 2).unwrap();
+//! assert_eq!(result.answers.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod plan;
+pub mod query;
+
+pub use catalog::Catalog;
+pub use error::MiddlewareError;
+pub use exec::{Garlic, QueryResult};
+pub use parser::{parse_query, ParseError};
+pub use plan::{Plan, PlannerOptions, Strategy};
+pub use query::{GarlicQuery, QueryAggregation};

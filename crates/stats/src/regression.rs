@@ -1,0 +1,119 @@
+//! Least-squares regression, used to estimate cost exponents.
+//!
+//! Theorem 5.3 predicts `cost ≈ C · N^((m−1)/m) · k^(1/m)`; fitting a line
+//! to `(ln N, ln cost)` recovers the exponent `(m−1)/m` as the slope, which
+//! is how experiments E01–E03 verify the scaling law.
+
+/// An ordinary least-squares fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// The slope.
+    pub slope: f64,
+    /// The intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 for a perfect fit; defined as 1
+    /// when the responses are constant).
+    pub r_squared: f64,
+}
+
+/// Fits a line by ordinary least squares.
+///
+/// # Panics
+/// Panics with fewer than two points, non-finite inputs, or zero variance
+/// in `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys).all(|v| v.is_finite()),
+        "non-finite input"
+    );
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let syy: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    assert!(sxx > 0.0, "x values are constant");
+
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `cost ≈ C · n^e` by regressing `ln cost` on `ln n`; the returned
+/// slope is the measured exponent `e`.
+///
+/// # Panics
+/// Panics if any input is non-positive (logs must exist).
+pub fn log_log_fit(ns: &[f64], costs: &[f64]) -> LinearFit {
+    assert!(
+        ns.iter().chain(costs).all(|v| *v > 0.0),
+        "log-log fit needs positive values"
+    );
+    let lx: Vec<f64> = ns.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = costs.iter().map(|v| v.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_law_exponent_recovered() {
+        // cost = 7·√n → slope 0.5 in log-log space.
+        let ns: Vec<f64> = (1..=6).map(|i| 1000.0 * 2f64.powi(i)).collect();
+        let costs: Vec<f64> = ns.iter().map(|n| 7.0 * n.sqrt()).collect();
+        let fit = log_log_fit(&ns, &costs);
+        assert!((fit.slope - 0.5).abs() < 1e-9, "slope = {}", fit.slope);
+        assert!((fit.intercept - 7.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_has_sub_one_r2() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.3];
+        let fit = linear_fit(&xs, &ys);
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+        assert!((fit.slope - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_response_is_perfectly_fit() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_point() {
+        linear_fit(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_log_rejects_nonpositive() {
+        log_log_fit(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! The subsystem contract Garlic programs against.
+//!
+//! Garlic "is designed to be capable of integrating data that resides in
+//! different database systems as well as a variety of nondatabase data
+//! servers" (Section 1). A [`Subsystem`] answers *atomic queries* of the
+//! form `X = t` (attribute = target, Section 2) with a graded set reachable
+//! through sorted and random access; the middleware composes those answers.
+//!
+//! Section 8's wrinkle — a subsystem may natively evaluate conjunctions
+//! under *its own* semantics ("internal conjunction") — is modelled by
+//! [`Subsystem::evaluate_internal_conjunction`], which implementations may
+//! override.
+
+use garlic_core::access::GradedSource;
+use std::fmt;
+
+/// The target `t` of an atomic query `X = t`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A text value: relational equality, or a named colour/shape for QBIC.
+    Text(String),
+    /// A numeric value: relational equality.
+    Number(f64),
+    /// Free-text search terms, for retrieval subsystems.
+    Terms(Vec<String>),
+}
+
+impl Target {
+    /// Shorthand for a text target.
+    pub fn text(s: &str) -> Target {
+        Target::Text(s.to_owned())
+    }
+
+    /// Shorthand for a terms target.
+    pub fn terms(ts: &[&str]) -> Target {
+        Target::Terms(ts.iter().map(|t| (*t).to_owned()).collect())
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Text(s) => write!(f, "{s:?}"),
+            Target::Number(n) => write!(f, "{n}"),
+            Target::Terms(ts) => write!(f, "{}", ts.join(" ")),
+        }
+    }
+}
+
+/// An atomic query `attribute = target` (Section 2's `X = t` form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomicQuery {
+    /// The attribute name, e.g. `"Artist"`, `"AlbumColor"`.
+    pub attribute: String,
+    /// The target value.
+    pub target: Target,
+}
+
+impl AtomicQuery {
+    /// Creates an atomic query.
+    pub fn new(attribute: &str, target: Target) -> Self {
+        AtomicQuery {
+            attribute: attribute.to_owned(),
+            target,
+        }
+    }
+}
+
+impl fmt::Display for AtomicQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.attribute, self.target)
+    }
+}
+
+/// Errors a subsystem can raise while answering a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubsystemError {
+    /// The attribute is not served by this subsystem.
+    UnknownAttribute {
+        /// The attribute requested.
+        attribute: String,
+        /// The subsystem asked.
+        subsystem: String,
+    },
+    /// The target type does not fit the attribute.
+    TypeMismatch {
+        /// The attribute requested.
+        attribute: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The operation (e.g. internal conjunction) is not supported.
+    Unsupported {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SubsystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubsystemError::UnknownAttribute {
+                attribute,
+                subsystem,
+            } => write!(f, "subsystem {subsystem} does not serve attribute {attribute}"),
+            SubsystemError::TypeMismatch { attribute, detail } => {
+                write!(f, "type mismatch on {attribute}: {detail}")
+            }
+            SubsystemError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SubsystemError {}
+
+/// A data server Garlic can delegate atomic queries to.
+pub trait Subsystem {
+    /// The subsystem's display name (e.g. `"QBIC"`).
+    fn name(&self) -> &str;
+
+    /// The attributes this subsystem serves.
+    fn attributes(&self) -> Vec<String>;
+
+    /// Number of objects in the shared universe.
+    fn universe_size(&self) -> usize;
+
+    /// Evaluates an atomic query, returning its graded set behind the
+    /// sorted/random access interface.
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Box<dyn GradedSource + '_>, SubsystemError>;
+
+    /// Whether this attribute grades crisply (all grades 0 or 1, like a
+    /// traditional relational predicate). Lets the planner consider the
+    /// Section 4 filtered strategy.
+    fn is_crisp(&self, attribute: &str) -> bool {
+        let _ = attribute;
+        false
+    }
+
+    /// For crisp attributes: evaluate with *set access* (enumerate the
+    /// match set), which the filtered strategy requires. The default
+    /// refuses.
+    fn evaluate_set(
+        &self,
+        query: &AtomicQuery,
+    ) -> Result<Box<dyn garlic_core::access::SetAccess + '_>, SubsystemError> {
+        let _ = query;
+        Err(SubsystemError::Unsupported {
+            reason: format!("{} offers no set access", self.name()),
+        })
+    }
+
+    /// An estimate of how many objects match the query exactly (grade 1),
+    /// for planner selectivity decisions. `None` if unknown.
+    fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
+        let _ = query;
+        None
+    }
+
+    /// Whether the subsystem can evaluate conjunctions natively — possibly
+    /// under *different* semantics than Garlic's (Section 8).
+    fn supports_internal_conjunction(&self) -> bool {
+        false
+    }
+
+    /// Evaluates a conjunction under the subsystem's own semantics
+    /// (Section 8's "internal conjunction"). The default refuses.
+    fn evaluate_internal_conjunction(
+        &self,
+        queries: &[AtomicQuery],
+    ) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
+        let _ = queries;
+        Err(SubsystemError::Unsupported {
+            reason: format!("{} has no internal conjunction", self.name()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let q = AtomicQuery::new("Artist", Target::text("Beatles"));
+        assert_eq!(format!("{q}"), "Artist = \"Beatles\"");
+        let q = AtomicQuery::new("Year", Target::Number(1969.0));
+        assert_eq!(format!("{q}"), "Year = 1969");
+        let q = AtomicQuery::new("Review", Target::terms(&["psychedelic", "rock"]));
+        assert_eq!(format!("{q}"), "Review = psychedelic rock");
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = SubsystemError::UnknownAttribute {
+            attribute: "Shape".into(),
+            subsystem: "relational".into(),
+        };
+        assert!(format!("{e}").contains("Shape"));
+    }
+}

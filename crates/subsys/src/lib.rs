@@ -1,0 +1,29 @@
+//! # garlic-subsys — simulated Garlic subsystems
+//!
+//! The paper's middleware sits on top of heterogeneous data servers it can
+//! only reach through sorted and random access. This crate provides three
+//! faithful stand-ins (see DESIGN.md for the substitution rationale):
+//!
+//! * [`relational`] — a tiny relational store whose predicates grade
+//!   crisply (0/1), with set access for the Section 4 filtered strategy;
+//! * [`qbic`] — a QBIC-like image server: synthetic hue histograms and
+//!   shape descriptors, similarity scoring, and a *product*-semantics
+//!   internal conjunction (the Section 8 mismatch);
+//! * [`text`] — a tf-idf text-retrieval engine;
+//! * [`cd_store`] — the paper's compact-disk running example wired across
+//!   all three;
+//! * [`api`] — the [`api::Subsystem`] trait they all implement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cd_store;
+pub mod qbic;
+pub mod relational;
+pub mod text;
+
+pub use api::{AtomicQuery, Subsystem, SubsystemError, Target};
+pub use qbic::QbicStore;
+pub use relational::{CrispSource, Predicate, RelationalStore, Value};
+pub use text::TextStore;

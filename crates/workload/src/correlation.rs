@@ -1,0 +1,186 @@
+//! Correlated workloads (Section 7's discussion and the hard instance).
+//!
+//! The paper's upper bound assumes independent lists; Section 7 observes
+//! that positive correlation "can only help the efficiency" while negative
+//! correlation hurts, with the extreme case `Q ∧ ¬Q` — list 2 the exact
+//! reverse of list 1 — provably costing Θ(N). This module generates all
+//! three regimes:
+//!
+//! * [`latent_database`] — a latent-factor model whose mixing weight sweeps
+//!   rank correlation continuously from `-1` (reversed) through `0`
+//!   (independent) to `+1` (identical);
+//! * [`hard_query_database`] — the exact Section 7 adversarial pair, where
+//!   each object `x` has grades `(μ_Q(x), 1 − μ_Q(x))` and grades are
+//!   pairwise distinct;
+//! * [`spearman_rho`] — a rank-correlation estimator used to verify the
+//!   generators.
+
+use garlic_agg::Grade;
+use garlic_core::ObjectId;
+use rand::Rng;
+
+use crate::scoring::ScoringDatabase;
+
+/// Generates an `m`-list database over `n` objects with tunable pairwise
+/// rank correlation `rho ∈ [-1, 1]` between list 0 and every other list.
+///
+/// Each object draws a latent score `u ~ U[0,1]` plus per-list independent
+/// noise `v_i`; list `i`'s raw score mixes the two as
+/// `w·base + (1−w)·v_i` with `w = |rho|`, where `base = u` for `rho >= 0`
+/// and `1 − u` for `rho < 0` on lists `i >= 1` (list 0 always uses `u`).
+///
+/// # Panics
+/// Panics if `rho` is outside `[-1, 1]`, or if `rho < 0` with `m > 2`
+/// (mutual negative correlation of three or more lists is not realisable at
+/// full strength).
+pub fn latent_database(
+    m: usize,
+    n: usize,
+    rho: f64,
+    rng: &mut impl Rng,
+) -> ScoringDatabase {
+    assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1, 1]");
+    assert!(
+        rho >= 0.0 || m == 2,
+        "negative correlation is only meaningful for m = 2"
+    );
+    let w = rho.abs();
+    let latent: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let mut lists: Vec<Vec<Grade>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut grades = Vec::with_capacity(n);
+        for &u in &latent {
+            let base = if rho < 0.0 && i >= 1 { 1.0 - u } else { u };
+            let noise: f64 = rng.gen();
+            grades.push(Grade::clamped(w * base + (1.0 - w) * noise));
+        }
+        lists.push(grades);
+    }
+    ScoringDatabase::from_object_grades(&lists)
+}
+
+/// The Section 7 hard instance for `Q ∧ ¬Q`: every object `x` gets a
+/// distinct grade `μ_Q(x)`, list 1 carries `μ_Q`, list 2 carries
+/// `1 − μ_Q`, so list 2's sorted order is the exact reverse of list 1's
+/// (`π_{¬Q}(x) = π_Q(N + 1 − x)`).
+///
+/// Grades are sampled uniformly then perturbed to distinctness; the unique
+/// top answer is the object whose grade is closest to 1/2, with overall
+/// grade `min(g, 1−g) <= 1/2`.
+pub fn hard_query_database(n: usize, rng: &mut impl Rng) -> ScoringDatabase {
+    assert!(n >= 1);
+    // Distinct grades: stratified sampling — one draw per subinterval of
+    // width 1/n, shuffled across objects.
+    let mut grades: Vec<f64> = (0..n)
+        .map(|i| (i as f64 + rng.gen::<f64>().clamp(0.001, 0.999)) / n as f64)
+        .collect();
+    use rand::seq::SliceRandom;
+    grades.shuffle(rng);
+
+    let q: Vec<Grade> = grades.iter().map(|&g| Grade::clamped(g)).collect();
+    let not_q: Vec<Grade> = grades.iter().map(|&g| Grade::clamped(1.0 - g)).collect();
+    ScoringDatabase::from_object_grades(&[q, not_q])
+}
+
+/// Spearman rank correlation between two lists of a database, estimated
+/// from the object ranks.
+pub fn spearman_rho(db: &ScoringDatabase, list_a: usize, list_b: usize) -> f64 {
+    let n = db.n();
+    assert!(n >= 2, "need at least two objects");
+    let rank_of = |list: usize| -> Vec<usize> {
+        let mut ranks = vec![0usize; n];
+        for (rank, entry) in db.lists()[list].iter().enumerate() {
+            ranks[entry.object.index()] = rank;
+        }
+        ranks
+    };
+    let ra = rank_of(list_a);
+    let rb = rank_of(list_b);
+    // Spearman's rho = 1 - 6 Σ d² / (n(n²-1)), exact for tie-free ranks.
+    let d2: f64 = (0..n)
+        .map(|x| {
+            let d = ra[x] as f64 - rb[x] as f64;
+            d * d
+        })
+        .sum();
+    let nf = n as f64;
+    1.0 - 6.0 * d2 / (nf * (nf * nf - 1.0))
+}
+
+/// True if object grades in the two lists satisfy `g₂ = 1 − g₁` exactly —
+/// the defining property of the hard instance.
+pub fn is_complement_pair(db: &ScoringDatabase) -> bool {
+    if db.m() != 2 {
+        return false;
+    }
+    let a = db.lists()[0].to_map();
+    let b = db.lists()[1].to_map();
+    (0..db.n() as u64).all(|x| {
+        let id = ObjectId(x);
+        a[&id].complement().approx_eq(b[&id], 1e-12)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rho_zero_is_near_independent() {
+        let db = latent_database(2, 2000, 0.0, &mut rng());
+        let rho = spearman_rho(&db, 0, 1);
+        assert!(rho.abs() < 0.1, "measured rho = {rho}");
+    }
+
+    #[test]
+    fn rho_one_is_identical_order() {
+        let db = latent_database(2, 500, 1.0, &mut rng());
+        let rho = spearman_rho(&db, 0, 1);
+        assert!(rho > 0.999, "measured rho = {rho}");
+    }
+
+    #[test]
+    fn rho_minus_one_is_reversed_order() {
+        let db = latent_database(2, 500, -1.0, &mut rng());
+        let rho = spearman_rho(&db, 0, 1);
+        assert!(rho < -0.999, "measured rho = {rho}");
+    }
+
+    #[test]
+    fn rho_is_monotone_in_the_mixing_weight() {
+        let mut measured = Vec::new();
+        for rho in [-0.8, -0.4, 0.0, 0.4, 0.8] {
+            let db = latent_database(2, 3000, rho, &mut rng());
+            measured.push(spearman_rho(&db, 0, 1));
+        }
+        assert!(measured.windows(2).all(|w| w[0] < w[1]), "{measured:?}");
+    }
+
+    #[test]
+    fn hard_query_is_complement_pair() {
+        let db = hard_query_database(100, &mut rng());
+        assert!(is_complement_pair(&db));
+        let rho = spearman_rho(&db, 0, 1);
+        assert!(rho < -0.999, "measured rho = {rho}");
+    }
+
+    #[test]
+    fn hard_query_grades_are_distinct() {
+        let db = hard_query_database(200, &mut rng());
+        let mut grades: Vec<_> = db.lists()[0].iter().map(|e| e.grade).collect();
+        grades.dedup();
+        assert_eq!(grades.len(), 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rho_needs_two_lists() {
+        latent_database(3, 10, -0.5, &mut rng());
+    }
+}

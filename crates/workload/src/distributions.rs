@@ -1,0 +1,228 @@
+//! Grade distributions: how grades are laid down along a list's sorted
+//! order.
+//!
+//! A scoring database is a skeleton plus, per list, a descending sequence of
+//! grades. Different experiments need different grade shapes:
+//!
+//! * [`UniformGrades`] — iid `U[0,1]` order statistics (the default
+//!   independence model, and the "both uniform" regime of Section 9);
+//! * [`BoundedGrades`] — grades capped below 1 (the "grades of A₁ bounded
+//!   by 0.9" regime that makes Ullman's algorithm O(1), Section 9);
+//! * [`CrispGrades`] — a block of 1s followed by 0s (a traditional
+//!   relational predicate with a given selectivity, Section 2);
+//! * [`StridedGrades`] — deterministic, strictly decreasing, evenly spaced
+//!   (tie-free and reproducible without an RNG);
+//! * [`QuantizedGrades`] — heavily tied grades (stress-tests tie handling).
+
+use garlic_agg::Grade;
+use rand::Rng;
+
+/// A generator of one list's grades in descending rank order.
+pub trait GradeDistribution {
+    /// Produces `n` grades, descending (`out[0]` is rank 0's grade).
+    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade>;
+
+    /// Display name for tables.
+    fn name(&self) -> String;
+}
+
+/// iid `U[0,1]` grades, sorted descending.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformGrades;
+
+impl GradeDistribution for UniformGrades {
+    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+        let mut v: Vec<Grade> = (0..n).map(|_| Grade::clamped(rng.gen::<f64>())).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+    fn name(&self) -> String {
+        "uniform".to_owned()
+    }
+}
+
+/// iid `U[0, max]` grades, sorted descending — Section 9's bounded regime.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedGrades {
+    max: f64,
+}
+
+impl BoundedGrades {
+    /// Creates the distribution; `max` must lie in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `max` is outside `(0, 1]`.
+    pub fn new(max: f64) -> Self {
+        assert!(max > 0.0 && max <= 1.0, "max must be in (0, 1]");
+        BoundedGrades { max }
+    }
+}
+
+impl GradeDistribution for BoundedGrades {
+    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+        let mut v: Vec<Grade> = (0..n)
+            .map(|_| Grade::clamped(rng.gen::<f64>() * self.max))
+            .collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+    fn name(&self) -> String {
+        format!("uniform[0,{}]", self.max)
+    }
+}
+
+/// Crisp grades: the first `⌈selectivity · n⌉` ranks grade 1, the rest 0 —
+/// a traditional database predicate.
+#[derive(Debug, Clone, Copy)]
+pub struct CrispGrades {
+    selectivity: f64,
+}
+
+impl CrispGrades {
+    /// Creates the distribution; `selectivity` must lie in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `selectivity` is outside `[0, 1]`.
+    pub fn new(selectivity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity must be in [0, 1]"
+        );
+        CrispGrades { selectivity }
+    }
+
+    /// How many objects match at universe size `n`.
+    pub fn matches(&self, n: usize) -> usize {
+        ((self.selectivity * n as f64).ceil() as usize).min(n)
+    }
+}
+
+impl GradeDistribution for CrispGrades {
+    fn descending_grades(&self, n: usize, _rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+        let ones = self.matches(n);
+        let mut v = vec![Grade::ONE; ones];
+        v.resize(n, Grade::ZERO);
+        v
+    }
+    fn name(&self) -> String {
+        format!("crisp(p={})", self.selectivity)
+    }
+}
+
+/// Deterministic, strictly decreasing grades `1, (n-1)/n, ..., 1/n` —
+/// tie-free, no RNG involved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StridedGrades;
+
+impl GradeDistribution for StridedGrades {
+    fn descending_grades(&self, n: usize, _rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+        (0..n)
+            .map(|rank| Grade::clamped((n - rank) as f64 / n as f64))
+            .collect()
+    }
+    fn name(&self) -> String {
+        "strided".to_owned()
+    }
+}
+
+/// Uniform grades quantised to `levels` distinct values — many ties.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizedGrades {
+    levels: usize,
+}
+
+impl QuantizedGrades {
+    /// Creates the distribution with at least two levels.
+    ///
+    /// # Panics
+    /// Panics if `levels < 2`.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        QuantizedGrades { levels }
+    }
+}
+
+impl GradeDistribution for QuantizedGrades {
+    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+        let q = (self.levels - 1) as f64;
+        let mut v: Vec<Grade> = (0..n)
+            .map(|_| Grade::clamped((rng.gen::<f64>() * q).round() / q))
+            .collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+    fn name(&self) -> String {
+        format!("quantized({})", self.levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn assert_descending(v: &[Grade]) {
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn uniform_descending_in_range() {
+        let v = UniformGrades.descending_grades(500, &mut rng());
+        assert_eq!(v.len(), 500);
+        assert_descending(&v);
+    }
+
+    #[test]
+    fn bounded_respects_cap() {
+        let v = BoundedGrades::new(0.9).descending_grades(500, &mut rng());
+        assert_descending(&v);
+        assert!(v.iter().all(|g| g.value() <= 0.9));
+    }
+
+    #[test]
+    fn crisp_block_structure() {
+        let v = CrispGrades::new(0.25).descending_grades(8, &mut rng());
+        assert_eq!(v.iter().filter(|g| **g == Grade::ONE).count(), 2);
+        assert_eq!(v.iter().filter(|g| **g == Grade::ZERO).count(), 6);
+        assert_descending(&v);
+    }
+
+    #[test]
+    fn crisp_edge_selectivities() {
+        assert!(CrispGrades::new(0.0)
+            .descending_grades(4, &mut rng())
+            .iter()
+            .all(|g| *g == Grade::ZERO));
+        assert!(CrispGrades::new(1.0)
+            .descending_grades(4, &mut rng())
+            .iter()
+            .all(|g| *g == Grade::ONE));
+    }
+
+    #[test]
+    fn strided_is_strictly_decreasing() {
+        let v = StridedGrades.descending_grades(10, &mut rng());
+        assert!(v.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(v[0], Grade::ONE);
+    }
+
+    #[test]
+    fn quantized_has_ties() {
+        let v = QuantizedGrades::new(4).descending_grades(200, &mut rng());
+        assert_descending(&v);
+        let distinct: std::collections::BTreeSet<_> =
+            v.iter().map(|g| (g.value() * 3.0).round() as u8).collect();
+        assert!(distinct.len() <= 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounded_rejects_zero_max() {
+        BoundedGrades::new(0.0);
+    }
+}

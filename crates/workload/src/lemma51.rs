@@ -1,0 +1,218 @@
+//! The probabilistic machinery inside Lemma 5.1's proof.
+//!
+//! The lemma bounds `Pr[|B1 ∩ B2| <= M/2] < e^{−M/10}` (with `M = l1·l2/N`
+//! the expected intersection size) through a chain of four coin-flipping
+//! processes:
+//!
+//! 1. **Process 1** — sequential sampling without replacement: the j-th coin
+//!    is heads with probability `max[(l2−h)/(N−h−t), 0]` given `h` heads
+//!    and `t` tails so far. Heads count is distributed exactly like
+//!    `|B1 ∩ B2|`.
+//! 2. **Process 2** — the same, but the probability is floored at
+//!    `(l2−a)/(N−a)` where `a = ⌊M/2⌋`; identical tail-at-most-`a`
+//!    probability (statement B of the proof).
+//! 3. **Process 3** — iid coins at `(l2−a)/(N−a)` (statement C: tail can
+//!    only grow).
+//! 4. **Process 4** — iid coins at `(19/20)·l2/N` (statement D), whose tail
+//!    the Angluin–Valiant Chernoff bound caps by `e^{−M/10}` (statement E).
+//!
+//! This module implements all four processes plus a direct
+//! `|B1 ∩ B2|` sampler, so the domination chain
+//! `P1 = P2 <= P3 <= P4 < e^{−M/10}` can be verified empirically
+//! (experiment E16 and the tests below).
+
+use rand::Rng;
+
+/// Parameters of Lemma 5.1: `B1` a fixed set of `l1` members of `{1..N}`,
+/// `B2` a uniformly random set of `l2` members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lemma51Params {
+    /// Universe size `N`.
+    pub n: usize,
+    /// Size of the fixed set `B1`.
+    pub l1: usize,
+    /// Size of the random set `B2`.
+    pub l2: usize,
+}
+
+impl Lemma51Params {
+    /// Creates the parameters; requires `l1, l2 <= N` and `N >= 1`.
+    ///
+    /// # Panics
+    /// Panics if the sizes are inconsistent.
+    pub fn new(n: usize, l1: usize, l2: usize) -> Self {
+        assert!(n >= 1 && l1 <= n && l2 <= n, "need l1, l2 <= N");
+        Lemma51Params { n, l1, l2 }
+    }
+
+    /// The expected intersection size `M = l1·l2/N`.
+    pub fn expected_intersection(&self) -> f64 {
+        self.l1 as f64 * self.l2 as f64 / self.n as f64
+    }
+
+    /// The threshold `a = ⌊M/2⌋` of the proof.
+    pub fn a(&self) -> usize {
+        (self.expected_intersection() / 2.0).floor() as usize
+    }
+
+    /// The lemma's bound `e^{−M/10}` on `Pr[|B| <= M/2]`.
+    pub fn bound(&self) -> f64 {
+        (-self.expected_intersection() / 10.0).exp()
+    }
+
+    /// Whether the lemma's hypothesis `l1 <= N/10` holds. Statement D of
+    /// the proof (process 3's heads probability dominating process 4's)
+    /// *requires* it; experiment E16 demonstrates the chain breaking
+    /// without it.
+    pub fn satisfies_hypothesis(&self) -> bool {
+        self.l1 as f64 <= self.n as f64 / 10.0
+    }
+}
+
+/// Samples `|B1 ∩ B2|` directly: count how many of `l1` marked objects fall
+/// into a uniformly random `l2`-subset.
+pub fn sample_intersection(p: Lemma51Params, rng: &mut impl Rng) -> usize {
+    // Floyd-style sampling of B2 then membership count would need a set;
+    // equivalently, walk B1's elements with the process-1 dynamics (exact
+    // by exchangeability) — but to keep this sampler independent of the
+    // process implementation, do an explicit partial Fisher–Yates.
+    let mut universe: Vec<usize> = (0..p.n).collect();
+    for i in 0..p.l2 {
+        let j = rng.gen_range(i..p.n);
+        universe.swap(i, j);
+    }
+    // B1 = {0, .., l1-1} WLOG (B2 is uniform, so any fixed B1 is equivalent).
+    universe[..p.l2].iter().filter(|&&x| x < p.l1).count()
+}
+
+/// Process 1: sequential without-replacement membership coins.
+pub fn process1_heads(p: Lemma51Params, rng: &mut impl Rng) -> usize {
+    let (mut h, mut t) = (0usize, 0usize);
+    for _ in 0..p.l1 {
+        let remaining = p.n - h - t;
+        let prob = if remaining == 0 {
+            0.0
+        } else {
+            ((p.l2 as f64 - h as f64) / remaining as f64).max(0.0)
+        };
+        if rng.gen::<f64>() < prob {
+            h += 1;
+        } else {
+            t += 1;
+        }
+    }
+    h
+}
+
+/// Process 2: like process 1 but with the probability floored at
+/// `(l2−a)/(N−a)`.
+pub fn process2_heads(p: Lemma51Params, rng: &mut impl Rng) -> usize {
+    let a = p.a();
+    let floor = (p.l2 as f64 - a as f64) / (p.n as f64 - a as f64);
+    let (mut h, mut t) = (0usize, 0usize);
+    for _ in 0..p.l1 {
+        let remaining = p.n - h - t;
+        let without_replacement = if remaining == 0 {
+            0.0
+        } else {
+            (p.l2 as f64 - h as f64) / remaining as f64
+        };
+        let prob = without_replacement.max(floor);
+        if rng.gen::<f64>() < prob {
+            h += 1;
+        } else {
+            t += 1;
+        }
+    }
+    h
+}
+
+/// Process 3: iid coins at `(l2−a)/(N−a)`.
+pub fn process3_heads(p: Lemma51Params, rng: &mut impl Rng) -> usize {
+    let a = p.a();
+    let prob = (p.l2 as f64 - a as f64) / (p.n as f64 - a as f64);
+    (0..p.l1).filter(|_| rng.gen::<f64>() < prob).count()
+}
+
+/// Process 4: iid coins at `(19/20)·l2/N`.
+pub fn process4_heads(p: Lemma51Params, rng: &mut impl Rng) -> usize {
+    let prob = (19.0 / 20.0) * p.l2 as f64 / p.n as f64;
+    (0..p.l1).filter(|_| rng.gen::<f64>() < prob).count()
+}
+
+/// Empirical `Pr[heads <= a]` over `trials` runs of a process.
+pub fn tail_at_most(
+    process: impl Fn(Lemma51Params, &mut rand::rngs::StdRng) -> usize,
+    p: Lemma51Params,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = crate::seeded_rng(seed);
+    let a = p.a();
+    let hits = (0..trials).filter(|_| process(p, &mut rng) <= a).count();
+    hits as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Lemma51Params {
+        // N = 1000, l1 = l2 = 100 → M = 10, a = 5, bound = e^{-1} ≈ 0.37.
+        Lemma51Params::new(1000, 100, 100)
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = params();
+        assert_eq!(p.expected_intersection(), 10.0);
+        assert_eq!(p.a(), 5);
+        assert!((p.bound() - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process1_matches_direct_intersection_in_mean() {
+        let p = params();
+        let trials = 4000;
+        let mut rng = crate::seeded_rng(1);
+        let mean1: f64 = (0..trials).map(|_| process1_heads(p, &mut rng) as f64).sum::<f64>()
+            / trials as f64;
+        let mut rng = crate::seeded_rng(2);
+        let mean_direct: f64 = (0..trials)
+            .map(|_| sample_intersection(p, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean1 - 10.0).abs() < 0.5, "process1 mean {mean1}");
+        assert!((mean_direct - 10.0).abs() < 0.5, "direct mean {mean_direct}");
+    }
+
+    #[test]
+    fn domination_chain_holds_empirically() {
+        // Statements A–E of the proof:
+        // P[P1 <= a] == P[P2 <= a] <= P[P3 <= a] <= P[P4 <= a] < e^{-M/10}.
+        let p = params();
+        let trials = 6000;
+        let p1 = tail_at_most(process1_heads, p, trials, 10);
+        let p2 = tail_at_most(process2_heads, p, trials, 11);
+        let p3 = tail_at_most(process3_heads, p, trials, 12);
+        let p4 = tail_at_most(process4_heads, p, trials, 13);
+        let noise = 0.03; // ~3 sigma at these trial counts
+        assert!((p1 - p2).abs() < noise, "P1 {p1} vs P2 {p2}");
+        assert!(p2 <= p3 + noise, "P2 {p2} vs P3 {p3}");
+        assert!(p3 <= p4 + noise, "P3 {p3} vs P4 {p4}");
+        assert!(p4 < p.bound(), "P4 {p4} vs bound {}", p.bound());
+    }
+
+    #[test]
+    fn lemma_bound_holds_for_direct_sampling() {
+        let p = params();
+        let tail = tail_at_most(sample_intersection, p, 6000, 14);
+        assert!(tail < p.bound(), "direct tail {tail} vs bound {}", p.bound());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_sets() {
+        Lemma51Params::new(10, 11, 5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Permutations of the object universe.
+//!
+//! Section 5 defines a *skeleton* as one permutation of `1..N` per atomic
+//! query — the sorted-access order of each list. This module provides the
+//! permutation building block.
+
+use garlic_core::ObjectId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of the objects `0..n`: position `rank` holds the object at
+/// that rank of the sorted order (rank 0 = best grade).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    order: Vec<ObjectId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` objects.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            order: (0..n as u64).map(ObjectId).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `n` objects — the paper's model of
+    /// one independent atomic query ("each permutation of 1..N has equal
+    /// probability").
+    pub fn random(n: usize, rng: &mut impl Rng) -> Self {
+        let mut order: Vec<ObjectId> = (0..n as u64).map(ObjectId).collect();
+        order.shuffle(rng);
+        Permutation { order }
+    }
+
+    /// Builds from an explicit rank → object assignment.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<ObjectId>) -> Self {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for id in &order {
+            let idx = id.index();
+            assert!(idx < n, "object {id} out of range for n = {n}");
+            assert!(!seen[idx], "object {id} appears twice");
+            seen[idx] = true;
+        }
+        Permutation { order }
+    }
+
+    /// The reversed permutation — the sorted order of `¬Q` when this is the
+    /// sorted order of `Q` (Section 7: `π_{¬Q}(x) = π_Q(N + 1 − x)`).
+    pub fn reversed(&self) -> Self {
+        Permutation {
+            order: self.order.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the permutation is over an empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The object at `rank` (0-based; rank 0 is the top of the list).
+    pub fn object_at(&self, rank: usize) -> ObjectId {
+        self.order[rank]
+    }
+
+    /// Iterates objects from rank 0 downwards.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The inverse map: `ranks()[object.index()]` is the object's rank.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut ranks = vec![0usize; self.order.len()];
+        for (rank, id) in self.order.iter().enumerate() {
+            ranks[id.index()] = rank;
+        }
+        ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_ranks() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.object_at(2), ObjectId(2));
+        assert_eq!(p.ranks(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reversed_flips_ranks() {
+        let p = Permutation::identity(4).reversed();
+        assert_eq!(p.object_at(0), ObjectId(3));
+        assert_eq!(p.ranks(), vec![3, 2, 1, 0]);
+        assert_eq!(p.reversed(), Permutation::identity(4));
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Permutation::random(100, &mut rng);
+        let mut objs: Vec<_> = p.iter().collect();
+        objs.sort();
+        assert_eq!(objs, Permutation::identity(100).iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_is_seeded_deterministically() {
+        let a = Permutation::random(50, &mut StdRng::seed_from_u64(1));
+        let b = Permutation::random(50, &mut StdRng::seed_from_u64(1));
+        let c = Permutation::random(50, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_order_rejects_duplicates() {
+        Permutation::from_order(vec![ObjectId(0), ObjectId(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_order_rejects_out_of_range() {
+        Permutation::from_order(vec![ObjectId(5)]);
+    }
+}

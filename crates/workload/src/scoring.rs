@@ -1,0 +1,210 @@
+//! Scoring databases — "a function associating with each i (for i = 1, ...,
+//! m) a graded set" (Section 5).
+//!
+//! A [`ScoringDatabase`] is built from a [`Skeleton`] (who is ranked where)
+//! plus a [`GradeDistribution`] (what the grades along each list look like),
+//! and converts into the [`MemorySource`]s the algorithms consume.
+
+use garlic_agg::Grade;
+use garlic_core::access::MemorySource;
+use garlic_core::graded_set::GradedSet;
+use rand::Rng;
+
+use crate::distributions::GradeDistribution;
+use crate::skeleton::Skeleton;
+
+/// `m` graded sets over a common universe of `n` objects.
+#[derive(Debug, Clone)]
+pub struct ScoringDatabase {
+    lists: Vec<GradedSet>,
+    n: usize,
+}
+
+impl ScoringDatabase {
+    /// Builds from explicit graded sets.
+    ///
+    /// # Panics
+    /// Panics if the lists are empty or grade different universe sizes.
+    pub fn new(lists: Vec<GradedSet>) -> Self {
+        assert!(!lists.is_empty(), "need at least one list");
+        let n = lists[0].len();
+        assert!(
+            lists.iter().all(|l| l.len() == n),
+            "all lists must grade the same universe"
+        );
+        ScoringDatabase { lists, n }
+    }
+
+    /// Lays a grade distribution over a skeleton: rank `r` of list `i`
+    /// receives the `r`-th descending grade. The resulting database is
+    /// consistent with the skeleton (exactly, when grades are tie-free).
+    pub fn from_skeleton(
+        skeleton: &Skeleton,
+        dist: &dyn GradeDistribution,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = skeleton.n();
+        let lists = skeleton
+            .lists()
+            .iter()
+            .map(|perm| {
+                let grades = dist.descending_grades(n, rng);
+                debug_assert_eq!(grades.len(), n);
+                GradedSet::from_pairs(
+                    perm.iter().zip(grades.iter().copied()),
+                )
+            })
+            .collect();
+        ScoringDatabase::new(lists)
+    }
+
+    /// Like [`ScoringDatabase::from_skeleton`] but with a distinct
+    /// distribution per list (e.g. Section 9's bounded-vs-uniform setup).
+    pub fn from_skeleton_per_list(
+        skeleton: &Skeleton,
+        dists: &[&dyn GradeDistribution],
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(
+            dists.len(),
+            skeleton.m(),
+            "one distribution per list required"
+        );
+        let n = skeleton.n();
+        let lists = skeleton
+            .lists()
+            .iter()
+            .zip(dists)
+            .map(|(perm, dist)| {
+                let grades = dist.descending_grades(n, rng);
+                GradedSet::from_pairs(perm.iter().zip(grades.iter().copied()))
+            })
+            .collect();
+        ScoringDatabase::new(lists)
+    }
+
+    /// Builds directly from per-object grade vectors: `grades[i][x]` is
+    /// object `x`'s grade in list `i`.
+    pub fn from_object_grades(grades: &[Vec<Grade>]) -> Self {
+        ScoringDatabase::new(grades.iter().map(|g| GradedSet::from_grades(g)).collect())
+    }
+
+    /// Number of lists `m`.
+    pub fn m(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Universe size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The graded sets.
+    pub fn lists(&self) -> &[GradedSet] {
+        &self.lists
+    }
+
+    /// Converts into the sources the algorithms consume.
+    pub fn to_sources(&self) -> Vec<MemorySource> {
+        self.lists
+            .iter()
+            .map(|l| MemorySource::new(l.clone()))
+            .collect()
+    }
+
+    /// Checks consistency with a skeleton: each list's grades, read in the
+    /// skeleton's order, must be non-increasing ("the i-th permutation in S
+    /// gives a sorting of the i-th graded set").
+    pub fn consistent_with(&self, skeleton: &Skeleton) -> bool {
+        if skeleton.m() != self.m() || skeleton.n() != self.n {
+            return false;
+        }
+        self.lists.iter().zip(skeleton.lists()).all(|(list, perm)| {
+            let map = list.to_map();
+            let mut prev = Grade::ONE;
+            perm.iter().all(|id| {
+                let g = map[&id];
+                let ok = g <= prev;
+                prev = g;
+                ok
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{StridedGrades, UniformGrades};
+    use crate::perm::Permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn from_skeleton_is_consistent() {
+        let skeleton = Skeleton::random(3, 40, &mut rng());
+        let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng());
+        assert_eq!(db.m(), 3);
+        assert_eq!(db.n(), 40);
+        assert!(db.consistent_with(&skeleton));
+    }
+
+    #[test]
+    fn strided_grades_follow_skeleton_exactly() {
+        let skeleton = Skeleton::new(vec![
+            Permutation::identity(4).reversed(),
+            Permutation::identity(4),
+        ]);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &StridedGrades, &mut rng());
+        let sources = db.to_sources();
+        // List 0's top object must be skeleton list 0's rank-0 object (3).
+        use garlic_core::GradedSource;
+        assert_eq!(
+            sources[0].sorted_access(0).unwrap().object,
+            garlic_core::ObjectId(3)
+        );
+        assert_eq!(
+            sources[1].sorted_access(0).unwrap().object,
+            garlic_core::ObjectId(0)
+        );
+    }
+
+    #[test]
+    fn inconsistent_skeleton_detected() {
+        let skeleton = Skeleton::new(vec![Permutation::identity(4)]);
+        let wrong = Skeleton::new(vec![Permutation::identity(4).reversed()]);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &StridedGrades, &mut rng());
+        assert!(db.consistent_with(&skeleton));
+        assert!(!db.consistent_with(&wrong));
+    }
+
+    #[test]
+    fn from_object_grades_round_trips() {
+        let g = |v: f64| Grade::new(v).unwrap();
+        let db = ScoringDatabase::from_object_grades(&[
+            vec![g(0.1), g(0.9)],
+            vec![g(0.8), g(0.2)],
+        ]);
+        let sources = db.to_sources();
+        use garlic_core::GradedSource;
+        assert_eq!(
+            sources[0].random_access(garlic_core::ObjectId(1)),
+            Some(g(0.9))
+        );
+        assert_eq!(
+            sources[1].random_access(garlic_core::ObjectId(1)),
+            Some(g(0.2))
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_universe_rejected() {
+        let g = |v: f64| Grade::new(v).unwrap();
+        ScoringDatabase::from_object_grades(&[vec![g(0.1)], vec![g(0.1), g(0.2)]]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Skeletons — the combinatorial heart of the Section 5 framework.
+//!
+//! "We define a *skeleton* (on N objects) to be a function associating with
+//! each i (for i = 1, ..., m) a permutation of 1, ..., N." Probabilistic
+//! statements about algorithm cost are made by drawing each of the `m`
+//! permutations independently and uniformly — the formalisation of "the
+//! atomic queries are independent".
+
+use garlic_core::ObjectId;
+use rand::Rng;
+
+use crate::perm::Permutation;
+
+/// A skeleton on `n` objects: one sorted-access order per atomic query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skeleton {
+    perms: Vec<Permutation>,
+}
+
+impl Skeleton {
+    /// Builds a skeleton from per-list permutations.
+    ///
+    /// # Panics
+    /// Panics if the permutations disagree on `n` or none are given.
+    pub fn new(perms: Vec<Permutation>) -> Self {
+        assert!(!perms.is_empty(), "a skeleton needs at least one list");
+        let n = perms[0].len();
+        assert!(
+            perms.iter().all(|p| p.len() == n),
+            "all lists must order the same universe"
+        );
+        Skeleton { perms }
+    }
+
+    /// The independence model: `m` independent uniformly random
+    /// permutations of `n` objects.
+    pub fn random(m: usize, n: usize, rng: &mut impl Rng) -> Self {
+        Skeleton::new((0..m).map(|_| Permutation::random(n, rng)).collect())
+    }
+
+    /// Number of lists `m`.
+    pub fn m(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Number of objects `n`.
+    pub fn n(&self) -> usize {
+        self.perms[0].len()
+    }
+
+    /// The sorted order of list `i`.
+    pub fn list(&self, i: usize) -> &Permutation {
+        &self.perms[i]
+    }
+
+    /// All lists.
+    pub fn lists(&self) -> &[Permutation] {
+        &self.perms
+    }
+
+    /// The paper's `X^i_t` projection: the set of objects in the top `t` of
+    /// list `i`.
+    pub fn prefix(&self, i: usize, t: usize) -> Vec<ObjectId> {
+        self.perms[i].iter().take(t).collect()
+    }
+
+    /// `|∩ᵢ X^i_t|`: how many objects appear in the top `t` of *every*
+    /// list. This is the quantity both bounds revolve around — algorithm A₀
+    /// stops at the least `T` where it reaches `k` (Lemma 6.2 shows any
+    /// correct algorithm for a strict query must also reach it, absent a
+    /// linear-cost escape hatch).
+    pub fn intersection_size(&self, t: usize) -> usize {
+        let n = self.n();
+        let t = t.min(n);
+        let mut count = vec![0u32; n];
+        let mut matched = 0usize;
+        for perm in &self.perms {
+            for rank in 0..t {
+                let idx = perm.object_at(rank).index();
+                count[idx] += 1;
+                if count[idx] as usize == self.m() {
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    }
+
+    /// Extracts the skeleton of a scoring database: each list's sorted
+    /// order (ties broken by object id, matching the deterministic order
+    /// [`garlic_core::graded_set::GradedSet`] exposes). Lets the
+    /// intersection-depth analysis (`matching_depth`) run on *correlated*
+    /// databases, not just generated skeletons.
+    pub fn from_scoring_database(db: &crate::scoring::ScoringDatabase) -> Self {
+        Skeleton::new(
+            db.lists()
+                .iter()
+                .map(|list| {
+                    Permutation::from_order(list.iter().map(|e| e.object).collect())
+                })
+                .collect(),
+        )
+    }
+
+    /// The least depth `T*` such that `|∩ᵢ X^i_T| >= k` — the
+    /// information-theoretic stopping depth measured by experiment E05.
+    pub fn matching_depth(&self, k: usize) -> usize {
+        assert!(k >= 1 && k <= self.n(), "need 1 <= k <= N");
+        let n = self.n();
+        let mut count = vec![0u32; n];
+        let mut matched = 0usize;
+        for depth in 0..n {
+            for perm in &self.perms {
+                let idx = perm.object_at(depth).index();
+                count[idx] += 1;
+                if count[idx] as usize == self.m() {
+                    matched += 1;
+                }
+            }
+            if matched >= k {
+                return depth + 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skeleton() -> Skeleton {
+        // List 0: 0,1,2,3.  List 1: 3,2,1,0.
+        Skeleton::new(vec![
+            Permutation::identity(4),
+            Permutation::identity(4).reversed(),
+        ])
+    }
+
+    #[test]
+    fn intersection_sizes_hand_checked() {
+        let s = skeleton();
+        assert_eq!(s.intersection_size(0), 0);
+        assert_eq!(s.intersection_size(1), 0); // {0} ∩ {3}
+        assert_eq!(s.intersection_size(2), 0); // {0,1} ∩ {3,2}
+        assert_eq!(s.intersection_size(3), 2); // {0,1,2} ∩ {3,2,1} = {1,2}
+        assert_eq!(s.intersection_size(4), 4);
+        assert_eq!(s.intersection_size(9), 4); // clamps at n
+    }
+
+    #[test]
+    fn matching_depth_is_least_t() {
+        let s = skeleton();
+        assert_eq!(s.matching_depth(1), 3);
+        assert_eq!(s.matching_depth(2), 3);
+        assert_eq!(s.matching_depth(3), 4);
+        assert_eq!(s.matching_depth(4), 4);
+    }
+
+    #[test]
+    fn matching_depth_consistent_with_intersection() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = Skeleton::random(3, 60, &mut rng);
+        for k in [1, 5, 20, 60] {
+            let t = s.matching_depth(k);
+            assert!(s.intersection_size(t) >= k);
+            if t > 0 {
+                assert!(s.intersection_size(t - 1) < k);
+            }
+        }
+    }
+
+    #[test]
+    fn random_skeleton_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Skeleton::random(4, 25, &mut rng);
+        assert_eq!(s.m(), 4);
+        assert_eq!(s.n(), 25);
+        assert_eq!(s.prefix(2, 3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lists_rejected() {
+        Skeleton::new(vec![Permutation::identity(3), Permutation::identity(4)]);
+    }
+
+    #[test]
+    fn skeleton_round_trips_through_scoring_database() {
+        use crate::distributions::StridedGrades;
+        use crate::scoring::ScoringDatabase;
+        let mut rng = StdRng::seed_from_u64(17);
+        let original = Skeleton::random(3, 30, &mut rng);
+        // Strided grades are strictly decreasing, so the db's sorted order
+        // is exactly the skeleton.
+        let db = ScoringDatabase::from_skeleton(&original, &StridedGrades, &mut rng);
+        let recovered = Skeleton::from_scoring_database(&db);
+        assert_eq!(recovered, original);
+    }
+
+    #[test]
+    fn hard_query_skeleton_matches_theory() {
+        // The §7 instance: matching depth for k = 1 is ⌈(N+1)/2⌉ because
+        // the lists are exact reverses of each other.
+        use crate::correlation::hard_query_database;
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [11usize, 100, 501] {
+            let db = hard_query_database(n, &mut rng);
+            let skeleton = Skeleton::from_scoring_database(&db);
+            assert_eq!(skeleton.matching_depth(1), n / 2 + 1, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! A tour of the Section 3 aggregation zoo: how the choice of conjunction
+//! rule reorders the same database — and which rules the paper's theorems
+//! cover (monotone for the upper bound, strict for the lower bound).
+//!
+//! ```sh
+//! cargo run --release --example aggregation_tour
+//! ```
+
+use garlic::agg::iterated::all_iterated_tnorms;
+use garlic::agg::means::{ArithmeticMean, GeometricMean, GymnasticsTrimmedMean, MedianAgg};
+use garlic::agg::order_stat::KthLargest;
+use garlic::agg::weighted::FaginWimmers;
+use garlic::agg::{iterated::min_agg, Aggregation};
+use garlic::core::access::MemorySource;
+use garlic::core::algorithms::fa::fagin_topk;
+use garlic::Grade;
+
+fn main() {
+    let g = |v: f64| Grade::new(v).expect("grade in [0,1]");
+    // Six objects graded by three atomic queries (say colour, shape,
+    // texture).
+    let lists = vec![
+        MemorySource::from_grades(&[g(0.9), g(0.4), g(0.7), g(0.2), g(0.6), g(0.5)]),
+        MemorySource::from_grades(&[g(0.3), g(0.8), g(0.7), g(0.9), g(0.5), g(0.6)]),
+        MemorySource::from_grades(&[g(0.6), g(0.6), g(0.4), g(0.8), g(0.9), g(0.55)]),
+    ];
+
+    let mut aggs: Vec<Box<dyn Aggregation>> = all_iterated_tnorms();
+    aggs.push(Box::new(ArithmeticMean));
+    aggs.push(Box::new(GeometricMean));
+    aggs.push(Box::new(MedianAgg));
+    aggs.push(Box::new(GymnasticsTrimmedMean));
+    aggs.push(Box::new(KthLargest::new(1)));
+    aggs.push(Box::new(FaginWimmers::new(min_agg(), &[3.0, 2.0, 1.0])));
+
+    println!(
+        "{:<42} {:>9} {:>7}   top-3 (object: grade)",
+        "aggregation", "monotone", "strict"
+    );
+    println!("{}", "-".repeat(100));
+    for agg in &aggs {
+        // A0 is correct for every monotone aggregation (Theorem 4.2).
+        let top = fagin_topk(&lists, agg, 3).expect("valid query");
+        let ranking: Vec<String> = top
+            .entries()
+            .iter()
+            .map(|e| format!("{}: {}", e.object, e.grade))
+            .collect();
+        let name = agg.name();
+        let display = if name.len() > 40 { &name[..40] } else { &name };
+        println!(
+            "{:<42} {:>9} {:>7}   {}",
+            display,
+            agg.is_monotone(),
+            agg.is_strict(3),
+            ranking.join(",  ")
+        );
+    }
+
+    println!();
+    println!("Notes (paper Section 3 / Remark 6.1):");
+    println!(" * every t-norm is monotone AND strict: both Theorems 5.3 and 6.4 apply;");
+    println!(" * the [TZZ79] means violate conservation (mean(0,1) = 1/2) yet stay");
+    println!("   monotone and strict, so the same matching bounds hold;");
+    println!(" * median / trimmed mean / max are monotone but NOT strict: the lower");
+    println!("   bound fails and faster algorithms exist (B0, the subset algorithm).");
+}

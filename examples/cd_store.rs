@@ -1,0 +1,119 @@
+//! The paper's running example: a compact-disk store whose data is spread
+//! over a relational DBMS (artist, title, year), a QBIC-like image server
+//! (album-cover colour, shape), and a text-retrieval engine (reviews).
+//!
+//! Walks through the queries Section 2 and Section 4 discuss, showing the
+//! plan Garlic picks and the middleware cost it pays for each.
+//!
+//! ```sh
+//! cargo run --release --example cd_store
+//! ```
+
+use garlic::middleware::{Catalog, Garlic, GarlicQuery, PlannerOptions};
+use garlic::subsys::cd_store::{demo_albums, demo_subsystems};
+use garlic::subsys::Target;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1996);
+    let (relational, qbic, text) = demo_subsystems(&mut rng);
+    let albums = demo_albums();
+
+    let mut catalog = Catalog::new();
+    catalog.register(&relational).unwrap();
+    catalog.register(&qbic).unwrap();
+    catalog.register(&text).unwrap();
+    let garlic = Garlic::new(catalog);
+
+    let show = |title: &str, query: &GarlicQuery, k: usize| {
+        let result = garlic.top_k(query, k).expect("query evaluates");
+        println!("== {title}");
+        println!("   query: {query}");
+        println!("   strategy: {:?}", result.plan.strategy);
+        for e in result.answers.entries() {
+            let a = &albums[e.object.index()];
+            println!(
+                "   {:<18} by {:<8} (cover {:<6}) grade {}",
+                a.title, a.artist, a.cover_color, e.grade
+            );
+        }
+        println!("   middleware cost: {}\n", result.stats);
+    };
+
+    // Section 2's motivating query: a crisp conjunct plus a fuzzy one.
+    // The planner picks the filtered ("Beatles") strategy of Section 4.
+    show(
+        "Beatles albums with the reddest covers",
+        &GarlicQuery::and(
+            GarlicQuery::atom("Artist", Target::text("Beatles")),
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+        ),
+        3,
+    );
+
+    // Two fuzzy conjuncts from different QBIC attributes: algorithm A0'.
+    show(
+        "red AND round covers",
+        &GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        ),
+        3,
+    );
+
+    // Disjunction: algorithm B0, cost mk regardless of catalogue size.
+    show(
+        "red OR blue covers",
+        &GarlicQuery::or(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("AlbumColor", Target::text("blue")),
+        ),
+        3,
+    );
+
+    // A compound positive query mixing three subsystems: generic A0.
+    show(
+        "red covers with rocking or psychedelic reviews",
+        &GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::or(
+                GarlicQuery::atom("Review", Target::terms(&["rock"])),
+                GarlicQuery::atom("Review", Target::terms(&["psychedelic"])),
+            ),
+        ),
+        3,
+    );
+
+    // Section 7's hard query: negation forces the naive linear plan.
+    let red = GarlicQuery::atom("AlbumColor", Target::text("red"));
+    show(
+        "the provably hard query: red AND NOT red",
+        &GarlicQuery::and(red.clone(), GarlicQuery::not(red)),
+        3,
+    );
+
+    // Section 8: push the conjunction into QBIC (its own product
+    // semantics) and compare with Garlic's min rule.
+    let q = GarlicQuery::and(
+        GarlicQuery::atom("AlbumColor", Target::text("red")),
+        GarlicQuery::atom("Shape", Target::text("round")),
+    );
+    let mut qbic_only = Catalog::new();
+    qbic_only.register(&qbic).unwrap();
+    let internal = Garlic::with_options(
+        qbic_only,
+        PlannerOptions {
+            prefer_internal: true,
+            ..Default::default()
+        },
+    );
+    let pushed = internal.top_k(&q, 3).unwrap();
+    println!("== Section 8: internal conjunction pushed into QBIC (product semantics)");
+    println!("   strategy: {:?}", pushed.plan.strategy);
+    for e in pushed.answers.entries() {
+        let a = &albums[e.object.index()];
+        println!("   {:<18} grade {} (product, not min!)", a.title, e.grade);
+    }
+    println!("   middleware cost: {}", pushed.stats);
+}

@@ -1,0 +1,35 @@
+//! # garlic — reproduction of Fagin, *Combining Fuzzy Information from
+//! Multiple Systems* (PODS 1996 / JCSS 58:83–99, 1999)
+//!
+//! This facade crate re-exports every member of the workspace so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`agg`] — grades, t-norms/co-norms, negations, means, weighted
+//!   aggregation, and the monotonicity/strictness properties (paper §3).
+//! * [`core`] — graded sets, the sorted/random access model, the middleware
+//!   cost model, and the algorithms: A0 (Fagin's Algorithm), A0′ (min),
+//!   B0 (max), the median algorithm, Ullman's algorithm, the filtered
+//!   strategy, and the naive baseline (paper §2, §4, §5).
+//! * [`workload`] — skeletons, scoring databases, grade distributions, and
+//!   correlation models, i.e. the probabilistic framework of §5–§7.
+//! * [`subsys`] — simulated Garlic subsystems: relational, QBIC-like image
+//!   search, and text retrieval.
+//! * [`middleware`] — the Garlic analogue: catalog, planner, executor,
+//!   EXPLAIN (paper §2, §4, §8).
+//! * [`stats`] — summaries, regression, tail probabilities, Chernoff
+//!   machinery, table output for the experiment harness.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-claim vs.
+//! measured-result index.
+
+#![forbid(unsafe_code)]
+
+pub use garlic_agg as agg;
+pub use garlic_core as core;
+pub use garlic_middleware as middleware;
+pub use garlic_stats as stats;
+pub use garlic_subsys as subsys;
+pub use garlic_workload as workload;
+
+pub use garlic_agg::{Aggregation, Grade};
+pub use garlic_core::{AccessStats, CostModel, ObjectId, TopK};

@@ -1,0 +1,207 @@
+//! Direct checks of the paper's named claims, theorem by theorem, on
+//! concrete workloads (the asymptotic *shapes* are measured by the
+//! `garlic-bench` experiment binaries; these tests pin the exact,
+//! non-probabilistic facts).
+
+use garlic::agg::iterated::{max_agg, min_agg};
+use garlic::agg::Aggregation;
+use garlic::core::access::{counted, total_stats};
+use garlic::core::algorithms::b0_max::b0_max_topk;
+use garlic::core::algorithms::fa::{fagin_run, FaOptions};
+use garlic::core::algorithms::naive::naive_topk;
+use garlic::workload::correlation::{hard_query_database, is_complement_pair};
+use garlic::workload::distributions::UniformGrades;
+use garlic::workload::scoring::ScoringDatabase;
+use garlic::workload::skeleton::Skeleton;
+use garlic::Grade;
+
+/// Theorem 4.5 / Remark 6.1: B0's cost is exactly m·k sorted accesses and
+/// zero random accesses, for any N.
+#[test]
+fn b0_cost_is_exactly_mk() {
+    for (m, n, k) in [(2, 100, 5), (3, 1000, 7), (5, 5000, 2)] {
+        let mut rng = garlic::workload::seeded_rng(1);
+        let skeleton = Skeleton::random(m, n, &mut rng);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+        let sources = counted(db.to_sources());
+        b0_max_topk(&sources, k).unwrap();
+        let stats = total_stats(&sources);
+        assert_eq!(stats.sorted, (m * k) as u64, "m={m} n={n} k={k}");
+        assert_eq!(stats.random, 0);
+    }
+}
+
+/// A0 stops at exactly the information-theoretic depth T* — the least T
+/// with |∩ᵢ X^i_T| ≥ k that Lemma 6.2 says every frugal correct algorithm
+/// must reach.
+#[test]
+fn a0_stops_at_t_star() {
+    for seed in 0..20 {
+        let mut rng = garlic::workload::seeded_rng(seed);
+        let skeleton = Skeleton::random(3, 500, &mut rng);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+        let k = 1 + (seed as usize % 20);
+        let run = fagin_run(&db.to_sources(), &min_agg(), k, FaOptions::default()).unwrap();
+        assert_eq!(run.stop_depth, skeleton.matching_depth(k), "seed {seed}");
+    }
+}
+
+/// A0's sorted access cost is exactly m·T (round-robin to the stop depth).
+#[test]
+fn a0_sorted_cost_is_m_times_depth() {
+    let mut rng = garlic::workload::seeded_rng(5);
+    let skeleton = Skeleton::random(3, 400, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let sources = counted(db.to_sources());
+    let run = fagin_run(&sources, &min_agg(), 5, FaOptions::default()).unwrap();
+    assert_eq!(total_stats(&sources).sorted, (3 * run.stop_depth) as u64);
+}
+
+/// Section 7: on the Q ∧ ¬Q instance the top grade is min(g, 1−g) ≤ 1/2,
+/// and the winning object is the one with grade closest to 1/2.
+#[test]
+fn hard_query_semantics() {
+    let mut rng = garlic::workload::seeded_rng(77);
+    let db = hard_query_database(501, &mut rng);
+    assert!(is_complement_pair(&db));
+
+    let top = naive_topk(&db.to_sources(), &min_agg(), 1).unwrap();
+    let winner = top.best().unwrap();
+    assert!(winner.grade <= Grade::HALF);
+
+    // No object is closer to 1/2 than the winner.
+    let q_list = &db.lists()[0];
+    for entry in q_list.iter() {
+        let dist = (entry.grade.value() - 0.5).abs();
+        let win_dist = 0.5 - winner.grade.value();
+        assert!(dist >= win_dist - 1e-12);
+    }
+}
+
+/// Theorem 7.1's lower-bound mechanics: on the reversed-lists instance, the
+/// prefix intersection stays empty until depth ⌈N/2⌉, forcing any
+/// intersection-driven algorithm to linear depth.
+#[test]
+fn hard_query_intersection_stays_empty_until_half() {
+    let n = 1000;
+    let mut rng = garlic::workload::seeded_rng(3);
+    let db = hard_query_database(n, &mut rng);
+    let run = fagin_run(&db.to_sources(), &min_agg(), 1, FaOptions::default()).unwrap();
+    // The two lists are exact reverses: first match at depth ⌈(N+1)/2⌉.
+    assert!(run.stop_depth >= n / 2, "depth {} < N/2", run.stop_depth);
+}
+
+/// Remark 5.2: with k = N, every algorithm must grade the whole database;
+/// A0's cost degenerates to exactly m·N sorted accesses and the output
+/// contains every object.
+#[test]
+fn k_equals_n_is_linear() {
+    let (m, n) = (2, 300);
+    let mut rng = garlic::workload::seeded_rng(9);
+    let skeleton = Skeleton::random(m, n, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let sources = counted(db.to_sources());
+    let run = fagin_run(&sources, &min_agg(), n, FaOptions::default()).unwrap();
+    assert_eq!(run.topk.len(), n);
+    assert_eq!(total_stats(&sources).sorted, (m * n) as u64);
+}
+
+/// The Bellman–Giertz / Yager / Dubois–Prade uniqueness direction we can
+/// check empirically (Theorem 3.1): min/max preserve the lattice identities
+/// on arbitrary grades, and every *other* Section 3 t-norm/co-norm pair
+/// breaks idempotence.
+#[test]
+fn theorem_3_1_uniqueness_witnesses() {
+    use garlic::agg::{TCoNorm, TNorm};
+    let half = Grade::HALF;
+
+    // min/max: idempotent.
+    assert_eq!(garlic::agg::tnorms::Minimum.t(half, half), half);
+    assert_eq!(garlic::agg::tconorms::Maximum.s(half, half), half);
+
+    // Every other pair: t(x,x) != x for some x (here x = 1/2).
+    let others_t: Vec<Box<dyn TNorm>> = vec![
+        Box::new(garlic::agg::tnorms::DrasticProduct),
+        Box::new(garlic::agg::tnorms::BoundedDifference),
+        Box::new(garlic::agg::tnorms::EinsteinProduct),
+        Box::new(garlic::agg::tnorms::AlgebraicProduct),
+        Box::new(garlic::agg::tnorms::HamacherProduct),
+    ];
+    for t in others_t {
+        assert_ne!(t.t(half, half), half, "{} is idempotent?!", t.name());
+    }
+}
+
+/// Strictness drives the lower bound; the paper's non-strict escapees (max,
+/// median, gymnastics) must be flagged non-strict, the t-norms and means
+/// strict.
+#[test]
+fn strictness_classification() {
+    assert!(min_agg().is_strict(3));
+    assert!(garlic::agg::means::ArithmeticMean.is_strict(3));
+    assert!(garlic::agg::means::GeometricMean.is_strict(3));
+    for t in garlic::agg::iterated::all_iterated_tnorms() {
+        assert!(t.is_strict(4), "{}", t.name());
+    }
+
+    assert!(!max_agg().is_strict(3));
+    assert!(!garlic::agg::means::MedianAgg.is_strict(3));
+    assert!(!garlic::agg::means::GymnasticsTrimmedMean.is_strict(4));
+    assert!(!garlic::agg::order_stat::KthLargest::new(1).is_strict(3));
+}
+
+/// The gymnastics aggregation with three judges IS the median
+/// (Remark 6.1), and identity (13) evaluates it.
+#[test]
+fn gymnastics_median_identity() {
+    use garlic::agg::order_stat::kth_largest_via_subsets;
+    let g = |v: f64| Grade::new(v).unwrap();
+    let scores = [g(0.55), g(0.85), g(0.7)];
+    let med = garlic::agg::means::MedianAgg.combine(&scores);
+    assert_eq!(
+        garlic::agg::means::GymnasticsTrimmedMean.combine(&scores),
+        med
+    );
+    assert_eq!(kth_largest_via_subsets(2, &scores), med);
+}
+
+/// The Section 5 bracketing inequality (1): for every weighting, the
+/// middleware cost sits between min(c1,c2)·(S+R) and max(c1,c2)·(S+R).
+#[test]
+fn cost_bracketing_inequality() {
+    use garlic::core::{AccessStats, CostModel};
+    let stats = AccessStats::new(123, 45);
+    for (c1, c2) in [(1.0, 1.0), (0.3, 7.0), (5.0, 0.2)] {
+        let model = CostModel::new(c1, c2);
+        let (lo, hi) = model.bracket(stats);
+        let cost = model.middleware_cost(stats);
+        assert!(lo <= cost && cost <= hi);
+    }
+}
+
+/// Positive correlation helps, negative hurts (Section 7's discussion) —
+/// checked as a strict cost ordering on one seed triple.
+#[test]
+fn correlation_orders_cost() {
+    use garlic::workload::correlation::latent_database;
+    let n = 4000;
+    let k = 5;
+    let cost_at = |rho: f64| {
+        let mut total = 0u64;
+        for seed in 0..5 {
+            let mut rng = garlic::workload::seeded_rng(400 + seed);
+            let db = latent_database(2, n, rho, &mut rng);
+            let sources = counted(db.to_sources());
+            fagin_run(&sources, &min_agg(), k, FaOptions::default()).unwrap();
+            total += total_stats(&sources).unweighted();
+        }
+        total
+    };
+    let negative = cost_at(-0.9);
+    let independent = cost_at(0.0);
+    let positive = cost_at(0.9);
+    assert!(
+        positive < independent && independent < negative,
+        "expected cost(+0.9) < cost(0) < cost(-0.9), got {positive} / {independent} / {negative}"
+    );
+}

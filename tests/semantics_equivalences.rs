@@ -1,0 +1,141 @@
+//! Theorem 3.1 at property-test strength: the standard min/max calculus
+//! preserves every lattice identity (so logically equivalent positive
+//! queries grade identically), and the product calculus provides explicit
+//! counterexamples — the uniqueness half of the theorem.
+
+use garlic::core::query::{Calculus, Query};
+use garlic::Grade;
+use garlic_agg::negation::StandardNegation;
+use garlic_agg::tconorms::AlgebraicSum;
+use garlic_agg::tnorms::AlgebraicProduct;
+use proptest::prelude::*;
+
+fn grades3() -> impl Strategy<Value = [Grade; 3]> {
+    (
+        (0.0f64..=1.0).prop_map(Grade::clamped),
+        (0.0f64..=1.0).prop_map(Grade::clamped),
+        (0.0f64..=1.0).prop_map(Grade::clamped),
+    )
+        .prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn a() -> Query {
+    Query::Atom(0)
+}
+fn b() -> Query {
+    Query::Atom(1)
+}
+fn c() -> Query {
+    Query::Atom(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A ∧ A ≡ A, A ∨ A ≡ A.
+    #[test]
+    fn idempotence(v in grades3()) {
+        let std = Calculus::standard();
+        prop_assert_eq!(Query::and(a(), a()).grade(&v, &std), a().grade(&v, &std));
+        prop_assert_eq!(Query::or(a(), a()).grade(&v, &std), a().grade(&v, &std));
+    }
+
+    /// A ∧ (B ∨ C) ≡ (A ∧ B) ∨ (A ∧ C) and its dual.
+    #[test]
+    fn distributivity(v in grades3()) {
+        let std = Calculus::standard();
+        let lhs = Query::and(a(), Query::or(b(), c()));
+        let rhs = Query::or(Query::and(a(), b()), Query::and(a(), c()));
+        prop_assert_eq!(lhs.grade(&v, &std), rhs.grade(&v, &std));
+
+        let lhs = Query::or(a(), Query::and(b(), c()));
+        let rhs = Query::and(Query::or(a(), b()), Query::or(a(), c()));
+        prop_assert_eq!(lhs.grade(&v, &std), rhs.grade(&v, &std));
+    }
+
+    /// A ∧ (A ∨ B) ≡ A (absorption) and its dual.
+    #[test]
+    fn absorption(v in grades3()) {
+        let std = Calculus::standard();
+        prop_assert_eq!(
+            Query::and(a(), Query::or(a(), b())).grade(&v, &std),
+            a().grade(&v, &std)
+        );
+        prop_assert_eq!(
+            Query::or(a(), Query::and(a(), b())).grade(&v, &std),
+            a().grade(&v, &std)
+        );
+    }
+
+    /// Commutativity and associativity of both connectives.
+    #[test]
+    fn commutativity_associativity(v in grades3()) {
+        let std = Calculus::standard();
+        prop_assert_eq!(
+            Query::and(a(), b()).grade(&v, &std),
+            Query::and(b(), a()).grade(&v, &std)
+        );
+        prop_assert_eq!(
+            Query::and(Query::and(a(), b()), c()).grade(&v, &std),
+            Query::and(a(), Query::and(b(), c())).grade(&v, &std)
+        );
+        prop_assert_eq!(
+            Query::or(Query::or(a(), b()), c()).grade(&v, &std),
+            Query::or(a(), Query::or(b(), c())).grade(&v, &std)
+        );
+    }
+
+    /// De Morgan under the standard negation: ¬(A ∧ B) ≡ ¬A ∨ ¬B.
+    #[test]
+    fn de_morgan(v in grades3()) {
+        let std = Calculus::standard();
+        let lhs = Query::not(Query::and(a(), b())).grade(&v, &std);
+        let rhs = Query::or(Query::not(a()), Query::not(b())).grade(&v, &std);
+        prop_assert!(lhs.approx_eq(rhs, 1e-12));
+    }
+
+    /// Double negation: ¬¬A ≡ A.
+    #[test]
+    fn double_negation(v in grades3()) {
+        let std = Calculus::standard();
+        let lhs = Query::not(Query::not(a())).grade(&v, &std);
+        prop_assert!(lhs.approx_eq(a().grade(&v, &std), 1e-12));
+    }
+
+    /// Monotonicity of positive queries (what Theorem 4.2 needs): raising
+    /// an atom grade never lowers a positive query's grade.
+    #[test]
+    fn positive_queries_are_monotone(v in grades3(), bump in 0.0f64..=1.0) {
+        let std = Calculus::standard();
+        let q = Query::and(a(), Query::or(b(), Query::and(a(), c())));
+        let base = q.grade(&v, &std);
+        for i in 0..3 {
+            let mut raised = v;
+            raised[i] = Grade::clamped(raised[i].value() + bump);
+            prop_assert!(q.grade(&raised, &std) >= base);
+        }
+    }
+
+    /// The uniqueness half: under the product calculus idempotence FAILS
+    /// for every non-crisp grade, pinning min/max as the only
+    /// equivalence-preserving monotone rules (Theorem 3.1).
+    #[test]
+    fn product_calculus_breaks_idempotence(x in 0.01f64..=0.99) {
+        let prod = Calculus::new(AlgebraicProduct, AlgebraicSum, StandardNegation);
+        let v = [Grade::clamped(x)];
+        let conj = Query::and(a(), a()).grade(&v, &prod);
+        prop_assert!(conj < v[0]);
+    }
+}
+
+/// Fuzzy logic is NOT Boolean: excluded middle fails on fuzzy grades
+/// (which is exactly why Section 7's Q ∧ ¬Q has satisfying objects at all).
+#[test]
+fn excluded_middle_fails_fuzzily() {
+    let std = Calculus::standard();
+    let v = [Grade::HALF];
+    let tautology = Query::or(a(), Query::not(a()));
+    assert_eq!(tautology.grade(&v, &std), Grade::HALF); // not 1!
+    let contradiction = Query::and(a(), Query::not(a()));
+    assert_eq!(contradiction.grade(&v, &std), Grade::HALF); // not 0!
+}

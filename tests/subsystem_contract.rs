@@ -1,0 +1,94 @@
+//! Every source any subsystem hands to the middleware must honour the
+//! Section 4 access contract (descending sorted order, each object exactly
+//! once, random access consistent with sorted access) — audited with
+//! `garlic::core::validate::validate_source` across the whole subsystem
+//! zoo, including the complement adapter.
+
+use garlic::core::complement::ComplementSource;
+use garlic::core::validate::validate_source;
+use garlic::subsys::cd_store::demo_subsystems;
+use garlic::subsys::{AtomicQuery, Predicate, QbicStore, Subsystem, Target, TextStore, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn relational_predicates_honour_the_contract() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (rel, _, _) = demo_subsystems(&mut rng);
+    for q in [
+        AtomicQuery::new("Artist", Target::text("Beatles")),
+        AtomicQuery::new("Artist", Target::text("Nobody")),
+        AtomicQuery::new("Year", Target::Number(1968.0)),
+    ] {
+        let src = rel.evaluate(&q).unwrap();
+        validate_source(&src).unwrap_or_else(|e| panic!("{q}: {e}"));
+    }
+    // Range predicates too.
+    for p in [
+        Predicate::Between("Year".into(), 1966.0, 1969.0),
+        Predicate::Lt("Year".into(), 1900.0),
+        Predicate::Ne("Artist".into(), Value::text("Beatles")),
+    ] {
+        let src = rel.predicate_source_for(&p).unwrap();
+        validate_source(&src).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+    }
+}
+
+#[test]
+fn qbic_queries_honour_the_contract() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let store = QbicStore::synthetic("qbic", 200, &mut rng);
+    for (attr, name) in [
+        ("Color", "red"),
+        ("Color", "blue"),
+        ("Shape", "round"),
+        ("Shape", "elongated"),
+        ("Texture", "smooth"),
+        ("Texture", "striped"),
+    ] {
+        let src = store
+            .evaluate(&AtomicQuery::new(attr, Target::text(name)))
+            .unwrap();
+        validate_source(&src).unwrap_or_else(|e| panic!("{attr}={name}: {e}"));
+    }
+    // Internal conjunction output is a graded source too.
+    let fused = store
+        .evaluate_internal_conjunction(&[
+            AtomicQuery::new("Color", Target::text("red")),
+            AtomicQuery::new("Shape", Target::text("round")),
+        ])
+        .unwrap();
+    validate_source(&fused).unwrap();
+}
+
+#[test]
+fn text_queries_honour_the_contract() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let store = TextStore::synthetic("docs", "Body", 150, 80, 30, &mut rng);
+    for terms in [vec!["w1"], vec!["w3", "w7", "w11"], vec!["nosuchword"]] {
+        let src = store
+            .evaluate(&AtomicQuery::new(
+                "Body",
+                Target::Terms(terms.iter().map(|t| t.to_string()).collect()),
+            ))
+            .unwrap();
+        validate_source(&src).unwrap_or_else(|e| panic!("{terms:?}: {e}"));
+    }
+}
+
+#[test]
+fn complemented_subsystem_sources_honour_the_contract() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let (rel, qbic, text) = demo_subsystems(&mut rng);
+    let sources: Vec<Box<dyn garlic::core::GradedSource>> = vec![
+        rel.evaluate(&AtomicQuery::new("Artist", Target::text("Kinks")))
+            .unwrap(),
+        qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red")))
+            .unwrap(),
+        text.evaluate(&AtomicQuery::new("Review", Target::terms(&["rock"])))
+            .unwrap(),
+    ];
+    for src in sources {
+        validate_source(&ComplementSource::new(&src)).unwrap();
+    }
+}
