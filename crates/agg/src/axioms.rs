@@ -42,7 +42,11 @@ pub fn check_tnorm_axioms(t: &dyn TNorm, steps: usize) -> Result<(), AxiomViolat
         if !t.t(x, Grade::ONE).approx_eq(x, EPS) || !t.t(Grade::ONE, x).approx_eq(x, EPS) {
             return Err(AxiomViolation {
                 axiom: "and-conservation",
-                witness: format!("t({x},1) = {}, t(1,{x}) = {}", t.t(x, Grade::ONE), t.t(Grade::ONE, x)),
+                witness: format!(
+                    "t({x},1) = {}, t(1,{x}) = {}",
+                    t.t(x, Grade::ONE),
+                    t.t(Grade::ONE, x)
+                ),
             });
         }
     }
@@ -113,7 +117,11 @@ pub fn check_tconorm_axioms(s: &dyn TCoNorm, steps: usize) -> Result<(), AxiomVi
         if !s.s(x, Grade::ZERO).approx_eq(x, EPS) || !s.s(Grade::ZERO, x).approx_eq(x, EPS) {
             return Err(AxiomViolation {
                 axiom: "or-conservation",
-                witness: format!("s({x},0) = {}, s(0,{x}) = {}", s.s(x, Grade::ZERO), s.s(Grade::ZERO, x)),
+                witness: format!(
+                    "s({x},0) = {}, s(0,{x}) = {}",
+                    s.s(x, Grade::ZERO),
+                    s.s(Grade::ZERO, x)
+                ),
             });
         }
     }
@@ -168,7 +176,11 @@ pub fn check_tconorm_axioms(s: &dyn TCoNorm, steps: usize) -> Result<(), AxiomVi
 
 /// Checks monotonicity of an m-ary aggregation at the given arity, on a grid:
 /// raising one coordinate at a time must never lower the output.
-pub fn check_monotone(agg: &dyn Aggregation, arity: usize, steps: usize) -> Result<(), AxiomViolation> {
+pub fn check_monotone(
+    agg: &dyn Aggregation,
+    arity: usize,
+    steps: usize,
+) -> Result<(), AxiomViolation> {
     let grid = grade_grid(steps);
     let mut point = vec![Grade::ZERO; arity];
     check_monotone_rec(agg, &grid, &mut point, 0)
@@ -211,7 +223,11 @@ fn check_monotone_rec(
 
 /// Checks strictness of an m-ary aggregation at the given arity, on a grid:
 /// output 1 exactly at the all-ones point.
-pub fn check_strict(agg: &dyn Aggregation, arity: usize, steps: usize) -> Result<(), AxiomViolation> {
+pub fn check_strict(
+    agg: &dyn Aggregation,
+    arity: usize,
+    steps: usize,
+) -> Result<(), AxiomViolation> {
     let grid = grade_grid(steps);
     let mut point = vec![Grade::ZERO; arity];
     check_strict_rec(agg, &grid, &mut point, 0)

@@ -152,8 +152,7 @@ mod tests {
     #[test]
     fn yager_members_satisfy_tnorm_axioms() {
         for p in [0.5, 1.0, 2.0, 5.0] {
-            check_tnorm_axioms(&YagerTNorm::new(p), 6)
-                .unwrap_or_else(|e| panic!("p = {p}: {e}"));
+            check_tnorm_axioms(&YagerTNorm::new(p), 6).unwrap_or_else(|e| panic!("p = {p}: {e}"));
         }
     }
 
@@ -176,8 +175,7 @@ mod tests {
     #[test]
     fn frank_members_satisfy_tnorm_axioms() {
         for s in [0.1, 0.5, 2.0, 10.0] {
-            check_tnorm_axioms(&FrankTNorm::new(s), 6)
-                .unwrap_or_else(|e| panic!("s = {s}: {e}"));
+            check_tnorm_axioms(&FrankTNorm::new(s), 6).unwrap_or_else(|e| panic!("s = {s}: {e}"));
         }
     }
 

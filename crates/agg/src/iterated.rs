@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn product_agg_multiplies() {
         let a = product_agg();
-        assert!(a.combine(&[g(0.5), g(0.5), g(0.5)]).approx_eq(g(0.125), 1e-12));
+        assert!(a
+            .combine(&[g(0.5), g(0.5), g(0.5)])
+            .approx_eq(g(0.125), 1e-12));
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
         assert!(GeometricMean
             .combine(&[g(0.25), Grade::ONE])
             .approx_eq(g(0.5), 1e-12));
-        assert_eq!(GeometricMean.combine(&[Grade::ZERO, Grade::ONE]), Grade::ZERO);
+        assert_eq!(
+            GeometricMean.combine(&[Grade::ZERO, Grade::ONE]),
+            Grade::ZERO
+        );
     }
 
     #[test]

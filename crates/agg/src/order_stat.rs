@@ -100,7 +100,13 @@ pub fn subsets_of_size(n: usize, size: usize) -> Vec<Vec<usize>> {
     assert!(size <= n, "subset size {size} exceeds ground set {n}");
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(size);
-    fn recurse(n: usize, size: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        n: usize,
+        size: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == size {
             out.push(current.clone());
             return;

@@ -139,7 +139,9 @@ mod tests {
     #[test]
     fn einstein_sum_midpoint() {
         // 1.0 / 1.25 = 0.8
-        assert!(EinsteinSum.s(Grade::HALF, Grade::HALF).approx_eq(g(0.8), 1e-12));
+        assert!(EinsteinSum
+            .s(Grade::HALF, Grade::HALF)
+            .approx_eq(g(0.8), 1e-12));
     }
 
     #[test]

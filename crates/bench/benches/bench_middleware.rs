@@ -13,7 +13,11 @@ fn stores(n: usize) -> (RelationalStore, QbicStore) {
     let artists = ["Beatles", "Kinks", "Who", "Zombies", "Byrds"];
     for i in 0..n as u64 {
         // 1-in-50 rows are Beatles: a selective crisp predicate.
-        let artist = if i % 50 == 0 { "Beatles" } else { artists[1 + (i % 4) as usize] };
+        let artist = if i % 50 == 0 {
+            "Beatles"
+        } else {
+            artists[1 + (i % 4) as usize]
+        };
         rel.insert(vec![Value::text(artist)]);
     }
     (rel, qbic)

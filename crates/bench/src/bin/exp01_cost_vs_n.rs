@@ -31,10 +31,7 @@ fn main() {
                 fmt_f64(mean / scale, 3),
             ]);
         }
-        let fit = log_log_fit(
-            &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
-            &costs,
-        );
+        let fit = log_log_fit(&ns.iter().map(|&n| n as f64).collect::<Vec<_>>(), &costs);
         fits.push(format!(
             "k = {k}: measured exponent {} (paper predicts (m-1)/m = 0.5), R^2 = {}",
             fmt_f64(fit.slope, 3),

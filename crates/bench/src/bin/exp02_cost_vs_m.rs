@@ -21,10 +21,7 @@ fn main() {
             costs.push(mean);
             table.add_row(vec![m.to_string(), n.to_string(), fmt_f64(mean, 1)]);
         }
-        let fit = log_log_fit(
-            &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
-            &costs,
-        );
+        let fit = log_log_fit(&ns.iter().map(|&n| n as f64).collect::<Vec<_>>(), &costs);
         let predicted = (m as f64 - 1.0) / m as f64;
         notes_owned.push(format!(
             "m = {m}: measured exponent {} vs predicted (m-1)/m = {} (R^2 = {})",

@@ -26,10 +26,7 @@ fn main() {
                 fmt_f64(mean / scale, 3),
             ]);
         }
-        let fit = log_log_fit(
-            &ks.iter().map(|&k| k as f64).collect::<Vec<_>>(),
-            &costs,
-        );
+        let fit = log_log_fit(&ks.iter().map(|&k| k as f64).collect::<Vec<_>>(), &costs);
         notes_owned.push(format!(
             "m = {m}: measured k-exponent {} vs predicted 1/m = {} (R^2 = {})",
             fmt_f64(fit.slope, 3),

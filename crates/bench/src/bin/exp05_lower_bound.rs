@@ -72,7 +72,10 @@ fn main() {
             "m = {m}: mean T* = {} vs scale N^((m-1)/m)k^(1/m) = {} (ratio {})",
             fmt_f64(t_stars.iter().sum::<f64>() / t_stars.len() as f64, 1),
             fmt_f64(scale, 1),
-            fmt_f64(t_stars.iter().sum::<f64>() / t_stars.len() as f64 / scale, 3),
+            fmt_f64(
+                t_stars.iter().sum::<f64>() / t_stars.len() as f64 / scale,
+                3
+            ),
         ));
     }
 

@@ -49,10 +49,7 @@ fn main() {
         ]);
     }
 
-    let fit = log_log_fit(
-        &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
-        &a0_costs,
-    );
+    let fit = log_log_fit(&ns.iter().map(|&n| n as f64).collect::<Vec<_>>(), &a0_costs);
     let note = format!(
         "measured exponent {} (Theorem 7.1 predicts 1.0 — linear); compare 0.5 on independent lists (E01)",
         fmt_f64(fit.slope, 3)

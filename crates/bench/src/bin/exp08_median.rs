@@ -23,7 +23,13 @@ fn main() {
     let k = 10;
     let m = 3;
 
-    let mut table = Table::new(&["N", "median alg", "generic A0", "naive 3N", "median/sqrt(Nk)"]);
+    let mut table = Table::new(&[
+        "N",
+        "median alg",
+        "generic A0",
+        "naive 3N",
+        "median/sqrt(Nk)",
+    ]);
     let mut med_costs = Vec::new();
     let mut a0_costs = Vec::new();
     for &n in &ns {

@@ -33,10 +33,7 @@ fn mean_probes(
         probes += run.probes;
         cost += total_stats(&sources).unweighted();
     }
-    (
-        probes as f64 / trials as f64,
-        cost as f64 / trials as f64,
-    )
+    (probes as f64 / trials as f64, cost as f64 / trials as f64)
 }
 
 fn main() {
@@ -63,11 +60,8 @@ fn main() {
         for t in 0..args.trials {
             let mut rng = garlic_workload::seeded_rng(91_000 + t as u64);
             let skeleton = Skeleton::random(2, n, &mut rng);
-            let db = ScoringDatabase::from_skeleton_per_list(
-                &skeleton,
-                &[&uniform, &uniform],
-                &mut rng,
-            );
+            let db =
+                ScoringDatabase::from_skeleton_per_list(&skeleton, &[&uniform, &uniform], &mut rng);
             let sources = counted(db.to_sources());
             fagin_topk(&sources, &min_agg(), 1).unwrap();
             a0 += total_stats(&sources).unweighted();

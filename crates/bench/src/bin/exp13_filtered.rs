@@ -8,12 +8,12 @@ use garlic_agg::iterated::min_agg;
 use garlic_bench::{emit, ExpArgs};
 use garlic_core::access::{counted, total_stats, CountingSource, MemorySource};
 use garlic_core::algorithms::{fa_min::fagin_min_topk, filtered::filtered_topk};
+use garlic_core::GradedSource;
 use garlic_stats::table::fmt_f64;
 use garlic_stats::Table;
 use garlic_subsys::CrispSource;
 use garlic_workload::distributions::{CrispGrades, GradeDistribution, UniformGrades};
 use garlic_workload::skeleton::Skeleton;
-use garlic_core::GradedSource;
 
 fn main() {
     let args = ExpArgs::parse(10);
@@ -21,13 +21,7 @@ fn main() {
     let k = 10;
     let selectivities = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5];
 
-    let mut table = Table::new(&[
-        "selectivity",
-        "|S|",
-        "filtered cost",
-        "A0' cost",
-        "winner",
-    ]);
+    let mut table = Table::new(&["selectivity", "|S|", "filtered cost", "A0' cost", "winner"]);
     for &p in &selectivities {
         let crisp_dist = CrispGrades::new(p);
         let mut filtered_cost = 0u64;
@@ -44,9 +38,8 @@ fn main() {
             let crisp = CrispSource::new(n, matches);
             // List 1: fuzzy grades along skeleton list 1.
             let grades = UniformGrades.descending_grades(n, &mut rng);
-            let fuzzy = MemorySource::from_pairs(
-                skeleton.list(1).iter().zip(grades.iter().copied()),
-            );
+            let fuzzy =
+                MemorySource::from_pairs(skeleton.list(1).iter().zip(grades.iter().copied()));
 
             // Filtered strategy.
             let c = CountingSource::new(crisp.clone());

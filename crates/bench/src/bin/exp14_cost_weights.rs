@@ -18,7 +18,13 @@ fn main() {
     let n = 16_384;
     let k = 10;
     let m = 2;
-    let weightings = [(1.0, 1.0), (1.0, 10.0), (10.0, 1.0), (1.0, 100.0), (100.0, 1.0)];
+    let weightings = [
+        (1.0, 1.0),
+        (1.0, 10.0),
+        (10.0, 1.0),
+        (1.0, 100.0),
+        (100.0, 1.0),
+    ];
 
     // Measure access stats once per trial; re-weigh afterwards.
     let mut fa_stats = Vec::new();
@@ -34,10 +40,19 @@ fn main() {
         naive_stats.push(total_stats(&sources));
     }
 
-    let mut table = Table::new(&["c1 (sorted)", "c2 (random)", "A0 cost", "naive cost", "speedup"]);
+    let mut table = Table::new(&[
+        "c1 (sorted)",
+        "c2 (random)",
+        "A0 cost",
+        "naive cost",
+        "speedup",
+    ]);
     for &(c1, c2) in &weightings {
         let model = CostModel::new(c1, c2);
-        let fa: f64 = fa_stats.iter().map(|s| model.middleware_cost(*s)).sum::<f64>()
+        let fa: f64 = fa_stats
+            .iter()
+            .map(|s| model.middleware_cost(*s))
+            .sum::<f64>()
             / args.trials as f64;
         let naive: f64 = naive_stats
             .iter()

@@ -28,12 +28,7 @@ fn main() {
     let ns: Vec<usize> = (0..6).map(|i| 1000 << i).collect(); // 1k .. 32k
     let k = 10;
 
-    let mut table = Table::new(&[
-        "N",
-        "A AND NOT B (indep)",
-        "Q AND NOT Q (self)",
-        "naive 2N",
-    ]);
+    let mut table = Table::new(&["N", "A AND NOT B (indep)", "Q AND NOT Q (self)", "naive 2N"]);
     let mut indep_costs = Vec::new();
     let mut self_costs = Vec::new();
     for &n in &ns {

@@ -27,7 +27,17 @@ fn main() {
     ];
 
     let mut table = Table::new(&[
-        "N", "l1", "l2", "M", "hyp ok", "direct", "P1", "P2", "P3", "P4", "e^(-M/10)",
+        "N",
+        "l1",
+        "l2",
+        "M",
+        "hyp ok",
+        "direct",
+        "P1",
+        "P2",
+        "P3",
+        "P4",
+        "e^(-M/10)",
     ]);
     for (i, &p) in configs.iter().enumerate() {
         let seed = 160_000 + 10 * i as u64;

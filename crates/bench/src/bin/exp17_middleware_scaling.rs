@@ -6,10 +6,10 @@
 
 use garlic_bench::{emit, ExpArgs};
 use garlic_middleware::{parse_query, Catalog, Garlic};
+use garlic_stats::bounds::cost_scale;
 use garlic_stats::table::fmt_f64;
 use garlic_stats::{log_log_fit, Table};
 use garlic_subsys::QbicStore;
-use garlic_stats::bounds::cost_scale;
 
 fn main() {
     let args = ExpArgs::parse(5);
@@ -55,10 +55,7 @@ fn main() {
                 fmt_f64(mean / scale, 3),
             ]);
         }
-        let fit = log_log_fit(
-            &ns.iter().map(|&n| n as f64).collect::<Vec<_>>(),
-            &costs,
-        );
+        let fit = log_log_fit(&ns.iter().map(|&n| n as f64).collect::<Vec<_>>(), &costs);
         notes_owned.push(format!(
             "{label}: end-to-end cost exponent {}",
             fmt_f64(fit.slope, 3)

@@ -93,13 +93,7 @@ impl ExpArgs {
 }
 
 /// Prints an experiment header then the table (or CSV).
-pub fn emit(
-    id: &str,
-    claim: &str,
-    args: &ExpArgs,
-    table: &garlic_stats::Table,
-    notes: &[&str],
-) {
+pub fn emit(id: &str, claim: &str, args: &ExpArgs, table: &garlic_stats::Table, notes: &[&str]) {
     if args.csv {
         print!("{}", table.to_csv());
         return;

@@ -79,9 +79,7 @@ where
     let candidates: Vec<ObjectId> = phase
         .partial
         .iter()
-        .filter(|(_, p)| {
-            p.ranks[i0].is_some() && p.grades[i0].expect("rank implies grade") >= g0
-        })
+        .filter(|(_, p)| p.ranks[i0].is_some() && p.grades[i0].expect("rank implies grade") >= g0)
         .map(|(&id, _)| id)
         .collect();
     let candidate_count = candidates.len();

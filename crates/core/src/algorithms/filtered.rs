@@ -66,7 +66,9 @@ where
     }
     if graded.iter().any(|s| s.len() != n) {
         return Err(TopKError::MismatchedSources {
-            sizes: std::iter::once(n).chain(graded.iter().map(|s| s.len())).collect(),
+            sizes: std::iter::once(n)
+                .chain(graded.iter().map(|s| s.len()))
+                .collect(),
         });
     }
 
@@ -99,9 +101,7 @@ where
         let in_set: std::collections::HashSet<ObjectId> = matches.iter().copied().collect();
         let mut candidates = (0..n as u64).map(ObjectId);
         while scored.len() < k {
-            let id = candidates
-                .next()
-                .expect("k <= N guarantees enough objects");
+            let id = candidates.next().expect("k <= N guarantees enough objects");
             if !in_set.contains(&id) {
                 scored.push((id, Grade::ZERO));
             }
@@ -125,14 +125,7 @@ mod tests {
 
     /// 6 albums; artist matches objects 1, 3, 4; colour grades vary.
     fn crisp() -> MemorySource {
-        MemorySource::from_grades(&[
-            g(0.0),
-            g(1.0),
-            g(0.0),
-            g(1.0),
-            g(1.0),
-            g(0.0),
-        ])
+        MemorySource::from_grades(&[g(0.0), g(1.0), g(0.0), g(1.0), g(1.0), g(0.0)])
     }
 
     fn colour() -> MemorySource {
@@ -156,10 +149,7 @@ mod tests {
         // Top answers are Beatles albums ranked by colour; best is object 3
         // (match, colour .7), then 1 (.3), then 4 (.1).
         let top = filtered_topk(&crisp(), &[&colour()], 0, &min_agg(), 3).unwrap();
-        assert_eq!(
-            top.objects(),
-            vec![ObjectId(3), ObjectId(1), ObjectId(4)]
-        );
+        assert_eq!(top.objects(), vec![ObjectId(3), ObjectId(1), ObjectId(4)]);
         assert_eq!(top.grades(), vec![g(0.7), g(0.3), g(0.1)]);
     }
 

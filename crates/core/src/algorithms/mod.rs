@@ -142,7 +142,10 @@ impl SortedPhase {
     ) {
         for object in objects {
             let m = self.m;
-            let p = self.partial.entry(object).or_insert_with(|| Partial::new(m));
+            let p = self
+                .partial
+                .entry(object)
+                .or_insert_with(|| Partial::new(m));
             for (i, source) in sources.iter().enumerate() {
                 if p.grades[i].is_none() {
                     let grade = source

@@ -144,7 +144,10 @@ mod tests {
         let cs = counted(sources());
         let via_random = naive_random_topk(&cs, &min_agg(), 2).unwrap();
         let stats = total_stats(&cs);
-        assert_eq!(stats.sorted, 0, "Theorem 6.6's escape hatch: no sorted access");
+        assert_eq!(
+            stats.sorted, 0,
+            "Theorem 6.6's escape hatch: no sorted access"
+        );
         assert_eq!(stats.random, 2 * 4);
 
         let via_sorted = naive_topk(&sources(), &min_agg(), 2).unwrap();

@@ -65,7 +65,8 @@ where
         // Complete grades for everything seen (grades already known are
         // skipped inside complete_grades, so no access is repeated).
         let seen: Vec<ObjectId> = self.phase.partial.keys().copied().collect();
-        self.phase.complete_grades(self.sources, seen.iter().copied());
+        self.phase
+            .complete_grades(self.sources, seen.iter().copied());
 
         // Top `target` overall, minus what previous batches already
         // returned.

@@ -134,8 +134,7 @@ mod tests {
         // with grade closest to 1/2 (here object 2, min(.6, .4) = .4).
         let q = base();
         let not_q = ComplementSource::new(base());
-        let sources: Vec<Box<dyn GradedSource>> =
-            vec![Box::new(q), Box::new(not_q)];
+        let sources: Vec<Box<dyn GradedSource>> = vec![Box::new(q), Box::new(not_q)];
         let fast = fagin_topk(&sources, &min_agg(), 1).unwrap();
         let slow = naive_topk(&sources, &min_agg(), 1).unwrap();
         assert!(fast.same_grades(&slow, 1e-12));

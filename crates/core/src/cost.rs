@@ -29,7 +29,10 @@ pub struct AccessStats {
 
 impl AccessStats {
     /// No accesses.
-    pub const ZERO: AccessStats = AccessStats { sorted: 0, random: 0 };
+    pub const ZERO: AccessStats = AccessStats {
+        sorted: 0,
+        random: 0,
+    };
 
     /// Creates stats from explicit counts.
     pub fn new(sorted: u64, random: u64) -> Self {

@@ -115,10 +115,7 @@ impl GradedSet {
 
     /// Hash index from object to grade (for random access).
     pub fn to_map(&self) -> HashMap<ObjectId, Grade> {
-        self.entries
-            .iter()
-            .map(|e| (e.object, e.grade))
-            .collect()
+        self.entries.iter().map(|e| (e.object, e.grade)).collect()
     }
 
     /// The grades in descending order (useful for tie-tolerant comparisons
@@ -161,11 +158,7 @@ impl GradedSet {
     }
 
     fn zip_with(&self, other: &GradedSet, f: impl Fn(Grade, Grade) -> Grade) -> GradedSet {
-        assert_eq!(
-            self.len(),
-            other.len(),
-            "graded sets must share a universe"
-        );
+        assert_eq!(self.len(), other.len(), "graded sets must share a universe");
         let theirs = other.to_map();
         GradedSet::from_pairs(self.entries.iter().map(|e| {
             let b = *theirs
@@ -280,7 +273,10 @@ mod tests {
         assert_eq!(either.grade_of(ObjectId(1)), Some(g(0.9)));
 
         let not_a = a.complement_with(&StandardNegation);
-        assert!(not_a.grade_of(ObjectId(1)).unwrap().approx_eq(g(0.1), 1e-12));
+        assert!(not_a
+            .grade_of(ObjectId(1))
+            .unwrap()
+            .approx_eq(g(0.1), 1e-12));
         // De Morgan on graded sets: ¬(A ∧ B) = ¬A ∨ ¬B.
         let lhs = a.intersect(&b, &Minimum).complement_with(&StandardNegation);
         let rhs = not_a.union(&b.complement_with(&StandardNegation), &Maximum);

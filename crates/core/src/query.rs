@@ -206,10 +206,7 @@ mod tests {
     fn distributivity_under_min_max() {
         // A ∧ (B ∨ C) ≡ (A ∧ B) ∨ (A ∧ C) under the standard calculus.
         let c = Calculus::standard();
-        let lhs = Query::and(
-            Query::Atom(0),
-            Query::or(Query::Atom(1), Query::Atom(2)),
-        );
+        let lhs = Query::and(Query::Atom(0), Query::or(Query::Atom(1), Query::Atom(2)));
         let rhs = Query::or(
             Query::and(Query::Atom(0), Query::Atom(1)),
             Query::and(Query::Atom(0), Query::Atom(2)),

@@ -53,7 +53,10 @@ impl std::fmt::Display for SourceViolation {
                 write!(f, "sorted access not descending at rank {rank}")
             }
             SourceViolation::DuplicateObject { object, rank } => {
-                write!(f, "object {object} shown twice (second time at rank {rank})")
+                write!(
+                    f,
+                    "object {object} shown twice (second time at rank {rank})"
+                )
             }
             SourceViolation::TruncatedList { rank, len } => {
                 write!(f, "sorted stream ended at rank {rank} of advertised {len}")

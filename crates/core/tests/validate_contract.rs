@@ -1,0 +1,98 @@
+//! Integration coverage for the access-contract audit (`validate.rs`),
+//! exercised through the crate's *public* surface only — the way a
+//! middleware deployment would vet a third-party subsystem before
+//! registering it (paper §4's interface assumptions).
+
+use garlic_agg::Grade;
+use garlic_core::access::{CountingSource, GradedSource, MemorySource};
+use garlic_core::graded_set::GradedEntry;
+use garlic_core::validate::{validate_source, SourceViolation};
+use garlic_core::ObjectId;
+
+fn g(v: f64) -> Grade {
+    Grade::new(v).unwrap()
+}
+
+#[test]
+fn well_behaved_memory_source_passes_the_audit() {
+    let source = MemorySource::from_grades(&[g(0.9), g(0.1), g(0.5), g(0.5), g(0.0)]);
+    assert_eq!(validate_source(&source), Ok(()));
+}
+
+#[test]
+fn metered_source_passes_and_audit_cost_is_linear() {
+    // The audit promises len() sorted + len() random accesses; the metering
+    // wrapper lets us hold it to that.
+    let source = CountingSource::new(MemorySource::from_grades(&[g(0.7), g(0.2), g(0.4)]));
+    assert_eq!(validate_source(&source), Ok(()));
+    let stats = source.stats();
+    assert_eq!(stats.sorted, 3);
+    assert_eq!(stats.random, 3);
+}
+
+/// A source whose sorted stream *ascends* — the exact "non-monotone
+/// subsystem" a buggy ranking engine would expose. Random access is
+/// consistent, so the only contract breach is the ordering.
+struct AscendingSource {
+    grades: Vec<Grade>,
+}
+
+impl GradedSource for AscendingSource {
+    fn len(&self) -> usize {
+        self.grades.len()
+    }
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        self.grades
+            .get(rank)
+            .map(|&grade| GradedEntry::new(rank, grade))
+    }
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        self.grades.get(object.0 as usize).copied()
+    }
+}
+
+#[test]
+fn non_monotone_source_is_rejected_with_the_breaking_rank() {
+    let source = AscendingSource {
+        grades: vec![g(0.1), g(0.4), g(0.9)],
+    };
+    assert_eq!(
+        validate_source(&source),
+        Err(SourceViolation::NotDescending { rank: 1 })
+    );
+}
+
+#[test]
+fn constant_grades_are_monotone_enough() {
+    // Ties everywhere are legal: "descending" is non-strict in the paper.
+    let source = MemorySource::from_grades(&[g(0.5); 4]);
+    assert_eq!(validate_source(&source), Ok(()));
+}
+
+#[test]
+fn single_defect_deep_in_the_list_is_still_found() {
+    // 0.30 at rank 8 followed by 0.31 at rank 9: one inversion, far from
+    // the head — the audit must scan the whole list, not spot-check.
+    struct OneInversion;
+    impl GradedSource for OneInversion {
+        fn len(&self) -> usize {
+            10
+        }
+        fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+            let grade = match rank {
+                r if r < 8 => Grade::clamped(1.0 - 0.05 * r as f64),
+                8 => Grade::clamped(0.30),
+                9 => Grade::clamped(0.31),
+                _ => return None,
+            };
+            Some(GradedEntry::new(rank, grade))
+        }
+        fn random_access(&self, object: ObjectId) -> Option<Grade> {
+            self.sorted_access(object.0 as usize).map(|e| e.grade)
+        }
+    }
+    assert_eq!(
+        validate_source(&OneInversion),
+        Err(SourceViolation::NotDescending { rank: 9 })
+    );
+}

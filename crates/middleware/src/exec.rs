@@ -96,9 +96,8 @@ impl<'a> Garlic<'a> {
             Strategy::FaMin | Strategy::FaGeneric => {
                 let sources = self.evaluate_counted(&plan.atoms)?;
                 let agg = QueryAggregation::new(query, &plan.atoms);
-                let mut session = garlic_core::algorithms::resume::ResumableFa::new(
-                    &sources, &agg,
-                )?;
+                let mut session =
+                    garlic_core::algorithms::resume::ResumableFa::new(&sources, &agg)?;
                 let mut out = Vec::with_capacity(batches.len());
                 let mut remaining = total;
                 for &b in batches {
@@ -224,8 +223,7 @@ impl<'a> Garlic<'a> {
                     .map(|(_, a)| a.clone())
                     .collect();
                 let graded = self.evaluate_counted(&graded_atoms)?;
-                let answers =
-                    filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), k)?;
+                let answers = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), k)?;
                 let stats = crisp.stats() + garlic_core::access::total_stats(&graded);
                 Ok((answers, stats))
             }
@@ -354,8 +352,14 @@ mod tests {
         let fast = garlic.top_k(&q, 3).unwrap();
 
         // Reference: naive evaluation of the same semantics.
-        let color = f.qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red"))).unwrap();
-        let shape = f.qbic.evaluate(&AtomicQuery::new("Shape", Target::text("round"))).unwrap();
+        let color = f
+            .qbic
+            .evaluate(&AtomicQuery::new("AlbumColor", Target::text("red")))
+            .unwrap();
+        let shape = f
+            .qbic
+            .evaluate(&AtomicQuery::new("Shape", Target::text("round")))
+            .unwrap();
         let slow = naive_topk(&[color, shape], &min_agg(), 3).unwrap();
         assert!(fast.answers.same_grades(&slow, 1e-12));
     }
@@ -401,7 +405,10 @@ mod tests {
 
         // Reference: naive with the same compound aggregation.
         let atoms = q.atoms();
-        let sources: Vec<_> = atoms.iter().map(|a| garlic.catalog().evaluate(a).unwrap()).collect();
+        let sources: Vec<_> = atoms
+            .iter()
+            .map(|a| garlic.catalog().evaluate(a).unwrap())
+            .collect();
         let agg = QueryAggregation::new(&q, &atoms);
         let slow = naive_topk(&sources, &agg, 3).unwrap();
         assert!(fast.answers.same_grades(&slow, 1e-12));
@@ -534,9 +541,7 @@ mod tests {
         let garlic = f.garlic();
         let color = AtomicQuery::new("AlbumColor", Target::text("red"));
         assert!(garlic.top_k_weighted(&[], 1).is_err());
-        assert!(garlic
-            .top_k_weighted(&[(color.clone(), -1.0)], 1)
-            .is_err());
+        assert!(garlic.top_k_weighted(&[(color.clone(), -1.0)], 1).is_err());
         assert!(garlic.top_k_weighted(&[(color, 0.0)], 1).is_err());
     }
 

@@ -138,10 +138,7 @@ impl<'a> Lexer<'a> {
         if matches!(self.peek(), Some('-' | '+')) {
             self.pos += 1;
         }
-        while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_digit() || c == '.')
-        {
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == '.') {
             self.pos += 1;
         }
         let text = &self.input[start..self.pos];
@@ -152,10 +149,7 @@ impl<'a> Lexer<'a> {
 
     fn word(&mut self) -> Token {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_')
-        {
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
             self.pos += self.peek().map_or(0, char::len_utf8);
         }
         let text = &self.input[start..self.pos];
@@ -265,17 +259,13 @@ impl Parser {
                     Some(Token::Number(n)) => Target::Number(n),
                     _ => return Err(self.error("expected a value after '='")),
                 };
-                Ok(GarlicQuery::Atom(AtomicQuery {
-                    attribute,
-                    target,
-                }))
+                Ok(GarlicQuery::Atom(AtomicQuery { attribute, target }))
             }
             Some(Token::Tilde) => {
                 let terms = match self.advance() {
-                    Some(Token::Quoted(s)) => s
-                        .split_whitespace()
-                        .map(str::to_owned)
-                        .collect::<Vec<_>>(),
+                    Some(Token::Quoted(s)) => {
+                        s.split_whitespace().map(str::to_owned).collect::<Vec<_>>()
+                    }
                     Some(Token::Word(w)) => vec![w],
                     _ => return Err(self.error("expected search terms after '~'")),
                 };
@@ -320,10 +310,7 @@ mod tests {
     #[test]
     fn single_atom_forms() {
         let q = parse_query(r#"Artist = "Beatles""#).unwrap();
-        assert_eq!(
-            q,
-            GarlicQuery::atom("Artist", Target::text("Beatles"))
-        );
+        assert_eq!(q, GarlicQuery::atom("Artist", Target::text("Beatles")));
         let q = parse_query("Color = red").unwrap();
         assert_eq!(q, GarlicQuery::atom("Color", Target::text("red")));
         let q = parse_query("Year = 1969").unwrap();
@@ -376,8 +363,7 @@ mod tests {
 
     #[test]
     fn round_trips_the_running_example() {
-        let q =
-            parse_query(r#"Artist = "Beatles" AND AlbumColor = red"#).unwrap();
+        let q = parse_query(r#"Artist = "Beatles" AND AlbumColor = red"#).unwrap();
         assert_eq!(
             q,
             GarlicQuery::and(

@@ -149,14 +149,12 @@ pub fn plan(
         // Section 8 internal pushdown, on request.
         if options.prefer_internal && m >= 2 {
             let first = catalog.resolve(&flat[0].attribute)?;
-            let all_same = flat
-                .iter()
-                .all(|a| {
-                    catalog
-                        .resolve(&a.attribute)
-                        .map(|s| std::ptr::eq(s, first))
-                        .unwrap_or(false)
-                });
+            let all_same = flat.iter().all(|a| {
+                catalog
+                    .resolve(&a.attribute)
+                    .map(|s| std::ptr::eq(s, first))
+                    .unwrap_or(false)
+            });
             if all_same && first.supports_internal_conjunction() {
                 return Ok(Plan {
                     strategy: Strategy::InternalPushdown {

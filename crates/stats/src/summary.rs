@@ -151,7 +151,13 @@ mod tests {
 
     #[test]
     fn wilson_interval_contains_the_point_estimate() {
-        for (s, n) in [(0usize, 100usize), (1, 100), (50, 100), (99, 100), (100, 100)] {
+        for (s, n) in [
+            (0usize, 100usize),
+            (1, 100),
+            (50, 100),
+            (99, 100),
+            (100, 100),
+        ] {
             let (lo, hi) = wilson_interval(s, n, 1.96);
             let p = s as f64 / n as f64;
             assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "s={s}");

@@ -102,7 +102,10 @@ impl fmt::Display for SubsystemError {
             SubsystemError::UnknownAttribute {
                 attribute,
                 subsystem,
-            } => write!(f, "subsystem {subsystem} does not serve attribute {attribute}"),
+            } => write!(
+                f,
+                "subsystem {subsystem} does not serve attribute {attribute}"
+            ),
             SubsystemError::TypeMismatch { attribute, detail } => {
                 write!(f, "type mismatch on {attribute}: {detail}")
             }

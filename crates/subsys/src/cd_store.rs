@@ -35,18 +35,102 @@ pub struct Album {
 /// red covers by other artists).
 pub fn demo_albums() -> Vec<Album> {
     vec![
-        Album { artist: "Beatles", title: "Crimson Meadows", year: 1966.0, cover_color: "red", purity: 0.9, review: "swirling psychedelic rock with crimson artwork" },
-        Album { artist: "Beatles", title: "Blue Submarine", year: 1968.0, cover_color: "blue", purity: 0.85, review: "playful psychedelic pop under the sea" },
-        Album { artist: "Beatles", title: "Orchard Lane", year: 1969.0, cover_color: "green", purity: 0.8, review: "gentle melodic rock with pastoral lyrics" },
-        Album { artist: "Beatles", title: "Scarlet Parade", year: 1967.0, cover_color: "red", purity: 0.6, review: "brass driven pop rock parade" },
-        Album { artist: "Kinks", title: "Red Lantern", year: 1966.0, cover_color: "red", purity: 0.95, review: "raw garage rock riffs and wit" },
-        Album { artist: "Kinks", title: "Village Dusk", year: 1968.0, cover_color: "orange", purity: 0.7, review: "nostalgic chamber pop storytelling" },
-        Album { artist: "Who", title: "Pinball Sky", year: 1969.0, cover_color: "blue", purity: 0.75, review: "anthemic rock opera energy" },
-        Album { artist: "Who", title: "Carmine Steps", year: 1970.0, cover_color: "red", purity: 0.8, review: "thunderous drums and power chords" },
-        Album { artist: "Zombies", title: "Odessey Grove", year: 1968.0, cover_color: "purple", purity: 0.85, review: "baroque psychedelic pop harmonies" },
-        Album { artist: "Byrds", title: "Cinnamon Mile", year: 1967.0, cover_color: "orange", purity: 0.65, review: "jangling folk rock twelve string" },
-        Album { artist: "Byrds", title: "Rose Highway", year: 1969.0, cover_color: "pink", purity: 0.7, review: "country rock with sweet harmonies" },
-        Album { artist: "Animals", title: "Ruby District", year: 1965.0, cover_color: "red", purity: 0.5, review: "gritty blues rock organ swagger" },
+        Album {
+            artist: "Beatles",
+            title: "Crimson Meadows",
+            year: 1966.0,
+            cover_color: "red",
+            purity: 0.9,
+            review: "swirling psychedelic rock with crimson artwork",
+        },
+        Album {
+            artist: "Beatles",
+            title: "Blue Submarine",
+            year: 1968.0,
+            cover_color: "blue",
+            purity: 0.85,
+            review: "playful psychedelic pop under the sea",
+        },
+        Album {
+            artist: "Beatles",
+            title: "Orchard Lane",
+            year: 1969.0,
+            cover_color: "green",
+            purity: 0.8,
+            review: "gentle melodic rock with pastoral lyrics",
+        },
+        Album {
+            artist: "Beatles",
+            title: "Scarlet Parade",
+            year: 1967.0,
+            cover_color: "red",
+            purity: 0.6,
+            review: "brass driven pop rock parade",
+        },
+        Album {
+            artist: "Kinks",
+            title: "Red Lantern",
+            year: 1966.0,
+            cover_color: "red",
+            purity: 0.95,
+            review: "raw garage rock riffs and wit",
+        },
+        Album {
+            artist: "Kinks",
+            title: "Village Dusk",
+            year: 1968.0,
+            cover_color: "orange",
+            purity: 0.7,
+            review: "nostalgic chamber pop storytelling",
+        },
+        Album {
+            artist: "Who",
+            title: "Pinball Sky",
+            year: 1969.0,
+            cover_color: "blue",
+            purity: 0.75,
+            review: "anthemic rock opera energy",
+        },
+        Album {
+            artist: "Who",
+            title: "Carmine Steps",
+            year: 1970.0,
+            cover_color: "red",
+            purity: 0.8,
+            review: "thunderous drums and power chords",
+        },
+        Album {
+            artist: "Zombies",
+            title: "Odessey Grove",
+            year: 1968.0,
+            cover_color: "purple",
+            purity: 0.85,
+            review: "baroque psychedelic pop harmonies",
+        },
+        Album {
+            artist: "Byrds",
+            title: "Cinnamon Mile",
+            year: 1967.0,
+            cover_color: "orange",
+            purity: 0.65,
+            review: "jangling folk rock twelve string",
+        },
+        Album {
+            artist: "Byrds",
+            title: "Rose Highway",
+            year: 1969.0,
+            cover_color: "pink",
+            purity: 0.7,
+            review: "country rock with sweet harmonies",
+        },
+        Album {
+            artist: "Animals",
+            title: "Ruby District",
+            year: 1965.0,
+            cover_color: "red",
+            purity: 0.5,
+            review: "gritty blues rock organ swagger",
+        },
     ]
 }
 

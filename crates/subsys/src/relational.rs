@@ -302,10 +302,7 @@ impl Subsystem for RelationalStore {
         self.column_index(attribute).is_some()
     }
 
-    fn evaluate_set(
-        &self,
-        query: &AtomicQuery,
-    ) -> Result<Box<dyn SetAccess + '_>, SubsystemError> {
+    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Box<dyn SetAccess + '_>, SubsystemError> {
         Ok(Box::new(self.predicate_source(
             &query.attribute,
             &target_value(query)?,
@@ -314,7 +311,9 @@ impl Subsystem for RelationalStore {
 
     fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
         let value = target_value(query).ok()?;
-        self.select_eq(&query.attribute, &value).ok().map(|v| v.len())
+        self.select_eq(&query.attribute, &value)
+            .ok()
+            .map(|v| v.len())
     }
 }
 

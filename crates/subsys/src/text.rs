@@ -209,7 +209,10 @@ mod tests {
         let s = store();
         let terms = vec!["psychedelic".to_owned(), "rock".to_owned()];
         let scores: Vec<Grade> = (0..4).map(|i| s.score(ObjectId(i), &terms)).collect();
-        assert!(scores[0] > scores[2], "psychedelic doc beats plain rock doc");
+        assert!(
+            scores[0] > scores[2],
+            "psychedelic doc beats plain rock doc"
+        );
         assert!(scores[2] > scores[1], "rock doc beats folk doc");
         assert_eq!(scores[3], Grade::ZERO, "empty doc scores zero");
     }
@@ -227,10 +230,7 @@ mod tests {
     #[test]
     fn unknown_terms_score_zero() {
         let s = store();
-        assert_eq!(
-            s.score(ObjectId(0), &["zanzibar".to_owned()]),
-            Grade::ZERO
-        );
+        assert_eq!(s.score(ObjectId(0), &["zanzibar".to_owned()]), Grade::ZERO);
     }
 
     #[test]

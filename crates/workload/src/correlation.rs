@@ -33,12 +33,7 @@ use crate::scoring::ScoringDatabase;
 /// Panics if `rho` is outside `[-1, 1]`, or if `rho < 0` with `m > 2`
 /// (mutual negative correlation of three or more lists is not realisable at
 /// full strength).
-pub fn latent_database(
-    m: usize,
-    n: usize,
-    rho: f64,
-    rng: &mut impl Rng,
-) -> ScoringDatabase {
+pub fn latent_database(m: usize, n: usize, rho: f64, rng: &mut impl Rng) -> ScoringDatabase {
     assert!((-1.0..=1.0).contains(&rho), "rho must be in [-1, 1]");
     assert!(
         rho >= 0.0 || m == 2,

@@ -31,7 +31,7 @@ pub trait GradeDistribution {
 pub struct UniformGrades;
 
 impl GradeDistribution for UniformGrades {
-    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+    fn descending_grades(&self, n: usize, mut rng: &mut dyn rand::RngCore) -> Vec<Grade> {
         let mut v: Vec<Grade> = (0..n).map(|_| Grade::clamped(rng.gen::<f64>())).collect();
         v.sort_by(|a, b| b.cmp(a));
         v
@@ -59,7 +59,7 @@ impl BoundedGrades {
 }
 
 impl GradeDistribution for BoundedGrades {
-    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+    fn descending_grades(&self, n: usize, mut rng: &mut dyn rand::RngCore) -> Vec<Grade> {
         let mut v: Vec<Grade> = (0..n)
             .map(|_| Grade::clamped(rng.gen::<f64>() * self.max))
             .collect();
@@ -143,7 +143,7 @@ impl QuantizedGrades {
 }
 
 impl GradeDistribution for QuantizedGrades {
-    fn descending_grades(&self, n: usize, rng: &mut dyn rand::RngCore) -> Vec<Grade> {
+    fn descending_grades(&self, n: usize, mut rng: &mut dyn rand::RngCore) -> Vec<Grade> {
         let q = (self.levels - 1) as f64;
         let mut v: Vec<Grade> = (0..n)
             .map(|_| Grade::clamped((rng.gen::<f64>() * q).round() / q))

@@ -175,7 +175,9 @@ mod tests {
         let p = params();
         let trials = 4000;
         let mut rng = crate::seeded_rng(1);
-        let mean1: f64 = (0..trials).map(|_| process1_heads(p, &mut rng) as f64).sum::<f64>()
+        let mean1: f64 = (0..trials)
+            .map(|_| process1_heads(p, &mut rng) as f64)
+            .sum::<f64>()
             / trials as f64;
         let mut rng = crate::seeded_rng(2);
         let mean_direct: f64 = (0..trials)
@@ -183,7 +185,10 @@ mod tests {
             .sum::<f64>()
             / trials as f64;
         assert!((mean1 - 10.0).abs() < 0.5, "process1 mean {mean1}");
-        assert!((mean_direct - 10.0).abs() < 0.5, "direct mean {mean_direct}");
+        assert!(
+            (mean_direct - 10.0).abs() < 0.5,
+            "direct mean {mean_direct}"
+        );
     }
 
     #[test]
@@ -207,7 +212,11 @@ mod tests {
     fn lemma_bound_holds_for_direct_sampling() {
         let p = params();
         let tail = tail_at_most(sample_intersection, p, 6000, 14);
-        assert!(tail < p.bound(), "direct tail {tail} vs bound {}", p.bound());
+        assert!(
+            tail < p.bound(),
+            "direct tail {tail} vs bound {}",
+            p.bound()
+        );
     }
 
     #[test]

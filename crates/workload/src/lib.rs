@@ -31,8 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod correlation;
-pub mod lemma51;
 pub mod distributions;
+pub mod lemma51;
 pub mod perm;
 pub mod scoring;
 pub mod skeleton;

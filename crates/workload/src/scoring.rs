@@ -50,9 +50,7 @@ impl ScoringDatabase {
             .map(|perm| {
                 let grades = dist.descending_grades(n, rng);
                 debug_assert_eq!(grades.len(), n);
-                GradedSet::from_pairs(
-                    perm.iter().zip(grades.iter().copied()),
-                )
+                GradedSet::from_pairs(perm.iter().zip(grades.iter().copied()))
             })
             .collect();
         ScoringDatabase::new(lists)
@@ -185,10 +183,7 @@ mod tests {
     #[test]
     fn from_object_grades_round_trips() {
         let g = |v: f64| Grade::new(v).unwrap();
-        let db = ScoringDatabase::from_object_grades(&[
-            vec![g(0.1), g(0.9)],
-            vec![g(0.8), g(0.2)],
-        ]);
+        let db = ScoringDatabase::from_object_grades(&[vec![g(0.1), g(0.9)], vec![g(0.8), g(0.2)]]);
         let sources = db.to_sources();
         use garlic_core::GradedSource;
         assert_eq!(

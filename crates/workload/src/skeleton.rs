@@ -95,9 +95,7 @@ impl Skeleton {
         Skeleton::new(
             db.lists()
                 .iter()
-                .map(|list| {
-                    Permutation::from_order(list.iter().map(|e| e.object).collect())
-                })
+                .map(|list| Permutation::from_order(list.iter().map(|e| e.object).collect()))
                 .collect(),
         )
     }

@@ -19,7 +19,10 @@ fn main() {
     let m = 2;
     let trials = 10;
     println!("A0 over m = {m} independent lists, k = {k}, {trials} trials per size\n");
-    println!("{:>8}  {:>12}  {:>14}  {:>10}", "N", "mean cost", "sqrt(N*k)", "ratio");
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>10}",
+        "N", "mean cost", "sqrt(N*k)", "ratio"
+    );
 
     let mut ns = Vec::new();
     let mut costs = Vec::new();
@@ -36,7 +39,10 @@ fn main() {
         }
         let mean = total as f64 / trials as f64;
         let scale = ((n * k) as f64).sqrt();
-        println!("{n:>8}  {mean:>12.1}  {scale:>14.1}  {:>10.3}", mean / scale);
+        println!(
+            "{n:>8}  {mean:>12.1}  {scale:>14.1}  {:>10.3}",
+            mean / scale
+        );
         ns.push(n as f64);
         costs.push(mean);
     }

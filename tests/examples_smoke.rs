@@ -1,0 +1,61 @@
+//! Smoke coverage for `examples/`: every example must keep building, and
+//! the `quickstart` path is exercised end-to-end in-process so its output
+//! claims stay true.
+
+use garlic::agg::iterated::min_agg;
+use garlic::core::access::{counted, total_stats, MemorySource};
+use garlic::core::algorithms::fa::fagin_topk;
+use garlic::core::ObjectId;
+use garlic::Grade;
+
+/// Builds every `examples/*.rs` via the same cargo that is running this
+/// test. A compile regression in any example fails here rather than rotting
+/// silently (examples are not touched by `cargo test` otherwise).
+#[test]
+fn all_examples_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let status = std::process::Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .status()
+        .expect("failed to spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed: {status}");
+}
+
+/// The `quickstart.rs` scenario, asserted rather than printed: two ranked
+/// lists, min-rule conjunction, top 3 by A₀.
+#[test]
+fn quickstart_path_end_to_end() {
+    let g = |v: f64| Grade::new(v).expect("grade in [0,1]");
+    // Same data as examples/quickstart.rs.
+    let color = MemorySource::from_grades(&[g(0.95), g(0.30), g(0.80), g(0.60), g(0.10)]);
+    let shape = MemorySource::from_grades(&[g(0.20), g(0.90), g(0.75), g(0.85), g(0.40)]);
+    let sources = counted(vec![color, shape]);
+
+    let top = fagin_topk(&sources, &min_agg(), 3).expect("valid query");
+
+    // Per-object min grades: 0.20, 0.30, 0.75, 0.60, 0.10 → top 3 are
+    // objects 2 (0.75), 3 (0.60), 1 (0.30), in that order.
+    assert_eq!(top.len(), 3);
+    assert_eq!(
+        top.objects(),
+        vec![ObjectId(2), ObjectId(3), ObjectId(1)],
+        "ranking under the min rule"
+    );
+    let grades: Vec<f64> = top.grades().iter().map(|gr| gr.value()).collect();
+    assert!(grades[0] - 0.75 < 1e-12 && 0.75 - grades[0] < 1e-12);
+    assert!(grades[1] - 0.60 < 1e-12 && 0.60 - grades[1] < 1e-12);
+    assert!(grades[2] - 0.30 < 1e-12 && 0.30 - grades[2] < 1e-12);
+
+    // The quickstart's cost claim: the naive algorithm retrieves all
+    // 2 × 5 = 10 entries under sorted access; A₀ must not exceed that, and
+    // every access must have been metered.
+    let stats = total_stats(&sources);
+    assert!(stats.sorted > 0, "A₀ must perform sorted accesses");
+    assert!(
+        stats.sorted <= 10,
+        "sorted accesses ({}) exceed the naive bound of 10",
+        stats.sorted
+    );
+}

@@ -68,10 +68,7 @@ fn strategies_agree_on_answers() {
 
     // Filtered (the planner's choice for this query).
     let filtered = f.garlic().top_k(&q, 4).unwrap();
-    assert!(matches!(
-        filtered.plan.strategy,
-        Strategy::Filtered { .. }
-    ));
+    assert!(matches!(filtered.plan.strategy, Strategy::Filtered { .. }));
 
     // Reference: naive evaluation of the same semantics via core.
     use garlic::agg::iterated::min_agg;

@@ -54,10 +54,7 @@ fn every_strategy_is_reachable_from_text() {
     let garlic = f.garlic();
 
     let cases = [
-        (
-            r#"Artist = "Beatles" AND AlbumColor = red"#,
-            "Filtered",
-        ),
+        (r#"Artist = "Beatles" AND AlbumColor = red"#, "Filtered"),
         ("AlbumColor = red AND Shape = round", "FaMin"),
         ("AlbumColor = red OR Shape = round", "B0Max"),
         (

@@ -1,0 +1,366 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored because this workspace builds without network access to a
+//! crates registry.
+//!
+//! Supported surface (what the workspace's five benches use):
+//!
+//! * [`Criterion`] with `default()` and `sample_size(n)`;
+//! * [`Criterion::benchmark_group`] → [`BenchmarkGroup`] with
+//!   `bench_function`, `bench_with_input`, and `finish`;
+//! * [`BenchmarkId::new`];
+//! * [`Bencher::iter`];
+//! * the [`criterion_group!`] (both forms) and [`criterion_main!`] macros;
+//! * [`black_box`] (a re-export of `std::hint::black_box`).
+//!
+//! Instead of upstream's statistical engine, each benchmark is timed with a
+//! fixed warm-up followed by `sample_size` timed batches, reporting the
+//! median and min/max per-iteration time. Honors the standard
+//! `cargo bench`-forwarded positional filter argument and ignores harness
+//! flags it does not understand (`--bench`, `--exact`, ...), so
+//! `cargo bench some_name` behaves as expected.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier: a function name plus a parameter, printed as
+/// `name/parameter` like upstream.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20ms elapsed to size the batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        // Aim for ~2ms per sample, at least one iteration.
+        self.iters_per_sample = ((2_000_000 / per_iter.max(1)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager: configuration plus the CLI filter.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies the positional filter from `cargo bench <filter>`.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl IntoBenchmarkName, f: F) {
+        let name = name.into_name();
+        self.run_one(&name, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(full_name);
+    }
+
+    /// Parses harness CLI arguments the way `cargo bench` delivers them:
+    /// the first non-flag positional is the substring filter; known
+    /// libtest/criterion flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.configure_from(&args)
+    }
+
+    /// [`Self::configure_from_args`] over an explicit argument list.
+    pub fn configure_from(mut self, args: &[String]) -> Self {
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--bench" | "--test" | "--exact" | "--nocapture" | "-q" | "--quiet"
+                | "--verbose" | "--noplot" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        self.sample_size = n;
+                        i += 1;
+                    }
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip it, and when it is not of the
+                    // `--flag=value` form, also skip its value argument so
+                    // the value is not mistaken for the positional filter
+                    // (e.g. `--save-baseline main`).
+                    if !s.contains('=') && args.get(i + 1).is_some_and(|v| !v.starts_with('-')) {
+                        i += 1;
+                    }
+                }
+                positional => {
+                    if filter.is_none() {
+                        filter = Some(positional.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+        self.with_filter(filter)
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkName, f: F) {
+        let full = format!("{}/{}", self.name, id.into_name());
+        self.criterion.run_one(&full, f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.into_name());
+        self.criterion.run_one(&full, |b| f(b, input));
+    }
+
+    /// Closes the group (a no-op here; upstream finalises reports).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("square", |b| b.iter(|| black_box(3u64).pow(2)));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_filters() {
+        let mut c = Criterion::default().sample_size(2);
+        bench_square(&mut c);
+        // A filter that matches nothing runs nothing (and must not panic).
+        let mut filtered = Criterion::default()
+            .sample_size(2)
+            .with_filter(Some("no-such-bench".into()));
+        bench_square(&mut filtered);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_upstream() {
+        assert_eq!(BenchmarkId::new("fa", 1024).to_string(), "fa/1024");
+    }
+
+    fn parse(args: &[&str]) -> Criterion {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Criterion::default().configure_from(&owned)
+    }
+
+    #[test]
+    fn arg_parsing_takes_first_positional_as_filter() {
+        assert_eq!(
+            parse(&["--bench", "fa_a0"]).filter.as_deref(),
+            Some("fa_a0")
+        );
+        assert_eq!(parse(&["--bench"]).filter, None);
+    }
+
+    #[test]
+    fn unknown_flag_value_is_not_mistaken_for_the_filter() {
+        // `cargo bench -- --save-baseline main` must not filter on "main".
+        assert_eq!(parse(&["--save-baseline", "main"]).filter, None);
+        assert_eq!(
+            parse(&["--save-baseline", "main", "fa_a0"])
+                .filter
+                .as_deref(),
+            Some("fa_a0")
+        );
+        // `--flag=value` form consumes nothing extra.
+        assert_eq!(
+            parse(&["--save-baseline=main", "fa_a0"]).filter.as_deref(),
+            Some("fa_a0")
+        );
+    }
+
+    #[test]
+    fn sample_size_flag_is_applied() {
+        assert_eq!(parse(&["--sample-size", "7"]).sample_size, 7);
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 line), vendored because this workspace builds without network
+//! access to a crates registry.
+//!
+//! Only the surface the workspace actually uses is provided:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits;
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator (deterministic per
+//!   seed, but **not** bit-compatible with upstream `StdRng`'s ChaCha12
+//!   stream; workloads seeded here are reproducible only against this shim);
+//! * `Rng::gen`, `Rng::gen_range`, `Rng::gen_bool`;
+//! * [`seq::SliceRandom`] — `shuffle` and `choose`;
+//! * [`distributions::Standard`] / [`distributions::Distribution`], enough
+//!   for `gen::<T>()` on the primitive types the workspace draws.
+//!
+//! The numeric conversions follow the upstream conventions: `f64` samples
+//! are taken uniformly from `[0, 1)` with 53 bits of precision, and integer
+//! range sampling uses rejection from the high bits (Lemire-style widening
+//! multiply) so small ranges are unbiased.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next `u32` of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next `u64` of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let take = (dest.len() - i).min(8);
+            dest[i..i + take].copy_from_slice(&word[..take]);
+            i += take;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 key expansion
+    /// (the same convention upstream uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add(sample_below(span, rng) as $t)
+            }
+            fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span == 0 || span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64/u128 domain: take a raw word.
+                    return low.wrapping_add(rng.next_u64() as $t);
+                }
+                low.wrapping_add(sample_below(span, rng) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased sample from `[0, span)` (`span ≤ u64::MAX`) by rejection on the
+/// widening multiply.
+fn sample_below<R: RngCore>(span: u128, rng: &mut R) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128);
+    let span = span as u64;
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = widening_mul(v, span);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+fn widening_mul(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit: $t = unit_float(rng) as $t;
+                low + unit * (high - low)
+            }
+            fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                // Upstream treats inclusive float ranges as half-open plus the
+                // top endpoint with measure-zero probability; this matches.
+                Self::sample_half_open(low, high, rng).min(high)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_float<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod distributions {
+    //! The standard distribution, enough for `Rng::gen::<T>()`.
+
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: `[0, 1)` for floats, full range for
+    /// integers, fair coin for `bool`.
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod rngs {
+    //! Named generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic for a given seed, but not bit-compatible with the
+    /// upstream `rand::rngs::StdRng` (ChaCha12) — seeded experiments are
+    /// reproducible against this shim only.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // A xoshiro state of all zeros is a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers: shuffling and choosing.
+
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Re-exports mirroring the upstream prelude.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..=3u8);
+            assert!(v <= 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
