@@ -1,0 +1,152 @@
+//! The headline micro-benchmark of the cursor refactor: batched cursor
+//! streaming vs per-item positional access, through the same
+//! `CountingSource<Box<dyn GradedSource>>` stack the middleware executes
+//! over (N = 100k, m = 3).
+//!
+//! Two layers are measured:
+//!
+//! * `sorted_stream` — raw sorted-phase throughput: walk every list fully,
+//!   once via `sorted_access(rank)` per entry (the seed access path: one
+//!   virtual call + `Option` + counter update per entry) and once via
+//!   `SortedCursor::next_batch` with a reused 1024-entry buffer (one
+//!   virtual call + one counter update per batch, slice copies inside).
+//! * `fa_sorted_phase` — the same comparison embedded in algorithm A₀'s
+//!   "wait for k matches" phase, with identical `HashMap` bookkeeping on
+//!   both sides, so the difference isolates the access layer.
+//!
+//! Results also land in `target/bench_engine.json` (shim JSON output) so
+//! the `BENCH_*.json` trajectory can be populated from CI.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use garlic_agg::Grade;
+use garlic_core::access::CountingSource;
+use garlic_core::{Engine, GradedSource, ObjectId};
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+const N: usize = 100_000;
+const M: usize = 3;
+const K: usize = 10;
+const BATCH: usize = 1024;
+
+type Boxed = CountingSource<Box<dyn GradedSource>>;
+
+/// The middleware-shaped source stack: independent lists behind trait
+/// objects behind metering counters.
+fn boxed_sources() -> Vec<Boxed> {
+    let mut rng = garlic_workload::seeded_rng(8217);
+    let skeleton = Skeleton::random(M, N, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    db.to_sources()
+        .into_iter()
+        .map(|s| CountingSource::new(Box::new(s) as Box<dyn GradedSource>))
+        .collect()
+}
+
+/// The seed positional A₀ sorted phase, bookkeeping included exactly as the
+/// pre-engine `SortedPhase` kept it (per-list grades, per-list ranks, a
+/// seen-counter), so the two sides differ only in the access path.
+struct SeedPartial {
+    grades: Vec<Option<Grade>>,
+    ranks: Vec<Option<usize>>,
+    seen_sorted: usize,
+}
+
+fn positional_sorted_phase(sources: &[Boxed], k: usize) -> usize {
+    let m = sources.len();
+    let n = sources[0].len();
+    let mut partial: HashMap<ObjectId, SeedPartial> = HashMap::new();
+    let mut matched = 0usize;
+    let mut depth = 0usize;
+    while matched < k && depth < n {
+        for (i, source) in sources.iter().enumerate() {
+            let entry = source.sorted_access(depth).unwrap();
+            let p = partial.entry(entry.object).or_insert_with(|| SeedPartial {
+                grades: vec![None; m],
+                ranks: vec![None; m],
+                seen_sorted: 0,
+            });
+            p.grades[i] = Some(entry.grade);
+            p.ranks[i] = Some(depth);
+            p.seen_sorted += 1;
+            if p.seen_sorted == m {
+                matched += 1;
+            }
+        }
+        depth += 1;
+    }
+    depth
+}
+
+fn bench_sorted_stream(c: &mut Criterion) {
+    let sources = boxed_sources();
+    let mut group = c.benchmark_group(format!("sorted_stream/N{N}_m{M}"));
+
+    group.bench_function("positional_per_rank", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for source in &sources {
+                for rank in 0..N {
+                    let entry = source.sorted_access(rank).unwrap();
+                    count += u64::from(entry.grade > Grade::ZERO);
+                }
+            }
+            black_box(count)
+        })
+    });
+
+    group.bench_function(format!("cursor_batched_{BATCH}"), |b| {
+        let mut buf = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            let mut count = 0u64;
+            for source in &sources {
+                let mut cursor = source.open_sorted();
+                loop {
+                    buf.clear();
+                    if cursor.next_batch(&mut buf, BATCH) == 0 {
+                        break;
+                    }
+                    for entry in &buf {
+                        count += u64::from(entry.grade > Grade::ZERO);
+                    }
+                }
+            }
+            black_box(count)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_fa_sorted_phase(c: &mut Criterion) {
+    let sources = boxed_sources();
+    let mut group = c.benchmark_group(format!("fa_sorted_phase/N{N}_m{M}_k{K}"));
+
+    group.bench_function("positional_per_rank", |b| {
+        b.iter(|| black_box(positional_sorted_phase(&sources, K)))
+    });
+
+    group.bench_function("engine_batched", |b| {
+        b.iter(|| {
+            let mut engine = Engine::open(sources.iter().collect::<Vec<_>>()).unwrap();
+            engine.advance_until_matched(K);
+            black_box(engine.depth())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(
+        // Bench executables run with the *package* root as cwd; anchor the
+        // report in the workspace target dir regardless.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_engine.json")
+    );
+    targets = bench_sorted_stream, bench_fa_sorted_phase
+);
+criterion_main!(benches);

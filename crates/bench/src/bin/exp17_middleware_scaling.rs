@@ -13,7 +13,10 @@ use garlic_subsys::QbicStore;
 
 fn main() {
     let args = ExpArgs::parse(5);
-    let ns: Vec<usize> = (0..6).map(|i| 1000 << i).collect(); // 1k .. 32k
+    // `--small` is the CI perf-smoke configuration: the same pipeline at
+    // 1k..4k so the job finishes in seconds while still fitting a slope.
+    let points = if args.small { 3 } else { 6 };
+    let ns: Vec<usize> = (0..points).map(|i| 1000 << i).collect(); // 1k ..
     let k = 10;
 
     let queries = [

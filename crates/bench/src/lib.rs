@@ -68,32 +68,56 @@ pub fn fa_mean_cost<A: Aggregation>(
     total as f64 / trials as f64
 }
 
-/// Parses the common experiment CLI: `[trials] [--csv]`.
+/// Parses the common experiment CLI:
+/// `[trials] [--csv] [--json] [--small]`.
 pub struct ExpArgs {
     /// Number of trials per configuration.
     pub trials: usize,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Emit machine-readable JSON instead of an aligned table (for CI
+    /// artifact archiving; wins over `--csv`).
+    pub json: bool,
+    /// Run a reduced-size configuration (perf-smoke mode for CI).
+    pub small: bool,
 }
 
 impl ExpArgs {
     /// Parses `std::env::args`, with a default trial count.
     pub fn parse(default_trials: usize) -> ExpArgs {
-        let mut trials = default_trials;
-        let mut csv = false;
-        for arg in std::env::args().skip(1) {
-            if arg == "--csv" {
-                csv = true;
-            } else if let Ok(t) = arg.parse::<usize>() {
-                trials = t.max(1);
+        Self::from_iter(default_trials, std::env::args().skip(1))
+    }
+
+    /// [`ExpArgs::parse`] over an explicit argument list (testable).
+    pub fn from_iter(default_trials: usize, args: impl IntoIterator<Item = String>) -> ExpArgs {
+        let mut parsed = ExpArgs {
+            trials: default_trials,
+            csv: false,
+            json: false,
+            small: false,
+        };
+        for arg in args {
+            match arg.as_str() {
+                "--csv" => parsed.csv = true,
+                "--json" => parsed.json = true,
+                "--small" => parsed.small = true,
+                other => {
+                    if let Ok(t) = other.parse::<usize>() {
+                        parsed.trials = t.max(1);
+                    }
+                }
             }
         }
-        ExpArgs { trials, csv }
+        parsed
     }
 }
 
-/// Prints an experiment header then the table (or CSV).
+/// Prints an experiment header then the table (or CSV / JSON).
 pub fn emit(id: &str, claim: &str, args: &ExpArgs, table: &garlic_stats::Table, notes: &[&str]) {
+    if args.json {
+        print!("{}", table.to_json());
+        return;
+    }
     if args.csv {
         print!("{}", table.to_csv());
         return;
@@ -134,5 +158,17 @@ mod tests {
         let a = fa_trial(2, 100, 1, &min_agg(), 42);
         let b = fa_trial(2, 100, 1, &min_agg(), 42);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn exp_args_parse_flags_and_trials() {
+        let args = ExpArgs::from_iter(5, ["3", "--json", "--small"].map(str::to_owned));
+        assert_eq!(args.trials, 3);
+        assert!(args.json);
+        assert!(args.small);
+        assert!(!args.csv);
+        let defaults = ExpArgs::from_iter(5, std::iter::empty());
+        assert_eq!(defaults.trials, 5);
+        assert!(!defaults.json && !defaults.small && !defaults.csv);
     }
 }

@@ -13,6 +13,37 @@
 //! Section 5 cost model is defined over. [`SetAccess`] is the extra
 //! capability crisp relational subsystems have — enumerating the exact-match
 //! set — which enables the "Beatles" filtered strategy of Section 4.
+//!
+//! # The cursor contract
+//!
+//! Positional access ([`GradedSource::sorted_access`]) re-resolves a rank on
+//! every call; production streaming instead goes through **cursors**:
+//! [`GradedSource::open_sorted`] yields a [`SortedCursor`] whose
+//! [`next_batch`](SortedCursor::next_batch) appends the next `n` entries of
+//! the descending-grade stream in one call. Implementations provide the
+//! batched primitive [`GradedSource::sorted_batch`]; sources backed by a
+//! materialised ranking (e.g. [`MemorySource`]) satisfy it with a sequential
+//! slice walk rather than a per-rank lookup. The contract every
+//! implementation must honour:
+//!
+//! * **Same stream.** The cursor yields exactly the sequence
+//!   `sorted_access(0), sorted_access(1), ...` — descending grades, each
+//!   object exactly once, ties broken by the source's fixed *skeleton* (for
+//!   the in-memory sources: descending grade, then ascending object id). The
+//!   batch size is an access-plan choice and must never change the stream.
+//! * **Batching.** `next_batch(&mut out, n)` appends up to `n` entries to
+//!   `out` and returns how many were appended; a short (or zero) count means
+//!   the list is exhausted. Entries are *appended* — the caller owns the
+//!   buffer and may reuse it across calls to amortise allocation.
+//! * **Resumption.** A cursor is a plain rank position
+//!   ([`SortedCursor::position`]); [`SortedCursor::at`] reopens a stream at
+//!   any rank, which is what makes paging sessions ("continue where we left
+//!   off", Section 4) restartable across batches and across process
+//!   boundaries.
+//! * **Metering.** [`CountingSource`] bills each *entry* obtained, not each
+//!   call: a batch of 50 entries counts as 50 sorted accesses — exactly the
+//!   Section 5 sorted-access cost `S` — while updating its counter once per
+//!   batch.
 
 use std::cell::Cell;
 
@@ -45,6 +76,87 @@ pub trait GradedSource {
 
     /// Random access: the grade of `object`, or `None` for an unknown object.
     fn random_access(&self, object: ObjectId) -> Option<Grade>;
+
+    /// Batched sorted access: appends up to `count` entries starting at
+    /// `start` (in the same descending-grade order as
+    /// [`sorted_access`](GradedSource::sorted_access)) to `out`, returning
+    /// how many were appended. A short count means the list is exhausted.
+    ///
+    /// The default loops [`sorted_access`](GradedSource::sorted_access);
+    /// sources holding a materialised ranking should override it with a
+    /// sequential walk (see the module docs for the full cursor contract).
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let mut appended = 0;
+        for rank in start..start.saturating_add(count) {
+            let Some(entry) = self.sorted_access(rank) else {
+                break;
+            };
+            out.push(entry);
+            appended += 1;
+        }
+        appended
+    }
+
+    /// Opens a [`SortedCursor`] over this source's descending-grade stream,
+    /// positioned at rank 0.
+    fn open_sorted(&self) -> SortedCursor<'_, Self>
+    where
+        Self: Sized,
+    {
+        SortedCursor::new(self)
+    }
+}
+
+/// A streaming cursor over one source's sorted order: the stateful face of
+/// [`GradedSource::sorted_batch`]. See the module docs for the contract
+/// (batching, resumption, tie order = the source's skeleton).
+///
+/// The cursor also implements [`Iterator`] for one-at-a-time consumption;
+/// prefer [`next_batch`](SortedCursor::next_batch) on hot paths.
+#[derive(Debug)]
+pub struct SortedCursor<'a, S: ?Sized> {
+    source: &'a S,
+    position: usize,
+}
+
+impl<'a, S: GradedSource + ?Sized> SortedCursor<'a, S> {
+    /// Opens a cursor at rank 0.
+    pub fn new(source: &'a S) -> Self {
+        SortedCursor {
+            source,
+            position: 0,
+        }
+    }
+
+    /// Reopens a cursor at an arbitrary rank — resumption for paging
+    /// sessions that stopped at a known depth.
+    pub fn at(source: &'a S, position: usize) -> Self {
+        SortedCursor { source, position }
+    }
+
+    /// The rank the next entry will come from (== entries consumed so far
+    /// for a cursor opened at 0).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Appends up to `n` next entries to `out`, returning how many were
+    /// appended; `0` means the stream is exhausted.
+    pub fn next_batch(&mut self, out: &mut Vec<GradedEntry>, n: usize) -> usize {
+        let got = self.source.sorted_batch(self.position, n, out);
+        self.position += got;
+        got
+    }
+}
+
+impl<S: GradedSource + ?Sized> Iterator for SortedCursor<'_, S> {
+    type Item = GradedEntry;
+
+    fn next(&mut self) -> Option<GradedEntry> {
+        let entry = self.source.sorted_access(self.position)?;
+        self.position += 1;
+        Some(entry)
+    }
 }
 
 /// Extra capability of crisp sources: enumerate every object whose grade is
@@ -97,6 +209,16 @@ impl GradedSource for MemorySource {
 
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         self.index.get(&object).copied()
+    }
+
+    /// Native batched streaming: one bounds-checked slice copy per batch
+    /// instead of `count` per-rank lookups.
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let entries = self.set.as_slice();
+        let start = start.min(entries.len());
+        let end = start.saturating_add(count).min(entries.len());
+        out.extend_from_slice(&entries[start..end]);
+        end - start
     }
 }
 
@@ -176,6 +298,16 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
         }
         grade
     }
+
+    /// Batch-aware metering: delegates to the inner source's (possibly
+    /// native) batch path and bills every entry obtained with a single
+    /// counter update — the reported Section 5 sorted cost is identical to
+    /// per-rank access.
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let got = self.inner.sorted_batch(start, count, out);
+        self.sorted.set(self.sorted.get() + got as u64);
+        got
+    }
 }
 
 impl<S: SetAccess> SetAccess for CountingSource<S> {
@@ -209,6 +341,9 @@ impl<S: GradedSource + ?Sized> GradedSource for &S {
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         (**self).random_access(object)
     }
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        (**self).sorted_batch(start, count, out)
+    }
 }
 
 impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
@@ -220,6 +355,9 @@ impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
     }
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         (**self).random_access(object)
+    }
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        (**self).sorted_batch(start, count, out)
     }
 }
 
@@ -302,5 +440,102 @@ mod tests {
         sources[0].sorted_access(0);
         sources[1].random_access(ObjectId(1));
         assert_eq!(total_stats(&sources), AccessStats::new(1, 1));
+    }
+
+    #[test]
+    fn cursor_streams_the_positional_order() {
+        let s = source();
+        let mut cursor = s.open_sorted();
+        let mut batch = Vec::new();
+        assert_eq!(cursor.next_batch(&mut batch, 3), 3);
+        assert_eq!(cursor.position(), 3);
+        assert_eq!(cursor.next_batch(&mut batch, 3), 1, "short batch at end");
+        assert_eq!(cursor.next_batch(&mut batch, 3), 0, "exhausted");
+        let positional: Vec<GradedEntry> = (0..4).map(|r| s.sorted_access(r).unwrap()).collect();
+        assert_eq!(batch, positional);
+    }
+
+    #[test]
+    fn cursor_resumes_at_an_arbitrary_rank() {
+        let s = source();
+        let mut cursor = SortedCursor::at(&s, 2);
+        let mut batch = Vec::new();
+        cursor.next_batch(&mut batch, 10);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], s.sorted_access(2).unwrap());
+        assert_eq!(cursor.position(), 4);
+    }
+
+    #[test]
+    fn cursor_iterates_like_sorted_access() {
+        let s = source();
+        let streamed: Vec<GradedEntry> = s.open_sorted().collect();
+        let positional: Vec<GradedEntry> = (0..4).map(|r| s.sorted_access(r).unwrap()).collect();
+        assert_eq!(streamed, positional);
+    }
+
+    #[test]
+    fn batched_metering_bills_entries_not_calls() {
+        let c = CountingSource::new(source());
+        let mut out = Vec::new();
+        assert_eq!(c.sorted_batch(0, 3, &mut out), 3);
+        assert_eq!(c.stats(), AccessStats::new(3, 0), "3 entries = 3 accesses");
+        // Overrunning the end bills only what was actually obtained.
+        assert_eq!(c.sorted_batch(3, 10, &mut out), 1);
+        assert_eq!(c.stats(), AccessStats::new(4, 0));
+        assert_eq!(c.sorted_batch(4, 10, &mut out), 0);
+        assert_eq!(c.stats(), AccessStats::new(4, 0));
+    }
+
+    #[test]
+    fn batched_metering_matches_per_rank_metering() {
+        let per_rank = CountingSource::new(source());
+        for r in 0..4 {
+            per_rank.sorted_access(r);
+        }
+        let batched = CountingSource::new(source());
+        let mut out = Vec::new();
+        while batched.sorted_batch(out.len(), 2, &mut out) > 0 {}
+        assert_eq!(per_rank.stats(), batched.stats());
+    }
+
+    #[test]
+    fn default_sorted_batch_agrees_with_native() {
+        /// A source with only the positional default.
+        struct Positional(MemorySource);
+        impl GradedSource for Positional {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+                self.0.sorted_access(rank)
+            }
+            fn random_access(&self, object: ObjectId) -> Option<Grade> {
+                self.0.random_access(object)
+            }
+        }
+        let native = source();
+        let fallback = Positional(source());
+        for (start, count) in [(0, 2), (1, 3), (3, 5), (4, 1), (9, 2)] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            assert_eq!(
+                native.sorted_batch(start, count, &mut a),
+                fallback.sorted_batch(start, count, &mut b)
+            );
+            assert_eq!(a, b, "start {start} count {count}");
+        }
+    }
+
+    #[test]
+    fn boxed_dyn_sources_use_the_native_batch_path() {
+        let boxed: Box<dyn GradedSource> = Box::new(source());
+        let mut out = Vec::new();
+        assert_eq!(boxed.sorted_batch(0, 4, &mut out), 4);
+        assert_eq!(out[0], boxed.sorted_access(0).unwrap());
+        let mut cursor = boxed.open_sorted();
+        let mut streamed = Vec::new();
+        cursor.next_batch(&mut streamed, 4);
+        assert_eq!(streamed, out);
     }
 }

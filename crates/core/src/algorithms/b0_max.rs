@@ -7,13 +7,17 @@
 //! accesses, *independent of the database size `N`* — which is why max
 //! (being non-strict) escapes the Ω(N^((m-1)/m) k^(1/m)) lower bound
 //! (Remark 6.1); experiment E07 measures this.
-
-use garlic_agg::Grade;
-use std::collections::HashMap;
+//!
+//! A thin shell over the shared [`engine`](crate::algorithms::engine): the
+//! top-`k`-of-every-list phase is one batched stream to depth `k`, and the
+//! per-object best grade is the engine's [`best_seen`](Engine::best_seen)
+//! scoring. The resumable paging counterpart is
+//! [`B0Session`](crate::algorithms::engine::B0Session).
 
 use crate::access::GradedSource;
-use crate::object::ObjectId;
 use crate::topk::{validate_inputs, TopK, TopKError};
+
+use super::engine::Engine;
 
 /// Runs algorithm B₀ for the standard fuzzy disjunction
 /// `A₁ ∨ ... ∨ A_m` (aggregation fixed to max).
@@ -28,21 +32,12 @@ where
 {
     validate_inputs(sources, k)?;
 
-    // Sorted access phase: the top k of every list.
-    let mut h: HashMap<ObjectId, Grade> = HashMap::new();
-    for source in sources {
-        for rank in 0..k {
-            let entry = source
-                .sorted_access(rank)
-                .expect("k <= N implies k sorted entries");
-            h.entry(entry.object)
-                .and_modify(|g| *g = (*g).max(entry.grade))
-                .or_insert(entry.grade);
-        }
-    }
+    // Sorted access phase: the top k of every list, as one batched stream.
+    let mut engine = Engine::open(sources.iter().collect())?;
+    engine.advance_to_depth(k);
 
-    // Computation phase.
-    Ok(TopK::select(h, k))
+    // Computation phase: best grade any list showed, per seen object.
+    Ok(TopK::select(engine.best_seen(), k))
 }
 
 #[cfg(test)]
@@ -50,7 +45,9 @@ mod tests {
     use super::*;
     use crate::access::{counted, total_stats, MemorySource};
     use crate::algorithms::naive::naive_topk;
+    use crate::object::ObjectId;
     use garlic_agg::iterated::max_agg;
+    use garlic_agg::Grade;
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()

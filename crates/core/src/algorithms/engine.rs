@@ -1,0 +1,627 @@
+//! The unified top-k execution engine.
+//!
+//! Every A₀-family algorithm in this crate shares the same three moving
+//! parts (Section 4):
+//!
+//! 1. a **round-robin sorted phase** that streams all `m` lists in parallel
+//!    at a common depth `T`;
+//! 2. **candidate bookkeeping** — which grades and ranks each object has
+//!    revealed so far (the [`Partial`] map);
+//! 3. a **random-access completion** step that fills the missing grades of
+//!    a chosen candidate set.
+//!
+//! [`Engine`] packages those parts once, on top of the *batched* cursor
+//! layer of [`crate::access`]: sorted streaming goes through
+//! [`GradedSource::sorted_batch`] — a sequential walk on native sources —
+//! instead of re-resolving every rank through a virtual
+//! `sorted_access(rank)` call. The algorithm modules (`fa`, `fa_min`,
+//! `b0_max`, `filtered`, `naive`, `resume`) are thin, paper-annotated
+//! shells over this engine.
+//!
+//! # Exact Section 5 cost preservation
+//!
+//! Batching is an access-plan optimisation, not a semantic change: the
+//! engine consumes *exactly* the entries the paper's positional round-robin
+//! loop would, in the same interleaved order, so measured
+//! [`AccessStats`](crate::cost::AccessStats) are identical entry-for-entry
+//! to the seed positional implementations (property-tested in
+//! `tests/engine_equivalence.rs`). The trick is a pair of lower bounds on
+//! the stop depth `T` of the "wait until k matches" phase, which let the
+//! engine pull large batches without overshooting:
+//!
+//! * the matched set at depth `T` is contained in every prefix `X^i_T`, so
+//!   `T ≥ k` always;
+//! * one depth step reveals `m` new `(list, object)` pairs and an object
+//!   matches only when its *last* pair arrives, so at most `m` objects can
+//!   match per step: from a state with `c` matches at depth `d`,
+//!   `T ≥ d + ⌈(k − c)/m⌉`.
+//!
+//! Within the region these bounds cover, batches are as large as the bound
+//! allows; past it the engine degrades gracefully to single-level rounds,
+//! never reading an entry the positional algorithm would not.
+//!
+//! # Sessions
+//!
+//! [`EngineSession`] keeps an engine alive between top-k requests: asking
+//! for the next `k` answers resumes the sorted phase at the stored depth
+//! ("continue where we left off", Section 4), so paging through a ranked
+//! result set costs the same sorted accesses as one evaluation at the
+//! cumulative `k`. [`B0Session`] is the analogous session for the
+//! max-disjunction algorithm B₀, whose paging cost is `m·k` cumulative.
+
+use std::collections::{HashMap, HashSet};
+
+use garlic_agg::{Aggregation, Grade};
+
+use crate::access::GradedSource;
+use crate::graded_set::GradedEntry;
+use crate::object::ObjectId;
+use crate::topk::{validate_inputs, TopK, TopKError};
+
+/// Upper bound on levels fetched per batched round, to bound scratch-buffer
+/// memory (`m · CHUNK` entries) on full-database streams.
+const CHUNK: usize = 4096;
+
+/// What the sorted phase knows about one object: the grade and rank
+/// observed in each list (if seen there), plus how many lists have shown it.
+#[derive(Debug, Clone)]
+pub(crate) struct Partial {
+    /// `grades[i]` is `Some` once list `i` has revealed this object — via
+    /// either access kind.
+    pub grades: Vec<Option<Grade>>,
+    /// `ranks[i]` is `Some(r)` iff the object appeared at rank `r` under
+    /// *sorted* access to list `i` (random access reveals no rank).
+    pub ranks: Vec<Option<usize>>,
+    /// Number of lists that have shown the object under sorted access.
+    pub seen_sorted: usize,
+}
+
+impl Partial {
+    fn new(m: usize) -> Self {
+        Partial {
+            grades: vec![None; m],
+            ranks: vec![None; m],
+            seen_sorted: 0,
+        }
+    }
+
+    /// All grades known (random-access phase complete for this object).
+    pub fn complete(&self) -> bool {
+        self.grades.iter().all(Option::is_some)
+    }
+
+    /// The full grade vector; panics if incomplete.
+    pub fn grade_vec(&self) -> Vec<Grade> {
+        self.grades
+            .iter()
+            .map(|g| g.expect("grade vector incomplete"))
+            .collect()
+    }
+}
+
+/// The unified execution engine: owned sources, batched round-robin sorted
+/// streaming at a uniform depth (the paper's `T`), candidate bookkeeping,
+/// and random-access completion. See the module docs.
+#[derive(Debug)]
+pub struct Engine<S> {
+    sources: Vec<S>,
+    n: usize,
+    partial: HashMap<ObjectId, Partial>,
+    matched: Vec<ObjectId>,
+    depth: usize,
+    /// One reusable fetch buffer per list (scratch reuse across rounds).
+    scratch: Vec<Vec<GradedEntry>>,
+}
+
+impl<S: GradedSource> Engine<S> {
+    /// Opens an engine over the given sources (each conceptually holding a
+    /// sorted cursor at rank 0). Fails if there are no sources or they
+    /// disagree on the database size.
+    pub fn open(sources: Vec<S>) -> Result<Self, TopKError> {
+        if sources.is_empty() {
+            return Err(TopKError::NoSources);
+        }
+        let n = sources[0].len();
+        if sources.iter().any(|s| s.len() != n) {
+            return Err(TopKError::MismatchedSources {
+                sizes: sources.iter().map(|s| s.len()).collect(),
+            });
+        }
+        let m = sources.len();
+        Ok(Engine {
+            sources,
+            n,
+            partial: HashMap::new(),
+            matched: Vec::new(),
+            depth: 0,
+            scratch: vec![Vec::new(); m],
+        })
+    }
+
+    /// The sources the engine streams from.
+    pub fn sources(&self) -> &[S] {
+        &self.sources
+    }
+
+    /// Unwraps the engine, returning its sources.
+    pub fn into_sources(self) -> Vec<S> {
+        self.sources
+    }
+
+    /// Number of lists, `m`.
+    pub fn m(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Database size, `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Common depth already consumed from every list (the paper's `T` once
+    /// the sorted phase stops).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Objects seen in *every* list under sorted access — the paper's
+    /// matched set `L`, in match order.
+    pub fn matched(&self) -> &[ObjectId] {
+        &self.matched
+    }
+
+    /// Everything the sorted phase has seen so far.
+    pub(crate) fn partials(&self) -> &HashMap<ObjectId, Partial> {
+        &self.partial
+    }
+
+    /// Every object seen so far, via either access kind.
+    pub fn seen(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.partial.keys().copied()
+    }
+
+    /// Runs the sorted phase round-robin until at least `k` objects have
+    /// been seen in every list ("wait until there are at least k matches"),
+    /// or the lists are exhausted. Idempotent for already-achieved targets,
+    /// so sessions can call it repeatedly with a growing `k`.
+    ///
+    /// Streaming is batched (see the module docs for why the batch sizes
+    /// cannot overshoot the positional stop depth).
+    pub fn advance_until_matched(&mut self, k: usize) {
+        while self.matched.len() < k && self.depth < self.n {
+            // T >= k, and at most m objects can complete per level.
+            let by_depth = k.saturating_sub(self.depth);
+            let by_matches = (k - self.matched.len()).div_ceil(self.m());
+            let step = by_depth
+                .max(by_matches)
+                .max(1)
+                .min(self.n - self.depth)
+                .min(CHUNK);
+            self.pull_levels(step);
+        }
+    }
+
+    /// Streams every list down to `target` (clamped to `N`) regardless of
+    /// matches — the full-scan primitive behind B₀ (`target = k`) and the
+    /// naive baseline (`target = N`).
+    pub fn advance_to_depth(&mut self, target: usize) {
+        let target = target.min(self.n);
+        while self.depth < target {
+            let step = (target - self.depth).min(CHUNK);
+            self.pull_levels(step);
+        }
+    }
+
+    /// Fetches `levels` more entries from every list (one batched cursor
+    /// read per list) and folds them into the bookkeeping in the exact
+    /// interleaved order of the positional round-robin loop, so match order
+    /// — and therefore every downstream tie-break — is preserved.
+    fn pull_levels(&mut self, levels: usize) {
+        debug_assert!(self.depth + levels <= self.n);
+        let m = self.sources.len();
+        if levels == 1 {
+            // The one-level tail (where the stop-depth bounds no longer
+            // allow batching): a batch of one is exactly one positional
+            // access — skip the buffer machinery.
+            let Engine {
+                sources,
+                partial,
+                matched,
+                depth,
+                ..
+            } = self;
+            for (i, source) in sources.iter().enumerate() {
+                let entry = source
+                    .sorted_access(*depth)
+                    .expect("depth < N implies a sorted entry");
+                observe(partial, matched, m, i, *depth, entry);
+            }
+            self.depth += 1;
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (buf, source) in scratch.iter_mut().zip(&self.sources) {
+            buf.clear();
+            let got = source.sorted_batch(self.depth, levels, buf);
+            debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+        }
+        for level in 0..levels {
+            for (i, buf) in scratch.iter().enumerate() {
+                observe(
+                    &mut self.partial,
+                    &mut self.matched,
+                    m,
+                    i,
+                    self.depth + level,
+                    buf[level],
+                );
+            }
+        }
+        self.depth += levels;
+        self.scratch = scratch;
+    }
+
+    /// Completes the grade vectors of the given objects by random access
+    /// ("if x ∈ X^j_T then μ_Aj(x) has already been determined, so random
+    /// access is not needed"). Objects never seen before get fresh entries.
+    pub fn complete_grades(&mut self, objects: impl IntoIterator<Item = ObjectId>) {
+        let m = self.sources.len();
+        for object in objects {
+            let p = self
+                .partial
+                .entry(object)
+                .or_insert_with(|| Partial::new(m));
+            for (i, source) in self.sources.iter().enumerate() {
+                if p.grades[i].is_none() {
+                    let grade = source
+                        .random_access(object)
+                        .expect("every source grades every object");
+                    p.grades[i] = Some(grade);
+                }
+            }
+        }
+    }
+
+    /// The full grade vector of an object, if complete.
+    pub fn grade_vector(&self, object: ObjectId) -> Option<Vec<Grade>> {
+        let p = self.partial.get(&object)?;
+        if !p.complete() {
+            return None;
+        }
+        Some(p.grade_vec())
+    }
+
+    /// The overall grade of an object under `agg`, if its vector is
+    /// complete.
+    pub fn overall<A: Aggregation>(&self, object: ObjectId, agg: &A) -> Option<Grade> {
+        let p = self.partial.get(&object)?;
+        if !p.complete() {
+            return None;
+        }
+        Some(agg.combine(&p.grade_vec()))
+    }
+
+    /// Each seen object with the best grade any list has shown for it —
+    /// algorithm B₀'s scoring rule (no random access involved).
+    pub fn best_seen(&self) -> impl Iterator<Item = (ObjectId, Grade)> + '_ {
+        self.partial.iter().map(|(&id, p)| {
+            let best = p
+                .grades
+                .iter()
+                .flatten()
+                .max()
+                .copied()
+                .expect("seen objects have at least one grade");
+            (id, best)
+        })
+    }
+}
+
+/// Folds one sorted observation into the candidate bookkeeping.
+#[inline]
+fn observe(
+    partial: &mut HashMap<ObjectId, Partial>,
+    matched: &mut Vec<ObjectId>,
+    m: usize,
+    list: usize,
+    rank: usize,
+    entry: GradedEntry,
+) {
+    let p = partial
+        .entry(entry.object)
+        .or_insert_with(|| Partial::new(m));
+    debug_assert!(
+        p.ranks[list].is_none(),
+        "object {} shown twice by list {list}",
+        entry.object
+    );
+    p.grades[list] = Some(entry.grade);
+    p.ranks[list] = Some(rank);
+    p.seen_sorted += 1;
+    if p.seen_sorted == m {
+        matched.push(entry.object);
+    }
+}
+
+/// A resumable top-k session over a monotone aggregation: algorithm A₀
+/// kept alive between batches, implementing Section 4's "continue where we
+/// left off". Grades already fetched (by either access kind) are never
+/// re-fetched, so the cumulative *sorted* cost of paging equals one A₀
+/// evaluation at the cumulative `k`.
+pub struct EngineSession<S, A> {
+    engine: Engine<S>,
+    agg: A,
+    returned: HashSet<ObjectId>,
+    cumulative: usize,
+}
+
+impl<S, A> EngineSession<S, A>
+where
+    S: GradedSource,
+    A: Aggregation,
+{
+    /// Opens a session over the given sources and monotone aggregation.
+    pub fn new(sources: Vec<S>, agg: A) -> Result<Self, TopKError> {
+        validate_inputs(&sources, 1)?;
+        Ok(EngineSession {
+            engine: Engine::open(sources)?,
+            agg,
+            returned: HashSet::new(),
+            cumulative: 0,
+        })
+    }
+
+    /// How many answers have been handed out so far.
+    pub fn returned(&self) -> usize {
+        self.cumulative
+    }
+
+    /// The underlying engine (e.g. for reading metered sources).
+    pub fn engine(&self) -> &Engine<S> {
+        &self.engine
+    }
+
+    /// The session's sources.
+    pub fn sources(&self) -> &[S] {
+        self.engine.sources()
+    }
+
+    /// Returns the next `k` best answers (fewer if the database is
+    /// exhausted), continuing where the previous batch left off.
+    pub fn next_batch(&mut self, k: usize) -> Result<TopK, TopKError> {
+        if k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        let target = (self.cumulative + k).min(self.engine.n());
+        if target == self.cumulative {
+            return Ok(TopK::from_entries(Vec::new()));
+        }
+
+        // Resume the sorted phase until the *cumulative* match target.
+        self.engine.advance_until_matched(target);
+
+        // Complete grades for everything seen (grades already known are
+        // skipped inside complete_grades, so no access is repeated).
+        let seen: Vec<ObjectId> = self.engine.seen().collect();
+        self.engine.complete_grades(seen.iter().copied());
+
+        // The next `target - cumulative` best among objects not yet
+        // returned. (Filtering *before* selection keeps the batch size
+        // exact even when fresh objects tie an already-returned one at the
+        // cut grade — selecting top-`target` first and subtracting could
+        // let a tie displace a returned object and hand out extra entries.)
+        let fresh = TopK::select(
+            seen.into_iter()
+                .filter(|id| !self.returned.contains(id))
+                .map(|id| {
+                    let grade = self
+                        .engine
+                        .overall(id, &self.agg)
+                        .expect("grades completed above");
+                    (id, grade)
+                }),
+            target - self.cumulative,
+        );
+        for e in fresh.entries() {
+            self.returned.insert(e.object);
+        }
+        self.cumulative = target;
+        Ok(fresh)
+    }
+}
+
+/// A resumable session for the max-disjunction algorithm B₀ (Theorem 4.5):
+/// paging deepens the per-list prefixes to the cumulative `k`, so the total
+/// cost of paging is exactly `m · Σkᵢ` sorted accesses — identical to one
+/// B₀ run at the cumulative `k` — with no random access at all.
+pub struct B0Session<S> {
+    engine: Engine<S>,
+    returned: HashSet<ObjectId>,
+    cumulative: usize,
+}
+
+impl<S: GradedSource> B0Session<S> {
+    /// Opens a session over the given sources (aggregation fixed to max).
+    pub fn new(sources: Vec<S>) -> Result<Self, TopKError> {
+        validate_inputs(&sources, 1)?;
+        Ok(B0Session {
+            engine: Engine::open(sources)?,
+            returned: HashSet::new(),
+            cumulative: 0,
+        })
+    }
+
+    /// How many answers have been handed out so far.
+    pub fn returned(&self) -> usize {
+        self.cumulative
+    }
+
+    /// The session's sources.
+    pub fn sources(&self) -> &[S] {
+        self.engine.sources()
+    }
+
+    /// Returns the next `k` best answers under max (fewer if the database
+    /// is exhausted).
+    pub fn next_batch(&mut self, k: usize) -> Result<TopK, TopKError> {
+        if k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        let target = (self.cumulative + k).min(self.engine.n());
+        if target == self.cumulative {
+            return Ok(TopK::from_entries(Vec::new()));
+        }
+        self.engine.advance_to_depth(target);
+        let fresh = TopK::select(
+            self.engine
+                .best_seen()
+                .filter(|(id, _)| !self.returned.contains(id)),
+            target - self.cumulative,
+        );
+        for e in fresh.entries() {
+            self.returned.insert(e.object);
+        }
+        self.cumulative = target;
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{counted, total_stats, MemorySource};
+    use garlic_agg::iterated::min_agg;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    /// Two 4-object lists with opposite orders.
+    fn sources() -> Vec<MemorySource> {
+        vec![
+            MemorySource::from_grades(&[g(1.0), g(0.8), g(0.6), g(0.4)]),
+            MemorySource::from_grades(&[g(0.3), g(0.5), g(0.7), g(0.9)]),
+        ]
+    }
+
+    #[test]
+    fn advance_finds_first_match() {
+        let mut engine = Engine::open(sources()).unwrap();
+        engine.advance_until_matched(1);
+        // List 0 order: 0,1,2,3. List 1 order: 3,2,1,0.
+        // Depth 1: {0},{3}. Depth 2: {0,1},{3,2}: no match yet.
+        // Depth 3: {0,1,2},{3,2,1}: objects 1 and 2 match.
+        assert_eq!(engine.depth(), 3);
+        assert_eq!(engine.matched().len(), 2);
+    }
+
+    #[test]
+    fn advance_is_idempotent_and_resumable() {
+        let mut engine = Engine::open(sources()).unwrap();
+        engine.advance_until_matched(1);
+        let depth = engine.depth();
+        engine.advance_until_matched(1);
+        assert_eq!(engine.depth(), depth); // no extra work
+        engine.advance_until_matched(4);
+        assert_eq!(engine.depth(), 4);
+        assert_eq!(engine.matched().len(), 4);
+    }
+
+    #[test]
+    fn batched_streaming_reads_no_more_than_positional_round_robin() {
+        // The positional loop stops at the first depth T with >= k matches;
+        // the engine's batched loop must bill the same m*T entries.
+        let cs = counted(sources());
+        let mut engine = Engine::open(cs).unwrap();
+        engine.advance_until_matched(1);
+        let stats = total_stats(engine.sources());
+        assert_eq!(stats.sorted, 2 * 3); // T = 3 from the hand example
+        assert_eq!(stats.random, 0);
+    }
+
+    #[test]
+    fn complete_grades_fills_missing_slots() {
+        let mut engine = Engine::open(sources()).unwrap();
+        engine.advance_until_matched(1);
+        // Object 0 was seen only in list 0 (rank 0); complete it.
+        assert!(engine.grade_vector(ObjectId(0)).is_none());
+        engine.complete_grades([ObjectId(0)]);
+        assert_eq!(
+            engine.overall(ObjectId(0), &min_agg()),
+            Some(g(0.3)) // min(1.0, 0.3)
+        );
+    }
+
+    #[test]
+    fn overall_is_none_until_complete() {
+        let mut engine = Engine::open(sources()).unwrap();
+        engine.advance_until_matched(1);
+        assert_eq!(engine.overall(ObjectId(0), &min_agg()), None);
+        assert_eq!(engine.overall(ObjectId(99), &min_agg()), None);
+    }
+
+    #[test]
+    fn advance_to_depth_streams_prefixes() {
+        let cs = counted(sources());
+        let mut engine = Engine::open(cs).unwrap();
+        engine.advance_to_depth(2);
+        assert_eq!(total_stats(engine.sources()).sorted, 2 * 2);
+        let best: HashMap<ObjectId, Grade> = engine.best_seen().collect();
+        assert_eq!(best[&ObjectId(0)], g(1.0));
+        assert_eq!(best[&ObjectId(3)], g(0.9));
+        // Clamped at N, idempotent past it.
+        engine.advance_to_depth(99);
+        assert_eq!(engine.depth(), 4);
+        assert_eq!(total_stats(engine.sources()).sorted, 2 * 4);
+    }
+
+    #[test]
+    fn open_rejects_bad_sources() {
+        assert!(matches!(
+            Engine::<MemorySource>::open(vec![]),
+            Err(TopKError::NoSources)
+        ));
+        let mismatched = vec![
+            MemorySource::from_grades(&[g(0.1), g(0.2)]),
+            MemorySource::from_grades(&[g(0.1)]),
+        ];
+        assert!(matches!(
+            Engine::open(mismatched),
+            Err(TopKError::MismatchedSources { .. })
+        ));
+    }
+
+    #[test]
+    fn session_pages_without_repeating_objects() {
+        let agg = min_agg();
+        let mut session = EngineSession::new(sources(), &agg).unwrap();
+        let a = session.next_batch(2).unwrap();
+        let b = session.next_batch(2).unwrap();
+        assert_eq!(session.returned(), 4);
+        let mut ids = a.objects();
+        ids.extend(b.objects());
+        let distinct: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+        assert!(session.next_batch(1).unwrap().is_empty());
+        assert!(session.next_batch(0).is_err());
+    }
+
+    #[test]
+    fn b0_session_paging_costs_m_times_cumulative_k() {
+        let paged = counted(sources());
+        let mut session = B0Session::new(paged).unwrap();
+        let first = session.next_batch(1).unwrap();
+        let second = session.next_batch(2).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 2);
+        let stats = total_stats(session.sources());
+        assert_eq!(stats.sorted, 2 * 3);
+        assert_eq!(stats.random, 0);
+
+        // Grade-equivalent to one B0 run at the cumulative k.
+        let oneshot = super::super::b0_max::b0_max_topk(&sources(), 3).unwrap();
+        let mut paged_grades = first.grades();
+        paged_grades.extend(second.grades());
+        assert_eq!(paged_grades, oneshot.grades());
+    }
+}

@@ -22,6 +22,11 @@
 //! of T, we might find Tᵢ ≤ T for each i such that `∩ᵢ X^i_{Tᵢ}` contains k
 //! members ... which could lead to fewer random accesses." Enable it with
 //! [`FaOptions::shrink_depths`].
+//!
+//! This module is a thin shell over the shared
+//! [`engine`](crate::algorithms::engine): phases 1–2 are the engine's
+//! batched sorted streaming and random-access completion, with identical
+//! Section 5 access counts to the positional formulation.
 
 use garlic_agg::Aggregation;
 
@@ -29,7 +34,7 @@ use crate::access::GradedSource;
 use crate::object::ObjectId;
 use crate::topk::{validate_inputs, TopK, TopKError};
 
-use super::SortedPhase;
+use super::engine::Engine;
 
 /// Tuning knobs for algorithm A₀.
 #[derive(Debug, Clone, Copy, Default)]
@@ -82,31 +87,32 @@ where
     S: GradedSource,
     A: Aggregation,
 {
-    let n = validate_inputs(sources, k)?;
+    validate_inputs(sources, k)?;
     let m = sources.len();
     debug_assert!(
         agg.is_monotone(),
         "A0 is only guaranteed correct for monotone aggregations (Theorem 4.2)"
     );
 
-    // Phase 1: sorted access until k matches.
-    let mut phase = SortedPhase::new(m, n);
-    phase.advance_until_matched(sources, k);
-    let stop_depth = phase.depth;
-    let matched = phase.matched.len();
+    // Phase 1: sorted access until k matches (batched round-robin streaming
+    // on the shared engine).
+    let mut engine = Engine::open(sources.iter().collect())?;
+    engine.advance_until_matched(k);
+    let stop_depth = engine.depth();
+    let matched = engine.matched().len();
     debug_assert!(matched >= k);
 
     // Optional refinement: per-list depths Tᵢ ≤ T still witnessing k matches.
     let per_list_depths = if options.shrink_depths {
-        shrink_depths(&phase, k)
+        shrink_depths(&engine, k)
     } else {
         vec![stop_depth; m]
     };
 
     // Phase 2: random access for every object inside some (possibly shrunk)
     // prefix.
-    let candidates: Vec<ObjectId> = phase
-        .partial
+    let candidates: Vec<ObjectId> = engine
+        .partials()
         .iter()
         .filter(|(_, p)| {
             p.ranks
@@ -117,12 +123,12 @@ where
         .map(|(&id, _)| id)
         .collect();
     let candidate_count = candidates.len();
-    phase.complete_grades(sources, candidates.iter().copied());
+    engine.complete_grades(candidates.iter().copied());
 
     // Phase 3: computation.
     let topk = TopK::select(
         candidates.into_iter().map(|id| {
-            let grade = phase
+            let grade = engine
                 .overall(id, agg)
                 .expect("candidate grades were completed");
             (id, grade)
@@ -142,12 +148,12 @@ where
 /// Chooses per-list depths `Tᵢ ≤ T` such that `∩ᵢ X^i_{Tᵢ}` still contains
 /// `k` objects: pick the `k` matched objects with the earliest worst rank,
 /// then clamp each list at the deepest rank any chosen object needs there.
-fn shrink_depths(phase: &SortedPhase, k: usize) -> Vec<usize> {
-    let mut by_worst_rank: Vec<(usize, &ObjectId)> = phase
-        .matched
+fn shrink_depths<S: GradedSource>(engine: &Engine<S>, k: usize) -> Vec<usize> {
+    let mut by_worst_rank: Vec<(usize, &ObjectId)> = engine
+        .matched()
         .iter()
         .map(|id| {
-            let p = &phase.partial[id];
+            let p = &engine.partials()[id];
             let worst = p
                 .ranks
                 .iter()
@@ -159,9 +165,9 @@ fn shrink_depths(phase: &SortedPhase, k: usize) -> Vec<usize> {
         .collect();
     by_worst_rank.sort_by_key(|&(worst, id)| (worst, *id));
 
-    let mut depths = vec![0usize; phase.m];
+    let mut depths = vec![0usize; engine.m()];
     for &(_, id) in by_worst_rank.iter().take(k) {
-        let p = &phase.partial[id];
+        let p = &engine.partials()[id];
         for (i, rank) in p.ranks.iter().enumerate() {
             let r = rank.expect("matched");
             depths[i] = depths[i].max(r + 1);

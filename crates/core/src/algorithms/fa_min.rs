@@ -9,6 +9,9 @@
 //! `{x ∈ X^{i₀}_T : μ_{A_{i₀}}(x) ≥ g₀}` rather than the whole union of
 //! prefixes. The saving is the constant-factor improvement measured by
 //! experiment E11.
+//!
+//! A thin shell over the shared [`engine`](crate::algorithms::engine):
+//! only the candidate-selection rule above is A₀′-specific.
 
 use garlic_agg::Grade;
 
@@ -16,7 +19,7 @@ use crate::access::GradedSource;
 use crate::object::ObjectId;
 use crate::topk::{validate_inputs, TopK, TopKError};
 
-use super::SortedPhase;
+use super::engine::Engine;
 
 /// Diagnostics from one run of A₀′.
 #[derive(Debug, Clone)]
@@ -47,22 +50,21 @@ pub fn fagin_min_run<S>(sources: &[S], k: usize) -> Result<FaMinRun, TopKError>
 where
     S: GradedSource,
 {
-    let n = validate_inputs(sources, k)?;
-    let m = sources.len();
+    validate_inputs(sources, k)?;
 
-    // Sorted access phase — identical to A₀'s.
-    let mut phase = SortedPhase::new(m, n);
-    phase.advance_until_matched(sources, k);
-    let stop_depth = phase.depth;
+    // Sorted access phase — identical to A₀'s (batched, on the engine).
+    let mut engine = Engine::open(sources.iter().collect())?;
+    engine.advance_until_matched(k);
+    let stop_depth = engine.depth();
 
     // Random access phase. Find x₀ ∈ L with least overall grade; its
     // minimising list is i₀ and grade g₀. All grades of matched objects are
     // already known from sorted access.
-    let (g0, i0) = phase
-        .matched
+    let (g0, i0) = engine
+        .matched()
         .iter()
         .map(|id| {
-            let p = &phase.partial[id];
+            let p = &engine.partials()[id];
             let (list, grade) = p
                 .grades
                 .iter()
@@ -76,8 +78,8 @@ where
         .expect("matched set has at least k >= 1 members");
 
     // Candidates: objects of X^{i₀}_T whose grade there is at least g₀.
-    let candidates: Vec<ObjectId> = phase
-        .partial
+    let candidates: Vec<ObjectId> = engine
+        .partials()
         .iter()
         .filter(|(_, p)| p.ranks[i0].is_some() && p.grades[i0].expect("rank implies grade") >= g0)
         .map(|(&id, _)| id)
@@ -89,16 +91,15 @@ where
     );
 
     // "For each candidate x, do random access to each subsystem j ≠ i₀."
-    phase.complete_grades(sources, candidates.iter().copied());
+    engine.complete_grades(candidates.iter().copied());
 
     // Computation phase: overall grade is the min of the vector.
     let topk = TopK::select(
         candidates.into_iter().map(|id| {
-            let p = &phase.partial[&id];
-            let grade = p
-                .grades
-                .iter()
-                .map(|g| g.expect("candidate grades were completed"))
+            let grade = engine
+                .grade_vector(id)
+                .expect("candidate grades were completed")
+                .into_iter()
                 .min()
                 .expect("m >= 1");
             (id, grade)

@@ -11,12 +11,21 @@
 //! false for means. The middleware cost is `|S| + (m-1)·|S|`, independent of
 //! how the other lists rank the rest of the database; experiment E13 finds
 //! the selectivity crossover against A₀.
+//!
+//! The grade-completion step (random access for every match) runs on the
+//! shared [`engine`](crate::algorithms::engine) over the graded conjuncts,
+//! so its bookkeeping and metering are the same code path as A₀'s phase 2.
+//! Note the whole ranking over `S` costs the same regardless of `k` (the
+//! padding objects need no access at all), which is why the middleware can
+//! page this strategy from one materialised session.
 
 use garlic_agg::{Aggregation, Grade};
 
 use crate::access::{GradedSource, SetAccess};
 use crate::object::ObjectId;
 use crate::topk::{TopK, TopKError};
+
+use super::engine::Engine;
 
 /// Evaluates a conjunction with one crisp conjunct via the filtered
 /// strategy.
@@ -75,25 +84,32 @@ where
     // Step 1: the match set S of the crisp conjunct.
     let matches = crisp.matching_set();
 
-    // Step 2: random access for every other conjunct, matches only.
+    // Step 2: random access for every other conjunct, matches only — the
+    // engine's completion phase over the graded lists (no sorted phase).
     let mut scored: Vec<(ObjectId, Grade)> = Vec::with_capacity(matches.len());
-    for &id in &matches {
-        let mut grades = Vec::with_capacity(m);
-        for (i, source) in graded.iter().enumerate() {
-            if i == crisp_position {
+    if graded.is_empty() {
+        // Degenerate single-conjunct query: every match grades 1.
+        scored.extend(matches.iter().map(|&id| (id, agg.combine(&[Grade::ONE]))));
+    } else {
+        let mut engine = Engine::open(graded.iter().collect())?;
+        engine.complete_grades(matches.iter().copied());
+        for &id in &matches {
+            let completed = engine
+                .grade_vector(id)
+                .expect("matches were completed above");
+            let mut grades = Vec::with_capacity(m);
+            for (i, grade) in completed.into_iter().enumerate() {
+                if i == crisp_position {
+                    grades.push(Grade::ONE);
+                }
+                grades.push(grade);
+            }
+            if crisp_position == m - 1 {
                 grades.push(Grade::ONE);
             }
-            grades.push(
-                source
-                    .random_access(id)
-                    .expect("every source grades every object"),
-            );
+            debug_assert_eq!(grades.len(), m);
+            scored.push((id, agg.combine(&grades)));
         }
-        if crisp_position == m - 1 {
-            grades.push(Grade::ONE);
-        }
-        debug_assert_eq!(grades.len(), m);
-        scored.push((id, agg.combine(&grades)));
     }
 
     // Pad with non-matching objects at grade 0 if S is smaller than k.

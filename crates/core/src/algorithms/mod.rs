@@ -11,13 +11,18 @@
 //! | [`filtered`] ("Beatles" strategy) | §4 opening example | zero-annihilating aggregations with one crisp conjunct |
 //! | [`resume`] | §4, "continue where we left off" | monotone aggregations |
 //!
-//! All algorithms speak to subsystems exclusively through
-//! [`crate::access::GradedSource`] (sorted + random access), so
-//! wrapping the sources in
-//! [`CountingSource`](crate::access::CountingSource) measures exactly the
-//! middleware cost of Section 5.
+//! All of the A₀-family modules are thin, paper-annotated shells over one
+//! [`engine`] — the shared round-robin sorted phase, candidate bookkeeping,
+//! and random-access completion, built on the batched cursor layer of
+//! [`crate::access`]. Algorithms speak to subsystems exclusively through
+//! [`crate::access::GradedSource`] (sorted + random access), so wrapping
+//! the sources in [`CountingSource`](crate::access::CountingSource)
+//! measures exactly the middleware cost of Section 5 — batched streaming
+//! included (the engine consumes entry-for-entry what the positional loop
+//! would; see [`engine`]).
 
 pub mod b0_max;
+pub mod engine;
 pub mod fa;
 pub mod fa_min;
 pub mod filtered;
@@ -25,213 +30,3 @@ pub mod naive;
 pub mod order_stat;
 pub mod resume;
 pub mod ullman;
-
-use std::collections::HashMap;
-
-use garlic_agg::Grade;
-
-use crate::access::GradedSource;
-use crate::object::ObjectId;
-
-/// What the sorted-access phase knows about one object: the grade and rank
-/// observed in each list (if seen there), plus how many lists have shown it.
-#[derive(Debug, Clone)]
-pub(crate) struct Partial {
-    /// `grades[i]` is `Some` once list `i` has revealed this object — via
-    /// either access kind.
-    pub grades: Vec<Option<Grade>>,
-    /// `ranks[i]` is `Some(r)` iff the object appeared at rank `r` under
-    /// *sorted* access to list `i` (random access reveals no rank).
-    pub ranks: Vec<Option<usize>>,
-    /// Number of lists that have shown the object under sorted access.
-    pub seen_sorted: usize,
-}
-
-impl Partial {
-    fn new(m: usize) -> Self {
-        Partial {
-            grades: vec![None; m],
-            ranks: vec![None; m],
-            seen_sorted: 0,
-        }
-    }
-
-    /// All grades known (random-access phase complete for this object).
-    pub fn complete(&self) -> bool {
-        self.grades.iter().all(Option::is_some)
-    }
-
-    /// The full grade vector; panics if incomplete.
-    pub fn grade_vec(&self) -> Vec<Grade> {
-        self.grades
-            .iter()
-            .map(|g| g.expect("grade vector incomplete"))
-            .collect()
-    }
-}
-
-/// The state of algorithm A₀'s sorted-access phase, shared by A₀, A₀′ and
-/// the resumable variant. Round-robin sorted access keeps every list at the
-/// same depth, which is the paper's uniform `T`.
-#[derive(Debug)]
-pub(crate) struct SortedPhase {
-    /// Number of lists, `m`.
-    pub m: usize,
-    /// Database size, `N`.
-    pub n: usize,
-    /// Everything seen so far.
-    pub partial: HashMap<ObjectId, Partial>,
-    /// Objects seen in *every* list under sorted access — the paper's
-    /// matched set `L`, in match order.
-    pub matched: Vec<ObjectId>,
-    /// Common depth already consumed from every list (the paper's `T` once
-    /// the phase stops).
-    pub depth: usize,
-}
-
-impl SortedPhase {
-    pub fn new(m: usize, n: usize) -> Self {
-        SortedPhase {
-            m,
-            n,
-            partial: HashMap::new(),
-            matched: Vec::new(),
-            depth: 0,
-        }
-    }
-
-    /// Runs sorted access round-robin until at least `k` objects have been
-    /// seen in every list ("wait until there are at least k matches"), or
-    /// the lists are exhausted. Idempotent for already-achieved targets, so
-    /// the resumable algorithm can call it repeatedly with growing `k`.
-    pub fn advance_until_matched<S: GradedSource>(&mut self, sources: &[S], k: usize) {
-        debug_assert_eq!(sources.len(), self.m);
-        while self.matched.len() < k && self.depth < self.n {
-            for (i, source) in sources.iter().enumerate() {
-                let entry = source
-                    .sorted_access(self.depth)
-                    .expect("depth < N implies a sorted entry");
-                let m = self.m;
-                let p = self
-                    .partial
-                    .entry(entry.object)
-                    .or_insert_with(|| Partial::new(m));
-                debug_assert!(
-                    p.ranks[i].is_none(),
-                    "object {} shown twice by list {i}",
-                    entry.object
-                );
-                p.grades[i] = Some(entry.grade);
-                p.ranks[i] = Some(self.depth);
-                p.seen_sorted += 1;
-                if p.seen_sorted == self.m {
-                    self.matched.push(entry.object);
-                }
-            }
-            self.depth += 1;
-        }
-    }
-
-    /// Completes the grade vectors of the given objects by random access
-    /// ("if x ∈ X^j_T then μ_Aj(x) has already been determined, so random
-    /// access is not needed"). Objects never seen before get fresh entries.
-    pub fn complete_grades<S: GradedSource>(
-        &mut self,
-        sources: &[S],
-        objects: impl IntoIterator<Item = ObjectId>,
-    ) {
-        for object in objects {
-            let m = self.m;
-            let p = self
-                .partial
-                .entry(object)
-                .or_insert_with(|| Partial::new(m));
-            for (i, source) in sources.iter().enumerate() {
-                if p.grades[i].is_none() {
-                    let grade = source
-                        .random_access(object)
-                        .expect("every source grades every object");
-                    p.grades[i] = Some(grade);
-                }
-            }
-        }
-    }
-
-    /// The overall grade of an object under `agg`, if its vector is
-    /// complete.
-    pub fn overall<A: garlic_agg::Aggregation>(&self, object: ObjectId, agg: &A) -> Option<Grade> {
-        let p = self.partial.get(&object)?;
-        if !p.complete() {
-            return None;
-        }
-        Some(agg.combine(&p.grade_vec()))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::access::MemorySource;
-    use garlic_agg::iterated::min_agg;
-
-    fn g(v: f64) -> Grade {
-        Grade::new(v).unwrap()
-    }
-
-    /// Two 4-object lists with opposite orders.
-    fn sources() -> Vec<MemorySource> {
-        vec![
-            MemorySource::from_grades(&[g(1.0), g(0.8), g(0.6), g(0.4)]),
-            MemorySource::from_grades(&[g(0.3), g(0.5), g(0.7), g(0.9)]),
-        ]
-    }
-
-    #[test]
-    fn advance_finds_first_match() {
-        let s = sources();
-        let mut phase = SortedPhase::new(2, 4);
-        phase.advance_until_matched(&s, 1);
-        // List 0 order: 0,1,2,3. List 1 order: 3,2,1,0.
-        // Depth 1: {0},{3}. Depth 2: {0,1},{3,2}: no match yet.
-        // Depth 3: {0,1,2},{3,2,1}: objects 1 and 2 match.
-        assert_eq!(phase.depth, 3);
-        assert_eq!(phase.matched.len(), 2);
-    }
-
-    #[test]
-    fn advance_is_idempotent_and_resumable() {
-        let s = sources();
-        let mut phase = SortedPhase::new(2, 4);
-        phase.advance_until_matched(&s, 1);
-        let depth = phase.depth;
-        phase.advance_until_matched(&s, 1);
-        assert_eq!(phase.depth, depth); // no extra work
-        phase.advance_until_matched(&s, 4);
-        assert_eq!(phase.depth, 4);
-        assert_eq!(phase.matched.len(), 4);
-    }
-
-    #[test]
-    fn complete_grades_fills_missing_slots() {
-        let s = sources();
-        let mut phase = SortedPhase::new(2, 4);
-        phase.advance_until_matched(&s, 1);
-        // Object 0 was seen only in list 0 (rank 0); complete it.
-        assert!(!phase.partial[&ObjectId(0)].complete());
-        phase.complete_grades(&s, [ObjectId(0)]);
-        assert!(phase.partial[&ObjectId(0)].complete());
-        assert_eq!(
-            phase.overall(ObjectId(0), &min_agg()),
-            Some(g(0.3)) // min(1.0, 0.3)
-        );
-    }
-
-    #[test]
-    fn overall_is_none_until_complete() {
-        let s = sources();
-        let mut phase = SortedPhase::new(2, 4);
-        phase.advance_until_matched(&s, 1);
-        assert_eq!(phase.overall(ObjectId(0), &min_agg()), None);
-        assert_eq!(phase.overall(ObjectId(99), &min_agg()), None);
-    }
-}

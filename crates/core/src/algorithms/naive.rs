@@ -5,13 +5,18 @@
 //! database size — which is the baseline both bounds of the paper are
 //! measured against, and the optimum for the provably hard query of
 //! Section 7.
+//!
+//! A thin shell over the shared [`engine`](crate::algorithms::engine): the
+//! exhaustive scan is one batched stream of every list to depth `N`, after
+//! which every grade vector is complete without any random access.
 
-use garlic_agg::{Aggregation, Grade};
-use std::collections::HashMap;
+use garlic_agg::Aggregation;
 
 use crate::access::GradedSource;
 use crate::object::ObjectId;
 use crate::topk::{validate_inputs, TopK, TopKError};
+
+use super::engine::Engine;
 
 /// Evaluates `F_t(A_1, ..., A_m)` by exhaustively streaming every list
 /// (steps 1–3 of the paper's naive algorithm) and returns the top `k`
@@ -22,29 +27,24 @@ where
     A: Aggregation,
 {
     let n = validate_inputs(sources, k)?;
-    let m = sources.len();
 
     // "Have the subsystem ... output explicitly the graded set consisting of
     // all pairs (x, μ(x)) for every object x."
-    let mut grades: HashMap<ObjectId, Vec<Grade>> = HashMap::with_capacity(n);
-    for (i, source) in sources.iter().enumerate() {
-        for rank in 0..n {
-            let entry = source
-                .sorted_access(rank)
-                .expect("rank < N implies a sorted entry");
-            grades
-                .entry(entry.object)
-                .or_insert_with(|| vec![Grade::ZERO; m])[i] = entry.grade;
-        }
-    }
+    let mut engine = Engine::open(sources.iter().collect())?;
+    engine.advance_to_depth(n);
 
-    // "Use this information to compute μ(x) for every object x."
-    Ok(TopK::select(
-        grades
-            .into_iter()
-            .map(|(object, gs)| (object, agg.combine(&gs))),
-        k,
-    ))
+    // "Use this information to compute μ(x) for every object x." At full
+    // depth every list has shown every object, so all vectors are complete.
+    let scored: Vec<_> = engine
+        .seen()
+        .map(|id| {
+            let grade = engine
+                .overall(id, agg)
+                .expect("full-depth streams complete every grade vector");
+            (id, grade)
+        })
+        .collect();
+    Ok(TopK::select(scored, k))
 }
 
 /// The naive algorithm implemented with **zero sorted accesses**: probe
@@ -97,6 +97,7 @@ mod tests {
     use super::*;
     use crate::access::{counted, total_stats, MemorySource};
     use garlic_agg::iterated::{min_agg, product_agg};
+    use garlic_agg::Grade;
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()

@@ -7,23 +7,22 @@
 //! depth, and grades already fetched (by either access kind) are never
 //! re-fetched, so the cumulative middleware cost of paging through the
 //! result set equals the cost of one A₀ run at the total `k`.
+//!
+//! This is now a thin borrowing shell over
+//! [`EngineSession`](crate::algorithms::engine::EngineSession) — the
+//! source-owning resumable session the middleware pages every strategy
+//! with; use that type directly when the session should own its sources.
 
 use garlic_agg::Aggregation;
-use std::collections::HashSet;
 
 use crate::access::GradedSource;
-use crate::object::ObjectId;
-use crate::topk::{validate_inputs, TopK, TopKError};
+use crate::topk::{TopK, TopKError};
 
-use super::SortedPhase;
+use super::engine::EngineSession;
 
 /// An A₀ session that pages through the ranked result set batch by batch.
 pub struct ResumableFa<'a, S, A> {
-    sources: &'a [S],
-    agg: &'a A,
-    phase: SortedPhase,
-    returned: HashSet<ObjectId>,
-    cumulative_k: usize,
+    session: EngineSession<&'a S, &'a A>,
 }
 
 impl<'a, S, A> ResumableFa<'a, S, A>
@@ -33,64 +32,20 @@ where
 {
     /// Opens a session over the given sources and monotone aggregation.
     pub fn new(sources: &'a [S], agg: &'a A) -> Result<Self, TopKError> {
-        let n = validate_inputs(sources, 1)?;
         Ok(ResumableFa {
-            sources,
-            agg,
-            phase: SortedPhase::new(sources.len(), n),
-            returned: HashSet::new(),
-            cumulative_k: 0,
+            session: EngineSession::new(sources.iter().collect(), agg)?,
         })
     }
 
     /// How many answers have been handed out so far.
     pub fn returned(&self) -> usize {
-        self.cumulative_k
+        self.session.returned()
     }
 
     /// Returns the next `k` best answers (fewer if the database is
     /// exhausted), continuing where the previous batch left off.
     pub fn next_batch(&mut self, k: usize) -> Result<TopK, TopKError> {
-        if k == 0 {
-            return Err(TopKError::ZeroK);
-        }
-        let target = (self.cumulative_k + k).min(self.phase.n);
-        if target == self.cumulative_k {
-            return Ok(TopK::from_entries(Vec::new()));
-        }
-
-        // Resume the sorted phase until the *cumulative* match target.
-        self.phase.advance_until_matched(self.sources, target);
-
-        // Complete grades for everything seen (grades already known are
-        // skipped inside complete_grades, so no access is repeated).
-        let seen: Vec<ObjectId> = self.phase.partial.keys().copied().collect();
-        self.phase
-            .complete_grades(self.sources, seen.iter().copied());
-
-        // Top `target` overall, minus what previous batches already
-        // returned.
-        let all = TopK::select(
-            seen.into_iter().map(|id| {
-                let grade = self
-                    .phase
-                    .overall(id, self.agg)
-                    .expect("grades completed above");
-                (id, grade)
-            }),
-            target,
-        );
-        let fresh: Vec<_> = all
-            .entries()
-            .iter()
-            .filter(|e| !self.returned.contains(&e.object))
-            .copied()
-            .collect();
-        for e in &fresh {
-            self.returned.insert(e.object);
-        }
-        self.cumulative_k = target;
-        Ok(TopK::from_entries(fresh))
+        self.session.next_batch(k)
     }
 }
 
@@ -101,6 +56,7 @@ mod tests {
     use crate::algorithms::fa::fagin_topk;
     use garlic_agg::iterated::min_agg;
     use garlic_agg::Grade;
+    use std::collections::HashSet;
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()

@@ -64,6 +64,26 @@ impl<S: GradedSource> GradedSource for ComplementSource<S> {
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         self.inner.random_access(object).map(Grade::complement)
     }
+
+    /// Native batched streaming: one batched read of the *tail* of the
+    /// underlying list, emitted in reverse with complemented grades.
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let n = self.inner.len();
+        if start >= n {
+            return 0;
+        }
+        let take = count.min(n - start);
+        // Complement ranks [start, start + take) are inner ranks
+        // (n - start - take, n - start], walked backwards.
+        let mut tail = Vec::with_capacity(take);
+        let got = self.inner.sorted_batch(n - start - take, take, &mut tail);
+        debug_assert_eq!(got, take, "inner list advertised {n} entries");
+        out.extend(tail.iter().rev().map(|e| GradedEntry {
+            object: e.object,
+            grade: e.grade.complement(),
+        }));
+        take
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +125,19 @@ mod tests {
         let c = ComplementSource::new(base());
         let grades: Vec<Grade> = (0..4).map(|r| c.sorted_access(r).unwrap().grade).collect();
         assert!(grades.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn batched_streaming_matches_positional_reversal() {
+        let c = ComplementSource::new(base());
+        for batch_size in 1..=5 {
+            let mut cursor = crate::access::SortedCursor::new(&c);
+            let mut streamed = Vec::new();
+            while cursor.next_batch(&mut streamed, batch_size) > 0 {}
+            let positional: Vec<GradedEntry> =
+                (0..4).map(|r| c.sorted_access(r).unwrap()).collect();
+            assert_eq!(streamed, positional, "batch size {batch_size}");
+        }
     }
 
     #[test]

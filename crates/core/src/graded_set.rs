@@ -113,6 +113,12 @@ impl GradedSet {
         &self.entries[..k.min(self.entries.len())]
     }
 
+    /// The full ranking as a slice, best first. This is what native cursors
+    /// stream from (one slice copy per batch instead of per-rank lookups).
+    pub fn as_slice(&self) -> &[GradedEntry] {
+        &self.entries
+    }
+
     /// Hash index from object to grade (for random access).
     pub fn to_map(&self) -> HashMap<ObjectId, Grade> {
         self.entries.iter().map(|e| (e.object, e.grade)).collect()

@@ -5,14 +5,16 @@
 //!
 //! * [`graded_set`] — graded (fuzzy) sets, the paper's answer semantics
 //!   (Section 2);
-//! * [`access`] — the sorted-access / random-access subsystem contract and
-//!   the metering wrapper (Section 4);
+//! * [`access`] — the sorted-access / random-access subsystem contract,
+//!   batched sorted cursors, and the metering wrapper (Section 4);
 //! * [`cost`] — the middleware cost model `c₁S + c₂R` (Section 5);
 //! * [`query`] — Boolean queries over atoms with calculus-parameterised
 //!   graded semantics (Sections 2–3);
 //! * [`algorithms`] — A₀ (Fagin's Algorithm), A₀′, B₀, the median
 //!   algorithm, Ullman's algorithm, the filtered strategy, the naive
-//!   baselines, and resumable paging (Sections 4, 9, Remark 6.1);
+//!   baselines, and resumable paging (Sections 4, 9, Remark 6.1), all
+//!   built as thin shells over one unified, batching
+//!   [`engine`](algorithms::engine);
 //! * [`complement`] — negated atoms as reversed, grade-complemented
 //!   sources (the Section 7 `π_{¬Q}` observation);
 //! * [`validate`] — a linear audit of the access contract, for vetting
@@ -48,7 +50,8 @@ pub mod query;
 pub mod topk;
 pub mod validate;
 
-pub use access::{CountingSource, GradedSource, MemorySource, SetAccess};
+pub use access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor};
+pub use algorithms::engine::{B0Session, Engine, EngineSession};
 pub use complement::ComplementSource;
 pub use cost::{AccessStats, CostModel};
 pub use graded_set::{GradedEntry, GradedSet};

@@ -44,6 +44,11 @@ pub enum SourceViolation {
         /// The object.
         object: ObjectId,
     },
+    /// The batched cursor stream diverged from positional sorted access.
+    InconsistentCursor {
+        /// The rank at which the streams diverged.
+        rank: usize,
+    },
 }
 
 impl std::fmt::Display for SourceViolation {
@@ -67,20 +72,29 @@ impl std::fmt::Display for SourceViolation {
             SourceViolation::MissingRandomAccess { object } => {
                 write!(f, "random access failed for listed object {object}")
             }
+            SourceViolation::InconsistentCursor { rank } => {
+                write!(
+                    f,
+                    "cursor stream diverges from sorted access at rank {rank}"
+                )
+            }
         }
     }
 }
 
-/// Audits a source against the full contract. Costs `len()` sorted plus
-/// `len()` random accesses.
+/// Audits a source against the full contract — positional sorted access,
+/// random access, and the batched cursor stream. Costs `2·len()` sorted
+/// (one positional pass, one batched pass) plus `len()` random accesses.
 pub fn validate_source<S: GradedSource>(source: &S) -> Result<(), SourceViolation> {
     let n = source.len();
     let mut seen: HashSet<ObjectId> = HashSet::with_capacity(n);
+    let mut positional = Vec::with_capacity(n);
     let mut prev = None;
     for rank in 0..n {
         let Some(entry) = source.sorted_access(rank) else {
             return Err(SourceViolation::TruncatedList { rank, len: n });
         };
+        positional.push(entry);
         if let Some(p) = prev {
             if entry.grade > p {
                 return Err(SourceViolation::NotDescending { rank });
@@ -105,6 +119,23 @@ pub fn validate_source<S: GradedSource>(source: &S) -> Result<(), SourceViolatio
                 })
             }
             Some(_) => {}
+        }
+    }
+
+    // The cursor contract: batched streaming must replay the positional
+    // stream exactly, for any batch size (here an arbitrary uneven one, so
+    // batch boundaries land mid-list).
+    let mut cursor = crate::access::SortedCursor::new(source);
+    let mut streamed = Vec::with_capacity(n);
+    while cursor.next_batch(&mut streamed, 7) > 0 {}
+    if streamed.len() != n {
+        return Err(SourceViolation::InconsistentCursor {
+            rank: streamed.len().min(n),
+        });
+    }
+    for (rank, (a, b)) in streamed.iter().zip(&positional).enumerate() {
+        if a != b {
+            return Err(SourceViolation::InconsistentCursor { rank });
         }
     }
     Ok(())
@@ -197,5 +228,41 @@ mod tests {
     fn violation_messages_name_the_problem() {
         let err = validate_source(&Broken { kind: 0 }).unwrap_err();
         assert!(format!("{err}").contains("descending"));
+    }
+
+    /// A source whose batch path disagrees with its positional path.
+    struct LyingCursor(MemorySource);
+
+    impl GradedSource for LyingCursor {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+            self.0.sorted_access(rank)
+        }
+        fn random_access(&self, object: ObjectId) -> Option<Grade> {
+            self.0.random_access(object)
+        }
+        fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+            // Streams the list *backwards* — violating the cursor contract.
+            let n = self.0.len();
+            if start >= n {
+                return 0;
+            }
+            let take = count.min(n - start);
+            for i in 0..take {
+                out.push(self.0.sorted_access(n - 1 - start - i).unwrap());
+            }
+            take
+        }
+    }
+
+    #[test]
+    fn detects_cursor_divergence() {
+        let broken = LyingCursor(MemorySource::from_grades(&[g(0.4), g(0.9), g(0.1)]));
+        assert!(matches!(
+            validate_source(&broken),
+            Err(SourceViolation::InconsistentCursor { .. })
+        ));
     }
 }

@@ -1,22 +1,86 @@
 //! The executor: runs a [`Plan`] against the catalog's subsystems, through
 //! counting sources so every answer comes back with its Section 5
 //! middleware cost.
+//!
+//! Execution is a single [`Strategy::execute`]-style dispatch over the
+//! unified core engine: every strategy's one-shot path is a thin call into
+//! the engine-backed algorithm shells of `garlic_core::algorithms`, and
+//! every strategy's *paged* path is a resumable [`QuerySession`] — there is
+//! no per-strategy re-evaluation fallback.
 
 use garlic_agg::iterated::min_agg;
-use garlic_core::access::CountingSource;
+use garlic_agg::Aggregation;
+use garlic_core::access::{total_stats, CountingSource};
+use garlic_core::algorithms::engine::{B0Session, EngineSession};
 use garlic_core::algorithms::{
-    b0_max::b0_max_topk, fa::fagin_run, fa::FaOptions, fa_min::fagin_min_topk,
-    filtered::filtered_topk, naive::naive_topk,
+    b0_max::b0_max_topk,
+    fa::{fagin_run, FaOptions},
+    fa_min::fagin_min_topk,
+    filtered::filtered_topk,
+    naive::naive_topk,
 };
-use garlic_core::{AccessStats, GradedSource, TopK};
-use garlic_subsys::AtomicQuery;
-
 use garlic_core::complement::ComplementSource;
+use garlic_core::{AccessStats, GradedEntry, GradedSource, TopK, TopKError};
+use garlic_subsys::AtomicQuery;
 
 use crate::catalog::Catalog;
 use crate::error::MiddlewareError;
 use crate::plan::{plan, Plan, PlannerOptions, Strategy};
 use crate::query::{GarlicQuery, NnfAggregation, QueryAggregation};
+
+/// A subsystem answer behind the Section 5 metering wrapper.
+type Counted<'a> = CountingSource<Box<dyn GradedSource + 'a>>;
+
+/// A crisp (set-access) answer behind the metering wrapper.
+type CountedCrisp<'a> = CountingSource<Box<dyn garlic_core::SetAccess + 'a>>;
+
+/// The one place execution wraps a source in its metering counter.
+fn counted<S: GradedSource>(source: S) -> CountingSource<S> {
+    CountingSource::new(source)
+}
+
+/// Evaluates each atom through the catalog, metered.
+fn counted_atoms<'a>(
+    catalog: &Catalog<'a>,
+    atoms: &[AtomicQuery],
+) -> Result<Vec<Counted<'a>>, MiddlewareError> {
+    atoms
+        .iter()
+        .map(|a| Ok(counted(catalog.evaluate(a)?)))
+        .collect()
+}
+
+/// One metered source per NNF *literal*: negated literals read the atom's
+/// list reversed with complemented grades (the Section 7 observation).
+fn nnf_sources<'a>(
+    catalog: &Catalog<'a>,
+    query: &GarlicQuery,
+) -> Result<(Vec<Counted<'a>>, NnfAggregation), MiddlewareError> {
+    let nnf = query.to_nnf();
+    let sources: Vec<Counted<'a>> = nnf
+        .literals
+        .iter()
+        .map(|lit| {
+            let base = catalog.evaluate(&lit.atom)?;
+            let source: Box<dyn GradedSource + 'a> = if lit.negated {
+                Box::new(ComplementSource::new(base))
+            } else {
+                base
+            };
+            Ok(counted(source))
+        })
+        .collect::<Result<_, MiddlewareError>>()?;
+    Ok((sources, NnfAggregation::new(nnf)))
+}
+
+impl PlannerOptions {
+    /// The A₀ tuning knobs these planner options imply.
+    fn fa_options(&self) -> FaOptions {
+        FaOptions {
+            shrink_depths: self.shrink_depths,
+        }
+    }
+}
 
 /// A query answer with its plan and measured middleware cost.
 #[derive(Debug, Clone)]
@@ -70,61 +134,63 @@ impl<'a> Garlic<'a> {
         })
     }
 
+    /// Opens a resumable [`QuerySession`] for a query: every strategy in
+    /// the Section 4/8 catalogue pages through its ranked result set batch
+    /// by batch, never repeating an object and never re-evaluating.
+    /// `k_hint` is the anticipated cumulative result size, used only for
+    /// planning estimates.
+    pub fn open_session(
+        &self,
+        query: &GarlicQuery,
+        k_hint: usize,
+    ) -> Result<QuerySession<'a>, MiddlewareError> {
+        let plan = self.explain(query, k_hint.max(1))?;
+        plan.strategy
+            .open_session(&self.catalog, query, &plan.atoms)
+    }
+
     /// Pages through a query's ranked result set: returns one [`TopK`] per
     /// requested batch size, never repeating an object, plus the *total*
-    /// middleware cost — which, thanks to A₀'s "continue where we left
-    /// off" property (Section 4), matches a single evaluation at the
-    /// cumulative k rather than paying per batch.
-    ///
-    /// Supported for queries that plan to a single-algorithm strategy over
-    /// the atom lists (A₀′ / generic A₀ / NNF); other strategies fall back
-    /// to one evaluation at the cumulative k and slicing.
-    pub fn top_batches(
+    /// middleware cost. Every strategy runs on a resumable engine session
+    /// ([`QuerySession`]): the A₀ family "continues where it left off"
+    /// (Section 4), so its cumulative sorted cost equals a single
+    /// evaluation at the cumulative k; B₀-family paging costs `m·k`
+    /// cumulative; the filtered and naive strategies — whose evaluation
+    /// cost does not depend on k — materialise their ranking once at
+    /// session open and stream it.
+    pub fn top_k_paged(
         &self,
         query: &GarlicQuery,
         batches: &[usize],
     ) -> Result<(Vec<TopK>, AccessStats), MiddlewareError> {
         if batches.contains(&0) {
-            return Err(MiddlewareError::TopK(garlic_core::TopKError::ZeroK));
+            return Err(MiddlewareError::TopK(TopKError::ZeroK));
         }
         let total: usize = batches.iter().sum();
-        let n = self.catalog.universe_size();
-        let total = total.min(n);
+        let total = total.min(self.catalog.universe_size());
 
-        let plan = self.explain(query, total.max(1))?;
-        match plan.strategy {
-            Strategy::FaMin | Strategy::FaGeneric => {
-                let sources = self.evaluate_counted(&plan.atoms)?;
-                let agg = QueryAggregation::new(query, &plan.atoms);
-                let mut session =
-                    garlic_core::algorithms::resume::ResumableFa::new(&sources, &agg)?;
-                let mut out = Vec::with_capacity(batches.len());
-                let mut remaining = total;
-                for &b in batches {
-                    let take = b.min(remaining);
-                    if take == 0 {
-                        out.push(TopK::from_entries(Vec::new()));
-                        continue;
-                    }
-                    out.push(session.next_batch(take)?);
-                    remaining -= take;
-                }
-                Ok((out, garlic_core::access::total_stats(&sources)))
+        let mut session = self.open_session(query, total.max(1))?;
+        let mut out = Vec::with_capacity(batches.len());
+        let mut remaining = total;
+        for &b in batches {
+            let take = b.min(remaining);
+            if take == 0 {
+                out.push(TopK::from_entries(Vec::new()));
+                continue;
             }
-            _ => {
-                // One evaluation at the cumulative k, then slice.
-                let result = self.top_k(query, total.max(1))?;
-                let entries = result.answers.entries();
-                let mut out = Vec::with_capacity(batches.len());
-                let mut cursor = 0usize;
-                for &b in batches {
-                    let end = (cursor + b).min(entries.len());
-                    out.push(TopK::from_entries(entries[cursor..end].to_vec()));
-                    cursor = end;
-                }
-                Ok((out, result.stats))
-            }
+            out.push(session.next_batch(take)?);
+            remaining -= take;
         }
+        Ok((out, session.stats()))
+    }
+
+    /// Alias of [`Garlic::top_k_paged`], kept for existing callers.
+    pub fn top_batches(
+        &self,
+        query: &GarlicQuery,
+        batches: &[usize],
+    ) -> Result<(Vec<TopK>, AccessStats), MiddlewareError> {
+        self.top_k_paged(query, batches)
     }
 
     /// A *weighted* conjunction of atomic queries (Section 4's pointer to
@@ -150,16 +216,9 @@ impl<'a> Garlic<'a> {
                 reason: "weights must be non-negative, finite, with a positive sum".into(),
             });
         }
-        let sources = self.evaluate_counted(&atoms)?;
+        let sources = counted_atoms(&self.catalog, &atoms)?;
         let agg = garlic_agg::weighted::FaginWimmers::new(min_agg(), &weights);
-        let run = fagin_run(
-            &sources,
-            &agg,
-            k,
-            FaOptions {
-                shrink_depths: self.options.shrink_depths,
-            },
-        )?;
+        let run = fagin_run(&sources, &agg, k, self.options.fa_options())?;
         let m = atoms.len();
         let n = self.catalog.universe_size();
         let plan = Plan {
@@ -176,19 +235,9 @@ impl<'a> Garlic<'a> {
         };
         Ok(QueryResult {
             answers: run.topk,
-            stats: garlic_core::access::total_stats(&sources),
+            stats: total_stats(&sources),
             plan,
         })
-    }
-
-    fn evaluate_counted(
-        &self,
-        atoms: &[AtomicQuery],
-    ) -> Result<Vec<CountingSource<Box<dyn GradedSource + 'a>>>, MiddlewareError> {
-        atoms
-            .iter()
-            .map(|a| Ok(CountingSource::new(self.catalog.evaluate(a)?)))
-            .collect()
     }
 
     fn execute(
@@ -197,94 +246,226 @@ impl<'a> Garlic<'a> {
         plan: &Plan,
         k: usize,
     ) -> Result<(TopK, AccessStats), MiddlewareError> {
-        match &plan.strategy {
+        plan.strategy
+            .execute(&self.catalog, query, &plan.atoms, self.options, k)
+    }
+}
+
+/// The crisp match-set source plus the metered graded conjuncts of a
+/// filtered plan.
+fn filtered_parts<'a>(
+    catalog: &Catalog<'a>,
+    atoms: &[AtomicQuery],
+    crisp_index: usize,
+) -> Result<(CountedCrisp<'a>, Vec<Counted<'a>>), MiddlewareError> {
+    let crisp_atom = &atoms[crisp_index];
+    let sub = catalog.resolve(&crisp_atom.attribute)?;
+    let crisp = counted(
+        sub.evaluate_set(crisp_atom)
+            .map_err(MiddlewareError::Subsystem)?,
+    );
+    let graded_atoms: Vec<AtomicQuery> = atoms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != crisp_index)
+        .map(|(_, a)| a.clone())
+        .collect();
+    let graded = counted_atoms(catalog, &graded_atoms)?;
+    Ok((crisp, graded))
+}
+
+/// The single fused internal-conjunction list (Section 8), metered.
+fn pushdown_source<'a>(
+    catalog: &Catalog<'a>,
+    atoms: &[AtomicQuery],
+) -> Result<Counted<'a>, MiddlewareError> {
+    let sub = catalog.resolve(&atoms[0].attribute)?;
+    Ok(counted(
+        sub.evaluate_internal_conjunction(atoms)
+            .map_err(MiddlewareError::Subsystem)?,
+    ))
+}
+
+impl Strategy {
+    /// One-shot execution: a single dispatch over the engine-backed
+    /// algorithm shells, returning the answers with their measured cost.
+    pub(crate) fn execute<'a>(
+        &self,
+        catalog: &Catalog<'a>,
+        query: &GarlicQuery,
+        atoms: &[AtomicQuery],
+        options: PlannerOptions,
+        k: usize,
+    ) -> Result<(TopK, AccessStats), MiddlewareError> {
+        match self {
             Strategy::B0Max => {
-                let sources = self.evaluate_counted(&plan.atoms)?;
+                let sources = counted_atoms(catalog, atoms)?;
                 let answers = b0_max_topk(&sources, k)?;
-                Ok((answers, garlic_core::access::total_stats(&sources)))
+                Ok((answers, total_stats(&sources)))
             }
             Strategy::FaMin => {
-                let sources = self.evaluate_counted(&plan.atoms)?;
+                let sources = counted_atoms(catalog, atoms)?;
                 let answers = fagin_min_topk(&sources, k)?;
-                Ok((answers, garlic_core::access::total_stats(&sources)))
+                Ok((answers, total_stats(&sources)))
             }
             Strategy::Filtered { crisp_index } => {
-                let crisp_atom = &plan.atoms[*crisp_index];
-                let sub = self.catalog.resolve(&crisp_atom.attribute)?;
-                let crisp = CountingSource::new(
-                    sub.evaluate_set(crisp_atom)
-                        .map_err(MiddlewareError::Subsystem)?,
-                );
-                let graded_atoms: Vec<AtomicQuery> = plan
-                    .atoms
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| i != crisp_index)
-                    .map(|(_, a)| a.clone())
-                    .collect();
-                let graded = self.evaluate_counted(&graded_atoms)?;
+                let (crisp, graded) = filtered_parts(catalog, atoms, *crisp_index)?;
                 let answers = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), k)?;
-                let stats = crisp.stats() + garlic_core::access::total_stats(&graded);
-                Ok((answers, stats))
+                Ok((answers, crisp.stats() + total_stats(&graded)))
             }
             Strategy::FaGeneric => {
-                let sources = self.evaluate_counted(&plan.atoms)?;
-                let agg = QueryAggregation::new(query, &plan.atoms);
-                let run = fagin_run(
-                    &sources,
-                    &agg,
-                    k,
-                    FaOptions {
-                        shrink_depths: self.options.shrink_depths,
-                    },
-                )?;
-                Ok((run.topk, garlic_core::access::total_stats(&sources)))
+                let sources = counted_atoms(catalog, atoms)?;
+                let agg = QueryAggregation::new(query, atoms);
+                let run = fagin_run(&sources, &agg, k, options.fa_options())?;
+                Ok((run.topk, total_stats(&sources)))
             }
             Strategy::NaiveCalculus => {
-                let sources = self.evaluate_counted(&plan.atoms)?;
-                let agg = QueryAggregation::new(query, &plan.atoms);
+                let sources = counted_atoms(catalog, atoms)?;
+                let agg = QueryAggregation::new(query, atoms);
                 let answers = naive_topk(&sources, &agg, k)?;
-                Ok((answers, garlic_core::access::total_stats(&sources)))
+                Ok((answers, total_stats(&sources)))
             }
             Strategy::InternalPushdown { .. } => {
-                let sub = self.catalog.resolve(&plan.atoms[0].attribute)?;
-                let fused = CountingSource::new(
-                    sub.evaluate_internal_conjunction(&plan.atoms)
-                        .map_err(MiddlewareError::Subsystem)?,
-                );
                 // Top k of the single fused list.
-                let sources = vec![fused];
+                let sources = vec![pushdown_source(catalog, atoms)?];
                 let answers = b0_max_topk(&sources, k)?;
-                Ok((answers, garlic_core::access::total_stats(&sources)))
+                Ok((answers, total_stats(&sources)))
             }
             Strategy::FaNnf => {
-                let nnf = query.to_nnf();
-                // One source per *literal*: negated literals read the
-                // atom's list reversed with complemented grades.
-                let sources: Vec<CountingSource<Box<dyn GradedSource + 'a>>> = nnf
-                    .literals
-                    .iter()
-                    .map(|lit| {
-                        let base = self.catalog.evaluate(&lit.atom)?;
-                        let source: Box<dyn GradedSource + 'a> = if lit.negated {
-                            Box::new(ComplementSource::new(base))
-                        } else {
-                            base
-                        };
-                        Ok(CountingSource::new(source))
-                    })
-                    .collect::<Result<_, MiddlewareError>>()?;
-                let agg = NnfAggregation::new(nnf);
-                let run = fagin_run(
-                    &sources,
-                    &agg,
-                    k,
-                    FaOptions {
-                        shrink_depths: self.options.shrink_depths,
-                    },
-                )?;
-                Ok((run.topk, garlic_core::access::total_stats(&sources)))
+                let (sources, agg) = nnf_sources(catalog, query)?;
+                let run = fagin_run(&sources, &agg, k, options.fa_options())?;
+                Ok((run.topk, total_stats(&sources)))
             }
+        }
+    }
+
+    /// Opens the strategy's resumable paging session (see [`QuerySession`]).
+    ///
+    /// Note [`PlannerOptions::shrink_depths`] applies to one-shot
+    /// [`Strategy::execute`] only: a resumable session must keep every
+    /// seen object's grade vector complete to answer the *next* batch, so
+    /// the random-access-saving prefix shrink has nothing to cut.
+    pub(crate) fn open_session<'a>(
+        &self,
+        catalog: &Catalog<'a>,
+        query: &GarlicQuery,
+        atoms: &[AtomicQuery],
+    ) -> Result<QuerySession<'a>, MiddlewareError> {
+        let kind = match self {
+            Strategy::FaMin => SessionKind::Engine(EngineSession::new(
+                counted_atoms(catalog, atoms)?,
+                Box::new(min_agg()) as Box<dyn Aggregation>,
+            )?),
+            Strategy::FaGeneric => SessionKind::Engine(EngineSession::new(
+                counted_atoms(catalog, atoms)?,
+                Box::new(QueryAggregation::new(query, atoms)) as Box<dyn Aggregation>,
+            )?),
+            Strategy::FaNnf => {
+                let (sources, agg) = nnf_sources(catalog, query)?;
+                SessionKind::Engine(EngineSession::new(
+                    sources,
+                    Box::new(agg) as Box<dyn Aggregation>,
+                )?)
+            }
+            Strategy::B0Max => SessionKind::B0(B0Session::new(counted_atoms(catalog, atoms)?)?),
+            Strategy::InternalPushdown { .. } => {
+                SessionKind::B0(B0Session::new(vec![pushdown_source(catalog, atoms)?])?)
+            }
+            Strategy::Filtered { crisp_index } => {
+                // The filtered strategy's cost is |S|·m no matter the k
+                // (padding objects need no access), so the session can
+                // materialise the complete ranking up front at the same
+                // cost one evaluation would pay.
+                let (crisp, graded) = filtered_parts(catalog, atoms, *crisp_index)?;
+                let n = crisp.len();
+                let all = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), n)?;
+                SessionKind::Materialized {
+                    entries: all.entries().to_vec(),
+                    cursor: 0,
+                    stats: crisp.stats() + total_stats(&graded),
+                }
+            }
+            Strategy::NaiveCalculus => {
+                // The naive scan always grades everything (m·N), so one
+                // materialisation covers every batch.
+                let sources = counted_atoms(catalog, atoms)?;
+                let agg = QueryAggregation::new(query, atoms);
+                let n = sources.first().map(|s| s.len()).unwrap_or(0);
+                let all = naive_topk(&sources, &agg, n)?;
+                SessionKind::Materialized {
+                    entries: all.entries().to_vec(),
+                    cursor: 0,
+                    stats: total_stats(&sources),
+                }
+            }
+        };
+        Ok(QuerySession { kind })
+    }
+}
+
+/// A resumable, strategy-agnostic paging session over one planned query.
+///
+/// * A₀-family strategies hold a live
+///   [`EngineSession`] — each batch resumes the sorted phase at the stored
+///   depth ("continue where we left off", Section 4), so cumulative sorted
+///   cost equals one evaluation at the cumulative `k`.
+/// * B₀-family strategies (flat disjunctions and Section 8 pushdown) hold a
+///   [`B0Session`] — paging deepens the per-list prefixes, `m·k` cumulative
+///   cost, no random access.
+/// * The filtered and naive strategies — whose evaluation cost is
+///   independent of `k` — materialise their full ranking once at open and
+///   stream slices of it at zero further access cost.
+pub struct QuerySession<'a> {
+    kind: SessionKind<'a>,
+}
+
+enum SessionKind<'a> {
+    Engine(EngineSession<Counted<'a>, Box<dyn Aggregation>>),
+    B0(B0Session<Counted<'a>>),
+    Materialized {
+        entries: Vec<GradedEntry>,
+        cursor: usize,
+        stats: AccessStats,
+    },
+}
+
+impl QuerySession<'_> {
+    /// Returns the next `k` best answers (fewer once the result set is
+    /// exhausted), never repeating an object across batches.
+    pub fn next_batch(&mut self, k: usize) -> Result<TopK, MiddlewareError> {
+        match &mut self.kind {
+            SessionKind::Engine(session) => session.next_batch(k).map_err(MiddlewareError::TopK),
+            SessionKind::B0(session) => session.next_batch(k).map_err(MiddlewareError::TopK),
+            SessionKind::Materialized {
+                entries, cursor, ..
+            } => {
+                if k == 0 {
+                    return Err(MiddlewareError::TopK(TopKError::ZeroK));
+                }
+                let end = (*cursor + k).min(entries.len());
+                let batch = TopK::from_entries(entries[*cursor..end].to_vec());
+                *cursor = end;
+                Ok(batch)
+            }
+        }
+    }
+
+    /// How many answers have been handed out so far.
+    pub fn returned(&self) -> usize {
+        match &self.kind {
+            SessionKind::Engine(session) => session.returned(),
+            SessionKind::B0(session) => session.returned(),
+            SessionKind::Materialized { cursor, .. } => *cursor,
+        }
+    }
+
+    /// The cumulative middleware cost of every batch so far (for the
+    /// materialised strategies: of the one-time materialisation).
+    pub fn stats(&self) -> AccessStats {
+        match &self.kind {
+            SessionKind::Engine(session) => total_stats(session.sources()),
+            SessionKind::B0(session) => total_stats(session.sources()),
+            SessionKind::Materialized { stats, .. } => *stats,
         }
     }
 }
@@ -484,6 +665,187 @@ mod tests {
         for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
             assert!(got.approx_eq(want, 1e-12));
         }
+    }
+
+    #[test]
+    fn a0_family_paging_cost_equals_one_evaluation_at_cumulative_k() {
+        // The acceptance property of the resumable engine sessions: paging
+        // k1 + k2 + ... costs exactly the sorted accesses of ONE evaluation
+        // at the cumulative k ("continue where we left off", Section 4).
+        // Random accesses can only be fewer-or-equal in the one-shot run
+        // (a batch may complete a grade the one-shot run later observes
+        // under sorted access). Each (object, list) pair is fetched at most
+        // once per access kind, bounding the paged total by 2·m·N.
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let n = garlic.catalog().universe_size() as u64;
+        for (label, q) in [
+            (
+                "FaMin",
+                GarlicQuery::and(
+                    GarlicQuery::atom("AlbumColor", Target::text("red")),
+                    GarlicQuery::atom("Shape", Target::text("round")),
+                ),
+            ),
+            (
+                "FaGeneric",
+                GarlicQuery::and(
+                    GarlicQuery::atom("AlbumColor", Target::text("red")),
+                    GarlicQuery::or(
+                        GarlicQuery::atom("Shape", Target::text("round")),
+                        GarlicQuery::atom("Review", Target::terms(&["rock"])),
+                    ),
+                ),
+            ),
+        ] {
+            let (batches, paged_stats) = garlic.top_k_paged(&q, &[2, 3, 4]).unwrap();
+            let oneshot = garlic.top_k(&q, 9).unwrap();
+            let m = q.atoms().len() as u64;
+
+            // Same answers at every boundary...
+            let paged: Vec<Grade> = batches.iter().flat_map(|b| b.grades()).collect();
+            for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+                assert!(got.approx_eq(want, 1e-12), "{label}");
+            }
+            // ...and the one-shot sorted cost, exactly.
+            let mut session = garlic.open_session(&q, 9).unwrap();
+            for b in [2usize, 3, 4] {
+                session.next_batch(b).unwrap();
+            }
+            assert_eq!(session.returned(), 9, "{label}");
+            assert_eq!(session.stats(), paged_stats, "{label}");
+            assert_eq!(paged_stats.sorted, oneshot.stats.sorted, "{label}");
+            assert!(paged_stats.random >= oneshot.stats.random, "{label}");
+            assert!(paged_stats.unweighted() <= 2 * m * n, "{label}");
+        }
+    }
+
+    #[test]
+    fn paged_batches_work_for_naive_calculus_without_reevaluation() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let a = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let q = GarlicQuery::and(a.clone(), GarlicQuery::not(a));
+        assert!(matches!(
+            garlic.explain(&q, 6).unwrap().strategy,
+            Strategy::NaiveCalculus
+        ));
+
+        let (batches, stats) = garlic.top_k_paged(&q, &[3, 3]).unwrap();
+        let oneshot = garlic.top_k(&q, 6).unwrap();
+        let paged: Vec<Grade> = batches.iter().flat_map(|b| b.grades()).collect();
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+        // The naive scan costs m·N regardless of k: paging pays it once.
+        assert_eq!(stats, oneshot.stats);
+    }
+
+    #[test]
+    fn paged_batches_work_for_b0_at_mk_cumulative_cost() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::or(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        let (batches, stats) = garlic.top_k_paged(&q, &[2, 2, 2]).unwrap();
+        let oneshot = garlic.top_k(&q, 6).unwrap();
+        let paged: Vec<Grade> = batches.iter().flat_map(|b| b.grades()).collect();
+        assert_eq!(paged.len(), 6);
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+        // Exactly m·(cumulative k) sorted accesses, no random access — the
+        // same cost as the one evaluation at k = 6.
+        assert_eq!(stats, oneshot.stats);
+        assert_eq!(stats.sorted, 2 * 6);
+        assert_eq!(stats.random, 0);
+    }
+
+    #[test]
+    fn paged_batches_work_for_internal_pushdown() {
+        let f = Fixture::new();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        let mut cat = Catalog::new();
+        cat.register(&f.qbic).unwrap();
+        let garlic = Garlic::with_options(
+            cat,
+            PlannerOptions {
+                prefer_internal: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            garlic.explain(&q, 4).unwrap().strategy,
+            Strategy::InternalPushdown { .. }
+        ));
+        let (batches, stats) = garlic.top_k_paged(&q, &[2, 2]).unwrap();
+        let oneshot = garlic.top_k(&q, 4).unwrap();
+        let paged: Vec<Grade> = batches.iter().flat_map(|b| b.grades()).collect();
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+        // One fused list: cumulative k sorted accesses, like the one-shot.
+        assert_eq!(stats, oneshot.stats);
+        assert_eq!(stats.sorted, 4);
+    }
+
+    #[test]
+    fn paged_batches_work_for_nnf_pushdown() {
+        let f = Fixture::new();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::not(GarlicQuery::atom("Shape", Target::text("round"))),
+        );
+        let mut cat = Catalog::new();
+        cat.register(&f.rel).unwrap();
+        cat.register(&f.qbic).unwrap();
+        cat.register(&f.text).unwrap();
+        let garlic = Garlic::with_options(
+            cat,
+            PlannerOptions {
+                negation_pushdown: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            garlic.explain(&q, 6).unwrap().strategy,
+            Strategy::FaNnf
+        ));
+        let (batches, _) = garlic.top_k_paged(&q, &[3, 3]).unwrap();
+        let oneshot = garlic.top_k(&q, 6).unwrap();
+        let paged: Vec<Grade> = batches.iter().flat_map(|b| b.grades()).collect();
+        assert_eq!(paged.len(), 6);
+        for (got, want) in paged.iter().zip(oneshot.answers.grades()) {
+            assert!(got.approx_eq(want, 1e-12));
+        }
+    }
+
+    #[test]
+    fn session_streams_batches_on_demand() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let mut session = garlic.open_session(&q, 12).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        loop {
+            let batch = session.next_batch(5).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            for e in batch.entries() {
+                assert!(seen.insert(e.object), "object repeated across batches");
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 12);
+        assert_eq!(session.returned(), 12);
+        assert!(session.next_batch(0).is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod query;
 
 pub use catalog::Catalog;
 pub use error::MiddlewareError;
-pub use exec::{Garlic, QueryResult};
+pub use exec::{Garlic, QueryResult, QuerySession};
 pub use parser::{parse_query, ParseError};
 pub use plan::{Plan, PlannerOptions, Strategy};
 pub use query::{GarlicQuery, QueryAggregation};

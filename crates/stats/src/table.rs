@@ -83,6 +83,49 @@ impl Table {
         }
         out
     }
+
+    /// Renders as a machine-readable JSON document: one object per row,
+    /// keyed by header. Numeric-looking cells are emitted as numbers so CI
+    /// consumers can plot trajectories without re-parsing strings.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn cell_json(s: &str) -> String {
+            // Cells are produced by the harness itself (numbers or plain
+            // labels). Re-serialise through f64 so the emitted token is a
+            // lawful JSON number (Rust accepts "007"/".5"/"+1"; JSON
+            // does not).
+            match s.parse::<f64>() {
+                Ok(v) if v.is_finite() && !s.is_empty() => format!("{v}"),
+                _ => format!("\"{}\"", escape(s)),
+            }
+        }
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, cell)| format!("\"{}\": {}", escape(h), cell_json(cell)))
+                    .collect();
+                format!("    {{{}}}", fields.join(", "))
+            })
+            .collect();
+        format!("{{\n  \"rows\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    }
 }
 
 /// Formats an f64 with `digits` significant decimals, trimming noise.
@@ -122,6 +165,17 @@ mod tests {
         let mut t = Table::new(&["a", "b"]);
         t.add_row(vec!["1".into(), "2".into()]);
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_output_types_cells() {
+        let mut t = Table::new(&["N", "strategy", "cost"]);
+        t.add_row(vec!["1000".into(), "FaMin".into(), "63.2".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"N\": 1000"));
+        assert!(json.contains("\"strategy\": \"FaMin\""));
+        assert!(json.contains("\"cost\": 63.2"));
+        assert!(json.starts_with("{\n  \"rows\": ["));
     }
 
     #[test]

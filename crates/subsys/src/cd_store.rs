@@ -209,6 +209,30 @@ mod tests {
     }
 
     #[test]
+    fn all_three_demo_subsystems_stream_through_cursors() {
+        use garlic_core::GradedSource;
+        let mut rng = StdRng::seed_from_u64(1);
+        let (rel, qbic, text) = demo_subsystems(&mut rng);
+        let sources: Vec<Box<dyn GradedSource + '_>> = vec![
+            rel.evaluate(&AtomicQuery::new("Artist", Target::text("Beatles")))
+                .unwrap(),
+            qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red")))
+                .unwrap(),
+            text.evaluate(&AtomicQuery::new("Review", Target::terms(&["rock"])))
+                .unwrap(),
+        ];
+        for src in &sources {
+            let mut cursor = src.open_sorted();
+            let mut streamed = Vec::new();
+            while cursor.next_batch(&mut streamed, 5) > 0 {}
+            assert_eq!(streamed.len(), demo_albums().len());
+            for (rank, e) in streamed.iter().enumerate() {
+                assert_eq!(Some(*e), src.sorted_access(rank));
+            }
+        }
+    }
+
+    #[test]
     fn reviews_answer_rock_queries() {
         let mut rng = StdRng::seed_from_u64(1);
         let (_, _, text) = demo_subsystems(&mut rng);

@@ -439,6 +439,21 @@ mod tests {
     }
 
     #[test]
+    fn cursor_streams_similarity_ranking_in_batches() {
+        let store = QbicStore::synthetic("qbic", 23, &mut rng());
+        let src = store
+            .evaluate(&AtomicQuery::new("Color", Target::text("blue")))
+            .unwrap();
+        let mut cursor = src.open_sorted();
+        let mut streamed = Vec::new();
+        while cursor.next_batch(&mut streamed, 5) > 0 {}
+        assert_eq!(streamed.len(), 23);
+        for (rank, e) in streamed.iter().enumerate() {
+            assert_eq!(Some(*e), src.sorted_access(rank));
+        }
+    }
+
+    #[test]
     fn unknown_names_error() {
         let store = QbicStore::synthetic("qbic", 5, &mut rng());
         assert!(store

@@ -270,6 +270,11 @@ impl GradedSource for CrispSource {
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         self.inner.random_access(object)
     }
+    /// Native cursor: streams the materialised matches-first ranking as a
+    /// sequential slice walk (no per-rank index resolution).
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        self.inner.sorted_batch(start, count, out)
+    }
 }
 
 impl SetAccess for CrispSource {
@@ -379,6 +384,25 @@ mod tests {
         // Sorted access: matches first.
         assert_eq!(src.sorted_access(0).unwrap().grade, Grade::ONE);
         assert_eq!(src.sorted_access(2).unwrap().grade, Grade::ZERO);
+    }
+
+    #[test]
+    fn cursor_streams_matches_first_in_batches() {
+        let s = store();
+        let src = s
+            .predicate_source("Artist", &Value::text("Beatles"))
+            .unwrap();
+        let mut cursor = src.open_sorted();
+        let mut streamed = Vec::new();
+        assert_eq!(cursor.next_batch(&mut streamed, 2), 2);
+        assert_eq!(cursor.next_batch(&mut streamed, 2), 1);
+        // The grade-1 block (the match set) streams before all non-matches.
+        assert_eq!(streamed[0].grade, Grade::ONE);
+        assert_eq!(streamed[1].grade, Grade::ONE);
+        assert_eq!(streamed[2].grade, Grade::ZERO);
+        for (rank, e) in streamed.iter().enumerate() {
+            assert_eq!(Some(*e), src.sorted_access(rank));
+        }
     }
 
     #[test]

@@ -247,6 +247,21 @@ mod tests {
     }
 
     #[test]
+    fn cursor_streams_ranked_documents_in_batches() {
+        let s = store();
+        let src = s
+            .evaluate(&AtomicQuery::new("Review", Target::terms(&["rock"])))
+            .unwrap();
+        let mut cursor = src.open_sorted();
+        let mut streamed = Vec::new();
+        assert_eq!(cursor.next_batch(&mut streamed, 3), 3);
+        assert_eq!(cursor.next_batch(&mut streamed, 3), 1);
+        for (rank, e) in streamed.iter().enumerate() {
+            assert_eq!(Some(*e), src.sorted_access(rank));
+        }
+    }
+
+    #[test]
     fn text_target_is_tokenised() {
         let s = store();
         let src = s

@@ -93,4 +93,34 @@ proptest! {
             prop_assert!(e.grade <= garlic_agg::Grade::ONE);
         }
     }
+
+    #[test]
+    fn every_subsystem_cursor_replays_the_positional_stream(
+        n in 1usize..40, seed in 0u64..300, batch in 1usize..9
+    ) {
+        // The cursor contract (see garlic_core::access docs) must hold for
+        // the sources every subsystem family produces, at any batch size.
+        let mut rng = garlic_workload::seeded_rng(seed);
+        let qbic = QbicStore::synthetic("q", n, &mut rng);
+        let text = TextStore::synthetic("t", "Body", n, 20, 8, &mut rng);
+        let mut rel = RelationalStore::new("rel", &["Artist"]);
+        for i in 0..n {
+            rel.insert(vec![Value::text(if i % 3 == 0 { "Beatles" } else { "Kinks" })]);
+        }
+        let sources: Vec<Box<dyn GradedSource + '_>> = vec![
+            qbic.evaluate(&AtomicQuery::new("Color", Target::text("red"))).unwrap(),
+            text.evaluate(&AtomicQuery::new("Body", Target::terms(&["w1"]))).unwrap(),
+            rel.evaluate(&AtomicQuery::new("Artist", Target::text("Beatles"))).unwrap(),
+        ];
+        for src in &sources {
+            let mut cursor = src.open_sorted();
+            let mut streamed = Vec::new();
+            while cursor.next_batch(&mut streamed, batch) > 0 {}
+            prop_assert_eq!(streamed.len(), n);
+            prop_assert_eq!(cursor.position(), n);
+            for (rank, entry) in streamed.iter().enumerate() {
+                prop_assert_eq!(Some(*entry), src.sorted_access(rank));
+            }
+        }
+    }
 }

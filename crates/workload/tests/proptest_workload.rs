@@ -1,6 +1,8 @@
 //! Property tests for the Section 5 combinatorial framework: skeletons,
-//! intersection depths, scoring-database consistency.
+//! intersection depths, scoring-database consistency — and the cursor
+//! engine's behaviour on skeleton-derived workloads.
 
+use garlic_core::{Engine, GradedSource};
 use garlic_workload::distributions::{
     BoundedGrades, CrispGrades, GradeDistribution, QuantizedGrades, StridedGrades, UniformGrades,
 };
@@ -112,5 +114,45 @@ proptest! {
         let db = latent_database(m, n, rho, &mut rng);
         prop_assert_eq!(db.m(), m);
         prop_assert_eq!(db.n(), n);
+    }
+
+    #[test]
+    fn engine_stop_depth_equals_skeleton_matching_depth(
+        m in 1usize..4, n in 1usize..50, seed in 0u64..300, k_frac in 0.0f64..=1.0
+    ) {
+        // The batched engine's sorted phase must stop at exactly the
+        // skeleton's combinatorial matching depth — the quantity every
+        // Section 5/6 bound is stated over — never a batch beyond it.
+        let mut rng = garlic_workload::seeded_rng(seed);
+        let skeleton = Skeleton::random(m, n, &mut rng);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+        prop_assert!(db.consistent_with(&skeleton));
+        let k = ((k_frac * n as f64) as usize).clamp(1, n);
+
+        let mut engine = Engine::open(db.to_sources()).unwrap();
+        engine.advance_until_matched(k);
+        prop_assert_eq!(engine.depth(), skeleton.matching_depth(k));
+        prop_assert!(engine.matched().len() >= k);
+    }
+
+    #[test]
+    fn batched_cursors_replay_skeleton_order(
+        m in 1usize..4, n in 1usize..50, seed in 0u64..300, batch in 1usize..8
+    ) {
+        // Cursor streaming over scoring-database sources must walk each
+        // list in its skeleton order, at any batch size.
+        let mut rng = garlic_workload::seeded_rng(seed);
+        let skeleton = Skeleton::random(m, n, &mut rng);
+        let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+        for (i, source) in db.to_sources().iter().enumerate() {
+            let mut cursor = source.open_sorted();
+            let mut streamed = Vec::new();
+            while cursor.next_batch(&mut streamed, batch) > 0 {}
+            prop_assert_eq!(streamed.len(), n);
+            for (rank, entry) in streamed.iter().enumerate() {
+                prop_assert_eq!(entry.object, skeleton.list(i).object_at(rank), "list {i} rank {rank}");
+                prop_assert_eq!(Some(*entry), source.sorted_access(rank));
+            }
+        }
     }
 }

@@ -19,11 +19,17 @@
 //! `cargo bench`-forwarded positional filter argument and ignores harness
 //! flags it does not understand (`--bench`, `--exact`, ...), so
 //! `cargo bench some_name` behaves as expected.
+//!
+//! Beyond upstream: [`Criterion::json_path`] (or the `CRITERION_JSON`
+//! environment variable) makes the harness also write its results as a
+//! machine-readable JSON document when it finishes, so CI can archive
+//! benchmark trajectories without scraping stdout.
 
 #![forbid(unsafe_code)]
 
 pub use std::hint::black_box;
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// A benchmark identifier: a function name plus a parameter, printed as
@@ -102,10 +108,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    /// Per-iteration (min, median, max) nanoseconds, if any samples ran.
+    fn summary(&self) -> Option<(f64, f64, f64)> {
         if self.samples.is_empty() {
-            println!("{name:<50} (no samples)");
-            return;
+            return None;
         }
         let mut per_iter: Vec<f64> = self
             .samples
@@ -113,9 +119,18 @@ impl Bencher {
             .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
             .collect();
         per_iter.sort_by(|a, b| a.total_cmp(b));
-        let median = per_iter[per_iter.len() / 2];
-        let min = per_iter[0];
-        let max = per_iter[per_iter.len() - 1];
+        Some((
+            per_iter[0],
+            per_iter[per_iter.len() / 2],
+            per_iter[per_iter.len() - 1],
+        ))
+    }
+
+    fn report(&self, name: &str) {
+        let Some((min, median, max)) = self.summary() else {
+            println!("{name:<50} (no samples)");
+            return;
+        };
         println!(
             "{name:<50} time: [{} {} {}]",
             fmt_ns(min),
@@ -123,6 +138,29 @@ impl Bencher {
             fmt_ns(max)
         );
     }
+}
+
+/// One finished benchmark, as recorded for JSON output.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -141,6 +179,8 @@ fn fmt_ns(ns: f64) -> String {
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    json_path: Option<PathBuf>,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -148,6 +188,8 @@ impl Default for Criterion {
         Criterion {
             sample_size: 100,
             filter: None,
+            json_path: std::env::var_os("CRITERION_JSON").map(PathBuf::from),
+            records: Vec::new(),
         }
     }
 }
@@ -167,6 +209,52 @@ impl Criterion {
     pub fn with_filter(mut self, filter: Option<String>) -> Self {
         self.filter = filter;
         self
+    }
+
+    /// Also write results as machine-readable JSON to `path` when the
+    /// harness finishes (a shim extension; upstream writes into
+    /// `target/criterion/`). The `CRITERION_JSON` environment variable sets
+    /// the same thing for unmodified benches.
+    pub fn json_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
+    /// The results gathered so far, rendered as a JSON document.
+    fn render_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"name\": \"{}\", \"median_ns\": {:.2}, \"min_ns\": {:.2}, \
+                     \"max_ns\": {:.2}, \"iters_per_sample\": {}, \"sample_size\": {}}}",
+                    json_escape(&r.name),
+                    r.median_ns,
+                    r.min_ns,
+                    r.max_ns,
+                    r.iters_per_sample,
+                    r.sample_size
+                )
+            })
+            .collect();
+        format!("{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    }
+
+    fn flush_json(&self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, self.render_json()) {
+            Ok(()) => println!("benchmark results written to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -196,6 +284,16 @@ impl Criterion {
         };
         f(&mut bencher);
         bencher.report(full_name);
+        if let Some((min, median, max)) = bencher.summary() {
+            self.records.push(BenchRecord {
+                name: full_name.to_owned(),
+                min_ns: min,
+                median_ns: median,
+                max_ns: max,
+                iters_per_sample: bencher.iters_per_sample,
+                sample_size: bencher.sample_size,
+            });
+        }
     }
 
     /// Parses harness CLI arguments the way `cargo bench` delivers them:
@@ -238,6 +336,13 @@ impl Criterion {
             i += 1;
         }
         self.with_filter(filter)
+    }
+}
+
+impl Drop for Criterion {
+    /// Flushes the JSON report (if configured) once the harness finishes.
+    fn drop(&mut self) {
+        self.flush_json();
     }
 }
 
@@ -362,5 +467,41 @@ mod tests {
     #[test]
     fn sample_size_flag_is_applied() {
         assert_eq!(parse(&["--sample-size", "7"]).sample_size, 7);
+    }
+
+    #[test]
+    fn json_records_and_renders_results() {
+        let mut c = Criterion::default().sample_size(2);
+        bench_square(&mut c);
+        assert_eq!(c.records.len(), 2);
+        let json = c.render_json();
+        assert!(json.contains("\"benchmarks\""));
+        assert!(json.contains("\"name\": \"smoke/square\""));
+        assert!(json.contains("\"median_ns\""));
+        // Filtered-out benches record nothing.
+        let mut filtered = Criterion::default()
+            .sample_size(2)
+            .with_filter(Some("no-such-bench".into()));
+        bench_square(&mut filtered);
+        assert!(filtered.records.is_empty());
+    }
+
+    #[test]
+    fn json_file_is_written_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_test_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut c = Criterion::default().sample_size(2).json_path(&path);
+            bench_square(&mut c);
+        } // drop flushes
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("smoke/param/7"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }
