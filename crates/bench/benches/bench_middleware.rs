@@ -27,8 +27,8 @@ fn bench_strategies(c: &mut Criterion) {
     let n = 5_000;
     let (rel, qbic) = stores(n);
     let mut catalog = Catalog::new();
-    catalog.register(&rel).unwrap();
-    catalog.register(&qbic).unwrap();
+    catalog.register(rel.clone()).unwrap();
+    catalog.register(qbic.clone()).unwrap();
     let garlic = Garlic::new(catalog);
 
     let filtered = GarlicQuery::and(

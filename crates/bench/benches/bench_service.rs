@@ -1,0 +1,116 @@
+//! The headline benchmark of the ownership redesign: multi-threaded query
+//! throughput through `GarlicService` vs the single-thread baseline, over
+//! one shared catalog at N = 100k.
+//!
+//! The workload is a batch of independent queries mixing the planner's
+//! strategies — A₀′ conjunctions, B₀ disjunctions, generic A₀ compounds,
+//! and naive-calculus negations (the heavy, Θ(m·N) tail every real mix
+//! has). The single-thread side runs the identical batch on one worker
+//! (`GarlicService::with_threads(.., 1)` degenerates to sequential
+//! execution), so the measured difference is exactly the scoped-thread
+//! fan-out.
+//!
+//! Results also land in `target/bench_service.json` (shim JSON output) so
+//! CI's perf-smoke job can archive the throughput trajectory.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use garlic_middleware::{Catalog, Garlic, GarlicQuery, GarlicService, QueryRequest};
+use garlic_subsys::{Target, VectorSubsystem};
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+const N: usize = 100_000;
+const M: usize = 3;
+
+/// One shared middleware over M independently graded N-object lists.
+fn build_garlic() -> Garlic {
+    let mut rng = garlic_workload::seeded_rng(9404);
+    let skeleton = Skeleton::random(M, N, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let mut subsystem = VectorSubsystem::new("vectors", N);
+    for (attr, source) in ["A", "B", "C"].into_iter().zip(db.to_sources()) {
+        subsystem = subsystem.with_source(attr, source);
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(subsystem).unwrap();
+    Garlic::new(catalog)
+}
+
+/// A 16-query batch across the strategy catalogue.
+fn requests() -> Vec<QueryRequest> {
+    let atom = |a: &str| GarlicQuery::atom(a, Target::text("t"));
+    let mut out: Vec<QueryRequest> = Vec::new();
+    for i in 0..4 {
+        // Heavy: naive calculus scans m·N entries regardless of k.
+        out.push((
+            GarlicQuery::and(atom(["A", "B", "C"][i % 3]), GarlicQuery::not(atom("B"))),
+            10,
+        ));
+        // A₀′ conjunction at a paging-sized k.
+        out.push((GarlicQuery::and(atom("A"), atom("B")), 100 + 50 * i));
+        // B₀ disjunction: m·k sorted accesses.
+        out.push((GarlicQuery::or(atom("A"), atom("C")), 2000));
+        // Generic A₀ compound.
+        out.push((
+            GarlicQuery::and(atom("C"), GarlicQuery::or(atom("A"), atom("B"))),
+            50 + 25 * i,
+        ));
+    }
+    out
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let garlic = build_garlic();
+    let reqs = requests();
+    // Worker count: `GARLIC_SERVICE_THREADS` override, else all cores (at
+    // least 2, so the concurrent path is exercised even on starved CI
+    // boxes — on a single hardware thread the two sides then measure the
+    // fan-out overhead itself, which should be negligible).
+    let threads = std::env::var("GARLIC_SERVICE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .max(2)
+        });
+
+    let single = GarlicService::with_threads(garlic.clone(), 1);
+    let multi = GarlicService::with_threads(garlic, threads);
+
+    // The two modes must agree before we time them.
+    for (s, m) in single
+        .top_k_batch(&reqs)
+        .iter()
+        .zip(multi.top_k_batch(&reqs))
+    {
+        let (s, m) = (s.as_ref().unwrap(), m.as_ref().unwrap());
+        assert_eq!(s.answers.entries(), m.answers.entries());
+        assert_eq!(s.stats, m.stats);
+    }
+
+    let mut group = c.benchmark_group(format!("service_batch/N{N}_m{M}_q{}", reqs.len()));
+
+    group.bench_function("single_thread", |b| {
+        b.iter(|| black_box(single.top_k_batch(&reqs)))
+    });
+
+    group.bench_function(format!("threads_{threads}"), |b| {
+        b.iter(|| black_box(multi.top_k_batch(&reqs)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(
+        // Bench executables run with the *package* root as cwd; anchor the
+        // report in the workspace target dir regardless.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_service.json")
+    );
+    targets = bench_service_throughput
+);
+criterion_main!(benches);

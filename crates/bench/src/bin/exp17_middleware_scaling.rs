@@ -41,7 +41,7 @@ fn main() {
                 let mut rng = garlic_workload::seeded_rng(170_000 + t as u64);
                 let store = QbicStore::synthetic("qbic", n, &mut rng);
                 let mut catalog = Catalog::new();
-                catalog.register(&store).unwrap();
+                catalog.register(store).unwrap();
                 let garlic = Garlic::new(catalog);
                 let result = garlic.top_k(&query, k).unwrap();
                 total += result.stats.unweighted();

@@ -44,8 +44,19 @@
 //!   call: a batch of 50 entries counts as 50 sorted accesses — exactly the
 //!   Section 5 sorted-access cost `S` — while updating its counter once per
 //!   batch.
+//!
+//! # Threading
+//!
+//! Garlic is a multi-user middleware: many queries run concurrently over
+//! one shared catalog of subsystems. [`GradedSource`] therefore requires
+//! `Send + Sync` — a source is an owned, shareable handle (typically an
+//! `Arc<dyn GradedSource>`), not a borrow into a single-threaded subsystem
+//! — and [`CountingSource`] meters with atomic counters so a metered source
+//! can be read from worker threads while still reporting exact Section 5
+//! access counts.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use garlic_agg::Grade;
 
@@ -60,7 +71,11 @@ use crate::object::ObjectId;
 /// the top 10, then the next 10" as well as one-by-one streaming, and makes
 /// instrumentation and resumption trivial. Every object in the database is
 /// graded (possibly with grade 0), so `len()` is the database size `N`.
-pub trait GradedSource {
+///
+/// Sources are `Send + Sync`: a graded answer is an owned handle that many
+/// concurrent queries (and the engine's parallel sorted phase) may read
+/// simultaneously through `&self`.
+pub trait GradedSource: Send + Sync {
     /// The number of graded objects (the database size `N`).
     fn len(&self) -> usize;
 
@@ -233,13 +248,16 @@ impl SetAccess for MemorySource {
 }
 
 /// Wraps a source and counts accesses, implementing the Section 5 cost
-/// bookkeeping. Uses interior mutability so the counted source still
-/// implements [`GradedSource`] by shared reference.
+/// bookkeeping. Uses atomic counters so the counted source still implements
+/// [`GradedSource`] by shared reference — including shared *across threads*:
+/// each access kind bills exactly one increment per entry obtained, so the
+/// totals are identical whether the source was read sequentially or from a
+/// parallel sorted phase.
 #[derive(Debug)]
 pub struct CountingSource<S> {
     inner: S,
-    sorted: Cell<u64>,
-    random: Cell<u64>,
+    sorted: AtomicU64,
+    random: AtomicU64,
 }
 
 impl<S: GradedSource> CountingSource<S> {
@@ -247,23 +265,23 @@ impl<S: GradedSource> CountingSource<S> {
     pub fn new(inner: S) -> Self {
         CountingSource {
             inner,
-            sorted: Cell::new(0),
-            random: Cell::new(0),
+            sorted: AtomicU64::new(0),
+            random: AtomicU64::new(0),
         }
     }
 
     /// The access counts so far.
     pub fn stats(&self) -> AccessStats {
         AccessStats {
-            sorted: self.sorted.get(),
-            random: self.random.get(),
+            sorted: self.sorted.load(Ordering::Relaxed),
+            random: self.random.load(Ordering::Relaxed),
         }
     }
 
     /// Resets both counters to zero.
     pub fn reset(&self) {
-        self.sorted.set(0);
-        self.random.set(0);
+        self.sorted.store(0, Ordering::Relaxed);
+        self.random.store(0, Ordering::Relaxed);
     }
 
     /// The wrapped source.
@@ -286,7 +304,7 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
         let entry = self.inner.sorted_access(rank);
         if entry.is_some() {
             // Only successful retrievals count as "objects obtained".
-            self.sorted.set(self.sorted.get() + 1);
+            self.sorted.fetch_add(1, Ordering::Relaxed);
         }
         entry
     }
@@ -294,7 +312,7 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
         let grade = self.inner.random_access(object);
         if grade.is_some() {
-            self.random.set(self.random.get() + 1);
+            self.random.fetch_add(1, Ordering::Relaxed);
         }
         grade
     }
@@ -305,7 +323,7 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
     /// per-rank access.
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
         let got = self.inner.sorted_batch(start, count, out);
-        self.sorted.set(self.sorted.get() + got as u64);
+        self.sorted.fetch_add(got as u64, Ordering::Relaxed);
         got
     }
 }
@@ -316,7 +334,7 @@ impl<S: SetAccess> SetAccess for CountingSource<S> {
         // Enumerating the match set retrieves |set| objects from the
         // subsystem; bill it as sorted access (it is a prefix of the sorted
         // order: exactly the grade-1 block).
-        self.sorted.set(self.sorted.get() + set.len() as u64);
+        self.sorted.fetch_add(set.len() as u64, Ordering::Relaxed);
         set
     }
 }
@@ -368,6 +386,30 @@ impl<S: SetAccess + ?Sized> SetAccess for &S {
 }
 
 impl<S: SetAccess + ?Sized> SetAccess for Box<S> {
+    fn matching_set(&self) -> Vec<ObjectId> {
+        (**self).matching_set()
+    }
+}
+
+/// `Arc<dyn GradedSource>` is the canonical *owned* answer handle a
+/// subsystem returns: cheap to clone, `'static`, and shareable across the
+/// threads of a concurrent service.
+impl<S: GradedSource + ?Sized> GradedSource for Arc<S> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        (**self).sorted_access(rank)
+    }
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        (**self).random_access(object)
+    }
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        (**self).sorted_batch(start, count, out)
+    }
+}
+
+impl<S: SetAccess + ?Sized> SetAccess for Arc<S> {
     fn matching_set(&self) -> Vec<ObjectId> {
         (**self).matching_set()
     }
@@ -525,6 +567,33 @@ mod tests {
             );
             assert_eq!(a, b, "start {start} count {count}");
         }
+    }
+
+    #[test]
+    fn arc_dyn_sources_are_owned_shareable_handles() {
+        let arc: Arc<dyn GradedSource> = Arc::new(source());
+        let clone = Arc::clone(&arc);
+        let mut out = Vec::new();
+        assert_eq!(clone.sorted_batch(0, 4, &mut out), 4);
+        assert_eq!(out[0], arc.sorted_access(0).unwrap());
+        let crisp: Arc<dyn SetAccess> = Arc::new(source());
+        assert_eq!(crisp.matching_set(), vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn concurrent_metering_bills_exactly_like_sequential() {
+        let c = CountingSource::new(source());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    assert_eq!(c.sorted_batch(0, 4, &mut out), 4);
+                    assert_eq!(c.random_access(ObjectId(0)), Some(g(0.2)));
+                });
+            }
+        });
+        // 4 threads × (4 sorted entries + 1 random hit), no lost updates.
+        assert_eq!(c.stats(), AccessStats::new(16, 4));
     }
 
     #[test]

@@ -62,6 +62,15 @@ use crate::topk::{validate_inputs, TopK, TopKError};
 /// memory (`m · CHUNK` entries) on full-database streams.
 const CHUNK: usize = 4096;
 
+/// Minimum levels per round for the opt-in *parallel* per-source fetch
+/// ([`Engine::with_parallel_fetch`]) to pay for its thread spawns: below
+/// this the sequential walk always wins. Sources are `Sync` (a
+/// [`GradedSource`] bound), and the entries are folded into the
+/// bookkeeping only after all fetches complete, in the exact positional
+/// round-robin order — so results, tie order, and per-source access counts
+/// are bit-identical to the sequential fetch.
+const PARALLEL_LEVELS: usize = 2048;
+
 /// What the sorted phase knows about one object: the grade and rank
 /// observed in each list (if seen there), plus how many lists have shown it.
 #[derive(Debug, Clone)]
@@ -111,6 +120,8 @@ pub struct Engine<S> {
     depth: usize,
     /// One reusable fetch buffer per list (scratch reuse across rounds).
     scratch: Vec<Vec<GradedEntry>>,
+    /// Opt-in parallel per-source fetch (see [`Engine::with_parallel_fetch`]).
+    parallel_fetch: bool,
 }
 
 impl<S: GradedSource> Engine<S> {
@@ -135,7 +146,26 @@ impl<S: GradedSource> Engine<S> {
             matched: Vec::new(),
             depth: 0,
             scratch: vec![Vec::new(); m],
+            parallel_fetch: false,
         })
+    }
+
+    /// Opts deep fetch rounds into a *parallel* per-source sorted phase:
+    /// when a round pulls at least [`PARALLEL_LEVELS`] levels from `m >= 2`
+    /// lists, each list's batch is read on its own scoped thread.
+    ///
+    /// Off by default: for materialised in-memory sources a batch read is a
+    /// small slice copy, cheaper than the thread spawns — and a concurrent
+    /// service already parallelises *across* queries, so nesting threads
+    /// inside each engine would oversubscribe the machine. Enable it when
+    /// individual batch reads are genuinely expensive (sources that compute
+    /// grades during the read, decompress, or talk to remote subsystems).
+    /// Either way the results, tie order, and per-source access counts are
+    /// bit-identical — batching and threading are access-plan choices, not
+    /// semantic ones (pinned by this module's tests).
+    pub fn with_parallel_fetch(mut self, enabled: bool) -> Self {
+        self.parallel_fetch = enabled;
+        self
     }
 
     /// The sources the engine streams from.
@@ -240,10 +270,26 @@ impl<S: GradedSource> Engine<S> {
             return;
         }
         let mut scratch = std::mem::take(&mut self.scratch);
-        for (buf, source) in scratch.iter_mut().zip(&self.sources) {
-            buf.clear();
-            let got = source.sorted_batch(self.depth, levels, buf);
-            debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+        let depth = self.depth;
+        if self.parallel_fetch && levels >= PARALLEL_LEVELS && m >= 2 {
+            // Parallel per-source fetch: one scoped thread per list, each
+            // writing its own scratch buffer. See PARALLEL_LEVELS for why
+            // this cannot change results or access counts.
+            std::thread::scope(|scope| {
+                for (buf, source) in scratch.iter_mut().zip(&self.sources) {
+                    scope.spawn(move || {
+                        buf.clear();
+                        let got = source.sorted_batch(depth, levels, buf);
+                        debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+                    });
+                }
+            });
+        } else {
+            for (buf, source) in scratch.iter_mut().zip(&self.sources) {
+                buf.clear();
+                let got = source.sorted_batch(depth, levels, buf);
+                debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+            }
         }
         for level in 0..levels {
             for (i, buf) in scratch.iter().enumerate() {
@@ -604,6 +650,47 @@ mod tests {
         assert_eq!(distinct.len(), 4);
         assert!(session.next_batch(1).unwrap().is_empty());
         assert!(session.next_batch(0).is_err());
+    }
+
+    #[test]
+    fn parallel_fetch_rounds_match_sequential_results_and_counts() {
+        // Deep enough that advance_to_depth pulls >= PARALLEL_LEVELS levels
+        // per round, exercising the scoped-thread fetch path.
+        let n = 2 * PARALLEL_LEVELS + 37;
+        let list = |mult: usize| {
+            let grades: Vec<Grade> = (0..n)
+                .map(|i| Grade::clamped((i * mult % n) as f64 / n as f64))
+                .collect();
+            MemorySource::from_grades(&grades)
+        };
+        let cs = counted(vec![list(7919), list(104_729), list(1)]);
+        let mut engine = Engine::open(cs).unwrap().with_parallel_fetch(true);
+        engine.advance_to_depth(n);
+        assert_eq!(engine.depth(), n);
+        assert_eq!(engine.matched().len(), n);
+        // Exactly m*N entries billed, same as any sequential full scan.
+        let stats = total_stats(engine.sources());
+        assert_eq!(stats.sorted, 3 * n as u64);
+        assert_eq!(stats.random, 0);
+        // Spot-check bookkeeping against direct positional access.
+        for id in [0u64, 1, (n as u64) / 2, (n as u64) - 1] {
+            let vec = engine.grade_vector(ObjectId(id)).expect("fully scanned");
+            for (i, g) in vec.iter().enumerate() {
+                assert_eq!(
+                    Some(*g),
+                    engine.sources()[i].inner().random_access(ObjectId(id))
+                );
+            }
+        }
+        // And against the default sequential fetch: identical match order
+        // and identical per-source counts.
+        let mut sequential =
+            Engine::open(counted(vec![list(7919), list(104_729), list(1)])).unwrap();
+        sequential.advance_to_depth(n);
+        assert_eq!(engine.matched(), sequential.matched());
+        for (p, s) in engine.sources().iter().zip(sequential.sources()) {
+            assert_eq!(p.stats(), s.stats());
+        }
     }
 
     #[test]

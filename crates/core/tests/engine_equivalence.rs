@@ -381,7 +381,7 @@ fn engine_matches_seed_on_all_four_subsystem_families() {
     let (demo_rel, demo_qbic, demo_text) = cd_store::demo_subsystems(&mut rng);
 
     // One workload of m = 2 lists per subsystem family.
-    let workloads: Vec<(&str, Vec<Box<dyn GradedSource + '_>>)> = vec![
+    let workloads: Vec<(&str, Vec<std::sync::Arc<dyn GradedSource>>)> = vec![
         (
             "relational",
             vec![

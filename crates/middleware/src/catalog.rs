@@ -5,18 +5,31 @@
 //! that possible. All registered subsystems must grade the *same* object
 //! universe (Section 2's "attributes of a specific set of objects of some
 //! fixed type").
+//!
+//! The catalog *owns* its subsystems as `Arc<dyn Subsystem>` handles: it is
+//! `'static`, `Send + Sync`, and cheaply cloneable, so one registry can be
+//! shared by every query thread of a service for the lifetime of the
+//! process — the paper's multi-user middleware, not a borrow of somebody's
+//! stack frame.
 
+use std::sync::Arc;
+
+use garlic_core::GradedSource;
 use garlic_subsys::{AtomicQuery, Subsystem, SubsystemError};
 
 use crate::error::MiddlewareError;
 
-/// A registry of subsystems keyed by the attributes they serve.
-pub struct Catalog<'a> {
-    subsystems: Vec<&'a dyn Subsystem>,
+/// An owned registry of subsystems keyed by the attributes they serve.
+///
+/// Cloning is cheap (one `Arc` clone per subsystem) and the clone shares
+/// the registered subsystems.
+#[derive(Clone)]
+pub struct Catalog {
+    subsystems: Vec<Arc<dyn Subsystem>>,
     universe: usize,
 }
 
-impl<'a> Catalog<'a> {
+impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Catalog {
@@ -25,11 +38,20 @@ impl<'a> Catalog<'a> {
         }
     }
 
-    /// Registers a subsystem.
+    /// Registers a subsystem, taking ownership.
     ///
     /// Returns an error if its universe size disagrees with the already
     /// registered subsystems.
-    pub fn register(&mut self, subsystem: &'a dyn Subsystem) -> Result<(), MiddlewareError> {
+    pub fn register<S: Subsystem + 'static>(
+        &mut self,
+        subsystem: S,
+    ) -> Result<(), MiddlewareError> {
+        self.register_arc(Arc::new(subsystem))
+    }
+
+    /// Registers an already-shared subsystem handle (e.g. one also held by
+    /// another catalog or by the caller).
+    pub fn register_arc(&mut self, subsystem: Arc<dyn Subsystem>) -> Result<(), MiddlewareError> {
         if self.subsystems.is_empty() {
             self.universe = subsystem.universe_size();
         } else if subsystem.universe_size() != self.universe {
@@ -49,26 +71,23 @@ impl<'a> Catalog<'a> {
     }
 
     /// The registered subsystems.
-    pub fn subsystems(&self) -> &[&'a dyn Subsystem] {
+    pub fn subsystems(&self) -> &[Arc<dyn Subsystem>] {
         &self.subsystems
     }
 
     /// Finds the subsystem serving an attribute (first registered wins).
-    pub fn resolve(&self, attribute: &str) -> Result<&'a dyn Subsystem, MiddlewareError> {
+    pub fn resolve(&self, attribute: &str) -> Result<&Arc<dyn Subsystem>, MiddlewareError> {
         self.subsystems
             .iter()
             .find(|s| s.attributes().iter().any(|a| a == attribute))
-            .copied()
             .ok_or_else(|| MiddlewareError::UnboundAttribute {
                 attribute: attribute.to_owned(),
             })
     }
 
-    /// Evaluates an atomic query through its resolved subsystem.
-    pub fn evaluate(
-        &self,
-        query: &AtomicQuery,
-    ) -> Result<Box<dyn garlic_core::GradedSource + 'a>, MiddlewareError> {
+    /// Evaluates an atomic query through its resolved subsystem, returning
+    /// the owned answer handle.
+    pub fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, MiddlewareError> {
         let sub = self.resolve(&query.attribute)?;
         sub.evaluate(query).map_err(MiddlewareError::Subsystem)
     }
@@ -81,9 +100,25 @@ impl<'a> Catalog<'a> {
     }
 }
 
-impl Default for Catalog<'_> {
+impl Default for Catalog {
     fn default() -> Self {
         Catalog::new()
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("universe", &self.universe)
+            .field(
+                "subsystems",
+                &self
+                    .subsystems
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
     }
 }
 
@@ -102,15 +137,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn resolves_attributes_to_subsystems() {
+    fn demo_catalog() -> Catalog {
         let mut rng = StdRng::seed_from_u64(0);
         let (rel, qbic, text) = demo_subsystems(&mut rng);
         let mut cat = Catalog::new();
-        cat.register(&rel).unwrap();
-        cat.register(&qbic).unwrap();
-        cat.register(&text).unwrap();
+        cat.register(rel).unwrap();
+        cat.register(qbic).unwrap();
+        cat.register(text).unwrap();
+        cat
+    }
 
+    #[test]
+    fn resolves_attributes_to_subsystems() {
+        let cat = demo_catalog();
         assert_eq!(cat.resolve("Artist").unwrap().name(), "cd_relational");
         assert_eq!(cat.resolve("AlbumColor").unwrap().name(), "cd_qbic");
         assert_eq!(cat.resolve("Review").unwrap().name(), "cd_reviews");
@@ -122,11 +161,7 @@ mod tests {
 
     #[test]
     fn crisp_detection() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let (rel, qbic, _) = demo_subsystems(&mut rng);
-        let mut cat = Catalog::new();
-        cat.register(&rel).unwrap();
-        cat.register(&qbic).unwrap();
+        let cat = demo_catalog();
         assert!(cat.is_crisp("Artist"));
         assert!(!cat.is_crisp("AlbumColor"));
         assert!(!cat.is_crisp("Nonexistent"));
@@ -138,22 +173,41 @@ mod tests {
         let (rel, _, _) = demo_subsystems(&mut rng);
         let small = garlic_subsys::QbicStore::synthetic("tiny", 3, &mut rng);
         let mut cat = Catalog::new();
-        cat.register(&rel).unwrap();
+        cat.register(rel).unwrap();
         assert!(matches!(
-            cat.register(&small),
+            cat.register(small),
             Err(MiddlewareError::UniverseMismatch { .. })
         ));
     }
 
     #[test]
     fn evaluate_routes_through_subsystem() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let (rel, _, _) = demo_subsystems(&mut rng);
-        let mut cat = Catalog::new();
-        cat.register(&rel).unwrap();
+        let cat = demo_catalog();
         let src = cat
             .evaluate(&AtomicQuery::new("Artist", Target::text("Beatles")))
             .unwrap();
         assert_eq!(src.len(), 12);
+    }
+
+    #[test]
+    fn clones_share_the_registered_subsystems() {
+        let cat = demo_catalog();
+        let clone = cat.clone();
+        assert_eq!(clone.universe_size(), cat.universe_size());
+        for (a, b) in cat.subsystems().iter().zip(clone.subsystems()) {
+            assert!(Arc::ptr_eq(a, b), "clone shares, not copies");
+        }
+    }
+
+    #[test]
+    fn register_arc_shares_a_caller_held_handle() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, _, _) = demo_subsystems(&mut rng);
+        let handle: Arc<dyn Subsystem> = Arc::new(rel);
+        let mut a = Catalog::new();
+        a.register_arc(Arc::clone(&handle)).unwrap();
+        let mut b = Catalog::new();
+        b.register_arc(Arc::clone(&handle)).unwrap();
+        assert!(Arc::ptr_eq(&a.subsystems()[0], &b.subsystems()[0]));
     }
 }

@@ -7,6 +7,13 @@
 //! the engine-backed algorithm shells of `garlic_core::algorithms`, and
 //! every strategy's *paged* path is a resumable [`QuerySession`] — there is
 //! no per-strategy re-evaluation fallback.
+//!
+//! Ownership: [`Garlic`] owns its [`Catalog`] and a [`QuerySession`] owns
+//! the `Arc` answer handles it streams from, so both are `'static`,
+//! `Send + Sync`, and freely movable across threads — the substrate the
+//! concurrent [`GarlicService`](crate::service::GarlicService) executes on.
+
+use std::sync::Arc;
 
 use garlic_agg::iterated::min_agg;
 use garlic_agg::Aggregation;
@@ -28,11 +35,15 @@ use crate::error::MiddlewareError;
 use crate::plan::{plan, Plan, PlannerOptions, Strategy};
 use crate::query::{GarlicQuery, NnfAggregation, QueryAggregation};
 
-/// A subsystem answer behind the Section 5 metering wrapper.
-type Counted<'a> = CountingSource<Box<dyn GradedSource + 'a>>;
+/// A subsystem answer — an owned `Arc` handle — behind the Section 5
+/// metering wrapper.
+type Counted = CountingSource<Arc<dyn GradedSource>>;
 
 /// A crisp (set-access) answer behind the metering wrapper.
-type CountedCrisp<'a> = CountingSource<Box<dyn garlic_core::SetAccess + 'a>>;
+type CountedCrisp = CountingSource<Arc<dyn garlic_core::SetAccess>>;
+
+/// The aggregation a session carries: thread-safe so the session is.
+type SessionAgg = Box<dyn Aggregation + Send + Sync>;
 
 /// The one place execution wraps a source in its metering counter.
 fn counted<S: GradedSource>(source: S) -> CountingSource<S> {
@@ -40,10 +51,10 @@ fn counted<S: GradedSource>(source: S) -> CountingSource<S> {
 }
 
 /// Evaluates each atom through the catalog, metered.
-fn counted_atoms<'a>(
-    catalog: &Catalog<'a>,
+fn counted_atoms(
+    catalog: &Catalog,
     atoms: &[AtomicQuery],
-) -> Result<Vec<Counted<'a>>, MiddlewareError> {
+) -> Result<Vec<Counted>, MiddlewareError> {
     atoms
         .iter()
         .map(|a| Ok(counted(catalog.evaluate(a)?)))
@@ -52,18 +63,18 @@ fn counted_atoms<'a>(
 
 /// One metered source per NNF *literal*: negated literals read the atom's
 /// list reversed with complemented grades (the Section 7 observation).
-fn nnf_sources<'a>(
-    catalog: &Catalog<'a>,
+fn nnf_sources(
+    catalog: &Catalog,
     query: &GarlicQuery,
-) -> Result<(Vec<Counted<'a>>, NnfAggregation), MiddlewareError> {
+) -> Result<(Vec<Counted>, NnfAggregation), MiddlewareError> {
     let nnf = query.to_nnf();
-    let sources: Vec<Counted<'a>> = nnf
+    let sources: Vec<Counted> = nnf
         .literals
         .iter()
         .map(|lit| {
             let base = catalog.evaluate(&lit.atom)?;
-            let source: Box<dyn GradedSource + 'a> = if lit.negated {
-                Box::new(ComplementSource::new(base))
+            let source: Arc<dyn GradedSource> = if lit.negated {
+                Arc::new(ComplementSource::new(base))
             } else {
                 base
             };
@@ -94,14 +105,20 @@ pub struct QueryResult {
 }
 
 /// The Garlic middleware: a catalog plus planner options.
-pub struct Garlic<'a> {
-    catalog: Catalog<'a>,
+///
+/// Owns its catalog, so it is `'static`, `Send + Sync`, and cheaply
+/// cloneable (clones share the registered subsystems). All query entry
+/// points take `&self`: one `Garlic` — or one `Arc<Garlic>` — serves any
+/// number of concurrent callers.
+#[derive(Clone)]
+pub struct Garlic {
+    catalog: Catalog,
     options: PlannerOptions,
 }
 
-impl<'a> Garlic<'a> {
+impl Garlic {
     /// Wraps a catalog with default options.
-    pub fn new(catalog: Catalog<'a>) -> Self {
+    pub fn new(catalog: Catalog) -> Self {
         Garlic {
             catalog,
             options: PlannerOptions::default(),
@@ -109,12 +126,12 @@ impl<'a> Garlic<'a> {
     }
 
     /// Wraps a catalog with explicit options.
-    pub fn with_options(catalog: Catalog<'a>, options: PlannerOptions) -> Self {
+    pub fn with_options(catalog: Catalog, options: PlannerOptions) -> Self {
         Garlic { catalog, options }
     }
 
     /// The catalog.
-    pub fn catalog(&self) -> &Catalog<'a> {
+    pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
 
@@ -143,7 +160,7 @@ impl<'a> Garlic<'a> {
         &self,
         query: &GarlicQuery,
         k_hint: usize,
-    ) -> Result<QuerySession<'a>, MiddlewareError> {
+    ) -> Result<QuerySession, MiddlewareError> {
         let plan = self.explain(query, k_hint.max(1))?;
         plan.strategy
             .open_session(&self.catalog, query, &plan.atoms)
@@ -253,11 +270,11 @@ impl<'a> Garlic<'a> {
 
 /// The crisp match-set source plus the metered graded conjuncts of a
 /// filtered plan.
-fn filtered_parts<'a>(
-    catalog: &Catalog<'a>,
+fn filtered_parts(
+    catalog: &Catalog,
     atoms: &[AtomicQuery],
     crisp_index: usize,
-) -> Result<(CountedCrisp<'a>, Vec<Counted<'a>>), MiddlewareError> {
+) -> Result<(CountedCrisp, Vec<Counted>), MiddlewareError> {
     let crisp_atom = &atoms[crisp_index];
     let sub = catalog.resolve(&crisp_atom.attribute)?;
     let crisp = counted(
@@ -275,10 +292,7 @@ fn filtered_parts<'a>(
 }
 
 /// The single fused internal-conjunction list (Section 8), metered.
-fn pushdown_source<'a>(
-    catalog: &Catalog<'a>,
-    atoms: &[AtomicQuery],
-) -> Result<Counted<'a>, MiddlewareError> {
+fn pushdown_source(catalog: &Catalog, atoms: &[AtomicQuery]) -> Result<Counted, MiddlewareError> {
     let sub = catalog.resolve(&atoms[0].attribute)?;
     Ok(counted(
         sub.evaluate_internal_conjunction(atoms)
@@ -289,9 +303,9 @@ fn pushdown_source<'a>(
 impl Strategy {
     /// One-shot execution: a single dispatch over the engine-backed
     /// algorithm shells, returning the answers with their measured cost.
-    pub(crate) fn execute<'a>(
+    pub(crate) fn execute(
         &self,
-        catalog: &Catalog<'a>,
+        catalog: &Catalog,
         query: &GarlicQuery,
         atoms: &[AtomicQuery],
         options: PlannerOptions,
@@ -345,27 +359,24 @@ impl Strategy {
     /// [`Strategy::execute`] only: a resumable session must keep every
     /// seen object's grade vector complete to answer the *next* batch, so
     /// the random-access-saving prefix shrink has nothing to cut.
-    pub(crate) fn open_session<'a>(
+    pub(crate) fn open_session(
         &self,
-        catalog: &Catalog<'a>,
+        catalog: &Catalog,
         query: &GarlicQuery,
         atoms: &[AtomicQuery],
-    ) -> Result<QuerySession<'a>, MiddlewareError> {
+    ) -> Result<QuerySession, MiddlewareError> {
         let kind = match self {
             Strategy::FaMin => SessionKind::Engine(EngineSession::new(
                 counted_atoms(catalog, atoms)?,
-                Box::new(min_agg()) as Box<dyn Aggregation>,
+                Box::new(min_agg()) as SessionAgg,
             )?),
             Strategy::FaGeneric => SessionKind::Engine(EngineSession::new(
                 counted_atoms(catalog, atoms)?,
-                Box::new(QueryAggregation::new(query, atoms)) as Box<dyn Aggregation>,
+                Box::new(QueryAggregation::new(query, atoms)) as SessionAgg,
             )?),
             Strategy::FaNnf => {
                 let (sources, agg) = nnf_sources(catalog, query)?;
-                SessionKind::Engine(EngineSession::new(
-                    sources,
-                    Box::new(agg) as Box<dyn Aggregation>,
-                )?)
+                SessionKind::Engine(EngineSession::new(sources, Box::new(agg) as SessionAgg)?)
             }
             Strategy::B0Max => SessionKind::B0(B0Session::new(counted_atoms(catalog, atoms)?)?),
             Strategy::InternalPushdown { .. } => {
@@ -415,13 +426,18 @@ impl Strategy {
 /// * The filtered and naive strategies — whose evaluation cost is
 ///   independent of `k` — materialise their full ranking once at open and
 ///   stream slices of it at zero further access cost.
-pub struct QuerySession<'a> {
-    kind: SessionKind<'a>,
+///
+/// A session owns everything it streams from (`Arc` answer handles plus
+/// its own bookkeeping), so it is `'static` and `Send`: open it on one
+/// thread, store it, hand it to another — the server-side "user session"
+/// the paper's multi-user middleware implies.
+pub struct QuerySession {
+    kind: SessionKind,
 }
 
-enum SessionKind<'a> {
-    Engine(EngineSession<Counted<'a>, Box<dyn Aggregation>>),
-    B0(B0Session<Counted<'a>>),
+enum SessionKind {
+    Engine(EngineSession<Counted, SessionAgg>),
+    B0(B0Session<Counted>),
     Materialized {
         entries: Vec<GradedEntry>,
         cursor: usize,
@@ -429,7 +445,7 @@ enum SessionKind<'a> {
     },
 }
 
-impl QuerySession<'_> {
+impl QuerySession {
     /// Returns the next `k` best answers (fewer once the result set is
     /// exhausted), never repeating an object across batches.
     pub fn next_batch(&mut self, k: usize) -> Result<TopK, MiddlewareError> {
@@ -492,11 +508,11 @@ mod tests {
             Fixture { rel, qbic, text }
         }
 
-        fn garlic(&self) -> Garlic<'_> {
+        fn garlic(&self) -> Garlic {
             let mut cat = Catalog::new();
-            cat.register(&self.rel).unwrap();
-            cat.register(&self.qbic).unwrap();
-            cat.register(&self.text).unwrap();
+            cat.register(self.rel.clone()).unwrap();
+            cat.register(self.qbic.clone()).unwrap();
+            cat.register(self.text.clone()).unwrap();
             Garlic::new(cat)
         }
     }
@@ -606,7 +622,7 @@ mod tests {
         let external = f.garlic().top_k(&q, 12).unwrap();
 
         let mut cat = Catalog::new();
-        cat.register(&f.qbic).unwrap();
+        cat.register(f.qbic.clone()).unwrap();
         let internal_garlic = Garlic::with_options(
             cat,
             PlannerOptions {
@@ -771,7 +787,7 @@ mod tests {
             GarlicQuery::atom("Shape", Target::text("round")),
         );
         let mut cat = Catalog::new();
-        cat.register(&f.qbic).unwrap();
+        cat.register(f.qbic.clone()).unwrap();
         let garlic = Garlic::with_options(
             cat,
             PlannerOptions {
@@ -802,9 +818,9 @@ mod tests {
             GarlicQuery::not(GarlicQuery::atom("Shape", Target::text("round"))),
         );
         let mut cat = Catalog::new();
-        cat.register(&f.rel).unwrap();
-        cat.register(&f.qbic).unwrap();
-        cat.register(&f.text).unwrap();
+        cat.register(f.rel.clone()).unwrap();
+        cat.register(f.qbic.clone()).unwrap();
+        cat.register(f.text.clone()).unwrap();
         let garlic = Garlic::with_options(
             cat,
             PlannerOptions {
@@ -919,9 +935,9 @@ mod tests {
         assert!(matches!(naive.plan.strategy, Strategy::NaiveCalculus));
 
         let mut cat = Catalog::new();
-        cat.register(&f.rel).unwrap();
-        cat.register(&f.qbic).unwrap();
-        cat.register(&f.text).unwrap();
+        cat.register(f.rel.clone()).unwrap();
+        cat.register(f.qbic.clone()).unwrap();
+        cat.register(f.text.clone()).unwrap();
         let pushdown = Garlic::with_options(
             cat,
             PlannerOptions {
@@ -944,9 +960,9 @@ mod tests {
         let naive = f.garlic().top_k(&hard, 2).unwrap();
 
         let mut cat = Catalog::new();
-        cat.register(&f.rel).unwrap();
-        cat.register(&f.qbic).unwrap();
-        cat.register(&f.text).unwrap();
+        cat.register(f.rel.clone()).unwrap();
+        cat.register(f.qbic.clone()).unwrap();
+        cat.register(f.text.clone()).unwrap();
         let pushdown = Garlic::with_options(
             cat,
             PlannerOptions {

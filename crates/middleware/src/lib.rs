@@ -10,17 +10,25 @@
 //! A₀-with-compound-aggregation for arbitrary positive queries, the naive
 //! scan for negations, and Section 8 internal-conjunction pushdown.
 //!
+//! The whole stack is built for the paper's *multi-user* setting: the
+//! [`catalog::Catalog`] owns its subsystems as `Arc` handles and is
+//! cheaply cloneable, [`exec::Garlic`] and [`exec::QuerySession`] are
+//! `'static` and `Send + Sync`, and [`service::GarlicService`] executes
+//! batches of independent queries concurrently over one shared catalog —
+//! with per-query Section 5 access counts identical to sequential
+//! execution.
+//!
 //! ```
-//! use garlic_middleware::{Catalog, Garlic, GarlicQuery};
+//! use garlic_middleware::{Catalog, Garlic, GarlicQuery, GarlicService};
 //! use garlic_subsys::{cd_store::demo_subsystems, Target};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let (rel, qbic, text) = demo_subsystems(&mut rng);
 //! let mut catalog = Catalog::new();
-//! catalog.register(&rel).unwrap();
-//! catalog.register(&qbic).unwrap();
-//! catalog.register(&text).unwrap();
+//! catalog.register(rel).unwrap();
+//! catalog.register(qbic).unwrap();
+//! catalog.register(text).unwrap();
 //!
 //! let garlic = Garlic::new(catalog);
 //! let query = GarlicQuery::and(
@@ -29,6 +37,13 @@
 //! );
 //! let result = garlic.top_k(&query, 2).unwrap();
 //! assert_eq!(result.answers.len(), 2);
+//!
+//! // The same middleware, as a concurrent multi-query service:
+//! let service = GarlicService::new(garlic);
+//! let batch = vec![(query.clone(), 2), (query, 1)];
+//! let results = service.top_k_batch(&batch);
+//! assert_eq!(results[0].as_ref().unwrap().answers.len(), 2);
+//! assert_eq!(results[1].as_ref().unwrap().answers.len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -40,6 +55,7 @@ pub mod exec;
 pub mod parser;
 pub mod plan;
 pub mod query;
+pub mod service;
 
 pub use catalog::Catalog;
 pub use error::MiddlewareError;
@@ -47,3 +63,4 @@ pub use exec::{Garlic, QueryResult, QuerySession};
 pub use parser::{parse_query, ParseError};
 pub use plan::{Plan, PlannerOptions, Strategy};
 pub use query::{GarlicQuery, QueryAggregation};
+pub use service::{GarlicService, QueryRequest};

@@ -16,6 +16,12 @@
 //! `=` builds a [`Target::Text`]/[`Target::Number`] atom; `~` builds a
 //! [`Target::Terms`] full-text atom. Keywords are case-insensitive.
 //!
+//! Nesting is bounded: the recursive-descent parser rejects queries nested
+//! deeper than [`MAX_NESTING_DEPTH`] with a [`ParseError`] instead of
+//! recursing without limit — adversarial input like 100 000 opening
+//! parentheses (or `NOT`s) must fail cleanly, not overflow the stack of
+//! whichever service thread happened to parse it.
+//!
 //! ```
 //! use garlic_middleware::parser::parse_query;
 //! let q = parse_query(r#"Artist = "Beatles" AND (Color = red OR NOT Shape = round)"#).unwrap();
@@ -26,6 +32,12 @@ use garlic_subsys::{AtomicQuery, Target};
 use std::fmt;
 
 use crate::query::GarlicQuery;
+
+/// The maximum `(`/`NOT` nesting depth [`parse_query`] accepts. Deep
+/// enough for any real query; shallow enough that parsing — and every
+/// recursive consumer of the resulting [`GarlicQuery`] tree (NNF
+/// conversion, planning, `Drop`) — stays far from stack exhaustion.
+pub const MAX_NESTING_DEPTH: usize = 128;
 
 /// A parse failure, with position and explanation.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,9 +178,26 @@ struct Parser {
     tokens: Vec<(usize, Token)>,
     cursor: usize,
     input_len: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Guards every recursion point of `unary` (both `NOT` and `(` descend
+    /// through it) with the nesting bound.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.error(format!(
+                "query nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.cursor).map(|(_, t)| t)
     }
@@ -234,11 +263,17 @@ impl Parser {
         match self.peek() {
             Some(Token::Not) => {
                 self.cursor += 1;
-                Ok(GarlicQuery::not(self.unary()?))
+                self.enter()?;
+                let inner = self.unary();
+                self.leave();
+                Ok(GarlicQuery::not(inner?))
             }
             Some(Token::LParen) => {
                 self.cursor += 1;
-                let inner = self.or_expr()?;
+                self.enter()?;
+                let inner = self.or_expr();
+                self.leave();
+                let inner = inner?;
                 self.expect(&Token::RParen, "closing parenthesis")?;
                 Ok(inner)
             }
@@ -295,6 +330,7 @@ pub fn parse_query(input: &str) -> Result<GarlicQuery, ParseError> {
         tokens,
         cursor: 0,
         input_len: input.len(),
+        depth: 0,
     };
     let query = parser.or_expr()?;
     if parser.peek().is_some() {
@@ -393,5 +429,44 @@ mod tests {
     fn numbers_with_signs_and_decimals() {
         let q = parse_query("Score = -1.5").unwrap();
         assert_eq!(q, GarlicQuery::atom("Score", Target::Number(-1.5)));
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // Regression: 100k opening parens used to recurse 100k frames deep
+        // and crash with a stack overflow; now it is a clean ParseError.
+        let depth = 100_000;
+        let deep_parens = format!("{}A = x{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_query(&deep_parens).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+
+        let deep_nots = format!("{}A = x", "NOT ".repeat(depth));
+        let err = parse_query(&deep_nots).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn nesting_inside_the_limit_still_parses() {
+        let depth = MAX_NESTING_DEPTH - 1;
+        let ok = format!("{}A = x{}", "(".repeat(depth), ")".repeat(depth));
+        assert_eq!(parse_query(&ok).unwrap().atoms().len(), 1);
+
+        // NOT NOT ... under the limit: parses, and NNF still collapses it.
+        let nots = format!("{}A = x", "NOT ".repeat(depth));
+        let q = parse_query(&nots).unwrap();
+        assert_eq!(q.to_nnf().literals.len(), 1);
+
+        // One past the limit fails with a positioned error, not a crash.
+        let over = format!("{}A = x{}", "(".repeat(depth + 2), ")".repeat(depth + 2));
+        assert!(parse_query(&over).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_siblings_not_cumulative() {
+        // 200 shallow parenthesised atoms AND-ed together: depth never
+        // exceeds 1, so the bound must not trip.
+        let parts: Vec<String> = (0..200).map(|i| format!("(A{i} = x)")).collect();
+        let q = parse_query(&parts.join(" AND ")).unwrap();
+        assert_eq!(q.atoms().len(), 200);
     }
 }

@@ -99,7 +99,7 @@ fn fa_cost_estimate(n: usize, m: usize, k: usize) -> f64 {
 
 /// Plans a top-k evaluation of `query` against the catalog.
 pub fn plan(
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     query: &GarlicQuery,
     k: usize,
     options: PlannerOptions,
@@ -152,7 +152,7 @@ pub fn plan(
             let all_same = flat.iter().all(|a| {
                 catalog
                     .resolve(&a.attribute)
-                    .map(|s| std::ptr::eq(s, first))
+                    .map(|s| std::sync::Arc::ptr_eq(s, first))
                     .unwrap_or(false)
             });
             if all_same && first.supports_internal_conjunction() {
@@ -268,11 +268,11 @@ mod tests {
             Fixture { rel, qbic, text }
         }
 
-        fn catalog(&self) -> Catalog<'_> {
+        fn catalog(&self) -> Catalog {
             let mut cat = Catalog::new();
-            cat.register(&self.rel).unwrap();
-            cat.register(&self.qbic).unwrap();
-            cat.register(&self.text).unwrap();
+            cat.register(self.rel.clone()).unwrap();
+            cat.register(self.qbic.clone()).unwrap();
+            cat.register(self.text.clone()).unwrap();
             cat
         }
     }

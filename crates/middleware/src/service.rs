@@ -1,0 +1,244 @@
+//! The concurrent service layer: many independent queries, one shared
+//! catalog.
+//!
+//! Fagin's middleware is explicitly *multi-user* — "a single Garlic query
+//! can access data in a number of different subsystems", and many users
+//! issue such queries at once. The ownership redesign (owned
+//! [`Catalog`](crate::Catalog), `Send + Sync` subsystems, `Arc` answer
+//! handles) makes that literal: [`GarlicService`] executes batches of
+//! independent queries concurrently on a scoped thread pool over one
+//! shared [`Garlic`].
+//!
+//! # Cost accounting under concurrency
+//!
+//! Each query evaluation wraps its own fresh
+//! [`CountingSource`](garlic_core::access::CountingSource)s around the
+//! subsystem answers, so per-query [`AccessStats`](garlic_core::AccessStats)
+//! are computed in isolation: running a batch concurrently reports, for
+//! every query, exactly the Section 5 access counts a sequential run would
+//! (pinned by the `concurrent_service` equivalence suite). Concurrency
+//! changes wall-clock time, never measured cost.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::MiddlewareError;
+use crate::exec::{Garlic, QueryResult};
+use crate::query::GarlicQuery;
+
+/// A top-k request: the query and how many answers to return.
+pub type QueryRequest = (GarlicQuery, usize);
+
+/// A thread-safe, cloneable query service over one shared [`Garlic`].
+///
+/// Cloning the service (or sharing it behind an `Arc`) shares the
+/// underlying middleware and catalog; each clone can serve batches from
+/// its own thread.
+#[derive(Clone)]
+pub struct GarlicService {
+    garlic: Arc<Garlic>,
+    threads: usize,
+}
+
+impl GarlicService {
+    /// Wraps a middleware instance, sizing the worker pool from
+    /// [`std::thread::available_parallelism`].
+    pub fn new(garlic: Garlic) -> Self {
+        GarlicService::shared(Arc::new(garlic))
+    }
+
+    /// Like [`GarlicService::new`], over an already-shared middleware.
+    pub fn shared(garlic: Arc<Garlic>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        GarlicService { garlic, threads }
+    }
+
+    /// Wraps a middleware instance with an explicit worker count
+    /// (`threads == 1` degenerates to sequential in-thread execution,
+    /// useful as a baseline).
+    pub fn with_threads(garlic: Garlic, threads: usize) -> Self {
+        GarlicService {
+            garlic: Arc::new(garlic),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The shared middleware.
+    pub fn garlic(&self) -> &Garlic {
+        &self.garlic
+    }
+
+    /// The worker-pool size used for batches.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves one query on the calling thread.
+    pub fn top_k(&self, query: &GarlicQuery, k: usize) -> Result<QueryResult, MiddlewareError> {
+        self.garlic.top_k(query, k)
+    }
+
+    /// Executes a batch of independent top-k queries concurrently and
+    /// returns one result per request, **in request order**.
+    ///
+    /// Queries are pulled from a shared work queue by up to
+    /// `min(threads, batch len)` scoped worker threads; each evaluation is
+    /// fully independent (own metered sources, own engine state), so
+    /// results, tie order, and per-query access counts are identical to
+    /// serving the batch sequentially.
+    pub fn top_k_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<QueryResult, MiddlewareError>> {
+        let workers = self.threads.min(requests.len());
+        if workers <= 1 {
+            return requests
+                .iter()
+                .map(|(q, k)| self.garlic.top_k(q, *k))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<QueryResult, MiddlewareError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((query, k)) = requests.get(i) else {
+                        break;
+                    };
+                    let result = self.garlic.top_k(query, *k);
+                    *slots[i].lock().expect("no panics while holding the slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker threads joined")
+                    .expect("every request was claimed by exactly one worker")
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GarlicService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GarlicService")
+            .field("threads", &self.threads)
+            .field("catalog", self.garlic.catalog())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+    use garlic_subsys::cd_store::demo_subsystems;
+    use garlic_subsys::Target;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_garlic() -> Garlic {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (rel, qbic, text) = demo_subsystems(&mut rng);
+        let mut cat = Catalog::new();
+        cat.register(rel).unwrap();
+        cat.register(qbic).unwrap();
+        cat.register(text).unwrap();
+        Garlic::new(cat)
+    }
+
+    fn service(threads: usize) -> GarlicService {
+        GarlicService::with_threads(demo_garlic(), threads)
+    }
+
+    fn requests() -> Vec<QueryRequest> {
+        let atoms = [
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+            GarlicQuery::atom("Artist", Target::text("Beatles")),
+            GarlicQuery::atom("Review", Target::terms(&["psychedelic", "rock"])),
+        ];
+        let mut out = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    out.push((
+                        GarlicQuery::and(atoms[i].clone(), atoms[j].clone()),
+                        1 + (i + j) % 4,
+                    ));
+                }
+            }
+        }
+        out.push((GarlicQuery::or(atoms[0].clone(), atoms[1].clone()), 5));
+        out.push((GarlicQuery::not(atoms[0].clone()), 3));
+        out
+    }
+
+    #[test]
+    fn batch_results_arrive_in_request_order_and_match_sequential() {
+        // One shared middleware for both modes: the comparison isolates
+        // concurrency, not fixture construction.
+        let garlic = demo_garlic();
+        let concurrent = GarlicService::with_threads(garlic.clone(), 4);
+        let sequential = GarlicService::with_threads(garlic, 1);
+        let reqs = requests();
+        assert!(reqs.len() >= 8, "a real batch");
+
+        let par = concurrent.top_k_batch(&reqs);
+        let seq = sequential.top_k_batch(&reqs);
+        assert_eq!(par.len(), reqs.len());
+        for ((p, s), (q, _)) in par.iter().zip(&seq).zip(&reqs) {
+            let p = p.as_ref().unwrap();
+            let s = s.as_ref().unwrap();
+            assert_eq!(p.answers.entries(), s.answers.entries(), "{q}");
+            assert_eq!(p.stats, s.stats, "{q}");
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors_in_place() {
+        let svc = service(3);
+        let reqs = vec![
+            (GarlicQuery::atom("AlbumColor", Target::text("red")), 2),
+            (GarlicQuery::atom("Tempo", Target::text("fast")), 2),
+            (GarlicQuery::atom("Shape", Target::text("round")), 2),
+        ];
+        let results = svc.top_k_batch(&reqs);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(MiddlewareError::UnboundAttribute { .. })
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn one_service_is_shareable_across_caller_threads() {
+        let svc = service(2);
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let reference = svc.top_k(&q, 3).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let svc = svc.clone();
+                let q = q.clone();
+                let want = reference.answers.entries().to_vec();
+                scope.spawn(move || {
+                    let got = svc.top_k(&q, 3).unwrap();
+                    assert_eq!(got.answers.entries(), want);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(service(4).top_k_batch(&[]).is_empty());
+    }
+}

@@ -11,8 +11,9 @@
 //! [`Subsystem::evaluate_internal_conjunction`], which implementations may
 //! override.
 
-use garlic_core::access::GradedSource;
+use garlic_core::access::{GradedSource, SetAccess};
 use std::fmt;
+use std::sync::Arc;
 
 /// The target `t` of an atomic query `X = t`.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,7 +118,14 @@ impl fmt::Display for SubsystemError {
 impl std::error::Error for SubsystemError {}
 
 /// A data server Garlic can delegate atomic queries to.
-pub trait Subsystem {
+///
+/// Subsystems are `Send + Sync`: the middleware is a *multi-user* fusion
+/// layer (Section 1), so one registered subsystem serves many concurrent
+/// queries through `&self`. Answers are returned as **owned**
+/// `Arc<dyn GradedSource>` handles — `'static`, cheaply cloneable, and
+/// movable across the threads of a service executor — rather than boxes
+/// borrowing the subsystem.
+pub trait Subsystem: Send + Sync {
     /// The subsystem's display name (e.g. `"QBIC"`).
     fn name(&self) -> &str;
 
@@ -128,8 +136,8 @@ pub trait Subsystem {
     fn universe_size(&self) -> usize;
 
     /// Evaluates an atomic query, returning its graded set behind the
-    /// sorted/random access interface.
-    fn evaluate(&self, query: &AtomicQuery) -> Result<Box<dyn GradedSource + '_>, SubsystemError>;
+    /// sorted/random access interface as an owned, shareable handle.
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError>;
 
     /// Whether this attribute grades crisply (all grades 0 or 1, like a
     /// traditional relational predicate). Lets the planner consider the
@@ -142,10 +150,7 @@ pub trait Subsystem {
     /// For crisp attributes: evaluate with *set access* (enumerate the
     /// match set), which the filtered strategy requires. The default
     /// refuses.
-    fn evaluate_set(
-        &self,
-        query: &AtomicQuery,
-    ) -> Result<Box<dyn garlic_core::access::SetAccess + '_>, SubsystemError> {
+    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
         let _ = query;
         Err(SubsystemError::Unsupported {
             reason: format!("{} offers no set access", self.name()),
@@ -170,13 +175,21 @@ pub trait Subsystem {
     fn evaluate_internal_conjunction(
         &self,
         queries: &[AtomicQuery],
-    ) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
+    ) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         let _ = queries;
         Err(SubsystemError::Unsupported {
             reason: format!("{} has no internal conjunction", self.name()),
         })
     }
 }
+
+// Deliberately NO blanket `impl Subsystem for Arc<S>`: an already-shared
+// `Arc<dyn Subsystem>` handle goes through `Catalog::register_arc`, which
+// preserves the handle's identity. A blanket impl would let
+// `Catalog::register(handle)` compile and silently wrap the Arc in a
+// second Arc — double indirection, and `Arc::ptr_eq` sharing checks
+// between the caller's handle and the registry entry would quietly fail.
+// (Arc's `Deref` already lets `&Arc<dyn Subsystem>` call every method.)
 
 #[cfg(test)]
 mod tests {

@@ -213,7 +213,7 @@ mod tests {
         use garlic_core::GradedSource;
         let mut rng = StdRng::seed_from_u64(1);
         let (rel, qbic, text) = demo_subsystems(&mut rng);
-        let sources: Vec<Box<dyn GradedSource + '_>> = vec![
+        let sources: Vec<std::sync::Arc<dyn GradedSource>> = vec![
             rel.evaluate(&AtomicQuery::new("Artist", Target::text("Beatles")))
                 .unwrap(),
             qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red")))

@@ -10,20 +10,26 @@
 //!   shape descriptors, similarity scoring, and a *product*-semantics
 //!   internal conjunction (the Section 8 mismatch);
 //! * [`text`] — a tf-idf text-retrieval engine;
+//! * [`mem`] — precomputed graded lists behind the subsystem interface,
+//!   for workloads and benchmarks (evaluation is an `Arc` clone);
 //! * [`cd_store`] — the paper's compact-disk running example wired across
 //!   all three;
-//! * [`api`] — the [`api::Subsystem`] trait they all implement.
+//! * [`api`] — the [`api::Subsystem`] trait they all implement. Subsystems
+//!   are `Send + Sync` and answer with owned `Arc<dyn GradedSource>`
+//!   handles, so one registered subsystem serves many concurrent queries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod cd_store;
+pub mod mem;
 pub mod qbic;
 pub mod relational;
 pub mod text;
 
 pub use api::{AtomicQuery, Subsystem, SubsystemError, Target};
+pub use mem::VectorSubsystem;
 pub use qbic::QbicStore;
 pub use relational::{CrispSource, Predicate, RelationalStore, Value};
 pub use text::TextStore;

@@ -1,0 +1,148 @@
+//! A precomputed in-memory subsystem: one materialised graded list per
+//! attribute.
+//!
+//! The paper's model only requires that a subsystem expose each subquery's
+//! graded set through sorted and random access; *how* the grades came to be
+//! is the subsystem's business. [`VectorSubsystem`] is the degenerate —
+//! and, for workloads and benchmarks, the most useful — case: the grades
+//! are computed ahead of time and evaluation is a handle clone.
+//!
+//! It is also the type that shows off the owned answer API: `evaluate`
+//! returns `Arc::clone` of the materialised ranking, so a thousand
+//! concurrent queries over the same attribute share one allocation instead
+//! of regrading the universe per query.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use garlic_agg::Grade;
+use garlic_core::access::{GradedSource, MemorySource};
+
+use crate::api::{AtomicQuery, Subsystem, SubsystemError};
+
+/// A subsystem serving precomputed graded lists, keyed by attribute.
+///
+/// The atomic query's *target* is deliberately ignored: each attribute has
+/// exactly one ranking, fixed at construction. That matches how the
+/// workload generators of `garlic-workload` produce independent or
+/// correlated lists for the Section 5 experiments.
+#[derive(Debug, Clone)]
+pub struct VectorSubsystem {
+    name: String,
+    universe: usize,
+    lists: BTreeMap<String, Arc<MemorySource>>,
+}
+
+impl VectorSubsystem {
+    /// An empty subsystem over a universe of `universe` objects.
+    pub fn new(name: &str, universe: usize) -> Self {
+        VectorSubsystem {
+            name: name.to_owned(),
+            universe,
+            lists: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the ranking of `attribute`.
+    ///
+    /// # Panics
+    /// Panics if `grades.len()` differs from the universe size.
+    pub fn with_list(mut self, attribute: &str, grades: &[Grade]) -> Self {
+        assert_eq!(
+            grades.len(),
+            self.universe,
+            "list length must match the universe size"
+        );
+        self.lists.insert(
+            attribute.to_owned(),
+            Arc::new(MemorySource::from_grades(grades)),
+        );
+        self
+    }
+
+    /// Adds (or replaces) the ranking of `attribute` from a prebuilt source.
+    ///
+    /// # Panics
+    /// Panics if the source's length differs from the universe size.
+    pub fn with_source(mut self, attribute: &str, source: MemorySource) -> Self {
+        assert_eq!(
+            source.len(),
+            self.universe,
+            "source length must match the universe size"
+        );
+        self.lists.insert(attribute.to_owned(), Arc::new(source));
+        self
+    }
+}
+
+impl Subsystem for VectorSubsystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn attributes(&self) -> Vec<String> {
+        self.lists.keys().cloned().collect()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Evaluation is an `Arc::clone` of the materialised ranking — no
+    /// regrading, no copying, shared by every concurrent caller.
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
+        self.lists
+            .get(&query.attribute)
+            .map(|list| Arc::clone(list) as Arc<dyn GradedSource>)
+            .ok_or_else(|| SubsystemError::UnknownAttribute {
+                attribute: query.attribute.clone(),
+                subsystem: self.name.clone(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Target;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn subsystem() -> VectorSubsystem {
+        VectorSubsystem::new("mem", 3)
+            .with_list("A", &[g(0.1), g(0.9), g(0.5)])
+            .with_list("B", &[g(0.7), g(0.2), g(0.4)])
+    }
+
+    #[test]
+    fn serves_its_attributes() {
+        let s = subsystem();
+        assert_eq!(s.attributes(), vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(s.universe_size(), 3);
+        let src = s
+            .evaluate(&AtomicQuery::new("A", Target::text("anything")))
+            .unwrap();
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.sorted_access(0).unwrap().object.0, 1);
+        assert!(s
+            .evaluate(&AtomicQuery::new("C", Target::text("x")))
+            .is_err());
+    }
+
+    #[test]
+    fn evaluation_shares_one_allocation() {
+        let s = subsystem();
+        let q = AtomicQuery::new("A", Target::text("t"));
+        let a = s.evaluate(&q).unwrap();
+        let b = s.evaluate(&q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "answers are clones of one handle");
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size")]
+    fn mismatched_list_length_panics() {
+        let _ = VectorSubsystem::new("mem", 3).with_list("A", &[g(0.1)]);
+    }
+}

@@ -25,6 +25,7 @@ use garlic_agg::Grade;
 use garlic_core::access::{GradedSource, MemorySource};
 use garlic_core::ObjectId;
 use rand::Rng;
+use std::sync::Arc;
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError, Target};
 
@@ -319,8 +320,8 @@ impl Subsystem for QbicStore {
         self.images.len()
     }
 
-    fn evaluate(&self, query: &AtomicQuery) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
-        Ok(Box::new(MemorySource::from_grades(&self.grade_all(query)?)))
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
+        Ok(Arc::new(MemorySource::from_grades(&self.grade_all(query)?)))
     }
 
     fn supports_internal_conjunction(&self) -> bool {
@@ -334,7 +335,7 @@ impl Subsystem for QbicStore {
     fn evaluate_internal_conjunction(
         &self,
         queries: &[AtomicQuery],
-    ) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
+    ) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         if queries.is_empty() {
             return Err(SubsystemError::Unsupported {
                 reason: "empty internal conjunction".into(),
@@ -346,7 +347,7 @@ impl Subsystem for QbicStore {
                 *acc = Grade::clamped(acc.value() * g.value());
             }
         }
-        Ok(Box::new(MemorySource::from_grades(&combined)))
+        Ok(Arc::new(MemorySource::from_grades(&combined)))
     }
 }
 

@@ -13,6 +13,7 @@ use garlic_core::graded_set::GradedEntry;
 use garlic_core::ObjectId;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError, Target};
 
@@ -296,8 +297,8 @@ impl Subsystem for RelationalStore {
         self.rows.len()
     }
 
-    fn evaluate(&self, query: &AtomicQuery) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
-        Ok(Box::new(self.predicate_source(
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
+        Ok(Arc::new(self.predicate_source(
             &query.attribute,
             &target_value(query)?,
         )?))
@@ -307,8 +308,8 @@ impl Subsystem for RelationalStore {
         self.column_index(attribute).is_some()
     }
 
-    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Box<dyn SetAccess + '_>, SubsystemError> {
-        Ok(Box::new(self.predicate_source(
+    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
+        Ok(Arc::new(self.predicate_source(
             &query.attribute,
             &target_value(query)?,
         )?))

@@ -11,6 +11,7 @@ use garlic_core::access::{GradedSource, MemorySource};
 use garlic_core::ObjectId;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError, Target};
 
@@ -161,7 +162,7 @@ impl Subsystem for TextStore {
         self.docs.len()
     }
 
-    fn evaluate(&self, query: &AtomicQuery) -> Result<Box<dyn GradedSource + '_>, SubsystemError> {
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         if query.attribute != self.attribute {
             return Err(SubsystemError::UnknownAttribute {
                 attribute: query.attribute.clone(),
@@ -181,7 +182,7 @@ impl Subsystem for TextStore {
         let grades: Vec<Grade> = (0..self.docs.len())
             .map(|i| self.score(ObjectId(i as u64), &terms))
             .collect();
-        Ok(Box::new(MemorySource::from_grades(&grades)))
+        Ok(Arc::new(MemorySource::from_grades(&grades)))
     }
 }
 

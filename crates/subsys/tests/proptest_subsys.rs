@@ -107,7 +107,7 @@ proptest! {
         for i in 0..n {
             rel.insert(vec![Value::text(if i % 3 == 0 { "Beatles" } else { "Kinks" })]);
         }
-        let sources: Vec<Box<dyn GradedSource + '_>> = vec![
+        let sources: Vec<std::sync::Arc<dyn GradedSource>> = vec![
             qbic.evaluate(&AtomicQuery::new("Color", Target::text("red"))).unwrap(),
             text.evaluate(&AtomicQuery::new("Body", Target::terms(&["w1"]))).unwrap(),
             rel.evaluate(&AtomicQuery::new("Artist", Target::text("Beatles"))).unwrap(),

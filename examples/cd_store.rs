@@ -21,9 +21,9 @@ fn main() {
     let albums = demo_albums();
 
     let mut catalog = Catalog::new();
-    catalog.register(&relational).unwrap();
-    catalog.register(&qbic).unwrap();
-    catalog.register(&text).unwrap();
+    catalog.register(relational.clone()).unwrap();
+    catalog.register(qbic.clone()).unwrap();
+    catalog.register(text.clone()).unwrap();
     let garlic = Garlic::new(catalog);
 
     let show = |title: &str, query: &GarlicQuery, k: usize| {
@@ -100,7 +100,7 @@ fn main() {
         GarlicQuery::atom("Shape", Target::text("round")),
     );
     let mut qbic_only = Catalog::new();
-    qbic_only.register(&qbic).unwrap();
+    qbic_only.register(qbic.clone()).unwrap();
     let internal = Garlic::with_options(
         qbic_only,
         PlannerOptions {

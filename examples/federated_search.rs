@@ -20,9 +20,9 @@ fn main() {
     let name_of = |i: usize| format!("{} — {}", albums[i].title, albums[i].artist);
 
     let mut catalog = Catalog::new();
-    catalog.register(&relational).unwrap();
-    catalog.register(&qbic).unwrap();
-    catalog.register(&text).unwrap();
+    catalog.register(relational.clone()).unwrap();
+    catalog.register(qbic.clone()).unwrap();
+    catalog.register(text.clone()).unwrap();
     let garlic = Garlic::with_options(
         catalog,
         PlannerOptions {

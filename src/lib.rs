@@ -15,7 +15,8 @@
 //! * [`subsys`] — simulated Garlic subsystems: relational, QBIC-like image
 //!   search, and text retrieval.
 //! * [`middleware`] — the Garlic analogue: catalog, planner, executor,
-//!   EXPLAIN (paper §2, §4, §8).
+//!   EXPLAIN, and the concurrent `GarlicService` batch executor over one
+//!   shared, owned, `Send + Sync` catalog (paper §2, §4, §8).
 //! * [`stats`] — summaries, regression, tail probabilities, Chernoff
 //!   machinery, table output for the experiment harness.
 //!
@@ -33,3 +34,4 @@ pub use garlic_workload as workload;
 
 pub use garlic_agg::{Aggregation, Grade};
 pub use garlic_core::{AccessStats, CostModel, ObjectId, TopK};
+pub use garlic_middleware::{Catalog, Garlic, GarlicService};

@@ -59,3 +59,46 @@ fn quickstart_path_end_to_end() {
         stats.sorted
     );
 }
+
+/// The `service_demo.rs` scenario, asserted rather than printed: a batch of
+/// parsed queries served concurrently over one shared catalog must match
+/// serving each query directly, answer for answer and cost for cost.
+#[test]
+fn service_demo_path_end_to_end() {
+    use garlic::middleware::{parse_query, Catalog, Garlic, GarlicService};
+    use garlic::subsys::cd_store::demo_subsystems;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let (relational, qbic, text) = demo_subsystems(&mut rng);
+    let mut catalog = Catalog::new();
+    catalog.register(relational).unwrap();
+    catalog.register(qbic).unwrap();
+    catalog.register(text).unwrap();
+    let service = GarlicService::new(Garlic::new(catalog));
+
+    let texts = [
+        r#"Artist = "Beatles" AND AlbumColor = red"#,
+        "AlbumColor = red AND Shape = round",
+        "AlbumColor = blue OR Shape = round",
+        r#"Review ~ "psychedelic rock" AND AlbumColor = red"#,
+        "AlbumColor = green AND NOT Shape = round",
+        r#"Artist = "Kinks""#,
+        "Shape = oval AND AlbumColor = orange",
+        r#"Review ~ "gentle folk" OR AlbumColor = purple"#,
+    ];
+    let batch: Vec<_> = texts
+        .iter()
+        .map(|t| (parse_query(t).expect("demo queries parse"), 2))
+        .collect();
+
+    let results = service.top_k_batch(&batch);
+    assert_eq!(results.len(), batch.len());
+    for ((query, k), result) in batch.iter().zip(results) {
+        let concurrent = result.expect("demo queries execute");
+        let direct = service.garlic().top_k(query, *k).unwrap();
+        assert_eq!(concurrent.answers.entries(), direct.answers.entries());
+        assert_eq!(concurrent.stats, direct.stats);
+    }
+}

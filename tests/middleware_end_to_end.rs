@@ -21,11 +21,11 @@ impl Fixture {
         Fixture { rel, qbic, text }
     }
 
-    fn garlic(&self) -> Garlic<'_> {
+    fn garlic(&self) -> Garlic {
         let mut cat = Catalog::new();
-        cat.register(&self.rel).unwrap();
-        cat.register(&self.qbic).unwrap();
-        cat.register(&self.text).unwrap();
+        cat.register(self.rel.clone()).unwrap();
+        cat.register(self.qbic.clone()).unwrap();
+        cat.register(self.text.clone()).unwrap();
         Garlic::new(cat)
     }
 }
@@ -121,7 +121,7 @@ fn internal_vs_external_semantics_differ_but_are_valid() {
     let external = f.garlic().top_k(&q, 12).unwrap();
 
     let mut qbic_only = Catalog::new();
-    qbic_only.register(&f.qbic).unwrap();
+    qbic_only.register(f.qbic.clone()).unwrap();
     let internal = Garlic::with_options(
         qbic_only,
         PlannerOptions {
@@ -146,7 +146,7 @@ fn large_image_store_is_sublinear_through_middleware() {
     let mut rng = StdRng::seed_from_u64(5);
     let qbic = QbicStore::synthetic("big_qbic", 10_000, &mut rng);
     let mut cat = Catalog::new();
-    cat.register(&qbic).unwrap();
+    cat.register(qbic.clone()).unwrap();
     let garlic = Garlic::new(cat);
 
     let q = GarlicQuery::and(

@@ -21,11 +21,11 @@ impl Fixture {
         Fixture { rel, qbic, text }
     }
 
-    fn garlic(&self) -> Garlic<'_> {
+    fn garlic(&self) -> Garlic {
         let mut cat = Catalog::new();
-        cat.register(&self.rel).unwrap();
-        cat.register(&self.qbic).unwrap();
-        cat.register(&self.text).unwrap();
+        cat.register(self.rel.clone()).unwrap();
+        cat.register(self.qbic.clone()).unwrap();
+        cat.register(self.text.clone()).unwrap();
         Garlic::new(cat)
     }
 }

@@ -80,7 +80,7 @@ fn text_queries_honour_the_contract() {
 fn complemented_subsystem_sources_honour_the_contract() {
     let mut rng = StdRng::seed_from_u64(4);
     let (rel, qbic, text) = demo_subsystems(&mut rng);
-    let sources: Vec<Box<dyn garlic::core::GradedSource>> = vec![
+    let sources: Vec<std::sync::Arc<dyn garlic::core::GradedSource>> = vec![
         rel.evaluate(&AtomicQuery::new("Artist", Target::text("Kinks")))
             .unwrap(),
         qbic.evaluate(&AtomicQuery::new("AlbumColor", Target::text("red")))
