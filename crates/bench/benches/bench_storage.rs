@@ -1,0 +1,129 @@
+//! The storage-layer benchmark: disk-backed `SegmentSource` vs
+//! `MemorySource` over identical data at N = 100k, in the three regimes
+//! that matter operationally —
+//!
+//! * **memory** — the RAM baseline every other number is read against;
+//! * **segment_warm** — shared block cache large enough for the working
+//!   set (steady state of a hot attribute; the acceptance bar is
+//!   sorted-stream throughput within 3× of `MemorySource`);
+//! * **segment_cold** — capacity-0 cache, so every block read hits the
+//!   file and re-verifies its checksum (worst case: first touch after a
+//!   restart, or a working set far beyond the cache budget).
+//!
+//! Measured for both access kinds: full sorted streaming through the
+//! cursor layer (batch = 1024) and scattered random access. Results also
+//! land in `target/bench_storage.json` (shim JSON output) so CI's
+//! perf-smoke job can archive the trajectory.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use garlic_core::access::GradedSource;
+use garlic_core::GradedEntry;
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+const N: usize = 100_000;
+const BATCH: usize = 1024;
+const PROBES: usize = 4096;
+
+/// Full sorted stream through the batched cursor path.
+fn stream_all<S: GradedSource>(source: &S, buf: &mut Vec<GradedEntry>) -> usize {
+    buf.clear();
+    let mut rank = 0;
+    loop {
+        let got = source.sorted_batch(rank, BATCH, buf);
+        if got == 0 {
+            return rank;
+        }
+        rank += got;
+    }
+}
+
+/// Scattered random access over a fixed probe sequence.
+fn probe_all<S: GradedSource>(source: &S, probes: &[u64]) -> u64 {
+    let mut hits = 0;
+    for &p in probes {
+        if source.random_access(garlic_core::ObjectId(p)).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut rng = garlic_workload::seeded_rng(9405);
+    let skeleton = Skeleton::random(1, N, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let memory = db.to_sources().pop().expect("one list");
+
+    let dir = std::env::temp_dir().join(format!("garlic-bench-storage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.seg");
+    SegmentWriter::new()
+        .write_graded_set(&path, memory.graded_set())
+        .unwrap();
+
+    // Warm: budget comfortably above the ~2 × 391 blocks of both regions.
+    let warm_cache = Arc::new(BlockCache::new(1024));
+    let warm = SegmentSource::open(&path, Arc::clone(&warm_cache)).unwrap();
+    // Cold: zero residency — every block request reads and re-verifies.
+    let cold = SegmentSource::open(&path, Arc::new(BlockCache::new(0))).unwrap();
+
+    // Equivalence gate before timing anything: all three backends must
+    // stream the identical ranking and answer identical probes.
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    assert_eq!(stream_all(&memory, &mut a), N);
+    assert_eq!(stream_all(&warm, &mut b), N);
+    assert_eq!(a, b, "warm segment streams the memory ranking");
+    b.clear();
+    assert_eq!(stream_all(&cold, &mut b), N);
+    assert_eq!(a, b, "cold segment streams the memory ranking");
+    let probes: Vec<u64> = (0..PROBES as u64)
+        .map(|i| (i * 24421) % (N as u64 + 7))
+        .collect();
+    assert_eq!(probe_all(&memory, &probes), probe_all(&warm, &probes));
+    assert_eq!(probe_all(&memory, &probes), probe_all(&cold, &probes));
+
+    let mut group = c.benchmark_group(format!("storage_stream/N{N}_batch{BATCH}"));
+    let mut buf = Vec::with_capacity(N);
+    group.bench_function("memory", |bench| {
+        bench.iter(|| black_box(stream_all(&memory, &mut buf)))
+    });
+    group.bench_function("segment_warm", |bench| {
+        bench.iter(|| black_box(stream_all(&warm, &mut buf)))
+    });
+    group.bench_function("segment_cold", |bench| {
+        bench.iter(|| black_box(stream_all(&cold, &mut buf)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group(format!("storage_random/N{N}_probes{PROBES}"));
+    group.bench_function("memory", |bench| {
+        bench.iter(|| black_box(probe_all(&memory, &probes)))
+    });
+    group.bench_function("segment_warm", |bench| {
+        bench.iter(|| black_box(probe_all(&warm, &probes)))
+    });
+    group.bench_function("segment_cold", |bench| {
+        bench.iter(|| black_box(probe_all(&cold, &probes)))
+    });
+    group.finish();
+
+    let stats = warm_cache.stats();
+    eprintln!("warm cache after timing: {stats}");
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(
+        // Bench executables run with the *package* root as cwd; anchor the
+        // report in the workspace target dir regardless.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_storage.json")
+    );
+    targets = bench_storage
+);
+criterion_main!(benches);

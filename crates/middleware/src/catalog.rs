@@ -75,6 +75,27 @@ impl Catalog {
         &self.subsystems
     }
 
+    /// The display names of the registered subsystems, in registration
+    /// order — what a service operator enumerates to see which data
+    /// servers a deployment is actually fused over.
+    pub fn names(&self) -> Vec<String> {
+        self.subsystems
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect()
+    }
+
+    /// Number of registered subsystems.
+    pub fn len(&self) -> usize {
+        self.subsystems.len()
+    }
+
+    /// Whether no subsystem is registered (such a catalog can answer no
+    /// query).
+    pub fn is_empty(&self) -> bool {
+        self.subsystems.is_empty()
+    }
+
     /// Finds the subsystem serving an attribute (first registered wins).
     pub fn resolve(&self, attribute: &str) -> Result<&Arc<dyn Subsystem>, MiddlewareError> {
         self.subsystems
@@ -197,6 +218,32 @@ mod tests {
         for (a, b) in cat.subsystems().iter().zip(clone.subsystems()) {
             assert!(Arc::ptr_eq(a, b), "clone shares, not copies");
         }
+    }
+
+    #[test]
+    fn introspection_enumerates_registrations() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        assert_eq!(cat.len(), 0);
+        assert_eq!(cat.names(), Vec::<String>::new());
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let (rel, qbic, text) = demo_subsystems(&mut rng);
+        cat.register(rel).unwrap();
+        cat.register(qbic).unwrap();
+        cat.register(text).unwrap();
+
+        assert!(!cat.is_empty());
+        assert_eq!(cat.len(), 3);
+        assert_eq!(
+            cat.names(),
+            vec![
+                "cd_relational".to_owned(),
+                "cd_qbic".to_owned(),
+                "cd_reviews".to_owned()
+            ],
+            "registration order is preserved"
+        );
     }
 
     #[test]

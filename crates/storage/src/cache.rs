@@ -1,0 +1,332 @@
+//! The shared LRU block cache.
+//!
+//! Disk-backed sources decouple corpus size from RAM only if hot blocks
+//! stay resident; [`BlockCache`] is the one RAM budget every
+//! [`crate::SegmentSource`] draws from. It is `Send + Sync` and meant to
+//! be shared as an `Arc` — one cache per process (or per `DiskSubsystem`)
+//! serving every open segment, so the working sets of many attributes
+//! compete for the same fixed number of block slots instead of each
+//! segment hoarding its own.
+//!
+//! Blocks are immutable (segments never change after publish), so the
+//! cache needs no invalidation protocol: a cached block is correct
+//! forever, and concurrent readers share one `Arc<[u8]>` per block.
+//! Capacity is counted in blocks; hits, misses, and evictions are metered
+//! with atomic counters and surfaced through [`BlockCache::stats`] the same
+//! way the Section 5 access counters are — operators tune cache size by
+//! watching the hit rate, not by guessing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::StorageError;
+
+/// Identifies one block of one open segment. Segment ids are assigned from
+/// a process-wide counter at open time, so any number of segments can share
+/// one cache without key collisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BlockKey {
+    /// The opened segment's unique id.
+    pub segment: u64,
+    /// The file-wide block number within that segment.
+    pub block: u64,
+}
+
+struct CachedBlock {
+    bytes: Arc<[u8]>,
+    /// The recency tick under which this block is indexed in `recency`.
+    tick: u64,
+}
+
+struct CacheState {
+    blocks: HashMap<BlockKey, CachedBlock>,
+    /// Recency index: tick → key, oldest first. Ticks are unique, so this
+    /// is a strict LRU order.
+    recency: BTreeMap<u64, BlockKey>,
+    next_tick: u64,
+}
+
+/// A snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Block requests served from memory.
+    pub hits: u64,
+    /// Block requests that had to read the file.
+    pub misses: u64,
+    /// Blocks dropped to make room.
+    pub evictions: u64,
+    /// Blocks currently resident.
+    pub resident: usize,
+    /// Maximum resident blocks.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from memory (0 when nothing was asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} blocks resident, {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            self.resident,
+            self.capacity,
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.evictions
+        )
+    }
+}
+
+/// A shared, thread-safe LRU cache over segment blocks.
+pub struct BlockCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BlockCache {
+    /// A cache holding at most `capacity_blocks` blocks (at the default
+    /// 4 KiB block size, `capacity_blocks = 1024` is a 4 MiB budget).
+    /// Capacity 0 disables residency: every request is a miss, which is
+    /// how the cold-cache benchmarks run.
+    pub fn new(capacity_blocks: usize) -> Self {
+        BlockCache {
+            capacity: capacity_blocks,
+            state: Mutex::new(CacheState {
+                blocks: HashMap::new(),
+                recency: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of resident blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let resident = self.state.lock().expect("cache lock").blocks.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every resident block (counters are preserved). Turns a warm
+    /// cache cold — for tests and cold-path benchmarks.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("cache lock");
+        state.blocks.clear();
+        state.recency.clear();
+    }
+
+    /// Looks `key` up, calling `load` on a miss. The lock is **not** held
+    /// across `load`, so concurrent misses on different blocks read the
+    /// file in parallel; racing misses on the same block may both load, and
+    /// the first insert wins.
+    pub(crate) fn get_or_load(
+        &self,
+        key: BlockKey,
+        load: impl FnOnce() -> Result<Arc<[u8]>, StorageError>,
+    ) -> Result<Arc<[u8]>, StorageError> {
+        {
+            let mut state = self.state.lock().expect("cache lock");
+            if let Some(bytes) = state.touch(key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(bytes);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let bytes = load()?;
+        if self.capacity > 0 {
+            let mut state = self.state.lock().expect("cache lock");
+            if state.touch(key).is_none() {
+                let evicted = state.insert(key, Arc::clone(&bytes), self.capacity);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        Ok(bytes)
+    }
+}
+
+impl CacheState {
+    /// Returns the resident block and refreshes its recency.
+    fn touch(&mut self, key: BlockKey) -> Option<Arc<[u8]>> {
+        let slot = self.blocks.get_mut(&key)?;
+        let old_tick = slot.tick;
+        slot.tick = self.next_tick;
+        let bytes = Arc::clone(&slot.bytes);
+        self.recency.remove(&old_tick);
+        self.recency.insert(self.next_tick, key);
+        self.next_tick += 1;
+        Some(bytes)
+    }
+
+    /// Inserts a block, evicting least-recently-used blocks down to
+    /// `capacity`. Returns how many were evicted.
+    fn insert(&mut self, key: BlockKey, bytes: Arc<[u8]>, capacity: usize) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.blocks.insert(key, CachedBlock { bytes, tick });
+        self.recency.insert(tick, key);
+        let mut evicted = 0;
+        while self.blocks.len() > capacity {
+            let (&oldest, &victim) = self.recency.iter().next().expect("recency tracks blocks");
+            self.recency.remove(&oldest);
+            self.blocks.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(block: u64) -> BlockKey {
+        BlockKey { segment: 1, block }
+    }
+
+    fn bytes(fill: u8) -> Arc<[u8]> {
+        Arc::from(vec![fill; 8].into_boxed_slice())
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = BlockCache::new(4);
+        let a = cache.get_or_load(key(0), || Ok(bytes(7))).unwrap();
+        let b = cache
+            .get_or_load(key(0), || panic!("must not reload"))
+            .unwrap();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_block() {
+        let cache = BlockCache::new(2);
+        cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
+        cache.get_or_load(key(1), || Ok(bytes(1))).unwrap();
+        // Touch block 0 so block 1 is now the coldest.
+        cache.get_or_load(key(0), || panic!("hit")).unwrap();
+        cache.get_or_load(key(2), || Ok(bytes(2))).unwrap();
+        // Block 1 was evicted; block 0 survived.
+        cache.get_or_load(key(0), || panic!("hit")).unwrap();
+        let reloaded = std::cell::Cell::new(false);
+        cache
+            .get_or_load(key(1), || {
+                reloaded.set(true);
+                Ok(bytes(1))
+            })
+            .unwrap();
+        assert!(reloaded.get(), "evicted block must reload");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn capacity_zero_never_retains() {
+        let cache = BlockCache::new(0);
+        cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
+        cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (0, 2, 0));
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = BlockCache::new(4);
+        cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().resident, 0);
+        assert_eq!(cache.stats().misses, 1);
+        cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
+        assert_eq!(cache.stats().misses, 2, "cleared block reloads");
+    }
+
+    #[test]
+    fn load_errors_propagate_and_cache_nothing() {
+        let cache = BlockCache::new(4);
+        let err = cache.get_or_load(key(0), || Err(StorageError::BadMagic));
+        assert!(matches!(err, Err(StorageError::BadMagic)));
+        assert_eq!(cache.stats().resident, 0);
+    }
+
+    #[test]
+    fn distinct_segments_do_not_collide() {
+        let cache = BlockCache::new(4);
+        cache
+            .get_or_load(
+                BlockKey {
+                    segment: 1,
+                    block: 0,
+                },
+                || Ok(bytes(1)),
+            )
+            .unwrap();
+        let other = cache
+            .get_or_load(
+                BlockKey {
+                    segment: 2,
+                    block: 0,
+                },
+                || Ok(bytes(2)),
+            )
+            .unwrap();
+        assert_eq!(other[0], 2);
+        assert_eq!(cache.stats().resident, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_share_blocks() {
+        let cache = Arc::new(BlockCache::new(8));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for b in 0..8 {
+                        let got = cache.get_or_load(key(b), || Ok(bytes(b as u8))).unwrap();
+                        assert_eq!(got[0], b as u8);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.misses >= 8, "each block loaded at least once");
+        assert_eq!(stats.resident, 8);
+        assert!(format!("{stats}").contains("hit rate"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Typed errors for segment I/O.
+//!
+//! Opening a segment is the trust boundary of the storage layer: everything
+//! the middleware later does through [`crate::SegmentSource`] assumes the
+//! file was verified here. A corrupted, truncated, or foreign file must
+//! therefore fail `open` with an error precise enough for an operator to
+//! act on (re-replicate the segment, rebuild it, page someone), never with
+//! a panic or a silently wrong graded list.
+
+use std::fmt;
+
+use garlic_core::ObjectId;
+
+/// Everything that can go wrong while writing or opening a segment file.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// The file does not start (or end) with the segment magic — it is not
+    /// a segment file at all.
+    BadMagic,
+    /// The file is a segment, but of a format version this build cannot
+    /// read.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The file is shorter than its own metadata says it must be —
+    /// typically a partial copy or an interrupted write.
+    Truncated {
+        /// How many bytes the metadata requires.
+        expected: u64,
+        /// How many bytes the file actually has.
+        actual: u64,
+    },
+    /// The footer failed its checksum or is internally inconsistent.
+    FooterCorrupt {
+        /// What exactly disagreed.
+        detail: String,
+    },
+    /// A data or table block's stored checksum does not match its bytes.
+    ChecksumMismatch {
+        /// The file-wide block number (data blocks first, then table
+        /// blocks).
+        block: u64,
+    },
+    /// The data (sorted-order) and table (object-order) regions do not
+    /// hold the same entries — each region is internally consistent, but
+    /// sorted access and random access would disagree.
+    RegionMismatch,
+    /// A block passed its checksum but holds invalid content (a grade
+    /// outside `[0, 1]`/NaN, or entries violating the sort order the
+    /// region promises) — the writer that produced it was broken.
+    CorruptBlock {
+        /// The file-wide block number.
+        block: u64,
+        /// What the block violated.
+        detail: String,
+    },
+    /// The requested block size is not a positive multiple of the entry
+    /// size.
+    InvalidBlockSize {
+        /// The rejected value.
+        requested: usize,
+    },
+    /// The writer was given the same object twice.
+    DuplicateObject {
+        /// The object graded more than once.
+        object: ObjectId,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "segment I/O error: {e}"),
+            StorageError::BadMagic => write!(f, "not a segment file (bad magic)"),
+            StorageError::UnsupportedVersion { found } => {
+                write!(f, "unsupported segment format version {found}")
+            }
+            StorageError::Truncated { expected, actual } => write!(
+                f,
+                "segment truncated: need {expected} bytes, file has {actual}"
+            ),
+            StorageError::FooterCorrupt { detail } => write!(f, "segment footer corrupt: {detail}"),
+            StorageError::ChecksumMismatch { block } => {
+                write!(f, "checksum mismatch in segment block {block}")
+            }
+            StorageError::RegionMismatch => {
+                write!(f, "segment data and table regions hold different entries")
+            }
+            StorageError::CorruptBlock { block, detail } => {
+                write!(f, "segment block {block} corrupt: {detail}")
+            }
+            StorageError::InvalidBlockSize { requested } => write!(
+                f,
+                "invalid block size {requested}: must be a positive multiple of the 16-byte entry"
+            ),
+            StorageError::DuplicateObject { object } => {
+                write!(f, "object {object} graded twice in segment input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = StorageError::Truncated {
+            expected: 100,
+            actual: 7,
+        };
+        assert!(format!("{e}").contains("need 100 bytes"));
+        let e = StorageError::ChecksumMismatch { block: 3 };
+        assert!(format!("{e}").contains("block 3"));
+        let e = StorageError::DuplicateObject {
+            object: ObjectId(9),
+        };
+        assert!(format!("{e}").contains("#9"));
+    }
+
+    #[test]
+    fn io_errors_lift_and_chain() {
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

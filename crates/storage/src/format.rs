@@ -1,0 +1,368 @@
+//! The on-disk segment format (version 1).
+//!
+//! A segment is one immutable graded list — the durable answer to one
+//! atomic query — laid out for the two access kinds of the paper's
+//! Section 4 interface:
+//!
+//! ```text
+//! ┌────────────────────┐
+//! │ header (8 B)       │  magic "GSEG" + format version
+//! ├────────────────────┤
+//! │ data block 0       │  entries in descending-grade order (ties by
+//! │ data block 1       │  ascending object id — the fixed skeleton), i.e.
+//! │ ...                │  exactly the sorted-access stream
+//! ├────────────────────┤
+//! │ table block 0      │  the same entries sorted by ascending object id
+//! │ ...                │  — the random-access ("object → grade") table
+//! ├────────────────────┤
+//! │ footer             │  geometry, flags, per-block checksums, the first
+//! │                    │  object id of every table block, own checksum
+//! ├────────────────────┤
+//! │ trailer (24 B)     │  footer offset + length + magic "GSEGEND1"
+//! └────────────────────┘
+//! ```
+//!
+//! Every block is exactly `block_size` bytes (zero-padded), holding
+//! `block_size / 16` entries of 16 bytes each: object id (`u64` LE)
+//! followed by grade (`f64` LE bit pattern). All blocks are checksummed
+//! (FNV-1a 64) in the footer; the footer checksums itself; the trailer is
+//! found relative to the file end so a truncated copy is detected before
+//! any block is trusted.
+
+use garlic_agg::Grade;
+use garlic_core::GradedEntry;
+
+use crate::error::StorageError;
+
+/// Magic bytes opening every segment file.
+pub const HEADER_MAGIC: [u8; 4] = *b"GSEG";
+/// Magic bytes closing every segment file.
+pub const TRAILER_MAGIC: [u8; 8] = *b"GSEGEND1";
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Bytes of one encoded entry: object id (u64) + grade bits (f64).
+pub const ENTRY_LEN: usize = 16;
+/// Header length: magic + version.
+pub const HEADER_LEN: u64 = 8;
+/// Trailer length: footer offset + footer length + magic.
+pub const TRAILER_LEN: u64 = 24;
+/// Default block size — one classic filesystem page.
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+/// Largest accepted block size (16 MiB). An upper bound keeps a forged
+/// footer from driving multi-gigabyte buffer allocations before its
+/// blocks can be verified.
+pub const MAX_BLOCK_SIZE: usize = 1 << 24;
+
+/// Footer flag bit: every grade in the segment is exactly 0 or 1, so the
+/// list is crisp and eligible for set access / the filtered strategy.
+pub const FLAG_CRISP: u64 = 1;
+
+/// FNV-1a 64-bit — the format's checksum. Not cryptographic; it guards
+/// against torn writes, bit rot, and truncation, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one entry into a 16-byte slot.
+pub fn encode_entry(slot: &mut [u8], entry: GradedEntry) {
+    slot[..8].copy_from_slice(&entry.object.0.to_le_bytes());
+    slot[8..ENTRY_LEN].copy_from_slice(&entry.grade.value().to_bits().to_le_bytes());
+}
+
+/// Decodes the raw `(object id, grade bits)` of the 16-byte slot at
+/// `index` within a block. Grade validity is the caller's concern (it is
+/// checked once, at open time).
+pub fn decode_raw(block: &[u8], index: usize) -> (u64, f64) {
+    let off = index * ENTRY_LEN;
+    let object = u64::from_le_bytes(block[off..off + 8].try_into().expect("8-byte slot"));
+    let bits = u64::from_le_bytes(
+        block[off + 8..off + ENTRY_LEN]
+            .try_into()
+            .expect("8-byte slot"),
+    );
+    (object, f64::from_bits(bits))
+}
+
+/// Decodes the entry at `index` within an open-time-verified block.
+///
+/// # Panics
+/// Panics if the grade bits are invalid — impossible for a block that
+/// passed [`Footer`] verification unless the file mutated after open.
+pub fn decode_entry(block: &[u8], index: usize) -> GradedEntry {
+    let (object, value) = decode_raw(block, index);
+    let grade = Grade::new(value).expect("grade verified at segment open");
+    GradedEntry::new(object, grade)
+}
+
+/// Decodes the entries in slots `[from, to)` of an open-time-verified
+/// block, appending to `out` — the hot path of sequential streaming.
+/// `chunks_exact` hands the compiler fixed 16-byte windows, so the loop
+/// compiles without per-entry bounds checks.
+///
+/// # Panics
+/// Panics on invalid grade bits — impossible for a verified block unless
+/// the file mutated after open.
+pub fn decode_entries(block: &[u8], from: usize, to: usize, out: &mut Vec<GradedEntry>) {
+    let payload = &block[from * ENTRY_LEN..to * ENTRY_LEN];
+    out.extend(payload.chunks_exact(ENTRY_LEN).map(|chunk| {
+        let object = u64::from_le_bytes(chunk[..8].try_into().expect("8-byte slot"));
+        let bits = u64::from_le_bytes(chunk[8..ENTRY_LEN].try_into().expect("8-byte slot"));
+        GradedEntry::new(
+            object,
+            Grade::new(f64::from_bits(bits)).expect("grade verified at segment open"),
+        )
+    }));
+}
+
+/// Reads a little-endian `u64` at `off`.
+pub fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte field"))
+}
+
+/// The parsed footer: everything needed to address and verify the blocks.
+#[derive(Debug, Clone)]
+pub struct Footer {
+    /// Flag bits ([`FLAG_CRISP`], ...).
+    pub flags: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Number of graded entries.
+    pub num_entries: u64,
+    /// Number of entries with grade exactly 1 (the crisp match count).
+    pub ones: u64,
+    /// Number of data (sorted-order) blocks.
+    pub data_blocks: u64,
+    /// Number of table (object-order) blocks.
+    pub table_blocks: u64,
+    /// FNV-1a checksum of every data block, in order.
+    pub data_checksums: Vec<u64>,
+    /// FNV-1a checksum of every table block, in order.
+    pub table_checksums: Vec<u64>,
+    /// The first object id stored in each table block — the in-memory
+    /// fence index that routes a random access to a single block.
+    pub table_first_ids: Vec<u64>,
+}
+
+impl Footer {
+    /// Fixed-length prefix of the footer (all scalar fields).
+    const SCALARS: usize = 6 * 8;
+
+    /// Serialized length in bytes (including the trailing self-checksum).
+    pub fn encoded_len(&self) -> u64 {
+        (Self::SCALARS
+            + 8 * (self.data_checksums.len()
+                + self.table_checksums.len()
+                + self.table_first_ids.len())
+            + 8) as u64
+    }
+
+    /// Serializes the footer, appending its own FNV-1a checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        for v in [
+            self.flags,
+            self.block_size as u64,
+            self.num_entries,
+            self.ones,
+            self.data_blocks,
+            self.table_blocks,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for list in [
+            &self.data_checksums,
+            &self.table_checksums,
+            &self.table_first_ids,
+        ] {
+            for v in list {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies a serialized footer.
+    pub fn parse(bytes: &[u8]) -> Result<Footer, StorageError> {
+        if bytes.len() < Self::SCALARS + 8 {
+            return Err(StorageError::FooterCorrupt {
+                detail: format!("footer too short ({} bytes)", bytes.len()),
+            });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = read_u64(tail, 0);
+        if fnv1a64(body) != stored {
+            return Err(StorageError::FooterCorrupt {
+                detail: "footer checksum mismatch".to_owned(),
+            });
+        }
+        let flags = read_u64(body, 0);
+        let block_size = read_u64(body, 8);
+        let num_entries = read_u64(body, 16);
+        let ones = read_u64(body, 24);
+        let data_blocks = read_u64(body, 32);
+        let table_blocks = read_u64(body, 40);
+        if block_size == 0
+            || block_size > MAX_BLOCK_SIZE as u64
+            || !block_size.is_multiple_of(ENTRY_LEN as u64)
+        {
+            return Err(StorageError::FooterCorrupt {
+                detail: format!("invalid block size {block_size}"),
+            });
+        }
+        let lists = data_blocks
+            .checked_add(table_blocks)
+            .and_then(|v| v.checked_add(table_blocks))
+            .and_then(|v| v.checked_mul(8))
+            .and_then(|v| v.checked_add(Self::SCALARS as u64))
+            .ok_or_else(|| StorageError::FooterCorrupt {
+                detail: "block counts overflow".to_owned(),
+            })?;
+        if body.len() as u64 != lists {
+            return Err(StorageError::FooterCorrupt {
+                detail: format!(
+                    "footer length {} disagrees with block counts {data_blocks}+{table_blocks}",
+                    bytes.len()
+                ),
+            });
+        }
+        let entries_per_block = block_size / ENTRY_LEN as u64;
+        let expected_blocks = num_entries.div_ceil(entries_per_block);
+        if data_blocks != expected_blocks || table_blocks != expected_blocks {
+            return Err(StorageError::FooterCorrupt {
+                detail: format!(
+                    "{num_entries} entries at {entries_per_block}/block need {expected_blocks} \
+                     blocks per region, footer says {data_blocks}/{table_blocks}"
+                ),
+            });
+        }
+        let mut off = Self::SCALARS;
+        let mut take = |count: u64| {
+            let mut out = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                out.push(read_u64(body, off));
+                off += 8;
+            }
+            out
+        };
+        let data_checksums = take(data_blocks);
+        let table_checksums = take(table_blocks);
+        let table_first_ids = take(table_blocks);
+        if !table_first_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StorageError::FooterCorrupt {
+                detail: "table fence ids not strictly ascending".to_owned(),
+            });
+        }
+        Ok(Footer {
+            flags,
+            block_size: block_size as usize,
+            num_entries,
+            ones,
+            data_blocks,
+            table_blocks,
+            data_checksums,
+            table_checksums,
+            table_first_ids,
+        })
+    }
+}
+
+/// Validates a requested writer/reader block size.
+pub fn check_block_size(block_size: usize) -> Result<(), StorageError> {
+    if block_size == 0 || block_size > MAX_BLOCK_SIZE || !block_size.is_multiple_of(ENTRY_LEN) {
+        return Err(StorageError::InvalidBlockSize {
+            requested: block_size,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use garlic_core::ObjectId;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let mut slot = [0u8; ENTRY_LEN];
+        let entry = GradedEntry::new(ObjectId(42), Grade::new(0.625).unwrap());
+        encode_entry(&mut slot, entry);
+        assert_eq!(decode_entry(&slot, 0), entry);
+    }
+
+    fn footer() -> Footer {
+        Footer {
+            flags: FLAG_CRISP,
+            block_size: 64,
+            num_entries: 7,
+            ones: 2,
+            data_blocks: 2,
+            table_blocks: 2,
+            data_checksums: vec![1, 2],
+            table_checksums: vec![3, 4],
+            table_first_ids: vec![0, 9],
+        }
+    }
+
+    #[test]
+    fn footer_round_trips() {
+        let f = footer();
+        let bytes = f.encode();
+        assert_eq!(bytes.len() as u64, f.encoded_len());
+        let parsed = Footer::parse(&bytes).unwrap();
+        assert_eq!(parsed.num_entries, 7);
+        assert_eq!(parsed.ones, 2);
+        assert_eq!(parsed.flags, FLAG_CRISP);
+        assert_eq!(parsed.data_checksums, vec![1, 2]);
+        assert_eq!(parsed.table_first_ids, vec![0, 9]);
+    }
+
+    #[test]
+    fn footer_detects_flipped_bits() {
+        let mut bytes = footer().encode();
+        bytes[3] ^= 0x40;
+        assert!(matches!(
+            Footer::parse(&bytes),
+            Err(StorageError::FooterCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn footer_rejects_inconsistent_geometry() {
+        let mut f = footer();
+        f.data_blocks = 3; // 7 entries in 64-byte blocks need exactly 2.
+        f.data_checksums.push(5);
+        assert!(matches!(
+            Footer::parse(&f.encode()),
+            Err(StorageError::FooterCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn block_size_must_be_entry_multiple() {
+        assert!(check_block_size(4096).is_ok());
+        assert!(check_block_size(16).is_ok());
+        assert!(matches!(
+            check_block_size(0),
+            Err(StorageError::InvalidBlockSize { requested: 0 })
+        ));
+        assert!(matches!(
+            check_block_size(100),
+            Err(StorageError::InvalidBlockSize { requested: 100 })
+        ));
+    }
+}

@@ -1,0 +1,620 @@
+//! Reading segments: [`SegmentSource`], a disk-backed [`GradedSource`].
+//!
+//! `SegmentSource::open` is where durability is enforced: it parses the
+//! header, trailer, and footer, then makes one streaming pass over the
+//! whole file verifying every block checksum, every grade, and both sort
+//! orders, so a corrupted or truncated segment fails with a typed
+//! [`StorageError`] *before* it can serve a single wrong entry. After a
+//! successful open the source is an ordinary `Send + Sync` graded source:
+//! sorted access streams data blocks through the shared
+//! [`BlockCache`], random access routes through the footer's fence index
+//! to exactly one table block, and `SetAccess` enumerates the grade-1
+//! prefix — bit-identical behaviour to a [`MemorySource`] over the same
+//! pairs (the round-trip property suite holds it to that).
+//!
+//! [`MemorySource`]: garlic_core::access::MemorySource
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use garlic_agg::Grade;
+use garlic_core::access::{GradedSource, SetAccess};
+use garlic_core::{GradedEntry, ObjectId};
+
+use crate::cache::{BlockCache, BlockKey};
+use crate::error::StorageError;
+use crate::format::{
+    decode_raw, fnv1a64, read_u64, Footer, ENTRY_LEN, FLAG_CRISP, FORMAT_VERSION, HEADER_LEN,
+    HEADER_MAGIC, TRAILER_LEN, TRAILER_MAGIC,
+};
+
+/// Process-wide id well for opened segments, so any number of segments can
+/// share one [`BlockCache`] without key collisions.
+static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable on-disk graded list, verified at open, read through a
+/// shared block cache.
+///
+/// # Panics
+///
+/// The [`GradedSource`] methods panic if the segment file is deleted,
+/// shortened, or rewritten underneath an open source (the access traits
+/// have no error channel). `open` verifies the entire file precisely so
+/// that this never happens for a file that is left alone — segments are
+/// immutable by contract.
+pub struct SegmentSource {
+    file: SegmentFile,
+    path: PathBuf,
+    cache: Arc<BlockCache>,
+    segment_id: u64,
+    footer: Footer,
+    entries_per_block: usize,
+    max_object: Option<ObjectId>,
+}
+
+/// Positioned reads on the segment file. On Unix this is `pread` — no
+/// shared cursor, no lock — so concurrent cache misses on different
+/// blocks really do read in parallel, as the cache docs promise.
+/// Elsewhere a mutex serializes the seek + read pair.
+struct SegmentFile {
+    file: File,
+    #[cfg(not(unix))]
+    lock: std::sync::Mutex<()>,
+}
+
+impl SegmentFile {
+    fn new(file: File) -> Self {
+        SegmentFile {
+            file,
+            #[cfg(not(unix))]
+            lock: std::sync::Mutex::new(()),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            let _guard = self.lock.lock().expect("segment file lock");
+            let mut file = &self.file;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+}
+
+impl SegmentSource {
+    /// Opens and fully verifies the segment at `path`, attaching it to
+    /// `cache`. The verification pass streams the file once without
+    /// populating the cache, so a freshly opened segment is *cold*.
+    pub fn open(path: impl AsRef<Path>, cache: Arc<BlockCache>) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + TRAILER_LEN {
+            return Err(StorageError::Truncated {
+                expected: HEADER_LEN + TRAILER_LEN,
+                actual: file_len,
+            });
+        }
+
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if header[..4] != HEADER_MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte field"));
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion { found: version });
+        }
+
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        file.seek(SeekFrom::Start(file_len - TRAILER_LEN))?;
+        file.read_exact(&mut trailer)?;
+        if trailer[16..24] != TRAILER_MAGIC {
+            return Err(StorageError::FooterCorrupt {
+                detail: "trailer magic missing (interrupted or truncated write?)".to_owned(),
+            });
+        }
+        let footer_offset = read_u64(&trailer, 0);
+        let footer_len = read_u64(&trailer, 8);
+        let expected_len = footer_offset
+            .checked_add(footer_len)
+            .and_then(|v| v.checked_add(TRAILER_LEN))
+            .ok_or_else(|| StorageError::FooterCorrupt {
+                detail: "footer offset/length overflow".to_owned(),
+            })?;
+        if footer_offset < HEADER_LEN || expected_len != file_len {
+            return Err(StorageError::Truncated {
+                expected: expected_len,
+                actual: file_len,
+            });
+        }
+
+        let mut footer_bytes = vec![0u8; footer_len as usize];
+        file.seek(SeekFrom::Start(footer_offset))?;
+        file.read_exact(&mut footer_bytes)?;
+        let footer = Footer::parse(&footer_bytes)?;
+        // All footer geometry is untrusted until it survives these checks:
+        // overflow in a forged footer must be an error, not a wrap/panic.
+        let region_end = footer
+            .data_blocks
+            .checked_add(footer.table_blocks)
+            .and_then(|blocks| blocks.checked_mul(footer.block_size as u64))
+            .and_then(|bytes| bytes.checked_add(HEADER_LEN))
+            .ok_or_else(|| StorageError::FooterCorrupt {
+                detail: "region geometry overflows".to_owned(),
+            })?;
+        if region_end != footer_offset {
+            return Err(StorageError::FooterCorrupt {
+                detail: format!("blocks end at {region_end} but footer starts at {footer_offset}"),
+            });
+        }
+
+        let stats = verify_blocks(&mut file, &footer)?;
+
+        Ok(SegmentSource {
+            file: SegmentFile::new(file),
+            path,
+            cache,
+            segment_id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            entries_per_block: footer.block_size / ENTRY_LEN,
+            footer,
+            max_object: stats.max_object,
+        })
+    }
+
+    /// The file this source reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether every grade is exactly 0 or 1 (recorded by the writer and
+    /// re-verified at open) — the segment then supports set access.
+    pub fn is_crisp(&self) -> bool {
+        self.footer.flags & FLAG_CRISP != 0
+    }
+
+    /// Number of grade-1 entries — the exact-match count, free selectivity
+    /// information for the planner.
+    pub fn exact_match_count(&self) -> u64 {
+        self.footer.ones
+    }
+
+    /// The largest object id graded (`None` for an empty segment), learned
+    /// during the open-time scan. Together with [`len`](GradedSource::len)
+    /// and the verified id uniqueness this pins the universe: `len == N`
+    /// and `max_object < N` imply the segment grades exactly `0..N`.
+    pub fn max_object(&self) -> Option<ObjectId> {
+        self.max_object
+    }
+
+    /// The segment's block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.footer.block_size
+    }
+
+    /// Blocks per region (sorted-order data and object-order table regions
+    /// are the same size).
+    pub fn blocks_per_region(&self) -> u64 {
+        self.footer.data_blocks
+    }
+
+    /// The cache this source reads through.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Number of entries in block `index` of a region (`blocks` total over
+    /// `self.len()` entries): full except possibly the last.
+    fn entries_in_block(&self, index: u64) -> usize {
+        let n = self.footer.num_entries as usize;
+        let start = index as usize * self.entries_per_block;
+        (n - start).min(self.entries_per_block)
+    }
+
+    fn fetch(&self, file_block: u64, checksum: u64) -> Result<Arc<[u8]>, StorageError> {
+        let key = BlockKey {
+            segment: self.segment_id,
+            block: file_block,
+        };
+        self.cache.get_or_load(key, || {
+            let mut buf = vec![0u8; self.footer.block_size];
+            let offset = HEADER_LEN + file_block * self.footer.block_size as u64;
+            self.file.read_exact_at(&mut buf, offset)?;
+            if fnv1a64(&buf) != checksum {
+                return Err(StorageError::ChecksumMismatch { block: file_block });
+            }
+            Ok(Arc::from(buf.into_boxed_slice()))
+        })
+    }
+
+    /// Fetches data block `index` (panics on post-open corruption — see
+    /// the type docs).
+    fn data_block(&self, index: u64) -> Arc<[u8]> {
+        self.fetch(index, self.footer.data_checksums[index as usize])
+            .unwrap_or_else(|e| panic!("segment {} mutated after open: {e}", self.path.display()))
+    }
+
+    /// Fetches table block `index` (same panic policy).
+    fn table_block(&self, index: u64) -> Arc<[u8]> {
+        self.fetch(
+            self.footer.data_blocks + index,
+            self.footer.table_checksums[index as usize],
+        )
+        .unwrap_or_else(|e| panic!("segment {} mutated after open: {e}", self.path.display()))
+    }
+}
+
+impl GradedSource for SegmentSource {
+    fn len(&self) -> usize {
+        self.footer.num_entries as usize
+    }
+
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        if rank >= self.len() {
+            return None;
+        }
+        let block = self.data_block((rank / self.entries_per_block) as u64);
+        Some(crate::format::decode_entry(
+            &block,
+            rank % self.entries_per_block,
+        ))
+    }
+
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        let fences = &self.footer.table_first_ids;
+        // The fence index names each table block's smallest id; the object,
+        // if present, can only live in the last block whose fence is <= it.
+        let candidate = fences.partition_point(|&first| first <= object.0);
+        if candidate == 0 {
+            return None;
+        }
+        let index = (candidate - 1) as u64;
+        let block = self.table_block(index);
+        let count = self.entries_in_block(index);
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (id, value) = decode_raw(&block, mid);
+            match id.cmp(&object.0) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Some(Grade::new(value).expect("grade verified at segment open"))
+                }
+            }
+        }
+        None
+    }
+
+    /// Native batched streaming: decodes each touched data block once,
+    /// straight into `out`.
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let n = self.len();
+        let start = start.min(n);
+        let end = start.saturating_add(count).min(n);
+        out.reserve(end - start);
+        let mut rank = start;
+        while rank < end {
+            let block_index = rank / self.entries_per_block;
+            let block = self.data_block(block_index as u64);
+            let in_block = rank % self.entries_per_block;
+            let take = (end - rank).min(self.entries_per_block - in_block);
+            crate::format::decode_entries(&block, in_block, in_block + take, out);
+            rank += take;
+        }
+        end - start
+    }
+}
+
+impl SetAccess for SegmentSource {
+    /// The grade-1 prefix of the sorted order — identical semantics to
+    /// [`MemorySource::matching_set`](garlic_core::access::MemorySource).
+    fn matching_set(&self) -> Vec<ObjectId> {
+        let mut out = Vec::with_capacity(self.footer.ones as usize);
+        let mut batch = Vec::new();
+        let mut rank = 0usize;
+        'scan: while self.sorted_batch(rank, self.entries_per_block.max(1), &mut batch) > 0 {
+            rank += batch.len();
+            for entry in batch.drain(..) {
+                if entry.grade != Grade::ONE {
+                    break 'scan;
+                }
+                out.push(entry.object);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SegmentSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentSource")
+            .field("path", &self.path)
+            .field("entries", &self.footer.num_entries)
+            .field("block_size", &self.footer.block_size)
+            .field("blocks_per_region", &self.footer.data_blocks)
+            .field("crisp", &self.is_crisp())
+            .finish()
+    }
+}
+
+/// What the integrity scan learned beyond "the file is sound".
+struct VerifiedStats {
+    /// The largest object id graded, `None` for an empty segment.
+    max_object: Option<ObjectId>,
+}
+
+/// The open-time integrity scan: one sequential pass over both regions,
+/// checking every block checksum, every grade, both sort orders, the
+/// footer's derived statistics (crisp flag, match count, fence ids), and —
+/// via an order-independent digest of the entry slots — that the two
+/// regions hold the *same* entries, so sorted access and random access can
+/// never disagree on a file that passed.
+fn verify_blocks(file: &mut File, footer: &Footer) -> Result<VerifiedStats, StorageError> {
+    let entries_per_block = footer.block_size / ENTRY_LEN;
+    let mut buf = vec![0u8; footer.block_size];
+    file.seek(SeekFrom::Start(HEADER_LEN))?;
+
+    let mut prev: Option<GradedEntry> = None;
+    let mut ones = 0u64;
+    let mut crisp = true;
+    let mut data_digest = 0u64;
+    for (i, &expected) in footer.data_checksums.iter().enumerate() {
+        file.read_exact(&mut buf)?;
+        if fnv1a64(&buf) != expected {
+            return Err(StorageError::ChecksumMismatch { block: i as u64 });
+        }
+        let count = (footer.num_entries as usize - i * entries_per_block).min(entries_per_block);
+        for slot in 0..count {
+            let (object, value) = decode_raw(&buf, slot);
+            let grade = Grade::new(value).map_err(|e| StorageError::CorruptBlock {
+                block: i as u64,
+                detail: format!("entry {slot}: {e}"),
+            })?;
+            let entry = GradedEntry::new(object, grade);
+            if let Some(p) = prev {
+                if (entry.grade, std::cmp::Reverse(entry.object))
+                    > (p.grade, std::cmp::Reverse(p.object))
+                {
+                    return Err(StorageError::CorruptBlock {
+                        block: i as u64,
+                        detail: format!("entry {slot} breaks the descending skeleton order"),
+                    });
+                }
+            }
+            prev = Some(entry);
+            if grade == Grade::ONE {
+                ones += 1;
+            }
+            crisp &= grade.is_crisp();
+            data_digest ^= fnv1a64(&buf[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN]);
+        }
+    }
+    if ones != footer.ones {
+        return Err(StorageError::FooterCorrupt {
+            detail: format!("footer says {} exact matches, data has {ones}", footer.ones),
+        });
+    }
+    if crisp != (footer.flags & FLAG_CRISP != 0) {
+        return Err(StorageError::FooterCorrupt {
+            detail: "crisp flag disagrees with the data region".to_owned(),
+        });
+    }
+
+    let mut prev_id: Option<u64> = None;
+    let mut table_digest = 0u64;
+    for (i, &expected) in footer.table_checksums.iter().enumerate() {
+        file.read_exact(&mut buf)?;
+        let file_block = footer.data_blocks + i as u64;
+        if fnv1a64(&buf) != expected {
+            return Err(StorageError::ChecksumMismatch { block: file_block });
+        }
+        let count = (footer.num_entries as usize - i * entries_per_block).min(entries_per_block);
+        for slot in 0..count {
+            let (object, value) = decode_raw(&buf, slot);
+            Grade::new(value).map_err(|e| StorageError::CorruptBlock {
+                block: file_block,
+                detail: format!("entry {slot}: {e}"),
+            })?;
+            if slot == 0 && object != footer.table_first_ids[i] {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!(
+                        "table block {i} starts at object {object}, fence says {}",
+                        footer.table_first_ids[i]
+                    ),
+                });
+            }
+            if let Some(p) = prev_id {
+                if object <= p {
+                    return Err(StorageError::CorruptBlock {
+                        block: file_block,
+                        detail: format!("entry {slot} breaks the ascending object order"),
+                    });
+                }
+            }
+            prev_id = Some(object);
+            table_digest ^= fnv1a64(&buf[slot * ENTRY_LEN..(slot + 1) * ENTRY_LEN]);
+        }
+    }
+    // Both regions are internally consistent; now they must agree with
+    // each other. XOR of per-entry hashes is order-independent, so equal
+    // digests ⇔ (up to hash collisions) equal entry sets.
+    if data_digest != table_digest {
+        return Err(StorageError::RegionMismatch);
+    }
+    Ok(VerifiedStats {
+        max_object: prev_id.map(ObjectId),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::SegmentWriter;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("garlic-storage-segment-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_and_open(name: &str, grades: &[Grade], block_size: usize) -> SegmentSource {
+        let path = temp_path(name);
+        SegmentWriter::with_block_size(block_size)
+            .unwrap()
+            .write_grades(&path, grades)
+            .unwrap();
+        SegmentSource::open(&path, Arc::new(BlockCache::new(64))).unwrap()
+    }
+
+    #[test]
+    fn round_trips_the_sorted_order() {
+        let grades = [0.2, 0.9, 0.5, 1.0, 0.5].map(g);
+        let seg = write_and_open("sorted.seg", &grades, 48);
+        let mem = garlic_core::access::MemorySource::from_grades(&grades);
+        assert_eq!(seg.len(), 5);
+        for rank in 0..6 {
+            assert_eq!(
+                seg.sorted_access(rank),
+                mem.sorted_access(rank),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_access_matches_memory() {
+        let grades = [0.2, 0.9, 0.5, 1.0, 0.5].map(g);
+        let seg = write_and_open("random.seg", &grades, 48);
+        for (i, &grade) in grades.iter().enumerate() {
+            assert_eq!(seg.random_access(ObjectId(i as u64)), Some(grade));
+        }
+        assert_eq!(seg.random_access(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn sparse_ids_route_through_the_fence_index() {
+        let path = temp_path("sparse.seg");
+        let pairs: Vec<(ObjectId, Grade)> = (0..40u64)
+            .map(|i| (ObjectId(i * 1000 + 7), Grade::clamped(i as f64 / 40.0)))
+            .collect();
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_pairs(&path, pairs.clone())
+            .unwrap();
+        let seg = SegmentSource::open(&path, Arc::new(BlockCache::new(64))).unwrap();
+        for &(object, grade) in &pairs {
+            assert_eq!(seg.random_access(object), Some(grade));
+        }
+        // Misses on every side of every fence.
+        assert_eq!(seg.random_access(ObjectId(0)), None);
+        assert_eq!(seg.random_access(ObjectId(1006)), None);
+        assert_eq!(seg.random_access(ObjectId(1008)), None);
+        assert_eq!(seg.random_access(ObjectId(u64::MAX)), None);
+    }
+
+    #[test]
+    fn matching_set_is_the_grade_one_prefix() {
+        let seg = write_and_open("matching.seg", &[1.0, 0.0, 1.0, 0.5].map(g), 48);
+        assert_eq!(seg.matching_set(), vec![ObjectId(0), ObjectId(2)]);
+        assert!(!seg.is_crisp());
+        assert_eq!(seg.exact_match_count(), 2);
+    }
+
+    #[test]
+    fn crisp_segments_report_crisp() {
+        let seg = write_and_open("crisp.seg", &[1.0, 0.0, 1.0].map(g), 48);
+        assert!(seg.is_crisp());
+        assert_eq!(seg.matching_set(), vec![ObjectId(0), ObjectId(2)]);
+    }
+
+    #[test]
+    fn empty_segment_is_valid_and_empty() {
+        let seg = write_and_open("empty.seg", &[], 48);
+        assert_eq!(seg.len(), 0);
+        assert!(seg.is_empty());
+        assert_eq!(seg.sorted_access(0), None);
+        assert_eq!(seg.random_access(ObjectId(0)), None);
+        assert_eq!(seg.matching_set(), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn open_leaves_the_cache_cold_then_reads_warm_it() {
+        let cache = Arc::new(BlockCache::new(64));
+        let path = temp_path("warmth.seg");
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(
+                &path,
+                &(0..30)
+                    .map(|i| Grade::clamped(i as f64 / 30.0))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        let seg = SegmentSource::open(&path, Arc::clone(&cache)).unwrap();
+        assert_eq!(
+            cache.stats().resident,
+            0,
+            "verification must not warm the cache"
+        );
+        let mut out = Vec::new();
+        seg.sorted_batch(0, 30, &mut out);
+        let after_scan = cache.stats();
+        assert_eq!(after_scan.misses as usize, after_scan.resident);
+        assert!(after_scan.resident > 0);
+        out.clear();
+        seg.sorted_batch(0, 30, &mut out);
+        assert!(
+            cache.stats().hits >= after_scan.resident as u64,
+            "second scan hits"
+        );
+    }
+
+    #[test]
+    fn two_segments_share_one_cache_without_collisions() {
+        let cache = Arc::new(BlockCache::new(64));
+        let a_path = temp_path("share-a.seg");
+        let b_path = temp_path("share-b.seg");
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(&a_path, &[g(0.1), g(0.2), g(0.3)])
+            .unwrap();
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(&b_path, &[g(0.9), g(0.8), g(0.7)])
+            .unwrap();
+        let a = SegmentSource::open(&a_path, Arc::clone(&cache)).unwrap();
+        let b = SegmentSource::open(&b_path, Arc::clone(&cache)).unwrap();
+        assert_eq!(a.sorted_access(0).unwrap().grade, g(0.3));
+        assert_eq!(b.sorted_access(0).unwrap().grade, g(0.9));
+        assert_eq!(
+            a.sorted_access(0).unwrap().grade,
+            g(0.3),
+            "still a's data after b"
+        );
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = SegmentSource::open(
+            temp_path("does-not-exist.seg"),
+            Arc::new(BlockCache::new(4)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Building immutable segment files.
+//!
+//! [`SegmentWriter`] takes one graded list and lays it down in the
+//! [`crate::format`] layout. Segments are written **atomically**: all bytes
+//! go to a `<name>.tmp` sibling first, the file is fsynced, then renamed
+//! over the final path (and the directory fsynced), so a crash mid-write
+//! can leave a stale temp file but never a half-written segment at the
+//! published name. Once published, a segment is never modified — updates
+//! are "write a new segment, swap the path", which is what makes the
+//! shared block cache trivially coherent.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use garlic_agg::Grade;
+use garlic_core::{GradedEntry, GradedSet, ObjectId};
+
+use crate::error::StorageError;
+use crate::format::{
+    check_block_size, encode_entry, fnv1a64, Footer, DEFAULT_BLOCK_SIZE, ENTRY_LEN, FLAG_CRISP,
+    FORMAT_VERSION, HEADER_MAGIC, TRAILER_MAGIC,
+};
+
+/// What a finished write produced — geometry an operator (or a test) can
+/// check against expectations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Number of graded entries stored.
+    pub entries: u64,
+    /// Blocks per region (the data and table regions are the same size).
+    pub blocks_per_region: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Whether every grade is exactly 0 or 1.
+    pub crisp: bool,
+    /// Number of grade-1 entries (the exact-match count).
+    pub ones: u64,
+}
+
+/// Serializes graded lists into segment files.
+#[derive(Debug, Clone)]
+pub struct SegmentWriter {
+    block_size: usize,
+}
+
+impl SegmentWriter {
+    /// A writer with the default 4 KiB block size.
+    pub fn new() -> Self {
+        SegmentWriter {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+
+    /// A writer with a custom block size (a positive multiple of the
+    /// 16-byte entry). Small blocks make the cache finer-grained; large
+    /// blocks amortise per-read overhead on sequential scans.
+    pub fn with_block_size(block_size: usize) -> Result<Self, StorageError> {
+        check_block_size(block_size)?;
+        Ok(SegmentWriter { block_size })
+    }
+
+    /// The block size segments from this writer will use.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Writes `(object, grade)` pairs (any order; each object at most
+    /// once) as a segment at `path`.
+    pub fn write_pairs(
+        &self,
+        path: &Path,
+        pairs: impl IntoIterator<Item = (ObjectId, Grade)>,
+    ) -> Result<SegmentInfo, StorageError> {
+        let entries: Vec<GradedEntry> = pairs
+            .into_iter()
+            .map(|(object, grade)| GradedEntry { object, grade })
+            .collect();
+        self.write_entries(path, entries)
+    }
+
+    /// Writes an already-built [`GradedSet`] as a segment at `path`.
+    pub fn write_graded_set(
+        &self,
+        path: &Path,
+        set: &GradedSet,
+    ) -> Result<SegmentInfo, StorageError> {
+        self.write_entries(path, set.as_slice().to_vec())
+    }
+
+    /// Writes a dense grade vector (object `i` gets `grades[i]`) as a
+    /// segment at `path`.
+    pub fn write_grades(&self, path: &Path, grades: &[Grade]) -> Result<SegmentInfo, StorageError> {
+        self.write_pairs(
+            path,
+            grades
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (ObjectId::from(i), g)),
+        )
+    }
+
+    fn write_entries(
+        &self,
+        path: &Path,
+        mut entries: Vec<GradedEntry>,
+    ) -> Result<SegmentInfo, StorageError> {
+        // Table order first: ascending object id, which is also where
+        // duplicate objects surface.
+        entries.sort_by_key(|e| e.object);
+        for w in entries.windows(2) {
+            if w[0].object == w[1].object {
+                return Err(StorageError::DuplicateObject {
+                    object: w[0].object,
+                });
+            }
+        }
+        let by_object = entries.clone();
+        // Data order: the skeleton — descending grade, ties by ascending
+        // object id (`entries` is already id-ascending, so a stable sort on
+        // the grade key alone preserves exactly that tiebreak).
+        entries.sort_by_key(|e| std::cmp::Reverse(e.grade));
+        let by_grade = entries;
+
+        let ones = by_grade
+            .iter()
+            .take_while(|e| e.grade == Grade::ONE)
+            .count() as u64;
+        let crisp = by_grade
+            .iter()
+            .all(|e| e.grade == Grade::ONE || e.grade == Grade::ZERO);
+
+        let entries_per_block = self.block_size / ENTRY_LEN;
+        let blocks_per_region = (by_grade.len() as u64).div_ceil(entries_per_block as u64);
+
+        let tmp_path = tmp_sibling(path);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let mut out = BufWriter::new(file);
+
+        out.write_all(&HEADER_MAGIC)?;
+        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+
+        let mut block = vec![0u8; self.block_size];
+        let mut write_region =
+            |out: &mut BufWriter<File>, region: &[GradedEntry]| -> Result<Vec<u64>, StorageError> {
+                let mut checksums = Vec::with_capacity(blocks_per_region as usize);
+                for chunk in region.chunks(entries_per_block) {
+                    block.fill(0);
+                    for (i, &entry) in chunk.iter().enumerate() {
+                        encode_entry(&mut block[i * ENTRY_LEN..(i + 1) * ENTRY_LEN], entry);
+                    }
+                    checksums.push(fnv1a64(&block));
+                    out.write_all(&block)?;
+                }
+                Ok(checksums)
+            };
+        let data_checksums = write_region(&mut out, &by_grade)?;
+        let table_checksums = write_region(&mut out, &by_object)?;
+
+        let footer = Footer {
+            flags: if crisp { FLAG_CRISP } else { 0 },
+            block_size: self.block_size,
+            num_entries: by_grade.len() as u64,
+            ones,
+            data_blocks: blocks_per_region,
+            table_blocks: blocks_per_region,
+            data_checksums,
+            table_checksums,
+            table_first_ids: by_object
+                .chunks(entries_per_block)
+                .map(|c| c[0].object.0)
+                .collect(),
+        };
+        let footer_bytes = footer.encode();
+        let footer_offset =
+            crate::format::HEADER_LEN + 2 * blocks_per_region * self.block_size as u64;
+        out.write_all(&footer_bytes)?;
+        out.write_all(&footer_offset.to_le_bytes())?;
+        out.write_all(&(footer_bytes.len() as u64).to_le_bytes())?;
+        out.write_all(&TRAILER_MAGIC)?;
+
+        let file = out
+            .into_inner()
+            .map_err(|e| StorageError::Io(e.into_error()))?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, path)?;
+        // Make the rename itself durable: fsync the containing directory.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
+
+        let bytes = footer_offset + footer_bytes.len() as u64 + crate::format::TRAILER_LEN;
+        Ok(SegmentInfo {
+            entries: by_grade.len() as u64,
+            blocks_per_region,
+            bytes,
+            crisp,
+            ones,
+        })
+    }
+}
+
+impl Default for SegmentWriter {
+    fn default() -> Self {
+        SegmentWriter::new()
+    }
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("garlic-storage-writer-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_expected_geometry() {
+        let path = temp_path("geometry.seg");
+        // 80-byte blocks hold 5 entries; 7 entries need 2 blocks per region.
+        let writer = SegmentWriter::with_block_size(80).unwrap();
+        let grades: Vec<Grade> = [1.0, 0.5, 0.0, 1.0, 0.25, 0.75, 0.125]
+            .iter()
+            .map(|&v| g(v))
+            .collect();
+        let info = writer.write_grades(&path, &grades).unwrap();
+        assert_eq!(info.entries, 7);
+        assert_eq!(info.blocks_per_region, 2);
+        assert_eq!(info.ones, 2);
+        assert!(!info.crisp);
+        assert_eq!(info.bytes, fs::metadata(&path).unwrap().len());
+        // Header + 4 blocks + footer + trailer.
+        assert_eq!(
+            info.bytes,
+            8 + 4 * 80
+                + Footer {
+                    flags: 0,
+                    block_size: 80,
+                    num_entries: 7,
+                    ones: 2,
+                    data_blocks: 2,
+                    table_blocks: 2,
+                    data_checksums: vec![0; 2],
+                    table_checksums: vec![0; 2],
+                    table_first_ids: vec![0, 5],
+                }
+                .encoded_len()
+                + 24
+        );
+    }
+
+    #[test]
+    fn duplicate_objects_are_a_typed_error() {
+        let path = temp_path("dup.seg");
+        let writer = SegmentWriter::new();
+        let result = writer.write_pairs(&path, vec![(ObjectId(1), g(0.5)), (ObjectId(1), g(0.7))]);
+        assert!(matches!(
+            result,
+            Err(StorageError::DuplicateObject {
+                object: ObjectId(1)
+            })
+        ));
+    }
+
+    #[test]
+    fn crisp_lists_are_flagged() {
+        let path = temp_path("crisp.seg");
+        let info = SegmentWriter::new()
+            .write_grades(&path, &[g(1.0), g(0.0), g(1.0)])
+            .unwrap();
+        assert!(info.crisp);
+        assert_eq!(info.ones, 2);
+    }
+
+    #[test]
+    fn no_tmp_file_survives_a_successful_write() {
+        let path = temp_path("clean.seg");
+        SegmentWriter::new().write_grades(&path, &[g(0.5)]).unwrap();
+        assert!(path.exists());
+        assert!(!tmp_sibling(&path).exists());
+    }
+
+    #[test]
+    fn rejected_block_sizes() {
+        assert!(matches!(
+            SegmentWriter::with_block_size(17),
+            Err(StorageError::InvalidBlockSize { requested: 17 })
+        ));
+    }
+}

@@ -1,0 +1,392 @@
+//! Corruption and truncation regression suite: every way a segment file
+//! can be damaged must surface as a **typed** [`StorageError`] at open —
+//! never a panic, never a silently wrong graded list. These are the
+//! durability guarantees the README documents.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use garlic_agg::Grade;
+use garlic_core::GradedEntry;
+use garlic_storage::format::{
+    encode_entry, fnv1a64, Footer, ENTRY_LEN, FORMAT_VERSION, HEADER_MAGIC, TRAILER_MAGIC,
+};
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter, StorageError};
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("garlic-storage-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A healthy multi-block segment to damage.
+fn healthy(name: &str) -> PathBuf {
+    let path = temp_path(name);
+    let grades: Vec<Grade> = (0..64).map(|i| Grade::clamped(i as f64 / 64.0)).collect();
+    SegmentWriter::with_block_size(64)
+        .unwrap()
+        .write_grades(&path, &grades)
+        .unwrap();
+    path
+}
+
+fn open(path: &PathBuf) -> Result<SegmentSource, StorageError> {
+    SegmentSource::open(path, Arc::new(BlockCache::new(16)))
+}
+
+#[test]
+fn healthy_segment_opens() {
+    let path = healthy("healthy.seg");
+    open(&path).unwrap();
+}
+
+#[test]
+fn empty_file_is_truncated() {
+    let path = temp_path("empty-file.seg");
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::Truncated { actual: 0, .. })
+    ));
+}
+
+#[test]
+fn foreign_file_is_bad_magic() {
+    let path = temp_path("foreign.seg");
+    std::fs::write(&path, vec![0x42; 4096]).unwrap();
+    assert!(matches!(open(&path), Err(StorageError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_unsupported() {
+    let path = healthy("future.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::UnsupportedVersion { found: 99 })
+    ));
+}
+
+#[test]
+fn truncated_copies_are_rejected_at_every_length() {
+    // A partial copy can end anywhere: mid-blocks, mid-footer, mid-trailer.
+    // Every cut must fail with a typed error (and the full file must open).
+    let path = healthy("cuttable.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    let cut_path = temp_path("cut.seg");
+    for cut in [
+        1,
+        7,
+        8,
+        64,
+        1000,
+        bytes.len() - 24,
+        bytes.len() - 8,
+        bytes.len() - 1,
+    ] {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let err = open(&cut_path).expect_err(&format!("cut at {cut} must not open"));
+        assert!(
+            matches!(
+                err,
+                StorageError::Truncated { .. }
+                    | StorageError::FooterCorrupt { .. }
+                    | StorageError::BadMagic
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::write(&cut_path, &bytes).unwrap();
+    open(&cut_path).unwrap();
+}
+
+#[test]
+fn flipped_data_block_bit_is_a_checksum_mismatch() {
+    let path = healthy("bitrot-data.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // First data block starts at byte 8.
+    bytes[8 + 17] ^= 0x01;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::ChecksumMismatch { block: 0 })
+    ));
+}
+
+#[test]
+fn flipped_table_block_bit_is_a_checksum_mismatch() {
+    let path = healthy("bitrot-table.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // 64 entries in 64-byte blocks (4 entries each) = 16 data blocks; the
+    // table region starts at block 16.
+    bytes[8 + 16 * 64 + 3] ^= 0x80;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::ChecksumMismatch { block: 16 })
+    ));
+}
+
+#[test]
+fn flipped_footer_bit_is_footer_corrupt() {
+    let path = healthy("bitrot-footer.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let footer_offset = 8 + 32 * 64;
+    bytes[footer_offset + 10] ^= 0x10;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+/// Hand-builds a version-1 segment whose blocks carry *correct* checksums
+/// over *bad* content — the case only deep verification catches.
+fn forge(name: &str, entries: &[(u64, f64)], table: &[(u64, f64)], footer: Footer) -> PathBuf {
+    let block_size = footer.block_size;
+    let mut file = Vec::new();
+    file.extend_from_slice(&HEADER_MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let mut write_block = |pairs: &[(u64, f64)]| -> u64 {
+        let mut block = vec![0u8; block_size];
+        for (i, &(object, value)) in pairs.iter().enumerate() {
+            // encode_entry goes through Grade, which rejects bad values;
+            // forge raw bits instead when the grade is invalid.
+            if let Ok(grade) = Grade::new(value) {
+                encode_entry(
+                    &mut block[i * ENTRY_LEN..(i + 1) * ENTRY_LEN],
+                    GradedEntry::new(object, grade),
+                );
+            } else {
+                block[i * ENTRY_LEN..i * ENTRY_LEN + 8].copy_from_slice(&object.to_le_bytes());
+                block[i * ENTRY_LEN + 8..(i + 1) * ENTRY_LEN]
+                    .copy_from_slice(&value.to_bits().to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64(&block);
+        file.extend_from_slice(&block);
+        checksum
+    };
+    let data_checksum = write_block(entries);
+    let table_checksum = write_block(table);
+    let footer = Footer {
+        data_checksums: vec![data_checksum],
+        table_checksums: vec![table_checksum],
+        ..footer
+    };
+    let footer_bytes = footer.encode();
+    let footer_offset = file.len() as u64;
+    file.extend_from_slice(&footer_bytes);
+    file.extend_from_slice(&footer_offset.to_le_bytes());
+    file.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+    file.extend_from_slice(&TRAILER_MAGIC);
+    let path = temp_path(name);
+    std::fs::write(&path, file).unwrap();
+    path
+}
+
+fn footer_skeleton() -> Footer {
+    Footer {
+        flags: 0,
+        block_size: 64,
+        num_entries: 3,
+        ones: 0,
+        data_blocks: 1,
+        table_blocks: 1,
+        data_checksums: vec![],
+        table_checksums: vec![],
+        table_first_ids: vec![0],
+    }
+}
+
+#[test]
+fn out_of_range_grade_is_corrupt_block() {
+    let path = forge(
+        "bad-grade.seg",
+        &[(0, 2.0), (1, 0.5), (2, 0.1)],
+        &[(0, 2.0), (1, 0.5), (2, 0.1)],
+        footer_skeleton(),
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 0, .. })
+    ));
+}
+
+#[test]
+fn broken_sort_order_is_corrupt_block() {
+    // Grades ascend in the data region: checksums fine, order broken.
+    let path = forge(
+        "bad-order.seg",
+        &[(0, 0.1), (1, 0.5), (2, 0.9)],
+        &[(0, 0.1), (1, 0.5), (2, 0.9)],
+        footer_skeleton(),
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 0, .. })
+    ));
+}
+
+#[test]
+fn broken_tie_order_is_corrupt_block() {
+    // Equal grades must ascend by object id — the skeleton is part of the
+    // format, not a reader courtesy.
+    let path = forge(
+        "bad-ties.seg",
+        &[(2, 0.5), (0, 0.5), (1, 0.5)],
+        &[(0, 0.5), (1, 0.5), (2, 0.5)],
+        footer_skeleton(),
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 0, .. })
+    ));
+}
+
+#[test]
+fn duplicate_object_in_table_is_corrupt_block() {
+    let path = forge(
+        "dup-table.seg",
+        &[(0, 0.9), (1, 0.5), (1, 0.1)],
+        &[(0, 0.9), (1, 0.5), (1, 0.1)],
+        footer_skeleton(),
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 1, .. })
+    ));
+}
+
+#[test]
+fn lying_match_count_is_footer_corrupt() {
+    let path = forge(
+        "lying-ones.seg",
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        Footer {
+            ones: 2, // data region has zero grade-1 entries
+            ..footer_skeleton()
+        },
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn lying_crisp_flag_is_footer_corrupt() {
+    let path = forge(
+        "lying-crisp.seg",
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        Footer {
+            flags: garlic_storage::format::FLAG_CRISP,
+            ..footer_skeleton()
+        },
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn lying_fence_id_is_footer_corrupt() {
+    let path = forge(
+        "lying-fence.seg",
+        &[(1, 0.9), (2, 0.5), (3, 0.1)],
+        &[(1, 0.9), (2, 0.5), (3, 0.1)],
+        Footer {
+            table_first_ids: vec![0], // table actually starts at object 1
+            ..footer_skeleton()
+        },
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn divergent_regions_are_a_typed_error() {
+    // Each region is internally flawless — valid checksums, valid grades,
+    // correct sort order, correct fences — but they disagree on which
+    // objects exist. Only the cross-region digest catches this.
+    let path = forge(
+        "divergent-objects.seg",
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        &[(0, 0.9), (1, 0.5), (3, 0.1)],
+        footer_skeleton(),
+    );
+    assert!(matches!(open(&path), Err(StorageError::RegionMismatch)));
+
+    // Same objects, one divergent grade: random access would lie.
+    let path = forge(
+        "divergent-grades.seg",
+        &[(0, 0.9), (1, 0.5), (2, 0.1)],
+        &[(0, 0.9), (1, 0.25), (2, 0.1)],
+        footer_skeleton(),
+    );
+    assert!(matches!(open(&path), Err(StorageError::RegionMismatch)));
+}
+
+#[test]
+fn forged_huge_block_size_is_a_typed_error() {
+    // A self-consistent footer claiming block_size = 2^62 (a multiple of
+    // 16, fits in u64) with one block per region: before geometry
+    // hardening this overflowed the region arithmetic (panic in debug,
+    // wrap + multi-EiB allocation in release). It must be a typed error.
+    let footer = Footer {
+        flags: 0,
+        block_size: 1usize << 62,
+        num_entries: 1,
+        ones: 0,
+        data_blocks: 1,
+        table_blocks: 1,
+        data_checksums: vec![0],
+        table_checksums: vec![0],
+        table_first_ids: vec![0],
+    };
+    let footer_bytes = footer.encode();
+    let mut file = Vec::new();
+    file.extend_from_slice(&HEADER_MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let footer_offset = file.len() as u64;
+    file.extend_from_slice(&footer_bytes);
+    file.extend_from_slice(&footer_offset.to_le_bytes());
+    file.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+    file.extend_from_slice(&TRAILER_MAGIC);
+    let path = temp_path("huge-block.seg");
+    std::fs::write(&path, file).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn oversized_block_size_is_rejected_writer_side() {
+    use garlic_storage::format::MAX_BLOCK_SIZE;
+    assert!(SegmentWriter::with_block_size(MAX_BLOCK_SIZE).is_ok());
+    assert!(matches!(
+        SegmentWriter::with_block_size(MAX_BLOCK_SIZE + 16),
+        Err(StorageError::InvalidBlockSize { .. })
+    ));
+}
+
+#[test]
+fn swapped_region_order_is_detected() {
+    // A writer bug that stored the table region first would present an
+    // ascending "data" region — caught as a corrupt block.
+    let path = forge(
+        "swapped.seg",
+        &[(0, 0.1), (1, 0.5), (2, 0.9)],
+        &[(2, 0.9), (1, 0.5), (0, 0.1)],
+        footer_skeleton(),
+    );
+    assert!(open(&path).is_err());
+}

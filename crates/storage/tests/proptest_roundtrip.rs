@@ -1,0 +1,203 @@
+//! The round-trip property: a segment written from any graded list and
+//! reopened must be **bit-identical** to a [`MemorySource`] over the same
+//! pairs — the same entries in the same skeleton (tie) order, the same
+//! random-access answers, the same Section-5 access counts under metering,
+//! and the same resumed-paging output from a cold cursor. Disk is an
+//! implementation detail; the paper's access contract is the observable.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use garlic_agg::iterated::min_agg;
+use garlic_agg::Grade;
+use garlic_core::access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor};
+use garlic_core::algorithms::fa::fagin_topk;
+use garlic_core::{GradedEntry, ObjectId};
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn case_path() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("garlic-storage-proptest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("case-{}.seg", CASE.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// Sparse pairs with deliberately collision-prone ids (deduplicated) and
+/// quantized grades so ties are common — tie order is the property under
+/// test.
+fn pairs_strategy() -> impl Strategy<Value = Vec<(ObjectId, Grade)>> {
+    proptest::collection::vec((0u64..200, 0u32..=8), 0..120).prop_map(|raw| {
+        let mut seen = std::collections::HashSet::new();
+        raw.into_iter()
+            .filter(|(id, _)| seen.insert(*id))
+            .map(|(id, g)| (ObjectId(id), Grade::clamped(g as f64 / 8.0)))
+            .collect()
+    })
+}
+
+/// Block sizes from one-entry blocks to the default page, so batch and
+/// block boundaries land everywhere relative to each other.
+fn block_size_strategy() -> impl Strategy<Value = usize> {
+    (0usize..4).prop_map(|i| [16, 48, 160, 4096][i])
+}
+
+fn reopen(path: &PathBuf) -> SegmentSource {
+    SegmentSource::open(path, Arc::new(BlockCache::new(32))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Entries, tie order, random access, and the matching set all equal
+    /// the in-memory source — under both a cold and a warm cache.
+    #[test]
+    fn segment_is_bit_identical_to_memory(
+        pairs in pairs_strategy(),
+        block_size in block_size_strategy(),
+    ) {
+        let path = case_path();
+        SegmentWriter::with_block_size(block_size)
+            .unwrap()
+            .write_pairs(&path, pairs.clone())
+            .unwrap();
+        let seg = reopen(&path);
+        let mem = MemorySource::from_pairs(pairs.clone());
+
+        prop_assert_eq!(seg.len(), mem.len());
+        for pass in ["cold", "warm"] {
+            for rank in 0..=mem.len() {
+                prop_assert_eq!(
+                    seg.sorted_access(rank),
+                    mem.sorted_access(rank),
+                    "{} rank {}", pass, rank
+                );
+            }
+            for probe in 0..220u64 {
+                prop_assert_eq!(
+                    seg.random_access(ObjectId(probe)),
+                    mem.random_access(ObjectId(probe)),
+                    "{} object {}", pass, probe
+                );
+            }
+            prop_assert_eq!(seg.matching_set(), mem.matching_set(), "{}", pass);
+        }
+    }
+
+    /// The batched cursor stream replays the positional stream for any
+    /// batch size, and metering bills identically on both backends.
+    #[test]
+    fn cursor_stream_and_counts_match_memory(
+        pairs in pairs_strategy(),
+        block_size in block_size_strategy(),
+        batch in 1usize..17,
+    ) {
+        let path = case_path();
+        SegmentWriter::with_block_size(block_size)
+            .unwrap()
+            .write_pairs(&path, pairs.clone())
+            .unwrap();
+        let seg = CountingSource::new(reopen(&path));
+        let mem = CountingSource::new(MemorySource::from_pairs(pairs));
+
+        let mut seg_stream = Vec::new();
+        let mut cursor = seg.open_sorted();
+        while cursor.next_batch(&mut seg_stream, batch) > 0 {}
+        let mut mem_stream = Vec::new();
+        let mut cursor = mem.open_sorted();
+        while cursor.next_batch(&mut mem_stream, batch) > 0 {}
+
+        prop_assert_eq!(seg_stream, mem_stream);
+        prop_assert_eq!(seg.stats(), mem.stats(), "identical Section-5 bills");
+    }
+
+    /// Fagin's algorithm over segment-backed sources returns the same
+    /// top-k entries (objects, grades, tie order) with the same per-source
+    /// Section-5 access counts as over memory-backed sources.
+    #[test]
+    fn fagin_topk_costs_the_same_on_disk(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..=8, 1..40),
+            1..4,
+        ),
+        k in 1usize..12,
+    ) {
+        let n = lists.iter().map(|l| l.len()).min().unwrap();
+        let grades: Vec<Vec<Grade>> = lists
+            .iter()
+            .map(|l| l[..n].iter().map(|&g| Grade::clamped(g as f64 / 8.0)).collect())
+            .collect();
+        let k = k.min(n);
+
+        let mem: Vec<CountingSource<MemorySource>> = grades
+            .iter()
+            .map(|g| CountingSource::new(MemorySource::from_grades(g)))
+            .collect();
+        let cache = Arc::new(BlockCache::new(64));
+        let seg: Vec<CountingSource<SegmentSource>> = grades
+            .iter()
+            .map(|g| {
+                let path = case_path();
+                SegmentWriter::with_block_size(48)
+                    .unwrap()
+                    .write_grades(&path, g)
+                    .unwrap();
+                CountingSource::new(SegmentSource::open(&path, Arc::clone(&cache)).unwrap())
+            })
+            .collect();
+
+        let agg = min_agg();
+        let from_mem = fagin_topk(&mem, &agg, k).unwrap();
+        let from_seg = fagin_topk(&seg, &agg, k).unwrap();
+
+        prop_assert_eq!(from_seg.entries(), from_mem.entries(), "same answers, same tie order");
+        for (s, m) in seg.iter().zip(&mem) {
+            prop_assert_eq!(s.stats(), m.stats(), "same per-source access counts");
+        }
+    }
+
+    /// Paging that stops mid-stream and resumes from a **cold** cursor — a
+    /// fresh `SegmentSource` over a fresh cache, positioned by rank alone,
+    /// as a process restart would — continues exactly where the warm
+    /// stream left off.
+    #[test]
+    fn paging_resumes_from_a_cold_cursor(
+        pairs in pairs_strategy(),
+        block_size in block_size_strategy(),
+        cut in 0usize..140,
+    ) {
+        let path = case_path();
+        SegmentWriter::with_block_size(block_size)
+            .unwrap()
+            .write_pairs(&path, pairs.clone())
+            .unwrap();
+        let mem = MemorySource::from_pairs(pairs);
+        let cut = cut.min(mem.len());
+
+        // First process: page up to `cut` entries, remember only the rank.
+        let mut first_leg: Vec<GradedEntry> = Vec::new();
+        let resume_at = {
+            let seg = reopen(&path);
+            let mut cursor = seg.open_sorted();
+            loop {
+                let want = (cut - first_leg.len()).min(5);
+                if want == 0 || cursor.next_batch(&mut first_leg, want) == 0 {
+                    break;
+                }
+            }
+            cursor.position()
+        };
+
+        // Second process: reopen cold, resume at the remembered rank.
+        let seg = reopen(&path);
+        let mut cursor = SortedCursor::at(&seg, resume_at);
+        let mut second_leg = first_leg;
+        while cursor.next_batch(&mut second_leg, 7) > 0 {}
+
+        let reference: Vec<GradedEntry> =
+            (0..mem.len()).map(|r| mem.sorted_access(r).unwrap()).collect();
+        prop_assert_eq!(second_leg, reference, "stitched stream equals one-shot stream");
+    }
+}

@@ -1,0 +1,314 @@
+//! A disk-backed subsystem: one persistent segment file per attribute.
+//!
+//! [`DiskSubsystem`] is [`crate::mem::VectorSubsystem`]'s durable twin.
+//! Where the vector subsystem holds each attribute's ranking in RAM, the
+//! disk subsystem holds an opened [`SegmentSource`] per attribute — the
+//! corpus lives in segment files, RAM holds only the footers and whatever
+//! the shared [`BlockCache`] keeps resident, and a process restart loses
+//! nothing. Evaluation is still an `Arc` clone of an owned handle, so a
+//! thousand concurrent queries over one attribute share one open file and
+//! one cache working set, exactly like the in-memory subsystems.
+//!
+//! Crisp attributes (every grade exactly 0 or 1 — recorded by the segment
+//! writer and re-verified at open) additionally serve set access, making
+//! persistent collections eligible for the Section 4 filtered strategy;
+//! the footer's exact-match count doubles as free planner selectivity.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use garlic_core::access::{GradedSource, SetAccess};
+use garlic_storage::{BlockCache, CacheStats, SegmentSource, StorageError};
+
+use crate::api::{AtomicQuery, Subsystem, SubsystemError};
+
+/// Default cache budget for a subsystem that was not handed a shared
+/// cache: 1024 blocks (4 MiB at the default 4 KiB block size).
+pub const DEFAULT_CACHE_BLOCKS: usize = 1024;
+
+/// A subsystem serving graded lists from immutable segment files, keyed by
+/// attribute.
+///
+/// Like [`crate::mem::VectorSubsystem`], the atomic query's *target* is
+/// ignored: each attribute has exactly one persistent ranking, fixed when
+/// its segment was written.
+#[derive(Debug)]
+pub struct DiskSubsystem {
+    name: String,
+    universe: usize,
+    cache: Arc<BlockCache>,
+    segments: BTreeMap<String, Arc<SegmentSource>>,
+}
+
+impl DiskSubsystem {
+    /// An empty subsystem over a universe of `universe` objects, with its
+    /// own [`DEFAULT_CACHE_BLOCKS`]-block cache.
+    pub fn new(name: &str, universe: usize) -> Self {
+        DiskSubsystem::with_cache(
+            name,
+            universe,
+            Arc::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
+        )
+    }
+
+    /// An empty subsystem reading through a caller-provided cache — the
+    /// way several subsystems (or a subsystem and ad-hoc
+    /// [`SegmentSource`]s) share one RAM budget.
+    pub fn with_cache(name: &str, universe: usize, cache: Arc<BlockCache>) -> Self {
+        DiskSubsystem {
+            name: name.to_owned(),
+            universe,
+            cache,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Opens (and fully verifies) the segment at `path` as the ranking of
+    /// `attribute`. A corrupted or truncated file is a typed
+    /// [`StorageError`]; registering it never partially succeeds.
+    ///
+    /// # Panics
+    /// Panics if the verified segment does not grade exactly this
+    /// subsystem's universe `0..N` — a wiring error, like handing
+    /// [`crate::mem::VectorSubsystem::with_list`] a short list. (Entry
+    /// count `N` plus largest id `< N` plus the verified id uniqueness
+    /// pin the dense universe exactly.)
+    pub fn open_segment(mut self, attribute: &str, path: &Path) -> Result<Self, StorageError> {
+        let segment = SegmentSource::open(path, Arc::clone(&self.cache))?;
+        assert_eq!(
+            segment.len(),
+            self.universe,
+            "segment length must match the universe size"
+        );
+        if let Some(max) = segment.max_object() {
+            assert!(
+                max.index() < self.universe,
+                "segment grades object {max} outside the universe size {}",
+                self.universe
+            );
+        }
+        self.segments
+            .insert(attribute.to_owned(), Arc::new(segment));
+        Ok(self)
+    }
+
+    /// The shared cache every segment of this subsystem reads through.
+    pub fn cache(&self) -> &Arc<BlockCache> {
+        &self.cache
+    }
+
+    /// Hit/miss/eviction counters of the shared cache — the operator's
+    /// cache-tuning signal.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn segment(&self, query: &AtomicQuery) -> Result<&Arc<SegmentSource>, SubsystemError> {
+        self.segments
+            .get(&query.attribute)
+            .ok_or_else(|| SubsystemError::UnknownAttribute {
+                attribute: query.attribute.clone(),
+                subsystem: self.name.clone(),
+            })
+    }
+}
+
+impl Subsystem for DiskSubsystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn attributes(&self) -> Vec<String> {
+        self.segments.keys().cloned().collect()
+    }
+
+    fn universe_size(&self) -> usize {
+        self.universe
+    }
+
+    /// Evaluation is an `Arc::clone` of the opened segment — no I/O, no
+    /// re-verification; blocks fault in through the shared cache as the
+    /// answer is consumed.
+    fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
+        self.segment(query)
+            .map(|s| Arc::clone(s) as Arc<dyn GradedSource>)
+    }
+
+    fn is_crisp(&self, attribute: &str) -> bool {
+        self.segments.get(attribute).is_some_and(|s| s.is_crisp())
+    }
+
+    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
+        let segment = self.segment(query)?;
+        if !segment.is_crisp() {
+            return Err(SubsystemError::Unsupported {
+                reason: format!(
+                    "{}.{} is not crisp, so it offers no set access",
+                    self.name, query.attribute
+                ),
+            });
+        }
+        Ok(Arc::clone(segment) as Arc<dyn SetAccess>)
+    }
+
+    /// The footer's exact-match count: free, exact selectivity.
+    fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
+        self.segments
+            .get(&query.attribute)
+            .map(|s| s.exact_match_count() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Target;
+    use garlic_agg::Grade;
+    use garlic_storage::SegmentWriter;
+    use std::path::PathBuf;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v).unwrap()
+    }
+
+    fn temp_seg(name: &str, grades: &[Grade]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("garlic-subsys-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        SegmentWriter::new().write_grades(&path, grades).unwrap();
+        path
+    }
+
+    fn subsystem() -> DiskSubsystem {
+        let a = temp_seg("a.seg", &[g(0.1), g(0.9), g(0.5)]);
+        let b = temp_seg("b.seg", &[g(1.0), g(0.0), g(1.0)]);
+        DiskSubsystem::new("disk", 3)
+            .open_segment("A", &a)
+            .unwrap()
+            .open_segment("B", &b)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_its_attributes() {
+        let s = subsystem();
+        assert_eq!(s.attributes(), vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(s.universe_size(), 3);
+        let src = s
+            .evaluate(&AtomicQuery::new("A", Target::text("anything")))
+            .unwrap();
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.sorted_access(0).unwrap().object.0, 1);
+        assert!(s
+            .evaluate(&AtomicQuery::new("C", Target::text("x")))
+            .is_err());
+    }
+
+    #[test]
+    fn evaluation_shares_one_open_segment() {
+        let s = subsystem();
+        let q = AtomicQuery::new("A", Target::text("t"));
+        let a = s.evaluate(&q).unwrap();
+        let b = s.evaluate(&q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "answers are clones of one handle");
+    }
+
+    #[test]
+    fn crispness_comes_from_the_footer() {
+        let s = subsystem();
+        assert!(!s.is_crisp("A"));
+        assert!(s.is_crisp("B"));
+        assert!(!s.is_crisp("C"));
+        let set = s
+            .evaluate_set(&AtomicQuery::new("B", Target::text("t")))
+            .unwrap();
+        assert_eq!(
+            set.matching_set(),
+            vec![garlic_core::ObjectId(0), garlic_core::ObjectId(2)]
+        );
+        assert!(matches!(
+            s.evaluate_set(&AtomicQuery::new("A", Target::text("t"))),
+            Err(SubsystemError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_come_from_the_footer() {
+        let s = subsystem();
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("B", Target::text("t"))),
+            Some(2)
+        );
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("A", Target::text("t"))),
+            Some(0)
+        );
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("C", Target::text("t"))),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_segment_never_registers() {
+        let path = temp_seg("corrupt.seg", &[g(0.1), g(0.9), g(0.5)]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        let err = DiskSubsystem::new("disk", 3)
+            .open_segment("A", &path)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::ChecksumMismatch { .. } | StorageError::FooterCorrupt { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size")]
+    fn mismatched_universe_panics() {
+        let path = temp_seg("short.seg", &[g(0.1)]);
+        let _ = DiskSubsystem::new("disk", 3).open_segment("A", &path);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn out_of_universe_objects_panic() {
+        // Right entry count, but sparse ids beyond the declared universe:
+        // fused queries against dense sibling attributes would silently
+        // miss on random access, so registration must refuse.
+        let dir = std::env::temp_dir().join(format!("garlic-subsys-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sparse.seg");
+        SegmentWriter::new()
+            .write_pairs(
+                &path,
+                vec![
+                    (garlic_core::ObjectId(10), g(0.5)),
+                    (garlic_core::ObjectId(20), g(0.4)),
+                    (garlic_core::ObjectId(999), g(0.3)),
+                ],
+            )
+            .unwrap();
+        let _ = DiskSubsystem::new("disk", 3).open_segment("A", &path);
+    }
+
+    #[test]
+    fn shared_cache_is_observable() {
+        let cache = Arc::new(BlockCache::new(16));
+        let a = temp_seg("cache-a.seg", &[g(0.1), g(0.9), g(0.5)]);
+        let s = DiskSubsystem::with_cache("disk", 3, Arc::clone(&cache))
+            .open_segment("A", &a)
+            .unwrap();
+        assert_eq!(s.cache_stats().resident, 0, "open verifies without warming");
+        let src = s
+            .evaluate(&AtomicQuery::new("A", Target::text("t")))
+            .unwrap();
+        let mut out = Vec::new();
+        src.sorted_batch(0, 3, &mut out);
+        assert!(s.cache_stats().misses > 0);
+        assert!(Arc::ptr_eq(s.cache(), &cache));
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`text`] — a tf-idf text-retrieval engine;
 //! * [`mem`] — precomputed graded lists behind the subsystem interface,
 //!   for workloads and benchmarks (evaluation is an `Arc` clone);
+//! * [`disk`] — persistent graded lists: one verified on-disk segment per
+//!   attribute, served through `garlic-storage`'s shared block cache, so
+//!   corpus size is decoupled from RAM and collections survive restarts;
 //! * [`cd_store`] — the paper's compact-disk running example wired across
 //!   all three;
 //! * [`api`] — the [`api::Subsystem`] trait they all implement. Subsystems
@@ -23,12 +26,14 @@
 
 pub mod api;
 pub mod cd_store;
+pub mod disk;
 pub mod mem;
 pub mod qbic;
 pub mod relational;
 pub mod text;
 
 pub use api::{AtomicQuery, Subsystem, SubsystemError, Target};
+pub use disk::DiskSubsystem;
 pub use mem::VectorSubsystem;
 pub use qbic::QbicStore;
 pub use relational::{CrispSource, Predicate, RelationalStore, Value};

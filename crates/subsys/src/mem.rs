@@ -16,9 +16,36 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use garlic_agg::Grade;
-use garlic_core::access::{GradedSource, MemorySource};
+use garlic_core::access::{GradedSource, MemorySource, SetAccess};
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError};
+
+/// One registered ranking: the shared source plus statistics precomputed
+/// at registration (crispness gates set access; the exact-match count is
+/// planner selectivity). Both are O(N) to derive, so they are derived once
+/// here, not per query.
+#[derive(Debug, Clone)]
+struct AttributeList {
+    source: Arc<MemorySource>,
+    crisp: bool,
+    ones: usize,
+}
+
+impl AttributeList {
+    fn new(source: MemorySource) -> Self {
+        let crisp = source.graded_set().iter().all(|e| e.grade.is_crisp());
+        let ones = source
+            .graded_set()
+            .iter()
+            .take_while(|e| e.grade == Grade::ONE)
+            .count();
+        AttributeList {
+            source: Arc::new(source),
+            crisp,
+            ones,
+        }
+    }
+}
 
 /// A subsystem serving precomputed graded lists, keyed by attribute.
 ///
@@ -30,7 +57,7 @@ use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 pub struct VectorSubsystem {
     name: String,
     universe: usize,
-    lists: BTreeMap<String, Arc<MemorySource>>,
+    lists: BTreeMap<String, AttributeList>,
 }
 
 impl VectorSubsystem {
@@ -55,7 +82,7 @@ impl VectorSubsystem {
         );
         self.lists.insert(
             attribute.to_owned(),
-            Arc::new(MemorySource::from_grades(grades)),
+            AttributeList::new(MemorySource::from_grades(grades)),
         );
         self
     }
@@ -70,7 +97,8 @@ impl VectorSubsystem {
             self.universe,
             "source length must match the universe size"
         );
-        self.lists.insert(attribute.to_owned(), Arc::new(source));
+        self.lists
+            .insert(attribute.to_owned(), AttributeList::new(source));
         self
     }
 }
@@ -93,11 +121,43 @@ impl Subsystem for VectorSubsystem {
     fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         self.lists
             .get(&query.attribute)
-            .map(|list| Arc::clone(list) as Arc<dyn GradedSource>)
+            .map(|list| Arc::clone(&list.source) as Arc<dyn GradedSource>)
             .ok_or_else(|| SubsystemError::UnknownAttribute {
                 attribute: query.attribute.clone(),
                 subsystem: self.name.clone(),
             })
+    }
+
+    /// Crispness is precomputed at registration, so a list of 0/1 grades
+    /// (a materialised classical predicate) is planner-visible as crisp —
+    /// the same contract [`crate::disk::DiskSubsystem`] reads from its
+    /// segment footers.
+    fn is_crisp(&self, attribute: &str) -> bool {
+        self.lists.get(attribute).is_some_and(|l| l.crisp)
+    }
+
+    fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
+        let list =
+            self.lists
+                .get(&query.attribute)
+                .ok_or_else(|| SubsystemError::UnknownAttribute {
+                    attribute: query.attribute.clone(),
+                    subsystem: self.name.clone(),
+                })?;
+        if !list.crisp {
+            return Err(SubsystemError::Unsupported {
+                reason: format!(
+                    "{}.{} is not crisp, so it offers no set access",
+                    self.name, query.attribute
+                ),
+            });
+        }
+        Ok(Arc::clone(&list.source) as Arc<dyn SetAccess>)
+    }
+
+    /// The exact grade-1 count, precomputed at registration.
+    fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
+        self.lists.get(&query.attribute).map(|l| l.ones)
     }
 }
 
@@ -144,5 +204,32 @@ mod tests {
     #[should_panic(expected = "universe size")]
     fn mismatched_list_length_panics() {
         let _ = VectorSubsystem::new("mem", 3).with_list("A", &[g(0.1)]);
+    }
+
+    #[test]
+    fn crisp_lists_serve_set_access() {
+        let s = VectorSubsystem::new("mem", 3)
+            .with_list("Fuzzy", &[g(0.1), g(0.9), g(0.5)])
+            .with_list("Crisp", &[g(1.0), g(0.0), g(1.0)]);
+        assert!(s.is_crisp("Crisp"));
+        assert!(!s.is_crisp("Fuzzy"));
+        assert!(!s.is_crisp("Missing"));
+        let set = s
+            .evaluate_set(&AtomicQuery::new("Crisp", Target::text("t")))
+            .unwrap();
+        use garlic_core::ObjectId;
+        assert_eq!(set.matching_set(), vec![ObjectId(0), ObjectId(2)]);
+        assert!(matches!(
+            s.evaluate_set(&AtomicQuery::new("Fuzzy", Target::text("t"))),
+            Err(SubsystemError::Unsupported { .. })
+        ));
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("Crisp", Target::text("t"))),
+            Some(2)
+        );
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("Fuzzy", Target::text("t"))),
+            Some(0)
+        );
     }
 }

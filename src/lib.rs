@@ -12,8 +12,13 @@
 //!   strategy, and the naive baseline (paper §2, §4, §5).
 //! * [`workload`] — skeletons, scoring databases, grade distributions, and
 //!   correlation models, i.e. the probabilistic framework of §5–§7.
+//! * [`storage`] — persistent segment storage: immutable checksummed
+//!   on-disk graded lists (`SegmentWriter`/`SegmentSource`) behind a
+//!   shared LRU `BlockCache`, so collections survive restarts and corpus
+//!   size is decoupled from RAM.
 //! * [`subsys`] — simulated Garlic subsystems: relational, QBIC-like image
-//!   search, and text retrieval.
+//!   search, text retrieval, and the in-memory/disk-backed precomputed
+//!   subsystems (`VectorSubsystem`/`DiskSubsystem`).
 //! * [`middleware`] — the Garlic analogue: catalog, planner, executor,
 //!   EXPLAIN, and the concurrent `GarlicService` batch executor over one
 //!   shared, owned, `Send + Sync` catalog (paper §2, §4, §8).
@@ -29,9 +34,12 @@ pub use garlic_agg as agg;
 pub use garlic_core as core;
 pub use garlic_middleware as middleware;
 pub use garlic_stats as stats;
+pub use garlic_storage as storage;
 pub use garlic_subsys as subsys;
 pub use garlic_workload as workload;
 
 pub use garlic_agg::{Aggregation, Grade};
 pub use garlic_core::{AccessStats, CostModel, ObjectId, TopK};
 pub use garlic_middleware::{Catalog, Garlic, GarlicService};
+pub use garlic_storage::{BlockCache, CacheStats, SegmentSource, SegmentWriter, StorageError};
+pub use garlic_subsys::DiskSubsystem;

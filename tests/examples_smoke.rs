@@ -60,6 +60,84 @@ fn quickstart_path_end_to_end() {
     );
 }
 
+/// The `persistent_store.rs` scenario, asserted rather than printed: build
+/// segments to a temp dir, reopen them cold, and serve parsed queries via
+/// `GarlicService` — answers and per-query costs must match the same data
+/// served straight from RAM, and the shared cache must actually be used.
+#[test]
+fn persistent_store_path_end_to_end() {
+    use garlic::middleware::{parse_query, Catalog, Garlic, GarlicService};
+    use garlic::subsys::{DiskSubsystem, VectorSubsystem};
+    use garlic::{BlockCache, SegmentWriter};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    const N: usize = 2_000;
+    let dir = std::env::temp_dir().join(format!("garlic-smoke-persistent-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = |v: f64| Grade::clamped(v);
+
+    // Build the corpus once, in RAM and on disk.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let writer = SegmentWriter::new();
+    let mut mem = VectorSubsystem::new("mem_store", N);
+    let cache = Arc::new(BlockCache::new(64));
+    let mut disk = DiskSubsystem::with_cache("disk_store", N, Arc::clone(&cache));
+    for attr in ["Color", "Shape", "InStock"] {
+        let grades: Vec<Grade> = if attr == "InStock" {
+            (0..N)
+                .map(|_| Grade::from_bool(rng.gen_bool(0.01)))
+                .collect()
+        } else {
+            (0..N)
+                .map(|_| g(rng.gen_range(0..=100) as f64 / 100.0))
+                .collect()
+        };
+        let path = dir.join(format!("{attr}.seg"));
+        writer.write_grades(&path, &grades).unwrap();
+        mem = mem.with_list(attr, &grades);
+        disk = disk.open_segment(attr, &path).unwrap();
+    }
+
+    let service = |sub| {
+        let mut catalog = Catalog::new();
+        catalog.register_arc(sub).unwrap();
+        GarlicService::new(Garlic::new(catalog))
+    };
+    let mem_service = service(Arc::new(mem) as _);
+    let disk_service = service(Arc::new(disk) as _);
+
+    let texts = [
+        "Color = red AND Shape = round",
+        "Color = red OR Shape = round",
+        "InStock = yes AND Color = red",
+        "Shape = round AND NOT Color = red",
+    ];
+    let batch: Vec<_> = texts
+        .iter()
+        .map(|t| (parse_query(t).expect("demo queries parse"), 3))
+        .collect();
+    for ((query, _), (from_disk, from_mem)) in batch.iter().zip(
+        disk_service
+            .top_k_batch(&batch)
+            .into_iter()
+            .zip(mem_service.top_k_batch(&batch)),
+    ) {
+        let (from_disk, from_mem) = (from_disk.unwrap(), from_mem.unwrap());
+        assert_eq!(
+            from_disk.answers.entries(),
+            from_mem.answers.entries(),
+            "{query}"
+        );
+        assert_eq!(from_disk.stats, from_mem.stats, "{query}");
+        assert_eq!(from_disk.plan.strategy, from_mem.plan.strategy, "{query}");
+    }
+    let stats = cache.stats();
+    assert!(stats.misses > 0, "the disk batch faulted blocks in");
+    assert!(stats.resident > 0, "blocks stayed resident");
+}
+
 /// The `service_demo.rs` scenario, asserted rather than printed: a batch of
 /// parsed queries served concurrently over one shared catalog must match
 /// serving each query directly, answer for answer and cost for cost.

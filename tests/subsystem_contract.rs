@@ -7,9 +7,14 @@
 use garlic::core::complement::ComplementSource;
 use garlic::core::validate::validate_source;
 use garlic::subsys::cd_store::demo_subsystems;
-use garlic::subsys::{AtomicQuery, Predicate, QbicStore, Subsystem, Target, TextStore, Value};
+use garlic::subsys::{
+    AtomicQuery, DiskSubsystem, Predicate, QbicStore, Subsystem, Target, TextStore, Value,
+};
+use garlic::{BlockCache, Grade, SegmentWriter};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 #[test]
 fn relational_predicates_honour_the_contract() {
@@ -74,6 +79,47 @@ fn text_queries_honour_the_contract() {
             .unwrap();
         validate_source(&src).unwrap_or_else(|e| panic!("{terms:?}: {e}"));
     }
+}
+
+#[test]
+fn disk_subsystem_honours_the_contract() {
+    let dir = std::env::temp_dir().join(format!("garlic-contract-disk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // One fuzzy attribute (random grades, heavy ties) and one crisp one.
+    let fuzzy: Vec<Grade> = (0..300)
+        .map(|_| Grade::clamped(rng.gen_range(0..=10) as f64 / 10.0))
+        .collect();
+    let crisp: Vec<Grade> = (0..300)
+        .map(|_| Grade::from_bool(rng.gen_bool(0.2)))
+        .collect();
+    let writer = SegmentWriter::with_block_size(128).unwrap();
+    writer.write_grades(&dir.join("fuzzy.seg"), &fuzzy).unwrap();
+    writer.write_grades(&dir.join("crisp.seg"), &crisp).unwrap();
+
+    let cache = Arc::new(BlockCache::new(8)); // small: audits run under eviction
+    let sub = DiskSubsystem::with_cache("disk", 300, Arc::clone(&cache))
+        .open_segment("Fuzzy", &dir.join("fuzzy.seg"))
+        .unwrap()
+        .open_segment("Crisp", &dir.join("crisp.seg"))
+        .unwrap();
+
+    for attr in ["Fuzzy", "Crisp"] {
+        let q = AtomicQuery::new(attr, Target::text("anything"));
+        let src = sub.evaluate(&q).unwrap();
+        // Cold (fresh from open) and warm (same handle again) audits.
+        validate_source(&src).unwrap_or_else(|e| panic!("{attr} cold: {e}"));
+        validate_source(&src).unwrap_or_else(|e| panic!("{attr} warm: {e}"));
+    }
+    assert!(cache.stats().evictions > 0, "the audit exercised eviction");
+
+    // The crisp attribute's set-access face honours the contract too.
+    let set = sub
+        .evaluate_set(&AtomicQuery::new("Crisp", Target::text("t")))
+        .unwrap();
+    validate_source(&set).unwrap();
+    assert!(sub.is_crisp("Crisp") && !sub.is_crisp("Fuzzy"));
 }
 
 #[test]
