@@ -131,14 +131,20 @@ impl Aggregation for MedianAgg {
     }
 
     fn combine(&self, grades: &[Grade]) -> Grade {
+        self.combine_reusing(grades, &mut Vec::new())
+    }
+
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
         if grades.is_empty() {
             return Grade::ONE;
         }
-        let mut sorted = grades.to_vec();
-        sorted.sort();
+        scratch.clear();
+        scratch.extend_from_slice(grades);
         // Lower median: for m = 2j-1 or 2j this picks the j-th smallest,
         // i.e. the ⌈m/2⌉-th largest — matching identity (13) of the paper.
-        sorted[(sorted.len() - 1) / 2]
+        let mid = (scratch.len() - 1) / 2;
+        let (_, median, _) = scratch.select_nth_unstable(mid);
+        *median
     }
 
     fn is_strict(&self, arity: usize) -> bool {
@@ -158,13 +164,18 @@ impl Aggregation for GymnasticsTrimmedMean {
     }
 
     fn combine(&self, grades: &[Grade]) -> Grade {
+        self.combine_reusing(grades, &mut Vec::new())
+    }
+
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
         assert!(
             grades.len() >= 3,
             "trimmed mean needs at least three judges"
         );
-        let mut sorted = grades.to_vec();
-        sorted.sort();
-        let inner = &sorted[1..sorted.len() - 1];
+        scratch.clear();
+        scratch.extend_from_slice(grades);
+        scratch.sort();
+        let inner = &scratch[1..scratch.len() - 1];
         let sum: f64 = inner.iter().map(|g| g.value()).sum();
         Grade::clamped(sum / inner.len() as f64)
     }

@@ -55,15 +55,22 @@ impl Aggregation for KthLargest {
     }
 
     fn combine(&self, grades: &[Grade]) -> Grade {
+        self.combine_reusing(grades, &mut Vec::new())
+    }
+
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
         assert!(
             self.j <= grades.len(),
             "{}-th largest of only {} arguments",
             self.j,
             grades.len()
         );
-        let mut sorted = grades.to_vec();
-        sorted.sort_by(|a, b| b.cmp(a)); // descending
-        sorted[self.j - 1]
+        scratch.clear();
+        scratch.extend_from_slice(grades);
+        // Select, don't sort: the j-th largest is the (j-1)-th index of the
+        // descending order.
+        let (_, jth, _) = scratch.select_nth_unstable_by(self.j - 1, |a, b| b.cmp(a));
+        *jth
     }
 
     fn is_strict(&self, arity: usize) -> bool {

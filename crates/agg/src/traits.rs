@@ -33,6 +33,23 @@ pub trait Aggregation {
     /// function (e.g. a weighted aggregation with a fixed number of weights).
     fn combine(&self, grades: &[Grade]) -> Grade;
 
+    /// [`combine`](Aggregation::combine), but any internal working buffer
+    /// is taken from `scratch` instead of freshly allocated — the
+    /// zero-allocation scoring path for tight loops that combine millions
+    /// of borrowed grade slices (the top-k engine scores every candidate
+    /// through this).
+    ///
+    /// The default ignores `scratch` and delegates to `combine` — correct
+    /// for every aggregation that allocates nothing (min, max, product,
+    /// means). Aggregations that sort or build prefixes (order statistics,
+    /// the median, Fagin–Wimmers weighting) override it to reuse the
+    /// buffer. Must return exactly what `combine` returns; `scratch` is
+    /// clobbered and carries no state between calls.
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
+        let _ = scratch;
+        self.combine(grades)
+    }
+
     /// Whether the function is monotone: `x_i <= x'_i` for all `i` implies
     /// `t(x) <= t(x')`. All aggregations intended for conjunctions are.
     fn is_monotone(&self) -> bool {
@@ -66,6 +83,9 @@ impl<A: Aggregation + ?Sized> Aggregation for Box<A> {
     fn combine(&self, grades: &[Grade]) -> Grade {
         (**self).combine(grades)
     }
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
+        (**self).combine_reusing(grades, scratch)
+    }
     fn is_monotone(&self) -> bool {
         (**self).is_monotone()
     }
@@ -84,6 +104,9 @@ impl<A: Aggregation + ?Sized> Aggregation for &A {
     }
     fn combine(&self, grades: &[Grade]) -> Grade {
         (**self).combine(grades)
+    }
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
+        (**self).combine_reusing(grades, scratch)
     }
     fn is_monotone(&self) -> bool {
         (**self).is_monotone()

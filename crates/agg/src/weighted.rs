@@ -27,11 +27,22 @@ use crate::grade::Grade;
 use crate::traits::Aggregation;
 
 /// The Fagin–Wimmers weighting of a base aggregation. See module docs.
+///
+/// The weight-descending argument order and the telescoping coefficients
+/// `i·(θi − θ_{i+1})` depend only on the weights, so both are precomputed
+/// at construction — per-call work is one prefix walk, with the prefix
+/// buffer borrowable through
+/// [`combine_reusing`](Aggregation::combine_reusing).
 #[derive(Debug, Clone)]
 pub struct FaginWimmers<A> {
     base: A,
     /// Normalised weights in caller argument order (not necessarily sorted).
     weights: Vec<f64>,
+    /// Argument indexes sorted by weight, descending (stable, so equal
+    /// weights keep caller order — same order the per-call sort produced).
+    order: Vec<usize>,
+    /// `coeffs[i] = (i+1)·(θ_{(i)} − θ_{(i+1)})` over the sorted weights.
+    coeffs: Vec<f64>,
 }
 
 impl<A: Aggregation> FaginWimmers<A> {
@@ -49,9 +60,30 @@ impl<A: Aggregation> FaginWimmers<A> {
         );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");
+        let weights: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            weights[b]
+                .partial_cmp(&weights[a])
+                .expect("weights are finite")
+        });
+        let m = order.len();
+        let coeffs: Vec<f64> = (0..m)
+            .map(|i| {
+                let theta_i = weights[order[i]];
+                let theta_next = if i + 1 < m {
+                    weights[order[i + 1]]
+                } else {
+                    0.0
+                };
+                (i + 1) as f64 * (theta_i - theta_next)
+            })
+            .collect();
         FaginWimmers {
             base,
-            weights: weights.iter().map(|w| w / total).collect(),
+            weights,
+            order,
+            coeffs,
         }
     }
 
@@ -72,30 +104,24 @@ impl<A: Aggregation> Aggregation for FaginWimmers<A> {
     }
 
     fn combine(&self, grades: &[Grade]) -> Grade {
+        self.combine_reusing(grades, &mut Vec::new())
+    }
+
+    fn combine_reusing(&self, grades: &[Grade], scratch: &mut Vec<Grade>) -> Grade {
         assert_eq!(
             grades.len(),
             self.weights.len(),
             "arity must match the number of weights"
         );
-        // Sort (weight, grade) pairs by weight, descending, so θ1 >= θ2 >= ...
-        let mut pairs: Vec<(f64, Grade)> = self
-            .weights
-            .iter()
-            .copied()
-            .zip(grades.iter().copied())
-            .collect();
-        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("weights are finite"));
-
-        let m = pairs.len();
+        // Walk the precomputed weight-descending order, growing the prefix
+        // in `scratch` — no per-call sort, no per-call allocation.
+        scratch.clear();
         let mut total = 0.0;
-        let mut prefix: Vec<Grade> = Vec::with_capacity(m);
-        for i in 0..m {
-            prefix.push(pairs[i].1);
-            let theta_i = pairs[i].0;
-            let theta_next = if i + 1 < m { pairs[i + 1].0 } else { 0.0 };
-            let coeff = (i + 1) as f64 * (theta_i - theta_next);
+        for (i, &arg) in self.order.iter().enumerate() {
+            scratch.push(grades[arg]);
+            let coeff = self.coeffs[i];
             if coeff > 0.0 {
-                total += coeff * self.base.combine(&prefix).value();
+                total += coeff * self.base.combine(scratch).value();
             }
         }
         Grade::clamped(total)

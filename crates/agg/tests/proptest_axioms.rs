@@ -42,6 +42,43 @@ proptest! {
         }
     }
 
+    /// `combine_reusing` must be *exactly* `combine` for every
+    /// aggregation that overrides it — the zero-alloc scoring path may
+    /// never change a grade, and a dirty scratch buffer may never leak
+    /// state between calls.
+    #[test]
+    fn combine_reusing_is_bit_identical_to_combine(
+        grades in proptest::collection::vec((0.0f64..=1.0).prop_map(Grade::clamped), 1..9),
+        junk in proptest::collection::vec((0.0f64..=1.0).prop_map(Grade::clamped), 0..9),
+    ) {
+        let m = grades.len();
+        let mut aggs: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(min_agg()),
+            Box::new(garlic_agg::means::ArithmeticMean),
+            Box::new(garlic_agg::means::MedianAgg),
+            Box::new(garlic_agg::order_stat::KthLargest::new(1)),
+            Box::new(garlic_agg::order_stat::KthLargest::new(m)),
+            Box::new(garlic_agg::order_stat::KthLargest::median_for_arity(m)),
+            Box::new(FaginWimmers::new(min_agg(), &vec![1.0; m])),
+            Box::new(FaginWimmers::new(
+                min_agg(),
+                &(0..m).map(|i| (i + 1) as f64).collect::<Vec<_>>(),
+            )),
+        ];
+        if m >= 3 {
+            aggs.push(Box::new(garlic_agg::means::GymnasticsTrimmedMean));
+        }
+        // Deliberately dirty scratch: leftover junk must not matter.
+        let mut scratch = junk;
+        for agg in &aggs {
+            let plain = agg.combine(&grades);
+            let reused = agg.combine_reusing(&grades, &mut scratch);
+            prop_assert_eq!(plain, reused, "{}", agg.name());
+            // And again, with whatever the previous call left behind.
+            prop_assert_eq!(plain, agg.combine_reusing(&grades, &mut scratch), "{}", agg.name());
+        }
+    }
+
     #[test]
     fn tconorm_axioms_at_random_points(x in grade(), y in grade(), z in grade()) {
         for s in all_tconorms() {

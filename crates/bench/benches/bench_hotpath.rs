@@ -1,0 +1,254 @@
+//! The headline micro-benchmark of the slab refactor: the flattened top-k
+//! hot path vs the pre-slab bookkeeping, through the same
+//! `CountingSource<Box<dyn GradedSource>>` stack the middleware executes
+//! over (N = 100k, m = 3).
+//!
+//! Three layers are measured:
+//!
+//! * `full_scan` — engine full-scan throughput (the naive baseline's
+//!   workload: stream every list to depth N, score every object, select
+//!   the top k). `hashmap_partial` replicates the pre-slab engine faithfully
+//!   — a SipHash `HashMap<ObjectId, Partial>` with two boxed
+//!   `Vec<Option<_>>`s per object, a cloned grade vector per scoring call,
+//!   and a full sort-and-truncate selection — while `slab_engine` is the
+//!   shipping path (fx-hashed slot map, m-strided flat arrays, bitmask
+//!   completion, borrowed-slice scoring, bounded-heap selection). The
+//!   acceptance bar is ≥ 2× throughput.
+//! * `fa_topk` — the same comparison embedded in algorithm A₀ end to end
+//!   (sorted phase to k matches + random completion + selection).
+//! * `segment_random` — grade completion against a warm disk segment:
+//!   a per-object `random_access` loop vs one block-grouped
+//!   [`GradedSource::random_batch`] call over the same scattered probes.
+//!
+//! Every comparison is equality-gated before timing: both sides must
+//! produce bit-identical answers. Results also land in
+//! `target/bench_hotpath.json` (shim JSON output); CI archives the file
+//! and gates it against the committed `BENCH_hotpath_baseline.json` via
+//! the `perf_gate` bin.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use garlic_agg::iterated::min_agg;
+use garlic_agg::{Aggregation, Grade};
+use garlic_core::access::CountingSource;
+use garlic_core::algorithms::fa::fagin_topk;
+use garlic_core::algorithms::naive::naive_topk;
+use garlic_core::{GradedEntry, GradedSource, ObjectId, TopK};
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+const N: usize = 100_000;
+const M: usize = 3;
+const K: usize = 10;
+const BATCH: usize = 1024;
+const PROBES: usize = 8192;
+
+type Boxed = CountingSource<Box<dyn GradedSource>>;
+
+/// The middleware-shaped source stack: independent lists behind trait
+/// objects behind metering counters.
+fn boxed_sources() -> Vec<Boxed> {
+    let mut rng = garlic_workload::seeded_rng(24117);
+    let skeleton = Skeleton::random(M, N, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    db.to_sources()
+        .into_iter()
+        .map(|s| CountingSource::new(Box::new(s) as Box<dyn GradedSource>))
+        .collect()
+}
+
+/// The pre-slab candidate bookkeeping, exactly as the engine kept it before
+/// the flat rebuild: two heap `Vec<Option<_>>`s per object behind a
+/// SipHash-keyed map.
+struct SeedPartial {
+    grades: Vec<Option<Grade>>,
+    ranks: Vec<Option<usize>>,
+    seen_sorted: usize,
+}
+
+/// The pre-slab engine's full scan: batched sorted streaming (identical
+/// access plan to the slab engine — the access layer is not what is being
+/// compared), folded into the HashMap bookkeeping, scored by cloning each
+/// grade vector, selected by a full sort + truncate.
+fn hashmap_full_scan<A: Aggregation>(sources: &[Boxed], agg: &A, k: usize) -> TopK {
+    let m = sources.len();
+    let n = sources[0].len();
+    let mut partial: HashMap<ObjectId, SeedPartial> = HashMap::new();
+    let mut bufs: Vec<Vec<GradedEntry>> = vec![Vec::with_capacity(BATCH); m];
+    let mut depth = 0usize;
+    while depth < n {
+        let levels = (n - depth).min(BATCH);
+        for (buf, source) in bufs.iter_mut().zip(sources) {
+            buf.clear();
+            source.sorted_batch(depth, levels, buf);
+        }
+        for level in 0..levels {
+            for (i, buf) in bufs.iter().enumerate() {
+                let entry = buf[level];
+                let p = partial.entry(entry.object).or_insert_with(|| SeedPartial {
+                    grades: vec![None; m],
+                    ranks: vec![None; m],
+                    seen_sorted: 0,
+                });
+                p.grades[i] = Some(entry.grade);
+                p.ranks[i] = Some(depth + level);
+                p.seen_sorted += 1;
+            }
+        }
+        depth += levels;
+    }
+    // Pre-slab scoring: one cloned Vec<Grade> per object.
+    let mut scored: Vec<GradedEntry> = partial
+        .iter()
+        .map(|(&id, p)| {
+            let vec: Vec<Grade> = p.grades.iter().map(|g| g.expect("full scan")).collect();
+            GradedEntry::new(id, agg.combine(&vec))
+        })
+        .collect();
+    // Pre-slab selection: full sort, then truncate.
+    scored.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+    scored.truncate(k);
+    TopK::from_entries(scored)
+}
+
+fn bench_full_scan(c: &mut Criterion) {
+    let sources = boxed_sources();
+    let agg = min_agg();
+
+    // Equality gate: identical entries (objects, grades, tie order).
+    let reference = hashmap_full_scan(&sources, &agg, K);
+    let slab = naive_topk(&sources, &agg, K).unwrap();
+    assert_eq!(reference.entries(), slab.entries(), "gate: same answers");
+
+    let mut group = c.benchmark_group(format!("full_scan/N{N}_m{M}_k{K}"));
+    group.bench_function("hashmap_partial", |b| {
+        b.iter(|| black_box(hashmap_full_scan(&sources, &agg, K).len()))
+    });
+    group.bench_function("slab_engine", |b| {
+        b.iter(|| black_box(naive_topk(&sources, &agg, K).unwrap().len()))
+    });
+    group.finish();
+}
+
+/// The pre-slab A₀: HashMap sorted phase to k matches, per-object random
+/// completion, cloned-vector scoring, full-sort selection.
+fn hashmap_fagin<A: Aggregation>(sources: &[Boxed], agg: &A, k: usize) -> TopK {
+    let m = sources.len();
+    let n = sources[0].len();
+    let mut partial: HashMap<ObjectId, SeedPartial> = HashMap::new();
+    let mut matched = 0usize;
+    let mut depth = 0usize;
+    while matched < k && depth < n {
+        for (i, source) in sources.iter().enumerate() {
+            let entry = source.sorted_access(depth).expect("depth < N");
+            let p = partial.entry(entry.object).or_insert_with(|| SeedPartial {
+                grades: vec![None; m],
+                ranks: vec![None; m],
+                seen_sorted: 0,
+            });
+            p.grades[i] = Some(entry.grade);
+            p.ranks[i] = Some(depth);
+            p.seen_sorted += 1;
+            if p.seen_sorted == m {
+                matched += 1;
+            }
+        }
+        depth += 1;
+    }
+    for (&id, p) in partial.iter_mut() {
+        for (i, source) in sources.iter().enumerate() {
+            if p.grades[i].is_none() {
+                p.grades[i] = Some(source.random_access(id).expect("every object graded"));
+            }
+        }
+    }
+    let mut scored: Vec<GradedEntry> = partial
+        .iter()
+        .map(|(&id, p)| {
+            let vec: Vec<Grade> = p.grades.iter().map(|g| g.expect("completed")).collect();
+            GradedEntry::new(id, agg.combine(&vec))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+    scored.truncate(k);
+    TopK::from_entries(scored)
+}
+
+fn bench_fa_topk(c: &mut Criterion) {
+    let sources = boxed_sources();
+    let agg = min_agg();
+
+    let reference = hashmap_fagin(&sources, &agg, K);
+    let slab = fagin_topk(&sources, &agg, K).unwrap();
+    assert_eq!(reference.entries(), slab.entries(), "gate: same answers");
+
+    let mut group = c.benchmark_group(format!("fa_topk/N{N}_m{M}_k{K}"));
+    group.bench_function("hashmap_partial", |b| {
+        b.iter(|| black_box(hashmap_fagin(&sources, &agg, K).len()))
+    });
+    group.bench_function("slab_engine", |b| {
+        b.iter(|| black_box(fagin_topk(&sources, &agg, K).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_segment_random(c: &mut Criterion) {
+    let mut rng = garlic_workload::seeded_rng(9405);
+    let skeleton = Skeleton::random(1, N, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let memory = db.to_sources().pop().expect("one list");
+
+    let dir = std::env::temp_dir().join(format!("garlic-bench-hotpath-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hotpath.seg");
+    SegmentWriter::new()
+        .write_graded_set(&path, memory.graded_set())
+        .unwrap();
+    let warm = SegmentSource::open(&path, Arc::new(BlockCache::new(1024))).unwrap();
+
+    // Scattered probes across the whole id range, mostly hits.
+    let probes: Vec<ObjectId> = (0..PROBES as u64)
+        .map(|i| ObjectId((i * 48_271) % (N as u64 + 13)))
+        .collect();
+
+    // Equality gate.
+    let mut batched = Vec::with_capacity(probes.len());
+    warm.random_batch(&probes, &mut batched);
+    let looped: Vec<Option<Grade>> = probes.iter().map(|&p| warm.random_access(p)).collect();
+    assert_eq!(batched, looped, "gate: batched probes = per-object probes");
+
+    let mut group = c.benchmark_group(format!("segment_random/N{N}_probes{PROBES}"));
+    group.bench_function("per_object_loop", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &p in &probes {
+                hits += u64::from(warm.random_access(p).is_some());
+            }
+            black_box(hits)
+        })
+    });
+    let mut out: Vec<Option<Grade>> = Vec::with_capacity(probes.len());
+    group.bench_function("block_grouped_batch", |b| {
+        b.iter(|| {
+            out.clear();
+            warm.random_batch(&probes, &mut out);
+            black_box(out.iter().filter(|g| g.is_some()).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(
+        // Bench executables run with the *package* root as cwd; anchor the
+        // report in the workspace target dir regardless.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_hotpath.json")
+    );
+    targets = bench_full_scan, bench_fa_topk, bench_segment_random
+);
+criterion_main!(benches);

@@ -114,7 +114,10 @@ fn bench_storage(c: &mut Criterion) {
     group.finish();
 
     let stats = warm_cache.stats();
-    eprintln!("warm cache after timing: {stats}");
+    eprintln!(
+        "warm cache after timing: {stats} ({:.1}% lifetime hit rate)",
+        100.0 * stats.hit_rate()
+    );
 }
 
 criterion_group!(

@@ -1,0 +1,249 @@
+//! The perf-smoke regression gate: compares a fresh criterion-shim JSON
+//! report against a committed baseline and fails (exit 1) if any shared
+//! benchmark regressed beyond the allowed factor.
+//!
+//! ```text
+//! perf_gate <current.json> <baseline.json> [max_ratio]
+//! ```
+//!
+//! The gate is deliberately generous (default 3×), and it is
+//! **machine-normalised by construction**: `bench_hotpath` groups each
+//! shipping hot path with a frozen pre-slab reference implementation in
+//! the *same* group (`full_scan/.../hashmap_partial` vs `.../slab_engine`,
+//! etc.), so the gated quantity is the within-run pair ratio
+//! `variant_ns / reference_ns` — a pure code-vs-code number in which the
+//! runner's absolute speed cancels exactly. A CI box 4× slower than the
+//! machine that recorded `BENCH_hotpath_baseline.json` moves both sides of
+//! every pair equally; a PR that slows the slab engine 5× moves only the
+//! shipping side, and fails no matter which machine runs the gate. (A
+//! regression in code shared by a pair — the access layer under both
+//! sides, say — cancels too; catching that is the job of reading the
+//! archived absolute-time trajectory, not the gate.) The group reference
+//! is the variant with the largest *baseline* median; groups with a
+//! single benchmark have no within-run reference and are reported but not
+//! gated, so adding or retiring benches never breaks the gate.
+
+use std::process::ExitCode;
+
+/// Minimal parser for the shim's flat report:
+/// `{"benchmarks": [{"name": "...", "median_ns": 123.45, ...}, ...]}`.
+/// Hand-rolled (the workspace builds offline, without serde); tolerant of
+/// whitespace but not of a reordered or re-nested schema.
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find("\"name\":") {
+        rest = &rest[start + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else { break };
+        let name = rest[..close].to_owned();
+        rest = &rest[close + 1..];
+        let Some(med) = rest.find("\"median_ns\":") else {
+            break;
+        };
+        rest = &rest[med + "\"median_ns\":".len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(value) = rest[..end].trim().parse::<f64>() {
+            out.push((name, value));
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// The group a benchmark belongs to: everything before the last `/` of
+/// its `group/variant` name (the whole name if it has no `/`).
+fn group_of(name: &str) -> &str {
+    name.rfind('/').map_or(name, |cut| &name[..cut])
+}
+
+/// One gate verdict: `Some(true)` = fail, `Some(false)` = ok, `None` = no
+/// within-group reference to gate against.
+fn verdicts(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    max_ratio: f64,
+) -> Vec<(String, Option<bool>, String)> {
+    // Benchmarks present on both sides, in baseline order.
+    let shared: Vec<(&str, f64, f64)> = baseline
+        .iter()
+        .filter_map(|(name, base_ns)| {
+            let (_, cur_ns) = current.iter().find(|(n, _)| n == name)?;
+            (*base_ns > 0.0 && *cur_ns > 0.0).then_some((name.as_str(), *cur_ns, *base_ns))
+        })
+        .collect();
+
+    // Per group, the reference is the variant with the largest baseline
+    // median (the frozen pre-optimisation implementation).
+    let reference_of = |group: &str| -> Option<(&str, f64, f64)> {
+        let members: Vec<_> = shared
+            .iter()
+            .filter(|(name, _, _)| group_of(name) == group)
+            .collect();
+        if members.len() < 2 {
+            return None;
+        }
+        members
+            .into_iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("medians are finite"))
+            .copied()
+    };
+
+    shared
+        .iter()
+        .map(|&(name, cur_ns, base_ns)| {
+            match reference_of(group_of(name)) {
+                Some((ref_name, ref_cur, ref_base)) if ref_name != name => {
+                    // The machine-invariant quantity: this variant's cost
+                    // relative to its in-run reference, vs the same pair
+                    // ratio in the baseline.
+                    let regression = (cur_ns / ref_cur) / (base_ns / ref_base);
+                    let detail = format!(
+                        "{cur_ns:.0} ns ({:.2}x of {ref_name} now, {:.2}x at baseline → \
+                         {regression:.2}x regression)",
+                        cur_ns / ref_cur,
+                        base_ns / ref_base,
+                    );
+                    (name.to_owned(), Some(regression > max_ratio), detail)
+                }
+                Some(_) => (
+                    name.to_owned(),
+                    None,
+                    format!("{cur_ns:.0} ns (group reference)"),
+                ),
+                None => (
+                    name.to_owned(),
+                    None,
+                    format!("{cur_ns:.0} ns (no in-group reference, not gated)"),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: perf_gate <current.json> <baseline.json> [max_ratio]");
+        return ExitCode::FAILURE;
+    }
+    let max_ratio: f64 = args
+        .get(3)
+        .map(|r| r.parse().expect("max_ratio must be a number"))
+        .unwrap_or(3.0);
+    let current =
+        std::fs::read_to_string(&args[1]).unwrap_or_else(|e| panic!("reading {}: {e}", args[1]));
+    let baseline =
+        std::fs::read_to_string(&args[2]).unwrap_or_else(|e| panic!("reading {}: {e}", args[2]));
+    let current = parse_medians(&current);
+    let baseline = parse_medians(&baseline);
+
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("NEW   {name}: no baseline yet");
+        }
+    }
+    for (name, _) in &baseline {
+        if !current.iter().any(|(n, _)| n == name) {
+            println!("SKIP  {name}: not in current report");
+        }
+    }
+
+    let verdicts = verdicts(&current, &baseline, max_ratio);
+    let mut gated = 0usize;
+    let mut failed = false;
+    for (name, verdict, detail) in &verdicts {
+        let tag = match verdict {
+            Some(true) => {
+                failed = true;
+                gated += 1;
+                "FAIL"
+            }
+            Some(false) => {
+                gated += 1;
+                "ok"
+            }
+            None => "ref",
+        };
+        println!("{tag:<5} {name}: {detail}");
+    }
+    if gated == 0 {
+        eprintln!("perf_gate: no gateable benchmark pairs between report and baseline");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!("perf_gate: regression beyond {max_ratio}x (pair-normalized) detected");
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate: {gated} benchmarks within {max_ratio}x of their baseline pair ratios");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{group_of, parse_medians, verdicts};
+
+    #[test]
+    fn parses_the_shim_schema() {
+        let json = r#"{
+  "benchmarks": [
+    {"name": "a/b", "median_ns": 12.50, "min_ns": 10.00, "max_ns": 20.00, "iters_per_sample": 3, "sample_size": 10},
+    {"name": "c", "median_ns": 7.00, "min_ns": 6.00, "max_ns": 9.00, "iters_per_sample": 1, "sample_size": 10}
+  ]
+}"#;
+        let parsed = parse_medians(json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("a/b".to_owned(), 12.5));
+        assert_eq!(parsed[1].1, 7.0);
+    }
+
+    #[test]
+    fn groups_split_on_the_last_slash() {
+        assert_eq!(group_of("full_scan/N1_m3/slab"), "full_scan/N1_m3");
+        assert_eq!(group_of("bare"), "bare");
+    }
+
+    fn report(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_passes() {
+        let base = report(&[("g/reference", 100.0), ("g/fast", 20.0)]);
+        // A 5x slower machine moves both sides equally.
+        let cur = report(&[("g/reference", 500.0), ("g/fast", 100.0)]);
+        let v = verdicts(&cur, &base, 3.0);
+        assert!(v.iter().all(|(_, verdict, _)| *verdict != Some(true)));
+    }
+
+    #[test]
+    fn shipping_path_regression_fails_even_on_a_slow_machine() {
+        let base = report(&[("g/reference", 100.0), ("g/fast", 20.0)]);
+        // 2x slower machine AND the fast path regressed 5x: pair ratio
+        // goes 0.2 → 1.0, a 5x pair regression.
+        let cur = report(&[("g/reference", 200.0), ("g/fast", 200.0)]);
+        let v = verdicts(&cur, &base, 3.0);
+        let fast = v.iter().find(|(n, _, _)| n == "g/fast").unwrap();
+        assert_eq!(fast.1, Some(true));
+        let reference = v.iter().find(|(n, _, _)| n == "g/reference").unwrap();
+        assert_eq!(reference.1, None, "the reference itself is not gated");
+    }
+
+    #[test]
+    fn singleton_groups_are_reported_not_gated() {
+        let base = report(&[
+            ("solo/only", 50.0),
+            ("g/reference", 100.0),
+            ("g/fast", 20.0),
+        ]);
+        let cur = report(&[
+            ("solo/only", 5000.0),
+            ("g/reference", 100.0),
+            ("g/fast", 20.0),
+        ]);
+        let v = verdicts(&cur, &base, 3.0);
+        let solo = v.iter().find(|(n, _, _)| n == "solo/only").unwrap();
+        assert_eq!(solo.1, None);
+    }
+}

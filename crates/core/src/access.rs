@@ -45,6 +45,12 @@
 //!   Section 5 sorted-access cost `S` — while updating its counter once per
 //!   batch.
 //!
+//! Random access has the analogous batched primitive:
+//! [`GradedSource::random_batch`] answers many probes in one call (default:
+//! the per-object loop), positionally aligned with its input, with each
+//! *hit* billed as one Section 5 random access — so block-backed sources
+//! can group probes by block without changing a single measured count.
+//!
 //! # Threading
 //!
 //! Garlic is a multi-user middleware: many queries run concurrently over
@@ -91,6 +97,23 @@ pub trait GradedSource: Send + Sync {
 
     /// Random access: the grade of `object`, or `None` for an unknown object.
     fn random_access(&self, object: ObjectId) -> Option<Grade>;
+
+    /// Batched random access: appends one `Option<Grade>` per probe to
+    /// `out`, positionally aligned with `objects` (so `out` grows by
+    /// exactly `objects.len()`). Semantically identical to looping
+    /// [`random_access`](GradedSource::random_access) — same grades, same
+    /// misses, and [`CountingSource`] bills one random access per *hit*
+    /// either way — but an implementation may reorder its internal I/O:
+    /// [`SegmentSource`] groups probes by table block so each cached block
+    /// is fetched and decoded once per batch, not once per probe.
+    ///
+    /// Probes may repeat and may miss; both are answered (and billed)
+    /// per-probe, exactly like the loop.
+    ///
+    /// [`SegmentSource`]: https://docs.rs/garlic-storage
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        out.extend(objects.iter().map(|&object| self.random_access(object)));
+    }
 
     /// Batched sorted access: appends up to `count` entries starting at
     /// `start` (in the same descending-grade order as
@@ -184,16 +207,20 @@ pub trait SetAccess: GradedSource {
 
 /// An in-memory [`GradedSource`] over a [`GradedSet`], with a hash index for
 /// O(1) random access. The workhorse source for workloads and tests.
+///
+/// The index is keyed by the vendored [`crate::fx`] hash: object ids are
+/// process-internal keys, so the hot random-access path skips SipHash
+/// entirely.
 #[derive(Debug, Clone)]
 pub struct MemorySource {
     set: GradedSet,
-    index: std::collections::HashMap<ObjectId, Grade>,
+    index: crate::fx::FxHashMap<ObjectId, Grade>,
 }
 
 impl MemorySource {
     /// Builds the source (and its random-access index) from a graded set.
     pub fn new(set: GradedSet) -> Self {
-        let index = set.to_map();
+        let index = set.iter().map(|e| (e.object, e.grade)).collect();
         MemorySource { set, index }
     }
 
@@ -326,6 +353,17 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
         self.sorted.fetch_add(got as u64, Ordering::Relaxed);
         got
     }
+
+    /// Batch-aware random metering: one counter update per batch, billing
+    /// exactly one random access per successful probe — identical Section 5
+    /// random cost to the per-object loop.
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        let before = out.len();
+        self.inner.random_batch(objects, out);
+        debug_assert_eq!(out.len(), before + objects.len(), "one slot per probe");
+        let hits = out[before..].iter().filter(|g| g.is_some()).count();
+        self.random.fetch_add(hits as u64, Ordering::Relaxed);
+    }
 }
 
 impl<S: SetAccess> SetAccess for CountingSource<S> {
@@ -362,6 +400,9 @@ impl<S: GradedSource + ?Sized> GradedSource for &S {
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
         (**self).sorted_batch(start, count, out)
     }
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        (**self).random_batch(objects, out)
+    }
 }
 
 impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
@@ -376,6 +417,9 @@ impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
     }
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
         (**self).sorted_batch(start, count, out)
+    }
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        (**self).random_batch(objects, out)
     }
 }
 
@@ -406,6 +450,9 @@ impl<S: GradedSource + ?Sized> GradedSource for Arc<S> {
     }
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
         (**self).sorted_batch(start, count, out)
+    }
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        (**self).random_batch(objects, out)
     }
 }
 
@@ -567,6 +614,38 @@ mod tests {
             );
             assert_eq!(a, b, "start {start} count {count}");
         }
+    }
+
+    #[test]
+    fn random_batch_aligns_with_probes_including_misses_and_duplicates() {
+        let s = source();
+        let probes = [
+            ObjectId(2),
+            ObjectId(99), // miss
+            ObjectId(2),  // duplicate
+            ObjectId(0),
+        ];
+        let mut out = vec![Some(g(1.0))]; // pre-existing entry must survive
+        s.random_batch(&probes, &mut out);
+        assert_eq!(
+            out,
+            vec![Some(g(1.0)), Some(g(0.5)), None, Some(g(0.5)), Some(g(0.2))]
+        );
+    }
+
+    #[test]
+    fn random_batch_billing_matches_per_object_loop() {
+        let probes = [ObjectId(0), ObjectId(7), ObjectId(1), ObjectId(1)];
+        let looped = CountingSource::new(source());
+        for &p in &probes {
+            looped.random_access(p);
+        }
+        let batched = CountingSource::new(source());
+        let mut out = Vec::new();
+        batched.random_batch(&probes, &mut out);
+        // 3 hits (object 7 misses), billed identically either way.
+        assert_eq!(looped.stats(), batched.stats());
+        assert_eq!(batched.stats(), AccessStats::new(0, 3));
     }
 
     #[test]

@@ -6,17 +6,35 @@
 //! 1. a **round-robin sorted phase** that streams all `m` lists in parallel
 //!    at a common depth `T`;
 //! 2. **candidate bookkeeping** — which grades and ranks each object has
-//!    revealed so far (the [`Partial`] map);
+//!    revealed so far;
 //! 3. a **random-access completion** step that fills the missing grades of
 //!    a chosen candidate set.
 //!
 //! [`Engine`] packages those parts once, on top of the *batched* cursor
 //! layer of [`crate::access`]: sorted streaming goes through
-//! [`GradedSource::sorted_batch`] — a sequential walk on native sources —
-//! instead of re-resolving every rank through a virtual
-//! `sorted_access(rank)` call. The algorithm modules (`fa`, `fa_min`,
-//! `b0_max`, `filtered`, `naive`, `resume`) are thin, paper-annotated
-//! shells over this engine.
+//! [`GradedSource::sorted_batch`] and grade completion through
+//! [`GradedSource::random_batch`], so block-backed sources see a handful of
+//! large requests instead of millions of virtual calls. The algorithm
+//! modules (`fa`, `fa_min`, `b0_max`, `filtered`, `naive`, `resume`) are
+//! thin, paper-annotated shells over this engine.
+//!
+//! # The slab
+//!
+//! Bookkeeping is data-oriented and allocation-free on the hot path. The
+//! per-object `HashMap<ObjectId, Partial>` of earlier revisions — two
+//! heap-allocated `Vec<Option<_>>`s per candidate, SipHash on every
+//! observation — is replaced by a [`Slab`]:
+//!
+//! * an `ObjectId → u32` **slot map** keyed by the vendored [`crate::fx`]
+//!   hash (a few arithmetic ops per lookup);
+//! * **m-strided flat arrays**: slot `s`'s grades live at
+//!   `grades[s·m .. s·m+m]`, its sorted ranks at the same stride in a
+//!   `Vec<u32>` — one contiguous allocation each, grown geometrically, no
+//!   per-object boxes, and the grade vector of a completed object is a
+//!   *borrowable slice* ([`Engine::grade_slice`]) so scoring never clones;
+//! * per-slot `u64` **seen-bitmasks** (one word per 64 lists) for both
+//!   access kinds, making "has list i shown this object?" a bit test and
+//!   "is the grade vector complete?" an O(1) word compare for `m ≤ 64`.
 //!
 //! # Exact Section 5 cost preservation
 //!
@@ -38,7 +56,9 @@
 //!
 //! Within the region these bounds cover, batches are as large as the bound
 //! allows; past it the engine degrades gracefully to single-level rounds,
-//! never reading an entry the positional algorithm would not.
+//! never reading an entry the positional algorithm would not. The
+//! random-access phase likewise bills one access per `(object, list)` pair
+//! whether completed one by one or via [`GradedSource::random_batch`].
 //!
 //! # Sessions
 //!
@@ -46,14 +66,21 @@
 //! for the next `k` answers resumes the sorted phase at the stored depth
 //! ("continue where we left off", Section 4), so paging through a ranked
 //! result set costs the same sorted accesses as one evaluation at the
-//! cumulative `k`. [`B0Session`] is the analogous session for the
-//! max-disjunction algorithm B₀, whose paging cost is `m·k` cumulative.
-
-use std::collections::{HashMap, HashSet};
+//! cumulative `k`. Each page completes — and scores, once, through the
+//! zero-alloc [`Aggregation::combine_reusing`] path — only the slots
+//! discovered since the previous page (a high-water mark over the slab;
+//! completed grade vectors stay complete, so cached scores stay valid),
+//! and the returned-set is a slot-indexed bitvec. Per-page work beyond
+//! the fresh slots is therefore one bounded-heap selection over the
+//! cached score array (unreturned candidates must re-compete every page;
+//! the aggregation itself is never re-run). [`B0Session`] is the
+//! analogous session for the max-disjunction algorithm B₀, whose paging
+//! cost is `m·k` cumulative.
 
 use garlic_agg::{Aggregation, Grade};
 
 use crate::access::GradedSource;
+use crate::fx::FxHashMap;
 use crate::graded_set::GradedEntry;
 use crate::object::ObjectId;
 use crate::topk::{validate_inputs, TopK, TopKError};
@@ -71,55 +98,222 @@ const CHUNK: usize = 4096;
 /// are bit-identical to the sequential fetch.
 const PARALLEL_LEVELS: usize = 2048;
 
-/// What the sorted phase knows about one object: the grade and rank
-/// observed in each list (if seen there), plus how many lists have shown it.
-#[derive(Debug, Clone)]
-pub(crate) struct Partial {
-    /// `grades[i]` is `Some` once list `i` has revealed this object — via
-    /// either access kind.
-    pub grades: Vec<Option<Grade>>,
-    /// `ranks[i]` is `Some(r)` iff the object appeared at rank `r` under
-    /// *sorted* access to list `i` (random access reveals no rank).
-    pub ranks: Vec<Option<usize>>,
-    /// Number of lists that have shown the object under sorted access.
-    pub seen_sorted: usize,
+/// Flat, slot-addressed candidate bookkeeping — see the module docs.
+#[derive(Debug, Default)]
+struct Slab {
+    /// Number of lists `m` (the stride of `grades`/`ranks`).
+    m: usize,
+    /// `u64` mask words per slot: `⌈m / 64⌉`.
+    words: usize,
+    /// Bit pattern of the *last* mask word when every list is present.
+    last_full: u64,
+    /// `ObjectId → slot` resolution (FxHash — no SipHash per observation).
+    slots: FxHashMap<ObjectId, u32>,
+    /// `slot → ObjectId`, in first-seen order.
+    ids: Vec<ObjectId>,
+    /// m-strided grades; validity is governed by `grade_mask`.
+    grades: Vec<Grade>,
+    /// m-strided sorted ranks; validity is governed by `rank_mask`.
+    ranks: Vec<u32>,
+    /// Per-slot bitmask of lists whose grade is known (either access kind).
+    grade_mask: Vec<u64>,
+    /// Per-slot bitmask of lists that showed the object under *sorted*
+    /// access (subset of `grade_mask`).
+    rank_mask: Vec<u64>,
 }
 
-impl Partial {
+impl Slab {
     fn new(m: usize) -> Self {
-        Partial {
-            grades: vec![None; m],
-            ranks: vec![None; m],
-            seen_sorted: 0,
+        let words = m.div_ceil(64).max(1);
+        let tail = m % 64;
+        Slab {
+            m,
+            words,
+            last_full: if m == 0 || tail == 0 {
+                u64::MAX
+            } else {
+                (1u64 << tail) - 1
+            },
+            ..Slab::default()
         }
     }
 
-    /// All grades known (random-access phase complete for this object).
-    pub fn complete(&self) -> bool {
-        self.grades.iter().all(Option::is_some)
+    /// Number of slots (distinct objects seen via either access kind).
+    fn len(&self) -> usize {
+        self.ids.len()
     }
 
-    /// The full grade vector; panics if incomplete.
-    pub fn grade_vec(&self) -> Vec<Grade> {
-        self.grades
-            .iter()
-            .map(|g| g.expect("grade vector incomplete"))
-            .collect()
+    /// Resolves an object to its slot, allocating a fresh one on first
+    /// sight. The only hash lookup on the observation path.
+    fn slot(&mut self, id: ObjectId) -> u32 {
+        match self.slots.entry(id) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = self.ids.len() as u32;
+                e.insert(slot);
+                self.ids.push(id);
+                self.grades.resize(self.grades.len() + self.m, Grade::ZERO);
+                self.ranks.resize(self.ranks.len() + self.m, 0);
+                self.grade_mask
+                    .resize(self.grade_mask.len() + self.words, 0);
+                self.rank_mask.resize(self.rank_mask.len() + self.words, 0);
+                slot
+            }
+        }
+    }
+
+    /// The slot of an already-seen object, if any.
+    fn slot_of(&self, id: ObjectId) -> Option<u32> {
+        self.slots.get(&id).copied()
+    }
+
+    fn id(&self, slot: u32) -> ObjectId {
+        self.ids[slot as usize]
+    }
+
+    #[inline]
+    fn word_bit(&self, slot: u32, list: usize) -> (usize, u64) {
+        (slot as usize * self.words + list / 64, 1u64 << (list % 64))
+    }
+
+    /// Whether list `list` has revealed this slot's grade (either kind).
+    #[inline]
+    fn has_grade(&self, slot: u32, list: usize) -> bool {
+        let (w, b) = self.word_bit(slot, list);
+        self.grade_mask[w] & b != 0
+    }
+
+    /// Whether list `list` has shown this slot under sorted access.
+    #[inline]
+    fn has_rank(&self, slot: u32, list: usize) -> bool {
+        let (w, b) = self.word_bit(slot, list);
+        self.rank_mask[w] & b != 0
+    }
+
+    /// The grade list `list` revealed, if any.
+    #[inline]
+    fn grade(&self, slot: u32, list: usize) -> Option<Grade> {
+        self.has_grade(slot, list)
+            .then(|| self.grades[slot as usize * self.m + list])
+    }
+
+    /// The sorted rank list `list` showed the slot at, if any.
+    #[inline]
+    fn rank(&self, slot: u32, list: usize) -> Option<usize> {
+        self.has_rank(slot, list)
+            .then(|| self.ranks[slot as usize * self.m + list] as usize)
+    }
+
+    /// Records a grade learned by random access.
+    #[inline]
+    fn set_grade(&mut self, slot: u32, list: usize, grade: Grade) {
+        let (w, b) = self.word_bit(slot, list);
+        self.grades[slot as usize * self.m + list] = grade;
+        self.grade_mask[w] |= b;
+    }
+
+    /// All `m` grades known — O(1) for `m ≤ 64` (one masked word compare).
+    #[inline]
+    fn complete(&self, slot: u32) -> bool {
+        Self::mask_full(&self.grade_mask, slot, self.words, self.last_full)
+    }
+
+    #[inline]
+    fn mask_full(mask: &[u64], slot: u32, words: usize, last_full: u64) -> bool {
+        let base = slot as usize * words;
+        mask[base + words - 1] == last_full
+            && mask[base..base + words - 1].iter().all(|&w| w == u64::MAX)
+    }
+
+    /// The complete grade vector as a borrowed slice (the zero-copy scoring
+    /// path); `None` while any grade is missing.
+    #[inline]
+    fn grade_slice(&self, slot: u32) -> Option<&[Grade]> {
+        self.complete(slot)
+            .then(|| &self.grades[slot as usize * self.m..][..self.m])
+    }
+
+    /// Folds one sorted observation in; returns `true` when this was the
+    /// slot's last list, i.e. the object just *matched*.
+    #[inline]
+    fn observe(&mut self, slot: u32, list: usize, rank: usize, grade: Grade) -> bool {
+        let (w, b) = self.word_bit(slot, list);
+        debug_assert!(
+            self.rank_mask[w] & b == 0,
+            "object {} shown twice by list {list}",
+            self.id(slot)
+        );
+        let base = slot as usize * self.m + list;
+        self.grades[base] = grade;
+        self.ranks[base] = rank as u32;
+        self.grade_mask[w] |= b;
+        self.rank_mask[w] |= b;
+        Self::mask_full(&self.rank_mask, slot, self.words, self.last_full)
+    }
+
+    /// The best grade any list has shown for the slot (B₀'s scoring rule).
+    fn best_grade(&self, slot: u32) -> Grade {
+        let mut best: Option<Grade> = None;
+        for list in 0..self.m {
+            if let Some(g) = self.grade(slot, list) {
+                best = Some(best.map_or(g, |b| b.max(g)));
+            }
+        }
+        best.expect("seen objects have at least one grade")
+    }
+}
+
+/// A borrowed read-only view of one candidate's bookkeeping — what the
+/// algorithm shells (`fa`, `fa_min`) inspect instead of the old per-object
+/// `Partial` struct.
+pub(crate) struct PartialView<'a> {
+    slab: &'a Slab,
+    slot: u32,
+}
+
+impl<'a> PartialView<'a> {
+    /// The object this view describes.
+    pub fn id(&self) -> ObjectId {
+        self.slab.id(self.slot)
+    }
+
+    /// The sorted rank list `list` showed the object at, if any.
+    pub fn rank(&self, list: usize) -> Option<usize> {
+        self.slab.rank(self.slot, list)
+    }
+
+    /// The grade list `list` revealed (either access kind), if any.
+    pub fn grade(&self, list: usize) -> Option<Grade> {
+        self.slab.grade(self.slot, list)
+    }
+
+    /// The complete grade vector as a borrowed slice; `None` while any
+    /// grade is missing.
+    pub fn grades(&self) -> Option<&'a [Grade]> {
+        self.slab.grade_slice(self.slot)
     }
 }
 
 /// The unified execution engine: owned sources, batched round-robin sorted
-/// streaming at a uniform depth (the paper's `T`), candidate bookkeeping,
-/// and random-access completion. See the module docs.
+/// streaming at a uniform depth (the paper's `T`), slab candidate
+/// bookkeeping, and batched random-access completion. See the module docs.
 #[derive(Debug)]
 pub struct Engine<S> {
     sources: Vec<S>,
     n: usize,
-    partial: HashMap<ObjectId, Partial>,
+    slab: Slab,
     matched: Vec<ObjectId>,
     depth: usize,
     /// One reusable fetch buffer per list (scratch reuse across rounds).
     scratch: Vec<Vec<GradedEntry>>,
+    /// Reusable completion scratch: slots pending completion.
+    pending: Vec<u32>,
+    /// Reusable completion scratch: slots probed for the current list.
+    probe_slots: Vec<u32>,
+    /// Reusable completion scratch: the probe ids sent to `random_batch`.
+    probes: Vec<ObjectId>,
+    /// Reusable completion scratch: the grades `random_batch` answered.
+    probe_grades: Vec<Option<Grade>>,
     /// Opt-in parallel per-source fetch (see [`Engine::with_parallel_fetch`]).
     parallel_fetch: bool,
 }
@@ -128,6 +322,11 @@ impl<S: GradedSource> Engine<S> {
     /// Opens an engine over the given sources (each conceptually holding a
     /// sorted cursor at rank 0). Fails if there are no sources or they
     /// disagree on the database size.
+    ///
+    /// # Panics
+    /// Panics if the database size exceeds `u32::MAX` ranks (the slab
+    /// stores ranks as `u32`; at 16 bytes per entry that bound is only
+    /// reachable past 64 GiB per list).
     pub fn open(sources: Vec<S>) -> Result<Self, TopKError> {
         if sources.is_empty() {
             return Err(TopKError::NoSources);
@@ -138,14 +337,19 @@ impl<S: GradedSource> Engine<S> {
                 sizes: sources.iter().map(|s| s.len()).collect(),
             });
         }
+        assert!(n <= u32::MAX as usize, "slab ranks are u32");
         let m = sources.len();
         Ok(Engine {
             sources,
             n,
-            partial: HashMap::new(),
+            slab: Slab::new(m),
             matched: Vec::new(),
             depth: 0,
             scratch: vec![Vec::new(); m],
+            pending: Vec::new(),
+            probe_slots: Vec::new(),
+            probes: Vec::new(),
+            probe_grades: Vec::new(),
             parallel_fetch: false,
         })
     }
@@ -200,14 +404,26 @@ impl<S: GradedSource> Engine<S> {
         &self.matched
     }
 
-    /// Everything the sorted phase has seen so far.
-    pub(crate) fn partials(&self) -> &HashMap<ObjectId, Partial> {
-        &self.partial
+    /// Every candidate's bookkeeping, in first-seen order.
+    pub(crate) fn views(&self) -> impl Iterator<Item = PartialView<'_>> {
+        (0..self.slab.len() as u32).map(move |slot| PartialView {
+            slab: &self.slab,
+            slot,
+        })
     }
 
-    /// Every object seen so far, via either access kind.
+    /// One candidate's bookkeeping, if the object has been seen.
+    pub(crate) fn view(&self, object: ObjectId) -> Option<PartialView<'_>> {
+        self.slab.slot_of(object).map(|slot| PartialView {
+            slab: &self.slab,
+            slot,
+        })
+    }
+
+    /// Every object seen so far, via either access kind, in first-seen
+    /// order.
     pub fn seen(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.partial.keys().copied()
+        self.slab.ids.iter().copied()
     }
 
     /// Runs the sorted phase round-robin until at least `k` objects have
@@ -253,18 +469,14 @@ impl<S: GradedSource> Engine<S> {
             // The one-level tail (where the stop-depth bounds no longer
             // allow batching): a batch of one is exactly one positional
             // access — skip the buffer machinery.
-            let Engine {
-                sources,
-                partial,
-                matched,
-                depth,
-                ..
-            } = self;
-            for (i, source) in sources.iter().enumerate() {
-                let entry = source
-                    .sorted_access(*depth)
+            for i in 0..m {
+                let entry = self.sources[i]
+                    .sorted_access(self.depth)
                     .expect("depth < N implies a sorted entry");
-                observe(partial, matched, m, i, *depth, entry);
+                let slot = self.slab.slot(entry.object);
+                if self.slab.observe(slot, i, self.depth, entry.grade) {
+                    self.matched.push(entry.object);
+                }
             }
             self.depth += 1;
             return;
@@ -293,14 +505,11 @@ impl<S: GradedSource> Engine<S> {
         }
         for level in 0..levels {
             for (i, buf) in scratch.iter().enumerate() {
-                observe(
-                    &mut self.partial,
-                    &mut self.matched,
-                    m,
-                    i,
-                    self.depth + level,
-                    buf[level],
-                );
+                let entry = buf[level];
+                let slot = self.slab.slot(entry.object);
+                if self.slab.observe(slot, i, self.depth + level, entry.grade) {
+                    self.matched.push(entry.object);
+                }
             }
         }
         self.depth += levels;
@@ -310,82 +519,126 @@ impl<S: GradedSource> Engine<S> {
     /// Completes the grade vectors of the given objects by random access
     /// ("if x ∈ X^j_T then μ_Aj(x) has already been determined, so random
     /// access is not needed"). Objects never seen before get fresh entries.
+    ///
+    /// Completion is batched per list through
+    /// [`GradedSource::random_batch`]: one call per list carrying every
+    /// object that list is missing, so block-backed sources decode each
+    /// block once. Exactly one random access per missing `(object, list)`
+    /// pair is billed — the same count the per-object loop would produce.
     pub fn complete_grades(&mut self, objects: impl IntoIterator<Item = ObjectId>) {
-        let m = self.sources.len();
+        self.pending.clear();
         for object in objects {
-            let p = self
-                .partial
-                .entry(object)
-                .or_insert_with(|| Partial::new(m));
-            for (i, source) in self.sources.iter().enumerate() {
-                if p.grades[i].is_none() {
-                    let grade = source
-                        .random_access(object)
-                        .expect("every source grades every object");
-                    p.grades[i] = Some(grade);
+            let slot = self.slab.slot(object);
+            if !self.slab.complete(slot) {
+                self.pending.push(slot);
+            }
+        }
+        // Dedupe repeated inputs: the per-object loop would skip a repeat
+        // (its grades are already present); billing must match.
+        self.pending.sort_unstable();
+        self.pending.dedup();
+        self.complete_pending();
+    }
+
+    /// Completes every slot from `from_slot` on — the session high-water
+    /// path: slots below the mark were completed by an earlier call and
+    /// complete vectors stay complete, so only the tail needs work.
+    fn complete_slots_from(&mut self, from_slot: usize) {
+        self.pending.clear();
+        for slot in from_slot as u32..self.slab.len() as u32 {
+            if !self.slab.complete(slot) {
+                self.pending.push(slot);
+            }
+        }
+        self.complete_pending();
+    }
+
+    /// Batched completion of `self.pending` (distinct, incomplete slots):
+    /// one `random_batch` per list over the objects that list is missing.
+    fn complete_pending(&mut self) {
+        let Engine {
+            sources,
+            slab,
+            pending,
+            probe_slots,
+            probes,
+            probe_grades,
+            ..
+        } = self;
+        if pending.is_empty() {
+            return;
+        }
+        for (i, source) in sources.iter().enumerate() {
+            probe_slots.clear();
+            probes.clear();
+            for &slot in pending.iter() {
+                if !slab.has_grade(slot, i) {
+                    probe_slots.push(slot);
+                    probes.push(slab.id(slot));
                 }
+            }
+            if probes.is_empty() {
+                continue;
+            }
+            probe_grades.clear();
+            source.random_batch(probes, probe_grades);
+            debug_assert_eq!(probe_grades.len(), probes.len());
+            for (&slot, grade) in probe_slots.iter().zip(probe_grades.iter()) {
+                let grade = grade.expect("every source grades every object");
+                slab.set_grade(slot, i, grade);
             }
         }
     }
 
-    /// The full grade vector of an object, if complete.
+    /// The complete grade vector of an object as a borrowed slice — the
+    /// zero-copy scoring path. `None` until every grade is known.
+    pub fn grade_slice(&self, object: ObjectId) -> Option<&[Grade]> {
+        self.slab
+            .slot_of(object)
+            .and_then(|slot| self.slab.grade_slice(slot))
+    }
+
+    /// The full grade vector of an object, if complete. Allocates; prefer
+    /// [`Engine::grade_slice`] on hot paths.
     pub fn grade_vector(&self, object: ObjectId) -> Option<Vec<Grade>> {
-        let p = self.partial.get(&object)?;
-        if !p.complete() {
-            return None;
-        }
-        Some(p.grade_vec())
+        self.grade_slice(object).map(<[Grade]>::to_vec)
     }
 
     /// The overall grade of an object under `agg`, if its vector is
-    /// complete.
+    /// complete. Scores straight from the slab slice — no clone.
     pub fn overall<A: Aggregation>(&self, object: ObjectId, agg: &A) -> Option<Grade> {
-        let p = self.partial.get(&object)?;
-        if !p.complete() {
-            return None;
-        }
-        Some(agg.combine(&p.grade_vec()))
+        self.grade_slice(object).map(|grades| agg.combine(grades))
     }
 
     /// Each seen object with the best grade any list has shown for it —
-    /// algorithm B₀'s scoring rule (no random access involved).
+    /// algorithm B₀'s scoring rule (no random access involved). First-seen
+    /// order.
     pub fn best_seen(&self) -> impl Iterator<Item = (ObjectId, Grade)> + '_ {
-        self.partial.iter().map(|(&id, p)| {
-            let best = p
-                .grades
-                .iter()
-                .flatten()
-                .max()
-                .copied()
-                .expect("seen objects have at least one grade");
-            (id, best)
-        })
+        (0..self.slab.len() as u32)
+            .map(move |slot| (self.slab.id(slot), self.slab.best_grade(slot)))
     }
 }
 
-/// Folds one sorted observation into the candidate bookkeeping.
-#[inline]
-fn observe(
-    partial: &mut HashMap<ObjectId, Partial>,
-    matched: &mut Vec<ObjectId>,
-    m: usize,
-    list: usize,
-    rank: usize,
-    entry: GradedEntry,
-) {
-    let p = partial
-        .entry(entry.object)
-        .or_insert_with(|| Partial::new(m));
-    debug_assert!(
-        p.ranks[list].is_none(),
-        "object {} shown twice by list {list}",
-        entry.object
-    );
-    p.grades[list] = Some(entry.grade);
-    p.ranks[list] = Some(rank);
-    p.seen_sorted += 1;
-    if p.seen_sorted == m {
-        matched.push(entry.object);
+/// A growable slot-indexed bitvec: the sessions' returned-set, replacing a
+/// per-page-hashed `HashSet<ObjectId>`.
+#[derive(Debug, Default)]
+struct SlotSet {
+    words: Vec<u64>,
+}
+
+impl SlotSet {
+    fn contains(&self, slot: u32) -> bool {
+        self.words
+            .get(slot as usize / 64)
+            .is_some_and(|w| w & (1 << (slot % 64)) != 0)
+    }
+
+    fn insert(&mut self, slot: u32) {
+        let word = slot as usize / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1 << (slot % 64);
     }
 }
 
@@ -397,7 +650,18 @@ fn observe(
 pub struct EngineSession<S, A> {
     engine: Engine<S>,
     agg: A,
-    returned: HashSet<ObjectId>,
+    returned: SlotSet,
+    /// Slots below this mark were completed — and scored — by an earlier
+    /// page; each page only completes, probes for, and scores the slots
+    /// discovered since.
+    completed_slots: usize,
+    /// `scores[slot]` = the overall grade under `agg`, computed exactly
+    /// once when the slot was completed (complete grade vectors never
+    /// change, so neither can the score). Selection re-reads this array;
+    /// it never re-runs the aggregation.
+    scores: Vec<Grade>,
+    /// Working buffer lent to [`Aggregation::combine_reusing`].
+    scratch: Vec<Grade>,
     cumulative: usize,
 }
 
@@ -412,7 +676,10 @@ where
         Ok(EngineSession {
             engine: Engine::open(sources)?,
             agg,
-            returned: HashSet::new(),
+            returned: SlotSet::default(),
+            completed_slots: 0,
+            scores: Vec::new(),
+            scratch: Vec::new(),
             cumulative: 0,
         })
     }
@@ -446,30 +713,43 @@ where
         // Resume the sorted phase until the *cumulative* match target.
         self.engine.advance_until_matched(target);
 
-        // Complete grades for everything seen (grades already known are
-        // skipped inside complete_grades, so no access is repeated).
-        let seen: Vec<ObjectId> = self.engine.seen().collect();
-        self.engine.complete_grades(seen.iter().copied());
+        // Complete — and score — slots discovered since the last page
+        // only: everything below the high-water mark is already complete
+        // with a cached score, so no access is repeated and no
+        // aggregation is re-run.
+        self.engine.complete_slots_from(self.completed_slots);
+        for slot in self.completed_slots as u32..self.engine.slab.len() as u32 {
+            let grades = self
+                .engine
+                .slab
+                .grade_slice(slot)
+                .expect("grades completed above");
+            self.scores
+                .push(self.agg.combine_reusing(grades, &mut self.scratch));
+        }
+        self.completed_slots = self.engine.slab.len();
 
         // The next `target - cumulative` best among objects not yet
         // returned. (Filtering *before* selection keeps the batch size
         // exact even when fresh objects tie an already-returned one at the
         // cut grade — selecting top-`target` first and subtracting could
         // let a tie displace a returned object and hand out extra entries.)
+        let engine = &self.engine;
+        let returned = &self.returned;
+        let scores = &self.scores;
         let fresh = TopK::select(
-            seen.into_iter()
-                .filter(|id| !self.returned.contains(id))
-                .map(|id| {
-                    let grade = self
-                        .engine
-                        .overall(id, &self.agg)
-                        .expect("grades completed above");
-                    (id, grade)
-                }),
+            (0..engine.slab.len() as u32)
+                .filter(|&slot| !returned.contains(slot))
+                .map(|slot| (engine.slab.id(slot), scores[slot as usize])),
             target - self.cumulative,
         );
         for e in fresh.entries() {
-            self.returned.insert(e.object);
+            let slot = self
+                .engine
+                .slab
+                .slot_of(e.object)
+                .expect("selected objects are seen");
+            self.returned.insert(slot);
         }
         self.cumulative = target;
         Ok(fresh)
@@ -482,7 +762,7 @@ where
 /// B₀ run at the cumulative `k` — with no random access at all.
 pub struct B0Session<S> {
     engine: Engine<S>,
-    returned: HashSet<ObjectId>,
+    returned: SlotSet,
     cumulative: usize,
 }
 
@@ -492,7 +772,7 @@ impl<S: GradedSource> B0Session<S> {
         validate_inputs(&sources, 1)?;
         Ok(B0Session {
             engine: Engine::open(sources)?,
-            returned: HashSet::new(),
+            returned: SlotSet::default(),
             cumulative: 0,
         })
     }
@@ -518,14 +798,21 @@ impl<S: GradedSource> B0Session<S> {
             return Ok(TopK::from_entries(Vec::new()));
         }
         self.engine.advance_to_depth(target);
+        let engine = &self.engine;
+        let returned = &self.returned;
         let fresh = TopK::select(
-            self.engine
-                .best_seen()
-                .filter(|(id, _)| !self.returned.contains(id)),
+            (0..engine.slab.len() as u32)
+                .filter(|&slot| !returned.contains(slot))
+                .map(|slot| (engine.slab.id(slot), engine.slab.best_grade(slot))),
             target - self.cumulative,
         );
         for e in fresh.entries() {
-            self.returned.insert(e.object);
+            let slot = self
+                .engine
+                .slab
+                .slot_of(e.object)
+                .expect("selected objects are seen");
+            self.returned.insert(slot);
         }
         self.cumulative = target;
         Ok(fresh)
@@ -537,6 +824,7 @@ mod tests {
     use super::*;
     use crate::access::{counted, total_stats, MemorySource};
     use garlic_agg::iterated::min_agg;
+    use std::collections::{HashMap, HashSet};
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()
@@ -596,6 +884,19 @@ mod tests {
             engine.overall(ObjectId(0), &min_agg()),
             Some(g(0.3)) // min(1.0, 0.3)
         );
+        assert_eq!(engine.grade_slice(ObjectId(0)), Some(&[g(1.0), g(0.3)][..]));
+    }
+
+    #[test]
+    fn duplicate_completion_requests_bill_once() {
+        let cs = counted(sources());
+        let mut engine = Engine::open(cs).unwrap();
+        engine.advance_until_matched(1);
+        // Object 0: seen in list 0 only, so completion needs 1 random
+        // access — and repeating it in one call (or across calls) adds none.
+        engine.complete_grades([ObjectId(0), ObjectId(0), ObjectId(0)]);
+        engine.complete_grades([ObjectId(0)]);
+        assert_eq!(total_stats(engine.sources()).random, 1);
     }
 
     #[test]
@@ -638,6 +939,29 @@ mod tests {
     }
 
     #[test]
+    fn slab_masks_work_past_one_word() {
+        // 67 lists forces a 2-word mask per slot; the complete()/matched
+        // logic must handle the partial last word.
+        let m = 67;
+        let lists: Vec<MemorySource> = (0..m)
+            .map(|i| {
+                MemorySource::from_grades(&[
+                    Grade::clamped(0.1 + (i as f64 % 7.0) / 10.0),
+                    Grade::clamped(0.9 - (i as f64 % 5.0) / 10.0),
+                ])
+            })
+            .collect();
+        let mut engine = Engine::open(lists).unwrap();
+        engine.advance_until_matched(1);
+        assert!(!engine.matched().is_empty());
+        let id = engine.matched()[0];
+        let slice = engine.grade_slice(id).expect("matched objects complete");
+        assert_eq!(slice.len(), m);
+        engine.advance_to_depth(2);
+        assert_eq!(engine.matched().len(), 2);
+    }
+
+    #[test]
     fn session_pages_without_repeating_objects() {
         let agg = min_agg();
         let mut session = EngineSession::new(sources(), &agg).unwrap();
@@ -650,6 +974,21 @@ mod tests {
         assert_eq!(distinct.len(), 4);
         assert!(session.next_batch(1).unwrap().is_empty());
         assert!(session.next_batch(0).is_err());
+    }
+
+    #[test]
+    fn session_high_water_mark_never_repeats_random_accesses() {
+        // Page through everything one answer at a time: every (object,
+        // list) pair must be fetched at most once per access kind, so the
+        // total is bounded by 2·m·N even with N pages.
+        let cs = counted(sources());
+        let mut session = EngineSession::new(cs, min_agg()).unwrap();
+        for _ in 0..4 {
+            session.next_batch(1).unwrap();
+        }
+        let stats = total_stats(session.sources());
+        assert!(stats.unweighted() <= 2 * 2 * 4, "stats {stats:?}");
+        assert_eq!(stats.sorted, 2 * 4);
     }
 
     #[test]

@@ -112,26 +112,28 @@ where
     // Phase 2: random access for every object inside some (possibly shrunk)
     // prefix.
     let candidates: Vec<ObjectId> = engine
-        .partials()
-        .iter()
-        .filter(|(_, p)| {
-            p.ranks
+        .views()
+        .filter(|v| {
+            per_list_depths
                 .iter()
-                .zip(&per_list_depths)
-                .any(|(rank, &t_i)| rank.is_some_and(|r| r < t_i))
+                .enumerate()
+                .any(|(i, &t_i)| v.rank(i).is_some_and(|r| r < t_i))
         })
-        .map(|(&id, _)| id)
+        .map(|v| v.id())
         .collect();
     let candidate_count = candidates.len();
     engine.complete_grades(candidates.iter().copied());
 
-    // Phase 3: computation.
+    // Phase 3: computation, scoring straight off the slab's grade slices
+    // (no per-candidate clone; `scratch` serves aggregations that need an
+    // owned working buffer).
+    let mut scratch = Vec::new();
     let topk = TopK::select(
         candidates.into_iter().map(|id| {
-            let grade = engine
-                .overall(id, agg)
+            let grades = engine
+                .grade_slice(id)
                 .expect("candidate grades were completed");
-            (id, grade)
+            (id, agg.combine_reusing(grades, &mut scratch))
         }),
         k,
     );
@@ -149,15 +151,17 @@ where
 /// `k` objects: pick the `k` matched objects with the earliest worst rank,
 /// then clamp each list at the deepest rank any chosen object needs there.
 fn shrink_depths<S: GradedSource>(engine: &Engine<S>, k: usize) -> Vec<usize> {
+    let m = engine.m();
     let mut by_worst_rank: Vec<(usize, &ObjectId)> = engine
         .matched()
         .iter()
         .map(|id| {
-            let p = &engine.partials()[id];
-            let worst = p
-                .ranks
-                .iter()
-                .map(|r| r.expect("matched objects have a rank in every list"))
+            let v = engine.view(*id).expect("matched objects are seen");
+            let worst = (0..m)
+                .map(|i| {
+                    v.rank(i)
+                        .expect("matched objects have a rank in every list")
+                })
                 .max()
                 .expect("m >= 1");
             (worst, id)
@@ -165,12 +169,12 @@ fn shrink_depths<S: GradedSource>(engine: &Engine<S>, k: usize) -> Vec<usize> {
         .collect();
     by_worst_rank.sort_by_key(|&(worst, id)| (worst, *id));
 
-    let mut depths = vec![0usize; engine.m()];
+    let mut depths = vec![0usize; m];
     for &(_, id) in by_worst_rank.iter().take(k) {
-        let p = &engine.partials()[id];
-        for (i, rank) in p.ranks.iter().enumerate() {
-            let r = rank.expect("matched");
-            depths[i] = depths[i].max(r + 1);
+        let v = engine.view(*id).expect("matched objects are seen");
+        for (i, depth) in depths.iter_mut().enumerate() {
+            let r = v.rank(i).expect("matched");
+            *depth = (*depth).max(r + 1);
         }
     }
     depths

@@ -60,16 +60,14 @@ where
     // Random access phase. Find x₀ ∈ L with least overall grade; its
     // minimising list is i₀ and grade g₀. All grades of matched objects are
     // already known from sorted access.
+    let m = engine.m();
     let (g0, i0) = engine
         .matched()
         .iter()
         .map(|id| {
-            let p = &engine.partials()[id];
-            let (list, grade) = p
-                .grades
-                .iter()
-                .enumerate()
-                .map(|(i, g)| (i, g.expect("matched objects are fully graded")))
+            let v = engine.view(*id).expect("matched objects are seen");
+            let (list, grade) = (0..m)
+                .map(|i| (i, v.grade(i).expect("matched objects are fully graded")))
                 .min_by(|a, b| a.1.cmp(&b.1))
                 .expect("m >= 1");
             (grade, list)
@@ -79,10 +77,9 @@ where
 
     // Candidates: objects of X^{i₀}_T whose grade there is at least g₀.
     let candidates: Vec<ObjectId> = engine
-        .partials()
-        .iter()
-        .filter(|(_, p)| p.ranks[i0].is_some() && p.grades[i0].expect("rank implies grade") >= g0)
-        .map(|(&id, _)| id)
+        .views()
+        .filter(|v| v.rank(i0).is_some() && v.grade(i0).expect("rank implies grade") >= g0)
+        .map(|v| v.id())
         .collect();
     let candidate_count = candidates.len();
     debug_assert!(
@@ -93,14 +90,16 @@ where
     // "For each candidate x, do random access to each subsystem j ≠ i₀."
     engine.complete_grades(candidates.iter().copied());
 
-    // Computation phase: overall grade is the min of the vector.
+    // Computation phase: overall grade is the min of the (borrowed, never
+    // cloned) slab grade slice.
     let topk = TopK::select(
         candidates.into_iter().map(|id| {
             let grade = engine
-                .grade_vector(id)
+                .grade_slice(id)
                 .expect("candidate grades were completed")
-                .into_iter()
+                .iter()
                 .min()
+                .copied()
                 .expect("m >= 1");
             (id, grade)
         }),

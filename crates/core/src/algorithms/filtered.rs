@@ -92,13 +92,16 @@ where
         scored.extend(matches.iter().map(|&id| (id, agg.combine(&[Grade::ONE]))));
     } else {
         let mut engine = Engine::open(graded.iter().collect())?;
+        // One batched random_batch per graded list covers every match, so
+        // block-backed sources decode each block once.
         engine.complete_grades(matches.iter().copied());
+        let mut grades: Vec<Grade> = Vec::with_capacity(m);
         for &id in &matches {
             let completed = engine
-                .grade_vector(id)
+                .grade_slice(id)
                 .expect("matches were completed above");
-            let mut grades = Vec::with_capacity(m);
-            for (i, grade) in completed.into_iter().enumerate() {
+            grades.clear();
+            for (i, &grade) in completed.iter().enumerate() {
                 if i == crisp_position {
                     grades.push(Grade::ONE);
                 }

@@ -34,17 +34,19 @@ where
     engine.advance_to_depth(n);
 
     // "Use this information to compute μ(x) for every object x." At full
-    // depth every list has shown every object, so all vectors are complete.
-    let scored: Vec<_> = engine
-        .seen()
-        .map(|id| {
-            let grade = engine
-                .overall(id, agg)
+    // depth every list has shown every object, so all vectors are complete
+    // — scored straight off the slab slices into the bounded-heap
+    // selection, with no per-object clone or intermediate candidate Vec.
+    let mut scratch = Vec::new();
+    Ok(TopK::select(
+        engine.views().map(|v| {
+            let grades = v
+                .grades()
                 .expect("full-depth streams complete every grade vector");
-            (id, grade)
-        })
-        .collect();
-    Ok(TopK::select(scored, k))
+            (v.id(), agg.combine_reusing(grades, &mut scratch))
+        }),
+        k,
+    ))
 }
 
 /// The naive algorithm implemented with **zero sorted accesses**: probe

@@ -65,6 +65,18 @@ impl<S: GradedSource> GradedSource for ComplementSource<S> {
         self.inner.random_access(object).map(Grade::complement)
     }
 
+    /// Native batched probing: one batched probe of the underlying list,
+    /// complementing the hits in place — so a block-grouping inner source
+    /// (e.g. a disk segment) keeps its one-fetch-per-block plan under
+    /// negation.
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        let base = out.len();
+        self.inner.random_batch(objects, out);
+        for grade in &mut out[base..] {
+            *grade = grade.map(Grade::complement);
+        }
+    }
+
     /// Native batched streaming: one batched read of the *tail* of the
     /// underlying list, emitted in reverse with complemented grades.
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
@@ -148,6 +160,16 @@ mod tests {
             .unwrap()
             .approx_eq(g(0.1), 1e-12));
         assert_eq!(c.random_access(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn batched_random_access_complements_like_the_per_object_path() {
+        let c = ComplementSource::new(base());
+        let probes = [ObjectId(0), ObjectId(99), ObjectId(2), ObjectId(0)];
+        let mut batched = Vec::new();
+        c.random_batch(&probes, &mut batched);
+        let looped: Vec<Option<Grade>> = probes.iter().map(|&p| c.random_access(p)).collect();
+        assert_eq!(batched, looped);
     }
 
     #[test]

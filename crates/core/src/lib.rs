@@ -17,6 +17,8 @@
 //!   [`engine`](algorithms::engine);
 //! * [`complement`] — negated atoms as reversed, grade-complemented
 //!   sources (the Section 7 `π_{¬Q}` observation);
+//! * [`fx`] — the vendored fast hash keying every hot-path map (engine
+//!   slot resolution, random-access indexes, block-cache keys);
 //! * [`validate`] — a linear audit of the access contract, for vetting
 //!   subsystems before registration.
 //!
@@ -44,6 +46,7 @@ pub mod access;
 pub mod algorithms;
 pub mod complement;
 pub mod cost;
+pub mod fx;
 pub mod graded_set;
 pub mod object;
 pub mod query;
@@ -54,6 +57,7 @@ pub use access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCu
 pub use algorithms::engine::{B0Session, Engine, EngineSession};
 pub use complement::ComplementSource;
 pub use cost::{AccessStats, CostModel};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graded_set::{GradedEntry, GradedSet};
 pub use object::ObjectId;
 pub use query::{Calculus, Query};

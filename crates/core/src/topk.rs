@@ -29,13 +29,66 @@ impl TopK {
 
     /// Selects the `k` best from candidate `(object, grade)` pairs
     /// (ties broken arbitrarily — here, by ascending object id).
+    ///
+    /// Runs in `O(n log k)` with a bounded heap of `k` entries instead of
+    /// sorting all `n` candidates: the heap is ordered by the same total
+    /// `(grade desc, object asc)` key the full sort used, so the selected
+    /// entries — including tie order — are bit-identical to sorting and
+    /// truncating.
     pub fn select(candidates: impl IntoIterator<Item = (ObjectId, Grade)>, k: usize) -> Self {
-        let mut entries: Vec<GradedEntry> = candidates
-            .into_iter()
-            .map(|(object, grade)| GradedEntry { object, grade })
-            .collect();
-        entries.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
-        entries.truncate(k);
+        use std::collections::BinaryHeap;
+
+        /// Orders entries *worst first*: the heap's max is the weakest of
+        /// the `k` kept, the one a better candidate evicts.
+        #[derive(PartialEq, Eq)]
+        struct Worst(GradedEntry);
+        impl Ord for Worst {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                other
+                    .0
+                    .grade
+                    .cmp(&self.0.grade)
+                    .then(self.0.object.cmp(&other.0.object))
+            }
+        }
+        impl PartialOrd for Worst {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        if k == 0 {
+            // Drain the iterator's side effects are irrelevant; empty answer.
+            return TopK {
+                entries: Vec::new(),
+            };
+        }
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+        for (object, grade) in candidates {
+            let entry = Worst(GradedEntry { object, grade });
+            if heap.len() < k {
+                heap.push(entry);
+            } else if entry < *heap.peek().expect("heap holds k > 0 entries") {
+                heap.pop();
+                heap.push(entry);
+            }
+        }
+        // `into_sorted_vec` is ascending in `Worst` order — i.e. best first.
+        let entries: Vec<GradedEntry> = heap.into_sorted_vec().into_iter().map(|w| w.0).collect();
+        TopK { entries }
+    }
+
+    /// Wraps entries that are **already** in descending-grade order (ties
+    /// by ascending object id) without re-sorting — the zero-cost path for
+    /// slices of a previously ranked answer. Debug builds assert the order.
+    pub fn from_sorted_entries(entries: Vec<GradedEntry>) -> Self {
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| (w[1].grade, std::cmp::Reverse(w[1].object))
+                    <= (w[0].grade, std::cmp::Reverse(w[0].object))),
+            "entries must already be in (grade desc, object asc) order"
+        );
         TopK { entries }
     }
 
@@ -52,6 +105,12 @@ impl TopK {
     /// The answers, best first.
     pub fn entries(&self) -> &[GradedEntry] {
         &self.entries
+    }
+
+    /// Consumes the answer, returning its entries (best first) without
+    /// copying.
+    pub fn into_entries(self) -> Vec<GradedEntry> {
+        self.entries
     }
 
     /// The single best answer, if any.
@@ -199,6 +258,46 @@ mod tests {
         );
         assert_eq!(t.objects(), vec![ObjectId(1), ObjectId(2)]);
         assert_eq!(t.best().unwrap().grade, g(0.9));
+    }
+
+    #[test]
+    fn bounded_heap_select_matches_full_sort_including_tie_order() {
+        // Many deliberate grade collisions so the k-cut lands inside ties;
+        // the heap selection must reproduce the sort-and-truncate answer
+        // entry for entry.
+        let candidates: Vec<(ObjectId, Grade)> = (0..97u64)
+            .map(|i| {
+                (
+                    ObjectId((i * 31) % 97),
+                    Grade::clamped((i % 5) as f64 / 4.0),
+                )
+            })
+            .collect();
+        for k in [0, 1, 2, 5, 48, 96, 97, 200] {
+            let heap = TopK::select(candidates.iter().copied(), k);
+            let mut sorted: Vec<GradedEntry> = candidates
+                .iter()
+                .map(|&(object, grade)| GradedEntry { object, grade })
+                .collect();
+            sorted.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+            sorted.truncate(k);
+            assert_eq!(heap.entries(), &sorted[..], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn from_sorted_entries_preserves_ranked_slices() {
+        let all = TopK::select(
+            [
+                (ObjectId(0), g(0.1)),
+                (ObjectId(1), g(0.9)),
+                (ObjectId(2), g(0.5)),
+            ],
+            3,
+        );
+        let slice = TopK::from_sorted_entries(all.entries()[1..].to_vec());
+        assert_eq!(slice.objects(), vec![ObjectId(2), ObjectId(0)]);
+        assert_eq!(all.clone().into_entries(), all.entries().to_vec());
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub enum SourceViolation {
         /// The rank at which the streams diverged.
         rank: usize,
     },
+    /// Batched random access disagrees with per-object random access (a
+    /// wrong grade, a wrong miss, or a misaligned batch).
+    InconsistentRandomBatch {
+        /// The probe index at which the answers diverged.
+        probe: usize,
+    },
 }
 
 impl std::fmt::Display for SourceViolation {
@@ -78,13 +84,20 @@ impl std::fmt::Display for SourceViolation {
                     "cursor stream diverges from sorted access at rank {rank}"
                 )
             }
+            SourceViolation::InconsistentRandomBatch { probe } => {
+                write!(
+                    f,
+                    "batched random access diverges from per-object access at probe {probe}"
+                )
+            }
         }
     }
 }
 
 /// Audits a source against the full contract — positional sorted access,
-/// random access, and the batched cursor stream. Costs `2·len()` sorted
-/// (one positional pass, one batched pass) plus `len()` random accesses.
+/// random access, the batched cursor stream, and batched random access.
+/// Costs `2·len()` sorted (one positional pass, one batched pass) plus
+/// `2·len()` random accesses (one per-object pass, one batched pass).
 pub fn validate_source<S: GradedSource>(source: &S) -> Result<(), SourceViolation> {
     let n = source.len();
     let mut seen: HashSet<ObjectId> = HashSet::with_capacity(n);
@@ -136,6 +149,43 @@ pub fn validate_source<S: GradedSource>(source: &S) -> Result<(), SourceViolatio
     for (rank, (a, b)) in streamed.iter().zip(&positional).enumerate() {
         if a != b {
             return Err(SourceViolation::InconsistentCursor { rank });
+        }
+    }
+
+    // The batched random-access contract: one positionally aligned answer
+    // per probe, agreeing with per-object access on hits, misses (an id no
+    // listed object uses, probed twice to also cover duplicates), and
+    // interleavings thereof.
+    let miss = (0..=n as u64)
+        .map(ObjectId)
+        .find(|id| !seen.contains(id))
+        .expect("n + 1 candidate ids cannot all be listed");
+    let probes: Vec<ObjectId> = positional
+        .iter()
+        .map(|e| e.object)
+        .chain([miss, miss])
+        .collect();
+    let mut batched = Vec::with_capacity(probes.len());
+    source.random_batch(&probes, &mut batched);
+    if batched.len() != probes.len() {
+        return Err(SourceViolation::InconsistentRandomBatch {
+            probe: batched.len().min(probes.len()),
+        });
+    }
+    // Listed probes must answer the grade the (already-verified) per-object
+    // path produced; the miss probes must answer whatever per-object access
+    // answers for the unlisted id (None for an honest source — billed
+    // nothing, keeping the audit at 2·len random accesses total).
+    let expected_miss = source.random_access(miss);
+    for (probe, (expected, answer)) in positional
+        .iter()
+        .map(|e| Some(e.grade))
+        .chain([expected_miss, expected_miss])
+        .zip(&batched)
+        .enumerate()
+    {
+        if *answer != expected {
+            return Err(SourceViolation::InconsistentRandomBatch { probe });
         }
     }
     Ok(())
@@ -264,5 +314,35 @@ mod tests {
             validate_source(&broken),
             Err(SourceViolation::InconsistentCursor { .. })
         ));
+    }
+
+    /// A source whose batched random path disagrees with per-object access.
+    struct LyingBatch(MemorySource);
+
+    impl GradedSource for LyingBatch {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+            self.0.sorted_access(rank)
+        }
+        fn random_access(&self, object: ObjectId) -> Option<Grade> {
+            self.0.random_access(object)
+        }
+        fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+            // Answers every probe — even ones the source does not grade.
+            out.extend(objects.iter().map(|_| Some(g(0.5))));
+        }
+    }
+
+    #[test]
+    fn detects_random_batch_divergence() {
+        let broken = LyingBatch(MemorySource::from_grades(&[g(0.4), g(0.9), g(0.1)]));
+        let err = validate_source(&broken).unwrap_err();
+        assert!(matches!(
+            err,
+            SourceViolation::InconsistentRandomBatch { .. }
+        ));
+        assert!(format!("{err}").contains("batched random access"));
     }
 }

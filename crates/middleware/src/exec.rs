@@ -386,14 +386,17 @@ impl Strategy {
                 // The filtered strategy's cost is |S|·m no matter the k
                 // (padding objects need no access), so the session can
                 // materialise the complete ranking up front at the same
-                // cost one evaluation would pay.
+                // cost one evaluation would pay. The match set's grades are
+                // completed through the engine's batched random_batch path,
+                // so a disk-backed conjunct decodes each block once.
                 let (crisp, graded) = filtered_parts(catalog, atoms, *crisp_index)?;
                 let n = crisp.len();
                 let all = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), n)?;
+                let stats = crisp.stats() + total_stats(&graded);
                 SessionKind::Materialized {
-                    entries: all.entries().to_vec(),
+                    entries: all.into_entries(),
                     cursor: 0,
-                    stats: crisp.stats() + total_stats(&graded),
+                    stats,
                 }
             }
             Strategy::NaiveCalculus => {
@@ -403,10 +406,11 @@ impl Strategy {
                 let agg = QueryAggregation::new(query, atoms);
                 let n = sources.first().map(|s| s.len()).unwrap_or(0);
                 let all = naive_topk(&sources, &agg, n)?;
+                let stats = total_stats(&sources);
                 SessionKind::Materialized {
-                    entries: all.entries().to_vec(),
+                    entries: all.into_entries(),
                     cursor: 0,
-                    stats: total_stats(&sources),
+                    stats,
                 }
             }
         };
@@ -459,7 +463,9 @@ impl QuerySession {
                     return Err(MiddlewareError::TopK(TopKError::ZeroK));
                 }
                 let end = (*cursor + k).min(entries.len());
-                let batch = TopK::from_entries(entries[*cursor..end].to_vec());
+                // The materialised ranking is already sorted; a page is a
+                // plain slice copy, not a re-sort.
+                let batch = TopK::from_sorted_entries(entries[*cursor..end].to_vec());
                 *cursor = end;
                 Ok(batch)
             }

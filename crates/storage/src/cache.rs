@@ -16,9 +16,11 @@
 //! way the Section 5 access counters are — operators tune cache size by
 //! watching the hit rate, not by guessing.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use garlic_core::FxHashMap;
 
 use crate::error::StorageError;
 
@@ -35,15 +37,30 @@ pub(crate) struct BlockKey {
 
 struct CachedBlock {
     bytes: Arc<[u8]>,
-    /// The recency tick under which this block is indexed in `recency`.
+    /// The tick of this block's most recent access. Strict LRU order is
+    /// the tick order (ticks are unique).
     tick: u64,
 }
 
+/// The guarded state. The per-block `tick` stamp is the authoritative
+/// recency; `stale_recency` is a *lazily repaired* tick → key index that
+/// hits never touch: a **hit** — the per-block cost of every warm stream —
+/// is one fast-hash lookup plus a tick store, leaving its index entry
+/// stale. **Eviction** pops the index's oldest entry and, if the block's
+/// stamp has moved on since, re-files the entry under the current stamp
+/// and tries again — every re-file is prepaid by the hit that staled it,
+/// so eviction stays amortised O(log n) even when the cache thrashes
+/// (each resident block holds exactly one index entry). Strict LRU order
+/// is preserved exactly; only *when* the index learns about a hit moved.
 struct CacheState {
-    blocks: HashMap<BlockKey, CachedBlock>,
-    /// Recency index: tick → key, oldest first. Ticks are unique, so this
-    /// is a strict LRU order.
-    recency: BTreeMap<u64, BlockKey>,
+    /// Resident blocks, keyed by the fast [`garlic_core::fx`] hash —
+    /// block keys are process-internal, and this lookup sits on every
+    /// streamed block of every segment read.
+    blocks: FxHashMap<BlockKey, CachedBlock>,
+    /// Possibly-stale recency index: one entry per resident block, keyed
+    /// by the tick its last *index repair* (insert or evict-time re-file)
+    /// saw. Ticks are unique, so iteration order is a candidate LRU order.
+    stale_recency: BTreeMap<u64, BlockKey>,
     next_tick: u64,
 }
 
@@ -90,12 +107,19 @@ impl std::fmt::Display for CacheStats {
 }
 
 /// A shared, thread-safe LRU cache over segment blocks.
+///
+/// Every counter a stats read needs — hits, misses, evictions, and the
+/// resident-block count — is an atomic maintained alongside the guarded
+/// state, so [`BlockCache::stats`] never takes the recency lock: operators
+/// (and benches) can poll hit rates at any frequency without contending
+/// with readers.
 pub struct BlockCache {
     capacity: usize,
     state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    resident: AtomicUsize,
 }
 
 impl BlockCache {
@@ -107,13 +131,14 @@ impl BlockCache {
         BlockCache {
             capacity: capacity_blocks,
             state: Mutex::new(CacheState {
-                blocks: HashMap::new(),
-                recency: BTreeMap::new(),
+                blocks: FxHashMap::default(),
+                stale_recency: BTreeMap::new(),
                 next_tick: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
         }
     }
 
@@ -122,14 +147,13 @@ impl BlockCache {
         self.capacity
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot — all atomics, no lock taken (see the type docs).
     pub fn stats(&self) -> CacheStats {
-        let resident = self.state.lock().expect("cache lock").blocks.len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            resident,
+            resident: self.resident.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
     }
@@ -139,7 +163,8 @@ impl BlockCache {
     pub fn clear(&self) {
         let mut state = self.state.lock().expect("cache lock");
         state.blocks.clear();
-        state.recency.clear();
+        state.stale_recency.clear();
+        self.resident.store(0, Ordering::Relaxed);
     }
 
     /// Looks `key` up, calling `load` on a miss. The lock is **not** held
@@ -165,6 +190,7 @@ impl BlockCache {
             if state.touch(key).is_none() {
                 let evicted = state.insert(key, Arc::clone(&bytes), self.capacity);
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.resident.store(state.blocks.len(), Ordering::Relaxed);
             }
         }
         Ok(bytes)
@@ -172,16 +198,14 @@ impl BlockCache {
 }
 
 impl CacheState {
-    /// Returns the resident block and refreshes its recency.
+    /// Returns the resident block and refreshes its recency stamp — the
+    /// warm hot path: one hash lookup, one store, one increment. The
+    /// block's index entry goes stale; eviction repairs it lazily.
     fn touch(&mut self, key: BlockKey) -> Option<Arc<[u8]>> {
         let slot = self.blocks.get_mut(&key)?;
-        let old_tick = slot.tick;
         slot.tick = self.next_tick;
-        let bytes = Arc::clone(&slot.bytes);
-        self.recency.remove(&old_tick);
-        self.recency.insert(self.next_tick, key);
         self.next_tick += 1;
-        Some(bytes)
+        Some(Arc::clone(&slot.bytes))
     }
 
     /// Inserts a block, evicting least-recently-used blocks down to
@@ -190,13 +214,29 @@ impl CacheState {
         let tick = self.next_tick;
         self.next_tick += 1;
         self.blocks.insert(key, CachedBlock { bytes, tick });
-        self.recency.insert(tick, key);
+        self.stale_recency.insert(tick, key);
         let mut evicted = 0;
         while self.blocks.len() > capacity {
-            let (&oldest, &victim) = self.recency.iter().next().expect("recency tracks blocks");
-            self.recency.remove(&oldest);
-            self.blocks.remove(&victim);
-            evicted += 1;
+            let (&oldest, &candidate) = self
+                .stale_recency
+                .iter()
+                .next()
+                .expect("every resident block has an index entry");
+            self.stale_recency.remove(&oldest);
+            match self.blocks.get(&candidate) {
+                // Stale entry: the block was touched since the index last
+                // saw it. Re-file under its current stamp and keep looking
+                // — this work is prepaid by the touch that staled it.
+                Some(block) if block.tick != oldest => {
+                    self.stale_recency.insert(block.tick, candidate);
+                }
+                // Fresh entry: this really is the least-recently-used.
+                Some(_) => {
+                    self.blocks.remove(&candidate);
+                    evicted += 1;
+                }
+                None => unreachable!("index entries track resident blocks"),
+            }
         }
         evicted
     }

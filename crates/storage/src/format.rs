@@ -88,34 +88,34 @@ pub fn decode_raw(block: &[u8], index: usize) -> (u64, f64) {
     (object, f64::from_bits(bits))
 }
 
-/// Decodes the entry at `index` within an open-time-verified block.
-///
-/// # Panics
-/// Panics if the grade bits are invalid — impossible for a block that
-/// passed [`Footer`] verification unless the file mutated after open.
+/// Decodes the entry at `index` within an open-time-verified block. Grade
+/// bits are trusted under the same reasoning as [`decode_entries`] (and
+/// clamped into `[0, 1]` unconditionally), so the positional and batched
+/// sorted paths behave identically on any block a verified load can
+/// produce.
 pub fn decode_entry(block: &[u8], index: usize) -> GradedEntry {
     let (object, value) = decode_raw(block, index);
-    let grade = Grade::new(value).expect("grade verified at segment open");
-    GradedEntry::new(object, grade)
+    GradedEntry::new(object, Grade::clamped(value))
 }
 
 /// Decodes the entries in slots `[from, to)` of an open-time-verified
 /// block, appending to `out` — the hot path of sequential streaming.
 /// `chunks_exact` hands the compiler fixed 16-byte windows, so the loop
-/// compiles without per-entry bounds checks.
-///
-/// # Panics
-/// Panics on invalid grade bits — impossible for a verified block unless
-/// the file mutated after open.
+/// compiles without per-entry bounds checks — and without a per-entry
+/// panic edge: grade validity needs no re-check here, because every block
+/// reaching this function came through a checksum-verified load of bytes
+/// the open-time scan already validated grade by grade (a post-open
+/// mutation fails the load's checksum and panics there, per the same
+/// torn-write/bit-rot — not adversary — trust model as the checksums
+/// themselves). [`Grade::clamped`] still upholds the `[0, 1]` type
+/// invariant unconditionally.
 pub fn decode_entries(block: &[u8], from: usize, to: usize, out: &mut Vec<GradedEntry>) {
     let payload = &block[from * ENTRY_LEN..to * ENTRY_LEN];
+    out.reserve(to - from);
     out.extend(payload.chunks_exact(ENTRY_LEN).map(|chunk| {
         let object = u64::from_le_bytes(chunk[..8].try_into().expect("8-byte slot"));
         let bits = u64::from_le_bytes(chunk[8..ENTRY_LEN].try_into().expect("8-byte slot"));
-        GradedEntry::new(
-            object,
-            Grade::new(f64::from_bits(bits)).expect("grade verified at segment open"),
-        )
+        GradedEntry::new(object, Grade::clamped(f64::from_bits(bits)))
     }));
 }
 

@@ -278,21 +278,41 @@ impl GradedSource for SegmentSource {
         }
         let index = (candidate - 1) as u64;
         let block = self.table_block(index);
-        let count = self.entries_in_block(index);
-        let mut lo = 0usize;
-        let mut hi = count;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            let (id, value) = decode_raw(&block, mid);
-            match id.cmp(&object.0) {
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => hi = mid,
-                std::cmp::Ordering::Equal => {
-                    return Some(Grade::new(value).expect("grade verified at segment open"))
-                }
+        lookup_in_table_block(&block, self.entries_in_block(index), object)
+    }
+
+    /// Native batched probing: probes are grouped by table block (sorted
+    /// by the footer's fence index), so each touched block is fetched from
+    /// the shared cache — and its checksum re-verified on a miss — **once
+    /// per batch**, not once per probe. Results land positionally aligned
+    /// with `objects`, and misses/duplicates behave exactly like the
+    /// per-object loop.
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        let base = out.len();
+        out.resize(base + objects.len(), None);
+        let fences = &self.footer.table_first_ids;
+        // Pair each probe with its candidate table block; probes below the
+        // first fence have no candidate and stay `None`.
+        let mut probes: Vec<(u64, u32)> = Vec::with_capacity(objects.len());
+        for (position, object) in objects.iter().enumerate() {
+            let candidate = fences.partition_point(|&first| first <= object.0);
+            if candidate > 0 {
+                probes.push(((candidate - 1) as u64, position as u32));
             }
         }
-        None
+        // Group by block (stable within a block by input position).
+        probes.sort_unstable();
+        let mut index = 0usize;
+        while index < probes.len() {
+            let block_index = probes[index].0;
+            let block = self.table_block(block_index);
+            let count = self.entries_in_block(block_index);
+            while index < probes.len() && probes[index].0 == block_index {
+                let position = probes[index].1 as usize;
+                out[base + position] = lookup_in_table_block(&block, count, objects[position]);
+                index += 1;
+            }
+        }
     }
 
     /// Native batched streaming: decodes each touched data block once,
@@ -345,6 +365,26 @@ impl std::fmt::Debug for SegmentSource {
             .field("crisp", &self.is_crisp())
             .finish()
     }
+}
+
+/// Binary search for `object` among the first `count` object-ordered slots
+/// of a table block. Grade bits are trusted for the same reason
+/// [`crate::format::decode_entries`] trusts them — the block came through
+/// a checksum-verified load of bytes the open-time scan validated — so
+/// both access paths behave identically on any block the cache can serve.
+fn lookup_in_table_block(block: &[u8], count: usize, object: ObjectId) -> Option<Grade> {
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (id, value) = decode_raw(block, mid);
+        match id.cmp(&object.0) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(Grade::clamped(value)),
+        }
+    }
+    None
 }
 
 /// What the integrity scan learned beyond "the file is sound".
@@ -525,6 +565,61 @@ mod tests {
         assert_eq!(seg.random_access(ObjectId(1006)), None);
         assert_eq!(seg.random_access(ObjectId(1008)), None);
         assert_eq!(seg.random_access(ObjectId(u64::MAX)), None);
+    }
+
+    #[test]
+    fn random_batch_agrees_with_per_object_probes() {
+        let path = temp_path("batch.seg");
+        let pairs: Vec<(ObjectId, Grade)> = (0..60u64)
+            .map(|i| (ObjectId(i * 17 + 3), Grade::clamped((i % 9) as f64 / 8.0)))
+            .collect();
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_pairs(&path, pairs)
+            .unwrap();
+        let seg = SegmentSource::open(&path, Arc::new(BlockCache::new(64))).unwrap();
+        // Scattered probes: hits, misses on every side of the fences, a
+        // below-first-fence miss, and duplicates — out of id order.
+        let probes: Vec<ObjectId> = vec![
+            ObjectId(3 + 17 * 40),
+            ObjectId(0),
+            ObjectId(3),
+            ObjectId(4),
+            ObjectId(3 + 17 * 59),
+            ObjectId(3),
+            ObjectId(u64::MAX),
+            ObjectId(3 + 17 * 12),
+        ];
+        let mut batched = Vec::new();
+        seg.random_batch(&probes, &mut batched);
+        let looped: Vec<Option<Grade>> = probes.iter().map(|&p| seg.random_access(p)).collect();
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn random_batch_fetches_each_block_once() {
+        let cache = Arc::new(BlockCache::new(64));
+        let path = temp_path("batch-blocks.seg");
+        let grades: Vec<Grade> = (0..90).map(|i| Grade::clamped(i as f64 / 90.0)).collect();
+        SegmentWriter::with_block_size(48) // 3 entries per block
+            .unwrap()
+            .write_grades(&path, &grades)
+            .unwrap();
+        let seg = SegmentSource::open(&path, Arc::clone(&cache)).unwrap();
+        // 30 probes spread over exactly 10 of the 30 table blocks.
+        let probes: Vec<ObjectId> = (0..30u64)
+            .map(|i| ObjectId((i % 10) * 9 + i / 10))
+            .collect();
+        let before = cache.stats();
+        let mut out = Vec::new();
+        seg.random_batch(&probes, &mut out);
+        assert!(out.iter().all(Option::is_some));
+        let after = cache.stats();
+        assert_eq!(
+            (after.hits + after.misses) - (before.hits + before.misses),
+            10,
+            "one cache request per distinct touched block, not per probe"
+        );
     }
 
     #[test]

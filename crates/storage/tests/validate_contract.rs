@@ -69,16 +69,17 @@ fn audit_passes_under_an_evicting_cache() {
 
 #[test]
 fn audit_cost_is_linear_on_disk_too() {
-    // Same pin as the core contract tests: 2·len sorted + len random —
-    // block reads are not accesses; the Section 5 bill must not change
-    // because the source pages from disk.
+    // Same pin as the core contract tests: 2·len sorted + 2·len random
+    // (one per-object pass plus one batched pass; the audit's deliberate
+    // miss probes bill nothing) — block reads are not accesses; the
+    // Section 5 bill must not change because the source pages from disk.
     let path = graded_segment("metered.seg", 64);
     let seg =
         CountingSource::new(SegmentSource::open(&path, Arc::new(BlockCache::new(64))).unwrap());
     validate_source(&seg).unwrap();
     let stats = seg.stats();
     assert_eq!(stats.sorted, 200);
-    assert_eq!(stats.random, 100);
+    assert_eq!(stats.random, 200);
 }
 
 #[test]

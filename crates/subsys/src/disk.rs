@@ -129,7 +129,10 @@ impl Subsystem for DiskSubsystem {
 
     /// Evaluation is an `Arc::clone` of the opened segment — no I/O, no
     /// re-verification; blocks fault in through the shared cache as the
-    /// answer is consumed.
+    /// answer is consumed. The handle serves both batched access paths
+    /// natively: `sorted_batch` decodes each data block once, and
+    /// `random_batch` groups probes by table block so a grade-completion
+    /// sweep touches each block once per batch.
     fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         self.segment(query)
             .map(|s| Arc::clone(s) as Arc<dyn GradedSource>)
@@ -203,6 +206,21 @@ mod tests {
         assert!(s
             .evaluate(&AtomicQuery::new("C", Target::text("x")))
             .is_err());
+    }
+
+    #[test]
+    fn answer_handles_serve_batched_random_access() {
+        let s = subsystem();
+        let src = s
+            .evaluate(&AtomicQuery::new("A", Target::text("t")))
+            .unwrap();
+        use garlic_core::ObjectId;
+        let probes = [ObjectId(2), ObjectId(9), ObjectId(0), ObjectId(2)];
+        let mut batched = Vec::new();
+        src.random_batch(&probes, &mut batched);
+        let looped: Vec<_> = probes.iter().map(|&p| src.random_access(p)).collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batched[1], None, "out-of-universe probe misses");
     }
 
     #[test]

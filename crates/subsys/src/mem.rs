@@ -33,12 +33,25 @@ struct AttributeList {
 
 impl AttributeList {
     fn new(source: MemorySource) -> Self {
-        let crisp = source.graded_set().iter().all(|e| e.grade.is_crisp());
-        let ones = source
-            .graded_set()
-            .iter()
-            .take_while(|e| e.grade == Grade::ONE)
-            .count();
+        // One registration-time pass derives both statistics: the grade-1
+        // count is the length of the sorted order's leading ONE-block, and
+        // crispness fails at the first fractional grade.
+        let mut crisp = true;
+        let mut ones = 0usize;
+        let mut in_ones_prefix = true;
+        for entry in source.graded_set().iter() {
+            crisp &= entry.grade.is_crisp();
+            if in_ones_prefix {
+                if entry.grade == Grade::ONE {
+                    ones += 1;
+                } else {
+                    in_ones_prefix = false;
+                }
+            }
+            if !crisp && !in_ones_prefix {
+                break;
+            }
+        }
         AttributeList {
             source: Arc::new(source),
             crisp,
@@ -189,6 +202,24 @@ mod tests {
         assert!(s
             .evaluate(&AtomicQuery::new("C", Target::text("x")))
             .is_err());
+    }
+
+    #[test]
+    fn answer_handles_serve_batched_random_access() {
+        // The Arc<dyn GradedSource> handle must route random_batch to the
+        // concrete source (positionally aligned, misses included), so the
+        // engine's batched completion works through subsystem answers.
+        let s = subsystem();
+        let src = s
+            .evaluate(&AtomicQuery::new("A", Target::text("t")))
+            .unwrap();
+        use garlic_core::ObjectId;
+        let probes = [ObjectId(1), ObjectId(9), ObjectId(0), ObjectId(1)];
+        let mut batched = Vec::new();
+        src.random_batch(&probes, &mut batched);
+        let looped: Vec<_> = probes.iter().map(|&p| src.random_access(p)).collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batched[1], None);
     }
 
     #[test]

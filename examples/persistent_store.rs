@@ -119,6 +119,11 @@ fn serve() {
         warm.hits - cold.hits,
         warm.misses - cold.misses
     );
+    println!(
+        "lifetime hit rate: {:.1}% — tune the cache budget until this \
+         stays high for your working set",
+        100.0 * warm.hit_rate()
+    );
 }
 
 fn main() {
