@@ -1,0 +1,283 @@
+//! The sharded scatter-gather benchmark: disk-backed [`ShardedSource`]
+//! against (a) one flat segment and (b) a naive scatter-gather that reads
+//! the full prefix from *every* shard before merging — the strategy the
+//! shared grade frontier exists to beat.
+//!
+//! Three contenders stream the same deep top-of-ranking prefix (N/8
+//! entries of an N-object attribute, N = 10M by default, `GARLIC_SHARD_N`
+//! overrides for CI smoke runs):
+//!
+//! * `shard_scan/deep_prefix/unsharded` — one segment, batched cursor;
+//! * `shard_scan/deep_prefix/naive_scatter` — T entries from each of the
+//!   S shards, sorted and truncated to T (S×T decode + a global sort);
+//! * `shard_scan/deep_prefix/sharded` — the k-way merge with the shared
+//!   frontier, which pulls ≈ T/S per shard and stops.
+//!
+//! `shard_topk/fa_min_k10/{unsharded,sharded}` runs A₀′ end-to-end over
+//! two attributes on both layouts — sorted and random access through the
+//! shard router under a real algorithm.
+//!
+//! Group and variant names deliberately omit N and S so the same names
+//! survive a CI-shrunk run (`perf_gate --pair` addresses them by name).
+//! Every contender is equality-gated against the flat segment before any
+//! timing starts. All shards read through one warm [`BlockCache`], so the
+//! measured difference is decode + merge work, not I/O.
+//!
+//! After the criterion group flushes `target/bench_shard.json`, `main`
+//! patches a `shard_metrics` object into the report: the measured
+//! sharded-vs-naive speedup and the frontier's early-termination savings
+//! (`1 − consumed/(S × emitted)` from [`ShardScanStats`]).
+
+use std::sync::{Arc, OnceLock};
+
+use criterion::{black_box, criterion_group, Criterion};
+use garlic_core::access::GradedSource;
+use garlic_core::algorithms::fa_min::fagin_min_topk;
+use garlic_core::{GradedEntry, ShardedSource};
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
+use garlic_workload::distributions::UniformGrades;
+use garlic_workload::scoring::ScoringDatabase;
+use garlic_workload::skeleton::Skeleton;
+
+const SHARDS: usize = 4;
+const BATCH: usize = 1024;
+const K: usize = 10;
+
+fn n_objects() -> usize {
+    std::env::var("GARLIC_SHARD_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000)
+}
+
+/// The early-termination savings observed on the scan attribute, stashed
+/// by the bench body for `main` to patch into the JSON report.
+static SAVINGS: OnceLock<(f64, u64, u64)> = OnceLock::new();
+
+/// Streams the top-`t` prefix through the batched cursor path.
+fn scan_prefix<S: GradedSource>(source: &S, t: usize, buf: &mut Vec<GradedEntry>) -> usize {
+    buf.clear();
+    let mut rank = 0;
+    while rank < t {
+        let got = source.sorted_batch(rank, (t - rank).min(BATCH), buf);
+        if got == 0 {
+            break;
+        }
+        rank += got;
+    }
+    rank
+}
+
+/// The strategy the frontier replaces: fetch `t` entries from *every*
+/// shard (no shard can be trusted to hold fewer than `t` of the global
+/// top-`t`), then sort the union and truncate.
+fn naive_scatter(shards: &[SegmentSource], t: usize, buf: &mut Vec<GradedEntry>) {
+    buf.clear();
+    for shard in shards {
+        let mut rank = 0;
+        while rank < t {
+            let got = shard.sorted_batch(rank, (t - rank).min(BATCH), buf);
+            if got == 0 {
+                break;
+            }
+            rank += got;
+        }
+    }
+    buf.sort_unstable_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+    buf.truncate(t);
+}
+
+struct Attribute {
+    flat: SegmentSource,
+    shards: Vec<SegmentSource>,
+    sharded: ShardedSource<SegmentSource>,
+}
+
+fn build_attribute(
+    dir: &std::path::Path,
+    stem: &str,
+    source: &garlic_core::access::MemorySource,
+    cache: &Arc<BlockCache>,
+) -> Attribute {
+    let flat_path = dir.join(format!("{stem}.seg"));
+    SegmentWriter::new()
+        .write_graded_set(&flat_path, source.graded_set())
+        .unwrap();
+    let pairs: Vec<_> = source
+        .graded_set()
+        .as_slice()
+        .iter()
+        .map(|e| (e.object, e.grade))
+        .collect();
+    let parts = SegmentWriter::new()
+        .write_sharded_pairs(dir, stem, SHARDS, pairs)
+        .unwrap();
+
+    let flat = SegmentSource::open(&flat_path, Arc::clone(cache)).unwrap();
+    let open = |info: &garlic_storage::ShardInfo| {
+        SegmentSource::open(&info.path, Arc::clone(cache)).unwrap()
+    };
+    let shards: Vec<_> = parts.iter().map(open).collect();
+    let merge_shards: Vec<_> = parts.iter().map(open).collect();
+    let fences: Vec<u64> = parts.iter().map(|p| p.first_id).collect();
+    let sharded = ShardedSource::new(merge_shards, fences);
+    Attribute {
+        flat,
+        shards,
+        sharded,
+    }
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let n = n_objects();
+    let t = (n / 8).max(1);
+    eprintln!("bench_shard: N = {n}, prefix T = {t}, S = {SHARDS}");
+
+    let mut rng = garlic_workload::seeded_rng(2260);
+    let skeleton = Skeleton::random(2, n, &mut rng);
+    let db = ScoringDatabase::from_skeleton(&skeleton, &UniformGrades, &mut rng);
+    let mut sources = db.to_sources();
+    let attr_b = sources.pop().expect("two lists");
+    let attr_a = sources.pop().expect("two lists");
+
+    let dir = std::env::temp_dir().join(format!("garlic-bench-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // One warm cache for every contender: budget covers the deep prefix of
+    // the flat segments plus all shard prefixes the naive scatter touches.
+    let cache = Arc::new(BlockCache::new(262_144));
+    let a = build_attribute(&dir, "shard-a", &attr_a, &cache);
+    let b = build_attribute(&dir, "shard-b", &attr_b, &cache);
+    drop((attr_a, attr_b, db, skeleton));
+
+    // Equality gates before timing: every contender must produce the flat
+    // segment's exact prefix, and both layouts the same top-k answer.
+    let mut flat_run = Vec::with_capacity(t);
+    let mut other = Vec::with_capacity(t * SHARDS);
+    assert_eq!(scan_prefix(&a.flat, t, &mut flat_run), t);
+    a.sharded.reset_scan();
+    assert_eq!(scan_prefix(&a.sharded, t, &mut other), t);
+    assert_eq!(flat_run, other, "sharded merge is bit-identical to flat");
+    naive_scatter(&a.shards, t, &mut other);
+    assert_eq!(flat_run, other, "naive scatter-gather agrees after sorting");
+    let flat_topk = fagin_min_topk(&[&a.flat, &b.flat], K).unwrap();
+    a.sharded.reset_scan();
+    b.sharded.reset_scan();
+    let sharded_topk = fagin_min_topk(&[&a.sharded, &b.sharded], K).unwrap();
+    assert_eq!(
+        flat_topk.entries(),
+        sharded_topk.entries(),
+        "both layouts return the identical top-k"
+    );
+
+    let mut group = c.benchmark_group("shard_scan/deep_prefix");
+    group.bench_function("unsharded", |bench| {
+        bench.iter(|| black_box(scan_prefix(&a.flat, t, &mut flat_run)))
+    });
+    group.bench_function("naive_scatter", |bench| {
+        bench.iter(|| {
+            naive_scatter(&a.shards, t, &mut other);
+            black_box(other.len())
+        })
+    });
+    group.bench_function("sharded", |bench| {
+        bench.iter(|| {
+            // The merged prefix is cached per scan; reset so every
+            // iteration pays the full merge, not a memcpy of the cache.
+            a.sharded.reset_scan();
+            black_box(scan_prefix(&a.sharded, t, &mut other))
+        })
+    });
+    group.finish();
+
+    // Capture the frontier's savings from one representative deep scan.
+    a.sharded.reset_scan();
+    scan_prefix(&a.sharded, t, &mut other);
+    let stats = a.sharded.scan_stats();
+    eprintln!(
+        "sharded scan: emitted {} consumed {} over {} shards → {:.1}% early-termination savings",
+        stats.emitted,
+        stats.consumed,
+        stats.shards,
+        100.0 * stats.early_termination_savings()
+    );
+    let _ = SAVINGS.set((
+        stats.early_termination_savings(),
+        stats.emitted,
+        stats.consumed,
+    ));
+
+    let mut group = c.benchmark_group("shard_topk/fa_min_k10");
+    group.bench_function("unsharded", |bench| {
+        bench.iter(|| black_box(fagin_min_topk(&[&a.flat, &b.flat], K).unwrap()))
+    });
+    group.bench_function("sharded", |bench| {
+        bench.iter(|| {
+            a.sharded.reset_scan();
+            b.sharded.reset_scan();
+            black_box(fagin_min_topk(&[&a.sharded, &b.sharded], K).unwrap())
+        })
+    });
+    group.finish();
+
+    let stats = cache.stats();
+    eprintln!(
+        "shared cache after timing: {stats} ({:.1}% lifetime hit rate)",
+        100.0 * stats.hit_rate()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_shard.json");
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(JSON_PATH);
+    targets = bench_shard
+);
+
+/// Pulls one benchmark's `median_ns` out of the shim's flat report.
+fn median_of(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let med = rest.find("\"median_ns\":")?;
+    let rest = &rest[med + "\"median_ns\":".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Re-opens the report the criterion shim just flushed and grafts the
+/// shard metrics in: the sharded-vs-naive speedup (the tentpole claim)
+/// and the frontier's measured savings. `perf_gate`'s parser only scans
+/// `name`/`median_ns` pairs, so the extra object is invisible to the gate.
+fn patch_report() {
+    let Ok(json) = std::fs::read_to_string(JSON_PATH) else {
+        return;
+    };
+    let naive = median_of(&json, "shard_scan/deep_prefix/naive_scatter");
+    let sharded = median_of(&json, "shard_scan/deep_prefix/sharded");
+    let speedup = match (naive, sharded) {
+        (Some(n), Some(s)) if s > 0.0 => n / s,
+        _ => return,
+    };
+    let (savings, emitted, consumed) = SAVINGS.get().copied().unwrap_or((0.0, 0, 0));
+    let metrics = format!(
+        ",\n  \"shard_metrics\": {{\n    \"shards\": {SHARDS},\n    \"n_objects\": {},\n    \
+         \"scan_speedup_vs_naive\": {speedup:.4},\n    \
+         \"early_termination_savings\": {savings:.4},\n    \
+         \"entries_emitted\": {emitted},\n    \"entries_consumed\": {consumed}\n  }}\n}}",
+        n_objects()
+    );
+    let Some(close) = json.rfind('}') else { return };
+    let patched = format!("{}{metrics}", json[..close].trim_end());
+    let _ = std::fs::write(JSON_PATH, patched);
+    eprintln!(
+        "bench_shard: {speedup:.2}x sharded-vs-naive scan speedup, \
+         {:.1}% early-termination savings → {JSON_PATH}",
+        100.0 * savings
+    );
+}
+
+fn main() {
+    benches();
+    patch_report();
+}

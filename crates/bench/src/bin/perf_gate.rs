@@ -4,7 +4,18 @@
 //!
 //! ```text
 //! perf_gate <current.json> <baseline.json> [max_ratio]
+//! perf_gate --pair <report.json> <name_a> <name_b> <max_ratio>
 //! ```
+//!
+//! A benchmark present in the baseline but absent from the fresh report is
+//! a **hard failure** (`MISS`), not a skip: a renamed or silently dropped
+//! bench would otherwise un-gate itself forever. Retiring a bench means
+//! retiring its baseline entry in the same change.
+//!
+//! `--pair` gates a single within-report ratio: it fails unless
+//! `median(name_a) <= max_ratio * median(name_b)`. CI uses it as the
+//! sharded-vs-unsharded gate on `bench_shard` output — one report, one
+//! run, so machine speed cancels exactly.
 //!
 //! The gate is deliberately generous (default 3×), and it is
 //! **machine-normalised by construction**: `bench_hotpath` groups each
@@ -122,10 +133,77 @@ fn verdicts(
         .collect()
 }
 
+/// Baseline benchmarks with no counterpart in the fresh report. Any entry
+/// here fails the gate: a bench that disappears must take its baseline
+/// entry with it, or the gate would silently shrink.
+fn missing_from_current(current: &[(String, f64)], baseline: &[(String, f64)]) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|(name, _)| !current.iter().any(|(n, _)| n == name))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// The `--pair` verdict: `Ok((ratio, detail))` when `median(name_a) <=
+/// max_ratio * median(name_b)` within one report, `Err(reason)` when the
+/// ratio is exceeded or either benchmark is absent.
+fn check_pair(
+    report: &[(String, f64)],
+    name_a: &str,
+    name_b: &str,
+    max_ratio: f64,
+) -> Result<(f64, String), String> {
+    let median = |name: &str| -> Result<f64, String> {
+        report
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns)
+            .filter(|&ns| ns > 0.0)
+            .ok_or_else(|| format!("benchmark {name} missing from the report"))
+    };
+    let (a, b) = (median(name_a)?, median(name_b)?);
+    let ratio = a / b;
+    if ratio > max_ratio {
+        return Err(format!(
+            "{name_a} is {ratio:.2}x of {name_b} ({a:.0} ns vs {b:.0} ns), over the {max_ratio}x gate"
+        ));
+    }
+    Ok((
+        ratio,
+        format!(
+            "{name_a} is {ratio:.2}x of {name_b} ({a:.0} ns vs {b:.0} ns), within {max_ratio}x"
+        ),
+    ))
+}
+
+fn pair_mode(args: &[String]) -> ExitCode {
+    let [report_path, name_a, name_b, max_ratio] = &args[2..] else {
+        eprintln!("usage: perf_gate --pair <report.json> <name_a> <name_b> <max_ratio>");
+        return ExitCode::FAILURE;
+    };
+    let max_ratio: f64 = max_ratio.parse().expect("max_ratio must be a number");
+    let report = std::fs::read_to_string(report_path)
+        .unwrap_or_else(|e| panic!("reading {report_path}: {e}"));
+    match check_pair(&parse_medians(&report), name_a, name_b, max_ratio) {
+        Ok((_, detail)) => {
+            println!("ok    {detail}");
+            ExitCode::SUCCESS
+        }
+        Err(reason) => {
+            eprintln!("FAIL  {reason}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "--pair") {
+        return pair_mode(&args);
+    }
     if args.len() < 3 {
         eprintln!("usage: perf_gate <current.json> <baseline.json> [max_ratio]");
+        eprintln!("       perf_gate --pair <report.json> <name_a> <name_b> <max_ratio>");
         return ExitCode::FAILURE;
     }
     let max_ratio: f64 = args
@@ -144,10 +222,9 @@ fn main() -> ExitCode {
             println!("NEW   {name}: no baseline yet");
         }
     }
-    for (name, _) in &baseline {
-        if !current.iter().any(|(n, _)| n == name) {
-            println!("SKIP  {name}: not in current report");
-        }
+    let missing = missing_from_current(&current, &baseline);
+    for name in &missing {
+        println!("MISS  {name}: in baseline but not in current report");
     }
 
     let verdicts = verdicts(&current, &baseline, max_ratio);
@@ -172,6 +249,14 @@ fn main() -> ExitCode {
         eprintln!("perf_gate: no gateable benchmark pairs between report and baseline");
         return ExitCode::FAILURE;
     }
+    if !missing.is_empty() {
+        eprintln!(
+            "perf_gate: {} baseline benchmark(s) missing from the current report \
+             (renamed or dropped benches must retire their baseline entries)",
+            missing.len()
+        );
+        return ExitCode::FAILURE;
+    }
     if failed {
         eprintln!("perf_gate: regression beyond {max_ratio}x (pair-normalized) detected");
         return ExitCode::FAILURE;
@@ -182,7 +267,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{group_of, parse_medians, verdicts};
+    use super::{check_pair, group_of, missing_from_current, parse_medians, verdicts};
 
     #[test]
     fn parses_the_shim_schema() {
@@ -228,6 +313,56 @@ mod tests {
         assert_eq!(fast.1, Some(true));
         let reference = v.iter().find(|(n, _, _)| n == "g/reference").unwrap();
         assert_eq!(reference.1, None, "the reference itself is not gated");
+    }
+
+    #[test]
+    fn a_baseline_bench_absent_from_the_fresh_run_is_a_hard_failure() {
+        // Regression: a dropped/renamed bench used to print "SKIP" and
+        // pass, silently un-gating itself. It must now be reported as
+        // missing, which main() turns into exit 1.
+        let base = report(&[
+            ("g/reference", 100.0),
+            ("g/fast", 20.0),
+            ("g/dropped", 40.0),
+        ]);
+        let cur = report(&[("g/reference", 100.0), ("g/fast", 20.0)]);
+        assert_eq!(missing_from_current(&cur, &base), vec!["g/dropped"]);
+        assert!(
+            missing_from_current(&base, &base).is_empty(),
+            "identical reports have nothing missing"
+        );
+        // New benches in the current report are fine — only the baseline
+        // side is load-bearing.
+        let grown = report(&[("g/reference", 100.0), ("g/fast", 20.0), ("g/new", 5.0)]);
+        assert!(missing_from_current(&grown, &base[..2]).is_empty());
+    }
+
+    #[test]
+    fn pair_gate_compares_two_medians_within_one_report() {
+        let rep = report(&[
+            ("shard_topk/k10/sharded", 90.0),
+            ("shard_topk/k10/unsharded", 100.0),
+        ]);
+        let ok = check_pair(
+            &rep,
+            "shard_topk/k10/sharded",
+            "shard_topk/k10/unsharded",
+            1.5,
+        );
+        assert!(ok.is_ok());
+        assert!((ok.unwrap().0 - 0.9).abs() < 1e-9);
+
+        let over = check_pair(
+            &rep,
+            "shard_topk/k10/unsharded",
+            "shard_topk/k10/sharded",
+            1.05,
+        );
+        let reason = over.unwrap_err();
+        assert!(reason.contains("over the 1.05x gate"), "{reason}");
+
+        let absent = check_pair(&rep, "shard_topk/k10/sharded", "nope", 2.0);
+        assert!(absent.unwrap_err().contains("missing"));
     }
 
     #[test]

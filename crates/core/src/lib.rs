@@ -17,6 +17,10 @@
 //!   [`engine`](algorithms::engine);
 //! * [`complement`] — negated atoms as reversed, grade-complemented
 //!   sources (the Section 7 `π_{¬Q}` observation);
+//! * [`sharded`] — scatter-gather over object-id-range shards: a
+//!   tie-order-stable demand-driven k-way merge with a shared grade
+//!   frontier, bit-identical to the unsharded stream (Section 5's
+//!   threshold argument applied across shards);
 //! * [`fx`] — the vendored fast hash keying every hot-path map (engine
 //!   slot resolution, random-access indexes, block-cache keys);
 //! * [`validate`] — a linear audit of the access contract, for vetting
@@ -50,6 +54,7 @@ pub mod fx;
 pub mod graded_set;
 pub mod object;
 pub mod query;
+pub mod sharded;
 pub mod topk;
 pub mod validate;
 
@@ -61,4 +66,5 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use graded_set::{GradedEntry, GradedSet};
 pub use object::ObjectId;
 pub use query::{Calculus, Query};
+pub use sharded::{ShardScanStats, ShardedSource};
 pub use topk::{TopK, TopKError};

@@ -1,0 +1,700 @@
+//! Sharded scatter-gather over object-id ranges.
+//!
+//! A graded list is usually served by one source. [`ShardedSource`] splits
+//! that role across `S` child sources, each owning a contiguous range of
+//! object ids (the per-shard analogue of the segment footer's
+//! `table_first_ids` block fences): shard `i` grades exactly the objects in
+//! `fences[i] .. fences[i+1]`. Because the ranges partition the id space,
+//! the global skeleton key — descending grade, ties by ascending object id
+//! — is unique across shards, so a k-way merge of the per-shard sorted
+//! runs reproduces the unsharded stream *bit for bit*: same entries, same
+//! tie order, same Section 5 billing once a [`CountingSource`] wraps the
+//! merged handle.
+//!
+//! The merge is demand-driven, which is where the paper's Section 5
+//! threshold argument pays off across shards: each shard is only read as
+//! deep as the merged prefix actually needs, so a top-k consumer that
+//! stops at depth `T` costs roughly `T` shard entries in total — not the
+//! `S × T` a naive scatter-gather (every shard scanned to the global
+//! depth) pays. A shared atomic **grade frontier** — the lowest grade the
+//! merge has emitted — governs per-shard prefetch: a shard whose last
+//! yielded grade has fallen below the frontier cannot contribute soon, so
+//! its refills drop to a minimal probe chunk while shards still above the
+//! frontier stream large (optionally parallel) chunks. The frontier only
+//! shapes *when* entries are fetched, never *which* entries are emitted,
+//! so correctness never depends on it. [`ShardedSource::scan_stats`]
+//! reports the realised early-termination savings.
+//!
+//! Random access routes each probe to its owning shard by binary search
+//! over the shard fences ([`ShardedSource::shard_of`]), and batched random
+//! access regroups probes per shard so block-backed shards keep their
+//! one-fetch-per-block batching.
+//!
+//! [`CountingSource`]: crate::access::CountingSource
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use garlic_agg::Grade;
+
+use crate::access::{GradedSource, SetAccess};
+use crate::graded_set::GradedEntry;
+use crate::object::ObjectId;
+
+/// Smallest refill chunk: enough to learn a shard's next few heads without
+/// committing to a deep read of a shard the frontier says is out of the
+/// race.
+const MIN_CHUNK: usize = 16;
+
+/// Largest refill chunk per shard — bounds prefetch overshoot past the
+/// depth the merge was asked for.
+const MAX_CHUNK: usize = 4096;
+
+/// Refills this large (per shard, with at least two shards hungry) are
+/// fetched on scoped threads; smaller ones are not worth a spawn.
+const PARALLEL_MIN_CHUNK: usize = 1024;
+
+/// Cumulative scatter-gather counters of one [`ShardedSource`]: how deep
+/// the merged stream went vs how many entries the shards actually served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardScanStats {
+    /// Entries emitted by the merged stream (the global scan depth `T`).
+    pub emitted: u64,
+    /// Entries pulled from all shards together (`T` plus bounded prefetch
+    /// overshoot; a naive scatter-gather would pay `shards × T`).
+    pub consumed: u64,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+impl ShardScanStats {
+    /// Fraction of the naive scatter-gather cost (`shards × emitted`
+    /// entries) the threshold cut avoided reading. 0 when nothing was
+    /// emitted.
+    pub fn early_termination_savings(&self) -> f64 {
+        let naive = self.emitted.saturating_mul(self.shards as u64);
+        if naive == 0 {
+            return 0.0;
+        }
+        1.0 - (self.consumed.min(naive) as f64 / naive as f64)
+    }
+}
+
+/// One shard's position in the demand-driven merge.
+#[derive(Debug)]
+struct ShardRun {
+    /// Buffered entries not yet consumed by the merge (`buf[pos..]`).
+    buf: Vec<GradedEntry>,
+    pos: usize,
+    /// The shard rank the next refill starts at.
+    next_rank: usize,
+    /// Whether the shard returned a short batch (no entries remain).
+    exhausted: bool,
+    /// Grade of the last entry this shard yielded — an upper bound on
+    /// everything it still holds, compared against the frontier to size
+    /// refills.
+    last_grade: Option<Grade>,
+}
+
+impl ShardRun {
+    fn new() -> Self {
+        ShardRun {
+            buf: Vec::new(),
+            pos: 0,
+            next_rank: 0,
+            exhausted: false,
+            last_grade: None,
+        }
+    }
+
+    fn head(&self) -> Option<GradedEntry> {
+        self.buf.get(self.pos).copied()
+    }
+
+    fn needs_refill(&self) -> bool {
+        !self.exhausted && self.pos == self.buf.len()
+    }
+}
+
+/// The guarded merge state: the merged prefix computed so far plus each
+/// shard's buffered run. Positional sorted access is served out of
+/// `merged`, which only ever grows — the stream is deterministic no matter
+/// how callers batch it.
+#[derive(Debug)]
+struct MergeState {
+    merged: Vec<GradedEntry>,
+    runs: Vec<ShardRun>,
+}
+
+/// `S` child sources serving one logical graded list, partitioned by
+/// object-id range. Implements the full [`GradedSource`] (+ [`SetAccess`])
+/// contract; see the module docs for the merge, frontier, and routing
+/// rules.
+///
+/// The merged prefix is cached internally (interior mutability), so a
+/// source that was streamed deep once serves later shallow scans without
+/// touching the shards again; [`reset_scan`](ShardedSource::reset_scan)
+/// drops that cache for cold-path measurement.
+#[derive(Debug)]
+pub struct ShardedSource<S> {
+    shards: Vec<S>,
+    /// `fences[i]` = lowest object id shard `i` owns; ranges are
+    /// contiguous and ascending.
+    fences: Vec<u64>,
+    len: usize,
+    state: Mutex<MergeState>,
+    /// Bits of the lowest merged grade emitted so far (grades are
+    /// non-negative, so the f64 bit pattern orders like the value).
+    frontier: AtomicU64,
+    emitted: AtomicU64,
+    consumed: AtomicU64,
+}
+
+impl<S: GradedSource> ShardedSource<S> {
+    /// Assembles a sharded source from per-shard sources and their range
+    /// fences (`fences[i]` = first object id owned by shard `i`).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty, the lengths differ, or the fences are
+    /// not strictly increasing — all wiring errors: the caller (segment
+    /// opener, subsystem builder, or [`partition_pairs`]) is responsible
+    /// for handing over a genuine partition of the id space.
+    pub fn new(shards: Vec<S>, fences: Vec<u64>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a sharded source needs at least one shard"
+        );
+        assert_eq!(
+            shards.len(),
+            fences.len(),
+            "one fence (lowest owned object id) per shard"
+        );
+        assert!(
+            fences.windows(2).all(|w| w[0] < w[1]),
+            "shard fences must be strictly increasing"
+        );
+        let len = shards.iter().map(|s| s.len()).sum();
+        let runs = shards.iter().map(|_| ShardRun::new()).collect();
+        ShardedSource {
+            shards,
+            fences,
+            len,
+            state: Mutex::new(MergeState {
+                merged: Vec::new(),
+                runs,
+            }),
+            frontier: AtomicU64::new(Grade::ONE.value().to_bits()),
+            emitted: AtomicU64::new(0),
+            consumed: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The child sources, in fence order.
+    pub fn shards(&self) -> &[S] {
+        &self.shards
+    }
+
+    /// The shard owning `object`'s id range. Ids below the first fence are
+    /// routed to shard 0, where they miss — same observable answer as the
+    /// unsharded source.
+    pub fn shard_of(&self, object: ObjectId) -> usize {
+        self.fences
+            .partition_point(|&f| f <= object.0)
+            .saturating_sub(1)
+    }
+
+    /// Cumulative scatter-gather counters (see [`ShardScanStats`]).
+    pub fn scan_stats(&self) -> ShardScanStats {
+        ShardScanStats {
+            emitted: self.emitted.load(Ordering::Relaxed),
+            consumed: self.consumed.load(Ordering::Relaxed),
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Drops the cached merged prefix and all shard buffers, returning the
+    /// source to its just-built state (counters included). The next sorted
+    /// access replays the merge from the shards — this is how cold-path
+    /// benchmarks measure the scatter-gather itself rather than the cache.
+    pub fn reset_scan(&self) {
+        let mut state = self.state.lock().expect("sharded merge state");
+        state.merged = Vec::new();
+        for run in &mut state.runs {
+            *run = ShardRun::new();
+        }
+        self.frontier
+            .store(Grade::ONE.value().to_bits(), Ordering::Relaxed);
+        self.emitted.store(0, Ordering::Relaxed);
+        self.consumed.store(0, Ordering::Relaxed);
+    }
+
+    /// Extends the merged prefix to `target` entries (or to exhaustion).
+    fn ensure_merged(&self, state: &mut MergeState, target: usize) {
+        let target = target.min(self.len);
+        while state.merged.len() < target {
+            self.refill(state, target);
+            // Pop the best head: highest grade, ties by lowest object id.
+            // Every non-exhausted shard has a buffered head after refill,
+            // so this comparison sees the true global next entry.
+            let best = state
+                .runs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, run)| run.head().map(|e| (i, e)))
+                .max_by(|(_, a), (_, b)| a.grade.cmp(&b.grade).then(b.object.cmp(&a.object)));
+            let Some((winner, entry)) = best else {
+                break; // every shard exhausted before `target`
+            };
+            state.runs[winner].pos += 1;
+            state.merged.push(entry);
+            self.frontier
+                .store(entry.grade.value().to_bits(), Ordering::Relaxed);
+            self.emitted
+                .store(state.merged.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Refills every shard whose buffer ran dry. Shards whose last yielded
+    /// grade is still at/above the frontier stream demand-sized chunks;
+    /// shards already below it get [`MIN_CHUNK`] probes. Large refills of
+    /// two or more shards run on scoped threads.
+    fn refill(&self, state: &mut MergeState, target: usize) {
+        let remaining = target.saturating_sub(state.merged.len());
+        if remaining == 0 {
+            return;
+        }
+        let hungry = state.runs.iter().filter(|r| r.needs_refill()).count();
+        if hungry == 0 {
+            return;
+        }
+        let frontier = Grade::clamped(f64::from_bits(self.frontier.load(Ordering::Relaxed)));
+        let live = state.runs.iter().filter(|r| !r.exhausted).count().max(1);
+        let demand = (remaining / live + 1).clamp(MIN_CHUNK, MAX_CHUNK);
+        let chunk_for = |run: &ShardRun| match run.last_grade {
+            Some(last) if last < frontier => MIN_CHUNK,
+            _ => demand,
+        };
+
+        let parallel = hungry >= 2 && demand >= PARALLEL_MIN_CHUNK;
+        if parallel {
+            std::thread::scope(|scope| {
+                let mut pending = Vec::new();
+                for (run, shard) in state.runs.iter_mut().zip(&self.shards) {
+                    if !run.needs_refill() {
+                        continue;
+                    }
+                    let chunk = chunk_for(run);
+                    pending.push(scope.spawn(move || {
+                        run.buf.clear();
+                        run.pos = 0;
+                        let got = shard.sorted_batch(run.next_rank, chunk, &mut run.buf);
+                        finish_refill(run, got, chunk);
+                        got
+                    }));
+                }
+                let total: usize = pending
+                    .into_iter()
+                    .map(|h| h.join().expect("refill thread"))
+                    .sum();
+                self.consumed.fetch_add(total as u64, Ordering::Relaxed);
+            });
+        } else {
+            let mut total = 0usize;
+            for (run, shard) in state.runs.iter_mut().zip(&self.shards) {
+                if !run.needs_refill() {
+                    continue;
+                }
+                let chunk = chunk_for(run);
+                run.buf.clear();
+                run.pos = 0;
+                let got = shard.sorted_batch(run.next_rank, chunk, &mut run.buf);
+                finish_refill(run, got, chunk);
+                total += got;
+            }
+            self.consumed.fetch_add(total as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+fn finish_refill(run: &mut ShardRun, got: usize, chunk: usize) {
+    run.next_rank += got;
+    if got < chunk {
+        run.exhausted = true;
+    }
+    if let Some(last) = run.buf.last() {
+        run.last_grade = Some(last.grade);
+    }
+}
+
+impl<S: GradedSource> GradedSource for ShardedSource<S> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        let mut state = self.state.lock().expect("sharded merge state");
+        self.ensure_merged(&mut state, rank.saturating_add(1));
+        state.merged.get(rank).copied()
+    }
+
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        let mut state = self.state.lock().expect("sharded merge state");
+        self.ensure_merged(&mut state, start.saturating_add(count));
+        let merged = &state.merged;
+        let from = start.min(merged.len());
+        let to = start.saturating_add(count).min(merged.len());
+        out.extend_from_slice(&merged[from..to]);
+        to - from
+    }
+
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        self.shards[self.shard_of(object)].random_access(object)
+    }
+
+    /// Routes each probe to its owning shard by fence lookup, forwards one
+    /// grouped batch per shard (so block-backed shards batch their own
+    /// I/O), and scatters the answers back into probe order.
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        let base = out.len();
+        out.resize(base + objects.len(), None);
+        // Group probe positions by shard; single-shard batches forward
+        // straight through.
+        let mut groups: Vec<(Vec<usize>, Vec<ObjectId>)> = (0..self.shards.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (slot, &object) in objects.iter().enumerate() {
+            let shard = self.shard_of(object);
+            groups[shard].0.push(slot);
+            groups[shard].1.push(object);
+        }
+        let mut answers = Vec::new();
+        for (shard, (slots, probes)) in self.shards.iter().zip(groups) {
+            if probes.is_empty() {
+                continue;
+            }
+            answers.clear();
+            shard.random_batch(&probes, &mut answers);
+            debug_assert_eq!(answers.len(), probes.len(), "one slot per probe");
+            for (slot, grade) in slots.into_iter().zip(answers.drain(..)) {
+                out[base + slot] = grade;
+            }
+        }
+    }
+}
+
+impl<S: SetAccess> SetAccess for ShardedSource<S> {
+    /// The union of the shards' grade-1 sets. Order is unspecified by the
+    /// contract; this yields shard order (ascending id ranges), each
+    /// shard's own enumeration order within.
+    fn matching_set(&self) -> Vec<ObjectId> {
+        let mut set = Vec::new();
+        for shard in &self.shards {
+            set.extend(shard.matching_set());
+        }
+        set
+    }
+}
+
+/// Splits `(object, grade)` pairs into at most `shards` contiguous,
+/// id-ascending, balanced runs — the canonical shard layout both the
+/// in-memory subsystem and the segment writer build from. Returns fewer
+/// runs when there are fewer pairs than shards; every returned run is
+/// non-empty.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+pub fn partition_pairs(
+    mut pairs: Vec<(ObjectId, Grade)>,
+    shards: usize,
+) -> Vec<Vec<(ObjectId, Grade)>> {
+    assert!(shards > 0, "cannot partition into zero shards");
+    pairs.sort_by_key(|(object, _)| *object);
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let per_shard = pairs.len().div_ceil(shards);
+    let mut runs = Vec::with_capacity(shards);
+    let mut rest = pairs.as_slice();
+    while !rest.is_empty() {
+        let cut = per_shard.min(rest.len());
+        runs.push(rest[..cut].to_vec());
+        rest = &rest[cut..];
+    }
+    runs
+}
+
+impl ShardedSource<crate::access::MemorySource> {
+    /// Builds an in-memory sharded source by partitioning `pairs` into at
+    /// most `shards` contiguous id ranges ([`partition_pairs`]).
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty, repeats an object, or `shards` is zero.
+    pub fn from_pairs(pairs: Vec<(ObjectId, Grade)>, shards: usize) -> Self {
+        let runs = partition_pairs(pairs, shards);
+        assert!(!runs.is_empty(), "cannot shard an empty graded list");
+        for run in &runs {
+            for w in run.windows(2) {
+                assert_ne!(w[0].0, w[1].0, "object {} graded twice", w[0].0);
+            }
+        }
+        let fences = runs.iter().map(|run| run[0].0 .0).collect();
+        let sources = runs
+            .into_iter()
+            .map(crate::access::MemorySource::from_pairs)
+            .collect();
+        ShardedSource::new(sources, fences)
+    }
+
+    /// Builds an in-memory sharded source over a dense grade vector
+    /// (object `i` gets `grades[i]`).
+    ///
+    /// # Panics
+    /// Panics if `grades` is empty or `shards` is zero.
+    pub fn from_grades(grades: &[Grade], shards: usize) -> Self {
+        let pairs = grades
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (ObjectId::from(i), g))
+            .collect();
+        ShardedSource::from_pairs(pairs, shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{CountingSource, MemorySource};
+
+    fn g(v: f64) -> Grade {
+        Grade::clamped(v)
+    }
+
+    /// A deterministic pseudo-random graded list with heavy ties (11
+    /// distinct grades), the regime where tie order is easiest to break.
+    fn pairs(n: usize, seed: u64) -> Vec<(ObjectId, Grade)> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (ObjectId(i as u64), g((x >> 33) as f64 % 11.0 / 10.0))
+            })
+            .collect()
+    }
+
+    fn unsharded(pairs: &[(ObjectId, Grade)]) -> MemorySource {
+        MemorySource::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn merged_stream_is_bit_identical_to_unsharded() {
+        let data = pairs(500, 7);
+        let flat = unsharded(&data);
+        for shards in [1, 2, 3, 7] {
+            let sharded = ShardedSource::from_pairs(data.clone(), shards);
+            assert_eq!(sharded.len(), flat.len());
+            let mut want = Vec::new();
+            flat.sorted_batch(0, 500, &mut want);
+            let mut got = Vec::new();
+            sharded.sorted_batch(0, 500, &mut got);
+            assert_eq!(got, want, "S={shards}: entries and tie order");
+        }
+    }
+
+    #[test]
+    fn batch_size_never_changes_the_stream() {
+        let data = pairs(300, 21);
+        let flat = unsharded(&data);
+        let sharded = ShardedSource::from_pairs(data, 3);
+        let mut want = Vec::new();
+        flat.sorted_batch(0, 300, &mut want);
+        for batch in [1, 7, 64, 301] {
+            let fresh = ShardedSource::from_pairs(
+                want.iter().map(|e| (e.object, e.grade)).collect::<Vec<_>>(),
+                3,
+            );
+            for source in [&sharded, &fresh] {
+                let mut got = Vec::new();
+                while source.sorted_batch(got.len(), batch, &mut got) > 0 {}
+                assert_eq!(got, want, "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn positional_access_matches_the_batched_stream() {
+        let data = pairs(120, 3);
+        let sharded = ShardedSource::from_pairs(data.clone(), 7);
+        let flat = unsharded(&data);
+        for rank in [0usize, 1, 63, 119, 120, 500] {
+            assert_eq!(sharded.sorted_access(rank), flat.sorted_access(rank));
+        }
+    }
+
+    #[test]
+    fn random_access_routes_by_fence() {
+        let data = pairs(200, 11);
+        let sharded = ShardedSource::from_pairs(data.clone(), 4);
+        let flat = unsharded(&data);
+        for id in 0..210u64 {
+            assert_eq!(
+                sharded.random_access(ObjectId(id)),
+                flat.random_access(ObjectId(id)),
+                "object {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_batch_aligns_and_bills_like_the_loop() {
+        let data = pairs(100, 5);
+        let sharded = CountingSource::new(ShardedSource::from_pairs(data.clone(), 3));
+        let flat = CountingSource::new(unsharded(&data));
+        let probes: Vec<ObjectId> = [0u64, 99, 55, 1000, 55, 3, 42]
+            .into_iter()
+            .map(ObjectId)
+            .collect();
+        let mut a = vec![Some(g(1.0))]; // pre-existing entry must survive
+        let mut b = vec![Some(g(1.0))];
+        sharded.random_batch(&probes, &mut a);
+        flat.random_batch(&probes, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(sharded.stats(), flat.stats(), "identical §5 billing");
+    }
+
+    #[test]
+    fn billing_through_a_counting_wrapper_matches_unsharded() {
+        let data = pairs(400, 17);
+        for shards in [1, 2, 3, 7] {
+            let sharded = CountingSource::new(ShardedSource::from_pairs(data.clone(), shards));
+            let flat = CountingSource::new(unsharded(&data));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            sharded.sorted_batch(0, 123, &mut a);
+            flat.sorted_batch(0, 123, &mut b);
+            sharded.sorted_access(200);
+            flat.sorted_access(200);
+            assert_eq!(a, b);
+            assert_eq!(sharded.stats(), flat.stats(), "S={shards}");
+        }
+    }
+
+    #[test]
+    fn matching_set_unions_the_shards() {
+        let grades: Vec<Grade> = [1.0, 0.0, 1.0, 0.5, 1.0, 0.0, 1.0, 1.0]
+            .iter()
+            .map(|&v| g(v))
+            .collect();
+        let sharded = ShardedSource::from_grades(&grades, 3);
+        let mut set = sharded.matching_set();
+        set.sort();
+        let mut want = unsharded(
+            &grades
+                .iter()
+                .enumerate()
+                .map(|(i, &gr)| (ObjectId(i as u64), gr))
+                .collect::<Vec<_>>(),
+        )
+        .matching_set();
+        want.sort();
+        assert_eq!(set, want);
+        // Billed as sorted access through the counting wrapper, same
+        // count as the unsharded enumeration.
+        let counted = CountingSource::new(ShardedSource::from_grades(&grades, 3));
+        assert_eq!(counted.matching_set().len(), want.len());
+        assert_eq!(counted.stats().sorted, want.len() as u64);
+    }
+
+    #[test]
+    fn early_termination_beats_naive_scatter_gather() {
+        let data = pairs(4000, 31);
+        let sharded = ShardedSource::from_pairs(data, 4);
+        let mut out = Vec::new();
+        sharded.sorted_batch(0, 200, &mut out);
+        let stats = sharded.scan_stats();
+        assert_eq!(stats.emitted, 200);
+        assert!(
+            stats.consumed < 4 * stats.emitted,
+            "demand-driven merge must beat S×T: consumed {} vs naive {}",
+            stats.consumed,
+            4 * stats.emitted
+        );
+        assert!(stats.early_termination_savings() > 0.0);
+    }
+
+    #[test]
+    fn reset_scan_replays_the_identical_stream() {
+        let data = pairs(600, 13);
+        let sharded = ShardedSource::from_pairs(data, 4);
+        let mut first = Vec::new();
+        sharded.sorted_batch(0, 600, &mut first);
+        sharded.reset_scan();
+        assert_eq!(sharded.scan_stats().consumed, 0);
+        let mut second = Vec::new();
+        sharded.sorted_batch(0, 600, &mut second);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn partition_is_contiguous_balanced_and_complete() {
+        let data = pairs(103, 9);
+        let runs = partition_pairs(data.clone(), 4);
+        assert_eq!(runs.len(), 4);
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 103);
+        for w in runs.windows(2) {
+            assert!(w[0].last().unwrap().0 < w[1][0].0, "ranges ascend");
+        }
+        // More shards than pairs: every run non-empty, fewer runs.
+        let tiny = partition_pairs(pairs(3, 1), 7);
+        assert_eq!(tiny.len(), 3);
+        assert!(tiny.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_plain_source() {
+        let data = pairs(50, 2);
+        let sharded = ShardedSource::from_pairs(data.clone(), 1);
+        let flat = unsharded(&data);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        sharded.sorted_batch(0, 50, &mut a);
+        flat.sorted_batch(0, 50, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(sharded.shard_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_fences_are_a_wiring_error() {
+        let a = MemorySource::from_pairs(vec![(ObjectId(5), g(0.5))]);
+        let b = MemorySource::from_pairs(vec![(ObjectId(0), g(0.5))]);
+        let _ = ShardedSource::new(vec![a, b], vec![5, 0]);
+    }
+
+    #[test]
+    fn concurrent_readers_see_one_consistent_stream() {
+        let data = pairs(800, 23);
+        let flat = unsharded(&data);
+        let mut want = Vec::new();
+        flat.sorted_batch(0, 800, &mut want);
+        let sharded = std::sync::Arc::new(ShardedSource::from_pairs(data, 4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sharded = std::sync::Arc::clone(&sharded);
+                let want = &want;
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    while sharded.sorted_batch(got.len(), 97, &mut got) > 0 {}
+                    assert_eq!(&got, want);
+                });
+            }
+        });
+    }
+}

@@ -183,12 +183,15 @@ struct Parser {
 
 impl Parser {
     /// Guards every recursion point of `unary` (both `NOT` and `(` descend
-    /// through it) with the nesting bound.
+    /// through it) with the nesting bound. Depth counts the construct being
+    /// entered, so a query at exactly [`MAX_NESTING_DEPTH`] still parses and
+    /// the first construct past it is the one reported.
     fn enter(&mut self) -> Result<(), ParseError> {
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
             Err(self.error(format!(
-                "query nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+                "query nesting depth {} exceeds the maximum depth of {MAX_NESTING_DEPTH}",
+                self.depth
             )))
         } else {
             Ok(())
@@ -446,19 +449,49 @@ mod tests {
     }
 
     #[test]
-    fn nesting_inside_the_limit_still_parses() {
-        let depth = MAX_NESTING_DEPTH - 1;
-        let ok = format!("{}A = x{}", "(".repeat(depth), ")".repeat(depth));
-        assert_eq!(parse_query(&ok).unwrap().atoms().len(), 1);
+    fn nesting_boundary_is_exact_at_the_limit() {
+        // Pin the fence at 127 / 128 / 129: everything up to and including
+        // MAX_NESTING_DEPTH parses, the first depth past it is rejected,
+        // and the error names the offending depth, not just the limit.
+        let at = |depth: usize| format!("{}A = x{}", "(".repeat(depth), ")".repeat(depth));
 
-        // NOT NOT ... under the limit: parses, and NNF still collapses it.
-        let nots = format!("{}A = x", "NOT ".repeat(depth));
-        let q = parse_query(&nots).unwrap();
-        assert_eq!(q.to_nnf().literals.len(), 1);
+        assert_eq!(
+            parse_query(&at(MAX_NESTING_DEPTH - 1))
+                .unwrap()
+                .atoms()
+                .len(),
+            1,
+            "depth 127 parses"
+        );
+        assert_eq!(
+            parse_query(&at(MAX_NESTING_DEPTH)).unwrap().atoms().len(),
+            1,
+            "depth 128 is inside the limit, not past it"
+        );
 
-        // One past the limit fails with a positioned error, not a crash.
-        let over = format!("{}A = x{}", "(".repeat(depth + 2), ")".repeat(depth + 2));
-        assert!(parse_query(&over).is_err());
+        let err = parse_query(&at(MAX_NESTING_DEPTH + 1)).unwrap_err();
+        assert!(
+            err.message
+                .contains(&format!("depth {}", MAX_NESTING_DEPTH + 1)),
+            "the error reports the offending depth: {err}"
+        );
+        assert!(
+            err.message.contains(&MAX_NESTING_DEPTH.to_string()),
+            "the error reports the limit: {err}"
+        );
+
+        // NOT NOT ... hits the same guard at the same fence.
+        let nots = |depth: usize| format!("{}A = x", "NOT ".repeat(depth));
+        assert_eq!(
+            parse_query(&nots(MAX_NESTING_DEPTH))
+                .unwrap()
+                .to_nnf()
+                .literals
+                .len(),
+            1
+        );
+        let err = parse_query(&nots(MAX_NESTING_DEPTH + 1)).unwrap_err();
+        assert!(err.message.contains("nesting depth"), "{err}");
     }
 
     #[test]

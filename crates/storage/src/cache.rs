@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use garlic_core::FxHashMap;
 
@@ -62,6 +62,55 @@ struct CacheState {
     /// saw. Ticks are unique, so iteration order is a candidate LRU order.
     stale_recency: BTreeMap<u64, BlockKey>,
     next_tick: u64,
+    /// Single-flight table: one entry per block currently being read from
+    /// its file. Concurrent misses on the same key wait on the leader's
+    /// [`Flight`] instead of issuing duplicate reads.
+    in_flight: FxHashMap<BlockKey, Arc<Flight>>,
+}
+
+/// The rendezvous a miss's followers wait on while the leader reads the
+/// block. Completed exactly once, by the leader (or its unwind guard).
+struct Flight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+enum FlightState {
+    /// The leader is still reading.
+    Pending,
+    /// The leader finished; the bytes every waiter shares.
+    Done(Arc<[u8]>),
+    /// The leader's read failed (or the leader unwound): waiters must
+    /// retry — the next one in becomes the new leader.
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, outcome: FlightState) {
+        let mut state = self.state.lock().expect("flight lock");
+        *state = outcome;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the leader completes; `Some(bytes)` on success, `None`
+    /// when the flight failed and the caller should retry.
+    fn wait(&self) -> Option<Arc<[u8]>> {
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.ready.wait(state).expect("flight lock"),
+                FlightState::Done(bytes) => return Some(Arc::clone(bytes)),
+                FlightState::Failed => return None,
+            }
+        }
+    }
 }
 
 /// A snapshot of the cache's counters.
@@ -134,6 +183,7 @@ impl BlockCache {
                 blocks: FxHashMap::default(),
                 stale_recency: BTreeMap::new(),
                 next_tick: 0,
+                in_flight: FxHashMap::default(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -168,32 +218,128 @@ impl BlockCache {
     }
 
     /// Looks `key` up, calling `load` on a miss. The lock is **not** held
-    /// across `load`, so concurrent misses on different blocks read the
-    /// file in parallel; racing misses on the same block may both load, and
-    /// the first insert wins.
+    /// across `load`, so concurrent misses on *different* blocks read the
+    /// file in parallel — but misses on the *same* block **single-flight**:
+    /// exactly one caller (the leader) reads the file and bills one miss;
+    /// every racer waits on the leader's [`Flight`] and is billed a hit,
+    /// because it was served from memory. If the leader's read fails (or
+    /// unwinds), waiters retry and the next one in leads.
+    ///
+    /// Capacity 0 disables residency *and* deduplication: the documented
+    /// cold-cache contract is that every request reads the file, which is
+    /// what the cold-path benchmarks measure.
     pub(crate) fn get_or_load(
         &self,
         key: BlockKey,
         load: impl FnOnce() -> Result<Arc<[u8]>, StorageError>,
     ) -> Result<Arc<[u8]>, StorageError> {
-        {
-            let mut state = self.state.lock().expect("cache lock");
-            if let Some(bytes) = state.touch(key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(bytes);
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return load();
+        }
+        // The leader consumes `load` at most once across loop iterations
+        // (a failed follower may loop back and *become* the leader).
+        let mut load = Some(load);
+        loop {
+            let role = {
+                let mut state = self.state.lock().expect("cache lock");
+                if let Some(bytes) = state.touch(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(bytes);
+                }
+                match state.in_flight.get(&key) {
+                    Some(flight) => Role::Follower(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::new());
+                        state.in_flight.insert(key, Arc::clone(&flight));
+                        Role::Leader(flight)
+                    }
+                }
+            };
+            match role {
+                Role::Leader(flight) => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    // The guard keeps a panicking `load` from stranding
+                    // followers: on unwind it marks the flight failed so
+                    // they retry instead of waiting forever.
+                    let guard = FlightGuard {
+                        cache: self,
+                        key,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    let result = (load.take().expect("the leader loads at most once"))();
+                    guard.publish(&result);
+                    return result;
+                }
+                Role::Follower(flight) => {
+                    if let Some(bytes) = flight.wait() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(bytes);
+                    }
+                    // Leader failed: loop and contend for leadership.
+                }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let bytes = load()?;
-        if self.capacity > 0 {
-            let mut state = self.state.lock().expect("cache lock");
-            if state.touch(key).is_none() {
-                let evicted = state.insert(key, Arc::clone(&bytes), self.capacity);
-                self.evictions.fetch_add(evicted, Ordering::Relaxed);
-                self.resident.store(state.blocks.len(), Ordering::Relaxed);
+    }
+}
+
+/// What a miss turned into once the single-flight table was consulted.
+enum Role {
+    /// First miss on the key: this caller reads the file.
+    Leader(Arc<Flight>),
+    /// A read is already in flight: this caller waits for it.
+    Follower(Arc<Flight>),
+}
+
+/// Completion/unwind guard for a single-flight leader: guarantees the
+/// in-flight entry is removed and the flight completed exactly once, even
+/// if the load panics mid-read.
+struct FlightGuard<'a> {
+    cache: &'a BlockCache,
+    key: BlockKey,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publishes the leader's result: caches the bytes on success, then
+    /// wakes every follower with the outcome.
+    fn publish(mut self, result: &Result<Arc<[u8]>, StorageError>) {
+        self.armed = false;
+        let mut state = self.cache.state.lock().expect("cache lock");
+        state.in_flight.remove(&self.key);
+        match result {
+            Ok(bytes) => {
+                if state.touch(self.key).is_none() {
+                    let evicted = state.insert(self.key, Arc::clone(bytes), self.cache.capacity);
+                    self.cache.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    self.cache
+                        .resident
+                        .store(state.blocks.len(), Ordering::Relaxed);
+                }
+                drop(state);
+                self.flight.complete(FlightState::Done(Arc::clone(bytes)));
+            }
+            Err(_) => {
+                drop(state);
+                self.flight.complete(FlightState::Failed);
             }
         }
-        Ok(bytes)
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // The leader unwound without publishing: fail the flight so
+        // followers retry rather than wait forever.
+        let mut state = self.cache.state.lock().expect("cache lock");
+        state.in_flight.remove(&self.key);
+        drop(state);
+        self.flight.complete(FlightState::Failed);
     }
 }
 
@@ -365,8 +511,88 @@ mod tests {
         });
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 32);
-        assert!(stats.misses >= 8, "each block loaded at least once");
+        assert_eq!(stats.misses, 8, "single-flight: each block loaded once");
         assert_eq!(stats.resident, 8);
         assert!(format!("{stats}").contains("hit rate"));
+    }
+
+    #[test]
+    fn racing_misses_on_one_cold_block_single_flight() {
+        // Regression: the lock is dropped across file reads, so before the
+        // in-flight table, 8 threads missing the same cold block would all
+        // read and decode it — duplicate I/O and 8 counted misses. Now the
+        // leader loads once; everyone else waits and is billed a hit.
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let cache = Arc::new(BlockCache::new(4));
+        let loads = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let got = cache
+                        .get_or_load(key(0), || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that the
+                            // racers genuinely overlap the read.
+                            std::thread::sleep(std::time::Duration::from_millis(25));
+                            Ok(bytes(42))
+                        })
+                        .unwrap();
+                    assert_eq!(got[0], 42);
+                });
+            }
+        });
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "exactly one file read");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one miss");
+        assert_eq!(stats.hits, 7, "every racer was served from memory");
+        assert_eq!(stats.resident, 1);
+    }
+
+    #[test]
+    fn failed_leader_wakes_followers_and_the_next_caller_retries() {
+        use std::sync::Barrier;
+        let cache = Arc::new(BlockCache::new(4));
+        let barrier = Barrier::new(4);
+        // Every racer's load fails: all must get an error (no deadlock,
+        // no stranded in-flight entry).
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let result = cache.get_or_load(key(0), || {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        Err(StorageError::BadMagic)
+                    });
+                    assert!(result.is_err());
+                });
+            }
+        });
+        assert_eq!(cache.stats().resident, 0);
+        // The key is not stuck in flight: a fresh call loads and caches.
+        let got = cache.get_or_load(key(0), || Ok(bytes(7))).unwrap();
+        assert_eq!(got[0], 7);
+        assert_eq!(cache.stats().resident, 1);
+    }
+
+    #[test]
+    fn capacity_zero_does_not_single_flight() {
+        // The cold-bench contract: with no residency, every request reads
+        // the file — racing requests included.
+        use std::sync::Barrier;
+        let cache = Arc::new(BlockCache::new(0));
+        let barrier = Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    cache.get_or_load(key(0), || Ok(bytes(1))).unwrap();
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (0, 4, 0));
     }
 }

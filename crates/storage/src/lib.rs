@@ -56,4 +56,4 @@ pub use cache::{BlockCache, CacheStats};
 pub use error::StorageError;
 pub use format::DEFAULT_BLOCK_SIZE;
 pub use segment::SegmentSource;
-pub use writer::{SegmentInfo, SegmentWriter};
+pub use writer::{SegmentInfo, SegmentWriter, ShardInfo};

@@ -195,6 +195,14 @@ impl SegmentSource {
         self.max_object
     }
 
+    /// The smallest object id graded (`None` for an empty segment) — the
+    /// first fence of the footer's block index, since the table region is
+    /// id-ascending. This is a shard's range fence when segments are
+    /// opened as an id-range partition of one logical list.
+    pub fn min_object(&self) -> Option<ObjectId> {
+        self.footer.table_first_ids.first().map(|&id| ObjectId(id))
+    }
+
     /// The segment's block size in bytes.
     pub fn block_size(&self) -> usize {
         self.footer.block_size

@@ -38,6 +38,21 @@ pub struct SegmentInfo {
     pub ones: u64,
 }
 
+/// One shard of a sharded build: where it was published, the lowest
+/// object id it owns (its range fence), and its segment geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// The published segment file.
+    pub path: std::path::PathBuf,
+    /// Lowest object id in this shard — the fence a [`ShardedSource`]
+    /// routes random access by.
+    ///
+    /// [`ShardedSource`]: garlic_core::ShardedSource
+    pub first_id: u64,
+    /// The shard segment's geometry.
+    pub info: SegmentInfo,
+}
+
 /// Serializes graded lists into segment files.
 #[derive(Debug, Clone)]
 pub struct SegmentWriter {
@@ -93,6 +108,61 @@ impl SegmentWriter {
     pub fn write_grades(&self, path: &Path, grades: &[Grade]) -> Result<SegmentInfo, StorageError> {
         self.write_pairs(
             path,
+            grades
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (ObjectId::from(i), g)),
+        )
+    }
+
+    /// Writes `(object, grade)` pairs as an id-range partition of at most
+    /// `shards` segment files under `dir`, named `<stem>.<i>.seg` — the
+    /// sharded build behind [`ShardedSource`]-backed subsystems. The pairs
+    /// are split into contiguous, id-ascending, balanced runs
+    /// ([`garlic_core::sharded::partition_pairs`]); each run becomes an
+    /// ordinary (atomically published, fully verifiable) segment, and the
+    /// run's lowest id is returned as that shard's range fence. Fewer
+    /// shard files are produced when there are fewer pairs than `shards`.
+    ///
+    /// [`ShardedSource`]: garlic_core::ShardedSource
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn write_sharded_pairs(
+        &self,
+        dir: &Path,
+        stem: &str,
+        shards: usize,
+        pairs: impl IntoIterator<Item = (ObjectId, Grade)>,
+    ) -> Result<Vec<ShardInfo>, StorageError> {
+        let runs = garlic_core::sharded::partition_pairs(pairs.into_iter().collect(), shards);
+        let mut out = Vec::with_capacity(runs.len());
+        for (i, run) in runs.into_iter().enumerate() {
+            let path = dir.join(format!("{stem}.{i:03}.seg"));
+            let first_id = run[0].0 .0;
+            let info = self.write_pairs(&path, run)?;
+            out.push(ShardInfo {
+                path,
+                first_id,
+                info,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Sharded build over a dense grade vector (object `i` gets
+    /// `grades[i]`); see [`write_sharded_pairs`](Self::write_sharded_pairs).
+    pub fn write_sharded_grades(
+        &self,
+        dir: &Path,
+        stem: &str,
+        shards: usize,
+        grades: &[Grade],
+    ) -> Result<Vec<ShardInfo>, StorageError> {
+        self.write_sharded_pairs(
+            dir,
+            stem,
+            shards,
             grades
                 .iter()
                 .enumerate()
@@ -296,6 +366,33 @@ mod tests {
         SegmentWriter::new().write_grades(&path, &[g(0.5)]).unwrap();
         assert!(path.exists());
         assert!(!tmp_sibling(&path).exists());
+    }
+
+    #[test]
+    fn sharded_build_partitions_by_id_range() {
+        let dir = temp_path("sharded-build");
+        fs::create_dir_all(&dir).unwrap();
+        let grades: Vec<Grade> = (0..10).map(|i| g(i as f64 / 10.0)).collect();
+        let shards = SegmentWriter::new()
+            .write_sharded_grades(&dir, "attr", 4, &grades)
+            .unwrap();
+        assert_eq!(shards.len(), 4);
+        // Balanced contiguous ranges: 3+3+3+1 over ids 0..10.
+        assert_eq!(
+            shards.iter().map(|s| s.first_id).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
+        let total: u64 = shards.iter().map(|s| s.info.entries).sum();
+        assert_eq!(total, 10);
+        for shard in &shards {
+            assert!(shard.path.exists(), "{} published", shard.path.display());
+        }
+        // More shards than entries: every produced shard is non-empty.
+        let tiny = SegmentWriter::new()
+            .write_sharded_grades(&dir, "tiny", 8, &grades[..3])
+            .unwrap();
+        assert_eq!(tiny.len(), 3);
+        assert!(tiny.iter().all(|s| s.info.entries == 1));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use garlic_core::access::{GradedSource, SetAccess};
+use garlic_core::ShardedSource;
 use garlic_storage::{BlockCache, CacheStats, SegmentSource, StorageError};
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError};
@@ -26,6 +27,39 @@ use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 /// Default cache budget for a subsystem that was not handed a shared
 /// cache: 1024 blocks (4 MiB at the default 4 KiB block size).
 pub const DEFAULT_CACHE_BLOCKS: usize = 1024;
+
+/// One registered persistent ranking: owned answer handles (both trait
+/// facades cloned from one concrete `Arc` — a single [`SegmentSource`] or
+/// a [`ShardedSource`] over an id-range partition of shard segments) plus
+/// footer-derived statistics.
+#[derive(Clone)]
+struct DiskAttribute {
+    graded: Arc<dyn GradedSource>,
+    set: Arc<dyn SetAccess>,
+    crisp: bool,
+    ones: u64,
+}
+
+impl DiskAttribute {
+    fn from_concrete<S: SetAccess + 'static>(source: Arc<S>, crisp: bool, ones: u64) -> Self {
+        DiskAttribute {
+            graded: Arc::clone(&source) as Arc<dyn GradedSource>,
+            set: source as Arc<dyn SetAccess>,
+            crisp,
+            ones,
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskAttribute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskAttribute")
+            .field("len", &self.graded.len())
+            .field("crisp", &self.crisp)
+            .field("ones", &self.ones)
+            .finish()
+    }
+}
 
 /// A subsystem serving graded lists from immutable segment files, keyed by
 /// attribute.
@@ -38,7 +72,7 @@ pub struct DiskSubsystem {
     name: String,
     universe: usize,
     cache: Arc<BlockCache>,
-    segments: BTreeMap<String, Arc<SegmentSource>>,
+    segments: BTreeMap<String, DiskAttribute>,
 }
 
 impl DiskSubsystem {
@@ -88,8 +122,76 @@ impl DiskSubsystem {
                 self.universe
             );
         }
-        self.segments
-            .insert(attribute.to_owned(), Arc::new(segment));
+        let (crisp, ones) = (segment.is_crisp(), segment.exact_match_count());
+        self.segments.insert(
+            attribute.to_owned(),
+            DiskAttribute::from_concrete(Arc::new(segment), crisp, ones),
+        );
+        Ok(self)
+    }
+
+    /// Opens (and fully verifies) the segments at `paths` as one sharded
+    /// ranking of `attribute` — an id-range partition, typically the files
+    /// a [`SegmentWriter::write_sharded_pairs`] build published. Evaluation
+    /// serves the [`ShardedSource`] scatter-gather merge: bit-identical to
+    /// a single segment over the same pairs, with `estimate_matches` summed
+    /// from the shard footers and crispness the conjunction of the shard
+    /// flags.
+    ///
+    /// [`SegmentWriter::write_sharded_pairs`]: garlic_storage::SegmentWriter::write_sharded_pairs
+    ///
+    /// # Panics
+    /// Panics on wiring errors: no shards, an empty shard, overlapping or
+    /// out-of-order shard ranges, or a partition that does not grade
+    /// exactly this subsystem's universe `0..N`.
+    pub fn open_sharded_segment(
+        mut self,
+        attribute: &str,
+        paths: impl IntoIterator<Item = impl AsRef<Path>>,
+    ) -> Result<Self, StorageError> {
+        let mut shards = Vec::new();
+        for path in paths {
+            shards.push(SegmentSource::open(path, Arc::clone(&self.cache))?);
+        }
+        assert!(!shards.is_empty(), "a sharded attribute needs shards");
+        let fences: Vec<u64> = shards
+            .iter()
+            .map(|s| {
+                s.min_object()
+                    .expect("sharded attributes forbid empty shards")
+                    .0
+            })
+            .collect();
+        for pair in shards.windows(2) {
+            let (prev_max, next_min) = (
+                pair[0].max_object().expect("non-empty shard"),
+                pair[1].min_object().expect("non-empty shard"),
+            );
+            assert!(
+                prev_max < next_min,
+                "shard ranges must be disjoint and ascending \
+                 (shard ending at {prev_max} meets shard starting at {next_min})"
+            );
+        }
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(
+            total, self.universe,
+            "sharded segment length must match the universe size"
+        );
+        if let Some(max) = shards.last().and_then(|s| s.max_object()) {
+            assert!(
+                max.index() < self.universe,
+                "segment grades object {max} outside the universe size {}",
+                self.universe
+            );
+        }
+        let crisp = shards.iter().all(|s| s.is_crisp());
+        let ones = shards.iter().map(|s| s.exact_match_count()).sum();
+        let sharded = ShardedSource::new(shards, fences);
+        self.segments.insert(
+            attribute.to_owned(),
+            DiskAttribute::from_concrete(Arc::new(sharded), crisp, ones),
+        );
         Ok(self)
     }
 
@@ -104,7 +206,7 @@ impl DiskSubsystem {
         self.cache.stats()
     }
 
-    fn segment(&self, query: &AtomicQuery) -> Result<&Arc<SegmentSource>, SubsystemError> {
+    fn segment(&self, query: &AtomicQuery) -> Result<&DiskAttribute, SubsystemError> {
         self.segments
             .get(&query.attribute)
             .ok_or_else(|| SubsystemError::UnknownAttribute {
@@ -134,17 +236,16 @@ impl Subsystem for DiskSubsystem {
     /// `random_batch` groups probes by table block so a grade-completion
     /// sweep touches each block once per batch.
     fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
-        self.segment(query)
-            .map(|s| Arc::clone(s) as Arc<dyn GradedSource>)
+        self.segment(query).map(|s| Arc::clone(&s.graded))
     }
 
     fn is_crisp(&self, attribute: &str) -> bool {
-        self.segments.get(attribute).is_some_and(|s| s.is_crisp())
+        self.segments.get(attribute).is_some_and(|s| s.crisp)
     }
 
     fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
         let segment = self.segment(query)?;
-        if !segment.is_crisp() {
+        if !segment.crisp {
             return Err(SubsystemError::Unsupported {
                 reason: format!(
                     "{}.{} is not crisp, so it offers no set access",
@@ -152,14 +253,13 @@ impl Subsystem for DiskSubsystem {
                 ),
             });
         }
-        Ok(Arc::clone(segment) as Arc<dyn SetAccess>)
+        Ok(Arc::clone(&segment.set))
     }
 
-    /// The footer's exact-match count: free, exact selectivity.
+    /// The footer's exact-match count (summed over the shard footers for a
+    /// sharded attribute): free, exact selectivity.
     fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
-        self.segments
-            .get(&query.attribute)
-            .map(|s| s.exact_match_count() as usize)
+        self.segments.get(&query.attribute).map(|s| s.ones as usize)
     }
 }
 
@@ -328,5 +428,104 @@ mod tests {
         src.sorted_batch(0, 3, &mut out);
         assert!(s.cache_stats().misses > 0);
         assert!(Arc::ptr_eq(s.cache(), &cache));
+    }
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("garlic-subsys-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sharded_segments_answer_identically_to_one_segment() {
+        let grades: Vec<Grade> = (0..64).map(|i| g((i % 21) as f64 / 20.0)).collect();
+        let dir = temp_dir();
+        let flat = dir.join("shardeq.seg");
+        SegmentWriter::new().write_grades(&flat, &grades).unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            let parts = SegmentWriter::new()
+                .write_sharded_grades(&dir, &format!("shardeq-{shards}"), shards, &grades)
+                .unwrap();
+            let s = DiskSubsystem::new("disk", grades.len())
+                .open_segment("FLAT", &flat)
+                .unwrap()
+                .open_sharded_segment("SHARDED", parts.iter().map(|p| &p.path))
+                .unwrap();
+            let a = s
+                .evaluate(&AtomicQuery::new("FLAT", Target::text("t")))
+                .unwrap();
+            let b = s
+                .evaluate(&AtomicQuery::new("SHARDED", Target::text("t")))
+                .unwrap();
+            let (mut flat_run, mut sharded_run) = (Vec::new(), Vec::new());
+            a.sorted_batch(0, grades.len(), &mut flat_run);
+            b.sorted_batch(0, grades.len(), &mut sharded_run);
+            assert_eq!(flat_run, sharded_run, "bit-identical stream at S={shards}");
+            use garlic_core::ObjectId;
+            let probes: Vec<ObjectId> = (0..80).map(ObjectId).collect();
+            let (mut fp, mut sp) = (Vec::new(), Vec::new());
+            a.random_batch(&probes, &mut fp);
+            b.random_batch(&probes, &mut sp);
+            assert_eq!(fp, sp, "identical probe answers at S={shards}");
+            assert_eq!(
+                s.estimate_matches(&AtomicQuery::new("FLAT", Target::text("t"))),
+                s.estimate_matches(&AtomicQuery::new("SHARDED", Target::text("t"))),
+                "footer estimates sum across shards"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_crisp_segments_serve_set_access() {
+        let grades: Vec<Grade> = (0..20).map(|i| Grade::from_bool(i % 3 == 0)).collect();
+        let dir = temp_dir();
+        let parts = SegmentWriter::new()
+            .write_sharded_grades(&dir, "shardcrisp", 4, &grades)
+            .unwrap();
+        let s = DiskSubsystem::new("disk", grades.len())
+            .open_sharded_segment("C", parts.iter().map(|p| &p.path))
+            .unwrap();
+        assert!(s.is_crisp("C"));
+        let set = s
+            .evaluate_set(&AtomicQuery::new("C", Target::text("t")))
+            .unwrap();
+        let mut matches = set.matching_set();
+        matches.sort_unstable();
+        let expected: Vec<_> = (0..20)
+            .filter(|i| i % 3 == 0)
+            .map(garlic_core::ObjectId)
+            .collect();
+        assert_eq!(matches, expected);
+        assert_eq!(
+            s.estimate_matches(&AtomicQuery::new("C", Target::text("t"))),
+            Some(expected.len())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint and ascending")]
+    fn overlapping_shards_panic() {
+        let dir = temp_dir();
+        let lo = dir.join("overlap-lo.seg");
+        let hi = dir.join("overlap-hi.seg");
+        use garlic_core::ObjectId;
+        SegmentWriter::new()
+            .write_pairs(&lo, vec![(ObjectId(0), g(0.5)), (ObjectId(2), g(0.4))])
+            .unwrap();
+        SegmentWriter::new()
+            .write_pairs(&hi, vec![(ObjectId(1), g(0.3)), (ObjectId(3), g(0.2))])
+            .unwrap();
+        let _ = DiskSubsystem::new("disk", 4).open_sharded_segment("A", [&lo, &hi]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe size")]
+    fn sharded_universe_mismatch_panics() {
+        let dir = temp_dir();
+        let parts = SegmentWriter::new()
+            .write_sharded_grades(&dir, "shardshort", 2, &[g(0.1), g(0.2), g(0.3)])
+            .unwrap();
+        let _ =
+            DiskSubsystem::new("disk", 5).open_sharded_segment("A", parts.iter().map(|p| &p.path));
     }
 }

@@ -17,47 +17,66 @@ use std::sync::Arc;
 
 use garlic_agg::Grade;
 use garlic_core::access::{GradedSource, MemorySource, SetAccess};
+use garlic_core::ShardedSource;
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 
-/// One registered ranking: the shared source plus statistics precomputed
-/// at registration (crispness gates set access; the exact-match count is
-/// planner selectivity). Both are O(N) to derive, so they are derived once
-/// here, not per query.
-#[derive(Debug, Clone)]
+/// One registered ranking: owned answer handles (the same allocation
+/// behind both trait facades — stable Rust cannot cross-cast trait-object
+/// `Arc`s, so both are cloned from the concrete `Arc` at registration)
+/// plus statistics precomputed at registration (crispness gates set
+/// access; the exact-match count is planner selectivity). All are O(N) to
+/// derive, so they are derived once here, not per query.
+#[derive(Clone)]
 struct AttributeList {
-    source: Arc<MemorySource>,
+    graded: Arc<dyn GradedSource>,
+    set: Arc<dyn SetAccess>,
     crisp: bool,
     ones: usize,
 }
 
 impl AttributeList {
     fn new(source: MemorySource) -> Self {
-        // One registration-time pass derives both statistics: the grade-1
-        // count is the length of the sorted order's leading ONE-block, and
-        // crispness fails at the first fractional grade.
-        let mut crisp = true;
-        let mut ones = 0usize;
-        let mut in_ones_prefix = true;
-        for entry in source.graded_set().iter() {
-            crisp &= entry.grade.is_crisp();
-            if in_ones_prefix {
-                if entry.grade == Grade::ONE {
-                    ones += 1;
-                } else {
-                    in_ones_prefix = false;
-                }
-            }
-            if !crisp && !in_ones_prefix {
-                break;
-            }
-        }
+        let (crisp, ones) = list_stats(source.graded_set().iter().map(|e| e.grade));
+        AttributeList::from_concrete(Arc::new(source), crisp, ones)
+    }
+
+    fn sharded(source: ShardedSource<MemorySource>, crisp: bool, ones: usize) -> Self {
+        AttributeList::from_concrete(Arc::new(source), crisp, ones)
+    }
+
+    fn from_concrete<S: SetAccess + 'static>(source: Arc<S>, crisp: bool, ones: usize) -> Self {
         AttributeList {
-            source: Arc::new(source),
+            graded: Arc::clone(&source) as Arc<dyn GradedSource>,
+            set: source as Arc<dyn SetAccess>,
             crisp,
             ones,
         }
     }
+}
+
+impl std::fmt::Debug for AttributeList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttributeList")
+            .field("len", &self.graded.len())
+            .field("crisp", &self.crisp)
+            .field("ones", &self.ones)
+            .finish()
+    }
+}
+
+/// One registration-time pass over the grades: crispness fails at the
+/// first fractional grade, and the grade-1 count is the exact-match count.
+fn list_stats(grades: impl Iterator<Item = Grade>) -> (bool, usize) {
+    let mut crisp = true;
+    let mut ones = 0usize;
+    for grade in grades {
+        crisp &= grade.is_crisp();
+        if grade == Grade::ONE {
+            ones += 1;
+        }
+    }
+    (crisp, ones)
 }
 
 /// A subsystem serving precomputed graded lists, keyed by attribute.
@@ -114,6 +133,29 @@ impl VectorSubsystem {
             .insert(attribute.to_owned(), AttributeList::new(source));
         self
     }
+
+    /// Adds (or replaces) the ranking of `attribute` as a
+    /// [`ShardedSource`] over `shards` contiguous object-id ranges —
+    /// observably identical to [`with_list`](Self::with_list) over the
+    /// same grades (entries, tie order, billed accesses), but served by a
+    /// parallel scatter-gather merge with threshold early termination.
+    ///
+    /// # Panics
+    /// Panics if `grades.len()` differs from the universe size, the
+    /// universe is empty, or `shards` is zero.
+    pub fn with_sharded_list(mut self, attribute: &str, grades: &[Grade], shards: usize) -> Self {
+        assert_eq!(
+            grades.len(),
+            self.universe,
+            "list length must match the universe size"
+        );
+        let (crisp, ones) = list_stats(grades.iter().copied());
+        self.lists.insert(
+            attribute.to_owned(),
+            AttributeList::sharded(ShardedSource::from_grades(grades, shards), crisp, ones),
+        );
+        self
+    }
 }
 
 impl Subsystem for VectorSubsystem {
@@ -134,7 +176,7 @@ impl Subsystem for VectorSubsystem {
     fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
         self.lists
             .get(&query.attribute)
-            .map(|list| Arc::clone(&list.source) as Arc<dyn GradedSource>)
+            .map(|list| Arc::clone(&list.graded))
             .ok_or_else(|| SubsystemError::UnknownAttribute {
                 attribute: query.attribute.clone(),
                 subsystem: self.name.clone(),
@@ -165,7 +207,7 @@ impl Subsystem for VectorSubsystem {
                 ),
             });
         }
-        Ok(Arc::clone(&list.source) as Arc<dyn SetAccess>)
+        Ok(Arc::clone(&list.set))
     }
 
     /// The exact grade-1 count, precomputed at registration.
@@ -235,6 +277,52 @@ mod tests {
     #[should_panic(expected = "universe size")]
     fn mismatched_list_length_panics() {
         let _ = VectorSubsystem::new("mem", 3).with_list("A", &[g(0.1)]);
+    }
+
+    #[test]
+    fn sharded_lists_answer_identically_to_flat_lists() {
+        let grades: Vec<Grade> = (0..97).map(|i| g((i % 7) as f64 / 6.0)).collect();
+        let flat = VectorSubsystem::new("mem", 97).with_list("A", &grades);
+        let q = AtomicQuery::new("A", Target::text("t"));
+        let want = flat.evaluate(&q).unwrap();
+        for shards in [1, 2, 3, 7] {
+            let sharded = VectorSubsystem::new("mem", 97).with_sharded_list("A", &grades, shards);
+            let got = sharded.evaluate(&q).unwrap();
+            assert_eq!(got.len(), want.len());
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            got.sorted_batch(0, 97, &mut a);
+            want.sorted_batch(0, 97, &mut b);
+            assert_eq!(a, b, "S={shards}: entries and tie order");
+            use garlic_core::ObjectId;
+            let probes: Vec<ObjectId> = (0..100u64).map(ObjectId).collect();
+            let mut pa = Vec::new();
+            let mut pb = Vec::new();
+            got.random_batch(&probes, &mut pa);
+            want.random_batch(&probes, &mut pb);
+            assert_eq!(pa, pb, "S={shards}: fence-routed probes");
+            assert_eq!(
+                sharded.estimate_matches(&q),
+                flat.estimate_matches(&q),
+                "S={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_crisp_lists_serve_set_access() {
+        let grades: Vec<Grade> = (0..20).map(|i| Grade::from_bool(i % 3 == 0)).collect();
+        let s = VectorSubsystem::new("mem", 20).with_sharded_list("K", &grades, 4);
+        assert!(s.is_crisp("K"));
+        let q = AtomicQuery::new("K", Target::text("t"));
+        let mut set = s.evaluate_set(&q).unwrap().matching_set();
+        set.sort();
+        let expect: Vec<garlic_core::ObjectId> = (0..20)
+            .filter(|i| i % 3 == 0)
+            .map(|i| garlic_core::ObjectId(i as u64))
+            .collect();
+        assert_eq!(set, expect);
+        assert_eq!(s.estimate_matches(&q), Some(expect.len()));
     }
 
     #[test]

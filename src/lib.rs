@@ -39,7 +39,7 @@ pub use garlic_subsys as subsys;
 pub use garlic_workload as workload;
 
 pub use garlic_agg::{Aggregation, Grade};
-pub use garlic_core::{AccessStats, CostModel, ObjectId, TopK};
+pub use garlic_core::{AccessStats, CostModel, ObjectId, ShardedSource, TopK};
 pub use garlic_middleware::{Catalog, Garlic, GarlicService};
 pub use garlic_storage::{BlockCache, CacheStats, SegmentSource, SegmentWriter, StorageError};
 pub use garlic_subsys::DiskSubsystem;

@@ -1,0 +1,155 @@
+//! The tentpole acceptance property: a query answered over **sharded**
+//! attribute lists must be indistinguishable from the same query over flat
+//! lists — identical top-k entries, identical tie order, and identical
+//! total Section-5 billed accesses — for every shard count, every planner
+//! strategy the catalogue can reach, and both the memory and the disk
+//! backend. Sharding is an execution layout, never a semantics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use garlic::middleware::{Catalog, Garlic, GarlicQuery, Strategy};
+use garlic::subsys::{DiskSubsystem, Target, VectorSubsystem};
+use garlic::{BlockCache, Grade, SegmentWriter};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Quantized fuzzy grades (ties everywhere, so tie order is load-bearing)
+/// plus one selective crisp list to make `Filtered` reachable.
+fn grade_lists(n: usize, seed: u64) -> Vec<(&'static str, Vec<Grade>)> {
+    let mut rng = garlic_workload::seeded_rng(seed);
+    use rand::Rng;
+    let mut fuzzy = || -> Vec<Grade> {
+        (0..n)
+            .map(|_| Grade::clamped(rng.gen_range(0..=12) as f64 / 12.0))
+            .collect()
+    };
+    let (a, b) = (fuzzy(), fuzzy());
+    let crisp = (0..n)
+        .map(|_| Grade::from_bool(rng.gen_bool(0.1)))
+        .collect();
+    vec![("A", a), ("B", b), ("K", crisp)]
+}
+
+/// The strategies the ISSUE names, each exercised by one query shape.
+fn strategy_queries() -> Vec<(GarlicQuery, Strategy)> {
+    let atom = |a: &str| GarlicQuery::atom(a, Target::text("t"));
+    vec![
+        (GarlicQuery::and(atom("A"), atom("B")), Strategy::FaMin),
+        (GarlicQuery::or(atom("A"), atom("B")), Strategy::B0Max),
+        (
+            GarlicQuery::and(atom("A"), GarlicQuery::not(atom("B"))),
+            Strategy::NaiveCalculus,
+        ),
+        (
+            GarlicQuery::and(atom("K"), atom("A")),
+            Strategy::Filtered { crisp_index: 0 },
+        ),
+    ]
+}
+
+fn memory_garlic(lists: &[(&str, Vec<Grade>)], n: usize, shards: Option<usize>) -> Garlic {
+    let mut sub = VectorSubsystem::new("vectors", n);
+    for (attr, grades) in lists {
+        sub = match shards {
+            Some(s) => sub.with_sharded_list(attr, grades, s),
+            None => sub.with_list(attr, grades),
+        };
+    }
+    let mut cat = Catalog::new();
+    cat.register(sub).unwrap();
+    Garlic::new(cat)
+}
+
+fn segment_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("garlic-sharded-eq-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn disk_garlic(lists: &[(&str, Vec<Grade>)], n: usize, shards: Option<usize>, tag: &str) -> Garlic {
+    let dir = segment_dir(tag);
+    let writer = SegmentWriter::with_block_size(256).unwrap();
+    let mut sub = DiskSubsystem::with_cache("segments", n, Arc::new(BlockCache::new(1024)));
+    for (attr, grades) in lists {
+        sub = match shards {
+            Some(s) => {
+                let parts = writer
+                    .write_sharded_grades(&dir, &format!("{attr}-{tag}"), s, grades)
+                    .unwrap();
+                sub.open_sharded_segment(attr, parts.iter().map(|p| &p.path))
+                    .unwrap()
+            }
+            None => {
+                let path = dir.join(format!("{attr}-{tag}.seg"));
+                writer.write_grades(&path, grades).unwrap();
+                sub.open_segment(attr, &path).unwrap()
+            }
+        };
+    }
+    let mut cat = Catalog::new();
+    cat.register(sub).unwrap();
+    Garlic::new(cat)
+}
+
+fn assert_equivalent(flat: &Garlic, sharded: &Garlic, shards: usize, backend: &str) {
+    for (query, expected_strategy) in strategy_queries() {
+        for k in [1, 5, 23] {
+            let want = flat.top_k(&query, k).unwrap();
+            let got = sharded.top_k(&query, k).unwrap();
+            assert_eq!(
+                want.plan.strategy, expected_strategy,
+                "{query} must exercise the intended strategy"
+            );
+            assert_eq!(
+                got.plan.strategy, want.plan.strategy,
+                "{backend}/S={shards}: identical plan for {query}"
+            );
+            assert_eq!(
+                got.answers.entries(),
+                want.answers.entries(),
+                "{backend}/S={shards}: identical entries and tie order for {query} at k={k}"
+            );
+            assert_eq!(
+                got.stats, want.stats,
+                "{backend}/S={shards}: identical Section-5 billing for {query} at k={k}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_memory_lists_answer_identically(n in 40usize..160, seed in 0u64..1000) {
+        let lists = grade_lists(n, seed);
+        let flat = memory_garlic(&lists, n, None);
+        for shards in SHARD_COUNTS {
+            let sharded = memory_garlic(&lists, n, Some(shards));
+            assert_equivalent(&flat, &sharded, shards, "memory");
+        }
+    }
+
+    #[test]
+    fn sharded_disk_segments_answer_identically(n in 40usize..120, seed in 0u64..1000) {
+        let lists = grade_lists(n, seed);
+        let tag = format!("{n}-{seed}");
+        let flat = disk_garlic(&lists, n, None, &tag);
+        for shards in SHARD_COUNTS {
+            let sharded = disk_garlic(&lists, n, Some(shards), &format!("{tag}-s{shards}"));
+            assert_equivalent(&flat, &sharded, shards, "disk");
+        }
+    }
+
+    #[test]
+    fn sharded_disk_matches_sharded_memory(n in 40usize..120, seed in 0u64..1000) {
+        // The two sharded backends against each other: layout and
+        // durability compose without observable effect.
+        let lists = grade_lists(n, seed);
+        let mem = memory_garlic(&lists, n, Some(3));
+        let disk = disk_garlic(&lists, n, Some(3), &format!("x-{n}-{seed}"));
+        assert_equivalent(&mem, &disk, 3, "disk-vs-memory");
+    }
+}
