@@ -1,0 +1,345 @@
+//! The segment-format-v2 benchmark: compression ratio, grade-fence block
+//! skipping, and scan-resistant cache admission — the three tentpole
+//! claims of the v2 format, measured on one workload.
+//!
+//! The corpus is two attributes of `N` objects (`GARLIC_COMPRESS_N`
+//! overrides the 1M default) with grades quantized to ~1000 levels — the
+//! dictionary regime the v2 encoder targets. The report carries:
+//!
+//! * `compress_scan/{warm,cold}_{v1,v2}` — timed full-stream scans of the
+//!   same attribute in both formats, against a warm cache (pure decode)
+//!   and a cleared cache (read + verify-free decode + admission);
+//! * `metric_bytes_per_entry/{v1,v2}` — on-disk bytes per entry from
+//!   [`SegmentInfo`], the compression claim (`v2 <= 0.5 * v1` gated);
+//! * `metric_hinted_blocks/{loaded,total}` — data blocks actually loaded
+//!   by a deep scan whose cursor carries the A₀′ k=10 threshold as its
+//!   stop hint, vs the segment's data-block count (`<= 0.5` gated: the
+//!   grade fences must skip at least half the region);
+//! * `metric_hot_hit_rate/{scan_free,tinylfu}` and
+//!   `metric_strict_lru_hit_rate/value` — hot-working-set hit rates under
+//!   an interleaved cold scan: the TinyLFU cache must stay within ~10% of
+//!   a scan-free run (`scan_free/tinylfu <= 1.12` gated) while strict LRU
+//!   collapses (`strict/tinylfu <= 0.75` gated).
+//!
+//! The pseudo-benchmark `metric_*` entries exist because `perf_gate
+//! --pair` addresses medians by name — dimensionless ratios ride the same
+//! rails as timings. Every hinted scan is equality-gated against the
+//! unbounded stream before anything is timed or recorded, so the skipping
+//! claims can never come from a wrong answer.
+
+use std::sync::{Arc, OnceLock};
+
+use criterion::{black_box, criterion_group, Criterion};
+use garlic_agg::Grade;
+use garlic_core::access::{GradedSource, MemorySource};
+use garlic_core::algorithms::fa_min::fagin_min_run;
+use garlic_core::{GradedEntry, ObjectId};
+use garlic_storage::format::FORMAT_V1;
+use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
+
+const K: usize = 10;
+const BATCH: usize = 1024;
+const GRADE_LEVELS: u64 = 1000;
+
+fn n_objects() -> usize {
+    std::env::var("GARLIC_COMPRESS_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Everything the bench body measures outside criterion timing, stashed
+/// for `main` to patch into the JSON report.
+#[derive(Clone, Copy)]
+struct Metrics {
+    bytes_per_entry_v1: f64,
+    bytes_per_entry_v2: f64,
+    threshold: f64,
+    blocks_loaded: u64,
+    blocks_total: u64,
+    hit_rate_scan_free: f64,
+    hit_rate_tinylfu: f64,
+    hit_rate_strict: f64,
+}
+
+static METRICS: OnceLock<Metrics> = OnceLock::new();
+
+/// A deterministic quantized grade list: ~[`GRADE_LEVELS`] distinct
+/// values, pseudo-randomly permuted over the id space.
+fn grade_list(n: usize, seed: u64) -> Vec<Grade> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            Grade::clamped(((x >> 33) % GRADE_LEVELS) as f64 / (GRADE_LEVELS - 1) as f64)
+        })
+        .collect()
+}
+
+/// Streams the whole sorted order through the batched cursor path.
+fn full_scan(source: &SegmentSource, buf: &mut Vec<GradedEntry>) -> usize {
+    buf.clear();
+    let mut cursor = source.open_sorted();
+    while cursor.next_batch(buf, BATCH) > 0 {}
+    buf.len()
+}
+
+/// Streams with an advisory stop-threshold hint; returns entries emitted.
+fn hinted_scan(source: &SegmentSource, bound: Grade, buf: &mut Vec<GradedEntry>) -> usize {
+    buf.clear();
+    let mut cursor = source.open_sorted().with_bound(bound);
+    while cursor.next_batch(buf, BATCH) > 0 {}
+    buf.len()
+}
+
+/// One round of hot-working-set probes: one random access per hot table
+/// block. Returns how many block requests the round issued.
+fn probe_hot(seg: &SegmentSource, hot_blocks: usize, out: &mut Vec<Option<Grade>>) -> usize {
+    let epb = seg.block_size() / 16;
+    let probes: Vec<ObjectId> = (0..hot_blocks)
+        .map(|b| ObjectId((b * epb) as u64))
+        .collect();
+    out.clear();
+    seg.random_batch(&probes, out);
+    probes.len()
+}
+
+/// The hot-set-under-scan experiment on one cache policy: warm a set of
+/// `hot` table blocks, then interleave hot probes with a cold sequential
+/// scan of the data region (in chunks of `chunk` blocks — a working set
+/// the size of the whole cache between consecutive probes). Returns the
+/// hit rate over the interleaved hot probes alone. With `scan: false` the
+/// probes run back-to-back — the scan-free reference.
+fn hot_hit_rate(path: &std::path::Path, cache: Arc<BlockCache>, hot: usize, scan: bool) -> f64 {
+    let seg = SegmentSource::open(path, Arc::clone(&cache)).unwrap();
+    let epb = seg.block_size() / 16;
+    let data_blocks = seg.blocks_per_region() as usize;
+    let chunk = cache.capacity().max(1);
+    let mut answers = Vec::new();
+    let mut entries = Vec::new();
+    // Warm-up: three rounds, enough for TinyLFU to count the set and the
+    // SLRU to promote it to the protected segment.
+    for _ in 0..3 {
+        probe_hot(&seg, hot, &mut answers);
+    }
+    let (mut hot_hits, mut hot_requests) = (0u64, 0u64);
+    let mut scanned = 0usize;
+    loop {
+        if scan {
+            // One cache-capacity worth of cold data blocks between probes.
+            let ranks = scanned * epb..((scanned + chunk) * epb).min(seg.len());
+            entries.clear();
+            seg.sorted_batch(ranks.start, ranks.len(), &mut entries);
+            scanned += chunk;
+        } else {
+            scanned += chunk;
+        }
+        let before = cache.stats();
+        probe_hot(&seg, hot, &mut answers);
+        let after = cache.stats();
+        hot_hits += after.hits - before.hits;
+        hot_requests += (after.hits + after.misses) - (before.hits + before.misses);
+        if scanned * epb >= seg.len().max(data_blocks * epb) {
+            break;
+        }
+    }
+    // Floor keeps the rate strictly positive: perf_gate drops zero-valued
+    // medians, and strict LRU genuinely reaches 0% here.
+    (hot_hits as f64 / hot_requests.max(1) as f64).max(1e-4)
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let n = n_objects();
+    eprintln!("bench_compress: N = {n}, {GRADE_LEVELS} grade levels");
+
+    let list_a = grade_list(n, 41);
+    let list_b = grade_list(n, 97);
+    let dir = std::env::temp_dir().join(format!("garlic-bench-compress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1_path = dir.join("compress-v1.seg");
+    let v2_path = dir.join("compress-v2.seg");
+    let info_v1 = SegmentWriter::new()
+        .with_version(FORMAT_V1)
+        .unwrap()
+        .write_grades(&v1_path, &list_a)
+        .unwrap();
+    let info_v2 = SegmentWriter::new()
+        .write_grades(&v2_path, &list_a)
+        .unwrap();
+    let bytes_per_entry_v1 = info_v1.bytes as f64 / n as f64;
+    let bytes_per_entry_v2 = info_v2.bytes as f64 / n as f64;
+    eprintln!(
+        "bytes/entry: v1 {bytes_per_entry_v1:.2}, v2 {bytes_per_entry_v2:.2} \
+         ({:.2}x smaller)",
+        bytes_per_entry_v1 / bytes_per_entry_v2
+    );
+
+    // Warm caches sized for the whole file-wide block range of each copy.
+    let cache_v1 = Arc::new(BlockCache::new(16_384));
+    let cache_v2 = Arc::new(BlockCache::new(16_384));
+    let seg_v1 = SegmentSource::open(&v1_path, Arc::clone(&cache_v1)).unwrap();
+    let seg_v2 = SegmentSource::open(&v2_path, Arc::clone(&cache_v2)).unwrap();
+
+    // Equality gate: both formats stream the identical skeleton.
+    let mut run_v1 = Vec::with_capacity(n);
+    let mut run_v2 = Vec::with_capacity(n);
+    assert_eq!(full_scan(&seg_v1, &mut run_v1), n);
+    assert_eq!(full_scan(&seg_v2, &mut run_v2), n);
+    assert_eq!(run_v1, run_v2, "v1 and v2 streams are bit-identical");
+
+    // The stop-threshold hint: A₀′'s k=10 threshold g₀ over both
+    // attributes — exactly what an engine consumer would hand the cursor.
+    let mem_a = MemorySource::from_grades(&list_a);
+    let mem_b = MemorySource::from_grades(&list_b);
+    let run = fagin_min_run(&[&mem_a, &mem_b], K).unwrap();
+    let threshold = run.threshold;
+    drop((mem_a, mem_b));
+
+    // Fence-skipping measurement on a dedicated cold cache: every loaded
+    // block misses exactly once, so the miss delta is the load count.
+    let skip_cache = Arc::new(BlockCache::new(16_384));
+    let skip_seg = SegmentSource::open(&v2_path, Arc::clone(&skip_cache)).unwrap();
+    let mut hinted = Vec::new();
+    let before = skip_cache.stats();
+    let emitted = hinted_scan(&skip_seg, threshold, &mut hinted);
+    let after = skip_cache.stats();
+    let blocks_loaded = after.misses - before.misses;
+    let blocks_total = skip_seg.blocks_per_region();
+    assert_eq!(
+        hinted[..],
+        run_v2[..emitted],
+        "the hinted scan emits an exact prefix of the unbounded stream"
+    );
+    assert!(
+        run_v2[emitted..].iter().all(|e| e.grade < threshold),
+        "only entries below the threshold were withheld"
+    );
+    eprintln!(
+        "hinted scan at g0 = {:.4}: emitted {emitted} of {n} entries, \
+         loaded {blocks_loaded} of {blocks_total} data blocks",
+        threshold.value()
+    );
+
+    // Scan-resistant admission: hot hit rate under an interleaved cold
+    // scan, on the TinyLFU default vs strict LRU vs a scan-free run.
+    let data_blocks = seg_v2.blocks_per_region() as usize;
+    let capacity = (data_blocks / 4).clamp(8, 256);
+    let hot = (capacity / 4).max(2);
+    let hit_rate_scan_free =
+        hot_hit_rate(&v2_path, Arc::new(BlockCache::new(capacity)), hot, false);
+    let hit_rate_tinylfu = hot_hit_rate(&v2_path, Arc::new(BlockCache::new(capacity)), hot, true);
+    let hit_rate_strict = hot_hit_rate(
+        &v2_path,
+        Arc::new(BlockCache::strict_lru(capacity)),
+        hot,
+        true,
+    );
+    eprintln!(
+        "hot hit rate ({hot} hot table blocks, {capacity}-block cache, cold data scan): \
+         scan-free {:.1}%, tinylfu {:.1}%, strict LRU {:.1}%",
+        100.0 * hit_rate_scan_free,
+        100.0 * hit_rate_tinylfu,
+        100.0 * hit_rate_strict
+    );
+
+    let _ = METRICS.set(Metrics {
+        bytes_per_entry_v1,
+        bytes_per_entry_v2,
+        threshold: threshold.value(),
+        blocks_loaded,
+        blocks_total,
+        hit_rate_scan_free,
+        hit_rate_tinylfu,
+        hit_rate_strict,
+    });
+
+    let mut group = c.benchmark_group("compress_scan");
+    group.bench_function("warm_v1", |bench| {
+        bench.iter(|| black_box(full_scan(&seg_v1, &mut run_v1)))
+    });
+    group.bench_function("warm_v2", |bench| {
+        bench.iter(|| black_box(full_scan(&seg_v2, &mut run_v2)))
+    });
+    group.bench_function("cold_v1", |bench| {
+        bench.iter(|| {
+            cache_v1.clear();
+            black_box(full_scan(&seg_v1, &mut run_v1))
+        })
+    });
+    group.bench_function("cold_v2", |bench| {
+        bench.iter(|| {
+            cache_v2.clear();
+            black_box(full_scan(&seg_v2, &mut run_v2))
+        })
+    });
+    group.finish();
+
+    let stats = cache_v2.stats();
+    eprintln!("v2 cache after timing: {stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const JSON_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../target/bench_compress.json"
+);
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).json_path(JSON_PATH);
+    targets = bench_compress
+);
+
+/// Re-opens the report the criterion shim just flushed and grafts in the
+/// measured metrics: a `metric_benchmarks` list of pseudo-benchmarks (so
+/// `perf_gate --pair` can gate the dimensionless ratios by name — its
+/// parser scans `name`/`median_ns` pairs wherever they appear) plus a
+/// human-oriented `compress_metrics` object.
+fn patch_report() {
+    let Ok(json) = std::fs::read_to_string(JSON_PATH) else {
+        return;
+    };
+    let Some(m) = METRICS.get() else { return };
+    let entry =
+        |name: &str, value: f64| format!("{{\"name\": \"{name}\", \"median_ns\": {value}}}");
+    let pseudo = [
+        entry("metric_bytes_per_entry/v1", m.bytes_per_entry_v1),
+        entry("metric_bytes_per_entry/v2", m.bytes_per_entry_v2),
+        entry("metric_hinted_blocks/loaded", m.blocks_loaded as f64),
+        entry("metric_hinted_blocks/total", m.blocks_total as f64),
+        entry("metric_hot_hit_rate/scan_free", m.hit_rate_scan_free),
+        entry("metric_hot_hit_rate/tinylfu", m.hit_rate_tinylfu),
+        entry("metric_strict_lru_hit_rate/value", m.hit_rate_strict),
+    ]
+    .join(",\n    ");
+    let metrics = format!(
+        ",\n  \"metric_benchmarks\": [\n    {pseudo}\n  ],\n  \"compress_metrics\": {{\n    \
+         \"n_objects\": {},\n    \"k\": {K},\n    \"threshold\": {:.6},\n    \
+         \"compression_ratio\": {:.4},\n    \"blocks_skipped_ratio\": {:.4},\n    \
+         \"hot_hit_rate_vs_scan_free\": {:.4}\n  }}\n}}",
+        n_objects(),
+        m.threshold,
+        m.bytes_per_entry_v1 / m.bytes_per_entry_v2,
+        1.0 - m.blocks_loaded as f64 / m.blocks_total.max(1) as f64,
+        m.hit_rate_tinylfu / m.hit_rate_scan_free,
+    );
+    let Some(close) = json.rfind('}') else { return };
+    let patched = format!("{}{metrics}", json[..close].trim_end());
+    let _ = std::fs::write(JSON_PATH, patched);
+    eprintln!(
+        "bench_compress: {:.2}x compression, {:.1}% blocks skipped, \
+         {:.1}%/{:.1}%/{:.1}% hot hit rates (scan-free/tinylfu/strict) → {JSON_PATH}",
+        m.bytes_per_entry_v1 / m.bytes_per_entry_v2,
+        100.0 * (1.0 - m.blocks_loaded as f64 / m.blocks_total.max(1) as f64),
+        100.0 * m.hit_rate_scan_free,
+        100.0 * m.hit_rate_tinylfu,
+        100.0 * m.hit_rate_strict,
+    );
+}
+
+fn main() {
+    benches();
+    patch_report();
+}

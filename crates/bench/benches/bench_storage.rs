@@ -14,6 +14,10 @@
 //! cursor layer (batch = 1024) and scattered random access. Results also
 //! land in `target/bench_storage.json` (shim JSON output) so CI's
 //! perf-smoke job can archive the trajectory.
+//!
+//! Segments come from the default writer, so this tracks the *current*
+//! default format (v2 — compressed blocks — as of the format-v2 PR);
+//! `bench_compress` is the head-to-head v1-vs-v2 comparison.
 
 use std::sync::Arc;
 

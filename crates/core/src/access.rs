@@ -51,6 +51,24 @@
 //! *hit* billed as one Section 5 random access — so block-backed sources
 //! can group probes by block without changing a single measured count.
 //!
+//! # Threshold hints
+//!
+//! Once an engine knows its current *k-th score frontier* — the grade of
+//! the worst entry that could still matter — deeper stream entries below
+//! that grade can never change the answer. [`GradedSource::sorted_batch_bounded`]
+//! carries that knowledge to the source as an **advisory bound**: the
+//! source may stop early once it can *prove* every remaining entry grades
+//! strictly below the bound (disk-backed sources prove it from per-block
+//! grade fences without even loading the blocks). The hint never changes
+//! *which* entries are emitted — the output is always an exact prefix of
+//! the unbounded stream, same entries, same tie order — and
+//! [`CountingSource`] bills exactly the entries obtained, so Section 5
+//! accounting is identical for the entries actually consumed. A *dirty*
+//! hint (a bound higher than the true frontier) is therefore harmless:
+//! the caller sees [`BoundedBatch::truncated`], knows the suppressed
+//! suffix grades below the bound, and can resume unbounded from
+//! `start + appended` to recover the identical full stream.
+//!
 //! # Threading
 //!
 //! Garlic is a multi-user middleware: many queries run concurrently over
@@ -135,6 +153,61 @@ pub trait GradedSource: Send + Sync {
         appended
     }
 
+    /// Batched sorted access with an advisory stop-threshold (see the
+    /// module docs): appends up to `count` entries starting at `start`,
+    /// exactly like [`sorted_batch`](GradedSource::sorted_batch), but the
+    /// source may stop early once it can prove that every remaining entry
+    /// in the stream grades **strictly below** `bound`. The entries
+    /// appended are always an exact prefix of the unbounded stream (same
+    /// entries, same tie order); entries below the bound *may* still be
+    /// emitted (implementations stop at their natural granularity, e.g. a
+    /// block boundary) — the bound is a permission to stop, never a
+    /// filter.
+    ///
+    /// Returns the number appended plus whether the source stopped because
+    /// of the bound ([`BoundedBatch::truncated`] — the remaining suffix
+    /// provably grades below `bound`) rather than because the request was
+    /// satisfied or the stream ended.
+    ///
+    /// The default walks [`sorted_batch`](GradedSource::sorted_batch) in
+    /// chunks and stops after the first chunk whose final (least) entry
+    /// falls below the bound — correct for any source, since the stream
+    /// descends. Sources with skip metadata (block grade fences) should
+    /// override it to avoid even loading provably useless regions.
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        const CHUNK: usize = 256;
+        let mut appended = 0;
+        while appended < count {
+            let take = (count - appended).min(CHUNK);
+            let got = self.sorted_batch(start + appended, take, out);
+            appended += got;
+            if got < take {
+                return BoundedBatch {
+                    appended,
+                    truncated: false,
+                };
+            }
+            // The stream descends, so once its tail entry dips below the
+            // bound every deeper entry is provably below it too.
+            if out.last().is_some_and(|e| e.grade < bound) {
+                return BoundedBatch {
+                    appended,
+                    truncated: true,
+                };
+            }
+        }
+        BoundedBatch {
+            appended,
+            truncated: out.last().is_some_and(|e| e.grade < bound) && appended > 0,
+        }
+    }
+
     /// Opens a [`SortedCursor`] over this source's descending-grade stream,
     /// positioned at rank 0.
     fn open_sorted(&self) -> SortedCursor<'_, Self>
@@ -145,16 +218,45 @@ pub trait GradedSource: Send + Sync {
     }
 }
 
+/// What [`GradedSource::sorted_batch_bounded`] did: how many entries were
+/// appended and whether the source stopped early because the rest of the
+/// stream provably grades below the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedBatch {
+    /// Entries appended to the output — an exact prefix of the unbounded
+    /// stream starting at the requested rank.
+    pub appended: usize,
+    /// `true` when the source stopped because every remaining entry
+    /// grades strictly below the bound; `false` when the request was
+    /// satisfied or the stream is exhausted.
+    pub truncated: bool,
+}
+
 /// A streaming cursor over one source's sorted order: the stateful face of
 /// [`GradedSource::sorted_batch`]. See the module docs for the contract
 /// (batching, resumption, tie order = the source's skeleton).
 ///
-/// The cursor also implements [`Iterator`] for one-at-a-time consumption;
-/// prefer [`next_batch`](SortedCursor::next_batch) on hot paths.
+/// A cursor may carry an advisory **stop-threshold bound** (typically the
+/// engine's current k-th score frontier, via
+/// [`with_bound`](SortedCursor::with_bound)): batches then go through
+/// [`GradedSource::sorted_batch_bounded`], letting the source stop — and a
+/// fence-aware source skip whole blocks — once the rest of the stream
+/// provably grades below the bound. The emitted entries stay an exact
+/// prefix of the unbounded stream; after a short batch,
+/// [`stopped_by_bound`](SortedCursor::stopped_by_bound) distinguishes
+/// "suffix provably below the bound" from "stream exhausted", and clearing
+/// the bound resumes the untruncated remainder from the same position
+/// (the dirty-hint recovery path).
+///
+/// The cursor also implements [`Iterator`] for one-at-a-time consumption
+/// (which ignores any bound); prefer
+/// [`next_batch`](SortedCursor::next_batch) on hot paths.
 #[derive(Debug)]
 pub struct SortedCursor<'a, S: ?Sized> {
     source: &'a S,
     position: usize,
+    bound: Option<Grade>,
+    stopped_by_bound: bool,
 }
 
 impl<'a, S: GradedSource + ?Sized> SortedCursor<'a, S> {
@@ -163,13 +265,47 @@ impl<'a, S: GradedSource + ?Sized> SortedCursor<'a, S> {
         SortedCursor {
             source,
             position: 0,
+            bound: None,
+            stopped_by_bound: false,
         }
     }
 
     /// Reopens a cursor at an arbitrary rank — resumption for paging
     /// sessions that stopped at a known depth.
     pub fn at(source: &'a S, position: usize) -> Self {
-        SortedCursor { source, position }
+        SortedCursor {
+            source,
+            position,
+            bound: None,
+            stopped_by_bound: false,
+        }
+    }
+
+    /// Attaches an advisory stop-threshold: batches may end early once
+    /// every remaining entry provably grades strictly below `bound`.
+    pub fn with_bound(mut self, bound: Grade) -> Self {
+        self.bound = Some(bound);
+        self
+    }
+
+    /// Sets or clears the advisory bound mid-stream — e.g. tightening it
+    /// as the engine's k-th score frontier rises, or clearing it to
+    /// recover the untruncated remainder after a dirty hint.
+    pub fn set_bound(&mut self, bound: Option<Grade>) {
+        self.bound = bound;
+        self.stopped_by_bound = false;
+    }
+
+    /// The current advisory bound, if any.
+    pub fn bound(&self) -> Option<Grade> {
+        self.bound
+    }
+
+    /// Whether the most recent [`next_batch`](SortedCursor::next_batch)
+    /// ended early because of the bound (the remaining suffix provably
+    /// grades below it) rather than because the stream is exhausted.
+    pub fn stopped_by_bound(&self) -> bool {
+        self.stopped_by_bound
     }
 
     /// The rank the next entry will come from (== entries consumed so far
@@ -179,9 +315,24 @@ impl<'a, S: GradedSource + ?Sized> SortedCursor<'a, S> {
     }
 
     /// Appends up to `n` next entries to `out`, returning how many were
-    /// appended; `0` means the stream is exhausted.
+    /// appended; `0` means the stream is exhausted — unless a bound is set
+    /// and [`stopped_by_bound`](SortedCursor::stopped_by_bound) reports
+    /// the short batch came from the threshold instead. Once the bound
+    /// has stopped the stream, further calls return `0` without touching
+    /// the source (the suffix is already proven useless) until
+    /// [`set_bound`](SortedCursor::set_bound) changes or clears it.
     pub fn next_batch(&mut self, out: &mut Vec<GradedEntry>, n: usize) -> usize {
-        let got = self.source.sorted_batch(self.position, n, out);
+        let got = match self.bound {
+            None => self.source.sorted_batch(self.position, n, out),
+            Some(_) if self.stopped_by_bound => 0,
+            Some(bound) => {
+                let result = self
+                    .source
+                    .sorted_batch_bounded(self.position, n, bound, out);
+                self.stopped_by_bound = result.truncated;
+                result.appended
+            }
+        };
         self.position += got;
         got
     }
@@ -364,6 +515,22 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
         let hits = out[before..].iter().filter(|g| g.is_some()).count();
         self.random.fetch_add(hits as u64, Ordering::Relaxed);
     }
+
+    /// Bounded batches bill exactly the entries obtained — a threshold
+    /// hint changes how *few* entries a caller reads, never the Section 5
+    /// price of the entries it does read.
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        let result = self.inner.sorted_batch_bounded(start, count, bound, out);
+        self.sorted
+            .fetch_add(result.appended as u64, Ordering::Relaxed);
+        result
+    }
 }
 
 impl<S: SetAccess> SetAccess for CountingSource<S> {
@@ -403,6 +570,15 @@ impl<S: GradedSource + ?Sized> GradedSource for &S {
     fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
         (**self).random_batch(objects, out)
     }
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        (**self).sorted_batch_bounded(start, count, bound, out)
+    }
 }
 
 impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
@@ -420,6 +596,15 @@ impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
     }
     fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
         (**self).random_batch(objects, out)
+    }
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        (**self).sorted_batch_bounded(start, count, bound, out)
     }
 }
 
@@ -453,6 +638,15 @@ impl<S: GradedSource + ?Sized> GradedSource for Arc<S> {
     }
     fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
         (**self).random_batch(objects, out)
+    }
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        (**self).sorted_batch_bounded(start, count, bound, out)
     }
 }
 
@@ -614,6 +808,68 @@ mod tests {
             );
             assert_eq!(a, b, "start {start} count {count}");
         }
+    }
+
+    #[test]
+    fn bounded_batch_is_a_prefix_and_truncation_is_honest() {
+        // Descending grades 1.0, 0.9, ..., 0.1 over 10 objects.
+        let grades: Vec<Grade> = (1..=10).map(|i| g(i as f64 / 10.0)).collect();
+        let s = MemorySource::from_grades(&grades);
+        let mut full = Vec::new();
+        s.sorted_batch(0, 10, &mut full);
+        for bound in [0.05, 0.35, 0.75, 1.0] {
+            let bound = g(bound);
+            let mut bounded = Vec::new();
+            let result = s.sorted_batch_bounded(0, 10, bound, &mut bounded);
+            assert_eq!(result.appended, bounded.len());
+            assert_eq!(bounded, full[..result.appended], "prefix for bound {bound}");
+            if result.truncated {
+                assert!(
+                    full[result.appended..].iter().all(|e| e.grade < bound),
+                    "truncation must prove the suffix below {bound}"
+                );
+            }
+        }
+        // A bound of zero can never truncate: no grade is strictly below it.
+        let mut all = Vec::new();
+        let result = s.sorted_batch_bounded(0, 100, Grade::ZERO, &mut all);
+        assert_eq!(
+            result,
+            BoundedBatch {
+                appended: 10,
+                truncated: false
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_billing_charges_entries_obtained() {
+        let grades: Vec<Grade> = (1..=8).map(|i| g(i as f64 / 8.0)).collect();
+        let c = CountingSource::new(MemorySource::from_grades(&grades));
+        let mut out = Vec::new();
+        let result = c.sorted_batch_bounded(0, 8, g(0.99), &mut out);
+        assert_eq!(c.stats(), AccessStats::new(result.appended as u64, 0));
+    }
+
+    #[test]
+    fn bounded_cursor_resumes_the_exact_stream_after_a_dirty_hint() {
+        let grades: Vec<Grade> = (1..=20).map(|i| g(i as f64 / 20.0)).collect();
+        let s = MemorySource::from_grades(&grades);
+        let mut full = Vec::new();
+        s.sorted_batch(0, 20, &mut full);
+        // A deliberately dirty (too-high) hint: almost everything is
+        // suppressed on the first pass.
+        let mut cursor = s.open_sorted().with_bound(g(0.95));
+        assert_eq!(cursor.bound(), Some(g(0.95)));
+        let mut streamed = Vec::new();
+        while cursor.next_batch(&mut streamed, 4) > 0 {}
+        assert!(cursor.stopped_by_bound(), "short batch came from the bound");
+        assert_eq!(streamed, full[..streamed.len()], "still an exact prefix");
+        // Recovery: clear the bound and resume from the same position.
+        cursor.set_bound(None);
+        while cursor.next_batch(&mut streamed, 4) > 0 {}
+        assert!(!cursor.stopped_by_bound());
+        assert_eq!(streamed, full, "dirty hint recovered the identical stream");
     }
 
     #[test]

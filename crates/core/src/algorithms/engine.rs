@@ -76,6 +76,17 @@
 //! the aggregation itself is never re-run). [`B0Session`] is the
 //! analogous session for the max-disjunction algorithm B₀, whose paging
 //! cost is `m·k` cumulative.
+//!
+//! Both sessions expose their **k-th score frontier**
+//! ([`EngineSession::frontier`], [`B0Session::frontier`]) — the overall
+//! grade of the worst answer handed out so far. It is the natural
+//! advisory stop-threshold hint for auxiliary scans over block-backed
+//! sources ([`SortedCursor::set_bound`](crate::access::SortedCursor)):
+//! v2 segments use the bound to skip whole data blocks whose fence says
+//! every entry is already below the frontier. The hint is strictly an
+//! access-plan optimisation — a stale or wrong frontier can only make a
+//! bounded scan stop later or earlier than optimal, never change which
+//! entries a consumer that honours the bound contract observes.
 
 use garlic_agg::{Aggregation, Grade};
 
@@ -663,6 +674,9 @@ pub struct EngineSession<S, A> {
     /// Working buffer lent to [`Aggregation::combine_reusing`].
     scratch: Vec<Grade>,
     cumulative: usize,
+    /// The overall grade of the worst answer handed out so far (the k-th
+    /// score frontier at the cumulative `k`), once a non-empty page exists.
+    frontier: Option<Grade>,
 }
 
 impl<S, A> EngineSession<S, A>
@@ -681,12 +695,29 @@ where
             scores: Vec::new(),
             scratch: Vec::new(),
             cumulative: 0,
+            frontier: None,
         })
     }
 
     /// How many answers have been handed out so far.
     pub fn returned(&self) -> usize {
         self.cumulative
+    }
+
+    /// The session's current **k-th score frontier**: the overall grade of
+    /// the worst answer handed out so far, or `None` before the first
+    /// non-empty page. Pages are selected best-first, so this value only
+    /// falls as the session advances.
+    ///
+    /// Use it as the advisory stop-threshold hint for auxiliary bounded
+    /// scans ([`SortedCursor::set_bound`](crate::access::SortedCursor)):
+    /// under a monotone aggregation no unseen object scoring above the
+    /// frontier can lie entirely below it in any list, so a source is free
+    /// to stop streaming — and a v2 segment to skip whole blocks — once
+    /// its grades fall under this value. Correctness never depends on the
+    /// hint: it is permission to stop early, not a filter.
+    pub fn frontier(&self) -> Option<Grade> {
+        self.frontier
     }
 
     /// The underlying engine (e.g. for reading metered sources).
@@ -751,6 +782,11 @@ where
                 .expect("selected objects are seen");
             self.returned.insert(slot);
         }
+        if let Some(last) = fresh.entries().last() {
+            // Pages are handed out best-first, so the latest page's worst
+            // grade is the cumulative k-th score.
+            self.frontier = Some(last.grade);
+        }
         self.cumulative = target;
         Ok(fresh)
     }
@@ -764,6 +800,8 @@ pub struct B0Session<S> {
     engine: Engine<S>,
     returned: SlotSet,
     cumulative: usize,
+    /// The worst grade handed out so far — see [`EngineSession::frontier`].
+    frontier: Option<Grade>,
 }
 
 impl<S: GradedSource> B0Session<S> {
@@ -774,12 +812,21 @@ impl<S: GradedSource> B0Session<S> {
             engine: Engine::open(sources)?,
             returned: SlotSet::default(),
             cumulative: 0,
+            frontier: None,
         })
     }
 
     /// How many answers have been handed out so far.
     pub fn returned(&self) -> usize {
         self.cumulative
+    }
+
+    /// The worst grade handed out so far — the session's k-th score
+    /// frontier, usable as an advisory cursor bound exactly as described
+    /// on [`EngineSession::frontier`]. `None` before the first non-empty
+    /// page.
+    pub fn frontier(&self) -> Option<Grade> {
+        self.frontier
     }
 
     /// The session's sources.
@@ -813,6 +860,9 @@ impl<S: GradedSource> B0Session<S> {
                 .slot_of(e.object)
                 .expect("selected objects are seen");
             self.returned.insert(slot);
+        }
+        if let Some(last) = fresh.entries().last() {
+            self.frontier = Some(last.grade);
         }
         self.cumulative = target;
         Ok(fresh)
@@ -974,6 +1024,42 @@ mod tests {
         assert_eq!(distinct.len(), 4);
         assert!(session.next_batch(1).unwrap().is_empty());
         assert!(session.next_batch(0).is_err());
+    }
+
+    #[test]
+    fn session_frontier_is_the_cumulative_kth_score() {
+        let agg = min_agg();
+        let mut session = EngineSession::new(sources(), &agg).unwrap();
+        assert_eq!(session.frontier(), None);
+        let first = session.next_batch(2).unwrap();
+        assert_eq!(session.frontier(), first.entries().last().map(|e| e.grade));
+        let second = session.next_batch(2).unwrap();
+        let cut = second.entries().last().map(|e| e.grade);
+        assert_eq!(session.frontier(), cut);
+        assert!(session.frontier() <= first.entries().last().map(|e| e.grade));
+        // Exhausted pages are empty and leave the frontier in place.
+        assert!(session.next_batch(1).unwrap().is_empty());
+        assert_eq!(session.frontier(), cut);
+
+        // The frontier is a valid advisory cursor bound: a bounded scan
+        // emits an exact prefix of the unbounded stream and only withholds
+        // entries strictly below the bound.
+        let source = &session.sources()[0];
+        let bound = session.frontier().unwrap();
+        let full: Vec<GradedEntry> = source.open_sorted().collect();
+        let hinted: Vec<GradedEntry> = source.open_sorted().with_bound(bound).collect();
+        assert_eq!(full[..hinted.len()], hinted[..]);
+        assert!(full[hinted.len()..].iter().all(|e| e.grade < bound));
+    }
+
+    #[test]
+    fn b0_session_frontier_tracks_the_worst_returned_grade() {
+        let mut session = B0Session::new(sources()).unwrap();
+        assert_eq!(session.frontier(), None);
+        let first = session.next_batch(1).unwrap();
+        assert_eq!(session.frontier(), first.entries().last().map(|e| e.grade));
+        let second = session.next_batch(2).unwrap();
+        assert_eq!(session.frontier(), second.entries().last().map(|e| e.grade));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::Mutex;
 
 use garlic_agg::Grade;
 
-use crate::access::{GradedSource, SetAccess};
+use crate::access::{BoundedBatch, GradedSource, SetAccess};
 use crate::graded_set::GradedEntry;
 use crate::object::ObjectId;
 
@@ -235,8 +235,24 @@ impl<S: GradedSource> ShardedSource<S> {
 
     /// Extends the merged prefix to `target` entries (or to exhaustion).
     fn ensure_merged(&self, state: &mut MergeState, target: usize) {
+        // `grade < ZERO` is never true, so a ZERO bound never stops early.
+        self.ensure_merged_bounded(state, target, Grade::ZERO);
+    }
+
+    /// Extends the merged prefix to `target` entries, additionally stopping
+    /// as soon as the lowest merged grade falls strictly below `bound`: the
+    /// skeleton order is descending, so everything still unmerged — in
+    /// *every* shard — is then also below the bound, and no shard needs
+    /// another refill. Returns `true` iff the stop was due to the bound.
+    fn ensure_merged_bounded(&self, state: &mut MergeState, target: usize, bound: Grade) -> bool {
         let target = target.min(self.len);
-        while state.merged.len() < target {
+        loop {
+            if state.merged.last().is_some_and(|e| e.grade < bound) {
+                return true;
+            }
+            if state.merged.len() >= target {
+                return false;
+            }
             self.refill(state, target);
             // Pop the best head: highest grade, ties by lowest object id.
             // Every non-exhausted shard has a buffered head after refill,
@@ -248,7 +264,7 @@ impl<S: GradedSource> ShardedSource<S> {
                 .filter_map(|(i, run)| run.head().map(|e| (i, e)))
                 .max_by(|(_, a), (_, b)| a.grade.cmp(&b.grade).then(b.object.cmp(&a.object)));
             let Some((winner, entry)) = best else {
-                break; // every shard exhausted before `target`
+                return false; // every shard exhausted before `target`
             };
             state.runs[winner].pos += 1;
             state.merged.push(entry);
@@ -350,6 +366,32 @@ impl<S: GradedSource> GradedSource for ShardedSource<S> {
         let to = start.saturating_add(count).min(merged.len());
         out.extend_from_slice(&merged[from..to]);
         to - from
+    }
+
+    /// Bound-aware merge: stops extending the merged prefix — and thus
+    /// refilling *any* shard — once the lowest merged grade falls strictly
+    /// below the bound, instead of merging all the way to `start + count`.
+    /// Fence-skipping shards then never even see requests for the fenced-out
+    /// depths. Emitted entries are still an exact prefix of the unbounded
+    /// stream (the default-impl contract), and a prefix already cached by a
+    /// deeper earlier scan is served in full rather than re-truncated.
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        let mut state = self.state.lock().expect("sharded merge state");
+        let stopped = self.ensure_merged_bounded(&mut state, start.saturating_add(count), bound);
+        let merged = &state.merged;
+        let from = start.min(merged.len());
+        let to = start.saturating_add(count).min(merged.len());
+        out.extend_from_slice(&merged[from..to]);
+        BoundedBatch {
+            appended: to - from,
+            truncated: stopped && to - from < count,
+        }
     }
 
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
@@ -626,6 +668,45 @@ mod tests {
             4 * stats.emitted
         );
         assert!(stats.early_termination_savings() > 0.0);
+    }
+
+    #[test]
+    fn bounded_scan_is_an_exact_prefix_that_stops_every_shard_early() {
+        let data = pairs(4000, 41);
+        let flat = unsharded(&data);
+        let mut full = Vec::new();
+        flat.sorted_batch(0, 4000, &mut full);
+        let sharded = ShardedSource::from_pairs(data, 4);
+        // A cursor hinted with a high stop threshold (the engine's k-th
+        // score frontier in real use) must emit an exact prefix, be honest
+        // about truncation, and stop the merge long before depth N.
+        let bound = g(0.8);
+        let mut cursor = sharded.open_sorted().with_bound(bound);
+        let mut got = Vec::new();
+        while cursor.next_batch(&mut got, 256) > 0 {}
+        assert!(cursor.stopped_by_bound());
+        assert_eq!(got[..], full[..got.len()], "exact prefix");
+        assert!(
+            full[got.len()..].iter().all(|e| e.grade < bound),
+            "only entries strictly below the bound were withheld"
+        );
+        let stats = sharded.scan_stats();
+        assert!(
+            (stats.emitted as usize) < full.len() / 2,
+            "merge stopped early: emitted {} of {}",
+            stats.emitted,
+            full.len()
+        );
+        // A dirty (too-low) bound and a ZERO bound are the full stream.
+        let fresh = ShardedSource::from_pairs(
+            full.iter().map(|e| (e.object, e.grade)).collect::<Vec<_>>(),
+            4,
+        );
+        let mut all = Vec::new();
+        let mut cursor = fresh.open_sorted().with_bound(Grade::ZERO);
+        while cursor.next_batch(&mut all, 256) > 0 {}
+        assert!(!cursor.stopped_by_bound());
+        assert_eq!(all, full);
     }
 
     #[test]

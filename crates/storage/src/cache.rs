@@ -1,4 +1,4 @@
-//! The shared LRU block cache.
+//! The shared block cache: segmented LRU with scan-resistant admission.
 //!
 //! Disk-backed sources decouple corpus size from RAM only if hot blocks
 //! stay resident; [`BlockCache`] is the one RAM budget every
@@ -11,16 +11,43 @@
 //! Blocks are immutable (segments never change after publish), so the
 //! cache needs no invalidation protocol: a cached block is correct
 //! forever, and concurrent readers share one `Arc<[u8]>` per block.
-//! Capacity is counted in blocks; hits, misses, and evictions are metered
-//! with atomic counters and surfaced through [`BlockCache::stats`] the same
-//! way the Section 5 access counters are — operators tune cache size by
-//! watching the hit rate, not by guessing.
+//! Capacity is counted in blocks; hits, misses, evictions, and admission
+//! decisions are metered with atomic counters and surfaced through
+//! [`BlockCache::stats`] the same way the Section 5 access counters are —
+//! operators tune cache size by watching the hit rate, not by guessing.
+//!
+//! # Scan resistance
+//!
+//! A strict LRU has a well-known failure mode for this workload: one cold
+//! sequential scan (a deep sorted stream over a large segment) floods the
+//! cache with blocks that will never be touched again, evicting the hot
+//! working set that random access keeps returning to. The default policy
+//! defends against that two ways:
+//!
+//! - **Segmented LRU.** Resident blocks start *on probation*; a second
+//!   access promotes them to the *protected* segment (up to ~4/5 of
+//!   capacity; the protected LRU is demoted back to probation when the
+//!   segment overflows). A scan's blocks are touched once, so they live
+//!   and die in probation — eviction always prefers the probation LRU and
+//!   cannot reach the protected set while probation is non-empty.
+//! - **TinyLFU admission.** Every request increments a tiny count-min
+//!   sketch (4-bit-equivalent saturating counters, periodically halved so
+//!   the history ages). When the cache is full, a new block must beat the
+//!   would-be victim's frequency estimate to get in; one-touch scan blocks
+//!   lose to anything warmer and are *rejected* — returned to the caller
+//!   but never made resident, so they cannot displace even probation
+//!   residents with a history.
+//!
+//! [`BlockCache::strict_lru`] builds the old strict-LRU cache for
+//! comparison (the `bench_compress` hit-rate gate measures exactly this
+//! difference).
 
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use garlic_core::FxHashMap;
+use garlic_core::{fx::FxHasher, FxHashMap};
 
 use crate::error::StorageError;
 
@@ -37,35 +64,121 @@ pub(crate) struct BlockKey {
 
 struct CachedBlock {
     bytes: Arc<[u8]>,
-    /// The tick of this block's most recent access. Strict LRU order is
-    /// the tick order (ticks are unique).
+    /// The tick of this block's most recent access. Within a segment,
+    /// LRU order is the tick order (ticks are unique).
     tick: u64,
+    /// Which segment the block belongs to: `false` = probation (touched
+    /// once since admission/demotion), `true` = protected.
+    protected: bool,
 }
 
 /// The guarded state. The per-block `tick` stamp is the authoritative
-/// recency; `stale_recency` is a *lazily repaired* tick → key index that
-/// hits never touch: a **hit** — the per-block cost of every warm stream —
-/// is one fast-hash lookup plus a tick store, leaving its index entry
-/// stale. **Eviction** pops the index's oldest entry and, if the block's
-/// stamp has moved on since, re-files the entry under the current stamp
-/// and tries again — every re-file is prepaid by the hit that staled it,
-/// so eviction stays amortised O(log n) even when the cache thrashes
-/// (each resident block holds exactly one index entry). Strict LRU order
-/// is preserved exactly; only *when* the index learns about a hit moved.
+/// recency; the two segment indexes are *lazily repaired* tick → key maps
+/// that hits never touch: a **hit** — the per-block cost of every warm
+/// stream — is one fast-hash lookup plus a tick store (plus, once per
+/// residency, a promotion), leaving its index entry stale. **Eviction**
+/// (and protected-overflow demotion) pops a map's oldest entry and, if
+/// the block's stamp or segment has moved on since, re-files or drops the
+/// entry and tries again — every repair is prepaid by the touch that
+/// staled it, so eviction stays amortised O(log n) even when the cache
+/// thrashes. LRU order within each segment is preserved exactly; only
+/// *when* the index learns about a hit moved.
 struct CacheState {
     /// Resident blocks, keyed by the fast [`garlic_core::fx`] hash —
     /// block keys are process-internal, and this lookup sits on every
     /// streamed block of every segment read.
     blocks: FxHashMap<BlockKey, CachedBlock>,
-    /// Possibly-stale recency index: one entry per resident block, keyed
-    /// by the tick its last *index repair* (insert or evict-time re-file)
-    /// saw. Ticks are unique, so iteration order is a candidate LRU order.
-    stale_recency: BTreeMap<u64, BlockKey>,
+    /// Possibly-stale recency index of the probation segment.
+    probation: BTreeMap<u64, BlockKey>,
+    /// Possibly-stale recency index of the protected segment. Promotion
+    /// files a fresh entry here eagerly (it happens once per residency,
+    /// not per hit), so every protected block always has a live entry;
+    /// the entry left behind in `probation` is dropped lazily.
+    protected: BTreeMap<u64, BlockKey>,
+    /// How many resident blocks are currently protected.
+    protected_members: usize,
+    /// TinyLFU frequency sketch gating admission (`None` under
+    /// [`BlockCache::strict_lru`]).
+    sketch: Option<FrequencySketch>,
     next_tick: u64,
     /// Single-flight table: one entry per block currently being read from
     /// its file. Concurrent misses on the same key wait on the leader's
     /// [`Flight`] instead of issuing duplicate reads.
     in_flight: FxHashMap<BlockKey, Arc<Flight>>,
+}
+
+/// A count-min sketch of recent request frequencies — the TinyLFU
+/// doorkeeper. Four saturating byte counters per key (indexed by mixes of
+/// one fx hash); the minimum over the four is the frequency estimate.
+/// After `sample_limit` recordings every counter is halved, so the
+/// history decays and a formerly-hot block cannot squat forever.
+struct FrequencySketch {
+    counters: Vec<u8>,
+    /// `counters.len() - 1`; the length is a power of two.
+    mask: usize,
+    recordings: u64,
+    sample_limit: u64,
+}
+
+/// Counters saturate here; halving keeps relative order while aging.
+const SKETCH_CEILING: u8 = 15;
+
+impl FrequencySketch {
+    fn new(capacity_blocks: usize) -> Self {
+        // ~8 counters per cache slot keeps collision noise low at a few
+        // bytes per block of budget; the sample window of 10× capacity is
+        // the classic TinyLFU choice (long enough to learn the working
+        // set, short enough to forget it when it shifts).
+        let width = (capacity_blocks.saturating_mul(8))
+            .next_power_of_two()
+            .max(64);
+        FrequencySketch {
+            counters: vec![0; width],
+            mask: width - 1,
+            recordings: 0,
+            sample_limit: (capacity_blocks as u64).saturating_mul(10).max(64),
+        }
+    }
+
+    fn spread(key: BlockKey) -> u64 {
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Four derived indexes from one hash: odd-constant multiplies keep
+    /// the rows independent enough for a min-estimate.
+    fn indexes(&self, key: BlockKey) -> [usize; 4] {
+        let h = Self::spread(key);
+        [
+            h as usize & self.mask,
+            (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 21) as usize & self.mask,
+            (h.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 29) as usize & self.mask,
+            (h.rotate_left(32).wrapping_mul(0x1656_67B1_9E37_79F9) >> 17) as usize & self.mask,
+        ]
+    }
+
+    fn record(&mut self, key: BlockKey) {
+        for i in self.indexes(key) {
+            let c = &mut self.counters[i];
+            *c = (*c + 1).min(SKETCH_CEILING);
+        }
+        self.recordings += 1;
+        if self.recordings >= self.sample_limit {
+            for c in &mut self.counters {
+                *c /= 2;
+            }
+            self.recordings = 0;
+        }
+    }
+
+    fn estimate(&self, key: BlockKey) -> u8 {
+        self.indexes(key)
+            .into_iter()
+            .map(|i| self.counters[i])
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 /// The rendezvous a miss's followers wait on while the leader reads the
@@ -122,6 +235,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// Blocks dropped to make room.
     pub evictions: u64,
+    /// Loaded blocks the admission policy made resident.
+    pub admitted: u64,
+    /// Loaded blocks the admission policy turned away (served to the
+    /// caller but never cached — a one-touch scan block losing the
+    /// frequency duel against the would-be victim).
+    pub rejected: u64,
     /// Blocks currently resident.
     pub resident: usize,
     /// Maximum resident blocks.
@@ -138,56 +257,101 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Fraction of loaded blocks the admission policy let in (1 when no
+    /// admission decision was ever made). A low rate during a cold scan is
+    /// the policy working: the scan is being kept out of the cache.
+    pub fn admission_rate(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.admitted as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{} blocks resident, {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            "{}/{} blocks resident, {} hits / {} misses ({:.1}% hit rate), {} evictions, \
+             {} admitted / {} rejected ({:.1}% admission rate)",
             self.resident,
             self.capacity,
             self.hits,
             self.misses,
             100.0 * self.hit_rate(),
-            self.evictions
+            self.evictions,
+            self.admitted,
+            self.rejected,
+            100.0 * self.admission_rate(),
         )
     }
 }
 
-/// A shared, thread-safe LRU cache over segment blocks.
+/// A shared, thread-safe block cache: segmented LRU with TinyLFU
+/// admission by default (see the module docs), strict LRU via
+/// [`BlockCache::strict_lru`].
 ///
-/// Every counter a stats read needs — hits, misses, evictions, and the
-/// resident-block count — is an atomic maintained alongside the guarded
-/// state, so [`BlockCache::stats`] never takes the recency lock: operators
-/// (and benches) can poll hit rates at any frequency without contending
-/// with readers.
+/// Every counter a stats read needs — hits, misses, evictions, admission
+/// decisions, and the resident-block count — is an atomic maintained
+/// alongside the guarded state, so [`BlockCache::stats`] never takes the
+/// recency lock: operators (and benches) can poll hit rates at any
+/// frequency without contending with readers.
 pub struct BlockCache {
     capacity: usize,
+    /// Target size of the protected segment (0 disables promotion — which
+    /// is exactly the strict-LRU recency structure).
+    protected_cap: usize,
     state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
     resident: AtomicUsize,
 }
 
 impl BlockCache {
-    /// A cache holding at most `capacity_blocks` blocks (at the default
-    /// 4 KiB block size, `capacity_blocks = 1024` is a 4 MiB budget).
-    /// Capacity 0 disables residency: every request is a miss, which is
-    /// how the cold-cache benchmarks run.
+    /// A scan-resistant cache holding at most `capacity_blocks` blocks
+    /// (at the default 4 KiB block size, `capacity_blocks = 1024` is a
+    /// 4 MiB budget). Capacity 0 disables residency: every request is a
+    /// miss, which is how the cold-cache benchmarks run.
     pub fn new(capacity_blocks: usize) -> Self {
+        // ~4/5 protected is the classic SLRU split: enough probation room
+        // to observe second touches, most of the budget for the proven
+        // working set.
+        Self::with_policy(capacity_blocks, capacity_blocks * 4 / 5, true)
+    }
+
+    /// A strict-LRU cache — no segmentation, no admission filter; every
+    /// loaded block is cached and the coldest resident is always the
+    /// victim. This is the pre-v2 behaviour, kept for comparison: the
+    /// scan-resistance benchmarks measure the default policy against it.
+    pub fn strict_lru(capacity_blocks: usize) -> Self {
+        Self::with_policy(capacity_blocks, 0, false)
+    }
+
+    fn with_policy(capacity_blocks: usize, protected_cap: usize, tiny_lfu: bool) -> Self {
         BlockCache {
             capacity: capacity_blocks,
+            protected_cap,
             state: Mutex::new(CacheState {
                 blocks: FxHashMap::default(),
-                stale_recency: BTreeMap::new(),
+                probation: BTreeMap::new(),
+                protected: BTreeMap::new(),
+                protected_members: 0,
+                sketch: (tiny_lfu && capacity_blocks > 0)
+                    .then(|| FrequencySketch::new(capacity_blocks)),
                 next_tick: 0,
                 in_flight: FxHashMap::default(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
         }
     }
@@ -203,17 +367,33 @@ impl BlockCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             resident: self.resident.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
     }
 
-    /// Drops every resident block (counters are preserved). Turns a warm
-    /// cache cold — for tests and cold-path benchmarks.
+    /// Drops every resident block and resets the admission state — the
+    /// frequency sketch, segment membership, and the admitted/rejected
+    /// counters — in one critical section, so no concurrent request can
+    /// observe cleared residency with pre-clear admission history.
+    /// Request counters (hits/misses/evictions) are preserved. Turns a
+    /// warm cache cold — for tests and cold-path benchmarks.
     pub fn clear(&self) {
         let mut state = self.state.lock().expect("cache lock");
         state.blocks.clear();
-        state.stale_recency.clear();
+        state.probation.clear();
+        state.protected.clear();
+        state.protected_members = 0;
+        if let Some(sketch) = &mut state.sketch {
+            *sketch = FrequencySketch::new(self.capacity);
+        }
+        // Stored while the state lock pins every writer of these counters
+        // (admission decisions happen under the lock), making the combined
+        // reset atomic.
+        self.admitted.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
         self.resident.store(0, Ordering::Relaxed);
     }
 
@@ -243,7 +423,7 @@ impl BlockCache {
         loop {
             let role = {
                 let mut state = self.state.lock().expect("cache lock");
-                if let Some(bytes) = state.touch(key) {
+                if let Some(bytes) = state.touch(key, self.protected_cap) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(bytes);
                 }
@@ -311,9 +491,16 @@ impl FlightGuard<'_> {
         state.in_flight.remove(&self.key);
         match result {
             Ok(bytes) => {
-                if state.touch(self.key).is_none() {
-                    let evicted = state.insert(self.key, Arc::clone(bytes), self.cache.capacity);
-                    self.cache.evictions.fetch_add(evicted, Ordering::Relaxed);
+                if state.touch(self.key, self.cache.protected_cap).is_none() {
+                    let outcome = state.insert(self.key, Arc::clone(bytes), self.cache.capacity);
+                    self.cache
+                        .evictions
+                        .fetch_add(outcome.evicted, Ordering::Relaxed);
+                    if outcome.rejected {
+                        self.cache.rejected.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.cache.admitted.fetch_add(1, Ordering::Relaxed);
+                    }
                     self.cache
                         .resident
                         .store(state.blocks.len(), Ordering::Relaxed);
@@ -343,48 +530,174 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// What [`CacheState::insert`] did with the loaded block.
+struct InsertOutcome {
+    /// Resident blocks dropped to make room.
+    evicted: u64,
+    /// True when the admission filter turned the block away (nothing was
+    /// inserted and nothing evicted).
+    rejected: bool,
+}
+
 impl CacheState {
-    /// Returns the resident block and refreshes its recency stamp — the
-    /// warm hot path: one hash lookup, one store, one increment. The
-    /// block's index entry goes stale; eviction repairs it lazily.
-    fn touch(&mut self, key: BlockKey) -> Option<Arc<[u8]>> {
-        let slot = self.blocks.get_mut(&key)?;
+    /// Returns the resident block, refreshes its recency stamp, and
+    /// records the request in the frequency sketch — the warm hot path:
+    /// one hash lookup, a tick store, and four sketch increments. A first
+    /// re-touch also promotes the block to the protected segment (once
+    /// per residency, demoting the protected LRU if the segment
+    /// overflows). The block's old index entry goes stale; eviction
+    /// repairs it lazily.
+    fn touch(&mut self, key: BlockKey, protected_cap: usize) -> Option<Arc<[u8]>> {
+        if !self.blocks.contains_key(&key) {
+            return None;
+        }
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(key);
+        }
+        let slot = self.blocks.get_mut(&key).expect("checked above");
         slot.tick = self.next_tick;
         self.next_tick += 1;
-        Some(Arc::clone(&slot.bytes))
-    }
-
-    /// Inserts a block, evicting least-recently-used blocks down to
-    /// `capacity`. Returns how many were evicted.
-    fn insert(&mut self, key: BlockKey, bytes: Arc<[u8]>, capacity: usize) -> u64 {
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.blocks.insert(key, CachedBlock { bytes, tick });
-        self.stale_recency.insert(tick, key);
-        let mut evicted = 0;
-        while self.blocks.len() > capacity {
-            let (&oldest, &candidate) = self
-                .stale_recency
-                .iter()
-                .next()
-                .expect("every resident block has an index entry");
-            self.stale_recency.remove(&oldest);
-            match self.blocks.get(&candidate) {
-                // Stale entry: the block was touched since the index last
-                // saw it. Re-file under its current stamp and keep looking
-                // — this work is prepaid by the touch that staled it.
-                Some(block) if block.tick != oldest => {
-                    self.stale_recency.insert(block.tick, candidate);
-                }
-                // Fresh entry: this really is the least-recently-used.
-                Some(_) => {
-                    self.blocks.remove(&candidate);
-                    evicted += 1;
-                }
-                None => unreachable!("index entries track resident blocks"),
+        let bytes = Arc::clone(&slot.bytes);
+        if !slot.protected && protected_cap > 0 {
+            slot.protected = true;
+            let tick = slot.tick;
+            self.protected.insert(tick, key);
+            self.protected_members += 1;
+            if self.protected_members > protected_cap {
+                self.demote_protected_lru();
             }
         }
-        evicted
+        Some(bytes)
+    }
+
+    /// Pops the live least-recently-used entry of one segment index,
+    /// repairing stale entries (re-file under the block's current tick)
+    /// and discarding orphans (blocks evicted or moved to the other
+    /// segment) along the way. Returns `None` when the index holds no
+    /// live entries. The returned key's index entry has been removed —
+    /// the caller either evicts/demotes the block or re-files the entry.
+    fn pop_lru(&mut self, from_protected: bool) -> Option<BlockKey> {
+        loop {
+            let index = if from_protected {
+                &mut self.protected
+            } else {
+                &mut self.probation
+            };
+            let (&oldest, &candidate) = index.iter().next()?;
+            index.remove(&oldest);
+            match self.blocks.get(&candidate) {
+                None => continue,
+                Some(block) if block.protected != from_protected => continue,
+                Some(block) if block.tick != oldest => {
+                    // Stale: re-file under the current stamp and keep
+                    // looking — prepaid by the touch that staled it. The
+                    // current tick is always newer than the popped one, so
+                    // the scan makes strict forward progress.
+                    let (tick, key) = (block.tick, candidate);
+                    if from_protected {
+                        self.protected.insert(tick, key);
+                    } else {
+                        self.probation.insert(tick, key);
+                    }
+                }
+                Some(_) => return Some(candidate),
+            }
+        }
+    }
+
+    /// Moves the protected LRU back to probation (as its most recent
+    /// entry) when the protected segment outgrows its target.
+    fn demote_protected_lru(&mut self) {
+        if let Some(key) = self.pop_lru(true) {
+            let block = self.blocks.get_mut(&key).expect("popped key is resident");
+            block.protected = false;
+            block.tick = self.next_tick;
+            self.next_tick += 1;
+            self.probation.insert(block.tick, key);
+            self.protected_members -= 1;
+        }
+    }
+
+    /// Evicts exactly one block: the probation LRU when probation has any
+    /// live member, else the protected LRU.
+    fn evict_one(&mut self) -> bool {
+        let Some(victim) = self.pop_lru(false).or_else(|| self.pop_lru(true)) else {
+            return false;
+        };
+        let block = self.blocks.remove(&victim).expect("popped key is resident");
+        if block.protected {
+            self.protected_members -= 1;
+        }
+        true
+    }
+
+    /// Inserts a loaded block (on probation), evicting down to `capacity`
+    /// — unless the TinyLFU filter is active and the block loses the
+    /// frequency duel against the would-be victim, in which case nothing
+    /// changes and the block is only handed to the caller.
+    fn insert(&mut self, key: BlockKey, bytes: Arc<[u8]>, capacity: usize) -> InsertOutcome {
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(key);
+            if self.blocks.len() >= capacity {
+                if let Some(victim) = self.pop_lru(false).or_else(|| self.pop_lru(true)) {
+                    let sketch = self.sketch.as_ref().expect("checked above");
+                    if sketch.estimate(key) < sketch.estimate(victim) {
+                        // The victim has the warmer history: keep it (its
+                        // index entry goes back untouched — it was live)
+                        // and turn the newcomer away.
+                        let block = &self.blocks[&victim];
+                        let (tick, protected) = (block.tick, block.protected);
+                        if protected {
+                            self.protected.insert(tick, victim);
+                        } else {
+                            self.probation.insert(tick, victim);
+                        }
+                        return InsertOutcome {
+                            evicted: 0,
+                            rejected: true,
+                        };
+                    }
+                    let block = self.blocks.remove(&victim).expect("popped key is resident");
+                    if block.protected {
+                        self.protected_members -= 1;
+                    }
+                    let mut outcome = self.insert_unchecked(key, bytes, capacity);
+                    outcome.evicted += 1;
+                    return outcome;
+                }
+            }
+        }
+        self.insert_unchecked(key, bytes, capacity)
+    }
+
+    /// The unconditional tail of an admission: make the block resident on
+    /// probation and trim to `capacity`.
+    fn insert_unchecked(
+        &mut self,
+        key: BlockKey,
+        bytes: Arc<[u8]>,
+        capacity: usize,
+    ) -> InsertOutcome {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.blocks.insert(
+            key,
+            CachedBlock {
+                bytes,
+                tick,
+                protected: false,
+            },
+        );
+        self.probation.insert(tick, key);
+        let mut evicted = 0;
+        while self.blocks.len() > capacity {
+            assert!(self.evict_one(), "a full cache always has a victim");
+            evicted += 1;
+        }
+        InsertOutcome {
+            evicted,
+            rejected: false,
+        }
     }
 }
 
@@ -575,6 +888,112 @@ mod tests {
         let got = cache.get_or_load(key(0), || Ok(bytes(7))).unwrap();
         assert_eq!(got[0], 7);
         assert_eq!(cache.stats().resident, 1);
+    }
+
+    #[test]
+    fn second_touch_promotes_and_scans_cannot_evict_the_protected_set() {
+        // Hot set: blocks 0..4, each touched twice (resident + protected).
+        // Then a one-touch scan of 100 cold blocks floods past. Under
+        // strict LRU the hot set would be annihilated; under SLRU +
+        // TinyLFU every hot block must still be resident.
+        let cache = BlockCache::new(8);
+        for round in 0..2 {
+            for b in 0..4 {
+                let loaded = std::cell::Cell::new(false);
+                cache
+                    .get_or_load(key(b), || {
+                        loaded.set(true);
+                        Ok(bytes(b as u8))
+                    })
+                    .unwrap();
+                assert_eq!(loaded.get(), round == 0);
+            }
+        }
+        for b in 100..200 {
+            cache.get_or_load(key(b), || Ok(bytes(0))).unwrap();
+        }
+        for b in 0..4 {
+            cache
+                .get_or_load(key(b), || panic!("hot block {b} was evicted by the scan"))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn strict_lru_is_not_scan_resistant() {
+        // The comparison cache keeps the old failure mode on purpose.
+        let cache = BlockCache::strict_lru(8);
+        for _ in 0..2 {
+            for b in 0..4 {
+                cache.get_or_load(key(b), || Ok(bytes(b as u8))).unwrap();
+            }
+        }
+        for b in 100..200 {
+            cache.get_or_load(key(b), || Ok(bytes(0))).unwrap();
+        }
+        let reloaded = std::cell::Cell::new(0);
+        for b in 0..4 {
+            cache
+                .get_or_load(key(b), || {
+                    reloaded.set(reloaded.get() + 1);
+                    Ok(bytes(b as u8))
+                })
+                .unwrap();
+        }
+        assert_eq!(reloaded.get(), 4, "strict LRU loses the whole hot set");
+        assert_eq!(cache.stats().rejected, 0, "strict LRU never rejects");
+    }
+
+    #[test]
+    fn clear_resets_admission_state_but_keeps_request_counters() {
+        let cache = BlockCache::new(2);
+        for b in 0..8 {
+            cache.get_or_load(key(b), || Ok(bytes(b as u8))).unwrap();
+        }
+        let before = cache.stats();
+        assert_eq!(
+            before.admitted + before.rejected,
+            8,
+            "every load is an admission decision: {before}"
+        );
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!((after.admitted, after.rejected, after.resident), (0, 0, 0));
+        assert_eq!(after.misses, before.misses, "request history survives");
+        assert_eq!(after.hits, before.hits);
+        // The sketch was reset too: a fresh insert duel starts from zero
+        // history, so the first loads after clear are all admitted.
+        for b in 100..102 {
+            cache.get_or_load(key(b), || Ok(bytes(0))).unwrap();
+        }
+        assert_eq!(cache.stats().admitted, 2);
+        assert_eq!(cache.stats().resident, 2);
+    }
+
+    #[test]
+    fn rejected_blocks_are_still_served_and_reload_next_time() {
+        // Make block 0 frequent, fill the cache, then request a brand-new
+        // block repeatedly: while its frequency trails the victims', it is
+        // served but not cached (every request loads).
+        let cache = BlockCache::new(1);
+        for _ in 0..6 {
+            cache.get_or_load(key(0), || Ok(bytes(7))).unwrap();
+        }
+        let loads = std::cell::Cell::new(0);
+        for _ in 0..2 {
+            let got = cache
+                .get_or_load(key(1), || {
+                    loads.set(loads.get() + 1);
+                    Ok(bytes(9))
+                })
+                .unwrap();
+            assert_eq!(got[0], 9, "rejected blocks still serve their bytes");
+        }
+        assert_eq!(loads.get(), 2, "a rejected block is not resident");
+        let stats = cache.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.evictions, 0, "the incumbent was never displaced");
+        cache.get_or_load(key(0), || panic!("hit")).unwrap();
     }
 
     #[test]

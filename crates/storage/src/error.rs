@@ -20,10 +20,17 @@ pub enum StorageError {
     /// a segment file at all.
     BadMagic,
     /// The file is a segment, but of a format version this build cannot
-    /// read.
+    /// read — either from a future writer or (for a hypothetical reader
+    /// compiled without the legacy path) an ancient one. Both sides of
+    /// the mismatch are named so an operator knows which binary or
+    /// which file to upgrade.
     UnsupportedVersion {
         /// The version recorded in the file.
         found: u32,
+        /// The oldest version this build reads.
+        oldest_supported: u32,
+        /// The newest version this build reads.
+        newest_supported: u32,
     },
     /// The file is shorter than its own metadata says it must be —
     /// typically a partial copy or an interrupted write.
@@ -75,8 +82,16 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "segment I/O error: {e}"),
             StorageError::BadMagic => write!(f, "not a segment file (bad magic)"),
-            StorageError::UnsupportedVersion { found } => {
-                write!(f, "unsupported segment format version {found}")
+            StorageError::UnsupportedVersion {
+                found,
+                oldest_supported,
+                newest_supported,
+            } => {
+                write!(
+                    f,
+                    "unsupported segment format version {found}: this build reads \
+                     versions {oldest_supported} through {newest_supported}"
+                )
             }
             StorageError::Truncated { expected, actual } => write!(
                 f,

@@ -1,4 +1,4 @@
-//! The on-disk segment format (version 1).
+//! The on-disk segment format (versions 1 and 2).
 //!
 //! A segment is one immutable graded list — the durable answer to one
 //! atomic query — laid out for the two access kinds of the paper's
@@ -22,12 +22,41 @@
 //! └────────────────────┘
 //! ```
 //!
-//! Every block is exactly `block_size` bytes (zero-padded), holding
-//! `block_size / 16` entries of 16 bytes each: object id (`u64` LE)
-//! followed by grade (`f64` LE bit pattern). All blocks are checksummed
-//! (FNV-1a 64) in the footer; the footer checksums itself; the trailer is
-//! found relative to the file end so a truncated copy is detected before
-//! any block is trusted.
+//! In **version 1** every block is exactly `block_size` bytes
+//! (zero-padded), holding `block_size / 16` entries of 16 bytes each:
+//! object id (`u64` LE) followed by grade (`f64` LE bit pattern).
+//!
+//! **Version 2** keeps the same logical geometry — a block still holds
+//! `block_size / 16` entries, so ranks, fences, and cache keys mean the
+//! same thing in both versions — but each block is stored *compressed*
+//! as a back-to-back variable-length byte run, with per-block byte
+//! lengths recorded in the footer:
+//!
+//! * entries are interleaved `[id][grade]` varint streams. The first id
+//!   of a block is a plain LEB128 varint; later ids are encoded as the
+//!   delta from the previous id (zigzag-varint with wrapping arithmetic
+//!   in data blocks where ids arrive in skeleton order, plain varint of
+//!   the strictly-positive delta in the ascending table blocks);
+//! * grades use one of two segment-wide modes. When the list has at
+//!   most [`GRADE_DICT_MAX`] distinct grade bit patterns the footer
+//!   carries a sorted dictionary of raw `f64` bit patterns and each
+//!   entry stores a varint dictionary index — the exact bit pattern
+//!   round-trips by construction, so quantized corpora pay one or two
+//!   bytes per grade with zero loss. Otherwise
+//!   ([`FLAG_GRADE_DICT`] clear) the first grade of a block is stored
+//!   as raw bits and later grades as bit-pattern deltas (plain varint
+//!   of the non-negative decrease in data blocks, zigzag in table
+//!   blocks) — also bit-exact, because the IEEE-754 bit patterns of the
+//!   non-negative grades order exactly like their values;
+//! * the footer grows per-data-block `grade_max`/`grade_min` fences so
+//!   a reader holding a stop-threshold can prove a block (and every
+//!   block after it) cannot contribute *before loading it*, plus the
+//!   per-block encoded byte lengths that locate each block in the file.
+//!
+//! Both versions checksum every block (FNV-1a 64) in a self-checksummed
+//! footer found via the trailer, and both get the same full open-time
+//! verification; a decoder never trusts a varint stream past the bytes
+//! its checksum covered.
 
 use garlic_agg::Grade;
 use garlic_core::GradedEntry;
@@ -38,8 +67,12 @@ use crate::error::StorageError;
 pub const HEADER_MAGIC: [u8; 4] = *b"GSEG";
 /// Magic bytes closing every segment file.
 pub const TRAILER_MAGIC: [u8; 8] = *b"GSEGEND1";
-/// The format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The current format version — what [`crate::SegmentWriter`] produces by
+/// default. This build reads versions [`FORMAT_V1`]..=[`FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 2;
+/// The original fixed-slot format, still fully readable (and writable via
+/// [`crate::SegmentWriter::with_version`] for compatibility testing).
+pub const FORMAT_V1: u32 = 1;
 /// Bytes of one encoded entry: object id (u64) + grade bits (f64).
 pub const ENTRY_LEN: usize = 16;
 /// Header length: magic + version.
@@ -283,6 +316,546 @@ pub fn check_block_size(block_size: usize) -> Result<(), StorageError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Version 2: varint codecs, compressed blocks, fenced footer.
+// ---------------------------------------------------------------------------
+
+/// Footer flag bit (v2): grades are stored as indices into the footer's
+/// grade dictionary rather than as per-block bit-pattern deltas.
+pub const FLAG_GRADE_DICT: u64 = 2;
+/// Most distinct grade bit patterns the dictionary mode accepts. Past
+/// this the writer falls back to bit-pattern delta encoding (still
+/// exact), keeping the footer small and the index varints short.
+pub const GRADE_DICT_MAX: usize = 4096;
+/// Longest legal LEB128 encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` as a LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads a LEB128 varint at `*off`, advancing it. Returns `None` when
+/// the buffer ends mid-varint or the encoding overflows 64 bits — the
+/// typed-corruption path for a forged or truncated v2 block.
+pub fn read_varint(bytes: &[u8], off: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    for i in 0..MAX_VARINT_LEN {
+        let &b = bytes.get(*off + i)?;
+        let payload = u64::from(b & 0x7f);
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return None; // 10th byte may only carry the top bit of a u64.
+        }
+        value |= payload << (7 * i);
+        if b & 0x80 == 0 {
+            *off += i + 1;
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// [`read_varint`] specialised for the decode hot loop: when at least 8
+/// bytes remain, one aligned-load word covers every varint of up to 4
+/// bytes (28 payload bits — all id deltas and dictionary indices a
+/// block-sized run produces) without per-byte bounds checks. Longer
+/// varints and buffer tails fall back to the byte-at-a-time reader, so
+/// the accepted encodings are exactly [`read_varint`]'s.
+#[inline(always)]
+fn read_varint_hot(bytes: &[u8], off: &mut usize) -> Option<u64> {
+    if let Some(run) = bytes.get(*off..*off + 8) {
+        let word = u64::from_le_bytes(run.try_into().expect("8-byte run"));
+        let mut value = word & 0x7f;
+        if word & 0x80 == 0 {
+            *off += 1;
+            return Some(value);
+        }
+        value |= (word >> 8 & 0x7f) << 7;
+        if word & 0x8000 == 0 {
+            *off += 2;
+            return Some(value);
+        }
+        value |= (word >> 16 & 0x7f) << 14;
+        if word & 0x80_0000 == 0 {
+            *off += 3;
+            return Some(value);
+        }
+        value |= (word >> 24 & 0x7f) << 21;
+        if word & 0x8000_0000 == 0 {
+            *off += 4;
+            return Some(value);
+        }
+    }
+    read_varint(bytes, off)
+}
+
+/// Zigzag-maps a signed delta onto a small unsigned varint.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Which region a v2 block belongs to — the two regions delta-encode
+/// differently because their sort orders differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Descending-grade skeleton order: ids are arbitrary (zigzag
+    /// deltas), grades non-increasing (plain varint of the decrease).
+    Data,
+    /// Ascending-object order: ids strictly increase (plain varint of
+    /// the positive delta), grades are arbitrary (zigzag bit deltas).
+    Table,
+}
+
+/// Encodes one v2 block. `dict` is the sorted grade dictionary when the
+/// segment uses dictionary mode ([`FLAG_GRADE_DICT`]); entries' grade
+/// bits must then all be present in it.
+pub fn encode_block_v2(entries: &[GradedEntry], kind: RegionKind, dict: Option<&[u64]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 4);
+    let mut prev_id: u64 = 0;
+    let mut prev_bits: u64 = 0;
+    for (i, entry) in entries.iter().enumerate() {
+        let id = entry.object.0;
+        let bits = entry.grade.value().to_bits();
+        if i == 0 {
+            write_varint(&mut out, id);
+        } else {
+            match kind {
+                RegionKind::Data => write_varint(&mut out, zigzag(id.wrapping_sub(prev_id) as i64)),
+                RegionKind::Table => write_varint(&mut out, id - prev_id),
+            }
+        }
+        match dict {
+            Some(dict) => {
+                let index = dict.binary_search(&bits).expect("grade bits in dictionary");
+                write_varint(&mut out, index as u64);
+            }
+            None if i == 0 => out.extend_from_slice(&bits.to_le_bytes()),
+            None => match kind {
+                RegionKind::Data => write_varint(&mut out, prev_bits - bits),
+                RegionKind::Table => write_varint(&mut out, zigzag(bits as i64 - prev_bits as i64)),
+            },
+        }
+        prev_id = id;
+        prev_bits = bits;
+    }
+    out
+}
+
+/// Walks a v2 block, handing each `(index, object id, grade bits)` to
+/// `visit`; `visit` returns `false` to stop early (a table lookup that
+/// has passed its target id). Verifies the varint framing as it goes:
+/// mid-varint truncation, delta underflow/overflow, out-of-range
+/// dictionary indices, and trailing bytes after the last entry all
+/// return a typed detail string for [`StorageError::CorruptBlock`].
+pub fn walk_block_v2(
+    bytes: &[u8],
+    count: usize,
+    kind: RegionKind,
+    dict: Option<&[u64]>,
+    mut visit: impl FnMut(usize, u64, u64) -> bool,
+) -> Result<(), String> {
+    let mut off = 0usize;
+    let mut prev_id: u64 = 0;
+    let mut prev_bits: u64 = 0;
+    for i in 0..count {
+        let raw_id = read_varint(bytes, &mut off)
+            .ok_or_else(|| format!("entry {i}: id varint truncated"))?;
+        let id = if i == 0 {
+            raw_id
+        } else {
+            match kind {
+                RegionKind::Data => prev_id.wrapping_add(unzigzag(raw_id) as u64),
+                RegionKind::Table => {
+                    if raw_id == 0 {
+                        return Err(format!("entry {i}: zero table id delta"));
+                    }
+                    prev_id
+                        .checked_add(raw_id)
+                        .ok_or_else(|| format!("entry {i}: table id delta overflows"))?
+                }
+            }
+        };
+        let bits = match dict {
+            Some(dict) => {
+                let index = read_varint(bytes, &mut off)
+                    .ok_or_else(|| format!("entry {i}: grade index truncated"))?;
+                *dict
+                    .get(index as usize)
+                    .ok_or_else(|| format!("entry {i}: grade index {index} out of dictionary"))?
+            }
+            None if i == 0 => {
+                let slot = bytes
+                    .get(off..off + 8)
+                    .ok_or_else(|| format!("entry {i}: first grade truncated"))?;
+                off += 8;
+                u64::from_le_bytes(slot.try_into().expect("8-byte slot"))
+            }
+            None => {
+                let delta = read_varint(bytes, &mut off)
+                    .ok_or_else(|| format!("entry {i}: grade delta truncated"))?;
+                match kind {
+                    RegionKind::Data => prev_bits
+                        .checked_sub(delta)
+                        .ok_or_else(|| format!("entry {i}: grade delta underflows"))?,
+                    RegionKind::Table => prev_bits.wrapping_add(unzigzag(delta) as u64),
+                }
+            }
+        };
+        prev_id = id;
+        prev_bits = bits;
+        if !visit(i, id, bits) {
+            return Ok(());
+        }
+    }
+    if off != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after last entry",
+            bytes.len() - off
+        ));
+    }
+    Ok(())
+}
+
+/// Decodes a full v2 block into raw `(object id, grade bits)` pairs —
+/// the verification-time path. Grade *validity* is the caller's concern,
+/// mirroring [`decode_raw`].
+pub fn decode_block_v2(
+    bytes: &[u8],
+    count: usize,
+    kind: RegionKind,
+    dict: Option<&[u64]>,
+) -> Result<Vec<(u64, u64)>, String> {
+    let mut out = Vec::with_capacity(count);
+    walk_block_v2(bytes, count, kind, dict, |_, id, bits| {
+        out.push((id, bits));
+        true
+    })?;
+    Ok(out)
+}
+
+/// Decodes entries `[from, to)` of an open-time-verified v2 block,
+/// appending to `out` — the v2 counterpart of [`decode_entries`]. The
+/// stream is sequential, so the walk starts at entry 0 regardless of
+/// `from`; it stops as soon as `to` entries have been seen. Framing
+/// errors are unreachable on checksum-verified bytes (open validated
+/// this exact byte run), so they panic like a failed post-open checksum
+/// would, rather than plumbing `Result` through the hot path.
+pub fn decode_entries_v2(
+    bytes: &[u8],
+    count: usize,
+    from: usize,
+    to: usize,
+    kind: RegionKind,
+    dict: Option<&[u64]>,
+    out: &mut Vec<GradedEntry>,
+) {
+    out.reserve(to - from);
+    // Dedicated monomorphized loops rather than [`walk_block_v2`]: the
+    // visitor indirection, per-byte varint reads, and per-entry encoding
+    // dispatch cost enough to show up on warm full scans, and this path
+    // never needs the walker's typed error reporting — open already
+    // verified these exact bytes.
+    match (kind, dict) {
+        (RegionKind::Data, Some(d)) => decode_v2_loop::<true, true>(bytes, count, from, to, d, out),
+        (RegionKind::Data, None) => decode_v2_loop::<true, false>(bytes, count, from, to, &[], out),
+        (RegionKind::Table, Some(d)) => {
+            decode_v2_loop::<false, true>(bytes, count, from, to, d, out)
+        }
+        (RegionKind::Table, None) => {
+            decode_v2_loop::<false, false>(bytes, count, from, to, &[], out)
+        }
+    }
+}
+
+/// The monomorphized body of [`decode_entries_v2`]: one instantiation
+/// per (region, dictionary-mode) pair so the encoding dispatch is
+/// resolved at compile time and the hot loop is branch-minimal.
+#[inline(always)]
+fn decode_v2_loop<const DATA: bool, const DICT: bool>(
+    bytes: &[u8],
+    count: usize,
+    from: usize,
+    to: usize,
+    dict: &[u64],
+    out: &mut Vec<GradedEntry>,
+) {
+    const TAMPERED: &str = "verified v2 block mutated after open";
+    let mut off = 0usize;
+    let mut prev_id: u64 = 0;
+    let mut prev_bits: u64 = 0;
+    for i in 0..count.min(to) {
+        let raw_id = read_varint_hot(bytes, &mut off).expect(TAMPERED);
+        let id = if i == 0 {
+            raw_id
+        } else if DATA {
+            prev_id.wrapping_add(unzigzag(raw_id) as u64)
+        } else {
+            prev_id.checked_add(raw_id).expect(TAMPERED)
+        };
+        let bits = if DICT {
+            let index = read_varint_hot(bytes, &mut off).expect(TAMPERED);
+            *dict.get(index as usize).expect(TAMPERED)
+        } else if i == 0 {
+            let slot = bytes.get(off..off + 8).expect(TAMPERED);
+            off += 8;
+            u64::from_le_bytes(slot.try_into().expect("8-byte slot"))
+        } else {
+            let delta = read_varint_hot(bytes, &mut off).expect(TAMPERED);
+            if DATA {
+                prev_bits.checked_sub(delta).expect(TAMPERED)
+            } else {
+                prev_bits.wrapping_add(unzigzag(delta) as u64)
+            }
+        };
+        prev_id = id;
+        prev_bits = bits;
+        if i >= from {
+            out.push(GradedEntry::new(id, Grade::clamped(f64::from_bits(bits))));
+        }
+    }
+}
+
+/// The parsed v2 footer: v1's geometry plus the per-block byte lengths
+/// that locate variable-length blocks, the data-region grade fences,
+/// and the optional grade dictionary.
+#[derive(Debug, Clone)]
+pub struct FooterV2 {
+    /// Flag bits ([`FLAG_CRISP`], [`FLAG_GRADE_DICT`], ...).
+    pub flags: u64,
+    /// *Logical* block size in bytes — fixes entries-per-block geometry;
+    /// encoded blocks are smaller.
+    pub block_size: usize,
+    /// Number of graded entries.
+    pub num_entries: u64,
+    /// Number of entries with grade exactly 1 (the crisp match count).
+    pub ones: u64,
+    /// Number of data (sorted-order) blocks.
+    pub data_blocks: u64,
+    /// Number of table (object-order) blocks.
+    pub table_blocks: u64,
+    /// FNV-1a checksum of every data block's encoded bytes, in order.
+    pub data_checksums: Vec<u64>,
+    /// FNV-1a checksum of every table block's encoded bytes, in order.
+    pub table_checksums: Vec<u64>,
+    /// The first object id stored in each table block — the fence index
+    /// that routes a random access (or skips a non-matching id range).
+    pub table_first_ids: Vec<u64>,
+    /// Encoded byte length of every data block, in order.
+    pub data_block_lens: Vec<u64>,
+    /// Encoded byte length of every table block, in order.
+    pub table_block_lens: Vec<u64>,
+    /// Grade bits of each data block's first (greatest) entry — the
+    /// fence a threshold-hinted scan compares before loading the block.
+    pub grade_max_bits: Vec<u64>,
+    /// Grade bits of each data block's last (least) entry.
+    pub grade_min_bits: Vec<u64>,
+    /// Sorted distinct grade bit patterns (dictionary mode only; empty
+    /// when [`FLAG_GRADE_DICT`] is clear).
+    pub grade_dict: Vec<u64>,
+}
+
+impl FooterV2 {
+    /// Fixed-length prefix of the v2 footer (all scalar fields).
+    const SCALARS: usize = 7 * 8;
+
+    /// Serialized length in bytes (including the trailing self-checksum).
+    pub fn encoded_len(&self) -> u64 {
+        (Self::SCALARS
+            + 8 * (self.data_checksums.len()
+                + self.table_checksums.len()
+                + self.table_first_ids.len()
+                + self.data_block_lens.len()
+                + self.table_block_lens.len()
+                + self.grade_max_bits.len()
+                + self.grade_min_bits.len()
+                + self.grade_dict.len())
+            + 8) as u64
+    }
+
+    /// Serializes the footer, appending its own FNV-1a checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len() as usize);
+        for v in [
+            self.flags,
+            self.block_size as u64,
+            self.num_entries,
+            self.ones,
+            self.data_blocks,
+            self.table_blocks,
+            self.grade_dict.len() as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for list in [
+            &self.data_checksums,
+            &self.table_checksums,
+            &self.table_first_ids,
+            &self.data_block_lens,
+            &self.table_block_lens,
+            &self.grade_max_bits,
+            &self.grade_min_bits,
+            &self.grade_dict,
+        ] {
+            for v in list {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses and verifies a serialized v2 footer. Like v1, everything a
+    /// forged footer could abuse downstream — geometry, list lengths,
+    /// block byte lengths, fence ordering, dictionary shape — is checked
+    /// here with overflow-safe arithmetic before any block is read.
+    pub fn parse(bytes: &[u8]) -> Result<FooterV2, StorageError> {
+        let corrupt = |detail: String| StorageError::FooterCorrupt { detail };
+        if bytes.len() < Self::SCALARS + 8 {
+            return Err(corrupt(format!("footer too short ({} bytes)", bytes.len())));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        if fnv1a64(body) != read_u64(tail, 0) {
+            return Err(corrupt("footer checksum mismatch".to_owned()));
+        }
+        let flags = read_u64(body, 0);
+        let block_size = read_u64(body, 8);
+        let num_entries = read_u64(body, 16);
+        let ones = read_u64(body, 24);
+        let data_blocks = read_u64(body, 32);
+        let table_blocks = read_u64(body, 40);
+        let dict_len = read_u64(body, 48);
+        if block_size == 0
+            || block_size > MAX_BLOCK_SIZE as u64
+            || !block_size.is_multiple_of(ENTRY_LEN as u64)
+        {
+            return Err(corrupt(format!("invalid block size {block_size}")));
+        }
+        if dict_len > GRADE_DICT_MAX as u64 {
+            return Err(corrupt(format!(
+                "grade dictionary of {dict_len} exceeds the {GRADE_DICT_MAX} cap"
+            )));
+        }
+        let want = [
+            data_blocks,
+            table_blocks,
+            table_blocks,
+            data_blocks,
+            table_blocks,
+            data_blocks,
+            data_blocks,
+            dict_len,
+        ]
+        .iter()
+        .try_fold(0u64, |acc, &n| acc.checked_add(n))
+        .and_then(|v| v.checked_mul(8))
+        .and_then(|v| v.checked_add(Self::SCALARS as u64))
+        .ok_or_else(|| corrupt("block counts overflow".to_owned()))?;
+        if body.len() as u64 != want {
+            return Err(corrupt(format!(
+                "footer length {} disagrees with block counts {data_blocks}+{table_blocks}",
+                bytes.len()
+            )));
+        }
+        let entries_per_block = block_size / ENTRY_LEN as u64;
+        let expected_blocks = num_entries.div_ceil(entries_per_block);
+        if data_blocks != expected_blocks || table_blocks != expected_blocks {
+            return Err(corrupt(format!(
+                "{num_entries} entries at {entries_per_block}/block need {expected_blocks} \
+                 blocks per region, footer says {data_blocks}/{table_blocks}"
+            )));
+        }
+        let mut off = Self::SCALARS;
+        let mut take = |count: u64| {
+            let mut out = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                out.push(read_u64(body, off));
+                off += 8;
+            }
+            out
+        };
+        let data_checksums = take(data_blocks);
+        let table_checksums = take(table_blocks);
+        let table_first_ids = take(table_blocks);
+        let data_block_lens = take(data_blocks);
+        let table_block_lens = take(table_blocks);
+        let grade_max_bits = take(data_blocks);
+        let grade_min_bits = take(data_blocks);
+        let grade_dict = take(dict_len);
+        if !table_first_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("table fence ids not strictly ascending".to_owned()));
+        }
+        // An encoded block can exceed its logical size only modestly (a
+        // worst-case varint entry is 20 bytes vs 16 raw, plus one raw
+        // first grade); 2× bounds every read buffer a forged length
+        // could request before its checksum is consulted.
+        let max_len = 2 * block_size;
+        for (region, lens) in [("data", &data_block_lens), ("table", &table_block_lens)] {
+            if let Some(bad) = lens.iter().find(|&&len| len == 0 || len > max_len) {
+                return Err(corrupt(format!("{region} block length {bad} out of range")));
+            }
+        }
+        let valid_grade_bits = |bits: u64| Grade::new(f64::from_bits(bits)).is_ok();
+        for (i, (&max, &min)) in grade_max_bits.iter().zip(&grade_min_bits).enumerate() {
+            if !valid_grade_bits(max) || !valid_grade_bits(min) {
+                return Err(corrupt(format!("data block {i} grade fence out of [0, 1]")));
+            }
+            // Non-negative f64 bit patterns order like their values, so
+            // fence ordering is a plain integer comparison.
+            if max < min {
+                return Err(corrupt(format!("data block {i} grade fence inverted")));
+            }
+            if i + 1 < grade_max_bits.len() && min < grade_max_bits[i + 1] {
+                return Err(corrupt(format!(
+                    "grade fences of data blocks {i} and {} violate descending order",
+                    i + 1
+                )));
+            }
+        }
+        let dict_mode = flags & FLAG_GRADE_DICT != 0;
+        if dict_mode != (dict_len > 0) && num_entries > 0 {
+            return Err(corrupt(format!(
+                "dictionary flag {dict_mode} disagrees with dictionary length {dict_len}"
+            )));
+        }
+        if !grade_dict.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt(
+                "grade dictionary not strictly ascending".to_owned(),
+            ));
+        }
+        if let Some(&bad) = grade_dict.iter().find(|&&bits| !valid_grade_bits(bits)) {
+            return Err(corrupt(format!(
+                "grade dictionary entry {bad:#x} outside [0, 1]"
+            )));
+        }
+        Ok(FooterV2 {
+            flags,
+            block_size: block_size as usize,
+            num_entries,
+            ones,
+            data_blocks,
+            table_blocks,
+            data_checksums,
+            table_checksums,
+            table_first_ids,
+            data_block_lens,
+            table_block_lens,
+            grade_max_bits,
+            grade_min_bits,
+            grade_dict,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +921,178 @@ mod tests {
         f.data_checksums.push(5);
         assert!(matches!(
             Footer::parse(&f.encode()),
+            Err(StorageError::FooterCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_round_trips_and_rejects_truncation() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut off = 0;
+            assert_eq!(read_varint(&buf, &mut off), Some(v));
+            assert_eq!(off, buf.len());
+            // Every strict prefix is a typed truncation, not a panic.
+            for cut in 0..buf.len() {
+                let mut off = 0;
+                assert_eq!(read_varint(&buf[..cut], &mut off), None);
+            }
+        }
+        // An 11-byte continuation run and an overflowing 10th byte both fail.
+        let mut off = 0;
+        assert_eq!(read_varint(&[0x80; 11], &mut off), None);
+        let mut overlong = vec![0x80u8; 9];
+        overlong.push(0x02); // would set bit 64
+        let mut off = 0;
+        assert_eq!(read_varint(&overlong, &mut off), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    fn v2_entries(kind: RegionKind) -> Vec<GradedEntry> {
+        let mut entries = vec![
+            GradedEntry::new(ObjectId(900), Grade::new(0.875).unwrap()),
+            GradedEntry::new(ObjectId(3), Grade::new(0.875).unwrap()),
+            GradedEntry::new(ObjectId(u64::MAX - 1), Grade::new(0.5).unwrap()),
+            GradedEntry::new(ObjectId(42), Grade::ZERO),
+        ];
+        if kind == RegionKind::Table {
+            entries.sort_by_key(|e| e.object);
+        }
+        entries
+    }
+
+    #[test]
+    fn v2_block_round_trips_both_regions_and_modes() {
+        for kind in [RegionKind::Data, RegionKind::Table] {
+            let entries = v2_entries(kind);
+            let mut dict: Vec<u64> = entries.iter().map(|e| e.grade.value().to_bits()).collect();
+            dict.sort_unstable();
+            dict.dedup();
+            for dict in [None, Some(dict.as_slice())] {
+                let bytes = encode_block_v2(&entries, kind, dict);
+                let raw = decode_block_v2(&bytes, entries.len(), kind, dict).unwrap();
+                let decoded: Vec<GradedEntry> = raw
+                    .iter()
+                    .map(|&(id, bits)| {
+                        GradedEntry::new(id, Grade::new(f64::from_bits(bits)).unwrap())
+                    })
+                    .collect();
+                assert_eq!(decoded, entries, "{kind:?} dict={}", dict.is_some());
+                let mut partial = Vec::new();
+                decode_entries_v2(&bytes, entries.len(), 1, 3, kind, dict, &mut partial);
+                assert_eq!(partial, entries[1..3]);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_block_decode_flags_framing_corruption() {
+        let entries = v2_entries(RegionKind::Data);
+        let bytes = encode_block_v2(&entries, RegionKind::Data, None);
+        // Every truncation point either fails or yields fewer entries.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_block_v2(&bytes[..cut], entries.len(), RegionKind::Data, None).is_err(),
+                "cut at {cut} must not decode cleanly"
+            );
+        }
+        // Trailing garbage after the last entry is caught too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = decode_block_v2(&padded, entries.len(), RegionKind::Data, None).unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        // A dictionary index past the dictionary is typed, not a panic.
+        let dict = [Grade::HALF.value().to_bits()];
+        let two = [
+            GradedEntry::new(ObjectId(1), Grade::HALF),
+            GradedEntry::new(ObjectId(2), Grade::HALF),
+        ];
+        let encoded = encode_block_v2(&two, RegionKind::Table, Some(&dict));
+        let err = decode_block_v2(&encoded, 2, RegionKind::Table, Some(&[])).unwrap_err();
+        assert!(err.contains("dictionary"), "{err}");
+    }
+
+    fn footer_v2() -> FooterV2 {
+        FooterV2 {
+            flags: FLAG_GRADE_DICT,
+            block_size: 64,
+            num_entries: 7,
+            ones: 0,
+            data_blocks: 2,
+            table_blocks: 2,
+            data_checksums: vec![1, 2],
+            table_checksums: vec![3, 4],
+            table_first_ids: vec![0, 9],
+            data_block_lens: vec![17, 11],
+            table_block_lens: vec![19, 13],
+            grade_max_bits: vec![Grade::ONE.value().to_bits(), Grade::HALF.value().to_bits()],
+            grade_min_bits: vec![Grade::HALF.value().to_bits(), Grade::ZERO.value().to_bits()],
+            grade_dict: vec![
+                Grade::ZERO.value().to_bits(),
+                Grade::HALF.value().to_bits(),
+                Grade::ONE.value().to_bits(),
+            ],
+        }
+    }
+
+    #[test]
+    fn footer_v2_round_trips() {
+        let f = footer_v2();
+        let bytes = f.encode();
+        assert_eq!(bytes.len() as u64, f.encoded_len());
+        let parsed = FooterV2::parse(&bytes).unwrap();
+        assert_eq!(parsed.num_entries, 7);
+        assert_eq!(parsed.data_block_lens, vec![17, 11]);
+        assert_eq!(parsed.grade_max_bits, f.grade_max_bits);
+        assert_eq!(parsed.grade_dict, f.grade_dict);
+    }
+
+    #[test]
+    fn footer_v2_rejects_forgeries() {
+        type Forgery = (&'static str, fn(&mut FooterV2));
+        let checks: [Forgery; 6] = [
+            ("inverted fence", |f| {
+                f.grade_max_bits[0] = Grade::ZERO.value().to_bits()
+            }),
+            ("fence outside [0, 1]", |f| {
+                f.grade_min_bits[1] = f64::to_bits(2.0)
+            }),
+            ("fences out of descending order", |f| {
+                f.grade_min_bits[0] = Grade::ZERO.value().to_bits();
+                f.grade_max_bits[1] = Grade::ONE.value().to_bits();
+            }),
+            ("zero block length", |f| f.data_block_lens[1] = 0),
+            ("oversized block length", |f| {
+                f.table_block_lens[0] = (3 * f.block_size) as u64
+            }),
+            ("unsorted dictionary", |f| f.grade_dict.swap(0, 1)),
+        ];
+        for (what, tweak) in checks {
+            let mut f = footer_v2();
+            tweak(&mut f);
+            assert!(
+                matches!(
+                    FooterV2::parse(&f.encode()),
+                    Err(StorageError::FooterCorrupt { .. })
+                ),
+                "forged v2 footer accepted: {what}"
+            );
+        }
+        let mut bytes = footer_v2().encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(
+            FooterV2::parse(&bytes),
             Err(StorageError::FooterCorrupt { .. })
         ));
     }

@@ -1,16 +1,24 @@
 //! Reading segments: [`SegmentSource`], a disk-backed [`GradedSource`].
 //!
 //! `SegmentSource::open` is where durability is enforced: it parses the
-//! header, trailer, and footer, then makes one streaming pass over the
-//! whole file verifying every block checksum, every grade, and both sort
-//! orders, so a corrupted or truncated segment fails with a typed
-//! [`StorageError`] *before* it can serve a single wrong entry. After a
-//! successful open the source is an ordinary `Send + Sync` graded source:
-//! sorted access streams data blocks through the shared
-//! [`BlockCache`], random access routes through the footer's fence index
-//! to exactly one table block, and `SetAccess` enumerates the grade-1
-//! prefix — bit-identical behaviour to a [`MemorySource`] over the same
-//! pairs (the round-trip property suite holds it to that).
+//! header, dispatches on the format version (v1 fixed-slot or v2
+//! compressed — see [`crate::format`]), then makes one streaming pass
+//! over the whole file verifying every block checksum, every grade, both
+//! sort orders, and (v2) every varint frame and footer fence, so a
+//! corrupted or truncated segment fails with a typed [`StorageError`]
+//! *before* it can serve a single wrong entry. After a successful open
+//! the source is an ordinary `Send + Sync` graded source: sorted access
+//! streams data blocks through the shared [`BlockCache`], random access
+//! routes through the footer's fence index to exactly one table block,
+//! and `SetAccess` enumerates the grade-1 prefix — bit-identical
+//! behaviour to a [`MemorySource`] over the same pairs, in either
+//! version (the round-trip property suite holds it to that).
+//!
+//! On v2 segments the per-block grade fences additionally power
+//! [`GradedSource::sorted_batch_bounded`]: a threshold-hinted scan stops
+//! *before loading* the first block whose `grade_max` falls below the
+//! bound, skipping the cache, the I/O, and the decode for the entire
+//! remaining region.
 //!
 //! [`MemorySource`]: garlic_core::access::MemorySource
 
@@ -21,13 +29,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use garlic_agg::Grade;
-use garlic_core::access::{GradedSource, SetAccess};
+use garlic_core::access::{BoundedBatch, GradedSource, SetAccess};
 use garlic_core::{GradedEntry, ObjectId};
 
 use crate::cache::{BlockCache, BlockKey};
 use crate::error::StorageError;
 use crate::format::{
-    decode_raw, fnv1a64, read_u64, Footer, ENTRY_LEN, FLAG_CRISP, FORMAT_VERSION, HEADER_LEN,
+    decode_block_v2, decode_raw, encode_entry, fnv1a64, read_u64, walk_block_v2, Footer, FooterV2,
+    RegionKind, ENTRY_LEN, FLAG_CRISP, FLAG_GRADE_DICT, FORMAT_V1, FORMAT_VERSION, HEADER_LEN,
     HEADER_MAGIC, TRAILER_LEN, TRAILER_MAGIC,
 };
 
@@ -50,9 +59,29 @@ pub struct SegmentSource {
     path: PathBuf,
     cache: Arc<BlockCache>,
     segment_id: u64,
+    version: u32,
     footer: Footer,
+    /// Present for v2 segments: block addressing, grade dictionary, and
+    /// the data-region skip fences. `None` means the fixed-slot v1 layout.
+    layout: Option<V2Layout>,
     entries_per_block: usize,
     max_object: Option<ObjectId>,
+}
+
+/// The extra reader state a v2 segment carries beyond the shared footer
+/// geometry.
+struct V2Layout {
+    /// `(absolute file offset, encoded byte length)` of every file-wide
+    /// block, data region first then table region — v2 blocks are
+    /// variable-length, so offsets are prefix sums of the footer's
+    /// per-block lengths.
+    locs: Vec<(u64, u32)>,
+    /// The sorted grade-bit dictionary (dictionary mode), else `None`
+    /// (per-block bit-delta mode).
+    dict: Option<Vec<u64>>,
+    /// Each data block's greatest grade — the fence consulted before a
+    /// threshold-hinted scan loads the block.
+    grade_max: Vec<Grade>,
 }
 
 /// Positioned reads on the segment file. On Unix this is `pread` — no
@@ -110,8 +139,12 @@ impl SegmentSource {
             return Err(StorageError::BadMagic);
         }
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte field"));
-        if version != FORMAT_VERSION {
-            return Err(StorageError::UnsupportedVersion { found: version });
+        if !(FORMAT_V1..=FORMAT_VERSION).contains(&version) {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                oldest_supported: FORMAT_V1,
+                newest_supported: FORMAT_VERSION,
+            });
         }
 
         let mut trailer = [0u8; TRAILER_LEN as usize];
@@ -140,34 +173,89 @@ impl SegmentSource {
         let mut footer_bytes = vec![0u8; footer_len as usize];
         file.seek(SeekFrom::Start(footer_offset))?;
         file.read_exact(&mut footer_bytes)?;
-        let footer = Footer::parse(&footer_bytes)?;
-        // All footer geometry is untrusted until it survives these checks:
-        // overflow in a forged footer must be an error, not a wrap/panic.
-        let region_end = footer
-            .data_blocks
-            .checked_add(footer.table_blocks)
-            .and_then(|blocks| blocks.checked_mul(footer.block_size as u64))
-            .and_then(|bytes| bytes.checked_add(HEADER_LEN))
-            .ok_or_else(|| StorageError::FooterCorrupt {
-                detail: "region geometry overflows".to_owned(),
-            })?;
-        if region_end != footer_offset {
-            return Err(StorageError::FooterCorrupt {
-                detail: format!("blocks end at {region_end} but footer starts at {footer_offset}"),
-            });
-        }
-
-        let stats = verify_blocks(&mut file, &footer)?;
+        let (footer, layout, stats) = if version == FORMAT_V1 {
+            let footer = Footer::parse(&footer_bytes)?;
+            // All footer geometry is untrusted until it survives these
+            // checks: overflow in a forged footer must be an error, not a
+            // wrap/panic.
+            let region_end = footer
+                .data_blocks
+                .checked_add(footer.table_blocks)
+                .and_then(|blocks| blocks.checked_mul(footer.block_size as u64))
+                .and_then(|bytes| bytes.checked_add(HEADER_LEN))
+                .ok_or_else(|| StorageError::FooterCorrupt {
+                    detail: "region geometry overflows".to_owned(),
+                })?;
+            if region_end != footer_offset {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!(
+                        "blocks end at {region_end} but footer starts at {footer_offset}"
+                    ),
+                });
+            }
+            let stats = verify_blocks(&mut file, &footer)?;
+            (footer, None, stats)
+        } else {
+            let v2 = FooterV2::parse(&footer_bytes)?;
+            // v2 blocks are variable-length: their file offsets are prefix
+            // sums of the footer's (already sanity-bounded) byte lengths,
+            // and the regions must end exactly where the footer starts.
+            let mut locs =
+                Vec::with_capacity((v2.data_blocks + v2.table_blocks).min(1 << 32) as usize);
+            let mut offset = HEADER_LEN;
+            for &len in v2.data_block_lens.iter().chain(&v2.table_block_lens) {
+                locs.push((offset, len as u32));
+                offset = offset
+                    .checked_add(len)
+                    .ok_or_else(|| StorageError::FooterCorrupt {
+                        detail: "region geometry overflows".to_owned(),
+                    })?;
+            }
+            if offset != footer_offset {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!("blocks end at {offset} but footer starts at {footer_offset}"),
+                });
+            }
+            let stats = verify_blocks_v2(&mut file, &v2)?;
+            let layout = V2Layout {
+                locs,
+                dict: (v2.flags & FLAG_GRADE_DICT != 0).then(|| v2.grade_dict.clone()),
+                grade_max: v2
+                    .grade_max_bits
+                    .iter()
+                    .map(|&bits| Grade::clamped(f64::from_bits(bits)))
+                    .collect(),
+            };
+            let footer = Footer {
+                flags: v2.flags,
+                block_size: v2.block_size,
+                num_entries: v2.num_entries,
+                ones: v2.ones,
+                data_blocks: v2.data_blocks,
+                table_blocks: v2.table_blocks,
+                data_checksums: v2.data_checksums,
+                table_checksums: v2.table_checksums,
+                table_first_ids: v2.table_first_ids,
+            };
+            (footer, Some(layout), stats)
+        };
 
         Ok(SegmentSource {
             file: SegmentFile::new(file),
             path,
             cache,
             segment_id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            version,
             entries_per_block: footer.block_size / ENTRY_LEN,
             footer,
+            layout,
             max_object: stats.max_object,
         })
+    }
+
+    /// The on-disk format version this segment was written in.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The file this source reads.
@@ -233,8 +321,19 @@ impl SegmentSource {
             block: file_block,
         };
         self.cache.get_or_load(key, || {
-            let mut buf = vec![0u8; self.footer.block_size];
-            let offset = HEADER_LEN + file_block * self.footer.block_size as u64;
+            // v1 blocks are fixed slots; v2 blocks live wherever the
+            // footer's prefix sums put them.
+            let (offset, len) = match &self.layout {
+                None => (
+                    HEADER_LEN + file_block * self.footer.block_size as u64,
+                    self.footer.block_size,
+                ),
+                Some(layout) => {
+                    let (offset, len) = layout.locs[file_block as usize];
+                    (offset, len as usize)
+                }
+            };
+            let mut buf = vec![0u8; len];
             self.file.read_exact_at(&mut buf, offset)?;
             if fnv1a64(&buf) != checksum {
                 return Err(StorageError::ChecksumMismatch { block: file_block });
@@ -258,6 +357,62 @@ impl SegmentSource {
         )
         .unwrap_or_else(|e| panic!("segment {} mutated after open: {e}", self.path.display()))
     }
+
+    /// Appends slots `[from, to)` of data block `index` to `out`,
+    /// dispatching on the block encoding.
+    fn decode_data_range(
+        &self,
+        block: &[u8],
+        index: u64,
+        from: usize,
+        to: usize,
+        out: &mut Vec<GradedEntry>,
+    ) {
+        match &self.layout {
+            None => crate::format::decode_entries(block, from, to, out),
+            Some(layout) => crate::format::decode_entries_v2(
+                block,
+                self.entries_in_block(index),
+                from,
+                to,
+                RegionKind::Data,
+                layout.dict.as_deref(),
+                out,
+            ),
+        }
+    }
+
+    /// Binary search (v1) or early-exit walk (v2) for `object` in table
+    /// block `index`.
+    fn lookup_in_table(&self, block: &[u8], index: u64, object: ObjectId) -> Option<Grade> {
+        let count = self.entries_in_block(index);
+        match &self.layout {
+            None => lookup_in_table_block(block, count, object),
+            Some(layout) => {
+                // Ids are ascending, so the walk can stop at the first id
+                // past the probe. Grade bits are trusted for the same
+                // reason the v1 path trusts them: the block came through a
+                // checksum-verified load of bytes `open` validated.
+                let mut hit = None;
+                walk_block_v2(
+                    block,
+                    count,
+                    RegionKind::Table,
+                    layout.dict.as_deref(),
+                    |_, id, bits| {
+                        if id == object.0 {
+                            hit = Some(Grade::clamped(f64::from_bits(bits)));
+                        }
+                        id < object.0
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    panic!("segment {} mutated after open: {e}", self.path.display())
+                });
+                hit
+            }
+        }
+    }
 }
 
 impl GradedSource for SegmentSource {
@@ -269,11 +424,36 @@ impl GradedSource for SegmentSource {
         if rank >= self.len() {
             return None;
         }
-        let block = self.data_block((rank / self.entries_per_block) as u64);
-        Some(crate::format::decode_entry(
-            &block,
-            rank % self.entries_per_block,
-        ))
+        let index = (rank / self.entries_per_block) as u64;
+        let block = self.data_block(index);
+        let slot = rank % self.entries_per_block;
+        match &self.layout {
+            None => Some(crate::format::decode_entry(&block, slot)),
+            Some(layout) => {
+                // v2 blocks are delta chains: walk up to the slot, no
+                // allocation, stop as soon as it is decoded.
+                let mut hit = None;
+                walk_block_v2(
+                    &block,
+                    self.entries_in_block(index),
+                    RegionKind::Data,
+                    layout.dict.as_deref(),
+                    |i, id, bits| {
+                        if i == slot {
+                            hit = Some(GradedEntry::new(
+                                ObjectId(id),
+                                Grade::clamped(f64::from_bits(bits)),
+                            ));
+                        }
+                        i < slot
+                    },
+                )
+                .unwrap_or_else(|e| {
+                    panic!("segment {} mutated after open: {e}", self.path.display())
+                });
+                hit
+            }
+        }
     }
 
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
@@ -286,7 +466,7 @@ impl GradedSource for SegmentSource {
         }
         let index = (candidate - 1) as u64;
         let block = self.table_block(index);
-        lookup_in_table_block(&block, self.entries_in_block(index), object)
+        self.lookup_in_table(&block, index, object)
     }
 
     /// Native batched probing: probes are grouped by table block (sorted
@@ -314,10 +494,9 @@ impl GradedSource for SegmentSource {
         while index < probes.len() {
             let block_index = probes[index].0;
             let block = self.table_block(block_index);
-            let count = self.entries_in_block(block_index);
             while index < probes.len() && probes[index].0 == block_index {
                 let position = probes[index].1 as usize;
-                out[base + position] = lookup_in_table_block(&block, count, objects[position]);
+                out[base + position] = self.lookup_in_table(&block, block_index, objects[position]);
                 index += 1;
             }
         }
@@ -332,14 +511,61 @@ impl GradedSource for SegmentSource {
         out.reserve(end - start);
         let mut rank = start;
         while rank < end {
-            let block_index = rank / self.entries_per_block;
-            let block = self.data_block(block_index as u64);
+            let block_index = (rank / self.entries_per_block) as u64;
+            let block = self.data_block(block_index);
             let in_block = rank % self.entries_per_block;
             let take = (end - rank).min(self.entries_per_block - in_block);
-            crate::format::decode_entries(&block, in_block, in_block + take, out);
+            self.decode_data_range(&block, block_index, in_block, in_block + take, out);
             rank += take;
         }
         end - start
+    }
+
+    /// Threshold-hinted streaming. On a v2 segment the footer's
+    /// `grade_max` fences answer "can this block still matter?" *before*
+    /// the block is loaded: the scan stops at the first block whose fence
+    /// falls below `bound`, skipping its cache request, its I/O, and its
+    /// decode — and everything after it, since blocks are grade-descending.
+    /// On v1 the fence check is unavailable, but the scan still stops at
+    /// block granularity once a decoded block ends below the bound. Either
+    /// way the emitted entries are an exact prefix of the unbounded
+    /// stream, and `truncated` is only reported when every remaining entry
+    /// provably grades below `bound`.
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        let n = self.len();
+        let start = start.min(n);
+        let end = start.saturating_add(count).min(n);
+        let base = out.len();
+        let mut rank = start;
+        let mut truncated = false;
+        while rank < end {
+            let block_index = (rank / self.entries_per_block) as u64;
+            if let Some(layout) = &self.layout {
+                if layout.grade_max[block_index as usize] < bound {
+                    truncated = true;
+                    break;
+                }
+            }
+            let block = self.data_block(block_index);
+            let in_block = rank % self.entries_per_block;
+            let take = (end - rank).min(self.entries_per_block - in_block);
+            self.decode_data_range(&block, block_index, in_block, in_block + take, out);
+            rank += take;
+            if out.last().is_some_and(|entry| entry.grade < bound) {
+                truncated = true;
+                break;
+            }
+        }
+        BoundedBatch {
+            appended: out.len() - base,
+            truncated,
+        }
     }
 }
 
@@ -496,6 +722,140 @@ fn verify_blocks(file: &mut File, footer: &Footer) -> Result<VerifiedStats, Stor
     // Both regions are internally consistent; now they must agree with
     // each other. XOR of per-entry hashes is order-independent, so equal
     // digests ⇔ (up to hash collisions) equal entry sets.
+    if data_digest != table_digest {
+        return Err(StorageError::RegionMismatch);
+    }
+    Ok(VerifiedStats {
+        max_object: prev_id.map(ObjectId),
+    })
+}
+
+/// The v2 integrity scan: everything [`verify_blocks`] checks, plus full
+/// varint-frame decoding of every block and validation of the footer's
+/// per-block grade fences against the actual first/last entries. The two
+/// regions use different encodings, so the cross-region digest hashes each
+/// entry's *canonical* 16-byte slot rather than its encoded bytes.
+fn verify_blocks_v2(file: &mut File, footer: &FooterV2) -> Result<VerifiedStats, StorageError> {
+    let entries_per_block = footer.block_size / ENTRY_LEN;
+    let dict = (footer.flags & FLAG_GRADE_DICT != 0).then_some(footer.grade_dict.as_slice());
+    let mut buf = Vec::new();
+    let mut slot = [0u8; ENTRY_LEN];
+    file.seek(SeekFrom::Start(HEADER_LEN))?;
+
+    let mut prev: Option<GradedEntry> = None;
+    let mut ones = 0u64;
+    let mut crisp = true;
+    let mut data_digest = 0u64;
+    let checks = footer.data_checksums.iter().zip(&footer.data_block_lens);
+    for (i, (&expected, &len)) in checks.enumerate() {
+        buf.clear();
+        buf.resize(len as usize, 0);
+        file.read_exact(&mut buf)?;
+        if fnv1a64(&buf) != expected {
+            return Err(StorageError::ChecksumMismatch { block: i as u64 });
+        }
+        let count = (footer.num_entries as usize - i * entries_per_block).min(entries_per_block);
+        let pairs = decode_block_v2(&buf, count, RegionKind::Data, dict).map_err(|detail| {
+            StorageError::CorruptBlock {
+                block: i as u64,
+                detail,
+            }
+        })?;
+        for (index, &(object, bits)) in pairs.iter().enumerate() {
+            let grade =
+                Grade::new(f64::from_bits(bits)).map_err(|e| StorageError::CorruptBlock {
+                    block: i as u64,
+                    detail: format!("entry {index}: {e}"),
+                })?;
+            let entry = GradedEntry::new(object, grade);
+            if let Some(p) = prev {
+                if (entry.grade, std::cmp::Reverse(entry.object))
+                    > (p.grade, std::cmp::Reverse(p.object))
+                {
+                    return Err(StorageError::CorruptBlock {
+                        block: i as u64,
+                        detail: format!("entry {index} breaks the descending skeleton order"),
+                    });
+                }
+            }
+            prev = Some(entry);
+            if index == 0 && bits != footer.grade_max_bits[i] {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!("data block {i} grade_max fence disagrees with the block"),
+                });
+            }
+            if index == count - 1 && bits != footer.grade_min_bits[i] {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!("data block {i} grade_min fence disagrees with the block"),
+                });
+            }
+            if grade == Grade::ONE {
+                ones += 1;
+            }
+            crisp &= grade.is_crisp();
+            encode_entry(&mut slot, entry);
+            data_digest ^= fnv1a64(&slot);
+        }
+    }
+    if ones != footer.ones {
+        return Err(StorageError::FooterCorrupt {
+            detail: format!("footer says {} exact matches, data has {ones}", footer.ones),
+        });
+    }
+    if crisp != (footer.flags & FLAG_CRISP != 0) {
+        return Err(StorageError::FooterCorrupt {
+            detail: "crisp flag disagrees with the data region".to_owned(),
+        });
+    }
+
+    let mut prev_id: Option<u64> = None;
+    let mut table_digest = 0u64;
+    let checks = footer.table_checksums.iter().zip(&footer.table_block_lens);
+    for (i, (&expected, &len)) in checks.enumerate() {
+        buf.clear();
+        buf.resize(len as usize, 0);
+        file.read_exact(&mut buf)?;
+        let file_block = footer.data_blocks + i as u64;
+        if fnv1a64(&buf) != expected {
+            return Err(StorageError::ChecksumMismatch { block: file_block });
+        }
+        let count = (footer.num_entries as usize - i * entries_per_block).min(entries_per_block);
+        let pairs = decode_block_v2(&buf, count, RegionKind::Table, dict).map_err(|detail| {
+            StorageError::CorruptBlock {
+                block: file_block,
+                detail,
+            }
+        })?;
+        for (index, &(object, bits)) in pairs.iter().enumerate() {
+            let grade =
+                Grade::new(f64::from_bits(bits)).map_err(|e| StorageError::CorruptBlock {
+                    block: file_block,
+                    detail: format!("entry {index}: {e}"),
+                })?;
+            if index == 0 && object != footer.table_first_ids[i] {
+                return Err(StorageError::FooterCorrupt {
+                    detail: format!(
+                        "table block {i} starts at object {object}, fence says {}",
+                        footer.table_first_ids[i]
+                    ),
+                });
+            }
+            // The table encoding already rejects non-increasing deltas, so
+            // this only guards the first entry of each block against its
+            // predecessor block.
+            if let Some(p) = prev_id {
+                if object <= p {
+                    return Err(StorageError::CorruptBlock {
+                        block: file_block,
+                        detail: format!("entry {index} breaks the ascending object order"),
+                    });
+                }
+            }
+            prev_id = Some(object);
+            encode_entry(&mut slot, GradedEntry::new(object, grade));
+            table_digest ^= fnv1a64(&slot);
+        }
+    }
     if data_digest != table_digest {
         return Err(StorageError::RegionMismatch);
     }
@@ -709,6 +1069,97 @@ mod tests {
             g(0.3),
             "still a's data after b"
         );
+    }
+
+    #[test]
+    fn default_writer_produces_v2_and_reader_reports_it() {
+        let seg = write_and_open("version.seg", &[0.5, 0.25].map(g), 48);
+        assert_eq!(seg.version(), FORMAT_VERSION);
+    }
+
+    #[test]
+    fn v1_and_v2_segments_serve_bit_identical_entries() {
+        let grades: Vec<Grade> = (0..120)
+            .map(|i| Grade::clamped((i % 11) as f64 / 10.0))
+            .collect();
+        let v1_path = temp_path("equiv-v1.seg");
+        let v2_path = temp_path("equiv-v2.seg");
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .with_version(crate::format::FORMAT_V1)
+            .unwrap()
+            .write_grades(&v1_path, &grades)
+            .unwrap();
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(&v2_path, &grades)
+            .unwrap();
+        let v1 = SegmentSource::open(&v1_path, Arc::new(BlockCache::new(64))).unwrap();
+        let v2 = SegmentSource::open(&v2_path, Arc::new(BlockCache::new(64))).unwrap();
+        assert_eq!(v1.version(), crate::format::FORMAT_V1);
+        for rank in 0..=grades.len() {
+            assert_eq!(
+                v1.sorted_access(rank),
+                v2.sorted_access(rank),
+                "rank {rank}"
+            );
+        }
+        for id in 0..grades.len() as u64 + 2 {
+            assert_eq!(
+                v1.random_access(ObjectId(id)),
+                v2.random_access(ObjectId(id)),
+                "object {id}"
+            );
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        v1.sorted_batch(7, 100, &mut a);
+        v2.sorted_batch(7, 100, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_scan_skips_loading_fenced_out_blocks() {
+        // 30 entries, 3 per block: grades descend from 1.0, so a bound of
+        // 0.7 fences out every data block past the first ~third.
+        let cache = Arc::new(BlockCache::new(64));
+        let path = temp_path("fence-skip.seg");
+        let grades: Vec<Grade> = (0..30)
+            .map(|i| Grade::clamped((30 - i) as f64 / 30.0))
+            .collect();
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(&path, &grades)
+            .unwrap();
+        let seg = SegmentSource::open(&path, Arc::clone(&cache)).unwrap();
+        let before = cache.stats();
+        let mut bounded = Vec::new();
+        let result = seg.sorted_batch_bounded(0, 30, g(0.7), &mut bounded);
+        assert!(result.truncated);
+        assert_eq!(result.appended, bounded.len());
+        let after = cache.stats();
+        let touched = (after.hits + after.misses) - (before.hits + before.misses);
+        assert!(
+            touched < 10,
+            "fences must stop the scan before loading all 10 data blocks (touched {touched})"
+        );
+        // The emitted entries are an exact prefix of the unbounded stream.
+        let mut full = Vec::new();
+        seg.sorted_batch(0, 30, &mut full);
+        assert_eq!(bounded, full[..bounded.len()]);
+        // Everything withheld really does grade below the bound.
+        assert!(full[bounded.len()..].iter().all(|e| e.grade < g(0.7)));
+    }
+
+    #[test]
+    fn bounded_scan_without_a_binding_bound_is_the_full_stream() {
+        let seg = write_and_open("fence-nobound.seg", &[0.9, 0.8, 0.7, 0.6].map(g), 48);
+        let mut bounded = Vec::new();
+        let result = seg.sorted_batch_bounded(0, 10, Grade::ZERO, &mut bounded);
+        assert_eq!(result.appended, 4);
+        assert!(!result.truncated);
+        let mut full = Vec::new();
+        seg.sorted_batch(0, 10, &mut full);
+        assert_eq!(bounded, full);
     }
 
     #[test]

@@ -18,8 +18,9 @@ use garlic_core::{GradedEntry, GradedSet, ObjectId};
 
 use crate::error::StorageError;
 use crate::format::{
-    check_block_size, encode_entry, fnv1a64, Footer, DEFAULT_BLOCK_SIZE, ENTRY_LEN, FLAG_CRISP,
-    FORMAT_VERSION, HEADER_MAGIC, TRAILER_MAGIC,
+    check_block_size, encode_block_v2, encode_entry, fnv1a64, Footer, FooterV2, RegionKind,
+    DEFAULT_BLOCK_SIZE, ENTRY_LEN, FLAG_CRISP, FLAG_GRADE_DICT, FORMAT_V1, FORMAT_VERSION,
+    GRADE_DICT_MAX, HEADER_MAGIC, TRAILER_MAGIC,
 };
 
 /// What a finished write produced — geometry an operator (or a test) can
@@ -57,27 +58,56 @@ pub struct ShardInfo {
 #[derive(Debug, Clone)]
 pub struct SegmentWriter {
     block_size: usize,
+    version: u32,
 }
 
 impl SegmentWriter {
-    /// A writer with the default 4 KiB block size.
+    /// A writer with the default 4 KiB block size, producing the current
+    /// format version ([`FORMAT_VERSION`] — compressed v2 blocks).
     pub fn new() -> Self {
         SegmentWriter {
             block_size: DEFAULT_BLOCK_SIZE,
+            version: FORMAT_VERSION,
         }
     }
 
     /// A writer with a custom block size (a positive multiple of the
     /// 16-byte entry). Small blocks make the cache finer-grained; large
-    /// blocks amortise per-read overhead on sequential scans.
+    /// blocks amortise per-read overhead on sequential scans. In v2 the
+    /// block size fixes the *logical* entries-per-block geometry; the
+    /// encoded blocks are smaller.
     pub fn with_block_size(block_size: usize) -> Result<Self, StorageError> {
         check_block_size(block_size)?;
-        Ok(SegmentWriter { block_size })
+        Ok(SegmentWriter {
+            block_size,
+            version: FORMAT_VERSION,
+        })
+    }
+
+    /// Selects the on-disk format version: [`FORMAT_VERSION`] (the v2
+    /// default) or [`FORMAT_V1`] for the legacy fixed-slot layout —
+    /// useful for compatibility tests and for serving fleets that still
+    /// run v1-only readers.
+    pub fn with_version(mut self, version: u32) -> Result<Self, StorageError> {
+        if !(FORMAT_V1..=FORMAT_VERSION).contains(&version) {
+            return Err(StorageError::UnsupportedVersion {
+                found: version,
+                oldest_supported: FORMAT_V1,
+                newest_supported: FORMAT_VERSION,
+            });
+        }
+        self.version = version;
+        Ok(self)
     }
 
     /// The block size segments from this writer will use.
     pub fn block_size(&self) -> usize {
         self.block_size
+    }
+
+    /// The format version segments from this writer will use.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Writes `(object, grade)` pairs (any order; each object at most
@@ -212,11 +242,18 @@ impl SegmentWriter {
         let mut out = BufWriter::new(file);
 
         out.write_all(&HEADER_MAGIC)?;
-        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&self.version.to_le_bytes())?;
 
-        let mut block = vec![0u8; self.block_size];
-        let mut write_region =
-            |out: &mut BufWriter<File>, region: &[GradedEntry]| -> Result<Vec<u64>, StorageError> {
+        let table_first_ids: Vec<u64> = by_object
+            .chunks(entries_per_block)
+            .map(|c| c[0].object.0)
+            .collect();
+        let flags = if crisp { FLAG_CRISP } else { 0 };
+        let (footer_bytes, payload_len) = if self.version == FORMAT_V1 {
+            let mut block = vec![0u8; self.block_size];
+            let mut write_region = |out: &mut BufWriter<File>,
+                                    region: &[GradedEntry]|
+             -> Result<Vec<u64>, StorageError> {
                 let mut checksums = Vec::with_capacity(blocks_per_region as usize);
                 for chunk in region.chunks(entries_per_block) {
                     block.fill(0);
@@ -228,26 +265,81 @@ impl SegmentWriter {
                 }
                 Ok(checksums)
             };
-        let data_checksums = write_region(&mut out, &by_grade)?;
-        let table_checksums = write_region(&mut out, &by_object)?;
+            let data_checksums = write_region(&mut out, &by_grade)?;
+            let table_checksums = write_region(&mut out, &by_object)?;
+            let footer = Footer {
+                flags,
+                block_size: self.block_size,
+                num_entries: by_grade.len() as u64,
+                ones,
+                data_blocks: blocks_per_region,
+                table_blocks: blocks_per_region,
+                data_checksums,
+                table_checksums,
+                table_first_ids,
+            };
+            (
+                footer.encode(),
+                2 * blocks_per_region * self.block_size as u64,
+            )
+        } else {
+            // Dictionary mode when the distinct grade bit patterns fit the
+            // cap — exact by construction, since entries store indices into
+            // the very bit patterns recorded in the footer.
+            let mut grade_dict: Vec<u64> =
+                by_grade.iter().map(|e| e.grade.value().to_bits()).collect();
+            grade_dict.sort_unstable();
+            grade_dict.dedup();
+            if grade_dict.len() > GRADE_DICT_MAX {
+                grade_dict.clear();
+            }
+            let dict = (!grade_dict.is_empty()).then_some(grade_dict.as_slice());
 
-        let footer = Footer {
-            flags: if crisp { FLAG_CRISP } else { 0 },
-            block_size: self.block_size,
-            num_entries: by_grade.len() as u64,
-            ones,
-            data_blocks: blocks_per_region,
-            table_blocks: blocks_per_region,
-            data_checksums,
-            table_checksums,
-            table_first_ids: by_object
-                .chunks(entries_per_block)
-                .map(|c| c[0].object.0)
-                .collect(),
+            let mut payload_len = 0u64;
+            let mut write_region = |out: &mut BufWriter<File>,
+                                    region: &[GradedEntry],
+                                    kind: RegionKind|
+             -> Result<(Vec<u64>, Vec<u64>), StorageError> {
+                let mut checksums = Vec::with_capacity(blocks_per_region as usize);
+                let mut lens = Vec::with_capacity(blocks_per_region as usize);
+                for chunk in region.chunks(entries_per_block) {
+                    let block = encode_block_v2(chunk, kind, dict);
+                    checksums.push(fnv1a64(&block));
+                    lens.push(block.len() as u64);
+                    payload_len += block.len() as u64;
+                    out.write_all(&block)?;
+                }
+                Ok((checksums, lens))
+            };
+            let (data_checksums, data_block_lens) =
+                write_region(&mut out, &by_grade, RegionKind::Data)?;
+            let (table_checksums, table_block_lens) =
+                write_region(&mut out, &by_object, RegionKind::Table)?;
+            let footer = FooterV2 {
+                flags: flags | if dict.is_some() { FLAG_GRADE_DICT } else { 0 },
+                block_size: self.block_size,
+                num_entries: by_grade.len() as u64,
+                ones,
+                data_blocks: blocks_per_region,
+                table_blocks: blocks_per_region,
+                data_checksums,
+                table_checksums,
+                table_first_ids,
+                data_block_lens,
+                table_block_lens,
+                grade_max_bits: by_grade
+                    .chunks(entries_per_block)
+                    .map(|c| c[0].grade.value().to_bits())
+                    .collect(),
+                grade_min_bits: by_grade
+                    .chunks(entries_per_block)
+                    .map(|c| c[c.len() - 1].grade.value().to_bits())
+                    .collect(),
+                grade_dict,
+            };
+            (footer.encode(), payload_len)
         };
-        let footer_bytes = footer.encode();
-        let footer_offset =
-            crate::format::HEADER_LEN + 2 * blocks_per_region * self.block_size as u64;
+        let footer_offset = crate::format::HEADER_LEN + payload_len;
         out.write_all(&footer_bytes)?;
         out.write_all(&footer_offset.to_le_bytes())?;
         out.write_all(&(footer_bytes.len() as u64).to_le_bytes())?;
@@ -306,7 +398,11 @@ mod tests {
     fn writes_expected_geometry() {
         let path = temp_path("geometry.seg");
         // 80-byte blocks hold 5 entries; 7 entries need 2 blocks per region.
-        let writer = SegmentWriter::with_block_size(80).unwrap();
+        // Pinned to v1, whose fixed-slot layout makes the byte count exact.
+        let writer = SegmentWriter::with_block_size(80)
+            .unwrap()
+            .with_version(FORMAT_V1)
+            .unwrap();
         let grades: Vec<Grade> = [1.0, 0.5, 0.0, 1.0, 0.25, 0.75, 0.125]
             .iter()
             .map(|&v| g(v))
@@ -401,5 +497,49 @@ mod tests {
             SegmentWriter::with_block_size(17),
             Err(StorageError::InvalidBlockSize { requested: 17 })
         ));
+    }
+
+    #[test]
+    fn version_selector_rejects_unknown_versions() {
+        assert_eq!(SegmentWriter::new().version(), FORMAT_VERSION);
+        assert_eq!(
+            SegmentWriter::new()
+                .with_version(FORMAT_V1)
+                .unwrap()
+                .version(),
+            FORMAT_V1
+        );
+        for bad in [0, FORMAT_VERSION + 1] {
+            assert!(matches!(
+                SegmentWriter::new().with_version(bad),
+                Err(StorageError::UnsupportedVersion { found, .. }) if found == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1_on_quantized_grades() {
+        let dir = temp_path("v1-v2-size");
+        fs::create_dir_all(&dir).unwrap();
+        // A realistic corpus: 1000 quantization levels → dictionary mode.
+        let grades: Vec<Grade> = (0..5000)
+            .map(|i| g((i * 37 % 1000) as f64 / 1000.0))
+            .collect();
+        let v1 = SegmentWriter::new()
+            .with_version(FORMAT_V1)
+            .unwrap()
+            .write_grades(&dir.join("a.v1.seg"), &grades)
+            .unwrap();
+        let v2 = SegmentWriter::new()
+            .write_grades(&dir.join("a.v2.seg"), &grades)
+            .unwrap();
+        assert_eq!(v1.entries, v2.entries);
+        assert_eq!(v1.blocks_per_region, v2.blocks_per_region);
+        assert!(
+            v2.bytes * 2 <= v1.bytes,
+            "v2 ({} B) not ≥2× smaller than v1 ({} B)",
+            v2.bytes,
+            v1.bytes
+        );
     }
 }

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use garlic_agg::Grade;
 use garlic_core::GradedEntry;
 use garlic_storage::format::{
-    encode_entry, fnv1a64, Footer, ENTRY_LEN, FORMAT_VERSION, HEADER_MAGIC, TRAILER_MAGIC,
+    encode_block_v2, encode_entry, fnv1a64, Footer, FooterV2, RegionKind, ENTRY_LEN, FORMAT_V1,
+    FORMAT_VERSION, HEADER_MAGIC, TRAILER_MAGIC,
 };
 use garlic_storage::{BlockCache, SegmentSource, SegmentWriter, StorageError};
 
@@ -19,7 +20,7 @@ fn temp_path(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-/// A healthy multi-block segment to damage.
+/// A healthy multi-block segment (current format, v2) to damage.
 fn healthy(name: &str) -> PathBuf {
     let path = temp_path(name);
     let grades: Vec<Grade> = (0..64).map(|i| Grade::clamped(i as f64 / 64.0)).collect();
@@ -28,6 +29,29 @@ fn healthy(name: &str) -> PathBuf {
         .write_grades(&path, &grades)
         .unwrap();
     path
+}
+
+/// The same segment in the legacy v1 layout, whose fixed-slot geometry the
+/// byte-offset tests below rely on.
+fn healthy_v1(name: &str) -> PathBuf {
+    let path = temp_path(name);
+    let grades: Vec<Grade> = (0..64).map(|i| Grade::clamped(i as f64 / 64.0)).collect();
+    SegmentWriter::with_block_size(64)
+        .unwrap()
+        .with_version(FORMAT_V1)
+        .unwrap()
+        .write_grades(&path, &grades)
+        .unwrap();
+    path
+}
+
+/// Reads the footer offset out of a segment's trailer.
+fn footer_offset(bytes: &[u8]) -> usize {
+    u64::from_le_bytes(
+        bytes[bytes.len() - 24..bytes.len() - 16]
+            .try_into()
+            .unwrap(),
+    ) as usize
 }
 
 fn open(path: &PathBuf) -> Result<SegmentSource, StorageError> {
@@ -58,15 +82,50 @@ fn foreign_file_is_bad_magic() {
 }
 
 #[test]
-fn future_version_is_unsupported() {
+fn future_version_is_unsupported_and_names_both_sides() {
     let path = healthy("future.seg");
     let mut bytes = std::fs::read(&path).unwrap();
     bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
     std::fs::write(&path, bytes).unwrap();
+    let err = open(&path).unwrap_err();
+    assert!(matches!(
+        err,
+        StorageError::UnsupportedVersion {
+            found: 99,
+            oldest_supported: FORMAT_V1,
+            newest_supported: FORMAT_VERSION,
+        }
+    ));
+    // The operator must learn both the file's version and what this build
+    // reads, without digging through source.
+    let message = format!("{err}");
+    assert!(message.contains("99"), "{message}");
+    assert!(
+        message.contains(&format!("{FORMAT_V1} through {FORMAT_VERSION}")),
+        "{message}"
+    );
+}
+
+#[test]
+fn ancient_version_is_unsupported() {
+    let path = healthy("ancient.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+    std::fs::write(&path, bytes).unwrap();
     assert!(matches!(
         open(&path),
-        Err(StorageError::UnsupportedVersion { found: 99 })
+        Err(StorageError::UnsupportedVersion { found: 0, .. })
     ));
+}
+
+#[test]
+fn cross_version_opens_work_both_ways() {
+    // A v1 file opens in a v2-default build; a v2 file written by the
+    // default writer opens too. Compatibility is part of the format.
+    let v1 = healthy_v1("cross-v1.seg");
+    let v2 = healthy("cross-v2.seg");
+    assert_eq!(open(&v1).unwrap().version(), FORMAT_V1);
+    assert_eq!(open(&v2).unwrap().version(), FORMAT_VERSION);
 }
 
 #[test]
@@ -104,7 +163,7 @@ fn truncated_copies_are_rejected_at_every_length() {
 
 #[test]
 fn flipped_data_block_bit_is_a_checksum_mismatch() {
-    let path = healthy("bitrot-data.seg");
+    let path = healthy_v1("bitrot-data.seg");
     let mut bytes = std::fs::read(&path).unwrap();
     // First data block starts at byte 8.
     bytes[8 + 17] ^= 0x01;
@@ -117,7 +176,7 @@ fn flipped_data_block_bit_is_a_checksum_mismatch() {
 
 #[test]
 fn flipped_table_block_bit_is_a_checksum_mismatch() {
-    let path = healthy("bitrot-table.seg");
+    let path = healthy_v1("bitrot-table.seg");
     let mut bytes = std::fs::read(&path).unwrap();
     // 64 entries in 64-byte blocks (4 entries each) = 16 data blocks; the
     // table region starts at block 16.
@@ -131,7 +190,7 @@ fn flipped_table_block_bit_is_a_checksum_mismatch() {
 
 #[test]
 fn flipped_footer_bit_is_footer_corrupt() {
-    let path = healthy("bitrot-footer.seg");
+    let path = healthy_v1("bitrot-footer.seg");
     let mut bytes = std::fs::read(&path).unwrap();
     let footer_offset = 8 + 32 * 64;
     bytes[footer_offset + 10] ^= 0x10;
@@ -142,13 +201,84 @@ fn flipped_footer_bit_is_footer_corrupt() {
     ));
 }
 
+#[test]
+fn flipped_v2_data_block_bit_is_a_checksum_mismatch() {
+    // v2 blocks are variable-length, but the first one still starts right
+    // after the header.
+    let path = healthy("bitrot-v2-data.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8] ^= 0x01;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::ChecksumMismatch { block: 0 })
+    ));
+}
+
+#[test]
+fn flipped_v2_table_block_bit_is_a_checksum_mismatch() {
+    // The byte immediately before the footer belongs to the last table
+    // block (block 31 here: 16 data + 16 table).
+    let path = healthy("bitrot-v2-table.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let footer_at = footer_offset(&bytes);
+    bytes[footer_at - 1] ^= 0x80;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::ChecksumMismatch { block: 31 })
+    ));
+}
+
+#[test]
+fn flipped_v2_footer_bit_is_footer_corrupt() {
+    let path = healthy("bitrot-v2-footer.seg");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let footer_at = footer_offset(&bytes);
+    bytes[footer_at + 10] ^= 0x10;
+    std::fs::write(&path, bytes).unwrap();
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn truncated_v2_copies_are_rejected_at_every_length() {
+    let path = healthy("cuttable-v2.seg");
+    let bytes = std::fs::read(&path).unwrap();
+    let cut_path = temp_path("cut-v2.seg");
+    for cut in [
+        9,
+        100,
+        bytes.len() / 2,
+        bytes.len() - 25,
+        bytes.len() - 24,
+        bytes.len() - 1,
+    ] {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let err = open(&cut_path).expect_err(&format!("cut at {cut} must not open"));
+        assert!(
+            matches!(
+                err,
+                StorageError::Truncated { .. }
+                    | StorageError::FooterCorrupt { .. }
+                    | StorageError::BadMagic
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    std::fs::write(&cut_path, &bytes).unwrap();
+    open(&cut_path).unwrap();
+}
+
 /// Hand-builds a version-1 segment whose blocks carry *correct* checksums
 /// over *bad* content — the case only deep verification catches.
 fn forge(name: &str, entries: &[(u64, f64)], table: &[(u64, f64)], footer: Footer) -> PathBuf {
     let block_size = footer.block_size;
     let mut file = Vec::new();
     file.extend_from_slice(&HEADER_MAGIC);
-    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&FORMAT_V1.to_le_bytes());
     let mut write_block = |pairs: &[(u64, f64)]| -> u64 {
         let mut block = vec![0u8; block_size];
         for (i, &(object, value)) in pairs.iter().enumerate() {
@@ -354,7 +484,7 @@ fn forged_huge_block_size_is_a_typed_error() {
     let footer_bytes = footer.encode();
     let mut file = Vec::new();
     file.extend_from_slice(&HEADER_MAGIC);
-    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file.extend_from_slice(&FORMAT_V1.to_le_bytes());
     let footer_offset = file.len() as u64;
     file.extend_from_slice(&footer_bytes);
     file.extend_from_slice(&footer_offset.to_le_bytes());
@@ -376,6 +506,202 @@ fn oversized_block_size_is_rejected_writer_side() {
         SegmentWriter::with_block_size(MAX_BLOCK_SIZE + 16),
         Err(StorageError::InvalidBlockSize { .. })
     ));
+}
+
+/// Hand-builds a v2 segment whose blocks carry *correct* checksums, then
+/// lets `tamper` damage the encoded blocks and/or footer before the
+/// checksums and block lengths are (re)derived from the final block bytes —
+/// so a tampered block still passes its checksum and only deep varint
+/// verification can reject it.
+fn forge_v2(
+    name: &str,
+    entries: &[GradedEntry],
+    dict: Option<Vec<u64>>,
+    tamper: impl FnOnce(&mut Vec<Vec<u8>>, &mut Vec<Vec<u8>>, &mut FooterV2),
+) -> PathBuf {
+    use garlic_storage::format::FLAG_GRADE_DICT;
+    let block_size = 64;
+    let per_block = block_size / ENTRY_LEN;
+    let mut by_id = entries.to_vec();
+    by_id.sort_by_key(|e| e.object);
+    let encode_region = |region: &[GradedEntry], kind: RegionKind| -> Vec<Vec<u8>> {
+        region
+            .chunks(per_block)
+            .map(|chunk| encode_block_v2(chunk, kind, dict.as_deref()))
+            .collect()
+    };
+    let mut data_blocks = encode_region(entries, RegionKind::Data);
+    let mut table_blocks = encode_region(&by_id, RegionKind::Table);
+    let mut footer = FooterV2 {
+        flags: if dict.is_some() { FLAG_GRADE_DICT } else { 0 },
+        block_size,
+        num_entries: entries.len() as u64,
+        ones: entries.iter().filter(|e| e.grade == Grade::ONE).count() as u64,
+        data_blocks: data_blocks.len() as u64,
+        table_blocks: table_blocks.len() as u64,
+        data_checksums: vec![],
+        table_checksums: vec![],
+        table_first_ids: by_id
+            .chunks(per_block)
+            .map(|chunk| chunk[0].object.0)
+            .collect(),
+        data_block_lens: vec![],
+        table_block_lens: vec![],
+        grade_max_bits: entries
+            .chunks(per_block)
+            .map(|chunk| chunk[0].grade.value().to_bits())
+            .collect(),
+        grade_min_bits: entries
+            .chunks(per_block)
+            .map(|chunk| chunk[chunk.len() - 1].grade.value().to_bits())
+            .collect(),
+        grade_dict: dict.clone().unwrap_or_default(),
+    };
+    tamper(&mut data_blocks, &mut table_blocks, &mut footer);
+    footer.data_checksums = data_blocks.iter().map(|b| fnv1a64(b)).collect();
+    footer.table_checksums = table_blocks.iter().map(|b| fnv1a64(b)).collect();
+    footer.data_block_lens = data_blocks.iter().map(|b| b.len() as u64).collect();
+    footer.table_block_lens = table_blocks.iter().map(|b| b.len() as u64).collect();
+
+    let mut file = Vec::new();
+    file.extend_from_slice(&HEADER_MAGIC);
+    file.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for block in data_blocks.iter().chain(&table_blocks) {
+        file.extend_from_slice(block);
+    }
+    let footer_bytes = footer.encode();
+    let footer_offset = file.len() as u64;
+    file.extend_from_slice(&footer_bytes);
+    file.extend_from_slice(&footer_offset.to_le_bytes());
+    file.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+    file.extend_from_slice(&TRAILER_MAGIC);
+    let path = temp_path(name);
+    std::fs::write(&path, file).unwrap();
+    path
+}
+
+fn forge_entries() -> Vec<GradedEntry> {
+    vec![
+        GradedEntry::new(3u64, Grade::new(0.875).unwrap()),
+        GradedEntry::new(2u64, Grade::new(0.75).unwrap()),
+        GradedEntry::new(1u64, Grade::new(0.625).unwrap()),
+        GradedEntry::new(0u64, Grade::new(0.5).unwrap()),
+    ]
+}
+
+#[test]
+fn untampered_v2_forgery_opens() {
+    // The forge itself must be sound, or the negative tests prove nothing.
+    let path = forge_v2("forge-v2-ok.seg", &forge_entries(), None, |_, _, _| {});
+    open(&path).unwrap();
+    let dict: Vec<u64> = forge_entries()
+        .iter()
+        .map(|e| e.grade.value().to_bits())
+        .rev()
+        .collect();
+    let path = forge_v2(
+        "forge-v2-ok-dict.seg",
+        &forge_entries(),
+        Some(dict),
+        |_, _, _| {},
+    );
+    open(&path).unwrap();
+}
+
+#[test]
+fn mid_varint_truncation_with_valid_checksum_is_corrupt_block() {
+    // Cut the last byte of the first data block and recompute its checksum:
+    // only the varint-frame decode can notice the damage.
+    let path = forge_v2("forge-v2-cut.seg", &forge_entries(), None, |data, _, _| {
+        data[0].pop();
+    });
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 0, .. })
+    ));
+}
+
+#[test]
+fn trailing_block_bytes_with_valid_checksum_are_corrupt_block() {
+    let path = forge_v2(
+        "forge-v2-trail.seg",
+        &forge_entries(),
+        None,
+        |data, _, _| {
+            data[0].push(0x7f);
+        },
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { block: 0, .. })
+    ));
+}
+
+#[test]
+fn dictionary_index_out_of_range_is_corrupt_block() {
+    // Encode against a 4-grade dictionary, then shrink the footer's copy:
+    // surviving indices point past its end.
+    let dict: Vec<u64> = forge_entries()
+        .iter()
+        .map(|e| e.grade.value().to_bits())
+        .rev()
+        .collect();
+    let path = forge_v2(
+        "forge-v2-dict.seg",
+        &forge_entries(),
+        Some(dict),
+        |_, _, footer| {
+            footer.grade_dict.truncate(2);
+        },
+    );
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::CorruptBlock { .. })
+    ));
+}
+
+#[test]
+fn lying_grade_fence_is_footer_corrupt() {
+    // A fence claiming a higher max than the block holds would let a
+    // threshold-hinted scan load (or bill) the wrong blocks; a fence
+    // claiming a lower max would skip entries it must emit. Both lies are
+    // self-consistent footers — only the open-time scan catches them.
+    let raise_max = |_: &mut Vec<Vec<u8>>, _: &mut Vec<Vec<u8>>, footer: &mut FooterV2| {
+        footer.grade_max_bits[0] = Grade::new(0.9375).unwrap().value().to_bits();
+    };
+    let path = forge_v2("forge-v2-fence-max.seg", &forge_entries(), None, raise_max);
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+
+    let lower_min = |_: &mut Vec<Vec<u8>>, _: &mut Vec<Vec<u8>>, footer: &mut FooterV2| {
+        footer.grade_min_bits[0] = Grade::new(0.25).unwrap().value().to_bits();
+    };
+    let path = forge_v2("forge-v2-fence-min.seg", &forge_entries(), None, lower_min);
+    assert!(matches!(
+        open(&path),
+        Err(StorageError::FooterCorrupt { .. })
+    ));
+}
+
+#[test]
+fn v2_region_divergence_is_detected() {
+    // Replace the table region with one that swaps a grade: every block
+    // checksum is valid, both orders hold — only the cross-region digest
+    // of canonical entry slots catches it.
+    let path = forge_v2(
+        "forge-v2-diverge.seg",
+        &forge_entries(),
+        None,
+        |_, table, _| {
+            let mut by_id = forge_entries();
+            by_id.sort_by_key(|e| e.object);
+            by_id[1].grade = Grade::new(0.3125).unwrap();
+            *table = vec![encode_block_v2(&by_id, RegionKind::Table, None)];
+        },
+    );
+    assert!(matches!(open(&path), Err(StorageError::RegionMismatch)));
 }
 
 #[test]

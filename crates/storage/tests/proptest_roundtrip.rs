@@ -14,6 +14,7 @@ use garlic_agg::Grade;
 use garlic_core::access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor};
 use garlic_core::algorithms::fa::fagin_topk;
 use garlic_core::{GradedEntry, ObjectId};
+use garlic_storage::format::{FORMAT_V1, FORMAT_VERSION};
 use garlic_storage::{BlockCache, SegmentSource, SegmentWriter};
 use proptest::prelude::*;
 
@@ -42,6 +43,11 @@ fn pairs_strategy() -> impl Strategy<Value = Vec<(ObjectId, Grade)>> {
 /// block boundaries land everywhere relative to each other.
 fn block_size_strategy() -> impl Strategy<Value = usize> {
     (0usize..4).prop_map(|i| [16, 48, 160, 4096][i])
+}
+
+/// Both on-disk format versions, so every property holds for each.
+fn version_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(FORMAT_V1), Just(FORMAT_VERSION)]
 }
 
 fn reopen(path: &PathBuf) -> SegmentSource {
@@ -210,6 +216,104 @@ proptest! {
         for (s, m) in seg.iter().zip(&mem) {
             prop_assert_eq!(s.stats(), m.stats(), "same per-source access counts");
         }
+    }
+
+    /// A v1 segment and a v2 segment over the same pairs are observably
+    /// one source: identical streams, tie order, random-access answers,
+    /// matching sets, and Section-5 bills.
+    #[test]
+    fn v1_and_v2_formats_are_observably_identical(
+        pairs in pairs_strategy(),
+        block_size in block_size_strategy(),
+        batch in 1usize..17,
+    ) {
+        let mut segs = Vec::new();
+        for version in [FORMAT_V1, FORMAT_VERSION] {
+            let path = case_path();
+            SegmentWriter::with_block_size(block_size)
+                .unwrap()
+                .with_version(version)
+                .unwrap()
+                .write_pairs(&path, pairs.clone())
+                .unwrap();
+            segs.push(CountingSource::new(reopen(&path)));
+        }
+        let (v1, v2) = (&segs[0], &segs[1]);
+        prop_assert_eq!(v1.inner().version(), FORMAT_V1);
+        prop_assert_eq!(v2.inner().version(), FORMAT_VERSION);
+
+        let mut streams = [Vec::new(), Vec::new()];
+        for (seg, stream) in segs.iter().zip(streams.iter_mut()) {
+            let mut cursor = seg.open_sorted();
+            while cursor.next_batch(stream, batch) > 0 {}
+        }
+        let [s1, s2] = streams;
+        prop_assert_eq!(s1, s2, "identical streams and tie order");
+        for probe in 0..220u64 {
+            prop_assert_eq!(
+                v1.random_access(ObjectId(probe)),
+                v2.random_access(ObjectId(probe)),
+                "object {}", probe
+            );
+        }
+        prop_assert_eq!(v1.matching_set(), v2.matching_set());
+        prop_assert_eq!(v1.stats(), v2.stats(), "identical Section-5 bills");
+    }
+
+    /// A threshold-hinted cursor — with an arbitrary, possibly dirty hint
+    /// — emits an exact prefix of the unbounded stream on every backend
+    /// and format, is honest about why it stopped, bills exactly the
+    /// entries it emitted, and resumes into the full stream once the
+    /// stale hint is cleared.
+    #[test]
+    fn hinted_cursors_stay_exact_under_dirty_hints(
+        pairs in pairs_strategy(),
+        block_size in block_size_strategy(),
+        version in version_strategy(),
+        bound_num in 0u32..=10,
+        batch in 1usize..17,
+    ) {
+        let path = case_path();
+        SegmentWriter::with_block_size(block_size)
+            .unwrap()
+            .with_version(version)
+            .unwrap()
+            .write_pairs(&path, pairs.clone())
+            .unwrap();
+        let mem = MemorySource::from_pairs(pairs);
+        let full: Vec<GradedEntry> =
+            (0..mem.len()).map(|r| mem.sorted_access(r).unwrap()).collect();
+        // Grades are quantized to ninths, the hint to tenths: hints land
+        // on, between, above, and below every grade in the stream —
+        // including hints no entry reaches (dirty-high) and the ZERO hint
+        // that may never truncate.
+        let bound = Grade::clamped(bound_num as f64 / 10.0);
+
+        let seg = CountingSource::new(reopen(&path));
+        let mut cursor = seg.open_sorted().with_bound(bound);
+        let mut emitted = Vec::new();
+        while cursor.next_batch(&mut emitted, batch) > 0 {}
+
+        prop_assert_eq!(&emitted[..], &full[..emitted.len()], "exact prefix");
+        prop_assert_eq!(
+            seg.stats().sorted,
+            emitted.len() as u64,
+            "billed exactly the emitted entries"
+        );
+        if cursor.stopped_by_bound() {
+            prop_assert!(
+                full[emitted.len()..].iter().all(|e| e.grade < bound),
+                "only entries strictly below the bound were withheld"
+            );
+        } else {
+            prop_assert_eq!(emitted.len(), full.len(), "no stop means the whole stream");
+        }
+
+        // The hint was advisory: clear it and the cursor resumes into the
+        // exact remainder of the stream.
+        cursor.set_bound(None);
+        while cursor.next_batch(&mut emitted, batch) > 0 {}
+        prop_assert_eq!(emitted, full, "stitched stream equals the unbounded one");
     }
 
     /// Paging that stops mid-stream and resumes from a **cold** cursor — a

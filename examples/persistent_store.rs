@@ -1,8 +1,9 @@
 //! Durable graded collections, end to end: build segment files on disk,
 //! drop everything, reopen them cold in a "second process", and serve
 //! fused top-k queries through `GarlicService` — with the shared block
-//! cache's hit/miss/eviction counters showing exactly what the queries
-//! cost in I/O terms.
+//! cache's hit/miss/eviction/admission counters showing exactly what the
+//! queries cost in I/O terms and what the scan-resistant doorkeeper let
+//! into the budget.
 //!
 //! ```sh
 //! cargo run --release --example persistent_store
@@ -123,6 +124,15 @@ fn serve() {
         "lifetime hit rate: {:.1}% — tune the cache budget until this \
          stays high for your working set",
         100.0 * warm.hit_rate()
+    );
+    println!(
+        "admission: {} admitted / {} rejected ({:.1}%) — at capacity the \
+         TinyLFU doorkeeper only admits blocks requested at least as \
+         often as the one they would evict, so one-pass scans cannot \
+         flush the hot working set",
+        warm.admitted,
+        warm.rejected,
+        100.0 * warm.admission_rate()
     );
 }
 

@@ -57,13 +57,46 @@ fn vector_garlic(lists: &[(&str, Vec<Grade>)]) -> Garlic {
 /// Builds (or reuses) the segment files and opens a disk-backed Garlic
 /// over them with the given cache.
 fn disk_garlic(lists: &[(&str, Vec<Grade>)], cache: Arc<BlockCache>) -> Garlic {
+    disk_garlic_versioned(lists, cache, garlic::storage::format::FORMAT_VERSION, "")
+}
+
+/// Like [`disk_garlic`], but pinning the segment format version (file
+/// names are tagged so v1 and v2 builds coexist in the shared directory).
+fn disk_garlic_versioned(
+    lists: &[(&str, Vec<Grade>)],
+    cache: Arc<BlockCache>,
+    version: u32,
+    tag: &str,
+) -> Garlic {
+    let dir = segment_dir();
+    let writer = SegmentWriter::with_block_size(256)
+        .unwrap()
+        .with_version(version)
+        .unwrap();
+    let mut sub = DiskSubsystem::with_cache("segments", N, cache);
+    for (attr, grades) in lists {
+        let path = dir.join(format!("{attr}{tag}.seg"));
+        writer.write_grades(&path, grades).unwrap();
+        sub = sub.open_segment(attr, &path).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.register(sub).unwrap();
+    Garlic::new(cat)
+}
+
+/// A disk-backed Garlic whose every attribute is a 3-shard id-range
+/// partition of v2 segments, served through the scatter-gather merge.
+fn sharded_disk_garlic(lists: &[(&str, Vec<Grade>)], cache: Arc<BlockCache>) -> Garlic {
     let dir = segment_dir();
     let writer = SegmentWriter::with_block_size(256).unwrap();
     let mut sub = DiskSubsystem::with_cache("segments", N, cache);
     for (attr, grades) in lists {
-        let path = dir.join(format!("{attr}.seg"));
-        writer.write_grades(&path, grades).unwrap();
-        sub = sub.open_segment(attr, &path).unwrap();
+        let parts = writer
+            .write_sharded_grades(&dir, &format!("{attr}-sharded"), 3, grades)
+            .unwrap();
+        sub = sub
+            .open_sharded_segment(attr, parts.iter().map(|p| &p.path))
+            .unwrap();
     }
     let mut cat = Catalog::new();
     cat.register(sub).unwrap();
@@ -118,6 +151,57 @@ fn every_strategy_answers_identically_from_disk() {
                 from_disk.stats, from_mem.stats,
                 "identical Section-5 access counts for {query} at k={k}"
             );
+        }
+    }
+}
+
+#[test]
+fn format_versions_and_sharding_are_invisible_to_every_strategy() {
+    // v1 segments, v2 segments, and 3-shard v2 partitions must all answer
+    // with memory's exact entries, tie order, and Section-5 bills — the
+    // format migration and the scatter-gather are access-plan details.
+    use garlic::storage::format::{FORMAT_V1, FORMAT_VERSION};
+    let lists = grade_lists();
+    let mem = vector_garlic(&lists);
+    let backends = [
+        (
+            "v1",
+            disk_garlic_versioned(&lists, Arc::new(BlockCache::new(1024)), FORMAT_V1, "-v1"),
+        ),
+        (
+            "v2",
+            disk_garlic_versioned(
+                &lists,
+                Arc::new(BlockCache::new(1024)),
+                FORMAT_VERSION,
+                "-v2",
+            ),
+        ),
+        (
+            "sharded-v2",
+            sharded_disk_garlic(&lists, Arc::new(BlockCache::new(1024))),
+        ),
+    ];
+
+    for (query, _) in strategy_queries() {
+        for k in [1, 7, 50] {
+            let want = mem.top_k(&query, k).unwrap();
+            for (name, backend) in &backends {
+                let got = backend.top_k(&query, k).unwrap();
+                assert_eq!(
+                    got.plan.strategy, want.plan.strategy,
+                    "{name}: plan for {query} at k={k}"
+                );
+                assert_eq!(
+                    got.answers.entries(),
+                    want.answers.entries(),
+                    "{name}: entries and tie order for {query} at k={k}"
+                );
+                assert_eq!(
+                    got.stats, want.stats,
+                    "{name}: Section-5 access counts for {query} at k={k}"
+                );
+            }
         }
     }
 }
