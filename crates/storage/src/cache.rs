@@ -397,6 +397,31 @@ impl BlockCache {
         self.resident.store(0, Ordering::Relaxed);
     }
 
+    /// Drops every resident block belonging to `segment` — the targeted
+    /// invalidation compaction uses when it replaces a segment: the
+    /// retired segment's dead blocks stop occupying residency *without*
+    /// punishing the survivors. Blocks of every other segment keep their
+    /// residency, recency, and protected status; the frequency sketch and
+    /// all request/admission counters (hits, misses, evictions, admitted,
+    /// rejected) are preserved, so the cache's learned history outlives
+    /// the swap. The retired keys' index entries go stale and are
+    /// discarded by the same lazy repair that serves hits.
+    pub fn retire(&self, segment: u64) {
+        let mut state = self.state.lock().expect("cache lock");
+        let mut demoted = 0usize;
+        state.blocks.retain(|key, block| {
+            let keep = key.segment != segment;
+            if !keep && block.protected {
+                demoted += 1;
+            }
+            keep
+        });
+        state.protected_members -= demoted;
+        // Stored under the state lock, like `clear`, so residency and the
+        // block table never disagree for an observer.
+        self.resident.store(state.blocks.len(), Ordering::Relaxed);
+    }
+
     /// Looks `key` up, calling `load` on a miss. The lock is **not** held
     /// across `load`, so concurrent misses on *different* blocks read the
     /// file in parallel — but misses on the *same* block **single-flight**:
@@ -773,6 +798,71 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
         cache.get_or_load(key(0), || Ok(bytes(0))).unwrap();
         assert_eq!(cache.stats().misses, 2, "cleared block reloads");
+    }
+
+    #[test]
+    fn retire_drops_one_segment_and_spares_the_hot_set() {
+        let seg = |segment: u64, block: u64| BlockKey { segment, block };
+        let cache = BlockCache::new(8);
+        // A hot set on segment 1 (each block touched twice, so some are
+        // protected) interleaved with segment 2 residents.
+        for block in 0..3 {
+            cache.get_or_load(seg(1, block), || Ok(bytes(1))).unwrap();
+            cache.get_or_load(seg(1, block), || panic!("hit")).unwrap();
+            cache.get_or_load(seg(2, block), || Ok(bytes(2))).unwrap();
+        }
+        let before = cache.stats();
+        assert_eq!(before.resident, 6);
+
+        cache.retire(2);
+
+        // Residency shrinks by exactly the retired segment's blocks; the
+        // request and admission history survives untouched.
+        let after = cache.stats();
+        assert_eq!(after.resident, 3);
+        assert_eq!((after.hits, after.misses), (before.hits, before.misses));
+        assert_eq!(after.admitted, before.admitted);
+        assert_eq!(after.rejected, before.rejected);
+        // The surviving hot set still hits without reloading...
+        for block in 0..3 {
+            cache.get_or_load(seg(1, block), || panic!("hit")).unwrap();
+        }
+        // ...and the retired blocks genuinely reload.
+        for block in 0..3 {
+            let reloaded = std::cell::Cell::new(false);
+            cache
+                .get_or_load(seg(2, block), || {
+                    reloaded.set(true);
+                    Ok(bytes(2))
+                })
+                .unwrap();
+            assert!(reloaded.get(), "retired block must reload");
+        }
+        assert_eq!(cache.stats().resident, 6);
+    }
+
+    #[test]
+    fn retire_of_protected_blocks_keeps_the_ledger_consistent() {
+        let seg = |segment: u64, block: u64| BlockKey { segment, block };
+        let cache = BlockCache::new(8);
+        // Promote segment 2's blocks to protected, then retire them: the
+        // protected-member count must follow, or later promotions would
+        // demote survivors against a phantom population.
+        for block in 0..2 {
+            cache.get_or_load(seg(2, block), || Ok(bytes(2))).unwrap();
+            cache.get_or_load(seg(2, block), || panic!("hit")).unwrap();
+        }
+        cache.retire(2);
+        assert_eq!(cache.stats().resident, 0);
+        // The cache keeps working: fill and promote a fresh hot set.
+        for block in 0..4 {
+            cache.get_or_load(seg(1, block), || Ok(bytes(1))).unwrap();
+            cache.get_or_load(seg(1, block), || panic!("hit")).unwrap();
+        }
+        for block in 0..4 {
+            cache.get_or_load(seg(1, block), || panic!("hit")).unwrap();
+        }
+        assert_eq!(cache.stats().resident, 4);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Background compaction for [`crate::live::LiveSource`]: frozen
+//! memtables are merged with the base segment into a fresh v2 segment,
+//! swapped in atomically through the manifest, and the obsolete files
+//! garbage-collected.
+//!
+//! One compaction is four phases, holding the store lock only for the
+//! bracketing bookkeeping (readers and writers proceed throughout the
+//! expensive middle):
+//!
+//! 1. **Pin** (store lock): grab the frozen layers, the base segment, and
+//!    a file id for the new segment.
+//! 2. **Build** (no locks): merge base + frozen (newest layer winning,
+//!    tombstones dropped) and write the new segment through the ordinary
+//!    [`crate::SegmentWriter`] atomic-publish path.
+//! 3. **Swap** (store lock): publish a manifest whose epoch points at the
+//!    new segment and only the still-live WALs, then splice the new base
+//!    in and drop the flushed frozen prefix. The manifest rename is the
+//!    commit point — a crash on either side of it recovers cleanly.
+//! 4. **GC** (no locks): retire the old segment's blocks from the shared
+//!    [`crate::BlockCache`] and delete the old segment and sealed WAL
+//!    files. In-flight snapshots still holding the old
+//!    [`crate::SegmentSource`] keep reading it through their open file
+//!    handle; the blocks they re-admit die with their `Arc`.
+//!
+//! Writers may freeze *more* memtables between phases 1 and 3; the swap
+//! only consumes the pinned prefix (and its sealed WALs), leaving the
+//! newcomers for the next round — which the signal loop immediately runs.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::error::StorageError;
+use crate::live::{merged_pairs, LiveShared};
+use crate::manifest::file_name_for;
+use crate::segment::SegmentSource;
+use crate::writer::SegmentWriter;
+
+/// Runs one full compaction round (see the module docs). Returns `false`
+/// when there was nothing frozen to flush. Serialized against concurrent
+/// callers by the store's compaction lock.
+pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
+    let _serialize = shared.compact_lock.lock().expect("compact lock");
+
+    // Phase 1: pin the inputs.
+    let (frozen, base, new_file_id) = {
+        let inner = shared.inner.lock().expect("live lock");
+        if inner.frozen.is_empty() {
+            return Ok(false);
+        }
+        (
+            inner.frozen.clone(),
+            inner.base.clone(),
+            inner.manifest.next_file_id,
+        )
+    };
+
+    // Phase 2: build the replacement segment outside every lock.
+    let pairs = merged_pairs(base.as_ref(), &frozen);
+    let new_segment = if pairs.is_empty() {
+        None
+    } else {
+        let name = file_name_for(new_file_id, "seg");
+        let path = shared.dir.join(&name);
+        SegmentWriter::new().write_pairs(&path, pairs)?;
+        let source = SegmentSource::open(&path, Arc::clone(&shared.cache))?;
+        Some((name, Arc::new(source)))
+    };
+
+    // Phase 3: swap, with the manifest rename as the commit point.
+    let (old_base, obsolete_wals) = {
+        let mut inner = shared.inner.lock().expect("live lock");
+        let flushed_layers = frozen.len();
+        let flushed_wals: usize = inner.sealed_per_frozen[..flushed_layers].iter().sum();
+        let mut manifest = inner.manifest.clone();
+        manifest.epoch += 1;
+        manifest.next_file_id = manifest.next_file_id.max(new_file_id + 1);
+        manifest.segment = new_segment.as_ref().map(|(name, _)| name.clone());
+        let obsolete: Vec<String> = manifest.wals.drain(..flushed_wals).collect();
+        manifest.store(&shared.dir)?;
+        inner.manifest = manifest;
+        let old_base = std::mem::replace(&mut inner.base, new_segment.map(|(_, source)| source));
+        inner.frozen.drain(..flushed_layers);
+        inner.sealed_per_frozen.drain(..flushed_layers);
+        inner.bump_version();
+        (old_base, obsolete)
+    };
+
+    // Phase 4: reclaim what the new manifest no longer references.
+    if let Some(old) = old_base {
+        shared.cache.retire(old.segment_id());
+        let _ = std::fs::remove_file(old.path());
+    }
+    for name in obsolete_wals {
+        let _ = std::fs::remove_file(shared.dir.join(name));
+    }
+    Ok(true)
+}
+
+/// Wakes the background compactor; coalesces bursts of notifications into
+/// single rounds and carries the shutdown request.
+pub(crate) struct CompactSignal {
+    state: Mutex<SignalState>,
+    condvar: Condvar,
+}
+
+#[derive(Default)]
+struct SignalState {
+    pending: bool,
+    shutdown: bool,
+}
+
+impl CompactSignal {
+    pub(crate) fn new() -> CompactSignal {
+        CompactSignal {
+            state: Mutex::new(SignalState::default()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Requests a compaction round (no-op without a listening thread; the
+    /// flag is simply consumed by the next explicit compaction).
+    pub(crate) fn notify(&self) {
+        self.state.lock().expect("signal lock").pending = true;
+        self.condvar.notify_all();
+    }
+
+    fn request_shutdown(&self) {
+        self.state.lock().expect("signal lock").shutdown = true;
+        self.condvar.notify_all();
+    }
+
+    /// Blocks until work is pending or shutdown is requested; returns
+    /// `false` on shutdown.
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock().expect("signal lock");
+        loop {
+            if state.shutdown {
+                return false;
+            }
+            if state.pending {
+                state.pending = false;
+                return true;
+            }
+            state = self.condvar.wait(state).expect("signal lock");
+        }
+    }
+}
+
+/// The running background compactor; joined on [`crate::LiveSource`] drop.
+pub(crate) struct CompactorHandle {
+    thread: JoinHandle<()>,
+}
+
+impl CompactorHandle {
+    /// Asks the thread to exit and joins it.
+    pub(crate) fn shutdown(self, signal: &CompactSignal) {
+        signal.request_shutdown();
+        let _ = self.thread.join();
+    }
+}
+
+/// Spawns the background compactor: each wake-up drains every frozen
+/// layer, recording (not panicking on) errors for the owner to collect.
+pub(crate) fn spawn(shared: Arc<LiveShared>) -> CompactorHandle {
+    let thread = std::thread::Builder::new()
+        .name("garlic-compact".into())
+        .spawn(move || {
+            while shared.signal.wait() {
+                loop {
+                    match compact_once(&shared) {
+                        Ok(true) => continue,
+                        Ok(false) => break,
+                        Err(error) => {
+                            *shared.last_error.lock().expect("error lock") = Some(error);
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn compactor thread");
+    CompactorHandle { thread }
+}

@@ -8,6 +8,7 @@
 //! a panic or a silently wrong graded list.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use garlic_core::ObjectId;
 
@@ -74,6 +75,24 @@ pub enum StorageError {
     DuplicateObject {
         /// The object graded more than once.
         object: ObjectId,
+        /// The segment path the write was destined for — named so an
+        /// operator can tell *which* build of *which* attribute fed the
+        /// duplicate, matching the parser's exact-location error style.
+        path: PathBuf,
+    },
+    /// A write-ahead log file is unreadable beyond crash semantics: its
+    /// header is damaged or it is not a WAL file at all. (A torn *tail* is
+    /// not an error — recovery truncates it to the committed prefix.)
+    WalCorrupt {
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The live store's manifest failed its checksum or is internally
+    /// inconsistent — the store cannot say which files are current, so
+    /// opening refuses rather than guessing.
+    ManifestCorrupt {
+        /// What exactly was wrong.
+        detail: String,
     },
 }
 
@@ -111,8 +130,18 @@ impl fmt::Display for StorageError {
                 f,
                 "invalid block size {requested}: must be a positive multiple of the 16-byte entry"
             ),
-            StorageError::DuplicateObject { object } => {
-                write!(f, "object {object} graded twice in segment input")
+            StorageError::DuplicateObject { object, path } => {
+                write!(
+                    f,
+                    "object {object} graded twice in segment input for {}",
+                    path.display()
+                )
+            }
+            StorageError::WalCorrupt { detail } => {
+                write!(f, "write-ahead log corrupt: {detail}")
+            }
+            StorageError::ManifestCorrupt { detail } => {
+                write!(f, "live-store manifest corrupt: {detail}")
             }
         }
     }
@@ -148,8 +177,18 @@ mod tests {
         assert!(format!("{e}").contains("block 3"));
         let e = StorageError::DuplicateObject {
             object: ObjectId(9),
+            path: PathBuf::from("/data/color.seg"),
         };
-        assert!(format!("{e}").contains("#9"));
+        let message = format!("{e}");
+        assert!(message.contains("#9"));
+        assert!(
+            message.contains("/data/color.seg"),
+            "the duplicate-object error names the destination path: {message}"
+        );
+        let e = StorageError::ManifestCorrupt {
+            detail: "checksum mismatch".into(),
+        };
+        assert!(format!("{e}").contains("manifest"));
     }
 
     #[test]

@@ -21,8 +21,28 @@
 //!   LRU cache with hit/miss/eviction counters ([`CacheStats`]).
 //!
 //! Segments are immutable after publication, which is what keeps the
-//! shared cache coherent with zero invalidation machinery: a block, once
-//! read and checksum-verified, is correct for the life of the process.
+//! shared cache coherent with almost no invalidation machinery: a block,
+//! once read and checksum-verified, is correct for the life of the
+//! process (compaction retires a replaced segment's namespace with
+//! [`BlockCache::retire`], the one targeted invalidation).
+//!
+//! ## The write path
+//!
+//! Immutability is for *published* data; live collections also take
+//! writes. The write subsystem layers a durable, snapshot-consistent
+//! mutable store on top of the segment substrate:
+//!
+//! * [`wal`] — the checksummed, fsynced write-ahead log ([`wal::Wal`])
+//!   with torn-tail crash recovery;
+//! * [`memtable`] — the in-memory sorted buffer ([`memtable::Memtable`])
+//!   mirroring the segment's two region orders;
+//! * [`manifest`] — the versioned, atomically swapped store manifest
+//!   ([`manifest::Manifest`]) naming the live segment and WALs;
+//! * [`live`] — [`LiveSource`]: upserts and tombstone deletes with
+//!   epoch-pinned [`LiveSnapshot`] reads serving the exact
+//!   `GradedSource + SetAccess` contract;
+//! * [`compact`] — the background compactor flushing frozen memtables
+//!   into fresh segments through [`SegmentWriter`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -47,13 +67,22 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod compact;
 pub mod error;
 pub mod format;
+pub mod live;
+pub mod manifest;
+pub mod memtable;
 pub mod segment;
+pub mod wal;
 pub mod writer;
 
 pub use cache::{BlockCache, CacheStats};
 pub use error::StorageError;
 pub use format::DEFAULT_BLOCK_SIZE;
+pub use live::{LiveOptions, LiveSnapshot, LiveSource};
+pub use manifest::Manifest;
+pub use memtable::Memtable;
 pub use segment::SegmentSource;
+pub use wal::{Wal, WalOp};
 pub use writer::{SegmentInfo, SegmentWriter, ShardInfo};

@@ -307,6 +307,15 @@ impl SegmentSource {
         &self.cache
     }
 
+    /// This source's process-unique cache namespace: the `segment` half of
+    /// every [`BlockKey`](crate::cache::BlockKey) it inserts. Pass it to
+    /// [`BlockCache::retire`](crate::BlockCache::retire) once the segment
+    /// is replaced (compaction does) so its dead blocks stop occupying
+    /// residency.
+    pub fn segment_id(&self) -> u64 {
+        self.segment_id
+    }
+
     /// Number of entries in block `index` of a region (`blocks` total over
     /// `self.len()` entries): full except possibly the last.
     fn entries_in_block(&self, index: u64) -> usize {

@@ -212,6 +212,7 @@ impl SegmentWriter {
             if w[0].object == w[1].object {
                 return Err(StorageError::DuplicateObject {
                     object: w[0].object,
+                    path: path.to_path_buf(),
                 });
             }
         }
@@ -438,12 +439,13 @@ mod tests {
         let path = temp_path("dup.seg");
         let writer = SegmentWriter::new();
         let result = writer.write_pairs(&path, vec![(ObjectId(1), g(0.5)), (ObjectId(1), g(0.7))]);
-        assert!(matches!(
-            result,
-            Err(StorageError::DuplicateObject {
-                object: ObjectId(1)
-            })
-        ));
+        match result {
+            Err(StorageError::DuplicateObject { object, path: p }) => {
+                assert_eq!(object, ObjectId(1));
+                assert_eq!(p, path, "the error names the destination segment");
+            }
+            other => panic!("expected DuplicateObject, got {other:?}"),
+        }
     }
 
     #[test]

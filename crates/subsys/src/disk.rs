@@ -13,6 +13,15 @@
 //! writer and re-verified at open) additionally serve set access, making
 //! persistent collections eligible for the Section 4 filtered strategy;
 //! the footer's exact-match count doubles as free planner selectivity.
+//!
+//! Attributes come in two mutabilities. A segment-backed attribute
+//! ([`DiskSubsystem::open_segment`]) is immutable — its statistics are
+//! fixed footer facts. A **live** attribute
+//! ([`DiskSubsystem::open_live`]) is backed by a writable
+//! [`garlic_storage::LiveSource`] (WAL + memtables + compacted base
+//! segment): queries evaluate to epoch-pinned snapshots, and
+//! `estimate_matches`/`is_crisp` are computed from the current visible
+//! state, so the planner sees every acknowledged write.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -20,7 +29,9 @@ use std::sync::Arc;
 
 use garlic_core::access::{GradedSource, SetAccess};
 use garlic_core::ShardedSource;
-use garlic_storage::{BlockCache, CacheStats, SegmentSource, StorageError};
+use garlic_storage::{
+    BlockCache, CacheStats, LiveOptions, LiveSource, SegmentSource, StorageError,
+};
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 
@@ -28,36 +39,67 @@ use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 /// cache: 1024 blocks (4 MiB at the default 4 KiB block size).
 pub const DEFAULT_CACHE_BLOCKS: usize = 1024;
 
-/// One registered persistent ranking: owned answer handles (both trait
-/// facades cloned from one concrete `Arc` — a single [`SegmentSource`] or
-/// a [`ShardedSource`] over an id-range partition of shard segments) plus
-/// footer-derived statistics.
+/// One registered persistent ranking.
+///
+/// A **fixed** attribute holds owned answer handles (both trait facades
+/// cloned from one concrete `Arc` — a single [`SegmentSource`] or a
+/// [`ShardedSource`] over an id-range partition of shard segments) plus
+/// footer-derived statistics, fixed when the segment was written. A
+/// **live** attribute holds a writable [`LiveSource`]; its statistics and
+/// answer handles are computed at query time, so every acknowledged write
+/// is reflected immediately.
 #[derive(Clone)]
-struct DiskAttribute {
-    graded: Arc<dyn GradedSource>,
-    set: Arc<dyn SetAccess>,
-    crisp: bool,
-    ones: u64,
+enum DiskAttribute {
+    Fixed {
+        graded: Arc<dyn GradedSource>,
+        set: Arc<dyn SetAccess>,
+        crisp: bool,
+        ones: u64,
+    },
+    Live(Arc<LiveSource>),
 }
 
 impl DiskAttribute {
     fn from_concrete<S: SetAccess + 'static>(source: Arc<S>, crisp: bool, ones: u64) -> Self {
-        DiskAttribute {
+        DiskAttribute::Fixed {
             graded: Arc::clone(&source) as Arc<dyn GradedSource>,
             set: source as Arc<dyn SetAccess>,
             crisp,
             ones,
         }
     }
+
+    fn crisp(&self) -> bool {
+        match self {
+            DiskAttribute::Fixed { crisp, .. } => *crisp,
+            DiskAttribute::Live(live) => live.is_crisp(),
+        }
+    }
+
+    fn ones(&self) -> u64 {
+        match self {
+            DiskAttribute::Fixed { ones, .. } => *ones,
+            DiskAttribute::Live(live) => live.ones(),
+        }
+    }
 }
 
 impl std::fmt::Debug for DiskAttribute {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DiskAttribute")
-            .field("len", &self.graded.len())
-            .field("crisp", &self.crisp)
-            .field("ones", &self.ones)
-            .finish()
+        match self {
+            DiskAttribute::Fixed {
+                graded,
+                crisp,
+                ones,
+                ..
+            } => f
+                .debug_struct("DiskAttribute")
+                .field("len", &graded.len())
+                .field("crisp", crisp)
+                .field("ones", ones)
+                .finish(),
+            DiskAttribute::Live(live) => f.debug_tuple("DiskAttribute").field(live).finish(),
+        }
     }
 }
 
@@ -195,6 +237,55 @@ impl DiskSubsystem {
         Ok(self)
     }
 
+    /// Opens (creating or crash-recovering) the **writable** live store in
+    /// `dir` as the ranking of `attribute` — WAL, memtables, and base
+    /// segment per [`LiveSource`]. The background compactor is enabled and
+    /// the universe bound is enforced on every write; unlike a fixed
+    /// segment the collection may be *sparse* (ungraded objects simply
+    /// miss), since its membership changes over time.
+    ///
+    /// Queries against a live attribute evaluate to an epoch-pinned
+    /// snapshot, and `estimate_matches`/`is_crisp` are computed from the
+    /// current state, so the planner's Filtered-vs-stream decision tracks
+    /// every acknowledged write instead of a stale footer.
+    pub fn open_live(self, attribute: &str, dir: &Path) -> Result<Self, StorageError> {
+        let opts = LiveOptions {
+            auto_compact: true,
+            ..LiveOptions::default()
+        };
+        self.open_live_with(attribute, dir, opts)
+    }
+
+    /// [`open_live`](DiskSubsystem::open_live) with explicit
+    /// [`LiveOptions`] — deterministic tests disable `auto_compact` and
+    /// shrink `memtable_limit`. The universe bound is always pinned to
+    /// this subsystem's universe, overriding `opts.universe`.
+    pub fn open_live_with(
+        mut self,
+        attribute: &str,
+        dir: &Path,
+        opts: LiveOptions,
+    ) -> Result<Self, StorageError> {
+        let opts = LiveOptions {
+            universe: Some(self.universe),
+            ..opts
+        };
+        let live = LiveSource::open(dir, Arc::clone(&self.cache), opts)?;
+        self.segments
+            .insert(attribute.to_owned(), DiskAttribute::Live(Arc::new(live)));
+        Ok(self)
+    }
+
+    /// The writable [`LiveSource`] behind `attribute`, if it was opened
+    /// with [`open_live`](DiskSubsystem::open_live) — the handle writers
+    /// upsert and delete through.
+    pub fn live_source(&self, attribute: &str) -> Option<&Arc<LiveSource>> {
+        match self.segments.get(attribute)? {
+            DiskAttribute::Live(live) => Some(live),
+            DiskAttribute::Fixed { .. } => None,
+        }
+    }
+
     /// The shared cache every segment of this subsystem reads through.
     pub fn cache(&self) -> &Arc<BlockCache> {
         &self.cache
@@ -234,18 +325,25 @@ impl Subsystem for DiskSubsystem {
     /// answer is consumed. The handle serves both batched access paths
     /// natively: `sorted_batch` decodes each data block once, and
     /// `random_batch` groups probes by table block so a grade-completion
-    /// sweep touches each block once per batch.
+    /// sweep touches each block once per batch. A **live** attribute
+    /// evaluates to an epoch-pinned snapshot of its current contents —
+    /// still one `Arc` clone between writes (snapshots are cached per
+    /// write version), and entirely unaffected by writes or compactions
+    /// that land while the query runs.
     fn evaluate(&self, query: &AtomicQuery) -> Result<Arc<dyn GradedSource>, SubsystemError> {
-        self.segment(query).map(|s| Arc::clone(&s.graded))
+        self.segment(query).map(|s| match s {
+            DiskAttribute::Fixed { graded, .. } => Arc::clone(graded),
+            DiskAttribute::Live(live) => live.snapshot() as Arc<dyn GradedSource>,
+        })
     }
 
     fn is_crisp(&self, attribute: &str) -> bool {
-        self.segments.get(attribute).is_some_and(|s| s.crisp)
+        self.segments.get(attribute).is_some_and(|s| s.crisp())
     }
 
     fn evaluate_set(&self, query: &AtomicQuery) -> Result<Arc<dyn SetAccess>, SubsystemError> {
         let segment = self.segment(query)?;
-        if !segment.crisp {
+        if !segment.crisp() {
             return Err(SubsystemError::Unsupported {
                 reason: format!(
                     "{}.{} is not crisp, so it offers no set access",
@@ -253,13 +351,20 @@ impl Subsystem for DiskSubsystem {
                 ),
             });
         }
-        Ok(Arc::clone(&segment.set))
+        Ok(match segment {
+            DiskAttribute::Fixed { set, .. } => Arc::clone(set),
+            DiskAttribute::Live(live) => live.snapshot() as Arc<dyn SetAccess>,
+        })
     }
 
     /// The footer's exact-match count (summed over the shard footers for a
-    /// sharded attribute): free, exact selectivity.
+    /// sharded attribute): free, exact selectivity. A live attribute
+    /// counts its currently visible grade-1 objects — memtable deltas
+    /// included — so a write can flip the planner's decision immediately.
     fn estimate_matches(&self, query: &AtomicQuery) -> Option<usize> {
-        self.segments.get(&query.attribute).map(|s| s.ones as usize)
+        self.segments
+            .get(&query.attribute)
+            .map(|s| s.ones() as usize)
     }
 }
 
@@ -574,6 +679,56 @@ mod tests {
             s.estimate_matches(&AtomicQuery::new("MIXED", Target::text("t"))),
             "footer estimates agree across formats"
         );
+    }
+
+    #[test]
+    fn live_attributes_serve_writes_and_fresh_estimates() {
+        use garlic_core::ObjectId;
+        let dir = temp_dir().join("live-attr");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskSubsystem::new("disk", 8)
+            .open_live_with("L", &dir, garlic_storage::LiveOptions::default())
+            .unwrap();
+        let q = AtomicQuery::new("L", Target::text("t"));
+        assert_eq!(s.estimate_matches(&q), Some(0));
+        assert!(
+            s.is_crisp("L"),
+            "an empty live attribute is vacuously crisp"
+        );
+
+        let live = s.live_source("L").unwrap();
+        live.upsert(ObjectId(1), Grade::ONE).unwrap();
+        live.upsert(ObjectId(4), Grade::ONE).unwrap();
+        live.upsert(ObjectId(6), Grade::ZERO).unwrap();
+        // The estimate reflects the memtable immediately — no flush, no
+        // reopen, no stale footer.
+        assert_eq!(s.estimate_matches(&q), Some(2));
+        assert!(s.is_crisp("L"));
+        let set = s.evaluate_set(&q).unwrap();
+        assert_eq!(set.matching_set(), vec![ObjectId(1), ObjectId(4)]);
+
+        // A snapshot taken before a write keeps answering the old state.
+        let before = s.evaluate(&q).unwrap();
+        live.upsert(ObjectId(4), g(0.5)).unwrap();
+        assert_eq!(s.estimate_matches(&q), Some(1));
+        assert!(!s.is_crisp("L"), "a fuzzy write makes the attribute fuzzy");
+        assert!(s.evaluate_set(&q).is_err());
+        assert_eq!(before.random_access(ObjectId(4)), Some(Grade::ONE));
+        let after = s.evaluate(&q).unwrap();
+        assert_eq!(after.random_access(ObjectId(4)), Some(g(0.5)));
+        assert_eq!(after.sorted_access(0).unwrap().object, ObjectId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe size")]
+    fn live_writes_respect_the_universe() {
+        use garlic_core::ObjectId;
+        let dir = temp_dir().join("live-universe");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskSubsystem::new("disk", 4)
+            .open_live_with("L", &dir, garlic_storage::LiveOptions::default())
+            .unwrap();
+        let _ = s.live_source("L").unwrap().upsert(ObjectId(4), g(0.5));
     }
 
     #[test]

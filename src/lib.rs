@@ -15,7 +15,9 @@
 //! * [`storage`] — persistent segment storage: immutable checksummed
 //!   on-disk graded lists (`SegmentWriter`/`SegmentSource`) behind a
 //!   shared LRU `BlockCache`, so collections survive restarts and corpus
-//!   size is decoupled from RAM.
+//!   size is decoupled from RAM — plus the writable `LiveSource` store
+//!   (WAL + memtables + snapshot merge + background compaction) for
+//!   collections that change.
 //! * [`subsys`] — simulated Garlic subsystems: relational, QBIC-like image
 //!   search, text retrieval, and the in-memory/disk-backed precomputed
 //!   subsystems (`VectorSubsystem`/`DiskSubsystem`).
@@ -41,5 +43,8 @@ pub use garlic_workload as workload;
 pub use garlic_agg::{Aggregation, Grade};
 pub use garlic_core::{AccessStats, CostModel, ObjectId, ShardedSource, TopK};
 pub use garlic_middleware::{Catalog, Garlic, GarlicService};
-pub use garlic_storage::{BlockCache, CacheStats, SegmentSource, SegmentWriter, StorageError};
+pub use garlic_storage::{
+    BlockCache, CacheStats, LiveOptions, LiveSnapshot, LiveSource, SegmentSource, SegmentWriter,
+    StorageError,
+};
 pub use garlic_subsys::DiskSubsystem;

@@ -138,6 +138,107 @@ fn persistent_store_path_end_to_end() {
     assert!(stats.resident > 0, "blocks stayed resident");
 }
 
+/// The `live_store.rs` scenario, asserted rather than printed: stream
+/// writes into live attributes, query mid-write, "crash" (drop without
+/// flushing), recover from the WAL, compact to segments — the answers
+/// must match an in-RAM twin at every step.
+#[test]
+fn live_store_path_end_to_end() {
+    use garlic::middleware::{parse_query, Catalog, Garlic};
+    use garlic::subsys::{DiskSubsystem, VectorSubsystem};
+    use garlic::BlockCache;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    const N: usize = 600;
+    let dir = std::env::temp_dir().join(format!("garlic-smoke-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let attrs = ["Color", "Shape", "InStock"];
+
+    let open = || {
+        let cache = Arc::new(BlockCache::new(64));
+        let mut sub = DiskSubsystem::with_cache("live_store", N, cache);
+        for attr in attrs {
+            sub = sub.open_live(attr, &dir.join(attr)).unwrap();
+        }
+        let handles: Vec<_> = attrs
+            .iter()
+            .map(|attr| Arc::clone(sub.live_source(attr).unwrap()))
+            .collect();
+        let mut catalog = Catalog::new();
+        catalog.register(sub).unwrap();
+        (Garlic::new(catalog), handles)
+    };
+
+    // Write the corpus, mirroring it into in-RAM grade lists.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let (garlic, handles) = open();
+    let mut lists = vec![vec![Grade::ZERO; N]; attrs.len()];
+    for (a, (handle, list)) in handles.iter().zip(lists.iter_mut()).enumerate() {
+        for (i, slot) in list.iter_mut().enumerate() {
+            let grade = if a == 2 {
+                Grade::from_bool(rng.gen_bool(0.05))
+            } else {
+                Grade::clamped(rng.gen_range(0..=100) as f64 / 100.0)
+            };
+            handle.upsert(ObjectId(i as u64), grade).unwrap();
+            *slot = grade;
+        }
+    }
+
+    let texts = [
+        "Color = red AND Shape = round",
+        "InStock = yes AND Color = red",
+    ];
+    let check = |garlic: &Garlic, lists: &[Vec<Grade>], step: &str| {
+        let mut twin = VectorSubsystem::new("twin", N);
+        for (attr, grades) in attrs.iter().zip(lists) {
+            twin = twin.with_list(attr, grades);
+        }
+        let mut catalog = Catalog::new();
+        catalog.register(twin).unwrap();
+        let twin = Garlic::new(catalog);
+        for text in texts {
+            let query = parse_query(text).unwrap();
+            let live = garlic.top_k(&query, 3).unwrap();
+            let want = twin.top_k(&query, 3).unwrap();
+            assert_eq!(
+                live.answers.entries(),
+                want.answers.entries(),
+                "{step}: {text}"
+            );
+            assert_eq!(live.stats, want.stats, "{step}: {text}");
+            assert_eq!(live.plan.strategy, want.plan.strategy, "{step}: {text}");
+        }
+    };
+    check(&garlic, &lists, "memtable-only");
+
+    // "Crash" without flushing, then recover: the WAL replays everything.
+    drop(garlic);
+    drop(handles);
+    let (garlic, handles) = open();
+    check(&garlic, &lists, "after crash recovery");
+
+    // Compact to segments, then keep writing on top of them.
+    for handle in &handles {
+        handle.flush().unwrap();
+    }
+    check(&garlic, &lists, "after compaction");
+    for (a, handle) in handles.iter().enumerate() {
+        let grade = if a == 2 {
+            Grade::ONE
+        } else {
+            Grade::clamped(0.99)
+        };
+        handle.upsert(ObjectId(11), grade).unwrap();
+        lists[a][11] = grade;
+    }
+    check(&garlic, &lists, "write after compaction");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The `service_demo.rs` scenario, asserted rather than printed: a batch of
 /// parsed queries served concurrently over one shared catalog must match
 /// serving each query directly, answer for answer and cost for cost.
