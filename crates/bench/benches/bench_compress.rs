@@ -31,6 +31,7 @@ use std::sync::{Arc, OnceLock};
 
 use criterion::{black_box, criterion_group, Criterion};
 use garlic_agg::Grade;
+use garlic_bench::report;
 use garlic_core::access::{GradedSource, MemorySource};
 use garlic_core::algorithms::fa_min::fagin_min_run;
 use garlic_core::{GradedEntry, ObjectId};
@@ -293,41 +294,36 @@ criterion_group!(
 );
 
 /// Re-opens the report the criterion shim just flushed and grafts in the
-/// measured metrics: a `metric_benchmarks` list of pseudo-benchmarks (so
-/// `perf_gate --pair` can gate the dimensionless ratios by name — its
-/// parser scans `name`/`median_ns` pairs wherever they appear) plus a
-/// human-oriented `compress_metrics` object.
+/// measured metrics (via the shared [`garlic_bench::report`] plumbing): a
+/// `metric_benchmarks` list of pseudo-benchmarks (so `perf_gate --pair`
+/// can gate the dimensionless ratios by name — its parser scans
+/// `name`/`median_ns` pairs wherever they appear) plus a human-oriented
+/// `compress_metrics` object.
 fn patch_report() {
-    let Ok(json) = std::fs::read_to_string(JSON_PATH) else {
-        return;
-    };
     let Some(m) = METRICS.get() else { return };
-    let entry =
-        |name: &str, value: f64| format!("{{\"name\": \"{name}\", \"median_ns\": {value}}}");
-    let pseudo = [
-        entry("metric_bytes_per_entry/v1", m.bytes_per_entry_v1),
-        entry("metric_bytes_per_entry/v2", m.bytes_per_entry_v2),
-        entry("metric_hinted_blocks/loaded", m.blocks_loaded as f64),
-        entry("metric_hinted_blocks/total", m.blocks_total as f64),
-        entry("metric_hot_hit_rate/scan_free", m.hit_rate_scan_free),
-        entry("metric_hot_hit_rate/tinylfu", m.hit_rate_tinylfu),
-        entry("metric_strict_lru_hit_rate/value", m.hit_rate_strict),
-    ]
-    .join(",\n    ");
-    let metrics = format!(
-        ",\n  \"metric_benchmarks\": [\n    {pseudo}\n  ],\n  \"compress_metrics\": {{\n    \
+    let pseudo = report::metric_benchmarks(&[
+        ("metric_bytes_per_entry/v1", m.bytes_per_entry_v1),
+        ("metric_bytes_per_entry/v2", m.bytes_per_entry_v2),
+        ("metric_hinted_blocks/loaded", m.blocks_loaded as f64),
+        ("metric_hinted_blocks/total", m.blocks_total as f64),
+        ("metric_hot_hit_rate/scan_free", m.hit_rate_scan_free),
+        ("metric_hot_hit_rate/tinylfu", m.hit_rate_tinylfu),
+        ("metric_strict_lru_hit_rate/value", m.hit_rate_strict),
+    ]);
+    let members = format!(
+        "{pseudo},\n  \"compress_metrics\": {{\n    \
          \"n_objects\": {},\n    \"k\": {K},\n    \"threshold\": {:.6},\n    \
          \"compression_ratio\": {:.4},\n    \"blocks_skipped_ratio\": {:.4},\n    \
-         \"hot_hit_rate_vs_scan_free\": {:.4}\n  }}\n}}",
+         \"hot_hit_rate_vs_scan_free\": {:.4}\n  }}",
         n_objects(),
         m.threshold,
         m.bytes_per_entry_v1 / m.bytes_per_entry_v2,
         1.0 - m.blocks_loaded as f64 / m.blocks_total.max(1) as f64,
         m.hit_rate_tinylfu / m.hit_rate_scan_free,
     );
-    let Some(close) = json.rfind('}') else { return };
-    let patched = format!("{}{metrics}", json[..close].trim_end());
-    let _ = std::fs::write(JSON_PATH, patched);
+    if !report::graft_members(JSON_PATH, &members) {
+        return;
+    }
     eprintln!(
         "bench_compress: {:.2}x compression, {:.1}% blocks skipped, \
          {:.1}%/{:.1}%/{:.1}% hot hit rates (scan-free/tinylfu/strict) → {JSON_PATH}",

@@ -64,8 +64,11 @@ fn bench_strategies(c: &mut Criterion) {
     group.bench_function("fa_generic_nested", |b| {
         b.iter(|| black_box(garlic.top_k(black_box(&nested), 10).unwrap()))
     });
-    group.bench_function("explain_only", |b| {
-        b.iter(|| black_box(garlic.explain(black_box(&conjunction), 10).unwrap()))
+    group.bench_function("plan_only", |b| {
+        b.iter(|| black_box(garlic.plan_for(black_box(&conjunction), 10).unwrap()))
+    });
+    group.bench_function("explain_traced", |b| {
+        b.iter(|| black_box(garlic.explain(black_box(&conjunction), 10).unwrap().stats))
     });
     group.finish();
 }

@@ -11,10 +11,16 @@
 //! fan-out.
 //!
 //! Results also land in `target/bench_service.json` (shim JSON output) so
-//! CI's perf-smoke job can archive the throughput trajectory.
+//! CI's perf-smoke job can archive the throughput trajectory, and the
+//! whole run executes with a telemetry registry attached: the final
+//! [`TelemetrySnapshot`](garlic_middleware::TelemetrySnapshot) — service
+//! latency quantiles, query counts, queue depth — is dumped to
+//! `target/telemetry_snapshot.json` for CI to archive alongside.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use garlic_middleware::{Catalog, Garlic, GarlicQuery, GarlicService, QueryRequest};
+use std::sync::{Arc, OnceLock};
+
+use criterion::{black_box, criterion_group, Criterion};
+use garlic_middleware::{Catalog, Garlic, GarlicQuery, GarlicService, QueryRequest, Telemetry};
 use garlic_subsys::{Target, VectorSubsystem};
 use garlic_workload::distributions::UniformGrades;
 use garlic_workload::scoring::ScoringDatabase;
@@ -23,7 +29,11 @@ use garlic_workload::skeleton::Skeleton;
 const N: usize = 100_000;
 const M: usize = 3;
 
-/// One shared middleware over M independently graded N-object lists.
+/// The registry the whole run records into, stashed for `main` to dump.
+static TELEMETRY: OnceLock<Arc<Telemetry>> = OnceLock::new();
+
+/// One shared middleware over M independently graded N-object lists,
+/// wired to the run-wide registry.
 fn build_garlic() -> Garlic {
     let mut rng = garlic_workload::seeded_rng(9404);
     let skeleton = Skeleton::random(M, N, &mut rng);
@@ -34,7 +44,8 @@ fn build_garlic() -> Garlic {
     }
     let mut catalog = Catalog::new();
     catalog.register(subsystem).unwrap();
-    Garlic::new(catalog)
+    let telemetry = Arc::clone(TELEMETRY.get_or_init(Telemetry::new));
+    Garlic::new(catalog).with_telemetry(telemetry)
 }
 
 /// A 16-query batch across the strategy catalogue.
@@ -113,4 +124,23 @@ criterion_group!(
     );
     targets = bench_service_throughput
 );
-criterion_main!(benches);
+
+const SNAPSHOT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../target/telemetry_snapshot.json"
+);
+
+fn main() {
+    benches();
+    // Dump the run's accumulated registry — service latency quantiles,
+    // query counts, final queue depth — for CI's perf-smoke artifact.
+    if let Some(telemetry) = TELEMETRY.get() {
+        let snap = telemetry.snapshot();
+        if std::fs::write(SNAPSHOT_PATH, snap.to_json()).is_ok() {
+            eprintln!(
+                "bench_service: {} service queries metered \u{2192} {SNAPSHOT_PATH}",
+                snap.counter("service.queries")
+            );
+        }
+    }
+}

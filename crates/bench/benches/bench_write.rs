@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, Criterion};
 use garlic_agg::Grade;
+use garlic_bench::report;
 use garlic_core::access::{GradedSource, MemorySource};
 use garlic_core::{GradedEntry, ObjectId};
 use garlic_storage::{BlockCache, LiveOptions, LiveSource, Manifest, SegmentSource, WalOp};
@@ -73,7 +74,7 @@ fn live_options() -> LiveOptions {
         // The bench controls its own freeze/compact points.
         memtable_limit: usize::MAX,
         auto_compact: false,
-        universe: None,
+        ..LiveOptions::default()
     }
 }
 
@@ -248,32 +249,27 @@ criterion_group!(
 );
 
 /// Re-opens the report the criterion shim just flushed and grafts in the
-/// measured rates as `metric_benchmarks` pseudo-entries (addressable by
-/// `perf_gate --pair`) plus a human-oriented `write_metrics` object.
+/// measured rates (via the shared [`garlic_bench::report`] plumbing) as
+/// `metric_benchmarks` pseudo-entries (addressable by `perf_gate --pair`)
+/// plus a human-oriented `write_metrics` object.
 fn patch_report() {
-    let Ok(json) = std::fs::read_to_string(JSON_PATH) else {
-        return;
-    };
     let Some(m) = METRICS.get() else { return };
-    let entry =
-        |name: &str, value: f64| format!("{{\"name\": \"{name}\", \"median_ns\": {value}}}");
-    let pseudo = [
-        entry("metric_write/ops_per_sec", m.ops_per_sec),
-        entry("metric_recovery/ns_per_op", m.recovery_ns_per_op),
-    ]
-    .join(",\n    ");
-    let metrics = format!(
-        ",\n  \"metric_benchmarks\": [\n    {pseudo}\n  ],\n  \"write_metrics\": {{\n    \
+    let pseudo = report::metric_benchmarks(&[
+        ("metric_write/ops_per_sec", m.ops_per_sec),
+        ("metric_recovery/ns_per_op", m.recovery_ns_per_op),
+    ]);
+    let members = format!(
+        "{pseudo},\n  \"write_metrics\": {{\n    \
          \"n_objects\": {},\n    \"batch\": {BATCH},\n    \"overlay_entries\": {},\n    \
-         \"ops_per_sec\": {:.0},\n    \"recovery_ns_per_op\": {:.1}\n  }}\n}}",
+         \"ops_per_sec\": {:.0},\n    \"recovery_ns_per_op\": {:.1}\n  }}",
         n_objects(),
         m.overlay_entries,
         m.ops_per_sec,
         m.recovery_ns_per_op,
     );
-    let Some(close) = json.rfind('}') else { return };
-    let patched = format!("{}{metrics}", json[..close].trim_end());
-    let _ = std::fs::write(JSON_PATH, patched);
+    if !report::graft_members(JSON_PATH, &members) {
+        return;
+    }
     eprintln!(
         "bench_write: {:.0} upserts/sec sustained, {:.0} ns/op recovery → {JSON_PATH}",
         m.ops_per_sec, m.recovery_ns_per_op,

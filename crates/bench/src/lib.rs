@@ -112,6 +112,8 @@ impl ExpArgs {
     }
 }
 
+pub mod report;
+
 /// Prints an experiment header then the table (or CSV / JSON).
 pub fn emit(id: &str, claim: &str, args: &ExpArgs, table: &garlic_stats::Table, notes: &[&str]) {
     if args.json {

@@ -1,0 +1,89 @@
+//! Shared plumbing for post-processing the criterion shim's flat JSON
+//! reports (`target/bench_*.json`).
+//!
+//! Several benches graft measured metrics into the report the shim just
+//! flushed: dimensionless ratios become `metric_benchmarks`
+//! pseudo-entries (addressable by `perf_gate --pair`, whose parser scans
+//! `name`/`median_ns` pairs wherever they appear) and human-oriented
+//! summary objects ride along as extra top-level members. This module is
+//! the one implementation of that read–splice–write cycle.
+
+/// Pulls one benchmark's `median_ns` out of a shim report.
+pub fn median_of(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &json[at..];
+    let med = rest.find("\"median_ns\":")?;
+    let rest = &rest[med + "\"median_ns\":".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Renders a `metric_benchmarks` member from `(name, value)` pairs: a
+/// list of pseudo-benchmarks whose `median_ns` carries the measured
+/// value, so `perf_gate --pair` can gate dimensionless ratios by name.
+pub fn metric_benchmarks(entries: &[(&str, f64)]) -> String {
+    let pseudo: Vec<String> = entries
+        .iter()
+        .map(|(name, value)| format!("{{\"name\": \"{name}\", \"median_ns\": {value}}}"))
+        .collect();
+    format!(
+        "\"metric_benchmarks\": [\n    {}\n  ]",
+        pseudo.join(",\n    ")
+    )
+}
+
+/// Re-opens the report at `path` and splices `members` — one or more
+/// comma-separated top-level JSON members, **without** a leading comma or
+/// the closing brace — before the report's final `}`. Returns `false`
+/// (without touching the file) when the report is missing or malformed.
+pub fn graft_members(path: &str, members: &str) -> bool {
+    let Ok(json) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    let Some(close) = json.rfind('}') else {
+        return false;
+    };
+    let patched = format!("{},\n  {members}\n}}", json[..close].trim_end());
+    std::fs::write(path, patched).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_scans_flat_reports() {
+        let json = r#"{"benchmarks": [
+            {"name": "a/x", "median_ns": 120.5, "mean_ns": 130.0},
+            {"name": "a/y", "median_ns": 240}
+        ]}"#;
+        assert_eq!(median_of(json, "a/x"), Some(120.5));
+        assert_eq!(median_of(json, "a/y"), Some(240.0));
+        assert_eq!(median_of(json, "a/z"), None);
+    }
+
+    #[test]
+    fn metric_benchmarks_entries_are_gateable() {
+        let block = metric_benchmarks(&[("metric_r/a", 1.5), ("metric_r/b", 3.0)]);
+        assert!(block.starts_with("\"metric_benchmarks\": ["));
+        // The rendered pseudo-entries parse back through median_of.
+        assert_eq!(median_of(&block, "metric_r/a"), Some(1.5));
+        assert_eq!(median_of(&block, "metric_r/b"), Some(3.0));
+    }
+
+    #[test]
+    fn graft_members_splices_before_the_final_brace() {
+        let dir = std::env::temp_dir().join(format!("garlic-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::write(&path, "{\"benchmarks\": []\n}\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+        assert!(graft_members(&path, "\"extra\": {\"k\": 1}"));
+        let patched = std::fs::read_to_string(&path).unwrap();
+        assert!(patched.contains("\"benchmarks\": [],\n  \"extra\": {\"k\": 1}\n}"));
+        // Balanced braces after the splice.
+        assert_eq!(patched.matches('{').count(), patched.matches('}').count());
+        assert!(!graft_members(&format!("{path}.missing"), "\"x\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

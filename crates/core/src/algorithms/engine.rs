@@ -305,6 +305,37 @@ impl<'a> PartialView<'a> {
     }
 }
 
+/// An always-on, allocation-free profile of one engine's work, split into
+/// the paper's two phases. Timings are taken once per `advance_*` /
+/// completion call (never per entry, never per batch), so keeping the
+/// profile costs a handful of `Instant` reads per *page* plus plain
+/// integer adds on the batch paths — cheap enough to leave on
+/// unconditionally, which is what lets `EXPLAIN` report phase timings
+/// without a registry attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Wall-clock nanoseconds inside the sorted phase (`advance_*`).
+    pub sorted_ns: u64,
+    /// Wall-clock nanoseconds inside random-access completion.
+    pub random_ns: u64,
+    /// Batched cursor reads issued by the sorted phase (one per list per
+    /// fetch round).
+    pub sorted_batches: u64,
+    /// Entries folded in by the sorted phase across all lists.
+    pub sorted_entries: u64,
+    /// `random_batch` calls issued by completion (one per list that was
+    /// missing grades, per completion round).
+    pub random_batches: u64,
+    /// Object probes carried by those calls (= random accesses billed by
+    /// the completion path).
+    pub random_probes: u64,
+}
+
+/// Nanoseconds elapsed since `start`, saturating.
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The unified execution engine: owned sources, batched round-robin sorted
 /// streaming at a uniform depth (the paper's `T`), slab candidate
 /// bookkeeping, and batched random-access completion. See the module docs.
@@ -327,6 +358,8 @@ pub struct Engine<S> {
     probe_grades: Vec<Option<Grade>>,
     /// Opt-in parallel per-source fetch (see [`Engine::with_parallel_fetch`]).
     parallel_fetch: bool,
+    /// Phase timings and batch counts (see [`EngineProfile`]).
+    profile: EngineProfile,
 }
 
 impl<S: GradedSource> Engine<S> {
@@ -362,6 +395,7 @@ impl<S: GradedSource> Engine<S> {
             probes: Vec::new(),
             probe_grades: Vec::new(),
             parallel_fetch: false,
+            profile: EngineProfile::default(),
         })
     }
 
@@ -409,6 +443,12 @@ impl<S: GradedSource> Engine<S> {
         self.depth
     }
 
+    /// Phase timings and batch counts accumulated so far (always on — see
+    /// [`EngineProfile`] for the cost argument).
+    pub fn profile(&self) -> EngineProfile {
+        self.profile
+    }
+
     /// Objects seen in *every* list under sorted access — the paper's
     /// matched set `L`, in match order.
     pub fn matched(&self) -> &[ObjectId] {
@@ -445,6 +485,7 @@ impl<S: GradedSource> Engine<S> {
     /// Streaming is batched (see the module docs for why the batch sizes
     /// cannot overshoot the positional stop depth).
     pub fn advance_until_matched(&mut self, k: usize) {
+        let start = std::time::Instant::now();
         while self.matched.len() < k && self.depth < self.n {
             // T >= k, and at most m objects can complete per level.
             let by_depth = k.saturating_sub(self.depth);
@@ -456,17 +497,20 @@ impl<S: GradedSource> Engine<S> {
                 .min(CHUNK);
             self.pull_levels(step);
         }
+        self.profile.sorted_ns += elapsed_ns(start);
     }
 
     /// Streams every list down to `target` (clamped to `N`) regardless of
     /// matches — the full-scan primitive behind B₀ (`target = k`) and the
     /// naive baseline (`target = N`).
     pub fn advance_to_depth(&mut self, target: usize) {
+        let start = std::time::Instant::now();
         let target = target.min(self.n);
         while self.depth < target {
             let step = (target - self.depth).min(CHUNK);
             self.pull_levels(step);
         }
+        self.profile.sorted_ns += elapsed_ns(start);
     }
 
     /// Fetches `levels` more entries from every list (one batched cursor
@@ -476,6 +520,8 @@ impl<S: GradedSource> Engine<S> {
     fn pull_levels(&mut self, levels: usize) {
         debug_assert!(self.depth + levels <= self.n);
         let m = self.sources.len();
+        self.profile.sorted_batches += m as u64;
+        self.profile.sorted_entries += (levels * m) as u64;
         if levels == 1 {
             // The one-level tail (where the stop-depth bounds no longer
             // allow batching): a batch of one is exactly one positional
@@ -548,7 +594,9 @@ impl<S: GradedSource> Engine<S> {
         // (its grades are already present); billing must match.
         self.pending.sort_unstable();
         self.pending.dedup();
+        let start = std::time::Instant::now();
         self.complete_pending();
+        self.profile.random_ns += elapsed_ns(start);
     }
 
     /// Completes every slot from `from_slot` on — the session high-water
@@ -561,7 +609,9 @@ impl<S: GradedSource> Engine<S> {
                 self.pending.push(slot);
             }
         }
+        let start = std::time::Instant::now();
         self.complete_pending();
+        self.profile.random_ns += elapsed_ns(start);
     }
 
     /// Batched completion of `self.pending` (distinct, incomplete slots):
@@ -574,6 +624,7 @@ impl<S: GradedSource> Engine<S> {
             probe_slots,
             probes,
             probe_grades,
+            profile,
             ..
         } = self;
         if pending.is_empty() {
@@ -591,6 +642,8 @@ impl<S: GradedSource> Engine<S> {
             if probes.is_empty() {
                 continue;
             }
+            profile.random_batches += 1;
+            profile.random_probes += probes.len() as u64;
             probe_grades.clear();
             source.random_batch(probes, probe_grades);
             debug_assert_eq!(probe_grades.len(), probes.len());
@@ -677,6 +730,9 @@ pub struct EngineSession<S, A> {
     /// The overall grade of the worst answer handed out so far (the k-th
     /// score frontier at the cumulative `k`), once a non-empty page exists.
     frontier: Option<Grade>,
+    /// `(cumulative k, frontier)` after each non-empty page — the
+    /// frontier's progression, one entry per page, for EXPLAIN output.
+    frontier_history: Vec<(usize, Grade)>,
 }
 
 impl<S, A> EngineSession<S, A>
@@ -696,6 +752,7 @@ where
             scratch: Vec::new(),
             cumulative: 0,
             frontier: None,
+            frontier_history: Vec::new(),
         })
     }
 
@@ -718,6 +775,12 @@ where
     /// hint: it is permission to stop early, not a filter.
     pub fn frontier(&self) -> Option<Grade> {
         self.frontier
+    }
+
+    /// The frontier's progression: `(cumulative k, k-th score)` after each
+    /// non-empty page, oldest first. One entry per page — kept for EXPLAIN.
+    pub fn frontier_history(&self) -> &[(usize, Grade)] {
+        &self.frontier_history
     }
 
     /// The underlying engine (e.g. for reading metered sources).
@@ -786,6 +849,7 @@ where
             // Pages are handed out best-first, so the latest page's worst
             // grade is the cumulative k-th score.
             self.frontier = Some(last.grade);
+            self.frontier_history.push((target, last.grade));
         }
         self.cumulative = target;
         Ok(fresh)
@@ -802,6 +866,9 @@ pub struct B0Session<S> {
     cumulative: usize,
     /// The worst grade handed out so far — see [`EngineSession::frontier`].
     frontier: Option<Grade>,
+    /// `(cumulative k, frontier)` per non-empty page — see
+    /// [`EngineSession::frontier_history`].
+    frontier_history: Vec<(usize, Grade)>,
 }
 
 impl<S: GradedSource> B0Session<S> {
@@ -813,6 +880,7 @@ impl<S: GradedSource> B0Session<S> {
             returned: SlotSet::default(),
             cumulative: 0,
             frontier: None,
+            frontier_history: Vec::new(),
         })
     }
 
@@ -827,6 +895,17 @@ impl<S: GradedSource> B0Session<S> {
     /// page.
     pub fn frontier(&self) -> Option<Grade> {
         self.frontier
+    }
+
+    /// The frontier's progression, one entry per non-empty page — see
+    /// [`EngineSession::frontier_history`].
+    pub fn frontier_history(&self) -> &[(usize, Grade)] {
+        &self.frontier_history
+    }
+
+    /// The underlying engine (e.g. for reading its [`EngineProfile`]).
+    pub fn engine(&self) -> &Engine<S> {
+        &self.engine
     }
 
     /// The session's sources.
@@ -863,6 +942,7 @@ impl<S: GradedSource> B0Session<S> {
         }
         if let Some(last) = fresh.entries().last() {
             self.frontier = Some(last.grade);
+            self.frontier_history.push((target, last.grade));
         }
         self.cumulative = target;
         Ok(fresh)

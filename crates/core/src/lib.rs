@@ -59,7 +59,7 @@ pub mod topk;
 pub mod validate;
 
 pub use access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor};
-pub use algorithms::engine::{B0Session, Engine, EngineSession};
+pub use algorithms::engine::{B0Session, Engine, EngineProfile, EngineSession};
 pub use complement::ComplementSource;
 pub use cost::{AccessStats, CostModel};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -535,6 +535,50 @@ mod tests {
     }
 
     #[test]
+    fn early_termination_savings_zero_emission_edge_case() {
+        // Regression: with nothing emitted the naive denominator is 0 —
+        // savings must read 0.0, not NaN, even when shards prefetched.
+        let stats = ShardScanStats {
+            emitted: 0,
+            consumed: 0,
+            shards: 4,
+        };
+        assert_eq!(stats.early_termination_savings(), 0.0);
+        let prefetched = ShardScanStats {
+            emitted: 0,
+            consumed: 64,
+            shards: 4,
+        };
+        assert_eq!(prefetched.early_termination_savings(), 0.0);
+        // And through a real source: stats before any scan report 0.
+        let sharded = ShardedSource::from_pairs(pairs(100, 3), 4);
+        let stats = sharded.scan_stats();
+        assert_eq!(stats.emitted, 0);
+        assert_eq!(stats.early_termination_savings(), 0.0);
+    }
+
+    #[test]
+    fn early_termination_savings_single_shard_edge_case() {
+        // Regression: with S = 1 the "naive" scatter-gather IS the merged
+        // scan, so there is nothing to save — the clamp (`consumed` can
+        // exceed `emitted` by bounded prefetch overshoot) must pin the
+        // savings to exactly 0, never a negative fraction.
+        let stats = ShardScanStats {
+            emitted: 100,
+            consumed: 116, // overshoot past the merged depth
+            shards: 1,
+        };
+        assert_eq!(stats.early_termination_savings(), 0.0);
+        let sharded = ShardedSource::from_pairs(pairs(200, 9), 1);
+        let mut out = Vec::new();
+        sharded.sorted_batch(0, 50, &mut out);
+        let stats = sharded.scan_stats();
+        assert_eq!(stats.shards, 1);
+        assert!(stats.consumed >= stats.emitted);
+        assert_eq!(stats.early_termination_savings(), 0.0);
+    }
+
+    #[test]
     fn merged_stream_is_bit_identical_to_unsharded() {
         let data = pairs(500, 7);
         let flat = unsharded(&data);

@@ -16,9 +16,9 @@
 use std::sync::Arc;
 
 use garlic_agg::iterated::min_agg;
-use garlic_agg::Aggregation;
+use garlic_agg::{Aggregation, Grade};
 use garlic_core::access::{total_stats, CountingSource};
-use garlic_core::algorithms::engine::{B0Session, EngineSession};
+use garlic_core::algorithms::engine::{B0Session, EngineProfile, EngineSession};
 use garlic_core::algorithms::{
     b0_max::b0_max_topk,
     fa::{fagin_run, FaOptions},
@@ -29,6 +29,7 @@ use garlic_core::algorithms::{
 use garlic_core::complement::ComplementSource;
 use garlic_core::{AccessStats, GradedEntry, GradedSource, TopK, TopKError};
 use garlic_subsys::AtomicQuery;
+use garlic_telemetry::{MetricValue, QueryTrace, Span, SpanTimer, Telemetry};
 
 use crate::catalog::Catalog;
 use crate::error::MiddlewareError;
@@ -104,7 +105,38 @@ pub struct QueryResult {
     pub plan: Plan,
 }
 
-/// The Garlic middleware: a catalog plus planner options.
+/// An executed EXPLAIN: the plan, the answers it produced, the billed
+/// Section 5 cost, and the per-query execution trace.
+///
+/// The trace's `source[i]` spans are rendered from the same
+/// [`CountingSource`] totals `stats` sums over — the per-source counts in
+/// the trace are **bit-equal to the billed totals by construction**, not
+/// re-derived estimates (pinned by the `explain_equivalence` suite).
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The plan the planner chose.
+    pub plan: Plan,
+    /// The answers the traced execution produced (via the session path,
+    /// which returns the same ranking as [`Garlic::top_k`]).
+    pub answers: TopK,
+    /// Total billed middleware cost of the traced execution.
+    pub stats: AccessStats,
+    /// Per-source `(label, cost)` pairs, in source order — the exact
+    /// [`CountingSource`] totals, summing to `stats`.
+    pub per_source: Vec<(String, AccessStats)>,
+    /// The execution trace (plan decision, engine phases, per-source
+    /// costs, storage counter deltas when telemetry is attached).
+    pub trace: QueryTrace,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// The Garlic middleware: a catalog plus planner options, optionally
+/// wired to a [`Telemetry`] registry.
 ///
 /// Owns its catalog, so it is `'static`, `Send + Sync`, and cheaply
 /// cloneable (clones share the registered subsystems). All query entry
@@ -114,6 +146,7 @@ pub struct QueryResult {
 pub struct Garlic {
     catalog: Catalog,
     options: PlannerOptions,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Garlic {
@@ -122,12 +155,32 @@ impl Garlic {
         Garlic {
             catalog,
             options: PlannerOptions::default(),
+            telemetry: None,
         }
     }
 
     /// Wraps a catalog with explicit options.
     pub fn with_options(catalog: Catalog, options: PlannerOptions) -> Self {
-        Garlic { catalog, options }
+        Garlic {
+            catalog,
+            options,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a metrics registry (builder style). Query entry points
+    /// then record `middleware.queries` and the
+    /// `middleware.query_latency_ns` histogram — one registry check per
+    /// query, never per entry — and [`Garlic::explain`] appends a span of
+    /// registry counter deltas to its trace.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The catalog.
@@ -135,15 +188,120 @@ impl Garlic {
         &self.catalog
     }
 
-    /// Plans without executing (EXPLAIN).
-    pub fn explain(&self, query: &GarlicQuery, k: usize) -> Result<Plan, MiddlewareError> {
+    /// Plans without executing (the zero-cost half of EXPLAIN; see
+    /// [`Garlic::explain`] for the traced, executing form).
+    pub fn plan_for(&self, query: &GarlicQuery, k: usize) -> Result<Plan, MiddlewareError> {
         plan(&self.catalog, query, k, self.options)
+    }
+
+    /// EXPLAIN ANALYZE: plans, executes through the resumable session
+    /// path, and returns the answers together with a per-query trace —
+    /// the plan decision, engine phase timings, per-source Section 5
+    /// access counts (bit-equal to the billed [`CountingSource`] totals),
+    /// and, when telemetry is attached, the storage counter deltas the
+    /// query caused.
+    pub fn explain(&self, query: &GarlicQuery, k: usize) -> Result<Explain, MiddlewareError> {
+        let plan_timer = SpanTimer::start();
+        let plan = self.plan_for(query, k)?;
+        let plan_ns = plan_timer.elapsed_ns();
+
+        let before = self.telemetry.as_ref().map(|t| t.snapshot());
+        let exec_timer = SpanTimer::start();
+        let mut session = plan
+            .strategy
+            .open_session(&self.catalog, query, &plan.atoms)?;
+        let answers = session.next_batch(k)?;
+        let exec_ns = exec_timer.elapsed_ns();
+
+        let stats = session.stats();
+        let per_source = session.per_source_stats();
+
+        let mut root = Span::new(format!("query: {query} top-{k}"));
+        let mut plan_span = Span::new(format!("plan: {:?}", plan.strategy));
+        plan_span.duration_ns = Some(plan_ns);
+        plan_span.add_field("atoms", plan.atoms.len());
+        plan_span.add_field("estimated_cost", format!("{:.1}", plan.estimated_cost));
+        root.push(plan_span);
+
+        let mut exec = Span::new("execute");
+        exec.duration_ns = Some(exec_ns);
+        exec.add_field("answers", answers.len());
+        exec.add_field("S", stats.sorted);
+        exec.add_field("R", stats.random);
+
+        if let Some(EngineDetails {
+            profile,
+            depth,
+            frontier,
+        }) = session.engine_details()
+        {
+            let mut engine = Span::new("engine");
+            engine.add_field("depth", depth);
+            engine.add_field("sorted_ns", profile.sorted_ns);
+            engine.add_field("random_ns", profile.random_ns);
+            engine.add_field("sorted_batches", profile.sorted_batches);
+            engine.add_field("sorted_entries", profile.sorted_entries);
+            engine.add_field("random_batches", profile.random_batches);
+            engine.add_field("random_probes", profile.random_probes);
+            if !frontier.is_empty() {
+                let steps: Vec<String> = frontier.iter().map(|(k, g)| format!("{k}:{g}")).collect();
+                engine.add_field("frontier", steps.join(" "));
+            }
+            exec.push(engine);
+        } else if let Some(total) = session.materialized_size() {
+            // The filtered / naive strategies materialise their complete
+            // ranking at open; the whole cost is the one-time build.
+            exec.push(Span::new("materialize").field("entries", total));
+        }
+
+        for (i, (label, s)) in per_source.iter().enumerate() {
+            exec.push(
+                Span::new(format!("source[{i}] \"{label}\""))
+                    .field("S", s.sorted)
+                    .field("R", s.random),
+            );
+        }
+
+        if let (Some(before), Some(t)) = (before, &self.telemetry) {
+            // Registry-wide counter deltas across the execution: under a
+            // single in-flight query these are exactly this query's
+            // storage activity (cache hits/misses, fence skips, ...);
+            // under concurrency they are a best-effort attribution.
+            let after = t.snapshot();
+            let mut storage = Span::new("telemetry");
+            for e in &after.entries {
+                if let MetricValue::Counter(v) = e.value {
+                    let prev = before.counter(&e.name);
+                    if v > prev {
+                        storage.add_field(&e.name, v - prev);
+                    }
+                }
+            }
+            if !storage.fields.is_empty() {
+                exec.push(storage);
+            }
+        }
+        root.push(exec);
+
+        Ok(Explain {
+            plan,
+            answers,
+            stats,
+            per_source,
+            trace: QueryTrace::new(root),
+        })
     }
 
     /// Plans and executes a top-k query.
     pub fn top_k(&self, query: &GarlicQuery, k: usize) -> Result<QueryResult, MiddlewareError> {
-        let plan = self.explain(query, k)?;
+        let timer = self.telemetry.as_ref().map(|_| SpanTimer::start());
+        let plan = self.plan_for(query, k)?;
         let (answers, stats) = self.execute(query, &plan, k)?;
+        if let (Some(t), Some(timer)) = (&self.telemetry, timer) {
+            t.counter("middleware.queries").inc();
+            t.histogram("middleware.query_latency_ns")
+                .record(timer.elapsed_ns());
+        }
         Ok(QueryResult {
             answers,
             stats,
@@ -161,7 +319,7 @@ impl Garlic {
         query: &GarlicQuery,
         k_hint: usize,
     ) -> Result<QuerySession, MiddlewareError> {
-        let plan = self.explain(query, k_hint.max(1))?;
+        let plan = self.plan_for(query, k_hint.max(1))?;
         plan.strategy
             .open_session(&self.catalog, query, &plan.atoms)
     }
@@ -365,22 +523,55 @@ impl Strategy {
         query: &GarlicQuery,
         atoms: &[AtomicQuery],
     ) -> Result<QuerySession, MiddlewareError> {
-        let kind = match self {
-            Strategy::FaMin => SessionKind::Engine(EngineSession::new(
-                counted_atoms(catalog, atoms)?,
-                Box::new(min_agg()) as SessionAgg,
-            )?),
-            Strategy::FaGeneric => SessionKind::Engine(EngineSession::new(
-                counted_atoms(catalog, atoms)?,
-                Box::new(QueryAggregation::new(query, atoms)) as SessionAgg,
-            )?),
+        let atom_labels = || -> Vec<String> { atoms.iter().map(|a| a.attribute.clone()).collect() };
+        let (kind, labels) = match self {
+            Strategy::FaMin => (
+                SessionKind::Engine(EngineSession::new(
+                    counted_atoms(catalog, atoms)?,
+                    Box::new(min_agg()) as SessionAgg,
+                )?),
+                atom_labels(),
+            ),
+            Strategy::FaGeneric => (
+                SessionKind::Engine(EngineSession::new(
+                    counted_atoms(catalog, atoms)?,
+                    Box::new(QueryAggregation::new(query, atoms)) as SessionAgg,
+                )?),
+                atom_labels(),
+            ),
             Strategy::FaNnf => {
+                let nnf = query.to_nnf();
+                let labels = nnf
+                    .literals
+                    .iter()
+                    .map(|lit| {
+                        if lit.negated {
+                            format!("¬{}", lit.atom.attribute)
+                        } else {
+                            lit.atom.attribute.clone()
+                        }
+                    })
+                    .collect();
                 let (sources, agg) = nnf_sources(catalog, query)?;
-                SessionKind::Engine(EngineSession::new(sources, Box::new(agg) as SessionAgg)?)
+                (
+                    SessionKind::Engine(EngineSession::new(sources, Box::new(agg) as SessionAgg)?),
+                    labels,
+                )
             }
-            Strategy::B0Max => SessionKind::B0(B0Session::new(counted_atoms(catalog, atoms)?)?),
+            Strategy::B0Max => (
+                SessionKind::B0(B0Session::new(counted_atoms(catalog, atoms)?)?),
+                atom_labels(),
+            ),
             Strategy::InternalPushdown { .. } => {
-                SessionKind::B0(B0Session::new(vec![pushdown_source(catalog, atoms)?])?)
+                let fused = atoms
+                    .iter()
+                    .map(|a| a.attribute.as_str())
+                    .collect::<Vec<_>>()
+                    .join("∧");
+                (
+                    SessionKind::B0(B0Session::new(vec![pushdown_source(catalog, atoms)?])?),
+                    vec![format!("{fused} (fused)")],
+                )
             }
             Strategy::Filtered { crisp_index } => {
                 // The filtered strategy's cost is |S|·m no matter the k
@@ -393,11 +584,29 @@ impl Strategy {
                 let n = crisp.len();
                 let all = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), n)?;
                 let stats = crisp.stats() + total_stats(&graded);
-                SessionKind::Materialized {
-                    entries: all.into_entries(),
-                    cursor: 0,
-                    stats,
+                // Per-source totals in atom order, the crisp match set in
+                // its original position.
+                let mut labels = Vec::with_capacity(atoms.len());
+                let mut per_source = Vec::with_capacity(atoms.len());
+                let mut graded_iter = graded.iter();
+                for (i, a) in atoms.iter().enumerate() {
+                    if i == *crisp_index {
+                        labels.push(format!("{} (crisp)", a.attribute));
+                        per_source.push(crisp.stats());
+                    } else {
+                        labels.push(a.attribute.clone());
+                        per_source.push(graded_iter.next().expect("one per atom").stats());
+                    }
                 }
+                (
+                    SessionKind::Materialized {
+                        entries: all.into_entries(),
+                        cursor: 0,
+                        stats,
+                        per_source,
+                    },
+                    labels,
+                )
             }
             Strategy::NaiveCalculus => {
                 // The naive scan always grades everything (m·N), so one
@@ -407,14 +616,19 @@ impl Strategy {
                 let n = sources.first().map(|s| s.len()).unwrap_or(0);
                 let all = naive_topk(&sources, &agg, n)?;
                 let stats = total_stats(&sources);
-                SessionKind::Materialized {
-                    entries: all.into_entries(),
-                    cursor: 0,
-                    stats,
-                }
+                let per_source = sources.iter().map(|s| s.stats()).collect();
+                (
+                    SessionKind::Materialized {
+                        entries: all.into_entries(),
+                        cursor: 0,
+                        stats,
+                        per_source,
+                    },
+                    atom_labels(),
+                )
             }
         };
-        Ok(QuerySession { kind })
+        Ok(QuerySession { kind, labels })
     }
 }
 
@@ -437,6 +651,10 @@ impl Strategy {
 /// the paper's multi-user middleware implies.
 pub struct QuerySession {
     kind: SessionKind,
+    /// One human-readable label per metered source, in source order
+    /// (attribute names; `¬attr` for complemented NNF literals, `(crisp)`
+    /// / `(fused)` markers for the filtered and pushdown forms).
+    labels: Vec<String>,
 }
 
 enum SessionKind {
@@ -446,7 +664,21 @@ enum SessionKind {
         entries: Vec<GradedEntry>,
         cursor: usize,
         stats: AccessStats,
+        /// The per-source [`CountingSource`] totals of the one-time
+        /// materialisation, aligned with `QuerySession::labels`.
+        per_source: Vec<AccessStats>,
     },
+}
+
+/// Engine-phase execution detail surfaced by
+/// [`QuerySession::engine_details`] for EXPLAIN's `engine` span.
+pub struct EngineDetails<'a> {
+    /// Batched sorted/random phase timings and batch counts.
+    pub profile: EngineProfile,
+    /// Common sorted-access depth reached across the sources.
+    pub depth: usize,
+    /// `(returned, frontier grade)` after each batch boundary.
+    pub frontier: &'a [(usize, Grade)],
 }
 
 impl QuerySession {
@@ -488,6 +720,51 @@ impl QuerySession {
             SessionKind::Engine(session) => total_stats(session.sources()),
             SessionKind::B0(session) => total_stats(session.sources()),
             SessionKind::Materialized { stats, .. } => *stats,
+        }
+    }
+
+    /// Per-source `(label, cost)` pairs in source order — read straight
+    /// from the session's [`CountingSource`]s (for the materialised
+    /// strategies: recorded at materialisation time), so they sum to
+    /// exactly [`QuerySession::stats`].
+    pub fn per_source_stats(&self) -> Vec<(String, AccessStats)> {
+        let stats: Vec<AccessStats> = match &self.kind {
+            SessionKind::Engine(session) => session.sources().iter().map(|s| s.stats()).collect(),
+            SessionKind::B0(session) => session.sources().iter().map(|s| s.stats()).collect(),
+            SessionKind::Materialized { per_source, .. } => per_source.clone(),
+        };
+        self.labels.iter().cloned().zip(stats).collect()
+    }
+
+    /// Engine-phase detail for EXPLAIN, when this session runs live on the
+    /// core engine. `None` for the materialised strategies.
+    pub fn engine_details(&self) -> Option<EngineDetails<'_>> {
+        let details = |profile, depth, frontier| EngineDetails {
+            profile,
+            depth,
+            frontier,
+        };
+        match &self.kind {
+            SessionKind::Engine(s) => Some(details(
+                s.engine().profile(),
+                s.engine().depth(),
+                s.frontier_history(),
+            )),
+            SessionKind::B0(s) => Some(details(
+                s.engine().profile(),
+                s.engine().depth(),
+                s.frontier_history(),
+            )),
+            SessionKind::Materialized { .. } => None,
+        }
+    }
+
+    /// How many entries a materialised session ranked at open (`None` for
+    /// live engine sessions).
+    pub fn materialized_size(&self) -> Option<usize> {
+        match &self.kind {
+            SessionKind::Materialized { entries, .. } => Some(entries.len()),
+            _ => None,
         }
     }
 }
@@ -749,7 +1026,7 @@ mod tests {
         let a = GarlicQuery::atom("AlbumColor", Target::text("red"));
         let q = GarlicQuery::and(a.clone(), GarlicQuery::not(a));
         assert!(matches!(
-            garlic.explain(&q, 6).unwrap().strategy,
+            garlic.plan_for(&q, 6).unwrap().strategy,
             Strategy::NaiveCalculus
         ));
 
@@ -802,7 +1079,7 @@ mod tests {
             },
         );
         assert!(matches!(
-            garlic.explain(&q, 4).unwrap().strategy,
+            garlic.plan_for(&q, 4).unwrap().strategy,
             Strategy::InternalPushdown { .. }
         ));
         let (batches, stats) = garlic.top_k_paged(&q, &[2, 2]).unwrap();
@@ -835,7 +1112,7 @@ mod tests {
             },
         );
         assert!(matches!(
-            garlic.explain(&q, 6).unwrap().strategy,
+            garlic.plan_for(&q, 6).unwrap().strategy,
             Strategy::FaNnf
         ));
         let (batches, _) = garlic.top_k_paged(&q, &[3, 3]).unwrap();
@@ -983,13 +1260,114 @@ mod tests {
     }
 
     #[test]
-    fn explain_without_execution() {
+    fn plan_for_without_execution() {
         let f = Fixture::new();
         let garlic = f.garlic();
         let q = GarlicQuery::atom("Artist", Target::text("Kinks"));
-        let plan = garlic.explain(&q, 2).unwrap();
+        let plan = garlic.plan_for(&q, 2).unwrap();
         let text = format!("{plan}");
         assert!(text.contains("strategy"));
         assert!(text.contains("Kinks"));
+    }
+
+    #[test]
+    fn explain_executes_and_traces_per_source_costs() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let q = GarlicQuery::and(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        let ex = garlic.explain(&q, 3).unwrap();
+
+        // Same ranking as the plain execution path.
+        let plain = garlic.top_k(&q, 3).unwrap();
+        assert_eq!(ex.answers.entries(), plain.answers.entries());
+        assert_eq!(ex.plan.strategy, plain.plan.strategy);
+
+        // The per-source totals are the billed totals, bit for bit.
+        let sum: AccessStats = ex
+            .per_source
+            .iter()
+            .fold(AccessStats::default(), |acc, (_, s)| acc + *s);
+        assert_eq!(sum, ex.stats);
+        assert_eq!(ex.per_source.len(), 2);
+
+        // The rendered trace carries the plan, the engine phases, and one
+        // span per source with exactly those counts.
+        let text = ex.to_string();
+        assert!(text.contains("plan: FaMin"));
+        assert!(ex.trace.find("engine").is_some());
+        for (i, (label, s)) in ex.per_source.iter().enumerate() {
+            let span = ex
+                .trace
+                .find(&format!("source[{i}] \"{label}\""))
+                .expect("source span");
+            assert_eq!(span.get_field("S"), Some(s.sorted.to_string().as_str()));
+            assert_eq!(span.get_field("R"), Some(s.random.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn explain_traces_materialized_strategies() {
+        let f = Fixture::new();
+        let garlic = f.garlic();
+        let a = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let q = GarlicQuery::and(a.clone(), GarlicQuery::not(a));
+        let ex = garlic.explain(&q, 2).unwrap();
+        assert!(matches!(ex.plan.strategy, Strategy::NaiveCalculus));
+        assert!(ex.trace.find("materialize").is_some());
+        let sum: AccessStats = ex
+            .per_source
+            .iter()
+            .fold(AccessStats::default(), |acc, (_, s)| acc + *s);
+        assert_eq!(sum, ex.stats);
+
+        // Filtered: the crisp match set is labelled in place.
+        let filtered = GarlicQuery::and(
+            GarlicQuery::atom("Artist", Target::text("Beatles")),
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+        );
+        let ex = garlic.explain(&filtered, 2).unwrap();
+        assert!(matches!(ex.plan.strategy, Strategy::Filtered { .. }));
+        assert!(ex.per_source.iter().any(|(l, _)| l.ends_with("(crisp)")));
+        let sum: AccessStats = ex
+            .per_source
+            .iter()
+            .fold(AccessStats::default(), |acc, (_, s)| acc + *s);
+        assert_eq!(sum, ex.stats);
+    }
+
+    #[test]
+    fn explain_appends_registry_deltas_when_telemetry_attached() {
+        let f = Fixture::new();
+        let telemetry = garlic_telemetry::Telemetry::new();
+        telemetry.register_collector({
+            let calls = std::sync::atomic::AtomicU64::new(0);
+            move |out| {
+                out.push(garlic_telemetry::MetricEntry {
+                    name: "probe.calls".into(),
+                    value: MetricValue::Counter(
+                        calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1,
+                    ),
+                });
+            }
+        });
+        let garlic = f.garlic().with_telemetry(Arc::clone(&telemetry));
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        let ex = garlic.explain(&q, 2).unwrap();
+        // The collector's counter advanced between the two snapshots, so
+        // the delta span surfaces it.
+        let span = ex.trace.find("telemetry").expect("delta span");
+        assert_eq!(span.get_field("probe.calls"), Some("1"));
+
+        // And the plain path records the query histogram + counter.
+        garlic.top_k(&q, 2).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("middleware.queries"), 1);
+        match snap.get("middleware.query_latency_ns") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

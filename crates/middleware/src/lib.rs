@@ -59,8 +59,12 @@ pub mod service;
 
 pub use catalog::Catalog;
 pub use error::MiddlewareError;
-pub use exec::{Garlic, QueryResult, QuerySession};
+pub use exec::{EngineDetails, Explain, Garlic, QueryResult, QuerySession};
 pub use parser::{parse_query, ParseError};
 pub use plan::{Plan, PlannerOptions, Strategy};
 pub use query::{GarlicQuery, QueryAggregation};
 pub use service::{GarlicService, QueryRequest};
+
+// Re-exported so downstream callers can attach a registry and consume
+// traces without naming the telemetry crate themselves.
+pub use garlic_telemetry::{QueryTrace, Telemetry, TelemetrySnapshot};

@@ -22,8 +22,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use garlic_telemetry::SpanTimer;
+
 use crate::error::MiddlewareError;
-use crate::exec::{Garlic, QueryResult};
+use crate::exec::{Explain, Garlic, QueryResult};
 use crate::query::GarlicQuery;
 
 /// A top-k request: the query and how many answers to return.
@@ -88,21 +90,77 @@ impl GarlicService {
     /// fully independent (own metered sources, own engine state), so
     /// results, tie order, and per-query access counts are identical to
     /// serving the batch sequentially.
+    ///
+    /// When the shared [`Garlic`] has telemetry attached, the batch
+    /// records `service.queries`, the `service.query_latency_ns`
+    /// histogram, and the `service.queue_depth` gauge (requests not yet
+    /// claimed by a worker) — handles resolved once per batch, one update
+    /// per query.
     pub fn top_k_batch(
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResult, MiddlewareError>> {
+        self.run_batch(requests, |q, k| self.garlic.top_k(q, k))
+    }
+
+    /// Like [`GarlicService::top_k_batch`], but serves every request
+    /// through [`Garlic::explain`]: one executed answer **with its
+    /// per-query trace** per request, in request order.
+    pub fn explain_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Vec<Result<Explain, MiddlewareError>> {
+        self.run_batch(requests, |q, k| self.garlic.explain(q, k))
+    }
+
+    /// The shared batch driver: a work queue drained by scoped workers,
+    /// results slotted back in request order, with optional service
+    /// metrics around every served query.
+    fn run_batch<T, F>(&self, requests: &[QueryRequest], serve: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&GarlicQuery, usize) -> T + Sync,
+    {
+        // Resolve metric handles once per batch; every per-query update is
+        // then a relaxed atomic on an owned handle.
+        let metrics = self.garlic.telemetry().map(|t| {
+            (
+                t.counter("service.queries"),
+                t.histogram("service.query_latency_ns"),
+                t.gauge("service.queue_depth"),
+            )
+        });
+        let serve_timed = |query: &GarlicQuery, k: usize| {
+            if let Some((queries, latency, _)) = &metrics {
+                let timer = SpanTimer::start();
+                let out = serve(query, k);
+                queries.inc();
+                latency.record(timer.elapsed_ns());
+                out
+            } else {
+                serve(query, k)
+            }
+        };
+        let note_claimed = |i: usize| {
+            if let Some((_, _, depth)) = &metrics {
+                depth.set(requests.len().saturating_sub(i + 1) as i64);
+            }
+        };
+
         let workers = self.threads.min(requests.len());
         if workers <= 1 {
             return requests
                 .iter()
-                .map(|(q, k)| self.garlic.top_k(q, *k))
+                .enumerate()
+                .map(|(i, (q, k))| {
+                    note_claimed(i);
+                    serve_timed(q, *k)
+                })
                 .collect();
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<QueryResult, MiddlewareError>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = requests.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -110,7 +168,8 @@ impl GarlicService {
                     let Some((query, k)) = requests.get(i) else {
                         break;
                     };
-                    let result = self.garlic.top_k(query, *k);
+                    note_claimed(i);
+                    let result = serve_timed(query, *k);
                     *slots[i].lock().expect("no panics while holding the slot") = Some(result);
                 });
             }
@@ -240,5 +299,48 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(service(4).top_k_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_records_service_metrics_when_attached() {
+        use garlic_telemetry::{MetricValue, Telemetry};
+        let telemetry = Telemetry::new();
+        let garlic = demo_garlic().with_telemetry(Arc::clone(&telemetry));
+        let svc = GarlicService::with_threads(garlic, 4);
+        let reqs = requests();
+        let results = svc.top_k_batch(&reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("service.queries"), reqs.len() as u64);
+        match snap.get("service.query_latency_ns") {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, reqs.len() as u64),
+            other => panic!("expected latency histogram, got {other:?}"),
+        }
+        // The queue drained: the gauge ends at zero.
+        assert!(matches!(
+            snap.get("service.queue_depth"),
+            Some(MetricValue::Gauge(0))
+        ));
+    }
+
+    #[test]
+    fn explain_batch_returns_traces_matching_top_k_batch() {
+        let garlic = demo_garlic();
+        let svc = GarlicService::with_threads(garlic, 4);
+        let reqs = requests();
+        let plain = svc.top_k_batch(&reqs);
+        let traced = svc.explain_batch(&reqs);
+        assert_eq!(plain.len(), traced.len());
+        for ((p, t), (q, _)) in plain.iter().zip(&traced).zip(&reqs) {
+            let (p, t) = (p.as_ref().unwrap(), t.as_ref().unwrap());
+            assert_eq!(p.answers.entries(), t.answers.entries(), "{q}");
+            // Each trace's per-source counts sum to its own billed total.
+            let sum = t
+                .per_source
+                .iter()
+                .fold(garlic_core::AccessStats::default(), |acc, (_, s)| acc + *s);
+            assert_eq!(sum, t.stats, "{q}");
+        }
     }
 }

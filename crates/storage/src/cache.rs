@@ -48,6 +48,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use garlic_core::{fx::FxHasher, FxHashMap};
+use garlic_telemetry::{MetricEntry, MetricValue, Telemetry};
 
 use crate::error::StorageError;
 
@@ -241,6 +242,10 @@ pub struct CacheStats {
     /// caller but never cached — a one-touch scan block losing the
     /// frequency duel against the would-be victim).
     pub rejected: u64,
+    /// Blocks dropped by targeted segment invalidation
+    /// ([`BlockCache::retire`]) — compaction replacing a segment, not
+    /// capacity pressure (those are `evictions`).
+    pub retired: u64,
     /// Blocks currently resident.
     pub resident: usize,
     /// Maximum resident blocks.
@@ -276,7 +281,7 @@ impl std::fmt::Display for CacheStats {
         write!(
             f,
             "{}/{} blocks resident, {} hits / {} misses ({:.1}% hit rate), {} evictions, \
-             {} admitted / {} rejected ({:.1}% admission rate)",
+             {} admitted / {} rejected ({:.1}% admission rate), {} retired",
             self.resident,
             self.capacity,
             self.hits,
@@ -286,6 +291,7 @@ impl std::fmt::Display for CacheStats {
             self.admitted,
             self.rejected,
             100.0 * self.admission_rate(),
+            self.retired,
         )
     }
 }
@@ -310,6 +316,7 @@ pub struct BlockCache {
     evictions: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    retired: AtomicU64,
     resident: AtomicUsize,
 }
 
@@ -352,6 +359,7 @@ impl BlockCache {
             evictions: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
         }
     }
@@ -359,6 +367,42 @@ impl BlockCache {
     /// Maximum number of resident blocks.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Registers this cache's counters with `telemetry` as a pull
+    /// collector: every [`TelemetrySnapshot`](garlic_telemetry::TelemetrySnapshot)
+    /// includes `<prefix>.hits`, `.misses`, `.evictions`, `.admitted`,
+    /// `.rejected`, `.retired` (counters) and `.resident`, `.capacity`
+    /// (gauges), read from the same atomics [`BlockCache::stats`] reads.
+    /// Pull-based, so the cache's hot path pays nothing for being
+    /// observable; the collector holds a `Weak` handle and goes quiet when
+    /// the cache is dropped.
+    pub fn register_telemetry(self: &Arc<Self>, telemetry: &Telemetry, prefix: &str) {
+        let weak = Arc::downgrade(self);
+        let prefix = prefix.to_string();
+        telemetry.register_collector(move |out| {
+            let Some(cache) = weak.upgrade() else { return };
+            let stats = cache.stats();
+            for (name, value) in [
+                ("hits", stats.hits),
+                ("misses", stats.misses),
+                ("evictions", stats.evictions),
+                ("admitted", stats.admitted),
+                ("rejected", stats.rejected),
+                ("retired", stats.retired),
+            ] {
+                out.push(MetricEntry {
+                    name: format!("{prefix}.{name}"),
+                    value: MetricValue::Counter(value),
+                });
+            }
+            for (name, value) in [("resident", stats.resident), ("capacity", stats.capacity)] {
+                out.push(MetricEntry {
+                    name: format!("{prefix}.{name}"),
+                    value: MetricValue::Gauge(value as i64),
+                });
+            }
+        });
     }
 
     /// Counter snapshot — all atomics, no lock taken (see the type docs).
@@ -369,6 +413,7 @@ impl BlockCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
             resident: self.resident.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
@@ -409,6 +454,7 @@ impl BlockCache {
     pub fn retire(&self, segment: u64) {
         let mut state = self.state.lock().expect("cache lock");
         let mut demoted = 0usize;
+        let before = state.blocks.len();
         state.blocks.retain(|key, block| {
             let keep = key.segment != segment;
             if !keep && block.protected {
@@ -416,6 +462,8 @@ impl BlockCache {
             }
             keep
         });
+        self.retired
+            .fetch_add((before - state.blocks.len()) as u64, Ordering::Relaxed);
         state.protected_members -= demoted;
         // Stored under the state lock, like `clear`, so residency and the
         // block table never disagree for an observer.

@@ -40,6 +40,7 @@ use crate::writer::SegmentWriter;
 /// callers by the store's compaction lock.
 pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
     let _serialize = shared.compact_lock.lock().expect("compact lock");
+    let start = std::time::Instant::now();
 
     // Phase 1: pin the inputs.
     let (frozen, base, new_file_id) = {
@@ -92,6 +93,10 @@ pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
     }
     for name in obsolete_wals {
         let _ = std::fs::remove_file(shared.dir.join(name));
+    }
+    if let Some(m) = &shared.metrics {
+        m.compaction_ns
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     Ok(true)
 }

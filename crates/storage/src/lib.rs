@@ -83,6 +83,6 @@ pub use format::DEFAULT_BLOCK_SIZE;
 pub use live::{LiveOptions, LiveSnapshot, LiveSource};
 pub use manifest::Manifest;
 pub use memtable::Memtable;
-pub use segment::SegmentSource;
+pub use segment::{FenceStats, SegmentSource};
 pub use wal::{Wal, WalOp};
 pub use writer::{SegmentInfo, SegmentWriter, ShardInfo};

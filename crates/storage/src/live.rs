@@ -52,6 +52,8 @@ use garlic_agg::Grade;
 use garlic_core::access::{BoundedBatch, GradedSource, SetAccess};
 use garlic_core::{FxHashMap, GradedEntry, ObjectId};
 
+use garlic_telemetry::{Counter, Histogram, Telemetry};
+
 use crate::cache::BlockCache;
 use crate::compact::{self, CompactSignal, CompactorHandle};
 use crate::error::StorageError;
@@ -77,6 +79,13 @@ pub struct LiveOptions {
     /// out-of-range write is a wiring-error panic, matching the
     /// subsystem-registration contract.
     pub universe: Option<usize>,
+    /// When attached, the store resolves its metric handles from this
+    /// registry once at open (`live.wal.fsync_ns`, `live.wal.replayed_ops`,
+    /// `live.memtable.freezes`, `live.compaction_ns`) and records into
+    /// them lock-free: one histogram sample per WAL fsync / compaction,
+    /// one counter bump per freeze — never per entry. `None` (the
+    /// default) costs one branch per batch.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for LiveOptions {
@@ -85,6 +94,7 @@ impl Default for LiveOptions {
             memtable_limit: 4096,
             auto_compact: false,
             universe: None,
+            telemetry: None,
         }
     }
 }
@@ -122,6 +132,30 @@ impl LiveInner {
     }
 }
 
+/// Metric handles a live store resolves once at open — see
+/// [`LiveOptions::telemetry`].
+pub(crate) struct LiveMetrics {
+    /// WAL `append` (write + fsync) latency, one sample per batch.
+    pub(crate) fsync_ns: Arc<Histogram>,
+    /// Committed WAL ops replayed during crash recovery.
+    pub(crate) wal_replayed_ops: Arc<Counter>,
+    /// Memtable freezes (WAL rotations).
+    pub(crate) freezes: Arc<Counter>,
+    /// Whole-compaction wall-clock latency, one sample per run.
+    pub(crate) compaction_ns: Arc<Histogram>,
+}
+
+impl LiveMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        LiveMetrics {
+            fsync_ns: telemetry.histogram("live.wal.fsync_ns"),
+            wal_replayed_ops: telemetry.counter("live.wal.replayed_ops"),
+            freezes: telemetry.counter("live.memtable.freezes"),
+            compaction_ns: telemetry.histogram("live.compaction_ns"),
+        }
+    }
+}
+
 /// Everything the source and its background compactor share.
 pub(crate) struct LiveShared {
     pub(crate) dir: PathBuf,
@@ -133,6 +167,8 @@ pub(crate) struct LiveShared {
     pub(crate) compact_lock: Mutex<()>,
     pub(crate) signal: CompactSignal,
     pub(crate) last_error: Mutex<Option<StorageError>>,
+    /// Resolved metric handles, `None` when no registry was attached.
+    pub(crate) metrics: Option<LiveMetrics>,
 }
 
 /// A durable, writable graded source (see the module docs).
@@ -188,21 +224,28 @@ impl LiveSource {
         // Replay: sealed logs (all but the last) fold into one frozen
         // layer; the last log is the active one and replays into the
         // active memtable.
+        let metrics = opts.telemetry.as_deref().map(LiveMetrics::resolve);
         let sealed_count = manifest.wals.len() - 1;
         let mut frozen_mem = Memtable::new();
+        let mut replayed = 0u64;
         let mut ops = Vec::new();
         for name in &manifest.wals[..sealed_count] {
             ops.clear();
             Wal::open(&dir.join(name), &mut ops)?;
+            replayed += ops.len() as u64;
             for &op in &ops {
                 frozen_mem.apply(op);
             }
         }
         ops.clear();
         let wal = Wal::open(&dir.join(&manifest.wals[sealed_count]), &mut ops)?;
+        replayed += ops.len() as u64;
         let mut active = Memtable::new();
         for &op in &ops {
             active.apply(op);
+        }
+        if let Some(m) = &metrics {
+            m.wal_replayed_ops.add(replayed);
         }
 
         // Rebuild the visible statistics from the base footer plus the
@@ -264,6 +307,7 @@ impl LiveSource {
             compact_lock: Mutex::new(()),
             signal: CompactSignal::new(),
             last_error: Mutex::new(None),
+            metrics,
         });
         let compactor = opts
             .auto_compact
@@ -307,7 +351,15 @@ impl LiveSource {
             }
         }
         let mut inner = self.shared.inner.lock().expect("live lock");
-        inner.wal.append(ops)?;
+        match &self.shared.metrics {
+            Some(m) => {
+                let start = std::time::Instant::now();
+                inner.wal.append(ops)?;
+                m.fsync_ns
+                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            None => inner.wal.append(ops)?,
+        }
         for &op in ops {
             let object = op.object();
             let old = visible_grade(&inner, object);
@@ -483,6 +535,9 @@ pub(crate) fn freeze_locked(
         .push(Arc::new(std::mem::take(&mut inner.active)));
     inner.sealed_per_frozen.push(1);
     inner.bump_version();
+    if let Some(m) = &shared.metrics {
+        m.freezes.inc();
+    }
     Ok(true)
 }
 
@@ -998,7 +1053,7 @@ mod tests {
             LiveOptions {
                 memtable_limit: 8,
                 auto_compact: true,
-                universe: None,
+                ..LiveOptions::default()
             },
         );
         for i in 0..64u64 {

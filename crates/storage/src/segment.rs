@@ -60,12 +60,41 @@ pub struct SegmentSource {
     cache: Arc<BlockCache>,
     segment_id: u64,
     version: u32,
+    /// Data blocks decoded by threshold-hinted scans.
+    fence_loaded: AtomicU64,
+    /// Data blocks a threshold-hinted scan proved irrelevant and never
+    /// loaded (grade fence below the bound, or past a decoded block that
+    /// ended below it).
+    fence_skipped: AtomicU64,
     footer: Footer,
     /// Present for v2 segments: block addressing, grade dictionary, and
     /// the data-region skip fences. `None` means the fixed-slot v1 layout.
     layout: Option<V2Layout>,
     entries_per_block: usize,
     max_object: Option<ObjectId>,
+}
+
+/// Cumulative block outcomes of a segment's threshold-hinted scans — see
+/// [`SegmentSource::fence_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FenceStats {
+    /// Data blocks decoded by bounded scans.
+    pub blocks_loaded: u64,
+    /// Data blocks bounded scans proved irrelevant before loading them.
+    pub blocks_skipped: u64,
+}
+
+impl FenceStats {
+    /// Fraction of fence-checked blocks the scans never had to load
+    /// (0 when no bounded scan ran).
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.blocks_loaded + self.blocks_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_skipped as f64 / total as f64
+        }
+    }
 }
 
 /// The extra reader state a v2 segment carries beyond the shared footer
@@ -246,6 +275,8 @@ impl SegmentSource {
             cache,
             segment_id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
             version,
+            fence_loaded: AtomicU64::new(0),
+            fence_skipped: AtomicU64::new(0),
             entries_per_block: footer.block_size / ENTRY_LEN,
             footer,
             layout,
@@ -305,6 +336,18 @@ impl SegmentSource {
     /// The cache this source reads through.
     pub fn cache(&self) -> &Arc<BlockCache> {
         &self.cache
+    }
+
+    /// Cumulative block outcomes of every threshold-hinted scan
+    /// ([`sorted_batch_bounded`](GradedSource::sorted_batch_bounded)) this
+    /// source served: blocks decoded vs blocks the grade fence (or a
+    /// decoded block ending below the bound) let the scan skip. Plain
+    /// relaxed counters, bumped once per *block*, never per entry.
+    pub fn fence_stats(&self) -> FenceStats {
+        FenceStats {
+            blocks_loaded: self.fence_loaded.load(Ordering::Relaxed),
+            blocks_skipped: self.fence_skipped.load(Ordering::Relaxed),
+        }
     }
 
     /// This source's process-unique cache namespace: the `segment` half of
@@ -553,21 +596,33 @@ impl GradedSource for SegmentSource {
         let base = out.len();
         let mut rank = start;
         let mut truncated = false;
+        // Last block the unbounded scan would touch — the denominator for
+        // the loaded-vs-skipped fence accounting.
+        let last_block = if end > start {
+            ((end - 1) / self.entries_per_block) as u64
+        } else {
+            0
+        };
         while rank < end {
             let block_index = (rank / self.entries_per_block) as u64;
             if let Some(layout) = &self.layout {
                 if layout.grade_max[block_index as usize] < bound {
                     truncated = true;
+                    self.fence_skipped
+                        .fetch_add(last_block - block_index + 1, Ordering::Relaxed);
                     break;
                 }
             }
             let block = self.data_block(block_index);
+            self.fence_loaded.fetch_add(1, Ordering::Relaxed);
             let in_block = rank % self.entries_per_block;
             let take = (end - rank).min(self.entries_per_block - in_block);
             self.decode_data_range(&block, block_index, in_block, in_block + take, out);
             rank += take;
             if out.last().is_some_and(|entry| entry.grade < bound) {
                 truncated = true;
+                self.fence_skipped
+                    .fetch_add(last_block - block_index, Ordering::Relaxed);
                 break;
             }
         }

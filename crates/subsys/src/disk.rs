@@ -30,8 +30,9 @@ use std::sync::Arc;
 use garlic_core::access::{GradedSource, SetAccess};
 use garlic_core::ShardedSource;
 use garlic_storage::{
-    BlockCache, CacheStats, LiveOptions, LiveSource, SegmentSource, StorageError,
+    BlockCache, CacheStats, FenceStats, LiveOptions, LiveSource, SegmentSource, StorageError,
 };
+use garlic_telemetry::{MetricEntry, MetricValue, Telemetry};
 
 use crate::api::{AtomicQuery, Subsystem, SubsystemError};
 
@@ -115,6 +116,64 @@ pub struct DiskSubsystem {
     universe: usize,
     cache: Arc<BlockCache>,
     segments: BTreeMap<String, DiskAttribute>,
+    /// Concrete handles kept for the telemetry collector: per-attribute
+    /// fence-skip and shard scatter-gather stats are read straight off
+    /// these at snapshot time (pull-based — the query path pays nothing).
+    probes: Vec<(String, FixedProbe)>,
+}
+
+/// A concrete stats handle behind a fixed attribute — see
+/// [`DiskSubsystem::register_telemetry`].
+#[derive(Debug, Clone)]
+enum FixedProbe {
+    Segment(Arc<SegmentSource>),
+    Sharded(Arc<ShardedSource<SegmentSource>>),
+}
+
+impl FixedProbe {
+    /// Appends this attribute's metrics under `prefix`.
+    fn collect(&self, prefix: &str, out: &mut Vec<MetricEntry>) {
+        let counter = |name: String, value: u64| MetricEntry {
+            name,
+            value: MetricValue::Counter(value),
+        };
+        let fences: FenceStats = match self {
+            FixedProbe::Segment(segment) => segment.fence_stats(),
+            FixedProbe::Sharded(sharded) => {
+                let stats = sharded.scan_stats();
+                out.push(counter(format!("{prefix}.shard.emitted"), stats.emitted));
+                out.push(counter(format!("{prefix}.shard.consumed"), stats.consumed));
+                out.push(MetricEntry {
+                    name: format!("{prefix}.shard.count"),
+                    value: MetricValue::Gauge(stats.shards as i64),
+                });
+                // Realised early-termination savings, in basis points
+                // (the registry is integer-valued).
+                out.push(MetricEntry {
+                    name: format!("{prefix}.shard.savings_bp"),
+                    value: MetricValue::Gauge(
+                        (stats.early_termination_savings() * 10_000.0) as i64,
+                    ),
+                });
+                sharded
+                    .shards()
+                    .iter()
+                    .map(SegmentSource::fence_stats)
+                    .fold(FenceStats::default(), |acc, s| FenceStats {
+                        blocks_loaded: acc.blocks_loaded + s.blocks_loaded,
+                        blocks_skipped: acc.blocks_skipped + s.blocks_skipped,
+                    })
+            }
+        };
+        out.push(counter(
+            format!("{prefix}.fence.blocks_loaded"),
+            fences.blocks_loaded,
+        ));
+        out.push(counter(
+            format!("{prefix}.fence.blocks_skipped"),
+            fences.blocks_skipped,
+        ));
+    }
 }
 
 impl DiskSubsystem {
@@ -137,6 +196,7 @@ impl DiskSubsystem {
             universe,
             cache,
             segments: BTreeMap::new(),
+            probes: Vec::new(),
         }
     }
 
@@ -165,9 +225,14 @@ impl DiskSubsystem {
             );
         }
         let (crisp, ones) = (segment.is_crisp(), segment.exact_match_count());
+        let segment = Arc::new(segment);
+        self.probes.push((
+            attribute.to_owned(),
+            FixedProbe::Segment(Arc::clone(&segment)),
+        ));
         self.segments.insert(
             attribute.to_owned(),
-            DiskAttribute::from_concrete(Arc::new(segment), crisp, ones),
+            DiskAttribute::from_concrete(segment, crisp, ones),
         );
         Ok(self)
     }
@@ -229,10 +294,14 @@ impl DiskSubsystem {
         }
         let crisp = shards.iter().all(|s| s.is_crisp());
         let ones = shards.iter().map(|s| s.exact_match_count()).sum();
-        let sharded = ShardedSource::new(shards, fences);
+        let sharded = Arc::new(ShardedSource::new(shards, fences));
+        self.probes.push((
+            attribute.to_owned(),
+            FixedProbe::Sharded(Arc::clone(&sharded)),
+        ));
         self.segments.insert(
             attribute.to_owned(),
-            DiskAttribute::from_concrete(Arc::new(sharded), crisp, ones),
+            DiskAttribute::from_concrete(sharded, crisp, ones),
         );
         Ok(self)
     }
@@ -295,6 +364,27 @@ impl DiskSubsystem {
     /// cache-tuning signal.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Registers this subsystem's storage stats with `telemetry`, all
+    /// pull-based: the shared cache's counters (under
+    /// `storage.<name>.cache.*`, via [`BlockCache::register_telemetry`])
+    /// plus, per fixed attribute, the segment grade-fence block outcomes
+    /// (`storage.<name>.<attr>.fence.blocks_loaded` / `.blocks_skipped`)
+    /// and — for sharded attributes — the scatter-gather merge stats
+    /// (`.shard.emitted`, `.shard.consumed`, `.shard.count`,
+    /// `.shard.savings_bp`). Query hot paths are untouched; everything is
+    /// read at snapshot time from counters the sources already keep.
+    pub fn register_telemetry(&self, telemetry: &Telemetry) {
+        self.cache
+            .register_telemetry(telemetry, &format!("storage.{}.cache", self.name));
+        let probes = self.probes.clone();
+        let name = self.name.clone();
+        telemetry.register_collector(move |out| {
+            for (attribute, probe) in &probes {
+                probe.collect(&format!("storage.{name}.{attribute}"), out);
+            }
+        });
     }
 
     fn segment(&self, query: &AtomicQuery) -> Result<&DiskAttribute, SubsystemError> {

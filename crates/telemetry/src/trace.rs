@@ -1,0 +1,209 @@
+//! Per-query execution traces: a span tree rendered as an EXPLAIN output.
+//!
+//! A [`QueryTrace`] is built by the layer that executes a query (the
+//! middleware) and filled in by the layers below it: the plan decision,
+//! the chosen strategy, the engine's sorted/random phases, per-source
+//! Section 5 access counts, and block-cache activity. It is plain data —
+//! building one costs a few allocations per query *phase*, never per
+//! entry — and renders as a tree:
+//!
+//! ```text
+//! query: (A ∧ B) top-10
+//! ├─ plan: FaMin  [estimated_cost=1234.0]
+//! └─ execute  [2.31ms]
+//!    ├─ engine  [sorted_ns=..., random_ns=..., depth=420]
+//!    ├─ source[0] "A"  [S=420 R=37]
+//!    └─ cache  [hits=12 misses=3]
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+/// One node in the trace tree: a name, optional duration, ordered
+/// key=value fields, and children.
+#[derive(Debug, Clone, Default)]
+pub struct Span {
+    /// What this span covers (e.g. `plan`, `engine`, `source[0] "A"`).
+    pub name: String,
+    /// Wall-clock duration, when timed.
+    pub duration_ns: Option<u64>,
+    /// Ordered key/value annotations.
+    pub fields: Vec<(String, String)>,
+    /// Nested spans.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A fresh span named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Span {
+            name: name.into(),
+            ..Span::default()
+        }
+    }
+
+    /// Appends a `key=value` field (builder style).
+    pub fn field(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Appends a `key=value` field in place.
+    pub fn add_field(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.fields.push((key.into(), value.to_string()));
+    }
+
+    /// Appends a child span.
+    pub fn push(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Looks up a field's rendered value on this span.
+    pub fn get_field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Depth-first search for the first descendant (or self) named `name`.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        prefix: &str,
+        last: bool,
+        root: bool,
+    ) -> fmt::Result {
+        if root {
+            write!(f, "{}", self.name)?;
+        } else {
+            let branch = if last { "└─ " } else { "├─ " };
+            write!(f, "{prefix}{branch}{}", self.name)?;
+        }
+        let mut annotations = Vec::new();
+        if let Some(ns) = self.duration_ns {
+            annotations.push(format_duration(ns));
+        }
+        for (k, v) in &self.fields {
+            annotations.push(format!("{k}={v}"));
+        }
+        if !annotations.is_empty() {
+            write!(f, "  [{}]", annotations.join(" "))?;
+        }
+        writeln!(f)?;
+        let child_prefix = if root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if last { "   " } else { "│  " })
+        };
+        for (i, child) in self.children.iter().enumerate() {
+            child.render(f, &child_prefix, i + 1 == self.children.len(), false)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders nanoseconds with a readable unit.
+fn format_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A completed per-query trace: the root span plus tree rendering.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// The root span (conventionally named after the query).
+    pub root: Span,
+}
+
+impl QueryTrace {
+    /// Wraps a root span.
+    pub fn new(root: Span) -> Self {
+        QueryTrace { root }
+    }
+
+    /// Depth-first search by span name.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        self.root.find(name)
+    }
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.render(f, "", true, true)
+    }
+}
+
+/// Measures one span's wall-clock duration: `let t = SpanTimer::start();`
+/// ... `span.duration_ns = Some(t.elapsed_ns());`. One `Instant` pair per
+/// phase — never used per entry.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        SpanTimer(Instant::now())
+    }
+
+    /// Nanoseconds since `start` (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_rendering_shape() {
+        let mut root = Span::new("query: (A ∧ B) top-10");
+        root.push(Span::new("plan: FaMin").field("estimated_cost", "1234.0"));
+        let mut exec = Span::new("execute");
+        exec.duration_ns = Some(2_310_000);
+        exec.push(Span::new("engine").field("depth", 420));
+        exec.push(Span::new("source[0] \"A\"").field("S", 420).field("R", 37));
+        root.push(exec);
+        let rendered = QueryTrace::new(root).to_string();
+        assert!(rendered.starts_with("query: (A ∧ B) top-10\n"));
+        assert!(rendered.contains("├─ plan: FaMin  [estimated_cost=1234.0]\n"));
+        assert!(rendered.contains("└─ execute  [2.31ms]\n"));
+        assert!(rendered.contains("   ├─ engine  [depth=420]\n"));
+        assert!(rendered.contains("   └─ source[0] \"A\"  [S=420 R=37]\n"));
+    }
+
+    #[test]
+    fn find_walks_depth_first() {
+        let mut root = Span::new("root");
+        let mut a = Span::new("a");
+        a.push(Span::new("target").field("x", 1));
+        root.push(a);
+        root.push(Span::new("target").field("x", 2));
+        let t = QueryTrace::new(root);
+        assert_eq!(t.find("target").unwrap().get_field("x"), Some("1"));
+        assert!(t.find("missing").is_none());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(12), "12ns");
+        assert_eq!(format_duration(1_500), "1.50µs");
+        assert_eq!(format_duration(2_310_000), "2.31ms");
+        assert_eq!(format_duration(3_000_000_000), "3.00s");
+    }
+}

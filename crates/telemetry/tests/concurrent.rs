@@ -1,0 +1,109 @@
+//! Concurrency suite: hammer the registry and a histogram from many
+//! threads and pin the exact totals. Relaxed atomics lose no increments —
+//! only ordering — so totals at quiescence must be exact.
+
+use std::sync::Arc;
+
+use garlic_telemetry::{MetricValue, Telemetry};
+
+const THREADS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn counter_hammer_pins_exact_total() {
+    let t = Telemetry::new();
+    std::thread::scope(|s| {
+        for i in 0..THREADS {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                // Half the threads resolve the handle once (the intended hot
+                // path), half re-resolve per batch (registry contention).
+                if i % 2 == 0 {
+                    let c = t.counter("hammer.total");
+                    for _ in 0..OPS {
+                        c.inc();
+                    }
+                } else {
+                    for chunk in 0..10 {
+                        let c = t.counter("hammer.total");
+                        for _ in 0..OPS / 10 {
+                            c.add(1);
+                        }
+                        // Interleave unrelated registrations to stress the maps.
+                        t.gauge(&format!("hammer.scratch.{i}.{chunk}")).set(1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(t.counter("hammer.total").get(), THREADS as u64 * OPS);
+    assert_eq!(t.snapshot().counter("hammer.total"), THREADS as u64 * OPS);
+}
+
+#[test]
+fn histogram_hammer_pins_exact_count_and_sum() {
+    let t = Telemetry::new();
+    let h = t.histogram("hammer.lat_ns");
+    std::thread::scope(|s| {
+        for i in 0..THREADS {
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for op in 0..OPS {
+                    // Deterministic spread across buckets: thread i records
+                    // values around 2^(i+4).
+                    h.record((1u64 << (i + 4)) + op % 16);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * OPS);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|i| (0..OPS).map(|op| (1u64 << (i + 4)) + op % 16).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expected_sum);
+    // Every thread's bucket band is populated: thread i's values land in
+    // bucket i+5 (values in [2^(i+4), 2^(i+5)) need i+5 bits).
+    for i in 0..THREADS {
+        assert_eq!(snap.buckets[i + 5], OPS, "bucket for thread {i}");
+    }
+    // Quantiles walk the same buckets the threads filled.
+    assert!(snap.p50() >= 1 << 7);
+    assert!(snap.p99() >= 1 << 11);
+}
+
+#[test]
+fn concurrent_snapshots_observe_monotone_counts() {
+    let t = Telemetry::new();
+    let c = t.counter("mono");
+    let h = t.histogram("mono.lat");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let (c, h) = (Arc::clone(&c), Arc::clone(&h));
+            s.spawn(move || {
+                for v in 0..OPS {
+                    c.inc();
+                    h.record(v);
+                }
+            });
+        }
+        // A reader thread snapshotting mid-flight must see monotone,
+        // in-range totals (never torn above the true final count).
+        let t2 = Arc::clone(&t);
+        s.spawn(move || {
+            let mut last = 0;
+            for _ in 0..100 {
+                let snap = t2.snapshot();
+                let now = snap.counter("mono");
+                assert!(now >= last, "counter went backwards: {last} -> {now}");
+                assert!(now <= THREADS as u64 * OPS);
+                if let Some(MetricValue::Histogram(hs)) = snap.get("mono.lat") {
+                    assert!(hs.count <= THREADS as u64 * OPS);
+                }
+                last = now;
+            }
+        });
+    });
+    assert_eq!(c.get(), THREADS as u64 * OPS);
+    assert_eq!(h.count(), THREADS as u64 * OPS);
+}

@@ -22,8 +22,13 @@
 //!   search, text retrieval, and the in-memory/disk-backed precomputed
 //!   subsystems (`VectorSubsystem`/`DiskSubsystem`).
 //! * [`middleware`] — the Garlic analogue: catalog, planner, executor,
-//!   EXPLAIN, and the concurrent `GarlicService` batch executor over one
-//!   shared, owned, `Send + Sync` catalog (paper §2, §4, §8).
+//!   the executed-EXPLAIN surface, and the concurrent `GarlicService`
+//!   batch executor over one shared, owned, `Send + Sync` catalog
+//!   (paper §2, §4, §8).
+//! * [`telemetry`] — the unified observability layer: lock-free metrics
+//!   registry (counters, gauges, log₂ latency histograms), pull
+//!   collectors, Prometheus/JSON snapshots, and the `QueryTrace` span
+//!   tree EXPLAIN renders.
 //! * [`stats`] — summaries, regression, tail probabilities, Chernoff
 //!   machinery, table output for the experiment harness.
 //!
@@ -38,6 +43,7 @@ pub use garlic_middleware as middleware;
 pub use garlic_stats as stats;
 pub use garlic_storage as storage;
 pub use garlic_subsys as subsys;
+pub use garlic_telemetry as telemetry;
 pub use garlic_workload as workload;
 
 pub use garlic_agg::{Aggregation, Grade};
@@ -48,3 +54,4 @@ pub use garlic_storage::{
     StorageError,
 };
 pub use garlic_subsys::DiskSubsystem;
+pub use garlic_telemetry::{QueryTrace, Telemetry, TelemetrySnapshot};

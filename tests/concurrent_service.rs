@@ -157,7 +157,7 @@ fn query_pool_spans_the_strategy_catalogue() {
     let garlic = build_garlic(&a, &a, &a);
     let strategies: Vec<Strategy> = query_pool()
         .iter()
-        .map(|q| garlic.explain(q, 3).unwrap().strategy)
+        .map(|q| garlic.plan_for(q, 3).unwrap().strategy)
         .collect();
     assert!(strategies.iter().any(|s| matches!(s, Strategy::FaMin)));
     assert!(strategies.iter().any(|s| matches!(s, Strategy::B0Max)));

@@ -386,7 +386,7 @@ fn concurrent_readers_see_exactly_one_consistent_snapshot_each() {
         LiveOptions {
             memtable_limit: 32,
             auto_compact: true,
-            universe: None,
+            ..LiveOptions::default()
         },
     )
     .unwrap();

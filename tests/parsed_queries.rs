@@ -65,7 +65,7 @@ fn every_strategy_is_reachable_from_text() {
     ];
     for (text, expected) in cases {
         let q = parse_query(text).unwrap();
-        let plan = garlic.explain(&q, 3).unwrap();
+        let plan = garlic.plan_for(&q, 3).unwrap();
         let got = format!("{:?}", plan.strategy);
         assert!(
             got.starts_with(expected),
