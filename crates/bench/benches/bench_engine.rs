@@ -132,7 +132,7 @@ fn bench_fa_sorted_phase(c: &mut Criterion) {
     group.bench_function("engine_batched", |b| {
         b.iter(|| {
             let mut engine = Engine::open(sources.iter().collect::<Vec<_>>()).unwrap();
-            engine.advance_until_matched(K);
+            engine.advance_until_matched(K).unwrap();
             black_box(engine.depth())
         })
     });

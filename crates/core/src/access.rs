@@ -88,6 +88,37 @@ use crate::cost::AccessStats;
 use crate::graded_set::{GradedEntry, GradedSet};
 use crate::object::ObjectId;
 
+/// A typed runtime failure from a fallible source read.
+///
+/// In-memory sources never fail; disk-backed sources surface I/O errors
+/// (after their own retry policy is exhausted) through the `try_*` read
+/// variants as a `SourceError` instead of panicking. `quarantined`
+/// distinguishes a source that has poisoned itself — every subsequent read
+/// fails fast with the same error — from a one-off failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// Which source failed (a path or label, best-effort).
+    pub source: String,
+    /// Human-readable failure detail (the underlying I/O or corruption
+    /// error).
+    pub detail: String,
+    /// `true` when the source has marked itself permanently unhealthy and
+    /// will fail fast on every subsequent read.
+    pub quarantined: bool,
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.quarantined {
+            write!(f, "source {} is quarantined: {}", self.source, self.detail)
+        } else {
+            write!(f, "source {} failed: {}", self.source, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
 /// A subsystem's view of one atomic query: a graded set reachable through
 /// sorted access and random access.
 ///
@@ -216,6 +247,54 @@ pub trait GradedSource: Send + Sync {
     {
         SortedCursor::new(self)
     }
+
+    /// Fallible [`sorted_batch`](GradedSource::sorted_batch): identical
+    /// stream, identical billing, but a disk-backed source reports a read
+    /// failure as a typed [`SourceError`] instead of panicking. In-memory
+    /// sources keep the infallible default (which simply delegates).
+    ///
+    /// Query engines use the `try_*` variants exclusively; the infallible
+    /// methods remain the required primitive for sources that cannot fail.
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        Ok(self.sorted_batch(start, count, out))
+    }
+
+    /// Fallible [`random_batch`](GradedSource::random_batch): same
+    /// alignment and billing, with I/O failures surfaced as a typed error.
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
+        self.random_batch(objects, out);
+        Ok(())
+    }
+
+    /// Fallible [`sorted_batch_bounded`](GradedSource::sorted_batch_bounded)
+    /// with the same advisory-bound semantics.
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        Ok(self.sorted_batch_bounded(start, count, bound, out))
+    }
+
+    /// Whether this source has dropped part of its data and is serving a
+    /// *degraded* stream (e.g. a sharded source that lost a quarantined
+    /// shard and now grades that shard's objects as zero). Results computed
+    /// over a degraded source are correct for the surviving data but must
+    /// be flagged to the caller. In-memory sources are never degraded.
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 /// What [`GradedSource::sorted_batch_bounded`] did: how many entries were
@@ -336,6 +415,30 @@ impl<'a, S: GradedSource + ?Sized> SortedCursor<'a, S> {
         self.position += got;
         got
     }
+
+    /// Fallible [`next_batch`](SortedCursor::next_batch): same stream, same
+    /// bound semantics, but a disk-backed source's read failure surfaces as
+    /// a typed [`SourceError`]. The cursor position only advances by the
+    /// entries actually appended, so a failed call is retryable.
+    pub fn try_next_batch(
+        &mut self,
+        out: &mut Vec<GradedEntry>,
+        n: usize,
+    ) -> Result<usize, SourceError> {
+        let got = match self.bound {
+            None => self.source.try_sorted_batch(self.position, n, out)?,
+            Some(_) if self.stopped_by_bound => 0,
+            Some(bound) => {
+                let result = self
+                    .source
+                    .try_sorted_batch_bounded(self.position, n, bound, out)?;
+                self.stopped_by_bound = result.truncated;
+                result.appended
+            }
+        };
+        self.position += got;
+        Ok(got)
+    }
 }
 
 impl<S: GradedSource + ?Sized> Iterator for SortedCursor<'_, S> {
@@ -354,6 +457,13 @@ impl<S: GradedSource + ?Sized> Iterator for SortedCursor<'_, S> {
 pub trait SetAccess: GradedSource {
     /// All objects with grade 1, in unspecified order.
     fn matching_set(&self) -> Vec<ObjectId>;
+
+    /// Fallible [`matching_set`](SetAccess::matching_set): disk-backed
+    /// crisp sources surface read failures as a typed [`SourceError`]
+    /// instead of panicking.
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        Ok(self.matching_set())
+    }
 }
 
 /// An in-memory [`GradedSource`] over a [`GradedSet`], with a hash index for
@@ -531,6 +641,54 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
             .fetch_add(result.appended as u64, Ordering::Relaxed);
         result
     }
+
+    /// Fallible paths bill exactly the entries obtained — a failed batch
+    /// still charges for whatever was appended before the error, which is
+    /// exactly the work the subsystem performed.
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        let before = out.len();
+        let result = self.inner.try_sorted_batch(start, count, out);
+        let got = out.len() - before;
+        self.sorted.fetch_add(got as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
+        let before = out.len();
+        let result = self.inner.try_random_batch(objects, out);
+        let hits = out[before..].iter().filter(|g| g.is_some()).count();
+        self.random.fetch_add(hits as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        let before = out.len();
+        let result = self
+            .inner
+            .try_sorted_batch_bounded(start, count, bound, out);
+        let got = out.len() - before;
+        self.sorted.fetch_add(got as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn degraded(&self) -> bool {
+        self.inner.degraded()
+    }
 }
 
 impl<S: SetAccess> SetAccess for CountingSource<S> {
@@ -541,6 +699,12 @@ impl<S: SetAccess> SetAccess for CountingSource<S> {
         // order: exactly the grade-1 block).
         self.sorted.fetch_add(set.len() as u64, Ordering::Relaxed);
         set
+    }
+
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        let set = self.inner.try_matching_set()?;
+        self.sorted.fetch_add(set.len() as u64, Ordering::Relaxed);
+        Ok(set)
     }
 }
 
@@ -554,63 +718,79 @@ pub fn total_stats<S: GradedSource>(sources: &[CountingSource<S>]) -> AccessStat
     sources.iter().map(|s| s.stats()).sum()
 }
 
+/// Forwards every trait method — including the fallible `try_*` variants
+/// and the degradation flag — so wrapper types reach the inner source's
+/// overrides instead of the infallible defaults.
+macro_rules! forward_graded_source {
+    () => {
+        fn len(&self) -> usize {
+            (**self).len()
+        }
+        fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+            (**self).sorted_access(rank)
+        }
+        fn random_access(&self, object: ObjectId) -> Option<Grade> {
+            (**self).random_access(object)
+        }
+        fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+            (**self).sorted_batch(start, count, out)
+        }
+        fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+            (**self).random_batch(objects, out)
+        }
+        fn sorted_batch_bounded(
+            &self,
+            start: usize,
+            count: usize,
+            bound: Grade,
+            out: &mut Vec<GradedEntry>,
+        ) -> BoundedBatch {
+            (**self).sorted_batch_bounded(start, count, bound, out)
+        }
+        fn try_sorted_batch(
+            &self,
+            start: usize,
+            count: usize,
+            out: &mut Vec<GradedEntry>,
+        ) -> Result<usize, SourceError> {
+            (**self).try_sorted_batch(start, count, out)
+        }
+        fn try_random_batch(
+            &self,
+            objects: &[ObjectId],
+            out: &mut Vec<Option<Grade>>,
+        ) -> Result<(), SourceError> {
+            (**self).try_random_batch(objects, out)
+        }
+        fn try_sorted_batch_bounded(
+            &self,
+            start: usize,
+            count: usize,
+            bound: Grade,
+            out: &mut Vec<GradedEntry>,
+        ) -> Result<BoundedBatch, SourceError> {
+            (**self).try_sorted_batch_bounded(start, count, bound, out)
+        }
+        fn degraded(&self) -> bool {
+            (**self).degraded()
+        }
+    };
+}
+
 impl<S: GradedSource + ?Sized> GradedSource for &S {
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        (**self).sorted_access(rank)
-    }
-    fn random_access(&self, object: ObjectId) -> Option<Grade> {
-        (**self).random_access(object)
-    }
-    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        (**self).sorted_batch(start, count, out)
-    }
-    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
-        (**self).random_batch(objects, out)
-    }
-    fn sorted_batch_bounded(
-        &self,
-        start: usize,
-        count: usize,
-        bound: Grade,
-        out: &mut Vec<GradedEntry>,
-    ) -> BoundedBatch {
-        (**self).sorted_batch_bounded(start, count, bound, out)
-    }
+    forward_graded_source!();
 }
 
 impl<S: GradedSource + ?Sized> GradedSource for Box<S> {
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        (**self).sorted_access(rank)
-    }
-    fn random_access(&self, object: ObjectId) -> Option<Grade> {
-        (**self).random_access(object)
-    }
-    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        (**self).sorted_batch(start, count, out)
-    }
-    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
-        (**self).random_batch(objects, out)
-    }
-    fn sorted_batch_bounded(
-        &self,
-        start: usize,
-        count: usize,
-        bound: Grade,
-        out: &mut Vec<GradedEntry>,
-    ) -> BoundedBatch {
-        (**self).sorted_batch_bounded(start, count, bound, out)
-    }
+    forward_graded_source!();
 }
 
 impl<S: SetAccess + ?Sized> SetAccess for &S {
     fn matching_set(&self) -> Vec<ObjectId> {
         (**self).matching_set()
+    }
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        (**self).try_matching_set()
     }
 }
 
@@ -618,41 +798,24 @@ impl<S: SetAccess + ?Sized> SetAccess for Box<S> {
     fn matching_set(&self) -> Vec<ObjectId> {
         (**self).matching_set()
     }
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        (**self).try_matching_set()
+    }
 }
 
 /// `Arc<dyn GradedSource>` is the canonical *owned* answer handle a
 /// subsystem returns: cheap to clone, `'static`, and shareable across the
 /// threads of a concurrent service.
 impl<S: GradedSource + ?Sized> GradedSource for Arc<S> {
-    fn len(&self) -> usize {
-        (**self).len()
-    }
-    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        (**self).sorted_access(rank)
-    }
-    fn random_access(&self, object: ObjectId) -> Option<Grade> {
-        (**self).random_access(object)
-    }
-    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        (**self).sorted_batch(start, count, out)
-    }
-    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
-        (**self).random_batch(objects, out)
-    }
-    fn sorted_batch_bounded(
-        &self,
-        start: usize,
-        count: usize,
-        bound: Grade,
-        out: &mut Vec<GradedEntry>,
-    ) -> BoundedBatch {
-        (**self).sorted_batch_bounded(start, count, bound, out)
-    }
+    forward_graded_source!();
 }
 
 impl<S: SetAccess + ?Sized> SetAccess for Arc<S> {
     fn matching_set(&self) -> Vec<ObjectId> {
         (**self).matching_set()
+    }
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        (**self).try_matching_set()
     }
 }
 

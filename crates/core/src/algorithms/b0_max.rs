@@ -34,7 +34,7 @@ where
 
     // Sorted access phase: the top k of every list, as one batched stream.
     let mut engine = Engine::open(sources.iter().collect())?;
-    engine.advance_to_depth(k);
+    engine.advance_to_depth(k)?;
 
     // Computation phase: best grade any list showed, per seen object.
     Ok(TopK::select(engine.best_seen(), k))

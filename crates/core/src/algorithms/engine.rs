@@ -358,6 +358,9 @@ pub struct Engine<S> {
     probe_grades: Vec<Option<Grade>>,
     /// Opt-in parallel per-source fetch (see [`Engine::with_parallel_fetch`]).
     parallel_fetch: bool,
+    /// Cooperative cancellation: checked between batch rounds (see
+    /// [`Engine::set_deadline`]).
+    deadline: Option<std::time::Instant>,
     /// Phase timings and batch counts (see [`EngineProfile`]).
     profile: EngineProfile,
 }
@@ -395,8 +398,35 @@ impl<S: GradedSource> Engine<S> {
             probes: Vec::new(),
             probe_grades: Vec::new(),
             parallel_fetch: false,
+            deadline: None,
             profile: EngineProfile::default(),
         })
+    }
+
+    /// Sets (or clears) a cooperative deadline. The engine checks it once
+    /// per batch round — between `pull_levels` rounds of the sorted phase
+    /// and between per-list rounds of random-access completion — and
+    /// returns [`TopKError::DeadlineExceeded`] when it has passed. The
+    /// engine state stays consistent at every check point: clearing or
+    /// extending the deadline and repeating the call resumes the identical
+    /// stream with no access re-billed.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The cooperative deadline currently in force, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    #[inline]
+    fn check_deadline(&self) -> Result<(), TopKError> {
+        match self.deadline {
+            Some(deadline) if std::time::Instant::now() >= deadline => {
+                Err(TopKError::DeadlineExceeded)
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Opts deep fetch rounds into a *parallel* per-source sorted phase:
@@ -484,9 +514,18 @@ impl<S: GradedSource> Engine<S> {
     ///
     /// Streaming is batched (see the module docs for why the batch sizes
     /// cannot overshoot the positional stop depth).
-    pub fn advance_until_matched(&mut self, k: usize) {
+    /// Errors leave the already-folded prefix intact: a transient
+    /// [`TopKError::SourceFailed`] or [`TopKError::DeadlineExceeded`] can
+    /// be retried by calling again with the same target, and no consumed
+    /// entry is re-read or re-billed.
+    pub fn advance_until_matched(&mut self, k: usize) -> Result<(), TopKError> {
         let start = std::time::Instant::now();
+        let mut result = Ok(());
         while self.matched.len() < k && self.depth < self.n {
+            if let Err(e) = self.check_deadline() {
+                result = Err(e);
+                break;
+            }
             // T >= k, and at most m objects can complete per level.
             let by_depth = k.saturating_sub(self.depth);
             let by_matches = (k - self.matched.len()).div_ceil(self.m());
@@ -495,70 +534,98 @@ impl<S: GradedSource> Engine<S> {
                 .max(1)
                 .min(self.n - self.depth)
                 .min(CHUNK);
-            self.pull_levels(step);
+            if let Err(e) = self.pull_levels(step) {
+                result = Err(e);
+                break;
+            }
         }
         self.profile.sorted_ns += elapsed_ns(start);
+        result
     }
 
     /// Streams every list down to `target` (clamped to `N`) regardless of
     /// matches — the full-scan primitive behind B₀ (`target = k`) and the
-    /// naive baseline (`target = N`).
-    pub fn advance_to_depth(&mut self, target: usize) {
+    /// naive baseline (`target = N`). Errors are resumable exactly as on
+    /// [`Engine::advance_until_matched`].
+    pub fn advance_to_depth(&mut self, target: usize) -> Result<(), TopKError> {
         let start = std::time::Instant::now();
         let target = target.min(self.n);
+        let mut result = Ok(());
         while self.depth < target {
+            if let Err(e) = self.check_deadline() {
+                result = Err(e);
+                break;
+            }
             let step = (target - self.depth).min(CHUNK);
-            self.pull_levels(step);
+            if let Err(e) = self.pull_levels(step) {
+                result = Err(e);
+                break;
+            }
         }
         self.profile.sorted_ns += elapsed_ns(start);
+        result
     }
 
     /// Fetches `levels` more entries from every list (one batched cursor
     /// read per list) and folds them into the bookkeeping in the exact
     /// interleaved order of the positional round-robin loop, so match order
     /// — and therefore every downstream tie-break — is preserved.
-    fn pull_levels(&mut self, levels: usize) {
+    ///
+    /// All `m` fetches complete **before** any entry is folded in, so a
+    /// failed fetch leaves the bookkeeping untouched at the pre-round depth:
+    /// retrying the round re-reads only this round's entries and never
+    /// observes an entry twice.
+    fn pull_levels(&mut self, levels: usize) -> Result<(), TopKError> {
         debug_assert!(self.depth + levels <= self.n);
         let m = self.sources.len();
         self.profile.sorted_batches += m as u64;
         self.profile.sorted_entries += (levels * m) as u64;
-        if levels == 1 {
-            // The one-level tail (where the stop-depth bounds no longer
-            // allow batching): a batch of one is exactly one positional
-            // access — skip the buffer machinery.
-            for i in 0..m {
-                let entry = self.sources[i]
-                    .sorted_access(self.depth)
-                    .expect("depth < N implies a sorted entry");
-                let slot = self.slab.slot(entry.object);
-                if self.slab.observe(slot, i, self.depth, entry.grade) {
-                    self.matched.push(entry.object);
-                }
-            }
-            self.depth += 1;
-            return;
-        }
         let mut scratch = std::mem::take(&mut self.scratch);
         let depth = self.depth;
+        let mut failed: Option<crate::access::SourceError> = None;
         if self.parallel_fetch && levels >= PARALLEL_LEVELS && m >= 2 {
             // Parallel per-source fetch: one scoped thread per list, each
             // writing its own scratch buffer. See PARALLEL_LEVELS for why
             // this cannot change results or access counts.
+            let mut results: Vec<Result<usize, crate::access::SourceError>> =
+                (0..m).map(|_| Ok(0)).collect();
             std::thread::scope(|scope| {
-                for (buf, source) in scratch.iter_mut().zip(&self.sources) {
+                for ((buf, source), slot) in scratch
+                    .iter_mut()
+                    .zip(&self.sources)
+                    .zip(results.iter_mut())
+                {
                     scope.spawn(move || {
                         buf.clear();
-                        let got = source.sorted_batch(depth, levels, buf);
-                        debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+                        *slot = source.try_sorted_batch(depth, levels, buf);
                     });
                 }
             });
+            for result in results {
+                match result {
+                    Ok(got) => {
+                        debug_assert_eq!(got, levels, "depth + levels <= N implies full batches")
+                    }
+                    Err(e) => failed = Some(e),
+                }
+            }
         } else {
             for (buf, source) in scratch.iter_mut().zip(&self.sources) {
                 buf.clear();
-                let got = source.sorted_batch(depth, levels, buf);
-                debug_assert_eq!(got, levels, "depth + levels <= N implies full batches");
+                match source.try_sorted_batch(depth, levels, buf) {
+                    Ok(got) => {
+                        debug_assert_eq!(got, levels, "depth + levels <= N implies full batches")
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
             }
+        }
+        if let Some(e) = failed {
+            self.scratch = scratch;
+            return Err(TopKError::SourceFailed(e));
         }
         for level in 0..levels {
             for (i, buf) in scratch.iter().enumerate() {
@@ -571,6 +638,7 @@ impl<S: GradedSource> Engine<S> {
         }
         self.depth += levels;
         self.scratch = scratch;
+        Ok(())
     }
 
     /// Completes the grade vectors of the given objects by random access
@@ -582,7 +650,10 @@ impl<S: GradedSource> Engine<S> {
     /// object that list is missing, so block-backed sources decode each
     /// block once. Exactly one random access per missing `(object, list)`
     /// pair is billed — the same count the per-object loop would produce.
-    pub fn complete_grades(&mut self, objects: impl IntoIterator<Item = ObjectId>) {
+    pub fn complete_grades(
+        &mut self,
+        objects: impl IntoIterator<Item = ObjectId>,
+    ) -> Result<(), TopKError> {
         self.pending.clear();
         for object in objects {
             let slot = self.slab.slot(object);
@@ -595,14 +666,15 @@ impl<S: GradedSource> Engine<S> {
         self.pending.sort_unstable();
         self.pending.dedup();
         let start = std::time::Instant::now();
-        self.complete_pending();
+        let result = self.complete_pending();
         self.profile.random_ns += elapsed_ns(start);
+        result
     }
 
     /// Completes every slot from `from_slot` on — the session high-water
     /// path: slots below the mark were completed by an earlier call and
     /// complete vectors stay complete, so only the tail needs work.
-    fn complete_slots_from(&mut self, from_slot: usize) {
+    fn complete_slots_from(&mut self, from_slot: usize) -> Result<(), TopKError> {
         self.pending.clear();
         for slot in from_slot as u32..self.slab.len() as u32 {
             if !self.slab.complete(slot) {
@@ -610,27 +682,35 @@ impl<S: GradedSource> Engine<S> {
             }
         }
         let start = std::time::Instant::now();
-        self.complete_pending();
+        let result = self.complete_pending();
         self.profile.random_ns += elapsed_ns(start);
+        result
     }
 
     /// Batched completion of `self.pending` (distinct, incomplete slots):
     /// one `random_batch` per list over the objects that list is missing.
-    fn complete_pending(&mut self) {
-        let Engine {
-            sources,
-            slab,
-            pending,
-            probe_slots,
-            probes,
-            probe_grades,
-            profile,
-            ..
-        } = self;
-        if pending.is_empty() {
-            return;
+    ///
+    /// An error (or an expired deadline, checked between per-list rounds)
+    /// leaves every already-answered grade in place: retrying re-probes
+    /// only the still-missing `(object, list)` pairs, so nothing is billed
+    /// twice on resume.
+    fn complete_pending(&mut self) -> Result<(), TopKError> {
+        if self.pending.is_empty() {
+            return Ok(());
         }
-        for (i, source) in sources.iter().enumerate() {
+        for i in 0..self.sources.len() {
+            self.check_deadline()?;
+            let Engine {
+                sources,
+                slab,
+                pending,
+                probe_slots,
+                probes,
+                probe_grades,
+                profile,
+                ..
+            } = self;
+            let source = &sources[i];
             probe_slots.clear();
             probes.clear();
             for &slot in pending.iter() {
@@ -645,13 +725,20 @@ impl<S: GradedSource> Engine<S> {
             profile.random_batches += 1;
             profile.random_probes += probes.len() as u64;
             probe_grades.clear();
-            source.random_batch(probes, probe_grades);
+            source
+                .try_random_batch(probes, probe_grades)
+                .map_err(TopKError::SourceFailed)?;
             debug_assert_eq!(probe_grades.len(), probes.len());
             for (&slot, grade) in probe_slots.iter().zip(probe_grades.iter()) {
-                let grade = grade.expect("every source grades every object");
+                // The paper's model grades every object in every list
+                // (possibly zero); a miss — e.g. a degraded sharded source
+                // that lost the object's shard — is graded zero rather than
+                // poisoning the whole query.
+                let grade = grade.unwrap_or(Grade::ZERO);
                 slab.set_grade(slot, i, grade);
             }
         }
+        Ok(())
     }
 
     /// The complete grade vector of an object as a borrowed slice — the
@@ -793,6 +880,16 @@ where
         self.engine.sources()
     }
 
+    /// Sets (or clears) a cooperative deadline on the underlying engine —
+    /// see [`Engine::set_deadline`]. A page that fails with
+    /// [`TopKError::DeadlineExceeded`] leaves the session resumable:
+    /// extend (or clear) the deadline and call
+    /// [`next_batch`](EngineSession::next_batch) again to get the identical
+    /// page with no access re-billed.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.engine.set_deadline(deadline);
+    }
+
     /// Returns the next `k` best answers (fewer if the database is
     /// exhausted), continuing where the previous batch left off.
     pub fn next_batch(&mut self, k: usize) -> Result<TopK, TopKError> {
@@ -805,13 +902,13 @@ where
         }
 
         // Resume the sorted phase until the *cumulative* match target.
-        self.engine.advance_until_matched(target);
+        self.engine.advance_until_matched(target)?;
 
         // Complete — and score — slots discovered since the last page
         // only: everything below the high-water mark is already complete
         // with a cached score, so no access is repeated and no
         // aggregation is re-run.
-        self.engine.complete_slots_from(self.completed_slots);
+        self.engine.complete_slots_from(self.completed_slots)?;
         for slot in self.completed_slots as u32..self.engine.slab.len() as u32 {
             let grades = self
                 .engine
@@ -913,6 +1010,12 @@ impl<S: GradedSource> B0Session<S> {
         self.engine.sources()
     }
 
+    /// Sets (or clears) a cooperative deadline on the underlying engine —
+    /// same resumable semantics as [`EngineSession::set_deadline`].
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.engine.set_deadline(deadline);
+    }
+
     /// Returns the next `k` best answers under max (fewer if the database
     /// is exhausted).
     pub fn next_batch(&mut self, k: usize) -> Result<TopK, TopKError> {
@@ -923,7 +1026,7 @@ impl<S: GradedSource> B0Session<S> {
         if target == self.cumulative {
             return Ok(TopK::from_entries(Vec::new()));
         }
-        self.engine.advance_to_depth(target);
+        self.engine.advance_to_depth(target)?;
         let engine = &self.engine;
         let returned = &self.returned;
         let fresh = TopK::select(
@@ -971,7 +1074,7 @@ mod tests {
     #[test]
     fn advance_finds_first_match() {
         let mut engine = Engine::open(sources()).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         // List 0 order: 0,1,2,3. List 1 order: 3,2,1,0.
         // Depth 1: {0},{3}. Depth 2: {0,1},{3,2}: no match yet.
         // Depth 3: {0,1,2},{3,2,1}: objects 1 and 2 match.
@@ -982,11 +1085,11 @@ mod tests {
     #[test]
     fn advance_is_idempotent_and_resumable() {
         let mut engine = Engine::open(sources()).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         let depth = engine.depth();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         assert_eq!(engine.depth(), depth); // no extra work
-        engine.advance_until_matched(4);
+        engine.advance_until_matched(4).unwrap();
         assert_eq!(engine.depth(), 4);
         assert_eq!(engine.matched().len(), 4);
     }
@@ -997,7 +1100,7 @@ mod tests {
         // the engine's batched loop must bill the same m*T entries.
         let cs = counted(sources());
         let mut engine = Engine::open(cs).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         let stats = total_stats(engine.sources());
         assert_eq!(stats.sorted, 2 * 3); // T = 3 from the hand example
         assert_eq!(stats.random, 0);
@@ -1006,10 +1109,10 @@ mod tests {
     #[test]
     fn complete_grades_fills_missing_slots() {
         let mut engine = Engine::open(sources()).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         // Object 0 was seen only in list 0 (rank 0); complete it.
         assert!(engine.grade_vector(ObjectId(0)).is_none());
-        engine.complete_grades([ObjectId(0)]);
+        engine.complete_grades([ObjectId(0)]).unwrap();
         assert_eq!(
             engine.overall(ObjectId(0), &min_agg()),
             Some(g(0.3)) // min(1.0, 0.3)
@@ -1021,18 +1124,20 @@ mod tests {
     fn duplicate_completion_requests_bill_once() {
         let cs = counted(sources());
         let mut engine = Engine::open(cs).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         // Object 0: seen in list 0 only, so completion needs 1 random
         // access — and repeating it in one call (or across calls) adds none.
-        engine.complete_grades([ObjectId(0), ObjectId(0), ObjectId(0)]);
-        engine.complete_grades([ObjectId(0)]);
+        engine
+            .complete_grades([ObjectId(0), ObjectId(0), ObjectId(0)])
+            .unwrap();
+        engine.complete_grades([ObjectId(0)]).unwrap();
         assert_eq!(total_stats(engine.sources()).random, 1);
     }
 
     #[test]
     fn overall_is_none_until_complete() {
         let mut engine = Engine::open(sources()).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         assert_eq!(engine.overall(ObjectId(0), &min_agg()), None);
         assert_eq!(engine.overall(ObjectId(99), &min_agg()), None);
     }
@@ -1041,13 +1146,13 @@ mod tests {
     fn advance_to_depth_streams_prefixes() {
         let cs = counted(sources());
         let mut engine = Engine::open(cs).unwrap();
-        engine.advance_to_depth(2);
+        engine.advance_to_depth(2).unwrap();
         assert_eq!(total_stats(engine.sources()).sorted, 2 * 2);
         let best: HashMap<ObjectId, Grade> = engine.best_seen().collect();
         assert_eq!(best[&ObjectId(0)], g(1.0));
         assert_eq!(best[&ObjectId(3)], g(0.9));
         // Clamped at N, idempotent past it.
-        engine.advance_to_depth(99);
+        engine.advance_to_depth(99).unwrap();
         assert_eq!(engine.depth(), 4);
         assert_eq!(total_stats(engine.sources()).sorted, 2 * 4);
     }
@@ -1082,12 +1187,12 @@ mod tests {
             })
             .collect();
         let mut engine = Engine::open(lists).unwrap();
-        engine.advance_until_matched(1);
+        engine.advance_until_matched(1).unwrap();
         assert!(!engine.matched().is_empty());
         let id = engine.matched()[0];
         let slice = engine.grade_slice(id).expect("matched objects complete");
         assert_eq!(slice.len(), m);
-        engine.advance_to_depth(2);
+        engine.advance_to_depth(2).unwrap();
         assert_eq!(engine.matched().len(), 2);
     }
 
@@ -1170,7 +1275,7 @@ mod tests {
         };
         let cs = counted(vec![list(7919), list(104_729), list(1)]);
         let mut engine = Engine::open(cs).unwrap().with_parallel_fetch(true);
-        engine.advance_to_depth(n);
+        engine.advance_to_depth(n).unwrap();
         assert_eq!(engine.depth(), n);
         assert_eq!(engine.matched().len(), n);
         // Exactly m*N entries billed, same as any sequential full scan.
@@ -1191,7 +1296,7 @@ mod tests {
         // and identical per-source counts.
         let mut sequential =
             Engine::open(counted(vec![list(7919), list(104_729), list(1)])).unwrap();
-        sequential.advance_to_depth(n);
+        sequential.advance_to_depth(n).unwrap();
         assert_eq!(engine.matched(), sequential.matched());
         for (p, s) in engine.sources().iter().zip(sequential.sources()) {
             assert_eq!(p.stats(), s.stats());

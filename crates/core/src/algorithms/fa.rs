@@ -97,7 +97,7 @@ where
     // Phase 1: sorted access until k matches (batched round-robin streaming
     // on the shared engine).
     let mut engine = Engine::open(sources.iter().collect())?;
-    engine.advance_until_matched(k);
+    engine.advance_until_matched(k)?;
     let stop_depth = engine.depth();
     let matched = engine.matched().len();
     debug_assert!(matched >= k);
@@ -122,7 +122,7 @@ where
         .map(|v| v.id())
         .collect();
     let candidate_count = candidates.len();
-    engine.complete_grades(candidates.iter().copied());
+    engine.complete_grades(candidates.iter().copied())?;
 
     // Phase 3: computation, scoring straight off the slab's grade slices
     // (no per-candidate clone; `scratch` serves aggregations that need an

@@ -54,7 +54,7 @@ where
 
     // Sorted access phase — identical to A₀'s (batched, on the engine).
     let mut engine = Engine::open(sources.iter().collect())?;
-    engine.advance_until_matched(k);
+    engine.advance_until_matched(k)?;
     let stop_depth = engine.depth();
 
     // Random access phase. Find x₀ ∈ L with least overall grade; its
@@ -88,7 +88,7 @@ where
     );
 
     // "For each candidate x, do random access to each subsystem j ≠ i₀."
-    engine.complete_grades(candidates.iter().copied());
+    engine.complete_grades(candidates.iter().copied())?;
 
     // Computation phase: overall grade is the min of the (borrowed, never
     // cloned) slab grade slice.

@@ -82,7 +82,7 @@ where
     }
 
     // Step 1: the match set S of the crisp conjunct.
-    let matches = crisp.matching_set();
+    let matches = crisp.try_matching_set().map_err(TopKError::SourceFailed)?;
 
     // Step 2: random access for every other conjunct, matches only — the
     // engine's completion phase over the graded lists (no sorted phase).
@@ -94,7 +94,7 @@ where
         let mut engine = Engine::open(graded.iter().collect())?;
         // One batched random_batch per graded list covers every match, so
         // block-backed sources decode each block once.
-        engine.complete_grades(matches.iter().copied());
+        engine.complete_grades(matches.iter().copied())?;
         let mut grades: Vec<Grade> = Vec::with_capacity(m);
         for &id in &matches {
             let completed = engine

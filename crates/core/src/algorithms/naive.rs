@@ -31,7 +31,7 @@ where
     // "Have the subsystem ... output explicitly the graded set consisting of
     // all pairs (x, μ(x)) for every object x."
     let mut engine = Engine::open(sources.iter().collect())?;
-    engine.advance_to_depth(n);
+    engine.advance_to_depth(n)?;
 
     // "Use this information to compute μ(x) for every object x." At full
     // depth every list has shown every object, so all vectors are complete

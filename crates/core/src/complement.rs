@@ -14,7 +14,7 @@
 
 use garlic_agg::Grade;
 
-use crate::access::GradedSource;
+use crate::access::{BoundedBatch, GradedSource, SourceError};
 use crate::graded_set::GradedEntry;
 use crate::object::ObjectId;
 
@@ -95,6 +95,85 @@ impl<S: GradedSource> GradedSource for ComplementSource<S> {
             grade: e.grade.complement(),
         }));
         take
+    }
+
+    /// Fallible paths forward to the inner source's `try_*` overrides so a
+    /// disk-backed list under negation reports a typed error instead of
+    /// panicking.
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        let n = self.inner.len();
+        if start >= n {
+            return Ok(0);
+        }
+        let take = count.min(n - start);
+        let mut tail = Vec::with_capacity(take);
+        let got = self
+            .inner
+            .try_sorted_batch(n - start - take, take, &mut tail)?;
+        debug_assert_eq!(got, take, "inner list advertised {n} entries");
+        out.extend(tail.iter().rev().map(|e| GradedEntry {
+            object: e.object,
+            grade: e.grade.complement(),
+        }));
+        Ok(take)
+    }
+
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
+        let base = out.len();
+        self.inner.try_random_batch(objects, out)?;
+        for grade in &mut out[base..] {
+            *grade = grade.map(Grade::complement);
+        }
+        Ok(())
+    }
+
+    /// The reversed stream cannot translate the bound to the inner list's
+    /// orientation block-for-block, so bounded reads chunk the fallible
+    /// unbounded path and stop once the (descending) complemented stream
+    /// dips below the bound — the same contract as the trait default.
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        const CHUNK: usize = 256;
+        let mut appended = 0;
+        while appended < count {
+            let take = (count - appended).min(CHUNK);
+            let got = self.try_sorted_batch(start + appended, take, out)?;
+            appended += got;
+            if got < take {
+                return Ok(BoundedBatch {
+                    appended,
+                    truncated: false,
+                });
+            }
+            if out.last().is_some_and(|e| e.grade < bound) {
+                return Ok(BoundedBatch {
+                    appended,
+                    truncated: true,
+                });
+            }
+        }
+        Ok(BoundedBatch {
+            appended,
+            truncated: out.last().is_some_and(|e| e.grade < bound) && appended > 0,
+        })
+    }
+
+    fn degraded(&self) -> bool {
+        self.inner.degraded()
     }
 }
 

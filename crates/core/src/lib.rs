@@ -58,7 +58,9 @@ pub mod sharded;
 pub mod topk;
 pub mod validate;
 
-pub use access::{CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor};
+pub use access::{
+    CountingSource, GradedSource, MemorySource, SetAccess, SortedCursor, SourceError,
+};
 pub use algorithms::engine::{B0Session, Engine, EngineProfile, EngineSession};
 pub use complement::ComplementSource;
 pub use cost::{AccessStats, CostModel};

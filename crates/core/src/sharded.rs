@@ -32,12 +32,13 @@
 //!
 //! [`CountingSource`]: crate::access::CountingSource
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use garlic_agg::Grade;
 
-use crate::access::{BoundedBatch, GradedSource, SetAccess};
+use crate::access::{BoundedBatch, GradedSource, SetAccess, SourceError};
+use crate::fx::FxHashSet;
 use crate::graded_set::GradedEntry;
 use crate::object::ObjectId;
 
@@ -94,6 +95,10 @@ struct ShardRun {
     /// everything it still holds, compared against the frontier to size
     /// refills.
     last_grade: Option<Grade>,
+    /// Whether this shard was quarantined and replaced by its zero-grade
+    /// remainder (degraded reads; see
+    /// [`ShardedSource::with_degraded_reads`]).
+    dropped: bool,
 }
 
 impl ShardRun {
@@ -104,6 +109,7 @@ impl ShardRun {
             next_rank: 0,
             exhausted: false,
             last_grade: None,
+            dropped: false,
         }
     }
 
@@ -148,6 +154,13 @@ pub struct ShardedSource<S> {
     frontier: AtomicU64,
     emitted: AtomicU64,
     consumed: AtomicU64,
+    /// Exclusive end of the dense object-id universe when degraded reads
+    /// are enabled; `None` means shard failures always fail the read.
+    degrade_universe: Option<u64>,
+    /// Lock-free mirror of the per-run dropped flags, for random-access
+    /// routing and [`GradedSource::degraded`] without taking the merge
+    /// lock.
+    dropped: Vec<AtomicBool>,
 }
 
 impl<S: GradedSource> ShardedSource<S> {
@@ -175,6 +188,7 @@ impl<S: GradedSource> ShardedSource<S> {
         );
         let len = shards.iter().map(|s| s.len()).sum();
         let runs = shards.iter().map(|_| ShardRun::new()).collect();
+        let dropped = shards.iter().map(|_| AtomicBool::new(false)).collect();
         ShardedSource {
             shards,
             fences,
@@ -186,7 +200,114 @@ impl<S: GradedSource> ShardedSource<S> {
             frontier: AtomicU64::new(Grade::ONE.value().to_bits()),
             emitted: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
+            degrade_universe: None,
+            dropped,
         }
+    }
+
+    /// Opts in to degraded reads: when a shard read fails with a
+    /// *quarantined* error, the shard is dropped from the scatter-gather
+    /// and every object it still owed the stream is emitted with grade 0
+    /// (the paper's "everything is graded, possibly zero" model), instead
+    /// of failing the whole logical list. The merged stream keeps its
+    /// exact length and descending-grade order, so callers above — the
+    /// engine included — need no special casing; they only observe
+    /// [`GradedSource::degraded`] flip to `true`.
+    ///
+    /// `universe` is the exclusive end of the dense object-id space.
+    /// Degradation substitutes grades by *id range*, so it is only sound
+    /// when every shard is dense over its fence range — this constructor
+    /// checks that and panics otherwise (a wiring error, like the fence
+    /// asserts in [`ShardedSource::new`]).
+    pub fn with_degraded_reads(mut self, universe: u64) -> Self {
+        assert!(
+            universe >= self.fences[0] + self.len as u64,
+            "universe end {universe} cannot hold {} dense entries from id {}",
+            self.len,
+            self.fences[0],
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let lo = self.fences[i];
+            let hi = self.fences.get(i + 1).copied().unwrap_or(universe);
+            assert_eq!(
+                shard.len() as u64,
+                hi - lo,
+                "degraded reads need dense shards: shard {i} covers ids {lo}..{hi}",
+            );
+        }
+        self.degrade_universe = Some(universe);
+        self
+    }
+
+    /// The merge lock, recovered from poisoning: a reader thread that
+    /// panicked mid-merge leaves the guarded state consistent (buffers are
+    /// cleared before any fallible shard read, and the merged prefix only
+    /// grows by whole entries), so later readers may keep using it.
+    fn state(&self) -> MutexGuard<'_, MergeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The dense id range shard `shard` owns under degraded reads.
+    fn shard_range(&self, shard: usize, universe: u64) -> std::ops::Range<u64> {
+        let lo = self.fences[shard];
+        let hi = self.fences.get(shard + 1).copied().unwrap_or(universe);
+        lo..hi
+    }
+
+    /// Handles a failed shard read: under degraded reads a *quarantined*
+    /// failure drops the shard — its unseen objects are appended to the
+    /// run buffer as zero-grade entries (id-ascending, after any already
+    /// buffered positive entries) and the run is marked exhausted, so the
+    /// ordinary merge loop emits them last with no further reads. Any
+    /// other failure (or no opt-in) propagates.
+    fn drop_shard_or_fail(
+        &self,
+        state: &mut MergeState,
+        shard: usize,
+        err: SourceError,
+    ) -> Result<(), SourceError> {
+        let Some(universe) = self.degrade_universe else {
+            return Err(err);
+        };
+        if !err.quarantined {
+            return Err(err);
+        }
+        if state.runs[shard].dropped {
+            return Ok(());
+        }
+        let range = self.shard_range(shard, universe);
+        // Objects of this shard already emitted or still buffered keep
+        // their true grades; everything else in the range becomes a zero.
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for entry in &state.merged {
+            if range.contains(&entry.object.0) {
+                seen.insert(entry.object.0);
+            }
+        }
+        let run = &mut state.runs[shard];
+        let survivors: Vec<GradedEntry> = run.buf[run.pos..].to_vec();
+        run.buf.clear();
+        run.pos = 0;
+        let mut zero_ids: Vec<u64> = Vec::new();
+        for entry in survivors {
+            seen.insert(entry.object.0);
+            if entry.grade > Grade::ZERO {
+                run.buf.push(entry);
+            } else {
+                zero_ids.push(entry.object.0);
+            }
+        }
+        zero_ids.extend(range.filter(|id| !seen.contains(id)));
+        zero_ids.sort_unstable();
+        run.buf.extend(zero_ids.into_iter().map(|id| GradedEntry {
+            object: ObjectId(id),
+            grade: Grade::ZERO,
+        }));
+        run.exhausted = true;
+        run.dropped = true;
+        run.last_grade = Some(Grade::ZERO);
+        self.dropped[shard].store(true, Ordering::Release);
+        Ok(())
     }
 
     /// Number of shards.
@@ -218,14 +339,31 @@ impl<S: GradedSource> ShardedSource<S> {
     }
 
     /// Drops the cached merged prefix and all shard buffers, returning the
-    /// source to its just-built state (counters included). The next sorted
-    /// access replays the merge from the shards — this is how cold-path
-    /// benchmarks measure the scatter-gather itself rather than the cache.
+    /// source to its just-built state (counters included; dropped shards
+    /// are *not* resurrected — quarantine outlives the scan cache). The
+    /// next sorted access replays the merge from the shards — this is how
+    /// cold-path benchmarks measure the scatter-gather itself rather than
+    /// the cache.
     pub fn reset_scan(&self) {
-        let mut state = self.state.lock().expect("sharded merge state");
+        let mut state = self.state();
         state.merged = Vec::new();
-        for run in &mut state.runs {
+        for (shard, run) in state.runs.iter_mut().enumerate() {
             *run = ShardRun::new();
+            if self.dropped[shard].load(Ordering::Acquire) {
+                // Rebuild the zero-grade remainder for an already-dropped
+                // shard rather than re-reading a quarantined source.
+                run.dropped = true;
+                run.exhausted = true;
+                let universe = self
+                    .degrade_universe
+                    .expect("dropped flag implies degraded reads");
+                run.buf
+                    .extend(self.shard_range(shard, universe).map(|id| GradedEntry {
+                        object: ObjectId(id),
+                        grade: Grade::ZERO,
+                    }));
+                run.last_grade = Some(Grade::ZERO);
+            }
         }
         self.frontier
             .store(Grade::ONE.value().to_bits(), Ordering::Relaxed);
@@ -234,9 +372,10 @@ impl<S: GradedSource> ShardedSource<S> {
     }
 
     /// Extends the merged prefix to `target` entries (or to exhaustion).
-    fn ensure_merged(&self, state: &mut MergeState, target: usize) {
+    fn try_ensure_merged(&self, state: &mut MergeState, target: usize) -> Result<(), SourceError> {
         // `grade < ZERO` is never true, so a ZERO bound never stops early.
-        self.ensure_merged_bounded(state, target, Grade::ZERO);
+        self.try_ensure_merged_bounded(state, target, Grade::ZERO)
+            .map(|_| ())
     }
 
     /// Extends the merged prefix to `target` entries, additionally stopping
@@ -244,16 +383,26 @@ impl<S: GradedSource> ShardedSource<S> {
     /// skeleton order is descending, so everything still unmerged — in
     /// *every* shard — is then also below the bound, and no shard needs
     /// another refill. Returns `true` iff the stop was due to the bound.
-    fn ensure_merged_bounded(&self, state: &mut MergeState, target: usize, bound: Grade) -> bool {
+    ///
+    /// A shard failure either drops the shard (degraded reads + a
+    /// quarantined error) or aborts with the merged prefix unextended
+    /// beyond already-completed rounds, so a later retry resumes exactly
+    /// where this call left off.
+    fn try_ensure_merged_bounded(
+        &self,
+        state: &mut MergeState,
+        target: usize,
+        bound: Grade,
+    ) -> Result<bool, SourceError> {
         let target = target.min(self.len);
         loop {
             if state.merged.last().is_some_and(|e| e.grade < bound) {
-                return true;
+                return Ok(true);
             }
             if state.merged.len() >= target {
-                return false;
+                return Ok(false);
             }
-            self.refill(state, target);
+            self.try_refill(state, target)?;
             // Pop the best head: highest grade, ties by lowest object id.
             // Every non-exhausted shard has a buffered head after refill,
             // so this comparison sees the true global next entry.
@@ -264,7 +413,7 @@ impl<S: GradedSource> ShardedSource<S> {
                 .filter_map(|(i, run)| run.head().map(|e| (i, e)))
                 .max_by(|(_, a), (_, b)| a.grade.cmp(&b.grade).then(b.object.cmp(&a.object)));
             let Some((winner, entry)) = best else {
-                return false; // every shard exhausted before `target`
+                return Ok(false); // every shard exhausted before `target`
             };
             state.runs[winner].pos += 1;
             state.merged.push(entry);
@@ -279,14 +428,20 @@ impl<S: GradedSource> ShardedSource<S> {
     /// grade is still at/above the frontier stream demand-sized chunks;
     /// shards already below it get [`MIN_CHUNK`] probes. Large refills of
     /// two or more shards run on scoped threads.
-    fn refill(&self, state: &mut MergeState, target: usize) {
+    ///
+    /// Retry safety: a failing shard's buffer is cleared before the read
+    /// and left empty by the `try_sorted_batch` contract, with `next_rank`
+    /// unadvanced — so retrying the refill re-reads from the same rank and
+    /// no entry is lost or duplicated. Other shards that succeeded in the
+    /// same round keep their refilled buffers.
+    fn try_refill(&self, state: &mut MergeState, target: usize) -> Result<(), SourceError> {
         let remaining = target.saturating_sub(state.merged.len());
         if remaining == 0 {
-            return;
+            return Ok(());
         }
         let hungry = state.runs.iter().filter(|r| r.needs_refill()).count();
         if hungry == 0 {
-            return;
+            return Ok(());
         }
         let frontier = Grade::clamped(f64::from_bits(self.frontier.load(Ordering::Relaxed)));
         let live = state.runs.iter().filter(|r| !r.exhausted).count().max(1);
@@ -296,44 +451,57 @@ impl<S: GradedSource> ShardedSource<S> {
             _ => demand,
         };
 
+        let mut total = 0usize;
+        let mut failures: Vec<(usize, SourceError)> = Vec::new();
         let parallel = hungry >= 2 && demand >= PARALLEL_MIN_CHUNK;
         if parallel {
             std::thread::scope(|scope| {
                 let mut pending = Vec::new();
-                for (run, shard) in state.runs.iter_mut().zip(&self.shards) {
+                for (index, (run, shard)) in state.runs.iter_mut().zip(&self.shards).enumerate() {
                     if !run.needs_refill() {
                         continue;
                     }
                     let chunk = chunk_for(run);
-                    pending.push(scope.spawn(move || {
-                        run.buf.clear();
-                        run.pos = 0;
-                        let got = shard.sorted_batch(run.next_rank, chunk, &mut run.buf);
-                        finish_refill(run, got, chunk);
-                        got
-                    }));
+                    pending.push((
+                        index,
+                        scope.spawn(move || {
+                            run.buf.clear();
+                            run.pos = 0;
+                            let got = shard.try_sorted_batch(run.next_rank, chunk, &mut run.buf)?;
+                            finish_refill(run, got, chunk);
+                            Ok(got)
+                        }),
+                    ));
                 }
-                let total: usize = pending
-                    .into_iter()
-                    .map(|h| h.join().expect("refill thread"))
-                    .sum();
-                self.consumed.fetch_add(total as u64, Ordering::Relaxed);
+                for (index, handle) in pending {
+                    match handle.join().expect("refill thread") {
+                        Ok(got) => total += got,
+                        Err(e) => failures.push((index, e)),
+                    }
+                }
             });
         } else {
-            let mut total = 0usize;
-            for (run, shard) in state.runs.iter_mut().zip(&self.shards) {
+            for (index, (run, shard)) in state.runs.iter_mut().zip(&self.shards).enumerate() {
                 if !run.needs_refill() {
                     continue;
                 }
                 let chunk = chunk_for(run);
                 run.buf.clear();
                 run.pos = 0;
-                let got = shard.sorted_batch(run.next_rank, chunk, &mut run.buf);
-                finish_refill(run, got, chunk);
-                total += got;
+                match shard.try_sorted_batch(run.next_rank, chunk, &mut run.buf) {
+                    Ok(got) => {
+                        finish_refill(run, got, chunk);
+                        total += got;
+                    }
+                    Err(e) => failures.push((index, e)),
+                }
             }
-            self.consumed.fetch_add(total as u64, Ordering::Relaxed);
         }
+        self.consumed.fetch_add(total as u64, Ordering::Relaxed);
+        for (index, err) in failures {
+            self.drop_shard_or_fail(state, index, err)?;
+        }
+        Ok(())
     }
 }
 
@@ -353,19 +521,30 @@ impl<S: GradedSource> GradedSource for ShardedSource<S> {
     }
 
     fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        let mut state = self.state.lock().expect("sharded merge state");
-        self.ensure_merged(&mut state, rank.saturating_add(1));
+        let mut state = self.state();
+        self.try_ensure_merged(&mut state, rank.saturating_add(1))
+            .unwrap_or_else(|e| panic!("shard failure on infallible sorted path: {e}"));
         state.merged.get(rank).copied()
     }
 
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        let mut state = self.state.lock().expect("sharded merge state");
-        self.ensure_merged(&mut state, start.saturating_add(count));
+        self.try_sorted_batch(start, count, out)
+            .unwrap_or_else(|e| panic!("shard failure on infallible sorted path: {e}"))
+    }
+
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        let mut state = self.state();
+        self.try_ensure_merged(&mut state, start.saturating_add(count))?;
         let merged = &state.merged;
         let from = start.min(merged.len());
         let to = start.saturating_add(count).min(merged.len());
         out.extend_from_slice(&merged[from..to]);
-        to - from
+        Ok(to - from)
     }
 
     /// Bound-aware merge: stops extending the merged prefix — and thus
@@ -382,26 +561,55 @@ impl<S: GradedSource> GradedSource for ShardedSource<S> {
         bound: Grade,
         out: &mut Vec<GradedEntry>,
     ) -> BoundedBatch {
-        let mut state = self.state.lock().expect("sharded merge state");
-        let stopped = self.ensure_merged_bounded(&mut state, start.saturating_add(count), bound);
+        self.try_sorted_batch_bounded(start, count, bound, out)
+            .unwrap_or_else(|e| panic!("shard failure on infallible sorted path: {e}"))
+    }
+
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        let mut state = self.state();
+        let stopped =
+            self.try_ensure_merged_bounded(&mut state, start.saturating_add(count), bound)?;
         let merged = &state.merged;
         let from = start.min(merged.len());
         let to = start.saturating_add(count).min(merged.len());
         out.extend_from_slice(&merged[from..to]);
-        BoundedBatch {
+        Ok(BoundedBatch {
             appended: to - from,
             truncated: stopped && to - from < count,
-        }
+        })
     }
 
     fn random_access(&self, object: ObjectId) -> Option<Grade> {
-        self.shards[self.shard_of(object)].random_access(object)
+        let shard = self.shard_of(object);
+        if self.dropped[shard].load(Ordering::Acquire) {
+            let universe = self.degrade_universe.unwrap_or(0);
+            return self
+                .shard_range(shard, universe)
+                .contains(&object.0)
+                .then_some(Grade::ZERO);
+        }
+        self.shards[shard].random_access(object)
     }
 
     /// Routes each probe to its owning shard by fence lookup, forwards one
     /// grouped batch per shard (so block-backed shards batch their own
     /// I/O), and scatters the answers back into probe order.
     fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        self.try_random_batch(objects, out)
+            .unwrap_or_else(|e| panic!("shard failure on infallible random path: {e}"))
+    }
+
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
         let base = out.len();
         out.resize(base + objects.len(), None);
         // Group probe positions by shard; single-shard batches forward
@@ -415,17 +623,47 @@ impl<S: GradedSource> GradedSource for ShardedSource<S> {
             groups[shard].1.push(object);
         }
         let mut answers = Vec::new();
-        for (shard, (slots, probes)) in self.shards.iter().zip(groups) {
+        for (shard, (slots, probes)) in groups.into_iter().enumerate() {
             if probes.is_empty() {
                 continue;
             }
             answers.clear();
-            shard.random_batch(&probes, &mut answers);
+            if !self.dropped[shard].load(Ordering::Acquire) {
+                match self.shards[shard].try_random_batch(&probes, &mut answers) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        answers.clear();
+                        let mut state = self.state();
+                        if let Err(e) = self.drop_shard_or_fail(&mut state, shard, e) {
+                            // `out` unchanged on error, per the contract.
+                            out.truncate(base);
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            if self.dropped[shard].load(Ordering::Acquire) {
+                // A quarantined shard answers every in-universe probe with
+                // grade zero — the sorted stream's zero-fill, mirrored.
+                let universe = self.degrade_universe.unwrap_or(0);
+                let range = self.shard_range(shard, universe);
+                answers.clear();
+                answers.extend(
+                    probes
+                        .iter()
+                        .map(|p| range.contains(&p.0).then_some(Grade::ZERO)),
+                );
+            }
             debug_assert_eq!(answers.len(), probes.len(), "one slot per probe");
             for (slot, grade) in slots.into_iter().zip(answers.drain(..)) {
                 out[base + slot] = grade;
             }
         }
+        Ok(())
+    }
+
+    fn degraded(&self) -> bool {
+        self.dropped.iter().any(|flag| flag.load(Ordering::Acquire))
     }
 }
 
@@ -434,11 +672,28 @@ impl<S: SetAccess> SetAccess for ShardedSource<S> {
     /// contract; this yields shard order (ascending id ranges), each
     /// shard's own enumeration order within.
     fn matching_set(&self) -> Vec<ObjectId> {
+        self.try_matching_set()
+            .unwrap_or_else(|e| panic!("shard failure on infallible set path: {e}"))
+    }
+
+    /// Fallible union: a quarantined shard under degraded reads
+    /// contributes nothing (its objects all read as grade zero), any other
+    /// failure propagates.
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
         let mut set = Vec::new();
-        for shard in &self.shards {
-            set.extend(shard.matching_set());
+        for (index, shard) in self.shards.iter().enumerate() {
+            if self.dropped[index].load(Ordering::Acquire) {
+                continue;
+            }
+            match shard.try_matching_set() {
+                Ok(part) => set.extend(part),
+                Err(e) => {
+                    let mut state = self.state();
+                    self.drop_shard_or_fail(&mut state, index, e)?;
+                }
+            }
         }
-        set
+        Ok(set)
     }
 }
 

@@ -188,6 +188,15 @@ pub enum TopKError {
         /// Why the aggregation was rejected.
         reason: &'static str,
     },
+    /// A source's fallible read path reported a runtime I/O failure (after
+    /// its retry policy was exhausted). The engine's partial progress is
+    /// preserved: if the failure was transient, the same call can be
+    /// retried and resumes where it stopped.
+    SourceFailed(crate::access::SourceError),
+    /// The engine's cooperative deadline expired between batch rounds. The
+    /// engine state is consistent: clearing or extending the deadline and
+    /// retrying the call resumes the identical stream.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for TopKError {
@@ -206,6 +215,10 @@ impl std::fmt::Display for TopKError {
             }
             TopKError::UnsupportedAggregation { reason } => {
                 write!(f, "unsupported aggregation function: {reason}")
+            }
+            TopKError::SourceFailed(e) => write!(f, "{e}"),
+            TopKError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded between engine batch rounds")
             }
         }
     }

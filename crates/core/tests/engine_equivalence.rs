@@ -455,9 +455,9 @@ fn parallel_fetch_is_bit_identical_on_a_deep_scan() {
     let mut parallel = Engine::open(counted(lists()))
         .unwrap()
         .with_parallel_fetch(true);
-    parallel.advance_to_depth(n);
+    parallel.advance_to_depth(n).unwrap();
     let mut sequential = Engine::open(counted(lists())).unwrap();
-    sequential.advance_to_depth(n);
+    sequential.advance_to_depth(n).unwrap();
 
     assert_eq!(parallel.matched(), sequential.matched());
     for (p, s) in parallel.sources().iter().zip(sequential.sources()) {

@@ -1,8 +1,14 @@
 //! Middleware errors.
 
+use garlic_core::access::SourceError;
 use garlic_core::TopKError;
 use garlic_subsys::SubsystemError;
 use std::fmt;
+
+/// The error type every query entry point returns — an alias making the
+/// failure-model vocabulary (`QueryError::SourceFailed`,
+/// `QueryError::DeadlineExceeded`, ...) read naturally at call sites.
+pub type QueryError = MiddlewareError;
 
 /// Errors surfaced by the Garlic middleware layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +36,27 @@ pub enum MiddlewareError {
         /// Why.
         reason: String,
     },
+    /// A source's runtime read path failed after exhausting its retry
+    /// budget (`error.quarantined` tells whether the source is now
+    /// fail-fast). The query's partial progress was discarded; a retry
+    /// against a recovered source re-runs cleanly.
+    SourceFailed(SourceError),
+    /// The query's cooperative deadline expired between engine batch
+    /// rounds. Paged sessions remain resumable: extend the deadline and
+    /// ask for the next page again.
+    DeadlineExceeded,
+    /// The service's bounded admission queue was full — deliberate load
+    /// shedding, retry later.
+    Overloaded {
+        /// The configured in-flight query limit that was hit.
+        limit: usize,
+    },
+    /// A query evaluation panicked and was isolated by the service; the
+    /// shared catalog and the other in-flight queries are unaffected.
+    Internal {
+        /// The captured panic message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MiddlewareError {
@@ -49,6 +76,16 @@ impl fmt::Display for MiddlewareError {
             MiddlewareError::Subsystem(e) => write!(f, "subsystem error: {e}"),
             MiddlewareError::TopK(e) => write!(f, "evaluation error: {e}"),
             MiddlewareError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            MiddlewareError::SourceFailed(e) => write!(f, "query failed: {e}"),
+            MiddlewareError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded (the session remains resumable)")
+            }
+            MiddlewareError::Overloaded { limit } => {
+                write!(f, "service overloaded: {limit} queries already in flight")
+            }
+            MiddlewareError::Internal { reason } => {
+                write!(f, "internal query failure (isolated): {reason}")
+            }
         }
     }
 }
@@ -57,7 +94,13 @@ impl std::error::Error for MiddlewareError {}
 
 impl From<TopKError> for MiddlewareError {
     fn from(e: TopKError) -> Self {
-        MiddlewareError::TopK(e)
+        // Runtime failure classes get their own middleware variants so
+        // callers match on them without digging through the TopK layer.
+        match e {
+            TopKError::SourceFailed(e) => MiddlewareError::SourceFailed(e),
+            TopKError::DeadlineExceeded => MiddlewareError::DeadlineExceeded,
+            other => MiddlewareError::TopK(other),
+        }
     }
 }
 

@@ -51,6 +51,13 @@ fn counted<S: GradedSource>(source: S) -> CountingSource<S> {
     CountingSource::new(source)
 }
 
+/// Whether any of the metered sources served a degraded stream (e.g. a
+/// sharded source that dropped a quarantined shard) — the flag every
+/// answer carries back to the caller.
+fn any_degraded(sources: &[Counted]) -> bool {
+    sources.iter().any(|s| s.degraded())
+}
+
 /// Evaluates each atom through the catalog, metered.
 fn counted_atoms(
     catalog: &Catalog,
@@ -103,6 +110,11 @@ pub struct QueryResult {
     pub stats: AccessStats,
     /// The plan that produced the answer.
     pub plan: Plan,
+    /// `true` when some source served a degraded stream (e.g. a sharded
+    /// attribute that dropped a quarantined shard): the answers are
+    /// correct for the surviving data and `stats` bills exactly the
+    /// accesses performed, but unreadable objects are missing.
+    pub degraded: bool,
 }
 
 /// An executed EXPLAIN: the plan, the answers it produced, the billed
@@ -127,6 +139,9 @@ pub struct Explain {
     /// The execution trace (plan decision, engine phases, per-source
     /// costs, storage counter deltas when telemetry is attached).
     pub trace: QueryTrace,
+    /// Whether some source served a degraded stream — see
+    /// [`QueryResult::degraded`].
+    pub degraded: bool,
 }
 
 impl std::fmt::Display for Explain {
@@ -201,6 +216,19 @@ impl Garlic {
     /// and, when telemetry is attached, the storage counter deltas the
     /// query caused.
     pub fn explain(&self, query: &GarlicQuery, k: usize) -> Result<Explain, MiddlewareError> {
+        self.explain_with_deadline(query, k, None)
+    }
+
+    /// [`Garlic::explain`] with a cooperative deadline: the engine checks
+    /// it between batch rounds and fails with
+    /// [`MiddlewareError::DeadlineExceeded`] once it passes, leaving
+    /// every source consistent.
+    pub fn explain_with_deadline(
+        &self,
+        query: &GarlicQuery,
+        k: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Explain, MiddlewareError> {
         let plan_timer = SpanTimer::start();
         let plan = self.plan_for(query, k)?;
         let plan_ns = plan_timer.elapsed_ns();
@@ -210,6 +238,7 @@ impl Garlic {
         let mut session = plan
             .strategy
             .open_session(&self.catalog, query, &plan.atoms)?;
+        session.set_deadline(deadline);
         let answers = session.next_batch(k)?;
         let exec_ns = exec_timer.elapsed_ns();
 
@@ -289,6 +318,7 @@ impl Garlic {
             stats,
             per_source,
             trace: QueryTrace::new(root),
+            degraded: session.degraded(),
         })
     }
 
@@ -296,7 +326,7 @@ impl Garlic {
     pub fn top_k(&self, query: &GarlicQuery, k: usize) -> Result<QueryResult, MiddlewareError> {
         let timer = self.telemetry.as_ref().map(|_| SpanTimer::start());
         let plan = self.plan_for(query, k)?;
-        let (answers, stats) = self.execute(query, &plan, k)?;
+        let (answers, stats, degraded) = self.execute(query, &plan, k)?;
         if let (Some(t), Some(timer)) = (&self.telemetry, timer) {
             t.counter("middleware.queries").inc();
             t.histogram("middleware.query_latency_ns")
@@ -306,6 +336,43 @@ impl Garlic {
             answers,
             stats,
             plan,
+            degraded,
+        })
+    }
+
+    /// [`Garlic::top_k`] with a cooperative deadline, served through the
+    /// session path (identical ranking). The engine checks the deadline
+    /// once per batch round; when it passes, the query fails with
+    /// [`MiddlewareError::DeadlineExceeded`] instead of running away.
+    ///
+    /// With no deadline this is exactly [`Garlic::top_k`] — answers,
+    /// billed stats, and strategy all bit-identical to the one-shot path.
+    pub fn top_k_with_deadline(
+        &self,
+        query: &GarlicQuery,
+        k: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<QueryResult, MiddlewareError> {
+        if deadline.is_none() {
+            return self.top_k(query, k);
+        }
+        let timer = self.telemetry.as_ref().map(|_| SpanTimer::start());
+        let plan = self.plan_for(query, k)?;
+        let mut session = plan
+            .strategy
+            .open_session(&self.catalog, query, &plan.atoms)?;
+        session.set_deadline(deadline);
+        let answers = session.next_batch(k)?;
+        if let (Some(t), Some(timer)) = (&self.telemetry, timer) {
+            t.counter("middleware.queries").inc();
+            t.histogram("middleware.query_latency_ns")
+                .record(timer.elapsed_ns());
+        }
+        Ok(QueryResult {
+            answers,
+            stats: session.stats(),
+            plan,
+            degraded: session.degraded(),
         })
     }
 
@@ -412,6 +479,7 @@ impl Garlic {
             answers: run.topk,
             stats: total_stats(&sources),
             plan,
+            degraded: any_degraded(&sources),
         })
     }
 
@@ -420,7 +488,7 @@ impl Garlic {
         query: &GarlicQuery,
         plan: &Plan,
         k: usize,
-    ) -> Result<(TopK, AccessStats), MiddlewareError> {
+    ) -> Result<(TopK, AccessStats, bool), MiddlewareError> {
         plan.strategy
             .execute(&self.catalog, query, &plan.atoms, self.options, k)
     }
@@ -468,45 +536,49 @@ impl Strategy {
         atoms: &[AtomicQuery],
         options: PlannerOptions,
         k: usize,
-    ) -> Result<(TopK, AccessStats), MiddlewareError> {
+    ) -> Result<(TopK, AccessStats, bool), MiddlewareError> {
         match self {
             Strategy::B0Max => {
                 let sources = counted_atoms(catalog, atoms)?;
                 let answers = b0_max_topk(&sources, k)?;
-                Ok((answers, total_stats(&sources)))
+                Ok((answers, total_stats(&sources), any_degraded(&sources)))
             }
             Strategy::FaMin => {
                 let sources = counted_atoms(catalog, atoms)?;
                 let answers = fagin_min_topk(&sources, k)?;
-                Ok((answers, total_stats(&sources)))
+                Ok((answers, total_stats(&sources), any_degraded(&sources)))
             }
             Strategy::Filtered { crisp_index } => {
                 let (crisp, graded) = filtered_parts(catalog, atoms, *crisp_index)?;
                 let answers = filtered_topk(&crisp, &graded, *crisp_index, &min_agg(), k)?;
-                Ok((answers, crisp.stats() + total_stats(&graded)))
+                Ok((
+                    answers,
+                    crisp.stats() + total_stats(&graded),
+                    any_degraded(&graded),
+                ))
             }
             Strategy::FaGeneric => {
                 let sources = counted_atoms(catalog, atoms)?;
                 let agg = QueryAggregation::new(query, atoms);
                 let run = fagin_run(&sources, &agg, k, options.fa_options())?;
-                Ok((run.topk, total_stats(&sources)))
+                Ok((run.topk, total_stats(&sources), any_degraded(&sources)))
             }
             Strategy::NaiveCalculus => {
                 let sources = counted_atoms(catalog, atoms)?;
                 let agg = QueryAggregation::new(query, atoms);
                 let answers = naive_topk(&sources, &agg, k)?;
-                Ok((answers, total_stats(&sources)))
+                Ok((answers, total_stats(&sources), any_degraded(&sources)))
             }
             Strategy::InternalPushdown { .. } => {
                 // Top k of the single fused list.
                 let sources = vec![pushdown_source(catalog, atoms)?];
                 let answers = b0_max_topk(&sources, k)?;
-                Ok((answers, total_stats(&sources)))
+                Ok((answers, total_stats(&sources), any_degraded(&sources)))
             }
             Strategy::FaNnf => {
                 let (sources, agg) = nnf_sources(catalog, query)?;
                 let run = fagin_run(&sources, &agg, k, options.fa_options())?;
-                Ok((run.topk, total_stats(&sources)))
+                Ok((run.topk, total_stats(&sources), any_degraded(&sources)))
             }
         }
     }
@@ -604,6 +676,7 @@ impl Strategy {
                         cursor: 0,
                         stats,
                         per_source,
+                        degraded: any_degraded(&graded),
                     },
                     labels,
                 )
@@ -623,6 +696,7 @@ impl Strategy {
                         cursor: 0,
                         stats,
                         per_source,
+                        degraded: any_degraded(&sources),
                     },
                     atom_labels(),
                 )
@@ -667,6 +741,9 @@ enum SessionKind {
         /// The per-source [`CountingSource`] totals of the one-time
         /// materialisation, aligned with `QuerySession::labels`.
         per_source: Vec<AccessStats>,
+        /// Whether any source served the materialisation degraded,
+        /// captured at open (the sources are consumed by then).
+        degraded: bool,
     },
 }
 
@@ -686,8 +763,8 @@ impl QuerySession {
     /// exhausted), never repeating an object across batches.
     pub fn next_batch(&mut self, k: usize) -> Result<TopK, MiddlewareError> {
         match &mut self.kind {
-            SessionKind::Engine(session) => session.next_batch(k).map_err(MiddlewareError::TopK),
-            SessionKind::B0(session) => session.next_batch(k).map_err(MiddlewareError::TopK),
+            SessionKind::Engine(session) => session.next_batch(k).map_err(MiddlewareError::from),
+            SessionKind::B0(session) => session.next_batch(k).map_err(MiddlewareError::from),
             SessionKind::Materialized {
                 entries, cursor, ..
             } => {
@@ -765,6 +842,30 @@ impl QuerySession {
         match &self.kind {
             SessionKind::Materialized { entries, .. } => Some(entries.len()),
             _ => None,
+        }
+    }
+
+    /// Sets (or clears) a cooperative deadline on the underlying engine.
+    /// The engine checks it once per batch round; a page that fails with
+    /// [`MiddlewareError::DeadlineExceeded`] leaves the session resumable —
+    /// extend (or clear) the deadline and request the page again.
+    /// Materialised sessions paid their whole cost at open, so the
+    /// deadline has nothing left to bound and this is a no-op for them.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        match &mut self.kind {
+            SessionKind::Engine(session) => session.set_deadline(deadline),
+            SessionKind::B0(session) => session.set_deadline(deadline),
+            SessionKind::Materialized { .. } => {}
+        }
+    }
+
+    /// Whether any source this session reads from has served a degraded
+    /// stream — see [`QueryResult::degraded`].
+    pub fn degraded(&self) -> bool {
+        match &self.kind {
+            SessionKind::Engine(session) => session.sources().iter().any(|s| s.degraded()),
+            SessionKind::B0(session) => session.sources().iter().any(|s| s.degraded()),
+            SessionKind::Materialized { degraded, .. } => *degraded,
         }
     }
 }

@@ -58,7 +58,7 @@ pub mod query;
 pub mod service;
 
 pub use catalog::Catalog;
-pub use error::MiddlewareError;
+pub use error::{MiddlewareError, QueryError};
 pub use exec::{EngineDetails, Explain, Garlic, QueryResult, QuerySession};
 pub use parser::{parse_query, ParseError};
 pub use plan::{Plan, PlannerOptions, Strategy};

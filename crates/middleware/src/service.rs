@@ -19,8 +19,10 @@
 //! (pinned by the `concurrent_service` equivalence suite). Concurrency
 //! changes wall-clock time, never measured cost.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use garlic_telemetry::SpanTimer;
 
@@ -35,11 +37,36 @@ pub type QueryRequest = (GarlicQuery, usize);
 ///
 /// Cloning the service (or sharing it behind an `Arc`) shares the
 /// underlying middleware and catalog; each clone can serve batches from
-/// its own thread.
+/// its own thread. Clones also share the admission counter, so a
+/// [`GarlicService::with_admission_limit`] bound holds across every
+/// clone serving concurrently.
+///
+/// Every query served through the service is **isolated**: a panicking
+/// evaluation is caught ([`MiddlewareError::Internal`]) instead of
+/// unwinding into the caller or poisoning shared state, an optional
+/// per-query deadline fails runaway queries with
+/// [`MiddlewareError::DeadlineExceeded`], and the optional admission
+/// limit sheds excess load with [`MiddlewareError::Overloaded`] instead
+/// of queueing unboundedly.
 #[derive(Clone)]
 pub struct GarlicService {
     garlic: Arc<Garlic>,
     threads: usize,
+    /// Per-query time budget, applied from the moment a query is admitted.
+    deadline: Option<Duration>,
+    /// Admission control: `(in-flight counter, limit)`. Shared across
+    /// clones so the bound is service-wide.
+    admission: Option<(Arc<AtomicUsize>, usize)>,
+}
+
+/// RAII admission permit: decrements the in-flight counter however the
+/// query ends — success, typed error, or caught panic.
+struct Admitted<'a>(&'a AtomicUsize);
+
+impl Drop for Admitted<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl GarlicService {
@@ -54,7 +81,12 @@ impl GarlicService {
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        GarlicService { garlic, threads }
+        GarlicService {
+            garlic,
+            threads,
+            deadline: None,
+            admission: None,
+        }
     }
 
     /// Wraps a middleware instance with an explicit worker count
@@ -64,7 +96,28 @@ impl GarlicService {
         GarlicService {
             garlic: Arc::new(garlic),
             threads: threads.max(1),
+            deadline: None,
+            admission: None,
         }
+    }
+
+    /// Applies a per-query deadline: each served query gets `budget` from
+    /// admission, checked cooperatively by the engine between batch
+    /// rounds, and fails with [`MiddlewareError::DeadlineExceeded`] once
+    /// it passes. Sessions opened directly on the [`Garlic`] are not
+    /// affected.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bounds the number of concurrently admitted queries (across all
+    /// clones of this service): the `limit + 1`-th concurrent query is
+    /// shed immediately with [`MiddlewareError::Overloaded`] rather than
+    /// queued, keeping latency bounded under overload.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission = Some((Arc::new(AtomicUsize::new(0)), limit.max(1)));
+        self
     }
 
     /// The shared middleware.
@@ -77,9 +130,67 @@ impl GarlicService {
         self.threads
     }
 
-    /// Serves one query on the calling thread.
+    /// Serves one query on the calling thread, with the service's full
+    /// isolation (admission control, deadline, panic containment).
     pub fn top_k(&self, query: &GarlicQuery, k: usize) -> Result<QueryResult, MiddlewareError> {
-        self.garlic.top_k(query, k)
+        self.serve_isolated(|deadline| self.garlic.top_k_with_deadline(query, k, deadline))
+    }
+
+    /// Tries to admit one query, shedding load with a typed error when
+    /// the in-flight bound is hit.
+    fn admit(&self) -> Result<Option<Admitted<'_>>, MiddlewareError> {
+        let Some((inflight, limit)) = &self.admission else {
+            return Ok(None);
+        };
+        let admitted = inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < *limit).then_some(n + 1)
+            })
+            .is_ok();
+        if admitted {
+            Ok(Some(Admitted(inflight)))
+        } else {
+            if let Some(t) = self.garlic.telemetry() {
+                t.counter("service.shed_load").inc();
+            }
+            Err(MiddlewareError::Overloaded { limit: *limit })
+        }
+    }
+
+    /// The one hardened serve path: admission → deadline → catch_unwind.
+    ///
+    /// `AssertUnwindSafe` is sound here because a panicking evaluation
+    /// only ever touches per-query state (its own sessions and counters);
+    /// the shared catalog is read-only during queries and the storage
+    /// layer recovers poisoned locks via `PoisonError::into_inner`.
+    fn serve_isolated<T>(
+        &self,
+        serve: impl FnOnce(Option<std::time::Instant>) -> Result<T, MiddlewareError>,
+    ) -> Result<T, MiddlewareError> {
+        let _permit = self.admit()?;
+        let deadline = self.deadline.map(|d| std::time::Instant::now() + d);
+        let result = catch_unwind(AssertUnwindSafe(|| serve(deadline)));
+        match result {
+            Ok(out) => {
+                if matches!(out, Err(MiddlewareError::DeadlineExceeded)) {
+                    if let Some(t) = self.garlic.telemetry() {
+                        t.counter("service.deadline_exceeded").inc();
+                    }
+                }
+                out
+            }
+            Err(panic) => {
+                if let Some(t) = self.garlic.telemetry() {
+                    t.counter("service.panics").inc();
+                }
+                let reason = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(MiddlewareError::Internal { reason })
+            }
+        }
     }
 
     /// Executes a batch of independent top-k queries concurrently and
@@ -100,7 +211,9 @@ impl GarlicService {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<QueryResult, MiddlewareError>> {
-        self.run_batch(requests, |q, k| self.garlic.top_k(q, k))
+        self.run_batch(requests, |q, k| {
+            self.serve_isolated(|deadline| self.garlic.top_k_with_deadline(q, k, deadline))
+        })
     }
 
     /// Like [`GarlicService::top_k_batch`], but serves every request
@@ -110,7 +223,9 @@ impl GarlicService {
         &self,
         requests: &[QueryRequest],
     ) -> Vec<Result<Explain, MiddlewareError>> {
-        self.run_batch(requests, |q, k| self.garlic.explain(q, k))
+        self.run_batch(requests, |q, k| {
+            self.serve_isolated(|deadline| self.garlic.explain_with_deadline(q, k, deadline))
+        })
     }
 
     /// The shared batch driver: a work queue drained by scoped workers,
@@ -322,6 +437,83 @@ mod tests {
             snap.get("service.queue_depth"),
             Some(MetricValue::Gauge(0))
         ));
+    }
+
+    #[test]
+    fn zero_deadline_fails_engine_queries_with_a_typed_error() {
+        use garlic_telemetry::Telemetry;
+        let telemetry = Telemetry::new();
+        let garlic = demo_garlic().with_telemetry(Arc::clone(&telemetry));
+        let svc = GarlicService::with_threads(garlic, 2).with_deadline(Duration::ZERO);
+        // A disjunction runs through the B0 engine, which checks the
+        // deadline before its first batch round.
+        let q = GarlicQuery::or(
+            GarlicQuery::atom("AlbumColor", Target::text("red")),
+            GarlicQuery::atom("Shape", Target::text("round")),
+        );
+        assert!(matches!(
+            svc.top_k(&q, 3),
+            Err(MiddlewareError::DeadlineExceeded)
+        ));
+        assert_eq!(telemetry.snapshot().counter("service.deadline_exceeded"), 1);
+        // A generous deadline leaves the same query untouched.
+        let relaxed = svc.clone().with_deadline(Duration::from_secs(3600));
+        assert_eq!(relaxed.top_k(&q, 3).unwrap().answers.len(), 3);
+    }
+
+    #[test]
+    fn admission_limit_sheds_excess_load_and_releases_permits() {
+        use garlic_telemetry::Telemetry;
+        let telemetry = Telemetry::new();
+        let garlic = demo_garlic().with_telemetry(Arc::clone(&telemetry));
+        let svc = GarlicService::with_threads(garlic, 2).with_admission_limit(1);
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+
+        let gate = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            // Occupy the single admission slot with a query that parks
+            // until the main thread has observed the shed.
+            scope.spawn(|| {
+                let held: Result<(), MiddlewareError> = svc.serve_isolated(|_| {
+                    gate.wait(); // slot taken
+                    gate.wait(); // shed observed
+                    Ok(())
+                });
+                held.unwrap();
+            });
+            gate.wait();
+            // Clones share the admission counter, so the bound is
+            // service-wide.
+            assert!(matches!(
+                svc.clone().top_k(&q, 2),
+                Err(MiddlewareError::Overloaded { limit: 1 })
+            ));
+            gate.wait();
+        });
+        assert_eq!(telemetry.snapshot().counter("service.shed_load"), 1);
+        // The permit was returned when the held query finished.
+        assert!(svc.top_k(&q, 2).is_ok());
+    }
+
+    #[test]
+    fn a_panicking_evaluation_is_isolated_as_a_typed_error() {
+        use garlic_telemetry::Telemetry;
+        let telemetry = Telemetry::new();
+        let garlic = demo_garlic().with_telemetry(Arc::clone(&telemetry));
+        let svc = GarlicService::with_threads(garlic, 2).with_admission_limit(4);
+        let caught: Result<(), MiddlewareError> =
+            svc.serve_isolated(|_| panic!("sabotaged evaluation"));
+        match caught {
+            Err(MiddlewareError::Internal { reason }) => {
+                assert!(reason.contains("sabotaged evaluation"))
+            }
+            other => panic!("expected an isolated internal error, got {other:?}"),
+        }
+        assert_eq!(telemetry.snapshot().counter("service.panics"), 1);
+        // The panic released its admission permit and left the shared
+        // middleware serviceable.
+        let q = GarlicQuery::atom("AlbumColor", Target::text("red"));
+        assert!(svc.top_k(&q, 2).is_ok());
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //! only consumes the pinned prefix (and its sealed WALs), leaving the
 //! newcomers for the next round — which the signal loop immediately runs.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::error::StorageError;
 use crate::live::{merged_pairs, LiveShared};
@@ -39,12 +40,15 @@ use crate::writer::SegmentWriter;
 /// when there was nothing frozen to flush. Serialized against concurrent
 /// callers by the store's compaction lock.
 pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
-    let _serialize = shared.compact_lock.lock().expect("compact lock");
+    let _serialize = shared
+        .compact_lock
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
     let start = std::time::Instant::now();
 
     // Phase 1: pin the inputs.
     let (frozen, base, new_file_id) = {
-        let inner = shared.inner.lock().expect("live lock");
+        let inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.frozen.is_empty() {
             return Ok(false);
         }
@@ -55,21 +59,26 @@ pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
         )
     };
 
-    // Phase 2: build the replacement segment outside every lock.
-    let pairs = merged_pairs(base.as_ref(), &frozen);
+    // Phase 2: build the replacement segment outside every lock. Any
+    // failure before the manifest rename in phase 3 leaves the
+    // pre-compaction state fully intact (the tmp file is cleaned up by
+    // the writer's guard), so a later round can simply retry.
+    let pairs = merged_pairs(base.as_ref(), &frozen)?;
     let new_segment = if pairs.is_empty() {
         None
     } else {
         let name = file_name_for(new_file_id, "seg");
         let path = shared.dir.join(&name);
-        SegmentWriter::new().write_pairs(&path, pairs)?;
-        let source = SegmentSource::open(&path, Arc::clone(&shared.cache))?;
+        SegmentWriter::new()
+            .with_vfs(Arc::clone(&shared.vfs))
+            .write_pairs(&path, pairs)?;
+        let source = SegmentSource::open_with(&path, Arc::clone(&shared.cache), &shared.vfs)?;
         Some((name, Arc::new(source)))
     };
 
     // Phase 3: swap, with the manifest rename as the commit point.
     let (old_base, obsolete_wals) = {
-        let mut inner = shared.inner.lock().expect("live lock");
+        let mut inner = shared.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let flushed_layers = frozen.len();
         let flushed_wals: usize = inner.sealed_per_frozen[..flushed_layers].iter().sum();
         let mut manifest = inner.manifest.clone();
@@ -77,7 +86,7 @@ pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
         manifest.next_file_id = manifest.next_file_id.max(new_file_id + 1);
         manifest.segment = new_segment.as_ref().map(|(name, _)| name.clone());
         let obsolete: Vec<String> = manifest.wals.drain(..flushed_wals).collect();
-        manifest.store(&shared.dir)?;
+        manifest.store_with(&shared.dir, &shared.vfs)?;
         inner.manifest = manifest;
         let old_base = std::mem::replace(&mut inner.base, new_segment.map(|(_, source)| source));
         inner.frozen.drain(..flushed_layers);
@@ -89,10 +98,10 @@ pub(crate) fn compact_once(shared: &LiveShared) -> Result<bool, StorageError> {
     // Phase 4: reclaim what the new manifest no longer references.
     if let Some(old) = old_base {
         shared.cache.retire(old.segment_id());
-        let _ = std::fs::remove_file(old.path());
+        let _ = shared.vfs.remove_file(old.path());
     }
     for name in obsolete_wals {
-        let _ = std::fs::remove_file(shared.dir.join(name));
+        let _ = shared.vfs.remove_file(&shared.dir.join(name));
     }
     if let Some(m) = &shared.metrics {
         m.compaction_ns
@@ -125,19 +134,25 @@ impl CompactSignal {
     /// Requests a compaction round (no-op without a listening thread; the
     /// flag is simply consumed by the next explicit compaction).
     pub(crate) fn notify(&self) {
-        self.state.lock().expect("signal lock").pending = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending = true;
         self.condvar.notify_all();
     }
 
     fn request_shutdown(&self) {
-        self.state.lock().expect("signal lock").shutdown = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
         self.condvar.notify_all();
     }
 
     /// Blocks until work is pending or shutdown is requested; returns
     /// `false` on shutdown.
     fn wait(&self) -> bool {
-        let mut state = self.state.lock().expect("signal lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.shutdown {
                 return false;
@@ -146,7 +161,32 @@ impl CompactSignal {
                 state.pending = false;
                 return true;
             }
-            state = self.condvar.wait(state).expect("signal lock");
+            state = self
+                .condvar
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Sleeps for `delay` (the retry backoff) but wakes immediately on
+    /// shutdown; returns `false` when shutdown was requested so the
+    /// compactor can exit instead of finishing its retry schedule.
+    fn wait_retry(&self, delay: Duration) -> bool {
+        let deadline = Instant::now() + delay;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.shutdown {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let (guard, _timed_out) = self
+                .condvar
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
         }
     }
 }
@@ -164,20 +204,44 @@ impl CompactorHandle {
     }
 }
 
+/// Initial retry backoff after a failed background compaction round.
+const RETRY_BASE: Duration = Duration::from_millis(10);
+/// Backoff cap: a persistently failing disk costs one attempt per second.
+const RETRY_CAP: Duration = Duration::from_secs(1);
+/// Consecutive failures after which the compactor stops retrying and
+/// waits for the next freeze notification instead (the error stays
+/// recorded in `last_error` either way).
+const RETRY_ATTEMPTS: u32 = 8;
+
 /// Spawns the background compactor: each wake-up drains every frozen
 /// layer, recording (not panicking on) errors for the owner to collect.
+/// Transient I/O errors are retried with capped exponential backoff;
+/// shutdown interrupts the backoff sleep immediately.
 pub(crate) fn spawn(shared: Arc<LiveShared>) -> CompactorHandle {
     let thread = std::thread::Builder::new()
         .name("garlic-compact".into())
         .spawn(move || {
             while shared.signal.wait() {
+                let mut failures: u32 = 0;
                 loop {
                     match compact_once(&shared) {
-                        Ok(true) => continue,
+                        Ok(true) => failures = 0,
                         Ok(false) => break,
                         Err(error) => {
-                            *shared.last_error.lock().expect("error lock") = Some(error);
-                            break;
+                            *shared
+                                .last_error
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner) = Some(error);
+                            failures += 1;
+                            if failures >= RETRY_ATTEMPTS {
+                                break;
+                            }
+                            let backoff = RETRY_BASE
+                                .saturating_mul(1 << (failures - 1).min(10))
+                                .min(RETRY_CAP);
+                            if !shared.signal.wait_retry(backoff) {
+                                return;
+                            }
                         }
                     }
                 }

@@ -94,6 +94,14 @@ pub enum StorageError {
         /// What exactly was wrong.
         detail: String,
     },
+    /// The segment exhausted its I/O retry budget earlier and was
+    /// quarantined: every further read fails fast with this error until
+    /// the source is reopened, so one bad disk cannot stall queries in
+    /// retry loops.
+    Quarantined {
+        /// The quarantined segment file.
+        path: PathBuf,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -142,6 +150,13 @@ impl fmt::Display for StorageError {
             }
             StorageError::ManifestCorrupt { detail } => {
                 write!(f, "live-store manifest corrupt: {detail}")
+            }
+            StorageError::Quarantined { path } => {
+                write!(
+                    f,
+                    "segment {} is quarantined after exhausting its I/O retry budget",
+                    path.display()
+                )
             }
         }
     }

@@ -46,10 +46,10 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use garlic_agg::Grade;
-use garlic_core::access::{BoundedBatch, GradedSource, SetAccess};
+use garlic_core::access::{BoundedBatch, GradedSource, SetAccess, SourceError};
 use garlic_core::{FxHashMap, GradedEntry, ObjectId};
 
 use garlic_telemetry::{Counter, Histogram, Telemetry};
@@ -60,6 +60,7 @@ use crate::error::StorageError;
 use crate::manifest::{collect_garbage, file_name_for, Manifest};
 use crate::memtable::{MemEntry, Memtable};
 use crate::segment::SegmentSource;
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::{Wal, WalOp};
 
 /// Tuning knobs for a [`LiveSource`].
@@ -86,6 +87,11 @@ pub struct LiveOptions {
     /// one counter bump per freeze — never per entry. `None` (the
     /// default) costs one branch per batch.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// The filesystem every store file operation goes through. `None`
+    /// (the default) is the real filesystem; the chaos suite installs a
+    /// [`crate::vfs::FaultVfs`] here to exercise WAL, manifest, segment,
+    /// and compaction failure paths deterministically.
+    pub vfs: Option<Arc<dyn Vfs>>,
 }
 
 impl Default for LiveOptions {
@@ -95,6 +101,7 @@ impl Default for LiveOptions {
             auto_compact: false,
             universe: None,
             telemetry: None,
+            vfs: None,
         }
     }
 }
@@ -161,6 +168,8 @@ pub(crate) struct LiveShared {
     pub(crate) dir: PathBuf,
     pub(crate) cache: Arc<BlockCache>,
     pub(crate) opts: LiveOptions,
+    /// The resolved filesystem ([`LiveOptions::vfs`] or the default).
+    pub(crate) vfs: Arc<dyn Vfs>,
     pub(crate) inner: Mutex<LiveInner>,
     /// Serializes compactions (the background thread vs explicit
     /// [`LiveSource::compact`] calls). Never taken while holding `inner`.
@@ -179,7 +188,11 @@ pub struct LiveSource {
 
 impl std::fmt::Debug for LiveSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.shared.inner.lock().expect("live lock");
+        let inner = self
+            .shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         f.debug_struct("LiveSource")
             .field("dir", &self.shared.dir)
             .field("epoch", &inner.manifest.epoch)
@@ -202,21 +215,23 @@ impl LiveSource {
         opts: LiveOptions,
     ) -> Result<LiveSource, StorageError> {
         std::fs::create_dir_all(dir)?;
-        let manifest = match Manifest::load(dir) {
+        let vfs = opts.vfs.clone().unwrap_or_else(std_vfs);
+        let manifest = match Manifest::load_with(dir, &vfs) {
             Ok(m) => m,
             Err(StorageError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 let m = Manifest::initial();
-                Wal::create(&dir.join(&m.wals[0]))?;
-                m.store(dir)?;
+                Wal::create_with(&dir.join(&m.wals[0]), &vfs)?;
+                m.store_with(dir, &vfs)?;
                 m
             }
             Err(e) => return Err(e),
         };
-        collect_garbage(dir, &manifest)?;
+        collect_garbage(dir, &manifest, &vfs)?;
         let base = match &manifest.segment {
-            Some(name) => Some(Arc::new(SegmentSource::open(
+            Some(name) => Some(Arc::new(SegmentSource::open_with(
                 dir.join(name),
                 Arc::clone(&cache),
+                &vfs,
             )?)),
             None => None,
         };
@@ -231,14 +246,14 @@ impl LiveSource {
         let mut ops = Vec::new();
         for name in &manifest.wals[..sealed_count] {
             ops.clear();
-            Wal::open(&dir.join(name), &mut ops)?;
+            Wal::open_with(&dir.join(name), &mut ops, &vfs)?;
             replayed += ops.len() as u64;
             for &op in &ops {
                 frozen_mem.apply(op);
             }
         }
         ops.clear();
-        let wal = Wal::open(&dir.join(&manifest.wals[sealed_count]), &mut ops)?;
+        let wal = Wal::open_with(&dir.join(&manifest.wals[sealed_count]), &mut ops, &vfs)?;
         replayed += ops.len() as u64;
         let mut active = Memtable::new();
         for &op in &ops {
@@ -292,6 +307,7 @@ impl LiveSource {
             dir: dir.to_path_buf(),
             cache,
             opts: opts.clone(),
+            vfs,
             inner: Mutex::new(LiveInner {
                 wal,
                 active,
@@ -350,7 +366,11 @@ impl LiveSource {
                 );
             }
         }
-        let mut inner = self.shared.inner.lock().expect("live lock");
+        let mut inner = self
+            .shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match &self.shared.metrics {
             Some(m) => {
                 let start = std::time::Instant::now();
@@ -385,7 +405,11 @@ impl LiveSource {
     /// Seals the active memtable into a frozen layer (rotating the WAL and
     /// bumping the manifest epoch). Returns whether anything was frozen.
     pub fn freeze(&self) -> Result<bool, StorageError> {
-        let mut inner = self.shared.inner.lock().expect("live lock");
+        let mut inner = self
+            .shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         freeze_locked(&self.shared, &mut inner)
     }
 
@@ -411,7 +435,11 @@ impl LiveSource {
     /// contents (see the module docs). Cached per write version: snapshots
     /// between writes are one `Arc` clone.
     pub fn snapshot(&self) -> Arc<LiveSnapshot> {
-        let mut inner = self.shared.inner.lock().expect("live lock");
+        let mut inner = self
+            .shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some((version, snapshot)) = &inner.cached {
             if *version == inner.version {
                 return Arc::clone(snapshot);
@@ -425,26 +453,43 @@ impl LiveSource {
     /// Number of visible graded objects right now (memtable deltas
     /// included).
     pub fn live_len(&self) -> usize {
-        self.shared.inner.lock().expect("live lock").len
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len
     }
 
     /// Number of visible grade-1 objects right now — the planner's
     /// exact-match estimate, reflecting every acknowledged write.
     pub fn ones(&self) -> u64 {
-        self.shared.inner.lock().expect("live lock").ones
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ones
     }
 
     /// Whether every visible grade is exactly 0 or 1. Exact for a freshly
     /// compacted store (the segment footer re-verifies it); while fuzzy
     /// overlay writes are pending it is conservatively `false`.
     pub fn is_crisp(&self) -> bool {
-        let inner = self.shared.inner.lock().expect("live lock");
+        let inner = self
+            .shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         crisp_of(&inner)
     }
 
     /// The manifest epoch — bumped by every freeze and compaction swap.
     pub fn epoch(&self) -> u64 {
-        self.shared.inner.lock().expect("live lock").manifest.epoch
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .manifest
+            .epoch
     }
 
     /// Committed bytes in the active WAL.
@@ -459,7 +504,12 @@ impl LiveSource {
 
     /// Number of frozen memtables awaiting compaction.
     pub fn frozen_layers(&self) -> usize {
-        self.shared.inner.lock().expect("live lock").frozen.len()
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .frozen
+            .len()
     }
 
     /// The store directory.
@@ -469,13 +519,22 @@ impl LiveSource {
 
     /// Takes the most recent background-compaction error, if one occurred.
     pub fn last_compact_error(&self) -> Option<StorageError> {
-        self.shared.last_error.lock().expect("error lock").take()
+        self.shared
+            .last_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 }
 
 impl Drop for LiveSource {
     fn drop(&mut self) {
-        if let Some(handle) = self.compactor.lock().expect("compactor lock").take() {
+        if let Some(handle) = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
             handle.shutdown(&self.shared.signal);
         }
     }
@@ -522,12 +581,12 @@ pub(crate) fn freeze_locked(
     }
     let new_id = inner.manifest.next_file_id;
     let new_name = file_name_for(new_id, "wal");
-    let new_wal = Wal::create(&shared.dir.join(&new_name))?;
+    let new_wal = Wal::create_with(&shared.dir.join(&new_name), &shared.vfs)?;
     let mut manifest = inner.manifest.clone();
     manifest.epoch += 1;
     manifest.next_file_id = new_id + 1;
     manifest.wals.push(new_name);
-    manifest.store(&shared.dir)?;
+    manifest.store_with(&shared.dir, &shared.vfs)?;
     inner.manifest = manifest;
     inner.wal = new_wal;
     inner
@@ -645,21 +704,30 @@ impl LiveSnapshot {
         self.ones
     }
 
-    fn refill_base(&self, st: &mut MergeState, bound: Option<Grade>) -> Refill {
+    /// Refills the shadow-filtered base lookahead. The merge cursor only
+    /// advances after a successful read (`try_*` leaves `tmp` unchanged on
+    /// error), so a failed refill is retryable: the cursor state is as if
+    /// the call never happened.
+    fn refill_base(
+        &self,
+        st: &mut MergeState,
+        bound: Option<Grade>,
+    ) -> Result<Refill, SourceError> {
         let Some(base) = &self.base else {
             st.base_exhausted = true;
-            return Refill::Exhausted;
+            return Ok(Refill::Exhausted);
         };
         let mut tmp = Vec::with_capacity(MERGE_CHUNK);
         while st.base_buf.is_empty() && !st.base_exhausted {
             tmp.clear();
             let (got, bound_stop) = match bound {
                 Some(b) => {
-                    let result = base.sorted_batch_bounded(st.base_rank, MERGE_CHUNK, b, &mut tmp);
+                    let result =
+                        base.try_sorted_batch_bounded(st.base_rank, MERGE_CHUNK, b, &mut tmp)?;
                     (result.appended, result.truncated)
                 }
                 None => (
-                    base.sorted_batch(st.base_rank, MERGE_CHUNK, &mut tmp),
+                    base.try_sorted_batch(st.base_rank, MERGE_CHUNK, &mut tmp)?,
                     false,
                 ),
             };
@@ -670,34 +738,34 @@ impl LiveSnapshot {
                     .copied(),
             );
             if bound_stop {
-                return if st.base_buf.is_empty() {
+                return Ok(if st.base_buf.is_empty() {
                     Refill::BoundStop
                 } else {
                     Refill::Ready
-                };
+                });
             }
             if got < MERGE_CHUNK {
                 st.base_exhausted = true;
             }
         }
-        if st.base_buf.is_empty() {
+        Ok(if st.base_buf.is_empty() {
             Refill::Exhausted
         } else {
             Refill::Ready
-        }
+        })
     }
 
     /// Grows the merged prefix to `target` entries (or until both streams
     /// end).
-    fn ensure_merged(&self, st: &mut MergeState, target: usize) {
+    fn ensure_merged(&self, st: &mut MergeState, target: usize) -> Result<(), SourceError> {
         while st.merged.len() < target {
             if st.base_buf.is_empty() && !st.base_exhausted {
-                self.refill_base(st, None);
+                self.refill_base(st, None)?;
             }
             let overlay_next = self.overlay.get(st.overlay_pos).copied();
             let base_next = st.base_buf.front().copied();
             let next = match (overlay_next, base_next) {
-                (None, None) => return,
+                (None, None) => return Ok(()),
                 (Some(entry), None) => {
                     st.overlay_pos += 1;
                     entry
@@ -718,33 +786,39 @@ impl LiveSnapshot {
             };
             st.merged.push(next);
         }
+        Ok(())
     }
 
     /// Bounded variant: returns `true` when it stopped because every
     /// remaining entry provably grades strictly below `bound` (rather
     /// than reaching `target` or exhausting the streams).
-    fn ensure_merged_bounded(&self, st: &mut MergeState, target: usize, bound: Grade) -> bool {
+    fn ensure_merged_bounded(
+        &self,
+        st: &mut MergeState,
+        target: usize,
+        bound: Grade,
+    ) -> Result<bool, SourceError> {
         let mut base_bound_stopped = false;
         while st.merged.len() < target {
             // The merged stream descends: once its tail dips below the
             // bound, everything deeper is provably below it too.
             if st.merged.last().is_some_and(|e| e.grade < bound) {
-                return true;
+                return Ok(true);
             }
             if st.base_buf.is_empty() && !st.base_exhausted && !base_bound_stopped {
-                if let Refill::BoundStop = self.refill_base(st, Some(bound)) {
+                if let Refill::BoundStop = self.refill_base(st, Some(bound))? {
                     base_bound_stopped = true;
                 }
             }
             let overlay_next = self.overlay.get(st.overlay_pos).copied();
             let base_next = st.base_buf.front().copied();
             let next = match (overlay_next, base_next) {
-                (None, None) => return base_bound_stopped,
+                (None, None) => return Ok(base_bound_stopped),
                 (Some(entry), None) => {
                     if base_bound_stopped && entry.grade < bound {
                         // Both suffixes are provably below the bound; the
                         // true interleaving no longer matters.
-                        return true;
+                        return Ok(true);
                     }
                     // entry.grade >= bound > every remaining base entry,
                     // so emitting it preserves the exact merge order.
@@ -767,7 +841,17 @@ impl LiveSnapshot {
             };
             st.merged.push(next);
         }
-        false
+        Ok(false)
+    }
+
+    /// Terminal handler for the infallible [`GradedSource`] methods when
+    /// the base segment has an injected or real I/O failure. Callers that
+    /// want typed errors use the `try_*` accessors instead.
+    fn infallible_panic(&self, e: SourceError) -> ! {
+        panic!(
+            "live snapshot failed on the infallible read path (callers wanting \
+             typed errors use the try_* accessors): {e}"
+        )
     }
 }
 
@@ -777,8 +861,10 @@ impl GradedSource for LiveSnapshot {
     }
 
     fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        let mut st = self.merge.lock().expect("merge lock");
-        self.ensure_merged(&mut st, rank.saturating_add(1));
+        let mut st = self.merge.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = self.ensure_merged(&mut st, rank.saturating_add(1)) {
+            self.infallible_panic(e)
+        }
         st.merged.get(rank).copied()
     }
 
@@ -790,13 +876,23 @@ impl GradedSource for LiveSnapshot {
     }
 
     fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        let mut st = self.merge.lock().expect("merge lock");
+        self.try_sorted_batch(start, count, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        let mut st = self.merge.lock().unwrap_or_else(PoisonError::into_inner);
         let target = start.saturating_add(count);
-        self.ensure_merged(&mut st, target);
+        self.ensure_merged(&mut st, target)?;
         let end = st.merged.len().min(target);
         let begin = start.min(end);
         out.extend_from_slice(&st.merged[begin..end]);
-        end - begin
+        Ok(end - begin)
     }
 
     fn sorted_batch_bounded(
@@ -806,20 +902,40 @@ impl GradedSource for LiveSnapshot {
         bound: Grade,
         out: &mut Vec<GradedEntry>,
     ) -> BoundedBatch {
-        let mut st = self.merge.lock().expect("merge lock");
+        self.try_sorted_batch_bounded(start, count, bound, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        let mut st = self.merge.lock().unwrap_or_else(PoisonError::into_inner);
         let target = start.saturating_add(count);
-        let bound_stop = self.ensure_merged_bounded(&mut st, target, bound);
+        let bound_stop = self.ensure_merged_bounded(&mut st, target, bound)?;
         let end = st.merged.len().min(target);
         let begin = start.min(end);
         out.extend_from_slice(&st.merged[begin..end]);
         let appended = end - begin;
-        BoundedBatch {
+        Ok(BoundedBatch {
             appended,
             truncated: bound_stop && appended < count,
-        }
+        })
     }
 
     fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        self.try_random_batch(objects, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
         let start = out.len();
         out.resize(start + objects.len(), None);
         let mut base_probes = Vec::new();
@@ -836,17 +952,31 @@ impl GradedSource for LiveSnapshot {
         if let Some(base) = &self.base {
             if !base_probes.is_empty() {
                 let mut answers = Vec::with_capacity(base_probes.len());
-                base.random_batch(&base_probes, &mut answers);
+                if let Err(e) = base.try_random_batch(&base_probes, &mut answers) {
+                    // Contract: `out` must be unchanged on error.
+                    out.truncate(start);
+                    return Err(e);
+                }
                 for (&slot, answer) in base_slots.iter().zip(answers) {
                     out[start + slot] = answer;
                 }
             }
         }
+        Ok(())
+    }
+
+    fn degraded(&self) -> bool {
+        self.base.as_ref().is_some_and(|b| b.degraded())
     }
 }
 
 impl SetAccess for LiveSnapshot {
     fn matching_set(&self) -> Vec<ObjectId> {
+        self.try_matching_set()
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
         // Overlay ones are the overlay's skeleton prefix; base ones come
         // from its own matching set, minus anything the overlay shadows.
         // Ascending-id order matches `MemorySource` (grade-1 ties break
@@ -859,13 +989,13 @@ impl SetAccess for LiveSnapshot {
             .collect();
         if let Some(base) = &self.base {
             set.extend(
-                base.matching_set()
+                base.try_matching_set()?
                     .into_iter()
                     .filter(|object| !self.shadow.contains_key(object)),
             );
         }
         set.sort_unstable();
-        set
+        Ok(set)
     }
 }
 
@@ -876,7 +1006,7 @@ impl SetAccess for LiveSnapshot {
 pub(crate) fn merged_pairs(
     base: Option<&Arc<SegmentSource>>,
     frozen: &[Arc<Memtable>],
-) -> Vec<(ObjectId, Grade)> {
+) -> Result<Vec<(ObjectId, Grade)>, StorageError> {
     let mut combined: BTreeMap<ObjectId, MemEntry> = BTreeMap::new();
     // Oldest → newest with overwrite: the newest layer's state wins.
     for layer in frozen {
@@ -889,7 +1019,11 @@ pub(crate) fn merged_pairs(
         let mut entries = Vec::with_capacity(base.len());
         let mut rank = 0;
         loop {
-            let got = base.sorted_batch(rank, 4096, &mut entries);
+            // Typed failure here aborts the compaction attempt (recorded by
+            // the compactor and retried later) instead of panicking.
+            let got = base
+                .try_sorted_batch(rank, 4096, &mut entries)
+                .map_err(|e| StorageError::Io(std::io::Error::other(e.to_string())))?;
             rank += got;
             if got < 4096 {
                 break;
@@ -907,12 +1041,13 @@ pub(crate) fn merged_pairs(
             .iter()
             .filter_map(|(&object, &state)| state.grade().map(|g| (object, g))),
     );
-    pairs
+    Ok(pairs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()
@@ -1141,5 +1276,113 @@ mod tests {
             },
         );
         let _ = live.upsert(ObjectId(8), g(0.5));
+    }
+
+    fn open_faulty(name: &str) -> (PathBuf, LiveSource, Arc<FaultVfs>) {
+        let dir = temp_store(name);
+        let fault = Arc::new(FaultVfs::new());
+        let live = open(
+            &dir,
+            LiveOptions {
+                vfs: Some(Arc::clone(&fault) as Arc<dyn Vfs>),
+                ..LiveOptions::default()
+            },
+        );
+        (dir, live, fault)
+    }
+
+    #[test]
+    fn store_survives_a_panicked_reader_thread() {
+        let (_dir, live, fault) = open_faulty("poisoned-reader");
+        let ops: Vec<WalOp> = (0..2000u64)
+            .map(|i| WalOp::Upsert {
+                object: ObjectId(i),
+                grade: g(0.1 + 0.8 * (i as f64) / 2000.0),
+            })
+            .collect();
+        live.write_batch(&ops).unwrap();
+        live.flush().unwrap();
+        let snap = live.snapshot();
+        // Warm the head of the merge so recovery has something cached.
+        assert!(snap.sorted_access(0).is_some());
+        // Every further segment read fails permanently: a reader thread
+        // asking for a deep rank panics on the infallible path while it
+        // holds the snapshot's merge lock, poisoning it.
+        fault.push_rule(FaultRule {
+            path_contains: ".seg".to_owned(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Permanent,
+        });
+        let reader = std::thread::spawn({
+            let snap = Arc::clone(&snap);
+            move || snap.sorted_access(1999)
+        });
+        assert!(reader.join().is_err(), "deep read should have panicked");
+        // The poisoned merge lock recovers via `into_inner`: already
+        // merged ranks still answer on this thread.
+        assert!(snap.sorted_access(0).is_some());
+        // Deep reads now hit the quarantined base, but the fallible path
+        // reports that as a typed error — no panic, `out` untouched.
+        let mut out = Vec::new();
+        let err = snap.try_sorted_batch(1000, 10, &mut out).unwrap_err();
+        assert!(err.quarantined, "quarantine must be typed: {err}");
+        assert!(out.is_empty());
+        // Quarantine is per-open-segment state; once the disk recovers, a
+        // reopen of the same directory serves everything again.
+        fault.clear();
+        drop(snap);
+        drop(live);
+        let live = LiveSource::open(
+            &_dir,
+            Arc::new(BlockCache::new(256)),
+            LiveOptions {
+                vfs: Some(Arc::clone(&fault) as Arc<dyn Vfs>),
+                ..LiveOptions::default()
+            },
+        )
+        .unwrap();
+        live.upsert(ObjectId(5000), g(0.5)).unwrap();
+        let fresh = live.snapshot();
+        assert_eq!(fresh.len(), 2001);
+        assert_eq!(fresh.random_access(ObjectId(5000)), Some(g(0.5)));
+        assert!(fresh.sorted_access(1999).is_some());
+    }
+
+    #[test]
+    fn failed_compaction_is_invisible_and_retryable() {
+        let (dir, live, fault) = open_faulty("compact-fault");
+        for i in 0..50u64 {
+            live.upsert(ObjectId(i), g(0.2 + (i as f64) / 100.0))
+                .unwrap();
+        }
+        live.freeze().unwrap();
+        // The commit rename of the new segment fails once.
+        fault.push_rule(FaultRule {
+            path_contains: ".seg".to_owned(),
+            op: FaultOp::Rename,
+            nth: 0,
+            kind: FaultKind::Transient { times: 1 },
+        });
+        let err = live.compact().unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "typed error: {err}");
+        // Pre-compaction state is fully intact: same contents, the frozen
+        // layer still pending, and no tmp debris on disk.
+        let snap = live.snapshot();
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.random_access(ObjectId(7)), Some(g(0.27)));
+        assert_eq!(live.frozen_layers(), 1);
+        let debris: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(debris.is_empty(), "leftover tmp files: {debris:?}");
+        // The transient fault has passed: the retry commits the round.
+        assert!(live.compact().unwrap());
+        assert_eq!(live.frozen_layers(), 0);
+        let snap = live.snapshot();
+        assert_eq!(snap.len(), 50);
+        assert_eq!(snap.random_access(ObjectId(7)), Some(g(0.27)));
     }
 }

@@ -20,12 +20,12 @@
 //! which files are current, never silently serving a stale or partial
 //! state.
 
-use std::fs::{self, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::format::fnv1a64;
+use crate::vfs::{std_vfs, Vfs};
 use crate::wal::sync_parent_dir;
 
 /// The 8-byte magic the manifest starts with.
@@ -91,18 +91,19 @@ impl Manifest {
     /// Atomically replaces the manifest in `dir` with this value
     /// (tmp sibling + fsync + rename + directory fsync).
     pub fn store(&self, dir: &Path) -> Result<(), StorageError> {
+        self.store_with(dir, &std_vfs())
+    }
+
+    /// [`store`](Manifest::store) through an explicit [`Vfs`].
+    pub fn store_with(&self, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<(), StorageError> {
         let path = dir.join(MANIFEST_NAME);
         let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)?;
+        let mut file = vfs.create(&tmp)?;
         file.write_all(&self.encode())?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp, &path)?;
-        sync_parent_dir(&path)?;
+        vfs.rename(&tmp, &path)?;
+        sync_parent_dir(vfs.as_ref(), &path)?;
         Ok(())
     }
 
@@ -110,7 +111,18 @@ impl Manifest {
     /// as `Io(NotFound)` (a fresh store); anything unreadable is a typed
     /// [`StorageError::ManifestCorrupt`].
     pub fn load(dir: &Path) -> Result<Manifest, StorageError> {
-        let bytes = fs::read(dir.join(MANIFEST_NAME))?;
+        Manifest::load_with(dir, &std_vfs())
+    }
+
+    /// [`load`](Manifest::load) through an explicit [`Vfs`].
+    pub fn load_with(dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<Manifest, StorageError> {
+        let bytes = {
+            let file = vfs.open_read(&dir.join(MANIFEST_NAME))?;
+            let len = file.len()?;
+            let mut bytes = vec![0u8; len as usize];
+            file.read_exact_at(&mut bytes, 0)?;
+            bytes
+        };
         let corrupt = |detail: &str| StorageError::ManifestCorrupt {
             detail: detail.to_owned(),
         };
@@ -210,16 +222,17 @@ pub(crate) fn referenced_files(manifest: &Manifest) -> Vec<String> {
 pub(crate) fn collect_garbage(
     dir: &Path,
     manifest: &Manifest,
+    vfs: &Arc<dyn Vfs>,
 ) -> Result<Vec<PathBuf>, StorageError> {
     let keep = referenced_files(manifest);
     let mut removed = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        if !entry.file_type()?.is_file() {
+    for path in vfs.read_dir(dir)? {
+        if !path.is_file() {
             continue;
         }
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         if name == MANIFEST_NAME || keep.iter().any(|k| k == name) {
             continue;
         }
@@ -227,8 +240,7 @@ pub(crate) fn collect_garbage(
         if !known_kind {
             continue;
         }
-        let path = entry.path();
-        fs::remove_file(&path)?;
+        vfs.remove_file(&path)?;
         removed.push(path);
     }
     Ok(removed)
@@ -237,6 +249,7 @@ pub(crate) fn collect_garbage(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir()
@@ -312,7 +325,7 @@ mod tests {
         ] {
             fs::write(dir.join(&name), b"x").unwrap();
         }
-        let removed = collect_garbage(&dir, &manifest).unwrap();
+        let removed = collect_garbage(&dir, &manifest, &std_vfs()).unwrap();
         assert_eq!(removed.len(), 3);
         assert!(dir.join(file_name_for(1, "seg")).exists());
         assert!(dir.join(file_name_for(2, "wal")).exists());

@@ -22,14 +22,12 @@
 //!
 //! [`MemorySource`]: garlic_core::access::MemorySource
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use garlic_agg::Grade;
-use garlic_core::access::{BoundedBatch, GradedSource, SetAccess};
+use garlic_core::access::{BoundedBatch, GradedSource, SetAccess, SourceError};
 use garlic_core::{GradedEntry, ObjectId};
 
 use crate::cache::{BlockCache, BlockKey};
@@ -39,27 +37,72 @@ use crate::format::{
     RegionKind, ENTRY_LEN, FLAG_CRISP, FLAG_GRADE_DICT, FORMAT_V1, FORMAT_VERSION, HEADER_LEN,
     HEADER_MAGIC, TRAILER_LEN, TRAILER_MAGIC,
 };
+use crate::vfs::{std_vfs, Vfs, VfsRead};
 
 /// Process-wide id well for opened segments, so any number of segments can
 /// share one [`BlockCache`] without key collisions.
 static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(0);
 
+/// How a [`SegmentSource`] reacts to a failing block read: how many
+/// attempts before giving up, and how the exponential backoff between
+/// them is shaped. The delay before attempt `n + 1` is
+/// `min(base_delay_us << n, max_delay_us)` plus a deterministic jitter of
+/// up to half that value, so retrying readers of one struggling disk do
+/// not stampede in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per block read, the first included. `1` disables
+    /// retries.
+    pub attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_delay_us: u64,
+    /// Backoff ceiling, in microseconds.
+    pub max_delay_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_us: 100,
+            max_delay_us: 5_000,
+        }
+    }
+}
+
 /// An immutable on-disk graded list, verified at open, read through a
 /// shared block cache.
 ///
-/// # Panics
+/// # Runtime failures
 ///
-/// The [`GradedSource`] methods panic if the segment file is deleted,
-/// shortened, or rewritten underneath an open source (the access traits
-/// have no error channel). `open` verifies the entire file precisely so
-/// that this never happens for a file that is left alone — segments are
-/// immutable by contract.
+/// `open` verifies the entire file, so a file that is left alone never
+/// fails afterwards. If the *medium* fails later (dying disk, segment
+/// deleted or rewritten underneath the source), the fallible
+/// [`GradedSource::try_sorted_batch`]-family methods retry transiently
+/// failing block loads per the [`RetryPolicy`], then — once the budget is
+/// exhausted — **quarantine** the source: the failure surfaces as a typed
+/// [`SourceError`] with `quarantined` set and every later read fails fast
+/// with [`StorageError::Quarantined`]. Only the legacy *infallible* trait
+/// methods still panic on such a failure, and nothing in the query
+/// execution path uses them against disk-backed sources.
 pub struct SegmentSource {
-    file: SegmentFile,
+    file: Box<dyn VfsRead>,
     path: PathBuf,
     cache: Arc<BlockCache>,
     segment_id: u64,
     version: u32,
+    /// See [`RetryPolicy`]; applied inside the cache's single-flight load,
+    /// so concurrent readers of one failing block share one retry loop.
+    retry: RetryPolicy,
+    /// Transiently failed block reads that a retry then served.
+    io_retries: AtomicU64,
+    /// Block reads that exhausted the whole retry budget.
+    io_gave_up: AtomicU64,
+    /// Set once a block read exhausts its retry budget; every later read
+    /// fails fast with [`StorageError::Quarantined`].
+    poisoned: AtomicBool,
+    /// xorshift state feeding the backoff jitter.
+    jitter: AtomicU64,
     /// Data blocks decoded by threshold-hinted scans.
     fence_loaded: AtomicU64,
     /// Data blocks a threshold-hinted scan proved irrelevant and never
@@ -113,48 +156,25 @@ struct V2Layout {
     grade_max: Vec<Grade>,
 }
 
-/// Positioned reads on the segment file. On Unix this is `pread` — no
-/// shared cursor, no lock — so concurrent cache misses on different
-/// blocks really do read in parallel, as the cache docs promise.
-/// Elsewhere a mutex serializes the seek + read pair.
-struct SegmentFile {
-    file: File,
-    #[cfg(not(unix))]
-    lock: std::sync::Mutex<()>,
-}
-
-impl SegmentFile {
-    fn new(file: File) -> Self {
-        SegmentFile {
-            file,
-            #[cfg(not(unix))]
-            lock: std::sync::Mutex::new(()),
-        }
-    }
-
-    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
-        #[cfg(unix)]
-        {
-            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
-        }
-        #[cfg(not(unix))]
-        {
-            let _guard = self.lock.lock().expect("segment file lock");
-            let mut file = &self.file;
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(buf)
-        }
-    }
-}
-
 impl SegmentSource {
-    /// Opens and fully verifies the segment at `path`, attaching it to
-    /// `cache`. The verification pass streams the file once without
-    /// populating the cache, so a freshly opened segment is *cold*.
+    /// Opens and fully verifies the segment at `path` on the real
+    /// filesystem; see [`open_with`](Self::open_with).
     pub fn open(path: impl AsRef<Path>, cache: Arc<BlockCache>) -> Result<Self, StorageError> {
+        Self::open_with(path, cache, &std_vfs())
+    }
+
+    /// Opens and fully verifies the segment at `path` through `vfs`,
+    /// attaching it to `cache`. The verification pass streams the file
+    /// once without populating the cache, so a freshly opened segment is
+    /// *cold*.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        cache: Arc<BlockCache>,
+        vfs: &Arc<dyn Vfs>,
+    ) -> Result<Self, StorageError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = File::open(&path)?;
-        let file_len = file.metadata()?.len();
+        let file = vfs.open_read(&path)?;
+        let file_len = file.len()?;
         if file_len < HEADER_LEN + TRAILER_LEN {
             return Err(StorageError::Truncated {
                 expected: HEADER_LEN + TRAILER_LEN,
@@ -163,7 +183,7 @@ impl SegmentSource {
         }
 
         let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
+        file.read_exact_at(&mut header, 0)?;
         if header[..4] != HEADER_MAGIC {
             return Err(StorageError::BadMagic);
         }
@@ -177,8 +197,7 @@ impl SegmentSource {
         }
 
         let mut trailer = [0u8; TRAILER_LEN as usize];
-        file.seek(SeekFrom::Start(file_len - TRAILER_LEN))?;
-        file.read_exact(&mut trailer)?;
+        file.read_exact_at(&mut trailer, file_len - TRAILER_LEN)?;
         if trailer[16..24] != TRAILER_MAGIC {
             return Err(StorageError::FooterCorrupt {
                 detail: "trailer magic missing (interrupted or truncated write?)".to_owned(),
@@ -200,8 +219,7 @@ impl SegmentSource {
         }
 
         let mut footer_bytes = vec![0u8; footer_len as usize];
-        file.seek(SeekFrom::Start(footer_offset))?;
-        file.read_exact(&mut footer_bytes)?;
+        file.read_exact_at(&mut footer_bytes, footer_offset)?;
         let (footer, layout, stats) = if version == FORMAT_V1 {
             let footer = Footer::parse(&footer_bytes)?;
             // All footer geometry is untrusted until it survives these
@@ -222,7 +240,7 @@ impl SegmentSource {
                     ),
                 });
             }
-            let stats = verify_blocks(&mut file, &footer)?;
+            let stats = verify_blocks(file.as_ref(), &footer)?;
             (footer, None, stats)
         } else {
             let v2 = FooterV2::parse(&footer_bytes)?;
@@ -245,7 +263,7 @@ impl SegmentSource {
                     detail: format!("blocks end at {offset} but footer starts at {footer_offset}"),
                 });
             }
-            let stats = verify_blocks_v2(&mut file, &v2)?;
+            let stats = verify_blocks_v2(file.as_ref(), &v2)?;
             let layout = V2Layout {
                 locs,
                 dict: (v2.flags & FLAG_GRADE_DICT != 0).then(|| v2.grade_dict.clone()),
@@ -269,12 +287,18 @@ impl SegmentSource {
             (footer, Some(layout), stats)
         };
 
+        let segment_id = NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed);
         Ok(SegmentSource {
-            file: SegmentFile::new(file),
+            file,
             path,
             cache,
-            segment_id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            segment_id,
             version,
+            retry: RetryPolicy::default(),
+            io_retries: AtomicU64::new(0),
+            io_gave_up: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            jitter: AtomicU64::new(segment_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
             fence_loaded: AtomicU64::new(0),
             fence_skipped: AtomicU64::new(0),
             entries_per_block: footer.block_size / ENTRY_LEN,
@@ -282,6 +306,34 @@ impl SegmentSource {
             layout,
             max_object: stats.max_object,
         })
+    }
+
+    /// Replaces the block-read [`RetryPolicy`] (do this before sharing the
+    /// source across threads).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active block-read retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Transiently failed block reads that a retry then served.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Block reads that exhausted the whole retry budget (each also
+    /// quarantined the source).
+    pub fn io_gave_up(&self) -> u64 {
+        self.io_gave_up.load(Ordering::Relaxed)
+    }
+
+    /// Whether the source has been quarantined by an exhausted retry
+    /// budget — every read now fails fast.
+    pub fn is_quarantined(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// The on-disk format version this segment was written in.
@@ -367,12 +419,31 @@ impl SegmentSource {
         (n - start).min(self.entries_per_block)
     }
 
+    /// Draws the next deterministic jitter value (xorshift64*, seeded per
+    /// segment) so retry delays desynchronize across concurrent readers
+    /// without any global randomness source.
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        x
+    }
+
     fn fetch(&self, file_block: u64, checksum: u64) -> Result<Arc<[u8]>, StorageError> {
+        if self.poisoned.load(Ordering::Acquire) {
+            // Fail fast: a quarantined segment never re-enters its retry
+            // loop, so one dead disk cannot stall every query on it.
+            return Err(StorageError::Quarantined {
+                path: self.path.clone(),
+            });
+        }
         let key = BlockKey {
             segment: self.segment_id,
             block: file_block,
         };
-        self.cache.get_or_load(key, || {
+        let result = self.cache.get_or_load(key, || {
             // v1 blocks are fixed slots; v2 blocks live wherever the
             // footer's prefix sums put them.
             let (offset, len) = match &self.layout {
@@ -385,29 +456,94 @@ impl SegmentSource {
                     (offset, len as usize)
                 }
             };
-            let mut buf = vec![0u8; len];
-            self.file.read_exact_at(&mut buf, offset)?;
-            if fnv1a64(&buf) != checksum {
-                return Err(StorageError::ChecksumMismatch { block: file_block });
+            // Retry inside the single-flight closure so concurrent readers
+            // of the same block share one retry budget, and a block that
+            // eventually loads is billed as one miss.
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                let mut buf = vec![0u8; len];
+                let outcome = self
+                    .file
+                    .read_exact_at(&mut buf, offset)
+                    .map_err(StorageError::Io)
+                    .and_then(|()| {
+                        if fnv1a64(&buf) != checksum {
+                            Err(StorageError::ChecksumMismatch { block: file_block })
+                        } else {
+                            Ok(())
+                        }
+                    });
+                match outcome {
+                    Ok(()) => {
+                        return Ok(Arc::from(buf.into_boxed_slice()));
+                    }
+                    Err(e) if attempt < self.retry.attempts => {
+                        // Transient-looking failure (I/O error or a read
+                        // that raced a torn write): back off and retry.
+                        self.io_retries.fetch_add(1, Ordering::Relaxed);
+                        let shift = (attempt - 1).min(20);
+                        let base = self
+                            .retry
+                            .base_delay_us
+                            .checked_shl(shift)
+                            .unwrap_or(u64::MAX)
+                            .min(self.retry.max_delay_us);
+                        let jitter = self.next_jitter() % (base / 2 + 1);
+                        std::thread::sleep(std::time::Duration::from_micros(base + jitter));
+                        let _ = e;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
-            Ok(Arc::from(buf.into_boxed_slice()))
-        })
+        });
+        if let Err(e) = &result {
+            if !matches!(e, StorageError::Quarantined { .. })
+                && !self.poisoned.swap(true, Ordering::AcqRel)
+            {
+                // The full retry budget is gone: quarantine the segment so
+                // later reads fail fast with a typed error.
+                self.io_gave_up.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
     }
 
-    /// Fetches data block `index` (panics on post-open corruption — see
-    /// the type docs).
-    fn data_block(&self, index: u64) -> Arc<[u8]> {
+    /// Fetches data block `index` through the retry loop; a typed error
+    /// means the retry budget is exhausted (segment now quarantined) or
+    /// the segment was already quarantined.
+    fn try_data_block(&self, index: u64) -> Result<Arc<[u8]>, StorageError> {
         self.fetch(index, self.footer.data_checksums[index as usize])
-            .unwrap_or_else(|e| panic!("segment {} mutated after open: {e}", self.path.display()))
     }
 
-    /// Fetches table block `index` (same panic policy).
-    fn table_block(&self, index: u64) -> Arc<[u8]> {
+    /// Fetches table block `index` (same policy).
+    fn try_table_block(&self, index: u64) -> Result<Arc<[u8]>, StorageError> {
         self.fetch(
             self.footer.data_blocks + index,
             self.footer.table_checksums[index as usize],
         )
-        .unwrap_or_else(|e| panic!("segment {} mutated after open: {e}", self.path.display()))
+    }
+
+    /// The infallible trait methods' escape hatch: a read failure that a
+    /// caller did not opt into handling (via the `try_*` accessors) has no
+    /// channel left but a panic.
+    fn infallible_panic(&self, e: StorageError) -> ! {
+        panic!(
+            "segment {} failed on the infallible read path (callers wanting typed \
+             errors use the try_* accessors): {e}",
+            self.path.display()
+        )
+    }
+
+    /// Lifts a storage failure into the access layer's typed error,
+    /// flagging it quarantined when the segment has poisoned itself.
+    fn source_error(&self, e: StorageError) -> SourceError {
+        SourceError {
+            source: self.path.display().to_string(),
+            detail: e.to_string(),
+            quarantined: matches!(e, StorageError::Quarantined { .. })
+                || self.poisoned.load(Ordering::Acquire),
+        }
     }
 
     /// Appends slots `[from, to)` of data block `index` to `out`,
@@ -435,11 +571,17 @@ impl SegmentSource {
     }
 
     /// Binary search (v1) or early-exit walk (v2) for `object` in table
-    /// block `index`.
-    fn lookup_in_table(&self, block: &[u8], index: u64, object: ObjectId) -> Option<Grade> {
+    /// block `index`. A decode failure (a block mutated after open) is a
+    /// typed error, not a panic.
+    fn lookup_in_table(
+        &self,
+        block: &[u8],
+        index: u64,
+        object: ObjectId,
+    ) -> Result<Option<Grade>, StorageError> {
         let count = self.entries_in_block(index);
         match &self.layout {
-            None => lookup_in_table_block(block, count, object),
+            None => Ok(lookup_in_table_block(block, count, object)),
             Some(layout) => {
                 // Ids are ascending, so the walk can stop at the first id
                 // past the probe. Grade bits are trusted for the same
@@ -458,29 +600,25 @@ impl SegmentSource {
                         id < object.0
                     },
                 )
-                .unwrap_or_else(|e| {
-                    panic!("segment {} mutated after open: {e}", self.path.display())
-                });
-                hit
+                .map_err(|detail| StorageError::CorruptBlock {
+                    block: self.footer.data_blocks + index,
+                    detail,
+                })?;
+                Ok(hit)
             }
         }
     }
-}
 
-impl GradedSource for SegmentSource {
-    fn len(&self) -> usize {
-        self.footer.num_entries as usize
-    }
-
-    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
-        if rank >= self.len() {
-            return None;
+    /// Fallible core of [`GradedSource::sorted_access`].
+    fn sorted_access_impl(&self, rank: usize) -> Result<Option<GradedEntry>, StorageError> {
+        if rank >= self.footer.num_entries as usize {
+            return Ok(None);
         }
         let index = (rank / self.entries_per_block) as u64;
-        let block = self.data_block(index);
+        let block = self.try_data_block(index)?;
         let slot = rank % self.entries_per_block;
         match &self.layout {
-            None => Some(crate::format::decode_entry(&block, slot)),
+            None => Ok(Some(crate::format::decode_entry(&block, slot))),
             Some(layout) => {
                 // v2 blocks are delta chains: walk up to the slot, no
                 // allocation, stop as soon as it is decoded.
@@ -500,34 +638,22 @@ impl GradedSource for SegmentSource {
                         i < slot
                     },
                 )
-                .unwrap_or_else(|e| {
-                    panic!("segment {} mutated after open: {e}", self.path.display())
-                });
-                hit
+                .map_err(|detail| StorageError::CorruptBlock {
+                    block: index,
+                    detail,
+                })?;
+                Ok(hit)
             }
         }
     }
 
-    fn random_access(&self, object: ObjectId) -> Option<Grade> {
-        let fences = &self.footer.table_first_ids;
-        // The fence index names each table block's smallest id; the object,
-        // if present, can only live in the last block whose fence is <= it.
-        let candidate = fences.partition_point(|&first| first <= object.0);
-        if candidate == 0 {
-            return None;
-        }
-        let index = (candidate - 1) as u64;
-        let block = self.table_block(index);
-        self.lookup_in_table(&block, index, object)
-    }
-
-    /// Native batched probing: probes are grouped by table block (sorted
-    /// by the footer's fence index), so each touched block is fetched from
-    /// the shared cache — and its checksum re-verified on a miss — **once
-    /// per batch**, not once per probe. Results land positionally aligned
-    /// with `objects`, and misses/duplicates behave exactly like the
-    /// per-object loop.
-    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+    /// Fallible core of [`GradedSource::random_batch`]: on error the slice
+    /// `out[base..]` may hold partial answers — the caller truncates.
+    fn random_batch_impl(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), StorageError> {
         let base = out.len();
         out.resize(base + objects.len(), None);
         let fences = &self.footer.table_first_ids;
@@ -545,52 +671,51 @@ impl GradedSource for SegmentSource {
         let mut index = 0usize;
         while index < probes.len() {
             let block_index = probes[index].0;
-            let block = self.table_block(block_index);
+            let block = self.try_table_block(block_index)?;
             while index < probes.len() && probes[index].0 == block_index {
                 let position = probes[index].1 as usize;
-                out[base + position] = self.lookup_in_table(&block, block_index, objects[position]);
+                out[base + position] =
+                    self.lookup_in_table(&block, block_index, objects[position])?;
                 index += 1;
             }
         }
+        Ok(())
     }
 
-    /// Native batched streaming: decodes each touched data block once,
-    /// straight into `out`.
-    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
-        let n = self.len();
+    /// Fallible core of [`GradedSource::sorted_batch`]: on error `out` may
+    /// hold a partial append — the caller truncates.
+    fn sorted_batch_impl(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, StorageError> {
+        let n = self.footer.num_entries as usize;
         let start = start.min(n);
         let end = start.saturating_add(count).min(n);
         out.reserve(end - start);
         let mut rank = start;
         while rank < end {
             let block_index = (rank / self.entries_per_block) as u64;
-            let block = self.data_block(block_index);
+            let block = self.try_data_block(block_index)?;
             let in_block = rank % self.entries_per_block;
             let take = (end - rank).min(self.entries_per_block - in_block);
             self.decode_data_range(&block, block_index, in_block, in_block + take, out);
             rank += take;
         }
-        end - start
+        Ok(end - start)
     }
 
-    /// Threshold-hinted streaming. On a v2 segment the footer's
-    /// `grade_max` fences answer "can this block still matter?" *before*
-    /// the block is loaded: the scan stops at the first block whose fence
-    /// falls below `bound`, skipping its cache request, its I/O, and its
-    /// decode — and everything after it, since blocks are grade-descending.
-    /// On v1 the fence check is unavailable, but the scan still stops at
-    /// block granularity once a decoded block ends below the bound. Either
-    /// way the emitted entries are an exact prefix of the unbounded
-    /// stream, and `truncated` is only reported when every remaining entry
-    /// provably grades below `bound`.
-    fn sorted_batch_bounded(
+    /// Fallible core of [`GradedSource::sorted_batch_bounded`] — the
+    /// grade-fence skipping logic lives here; see the trait method's docs.
+    fn sorted_batch_bounded_impl(
         &self,
         start: usize,
         count: usize,
         bound: Grade,
         out: &mut Vec<GradedEntry>,
-    ) -> BoundedBatch {
-        let n = self.len();
+    ) -> Result<BoundedBatch, StorageError> {
+        let n = self.footer.num_entries as usize;
         let start = start.min(n);
         let end = start.saturating_add(count).min(n);
         let base = out.len();
@@ -613,7 +738,7 @@ impl GradedSource for SegmentSource {
                     break;
                 }
             }
-            let block = self.data_block(block_index);
+            let block = self.try_data_block(block_index)?;
             self.fence_loaded.fetch_add(1, Ordering::Relaxed);
             let in_block = rank % self.entries_per_block;
             let take = (end - rank).min(self.entries_per_block - in_block);
@@ -626,21 +751,18 @@ impl GradedSource for SegmentSource {
                 break;
             }
         }
-        BoundedBatch {
+        Ok(BoundedBatch {
             appended: out.len() - base,
             truncated,
-        }
+        })
     }
-}
 
-impl SetAccess for SegmentSource {
-    /// The grade-1 prefix of the sorted order — identical semantics to
-    /// [`MemorySource::matching_set`](garlic_core::access::MemorySource).
-    fn matching_set(&self) -> Vec<ObjectId> {
+    /// Fallible core of [`SetAccess::matching_set`].
+    fn matching_set_impl(&self) -> Result<Vec<ObjectId>, StorageError> {
         let mut out = Vec::with_capacity(self.footer.ones as usize);
         let mut batch = Vec::new();
         let mut rank = 0usize;
-        'scan: while self.sorted_batch(rank, self.entries_per_block.max(1), &mut batch) > 0 {
+        'scan: while self.sorted_batch_impl(rank, self.entries_per_block.max(1), &mut batch)? > 0 {
             rank += batch.len();
             for entry in batch.drain(..) {
                 if entry.grade != Grade::ONE {
@@ -649,7 +771,127 @@ impl SetAccess for SegmentSource {
                 out.push(entry.object);
             }
         }
-        out
+        Ok(out)
+    }
+}
+
+impl GradedSource for SegmentSource {
+    fn len(&self) -> usize {
+        self.footer.num_entries as usize
+    }
+
+    fn sorted_access(&self, rank: usize) -> Option<GradedEntry> {
+        self.sorted_access_impl(rank)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn random_access(&self, object: ObjectId) -> Option<Grade> {
+        let fences = &self.footer.table_first_ids;
+        // The fence index names each table block's smallest id; the object,
+        // if present, can only live in the last block whose fence is <= it.
+        let candidate = fences.partition_point(|&first| first <= object.0);
+        if candidate == 0 {
+            return None;
+        }
+        let index = (candidate - 1) as u64;
+        self.try_table_block(index)
+            .and_then(|block| self.lookup_in_table(&block, index, object))
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    /// Native batched probing: probes are grouped by table block (sorted
+    /// by the footer's fence index), so each touched block is fetched from
+    /// the shared cache — and its checksum re-verified on a miss — **once
+    /// per batch**, not once per probe. Results land positionally aligned
+    /// with `objects`, and misses/duplicates behave exactly like the
+    /// per-object loop.
+    fn random_batch(&self, objects: &[ObjectId], out: &mut Vec<Option<Grade>>) {
+        self.random_batch_impl(objects, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    /// Native batched streaming: decodes each touched data block once,
+    /// straight into `out`.
+    fn sorted_batch(&self, start: usize, count: usize, out: &mut Vec<GradedEntry>) -> usize {
+        self.sorted_batch_impl(start, count, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    /// Threshold-hinted streaming. On a v2 segment the footer's
+    /// `grade_max` fences answer "can this block still matter?" *before*
+    /// the block is loaded: the scan stops at the first block whose fence
+    /// falls below `bound`, skipping its cache request, its I/O, and its
+    /// decode — and everything after it, since blocks are grade-descending.
+    /// On v1 the fence check is unavailable, but the scan still stops at
+    /// block granularity once a decoded block ends below the bound. Either
+    /// way the emitted entries are an exact prefix of the unbounded
+    /// stream, and `truncated` is only reported when every remaining entry
+    /// provably grades below `bound`.
+    fn sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> BoundedBatch {
+        self.sorted_batch_bounded_impl(start, count, bound, out)
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    /// Typed-error streaming: `out` is restored to its pre-call length on
+    /// failure, so a caller can retry (or fail over) without double-billed
+    /// or duplicated entries.
+    fn try_sorted_batch(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<usize, SourceError> {
+        let base = out.len();
+        self.sorted_batch_impl(start, count, out).map_err(|e| {
+            out.truncate(base);
+            self.source_error(e)
+        })
+    }
+
+    fn try_random_batch(
+        &self,
+        objects: &[ObjectId],
+        out: &mut Vec<Option<Grade>>,
+    ) -> Result<(), SourceError> {
+        let base = out.len();
+        self.random_batch_impl(objects, out).map_err(|e| {
+            out.truncate(base);
+            self.source_error(e)
+        })
+    }
+
+    fn try_sorted_batch_bounded(
+        &self,
+        start: usize,
+        count: usize,
+        bound: Grade,
+        out: &mut Vec<GradedEntry>,
+    ) -> Result<BoundedBatch, SourceError> {
+        let base = out.len();
+        self.sorted_batch_bounded_impl(start, count, bound, out)
+            .map_err(|e| {
+                out.truncate(base);
+                self.source_error(e)
+            })
+    }
+}
+
+impl SetAccess for SegmentSource {
+    /// The grade-1 prefix of the sorted order — identical semantics to
+    /// [`MemorySource::matching_set`](garlic_core::access::MemorySource).
+    fn matching_set(&self) -> Vec<ObjectId> {
+        self.matching_set_impl()
+            .unwrap_or_else(|e| self.infallible_panic(e))
+    }
+
+    fn try_matching_set(&self) -> Result<Vec<ObjectId>, SourceError> {
+        self.matching_set_impl().map_err(|e| self.source_error(e))
     }
 }
 
@@ -697,17 +939,18 @@ struct VerifiedStats {
 /// via an order-independent digest of the entry slots — that the two
 /// regions hold the *same* entries, so sorted access and random access can
 /// never disagree on a file that passed.
-fn verify_blocks(file: &mut File, footer: &Footer) -> Result<VerifiedStats, StorageError> {
+fn verify_blocks(file: &dyn VfsRead, footer: &Footer) -> Result<VerifiedStats, StorageError> {
     let entries_per_block = footer.block_size / ENTRY_LEN;
     let mut buf = vec![0u8; footer.block_size];
-    file.seek(SeekFrom::Start(HEADER_LEN))?;
+    let mut pos = HEADER_LEN;
 
     let mut prev: Option<GradedEntry> = None;
     let mut ones = 0u64;
     let mut crisp = true;
     let mut data_digest = 0u64;
     for (i, &expected) in footer.data_checksums.iter().enumerate() {
-        file.read_exact(&mut buf)?;
+        file.read_exact_at(&mut buf, pos)?;
+        pos += buf.len() as u64;
         if fnv1a64(&buf) != expected {
             return Err(StorageError::ChecksumMismatch { block: i as u64 });
         }
@@ -751,7 +994,8 @@ fn verify_blocks(file: &mut File, footer: &Footer) -> Result<VerifiedStats, Stor
     let mut prev_id: Option<u64> = None;
     let mut table_digest = 0u64;
     for (i, &expected) in footer.table_checksums.iter().enumerate() {
-        file.read_exact(&mut buf)?;
+        file.read_exact_at(&mut buf, pos)?;
+        pos += buf.len() as u64;
         let file_block = footer.data_blocks + i as u64;
         if fnv1a64(&buf) != expected {
             return Err(StorageError::ChecksumMismatch { block: file_block });
@@ -799,12 +1043,12 @@ fn verify_blocks(file: &mut File, footer: &Footer) -> Result<VerifiedStats, Stor
 /// per-block grade fences against the actual first/last entries. The two
 /// regions use different encodings, so the cross-region digest hashes each
 /// entry's *canonical* 16-byte slot rather than its encoded bytes.
-fn verify_blocks_v2(file: &mut File, footer: &FooterV2) -> Result<VerifiedStats, StorageError> {
+fn verify_blocks_v2(file: &dyn VfsRead, footer: &FooterV2) -> Result<VerifiedStats, StorageError> {
     let entries_per_block = footer.block_size / ENTRY_LEN;
     let dict = (footer.flags & FLAG_GRADE_DICT != 0).then_some(footer.grade_dict.as_slice());
     let mut buf = Vec::new();
     let mut slot = [0u8; ENTRY_LEN];
-    file.seek(SeekFrom::Start(HEADER_LEN))?;
+    let mut pos = HEADER_LEN;
 
     let mut prev: Option<GradedEntry> = None;
     let mut ones = 0u64;
@@ -814,7 +1058,8 @@ fn verify_blocks_v2(file: &mut File, footer: &FooterV2) -> Result<VerifiedStats,
     for (i, (&expected, &len)) in checks.enumerate() {
         buf.clear();
         buf.resize(len as usize, 0);
-        file.read_exact(&mut buf)?;
+        file.read_exact_at(&mut buf, pos)?;
+        pos += buf.len() as u64;
         if fnv1a64(&buf) != expected {
             return Err(StorageError::ChecksumMismatch { block: i as u64 });
         }
@@ -878,7 +1123,8 @@ fn verify_blocks_v2(file: &mut File, footer: &FooterV2) -> Result<VerifiedStats,
     for (i, (&expected, &len)) in checks.enumerate() {
         buf.clear();
         buf.resize(len as usize, 0);
-        file.read_exact(&mut buf)?;
+        file.read_exact_at(&mut buf, pos)?;
+        pos += buf.len() as u64;
         let file_block = footer.data_blocks + i as u64;
         if fnv1a64(&buf) != expected {
             return Err(StorageError::ChecksumMismatch { block: file_block });
@@ -931,6 +1177,7 @@ fn verify_blocks_v2(file: &mut File, footer: &FooterV2) -> Result<VerifiedStats,
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
     use crate::writer::SegmentWriter;
 
     fn g(v: f64) -> Grade {
@@ -1234,5 +1481,93 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    /// Writes through the std VFS, then reopens through a [`FaultVfs`] so a
+    /// test can inject read faults after the (fault-free) open has verified
+    /// the checksums.
+    fn open_with_faults(name: &str, grades: &[Grade]) -> (SegmentSource, Arc<FaultVfs>) {
+        let path = temp_path(name);
+        SegmentWriter::with_block_size(48)
+            .unwrap()
+            .write_grades(&path, grades)
+            .unwrap();
+        let fault = Arc::new(FaultVfs::new());
+        let vfs: Arc<dyn Vfs> = Arc::clone(&fault) as Arc<dyn Vfs>;
+        let seg = SegmentSource::open_with(&path, Arc::new(BlockCache::new(64)), &vfs).unwrap();
+        (seg, fault)
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_and_counted() {
+        let grades = [0.2, 0.9, 0.5, 1.0, 0.5].map(g);
+        let (seg, fault) = open_with_faults("retry.seg", &grades);
+        // Fail the next 2 reads, then recover: well inside the 4-attempt
+        // retry budget.
+        fault.push_rule(FaultRule {
+            path_contains: "retry.seg".to_owned(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Transient { times: 2 },
+        });
+        assert!(seg.sorted_access(0).is_some());
+        assert_eq!(seg.io_retries(), 2);
+        assert_eq!(seg.io_gave_up(), 0);
+        assert!(!seg.is_quarantined());
+    }
+
+    #[test]
+    fn permanent_read_faults_quarantine_the_segment() {
+        let grades = [0.2, 0.9, 0.5, 1.0, 0.5].map(g);
+        let (mut seg, fault) = open_with_faults("quarantine.seg", &grades);
+        seg.set_retry_policy(RetryPolicy {
+            attempts: 3,
+            base_delay_us: 0,
+            max_delay_us: 0,
+        });
+        fault.push_rule(FaultRule {
+            path_contains: "quarantine.seg".to_owned(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Permanent,
+        });
+        let mut out = Vec::new();
+        let err = seg.try_sorted_batch(0, 5, &mut out).unwrap_err();
+        assert!(err.quarantined, "exhausted retries must quarantine: {err}");
+        assert!(out.is_empty(), "out must be unchanged on error");
+        assert!(seg.is_quarantined());
+        assert_eq!(seg.io_gave_up(), 1);
+        assert_eq!(seg.io_retries(), 2, "attempts - 1 retries before giving up");
+        // Fail-fast: later reads return the typed quarantine error without
+        // touching the disk again.
+        let before = fault.injected();
+        let err = seg.try_sorted_batch(0, 5, &mut out).unwrap_err();
+        assert!(err.quarantined);
+        assert_eq!(fault.injected(), before, "quarantined probe hit the disk");
+        // The infallible random path still answers misses from the fence
+        // index without I/O, and cached state stays coherent.
+        assert!(seg.try_matching_set().is_err());
+    }
+
+    #[test]
+    fn recovered_transient_fault_leaves_identical_answers() {
+        let grades = [0.2, 0.9, 0.5, 1.0, 0.5].map(g);
+        let (seg, fault) = open_with_faults("identical.seg", &grades);
+        fault.push_rule(FaultRule {
+            path_contains: "identical.seg".to_owned(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Transient { times: 1 },
+        });
+        let clean = write_and_open("identical-clean.seg", &grades, 48);
+        for rank in 0..6 {
+            assert_eq!(seg.sorted_access(rank), clean.sorted_access(rank));
+        }
+        for i in 0..5u64 {
+            assert_eq!(
+                seg.random_access(ObjectId(i)),
+                clean.random_access(ObjectId(i))
+            );
+        }
     }
 }

@@ -1,0 +1,708 @@
+//! The virtual filesystem seam: every byte the storage layer moves goes
+//! through a [`Vfs`].
+//!
+//! Production code runs on [`StdVfs`] — thin, zero-overhead wrappers over
+//! `std::fs` (positioned reads are `pread` on Unix, so concurrent cache
+//! misses still read in parallel). Tests and the chaos suite swap in a
+//! [`FaultVfs`], which wraps any inner Vfs and injects *deterministic*
+//! faults from a per-path plan: transient or permanent EIO on the Nth
+//! matching operation, torn (short) writes, fsync failures, and latency.
+//! Determinism is the point — a failing chaos schedule replays exactly,
+//! and the retry/quarantine machinery upstream can be tested operation by
+//! operation.
+//!
+//! The traits are deliberately narrow: exactly the operations the segment
+//! reader/writer, WAL, manifest, and compactor actually perform. Anything
+//! not on this seam (directory creation in test setup, say) is not part of
+//! the failure model.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// A filesystem implementation the storage layer runs on.
+///
+/// All methods operate on whole paths; per-file I/O happens through the
+/// [`VfsRead`] / [`VfsFile`] handles the open methods return.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Opens `path` for positioned reads.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRead>>;
+    /// Creates (or truncates) `path` for read+write.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing `path` for read+write without truncating.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory at `dir`, making renames/creates in it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Lists the entries of directory `dir`.
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// A read-only file handle supporting concurrent positioned reads.
+// `len` is fallible (it stats the file), so a conventional `is_empty`
+// counterpart would be a second fallible syscall, not a cheap predicate.
+#[allow(clippy::len_without_is_empty)]
+pub trait VfsRead: Send + Sync {
+    /// The file's current length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Fills `buf` from byte `offset`, erroring on short reads.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()>;
+}
+
+/// A writable file handle with an explicit cursor.
+pub trait VfsFile: Send {
+    /// Reads from the cursor to the end of the file.
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize>;
+    /// Moves the cursor to byte `offset`.
+    fn seek_to(&mut self, offset: u64) -> io::Result<()>;
+    /// Writes all of `buf` at the cursor, advancing it.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Truncates (or extends) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Flushes file *data* to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flushes file data and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The shared production Vfs (see [`StdVfs`]).
+pub fn std_vfs() -> Arc<dyn Vfs> {
+    Arc::new(StdVfs)
+}
+
+/// The real filesystem: `std::fs` with `pread`-style positioned reads on
+/// Unix (elsewhere a mutex serialises the seek + read pair).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRead>> {
+        let file = File::open(path)?;
+        Ok(Box::new(StdRead {
+            file,
+            #[cfg(not(unix))]
+            lock: Mutex::new(()),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdWrite { file }))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(StdWrite { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            entries.push(entry?.path());
+        }
+        Ok(entries)
+    }
+}
+
+struct StdRead {
+    file: File,
+    #[cfg(not(unix))]
+    lock: Mutex<()>,
+}
+
+impl VfsRead for StdRead {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut file = &self.file;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+}
+
+struct StdWrite {
+    file: File,
+}
+
+impl VfsFile for StdWrite {
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize> {
+        self.file.read_to_end(out)
+    }
+
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset)).map(|_| ())
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// Which operation class a [`FaultRule`] targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Opening a file (any mode).
+    Open,
+    /// A positioned or sequential read.
+    Read,
+    /// A data write (including `set_len`).
+    Write,
+    /// `sync_data` / `sync_all` on a file, or a directory fsync.
+    Sync,
+    /// A rename.
+    Rename,
+    /// A file removal.
+    Remove,
+}
+
+/// What an armed [`FaultRule`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail `times` consecutive matching operations with EIO, then let
+    /// later ones succeed — the retryable failure class.
+    Transient {
+        /// How many consecutive matching operations fail.
+        times: u32,
+    },
+    /// Fail this and every later matching operation with EIO — the
+    /// quarantine-the-source failure class.
+    Permanent,
+    /// Write only the first `keep` bytes of the buffer, then report EIO —
+    /// a torn write. (On non-write operations this behaves like a plain
+    /// one-shot EIO.)
+    TornWrite {
+        /// Bytes actually written before the failure.
+        keep: usize,
+    },
+    /// Delay this and every later matching operation by `micros`
+    /// microseconds, then let it succeed.
+    Latency {
+        /// The injected delay, in microseconds.
+        micros: u64,
+    },
+}
+
+/// One entry of a [`FaultVfs`] plan: on the `nth` (0-based) operation of
+/// class `op` whose path contains `path_contains`, start applying `kind`.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Substring the operation's path must contain (empty matches all).
+    pub path_contains: String,
+    /// The operation class this rule watches.
+    pub op: FaultOp,
+    /// 0-based index of the first matching operation the rule fires on.
+    pub nth: u64,
+    /// The fault applied once the rule fires.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    rule: FaultRule,
+    /// Matching operations seen so far.
+    seen: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rules: Mutex<Vec<RuleState>>,
+    injected: AtomicU64,
+}
+
+/// The outcome of consulting the plan for one operation.
+enum Action {
+    Proceed,
+    Fail(&'static str),
+    Torn(usize),
+    Sleep(Duration),
+}
+
+impl FaultState {
+    /// Advances every matching rule's counter and returns the action for
+    /// this operation: the first firing rule wins; latency rules that fire
+    /// alongside a failure rule are ignored (the failure is immediate).
+    fn check(&self, path: &Path, op: FaultOp) -> Action {
+        let path_str = path.to_string_lossy();
+        let mut rules = self.rules.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut action = Action::Proceed;
+        for state in rules.iter_mut() {
+            if state.rule.op != op || !path_str.contains(&state.rule.path_contains) {
+                continue;
+            }
+            let seq = state.seen;
+            state.seen += 1;
+            if seq < state.rule.nth {
+                continue;
+            }
+            let fired = match state.rule.kind {
+                FaultKind::Transient { times } => {
+                    if seq < state.rule.nth + times as u64 {
+                        Some(Action::Fail("injected transient EIO"))
+                    } else {
+                        None
+                    }
+                }
+                FaultKind::Permanent => Some(Action::Fail("injected permanent EIO")),
+                FaultKind::TornWrite { keep } => {
+                    if seq == state.rule.nth {
+                        Some(Action::Torn(keep))
+                    } else {
+                        None
+                    }
+                }
+                FaultKind::Latency { micros } => Some(Action::Sleep(Duration::from_micros(micros))),
+            };
+            if let Some(fired) = fired {
+                match (&action, &fired) {
+                    // A failure outranks a latency; the first failure wins.
+                    (Action::Proceed, _) => action = fired,
+                    (Action::Sleep(_), Action::Fail(_) | Action::Torn(_)) => action = fired,
+                    _ => {}
+                }
+            }
+        }
+        if !matches!(action, Action::Proceed) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+fn injected_error(detail: &'static str) -> io::Error {
+    io::Error::other(detail)
+}
+
+/// A fault-injecting Vfs: wraps an inner [`Vfs`] (usually [`StdVfs`]) and
+/// applies a deterministic plan of [`FaultRule`]s to every operation that
+/// flows through it. See the module docs for the failure taxonomy.
+///
+/// Clone-cheap via `Arc`; all handles it returns share the plan, so a
+/// rule armed for the 3rd read of `"color.seg"` fires no matter which
+/// open handle performs it.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// A fault Vfs over the real filesystem with an empty plan (all
+    /// operations succeed until rules are added).
+    pub fn new() -> Self {
+        FaultVfs::wrapping(std_vfs())
+    }
+
+    /// A fault Vfs over an arbitrary inner Vfs.
+    pub fn wrapping(inner: Arc<dyn Vfs>) -> Self {
+        FaultVfs {
+            inner,
+            state: Arc::new(FaultState {
+                rules: Mutex::new(Vec::new()),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Arms one rule. Rules are consulted in insertion order; the first
+    /// one that fires decides the operation's fate.
+    pub fn push_rule(&self, rule: FaultRule) {
+        self.state
+            .rules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(RuleState { rule, seen: 0 });
+    }
+
+    /// Builds a small deterministic plan from `seed`, targeting paths
+    /// containing `path_contains` — the chaos suite's per-case scheduler.
+    /// Equal seeds always produce equal plans.
+    pub fn seeded_plan(&self, seed: u64, path_contains: &str) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let rules = 1 + (next() % 3) as usize;
+        for _ in 0..rules {
+            let op = match next() % 4 {
+                0 => FaultOp::Read,
+                1 => FaultOp::Write,
+                2 => FaultOp::Sync,
+                _ => FaultOp::Open,
+            };
+            let kind = match next() % 4 {
+                0 => FaultKind::Transient {
+                    times: 1 + (next() % 3) as u32,
+                },
+                1 => FaultKind::Permanent,
+                2 => FaultKind::TornWrite {
+                    keep: (next() % 64) as usize,
+                },
+                _ => FaultKind::Latency {
+                    micros: next() % 500,
+                },
+            };
+            self.push_rule(FaultRule {
+                path_contains: path_contains.to_owned(),
+                op,
+                nth: next() % 16,
+                kind,
+            });
+        }
+    }
+
+    /// How many operations the plan has failed, torn, or delayed so far.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// Removes every armed rule (counters included) — the Vfs becomes
+    /// transparent again. Useful for "heal the disk" phases of a test.
+    pub fn clear(&self) {
+        self.state
+            .rules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    fn gate(&self, path: &Path, op: FaultOp) -> io::Result<()> {
+        match self.state.check(path, op) {
+            Action::Proceed => Ok(()),
+            Action::Fail(detail) => Err(injected_error(detail)),
+            Action::Torn(_) => Err(injected_error("injected torn write")),
+            Action::Sleep(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Default for FaultVfs {
+    fn default() -> Self {
+        FaultVfs::new()
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRead>> {
+        self.gate(path, FaultOp::Open)?;
+        let inner = self.inner.open_read(path)?;
+        Ok(Box::new(FaultRead {
+            inner,
+            path: path.to_path_buf(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate(path, FaultOp::Open)?;
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultWrite {
+            inner,
+            path: path.to_path_buf(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate(path, FaultOp::Open)?;
+        let inner = self.inner.open_rw(path)?;
+        Ok(Box::new(FaultWrite {
+            inner,
+            path: path.to_path_buf(),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate(to, FaultOp::Rename)?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate(path, FaultOp::Remove)?;
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.gate(dir, FaultOp::Sync)?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.gate(dir, FaultOp::Read)?;
+        self.inner.read_dir(dir)
+    }
+}
+
+struct FaultRead {
+    inner: Box<dyn VfsRead>,
+    path: PathBuf,
+    state: Arc<FaultState>,
+}
+
+impl VfsRead for FaultRead {
+    fn len(&self) -> io::Result<u64> {
+        self.inner.len()
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        match self.state.check(&self.path, FaultOp::Read) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(_) => return Err(injected_error("injected torn write")),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.read_exact_at(buf, offset)
+    }
+}
+
+struct FaultWrite {
+    inner: Box<dyn VfsFile>,
+    path: PathBuf,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultWrite {
+    fn read_to_end(&mut self, out: &mut Vec<u8>) -> io::Result<usize> {
+        match self.state.check(&self.path, FaultOp::Read) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(_) => return Err(injected_error("injected torn write")),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.read_to_end(out)
+    }
+
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        self.inner.seek_to(offset)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.state.check(&self.path, FaultOp::Write) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(keep) => {
+                // The torn half really lands on disk — that is the point.
+                let keep = keep.min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                return Err(injected_error("injected torn write"));
+            }
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.write_all(buf)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.state.check(&self.path, FaultOp::Write) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(_) => return Err(injected_error("injected torn write")),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.set_len(len)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.state.check(&self.path, FaultOp::Sync) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(_) => return Err(injected_error("injected torn write")),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.state.check(&self.path, FaultOp::Sync) {
+            Action::Proceed => {}
+            Action::Fail(detail) => return Err(injected_error(detail)),
+            Action::Torn(_) => return Err(injected_error("injected torn write")),
+            Action::Sleep(d) => std::thread::sleep(d),
+        }
+        self.inner.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("garlic-storage-vfs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_vfs_round_trips_bytes() {
+        let path = temp_dir().join("std-roundtrip.bin");
+        let vfs = StdVfs;
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"hello world").unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+        let read = vfs.open_read(&path).unwrap();
+        assert_eq!(read.len().unwrap(), 11);
+        let mut buf = [0u8; 5];
+        read.read_exact_at(&mut buf, 6).unwrap();
+        assert_eq!(&buf, b"world");
+    }
+
+    #[test]
+    fn transient_rule_fails_exactly_n_operations() {
+        let path = temp_dir().join("transient.bin");
+        std::fs::write(&path, vec![7u8; 64]).unwrap();
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "transient.bin".into(),
+            op: FaultOp::Read,
+            nth: 1,
+            kind: FaultKind::Transient { times: 2 },
+        });
+        let read = vfs.open_read(&path).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(read.read_exact_at(&mut buf, 0).is_ok(), "op 0 clean");
+        assert!(read.read_exact_at(&mut buf, 0).is_err(), "op 1 fails");
+        assert!(read.read_exact_at(&mut buf, 0).is_err(), "op 2 fails");
+        assert!(read.read_exact_at(&mut buf, 0).is_ok(), "op 3 recovers");
+        assert_eq!(vfs.injected(), 2);
+    }
+
+    #[test]
+    fn permanent_rule_never_recovers() {
+        let path = temp_dir().join("permanent.bin");
+        std::fs::write(&path, vec![7u8; 64]).unwrap();
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "permanent.bin".into(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Permanent,
+        });
+        let read = vfs.open_read(&path).unwrap();
+        let mut buf = [0u8; 8];
+        for _ in 0..5 {
+            assert!(read.read_exact_at(&mut buf, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn torn_write_leaves_the_prefix_on_disk() {
+        let path = temp_dir().join("torn.bin");
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "torn.bin".into(),
+            op: FaultOp::Write,
+            nth: 0,
+            kind: FaultKind::TornWrite { keep: 4 },
+        });
+        let mut file = vfs.create(&path).unwrap();
+        assert!(file.write_all(b"0123456789").is_err());
+        drop(file);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123");
+    }
+
+    #[test]
+    fn rules_scope_by_path_substring() {
+        let dir = temp_dir();
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "scoped-target".into(),
+            op: FaultOp::Open,
+            nth: 0,
+            kind: FaultKind::Permanent,
+        });
+        let clean = dir.join("scoped-other.bin");
+        std::fs::write(&clean, b"x").unwrap();
+        assert!(vfs.open_read(&clean).is_ok());
+        let target = dir.join("scoped-target.bin");
+        std::fs::write(&target, b"x").unwrap();
+        assert!(vfs.open_read(&target).is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultVfs::new();
+        let b = FaultVfs::new();
+        a.seeded_plan(42, "x.seg");
+        b.seeded_plan(42, "x.seg");
+        let rules_of = |v: &FaultVfs| {
+            v.state
+                .rules
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|r| format!("{:?}", r.rule))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rules_of(&a), rules_of(&b));
+        assert!(!rules_of(&a).is_empty());
+    }
+
+    #[test]
+    fn sync_failure_is_injectable() {
+        let path = temp_dir().join("sync-fail.bin");
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "sync-fail.bin".into(),
+            op: FaultOp::Sync,
+            nth: 0,
+            kind: FaultKind::Transient { times: 1 },
+        });
+        let mut file = vfs.create(&path).unwrap();
+        file.write_all(b"data").unwrap();
+        assert!(file.sync_data().is_err(), "first sync fails");
+        assert!(file.sync_data().is_ok(), "second sync succeeds");
+    }
+}

@@ -35,15 +35,15 @@
 //! append is acknowledged), so it is a typed [`StorageError::WalCorrupt`],
 //! never a silent empty log.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use garlic_agg::Grade;
 use garlic_core::ObjectId;
 
 use crate::error::StorageError;
 use crate::format::{fnv1a64, read_varint, write_varint};
+use crate::vfs::{std_vfs, Vfs, VfsFile};
 
 /// The 8-byte file magic every WAL starts with.
 pub const WAL_MAGIC: [u8; 8] = *b"GRLCWAL1";
@@ -87,9 +87,8 @@ impl WalOp {
 
 /// An open, append-only write-ahead log (see the module docs for the
 /// format, fsync, and recovery rules).
-#[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     /// Sequence number of the next record.
     next_seq: u64,
@@ -98,20 +97,30 @@ pub struct Wal {
     committed: u64,
 }
 
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .field("committed", &self.committed)
+            .finish()
+    }
+}
+
 impl Wal {
     /// Creates a fresh, empty log at `path` (truncating anything there),
     /// writing and syncing the header — and the containing directory, so
     /// the file itself survives a crash.
     pub fn create(path: &Path) -> Result<Wal, StorageError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        Wal::create_with(path, &std_vfs())
+    }
+
+    /// [`create`](Wal::create) through an explicit [`Vfs`].
+    pub fn create_with(path: &Path, vfs: &Arc<dyn Vfs>) -> Result<Wal, StorageError> {
+        let mut file = vfs.create(path)?;
         file.write_all(&WAL_MAGIC)?;
         file.sync_all()?;
-        sync_parent_dir(path)?;
+        sync_parent_dir(vfs.as_ref(), path)?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
@@ -124,7 +133,16 @@ impl Wal {
     /// `ops` and truncating any torn tail (see the module docs for what
     /// counts as torn). After `open` the log is ready for appends.
     pub fn open(path: &Path, ops: &mut Vec<WalOp>) -> Result<Wal, StorageError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        Wal::open_with(path, ops, &std_vfs())
+    }
+
+    /// [`open`](Wal::open) through an explicit [`Vfs`].
+    pub fn open_with(
+        path: &Path,
+        ops: &mut Vec<WalOp>,
+        vfs: &Arc<dyn Vfs>,
+    ) -> Result<Wal, StorageError> {
+        let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         if bytes.is_empty() {
@@ -193,7 +211,10 @@ impl Wal {
         let crc = fnv1a64(&record);
         record.extend_from_slice(&crc.to_le_bytes());
 
-        self.file.seek(SeekFrom::Start(self.committed))?;
+        // Commit point: `committed`/`next_seq` advance only after the
+        // sync, so a failed write or fsync leaves a torn tail the next
+        // append (or recovery) simply overwrites.
+        self.file.seek_to(self.committed)?;
         self.file.write_all(&record)?;
         self.file.sync_data()?;
         self.committed += record.len() as u64;
@@ -259,9 +280,9 @@ fn decode_record(bytes: &[u8], expected_seq: u64) -> Option<(Vec<WalOp>, usize)>
 
 /// Fsyncs the directory containing `path`, making a create/rename of the
 /// file itself durable.
-pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), StorageError> {
+pub(crate) fn sync_parent_dir(vfs: &dyn Vfs, path: &Path) -> Result<(), StorageError> {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        File::open(dir)?.sync_all()?;
+        vfs.sync_dir(dir)?;
     }
     Ok(())
 }
@@ -269,9 +290,18 @@ pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), StorageError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
+    use std::fs::OpenOptions;
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()
+    }
+
+    fn up(id: u64, v: f64) -> WalOp {
+        WalOp::Upsert {
+            object: ObjectId(id),
+            grade: g(v),
+        }
     }
 
     fn temp_wal(name: &str) -> PathBuf {
@@ -408,6 +438,77 @@ mod tests {
             Wal::open(&path, &mut ops),
             Err(StorageError::WalCorrupt { .. })
         ));
+    }
+
+    /// Satellite of the fault-injection work: an fsync that fails on the
+    /// Nth append must (1) surface as a typed error, (2) not acknowledge
+    /// the batch, and (3) leave the tail clean enough that both a retry
+    /// and crash-recovery behave exactly as if the append never happened.
+    #[test]
+    fn failed_fsync_append_is_typed_and_retryable() {
+        let path = temp_wal("fsync-retry.wal");
+        let fault = FaultVfs::new();
+        fault.push_rule(FaultRule {
+            path_contains: "fsync-retry.wal".to_owned(),
+            op: FaultOp::Sync,
+            // Matching sync ops on this path: header sync_all (#0), first
+            // append sync_data (#1), second append sync_data (#2).
+            nth: 2,
+            kind: FaultKind::Transient { times: 1 },
+        });
+        let vfs: Arc<dyn Vfs> = Arc::new(fault);
+        let mut wal = Wal::create_with(&path, &vfs).unwrap();
+        wal.append(&[up(1, 0.5)]).unwrap();
+        let committed = wal.committed_bytes();
+
+        let err = wal.append(&[up(2, 0.75)]).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
+        assert_eq!(
+            wal.committed_bytes(),
+            committed,
+            "a failed append is not acknowledged"
+        );
+
+        // The torn bytes sit past the committed offset; a retry simply
+        // overwrites them.
+        wal.append(&[up(2, 0.75)]).unwrap();
+        drop(wal);
+        let mut ops = Vec::new();
+        Wal::open(&path, &mut ops).unwrap();
+        assert_eq!(ops, vec![up(1, 0.5), up(2, 0.75)]);
+    }
+
+    /// Crash right after the failed fsync (no retry): recovery replays
+    /// exactly the acknowledged prefix and truncates the unacknowledged
+    /// record that reached the page cache but never synced.
+    #[test]
+    fn acknowledged_upserts_survive_a_crash_after_failed_fsync() {
+        let path = temp_wal("fsync-crash.wal");
+        let fault = FaultVfs::new();
+        fault.push_rule(FaultRule {
+            path_contains: "fsync-crash.wal".to_owned(),
+            op: FaultOp::Sync,
+            nth: 2,
+            kind: FaultKind::Permanent,
+        });
+        let vfs: Arc<dyn Vfs> = Arc::new(fault);
+        let mut wal = Wal::create_with(&path, &vfs).unwrap();
+        wal.append(&[up(1, 0.5)]).unwrap();
+        let committed = wal.committed_bytes();
+        wal.append(&[up(2, 0.75)]).unwrap_err();
+        drop(wal); // crash
+                   // The failed fsync means those bytes carry no durability promise;
+                   // model the worst case by dropping everything past the committed
+                   // offset, as a real power cut would.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(committed).unwrap();
+        drop(file);
+
+        let mut ops = Vec::new();
+        let recovered = Wal::open(&path, &mut ops).unwrap();
+        assert_eq!(ops, vec![up(1, 0.5)], "only acknowledged ops replay");
+        assert_eq!(recovered.committed_bytes(), committed);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! are "write a new segment, swap the path", which is what makes the
 //! shared block cache trivially coherent.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Write};
+use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use garlic_agg::Grade;
 use garlic_core::{GradedEntry, GradedSet, ObjectId};
@@ -22,6 +22,7 @@ use crate::format::{
     DEFAULT_BLOCK_SIZE, ENTRY_LEN, FLAG_CRISP, FLAG_GRADE_DICT, FORMAT_V1, FORMAT_VERSION,
     GRADE_DICT_MAX, HEADER_MAGIC, TRAILER_MAGIC,
 };
+use crate::vfs::{std_vfs, Vfs, VfsFile};
 
 /// What a finished write produced — geometry an operator (or a test) can
 /// check against expectations.
@@ -59,6 +60,7 @@ pub struct ShardInfo {
 pub struct SegmentWriter {
     block_size: usize,
     version: u32,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl SegmentWriter {
@@ -68,6 +70,7 @@ impl SegmentWriter {
         SegmentWriter {
             block_size: DEFAULT_BLOCK_SIZE,
             version: FORMAT_VERSION,
+            vfs: std_vfs(),
         }
     }
 
@@ -81,7 +84,16 @@ impl SegmentWriter {
         Ok(SegmentWriter {
             block_size,
             version: FORMAT_VERSION,
+            vfs: std_vfs(),
         })
+    }
+
+    /// Routes every file operation of this writer through `vfs` — the hook
+    /// the fault-injection suite uses to fail writes, syncs, and renames
+    /// deterministically.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 
     /// Selects the on-disk format version: [`FORMAT_VERSION`] (the v2
@@ -235,12 +247,16 @@ impl SegmentWriter {
         let blocks_per_region = (by_grade.len() as u64).div_ceil(entries_per_block as u64);
 
         let tmp_path = tmp_sibling(path);
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp_path)?;
-        let mut out = BufWriter::new(file);
+        let file = self.vfs.create(&tmp_path)?;
+        // From here until the rename publishes the segment, any error (or
+        // panic) leaves a stale tmp sibling — the guard removes it so a
+        // failed build cannot leak files an operator has to garbage-collect.
+        let mut guard = TmpGuard {
+            vfs: self.vfs.as_ref(),
+            path: &tmp_path,
+            armed: true,
+        };
+        let mut out = VfsBufWriter::new(file);
 
         out.write_all(&HEADER_MAGIC)?;
         out.write_all(&self.version.to_le_bytes())?;
@@ -252,7 +268,7 @@ impl SegmentWriter {
         let flags = if crisp { FLAG_CRISP } else { 0 };
         let (footer_bytes, payload_len) = if self.version == FORMAT_V1 {
             let mut block = vec![0u8; self.block_size];
-            let mut write_region = |out: &mut BufWriter<File>,
+            let mut write_region = |out: &mut VfsBufWriter,
                                     region: &[GradedEntry]|
              -> Result<Vec<u64>, StorageError> {
                 let mut checksums = Vec::with_capacity(blocks_per_region as usize);
@@ -297,7 +313,7 @@ impl SegmentWriter {
             let dict = (!grade_dict.is_empty()).then_some(grade_dict.as_slice());
 
             let mut payload_len = 0u64;
-            let mut write_region = |out: &mut BufWriter<File>,
+            let mut write_region = |out: &mut VfsBufWriter,
                                     region: &[GradedEntry],
                                     kind: RegionKind|
              -> Result<(Vec<u64>, Vec<u64>), StorageError> {
@@ -346,15 +362,14 @@ impl SegmentWriter {
         out.write_all(&(footer_bytes.len() as u64).to_le_bytes())?;
         out.write_all(&TRAILER_MAGIC)?;
 
-        let file = out
-            .into_inner()
-            .map_err(|e| StorageError::Io(e.into_error()))?;
+        let mut file = out.into_file()?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp_path, path)?;
+        self.vfs.rename(&tmp_path, path)?;
+        guard.armed = false;
         // Make the rename itself durable: fsync the containing directory.
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            File::open(dir)?.sync_all()?;
+            self.vfs.sync_dir(dir)?;
         }
 
         let bytes = footer_offset + footer_bytes.len() as u64 + crate::format::TRAILER_LEN;
@@ -380,9 +395,69 @@ fn tmp_sibling(path: &Path) -> std::path::PathBuf {
     path.with_file_name(name)
 }
 
+/// Removes the tmp sibling on drop unless the rename published it first —
+/// so an error (or panic) anywhere in the build leaves no stray files.
+struct TmpGuard<'a> {
+    vfs: &'a dyn Vfs,
+    path: &'a Path,
+    armed: bool,
+}
+
+impl Drop for TmpGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Best-effort: the file may never have been created, and the
+            // cleanup itself may be what the fault plan fails.
+            let _ = self.vfs.remove_file(self.path);
+        }
+    }
+}
+
+/// Batches small writes into ~64 KiB flushes — [`std::io::BufWriter`]
+/// rebuilt over the [`VfsFile`] seam so injected write faults still see a
+/// realistic number of distinct write operations.
+struct VfsBufWriter {
+    file: Box<dyn VfsFile>,
+    buf: Vec<u8>,
+}
+
+const WRITE_BUF: usize = 64 * 1024;
+
+impl VfsBufWriter {
+    fn new(file: Box<dyn VfsFile>) -> Self {
+        VfsBufWriter {
+            file,
+            buf: Vec::with_capacity(WRITE_BUF),
+        }
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= WRITE_BUF {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn into_file(mut self) -> io::Result<Box<dyn VfsFile>> {
+        self.flush()?;
+        Ok(self.file)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultKind, FaultOp, FaultRule, FaultVfs};
+    use std::fs;
 
     fn g(v: f64) -> Grade {
         Grade::new(v).unwrap()
@@ -463,6 +538,56 @@ mod tests {
         let path = temp_path("clean.seg");
         SegmentWriter::new().write_grades(&path, &[g(0.5)]).unwrap();
         assert!(path.exists());
+        assert!(!tmp_sibling(&path).exists());
+    }
+
+    /// The RAII guard's real job: a build that *fails* must not leak its
+    /// tmp sibling either — for a write fault, a sync fault, and a rename
+    /// fault (the three distinct failure points of the publication dance).
+    #[test]
+    fn no_tmp_file_survives_a_failed_write() {
+        let grades: Vec<Grade> = (0..2000).map(|i| g((i % 100) as f64 / 100.0)).collect();
+        for (name, op) in [
+            ("fail-write.seg", FaultOp::Write),
+            ("fail-sync.seg", FaultOp::Sync),
+            ("fail-rename.seg", FaultOp::Rename),
+        ] {
+            let path = temp_path(name);
+            let vfs = FaultVfs::new();
+            vfs.push_rule(FaultRule {
+                path_contains: name.to_owned(),
+                op,
+                nth: 0,
+                kind: FaultKind::Permanent,
+            });
+            let err = SegmentWriter::new()
+                .with_vfs(Arc::new(vfs))
+                .write_grades(&path, &grades)
+                .unwrap_err();
+            assert!(matches!(err, StorageError::Io(_)), "{name}: {err}");
+            assert!(!path.exists(), "{name}: nothing published");
+            assert!(!tmp_sibling(&path).exists(), "{name}: tmp cleaned up");
+        }
+    }
+
+    /// A torn write is the nastiest failure: half the bytes really land.
+    /// The guard still removes the torn tmp file and nothing is published.
+    #[test]
+    fn torn_write_leaves_no_debris() {
+        let path = temp_path("torn.seg");
+        let vfs = FaultVfs::new();
+        vfs.push_rule(FaultRule {
+            path_contains: "torn.seg".to_owned(),
+            op: FaultOp::Write,
+            nth: 0,
+            kind: FaultKind::TornWrite { keep: 17 },
+        });
+        let err = SegmentWriter::new()
+            .with_vfs(Arc::new(vfs))
+            .write_grades(&path, &[g(0.5), g(0.25)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(!path.exists());
         assert!(!tmp_sibling(&path).exists());
     }
 

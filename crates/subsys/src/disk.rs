@@ -30,7 +30,8 @@ use std::sync::Arc;
 use garlic_core::access::{GradedSource, SetAccess};
 use garlic_core::ShardedSource;
 use garlic_storage::{
-    BlockCache, CacheStats, FenceStats, LiveOptions, LiveSource, SegmentSource, StorageError,
+    std_vfs, BlockCache, CacheStats, FenceStats, LiveOptions, LiveSource, SegmentSource,
+    StorageError, Vfs,
 };
 use garlic_telemetry::{MetricEntry, MetricValue, Telemetry};
 
@@ -120,6 +121,14 @@ pub struct DiskSubsystem {
     /// fence-skip and shard scatter-gather stats are read straight off
     /// these at snapshot time (pull-based — the query path pays nothing).
     probes: Vec<(String, FixedProbe)>,
+    /// When set, sharded attributes registered afterwards opt in to
+    /// degraded reads (a quarantined shard is dropped instead of failing
+    /// the query; see [`ShardedSource::with_degraded_reads`]).
+    degraded_reads: bool,
+    /// Filesystem abstraction every subsequently opened attribute reads
+    /// through — the real filesystem unless a test installed a
+    /// [`garlic_storage::FaultVfs`].
+    vfs: Arc<dyn Vfs>,
 }
 
 /// A concrete stats handle behind a fixed attribute — see
@@ -130,7 +139,39 @@ enum FixedProbe {
     Sharded(Arc<ShardedSource<SegmentSource>>),
 }
 
+/// One fixed attribute's I/O health, as reported by
+/// [`DiskSubsystem::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeHealth {
+    /// The attribute this report covers.
+    pub attribute: String,
+    /// Segment files quarantined after exhausting their I/O retry budget.
+    /// Empty means the attribute is fully healthy.
+    pub quarantined: Vec<std::path::PathBuf>,
+    /// Total transient read faults absorbed by retries across the
+    /// attribute's segments.
+    pub io_retries: u64,
+    /// Block loads that exhausted the retry budget (each one quarantined
+    /// a segment).
+    pub io_gave_up: u64,
+}
+
+impl AttributeHealth {
+    /// Whether every segment behind the attribute is serving reads.
+    pub fn healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 impl FixedProbe {
+    /// The segments behind this attribute, for health and telemetry scans.
+    fn segments(&self) -> Vec<&SegmentSource> {
+        match self {
+            FixedProbe::Segment(segment) => vec![segment],
+            FixedProbe::Sharded(sharded) => sharded.shards().iter().collect(),
+        }
+    }
+
     /// Appends this attribute's metrics under `prefix`.
     fn collect(&self, prefix: &str, out: &mut Vec<MetricEntry>) {
         let counter = |name: String, value: u64| MetricEntry {
@@ -173,6 +214,18 @@ impl FixedProbe {
             format!("{prefix}.fence.blocks_skipped"),
             fences.blocks_skipped,
         ));
+        let (mut retries, mut gave_up, mut quarantined) = (0u64, 0u64, 0i64);
+        for segment in self.segments() {
+            retries += segment.io_retries();
+            gave_up += segment.io_gave_up();
+            quarantined += i64::from(segment.is_quarantined());
+        }
+        out.push(counter(format!("{prefix}.io_retries"), retries));
+        out.push(counter(format!("{prefix}.io_gave_up"), gave_up));
+        out.push(MetricEntry {
+            name: format!("{prefix}.quarantined"),
+            value: MetricValue::Gauge(quarantined),
+        });
     }
 }
 
@@ -197,7 +250,29 @@ impl DiskSubsystem {
             cache,
             segments: BTreeMap::new(),
             probes: Vec::new(),
+            degraded_reads: false,
+            vfs: std_vfs(),
         }
+    }
+
+    /// Routes **subsequently opened** attributes' file I/O through `vfs` —
+    /// the hook chaos tests use to open real segment files behind a
+    /// [`garlic_storage::FaultVfs`] and drive the full middleware stack
+    /// into its failure paths.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Opts **subsequently registered** sharded attributes in to degraded
+    /// reads: when one shard of a sharded attribute is quarantined, reads
+    /// drop that shard (treating its id range as ungraded) and flag the
+    /// answer [`GradedSource::degraded`] instead of failing the whole
+    /// query. Single-segment and live attributes are unaffected — with
+    /// only one replica of the data there is nothing to degrade *to*.
+    pub fn with_degraded_reads(mut self) -> Self {
+        self.degraded_reads = true;
+        self
     }
 
     /// Opens (and fully verifies) the segment at `path` as the ranking of
@@ -211,7 +286,7 @@ impl DiskSubsystem {
     /// count `N` plus largest id `< N` plus the verified id uniqueness
     /// pin the dense universe exactly.)
     pub fn open_segment(mut self, attribute: &str, path: &Path) -> Result<Self, StorageError> {
-        let segment = SegmentSource::open(path, Arc::clone(&self.cache))?;
+        let segment = SegmentSource::open_with(path, Arc::clone(&self.cache), &self.vfs)?;
         assert_eq!(
             segment.len(),
             self.universe,
@@ -258,7 +333,11 @@ impl DiskSubsystem {
     ) -> Result<Self, StorageError> {
         let mut shards = Vec::new();
         for path in paths {
-            shards.push(SegmentSource::open(path, Arc::clone(&self.cache))?);
+            shards.push(SegmentSource::open_with(
+                path.as_ref(),
+                Arc::clone(&self.cache),
+                &self.vfs,
+            )?);
         }
         assert!(!shards.is_empty(), "a sharded attribute needs shards");
         let fences: Vec<u64> = shards
@@ -294,7 +373,11 @@ impl DiskSubsystem {
         }
         let crisp = shards.iter().all(|s| s.is_crisp());
         let ones = shards.iter().map(|s| s.exact_match_count()).sum();
-        let sharded = Arc::new(ShardedSource::new(shards, fences));
+        let mut sharded = ShardedSource::new(shards, fences);
+        if self.degraded_reads {
+            sharded = sharded.with_degraded_reads(self.universe as u64);
+        }
+        let sharded = Arc::new(sharded);
         self.probes.push((
             attribute.to_owned(),
             FixedProbe::Sharded(Arc::clone(&sharded)),
@@ -337,6 +420,7 @@ impl DiskSubsystem {
     ) -> Result<Self, StorageError> {
         let opts = LiveOptions {
             universe: Some(self.universe),
+            vfs: opts.vfs.or_else(|| Some(Arc::clone(&self.vfs))),
             ..opts
         };
         let live = LiveSource::open(dir, Arc::clone(&self.cache), opts)?;
@@ -385,6 +469,33 @@ impl DiskSubsystem {
                 probe.collect(&format!("storage.{name}.{attribute}"), out);
             }
         });
+    }
+
+    /// The I/O health of every fixed attribute: retry totals and any
+    /// quarantined segment files. A quarantined segment keeps failing fast
+    /// with a typed error until its file is repaired and the subsystem is
+    /// reopened; under [`with_degraded_reads`](Self::with_degraded_reads)
+    /// a sharded attribute keeps answering (flagged degraded) around it.
+    pub fn health(&self) -> Vec<AttributeHealth> {
+        self.probes
+            .iter()
+            .map(|(attribute, probe)| {
+                let mut report = AttributeHealth {
+                    attribute: attribute.clone(),
+                    quarantined: Vec::new(),
+                    io_retries: 0,
+                    io_gave_up: 0,
+                };
+                for segment in probe.segments() {
+                    report.io_retries += segment.io_retries();
+                    report.io_gave_up += segment.io_gave_up();
+                    if segment.is_quarantined() {
+                        report.quarantined.push(segment.path().to_path_buf());
+                    }
+                }
+                report
+            })
+            .collect()
     }
 
     fn segment(&self, query: &AtomicQuery) -> Result<&DiskAttribute, SubsystemError> {
@@ -835,6 +946,62 @@ mod tests {
             .write_pairs(&hi, vec![(ObjectId(1), g(0.3)), (ObjectId(3), g(0.2))])
             .unwrap();
         let _ = DiskSubsystem::new("disk", 4).open_sharded_segment("A", [&lo, &hi]);
+    }
+
+    #[test]
+    fn degraded_sharded_reads_survive_a_quarantined_shard() {
+        use garlic_storage::{std_vfs, FaultKind, FaultOp, FaultRule, FaultVfs, Vfs};
+        let grades: Vec<Grade> = (0..64).map(|i| g((i % 21) as f64 / 20.0)).collect();
+        let dir = temp_dir();
+        let parts = SegmentWriter::new()
+            .write_sharded_grades(&dir, "degraded", 4, &grades)
+            .unwrap();
+        // Reopen the shards through a FaultVfs so shard 1 can be killed
+        // after its (fault-free) open.
+        let fault = Arc::new(FaultVfs::wrapping(std_vfs()));
+        let cache = Arc::new(BlockCache::new(64));
+        let mut shards = Vec::new();
+        for part in &parts {
+            let vfs = Arc::clone(&fault) as Arc<dyn Vfs>;
+            shards.push(SegmentSource::open_with(&part.path, Arc::clone(&cache), &vfs).unwrap());
+        }
+        let victim = parts[1].path.file_name().unwrap().to_str().unwrap();
+        let fences: Vec<u64> = shards.iter().map(|s| s.min_object().unwrap().0).collect();
+        let sharded = Arc::new(
+            garlic_core::ShardedSource::new(shards, fences)
+                .with_degraded_reads(grades.len() as u64),
+        );
+        let mut s = DiskSubsystem::with_cache("disk", grades.len(), cache);
+        s.probes
+            .push(("D".to_owned(), FixedProbe::Sharded(Arc::clone(&sharded))));
+        s.segments.insert(
+            "D".to_owned(),
+            DiskAttribute::from_concrete(sharded, false, 0),
+        );
+        assert!(s.health().iter().all(AttributeHealth::healthy));
+        fault.push_rule(FaultRule {
+            path_contains: victim.to_owned(),
+            op: FaultOp::Read,
+            nth: 0,
+            kind: FaultKind::Permanent,
+        });
+        let src = s
+            .evaluate(&AtomicQuery::new("D", Target::text("t")))
+            .unwrap();
+        let mut out = Vec::new();
+        let got = src.try_sorted_batch(0, grades.len(), &mut out).unwrap();
+        assert_eq!(got, grades.len(), "degraded scan still spans the universe");
+        assert!(src.degraded(), "the answer must be flagged");
+        // The dropped shard's ids answer grade zero, the others exactly.
+        let dropped = s.health();
+        let report = dropped.iter().find(|h| h.attribute == "D").unwrap();
+        assert!(!report.healthy());
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.io_gave_up >= 1);
+        assert!(
+            report.quarantined[0].to_str().unwrap().contains(victim),
+            "health names the dead file"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod relational;
 pub mod text;
 
 pub use api::{AtomicQuery, Subsystem, SubsystemError, Target};
-pub use disk::DiskSubsystem;
+pub use disk::{AttributeHealth, DiskSubsystem};
 pub use mem::VectorSubsystem;
 pub use qbic::QbicStore;
 pub use relational::{CrispSource, Predicate, RelationalStore, Value};

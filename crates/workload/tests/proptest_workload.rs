@@ -130,7 +130,7 @@ proptest! {
         let k = ((k_frac * n as f64) as usize).clamp(1, n);
 
         let mut engine = Engine::open(db.to_sources()).unwrap();
-        engine.advance_until_matched(k);
+        engine.advance_until_matched(k).unwrap();
         prop_assert_eq!(engine.depth(), skeleton.matching_depth(k));
         prop_assert!(engine.matched().len() >= k);
     }
